@@ -1,0 +1,239 @@
+//! The bottom-of-column align unit (paper Fig. 4b).
+//!
+//! At the end of a PE column, the accumulated normal partial sum and the
+//! bypassed outlier results — each an exact integer in its own power-of-two
+//! frame — are combined into one number and handed to the INT2FP unit. The
+//! align unit identifies the maximum exponent `E_max` among the partial-sum
+//! frame (`E_part = shared_a + shared_w`) and the outlier frames, aligns all
+//! contributions to it, and adds.
+//!
+//! Two fidelity levels are modelled:
+//!
+//! * [`AlignUnit::exact`] — unlimited alignment width. Every contribution is
+//!   added exactly, so the subsequent single rounding yields the correctly
+//!   rounded FP32 dot product. This is what the paper's correctness
+//!   guarantee corresponds to (and what `owlp-arith`'s equivalence tests
+//!   use).
+//! * [`AlignUnit::bounded`] — a `width`-bit aligned accumulator with a
+//!   sticky bit, as hardware would build it. Contributions further than
+//!   `width` bits below `E_max` are truncated into the sticky bit. The
+//!   ablation benches quantify how narrow the unit can be before results
+//!   diverge from exact (in practice BF16's 8-bit significands and the
+//!   narrow normal window make ~64 bits sufficient for bit-exactness on
+//!   real workloads).
+
+use crate::int2fp::round_u128_to_f32;
+use crate::kulisch::KulischAcc;
+use crate::pe::OutlierResult;
+use serde::{Deserialize, Serialize};
+
+/// One exact addend: `value = mag × 2^frame`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contribution {
+    /// Signed integer magnitude.
+    pub mag: i64,
+    /// Power-of-two frame exponent.
+    pub frame: i32,
+}
+
+impl From<OutlierResult> for Contribution {
+    fn from(o: OutlierResult) -> Self {
+        Contribution { mag: o.mag, frame: o.frame }
+    }
+}
+
+/// Alignment/accumulation policy for combining a column's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum AlignUnit {
+    /// Unlimited width: exact accumulation, correctly rounded result.
+    #[default]
+    Exact,
+    /// A `width`-bit aligned integer accumulator with sticky truncation.
+    Bounded {
+        /// Accumulator width in bits (≥ 32).
+        width: u32,
+    },
+}
+
+impl AlignUnit {
+    /// The exact (reference) align unit.
+    pub fn exact() -> Self {
+        AlignUnit::Exact
+    }
+
+    /// A bounded hardware align unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 32` or `width > 120` (the model accumulates in
+    /// `i128` and needs carry headroom).
+    pub fn bounded(width: u32) -> Self {
+        assert!((32..=120).contains(&width), "align width {width} out of the modelled range");
+        AlignUnit::Bounded { width }
+    }
+
+    /// Combines contributions and converts to `f32` in one rounding.
+    ///
+    /// ```
+    /// use owlp_arith::{AlignUnit, Contribution};
+    /// let unit = AlignUnit::exact();
+    /// let r = unit.reduce(&[
+    ///     Contribution { mag: 3, frame: 0 },   // 3.0
+    ///     Contribution { mag: 1, frame: -2 },  // 0.25
+    /// ]);
+    /// assert_eq!(r, 3.25);
+    /// ```
+    pub fn reduce(&self, contributions: &[Contribution]) -> f32 {
+        match *self {
+            AlignUnit::Exact => {
+                let mut acc = KulischAcc::new();
+                for c in contributions {
+                    acc.add_scaled(c.mag, c.frame);
+                }
+                acc.round_to_f32()
+            }
+            AlignUnit::Bounded { width } => reduce_bounded(contributions, width),
+        }
+    }
+}
+
+
+/// Bounded-width alignment: all contributions are aligned to the maximum
+/// frame; bits falling more than `width` below the leading position are
+/// folded into a sticky flag (sign-magnitude truncation, the standard
+/// aligned-adder construction).
+fn reduce_bounded(contributions: &[Contribution], width: u32) -> f32 {
+    let nonzero: Vec<Contribution> =
+        contributions.iter().copied().filter(|c| c.mag != 0).collect();
+    if nonzero.is_empty() {
+        return 0.0;
+    }
+    // Frame of the accumulator LSB: highest contribution top-bit minus width.
+    let top = nonzero
+        .iter()
+        .map(|c| c.frame + 64 - c.mag.unsigned_abs().leading_zeros() as i32)
+        .max()
+        .expect("nonzero set");
+    let lsb_frame = top - width as i32;
+    let mut acc: i128 = 0;
+    let mut sticky = false;
+    for c in &nonzero {
+        let shift = c.frame - lsb_frame;
+        if shift >= 0 {
+            acc += (c.mag as i128) << shift;
+        } else {
+            let s = (-shift) as u32;
+            if s >= 64 {
+                sticky |= c.mag != 0;
+                continue;
+            }
+            let abs = c.mag.unsigned_abs();
+            let kept = (abs >> s) as i128;
+            sticky |= abs & ((1u64 << s) - 1) != 0;
+            acc += if c.mag < 0 { -kept } else { kept };
+        }
+    }
+    if acc == 0 {
+        return 0.0;
+    }
+    let negative = acc < 0;
+    round_u128_to_f32(acc.unsigned_abs(), lsb_frame, sticky, negative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reduce_simple() {
+        let unit = AlignUnit::exact();
+        let r = unit.reduce(&[
+            Contribution { mag: 10, frame: -1 },
+            Contribution { mag: -3, frame: 0 },
+        ]);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn exact_reduce_empty_is_zero() {
+        assert_eq!(AlignUnit::exact().reduce(&[]).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn exact_handles_huge_frame_gaps() {
+        // 2^200 + 2^-200 − 2^200 = 2^-200 exactly.
+        let unit = AlignUnit::exact();
+        let r = unit.reduce(&[
+            Contribution { mag: 1, frame: 200 },
+            Contribution { mag: 1, frame: -200 },
+            Contribution { mag: -1, frame: 200 },
+        ]);
+        assert_eq!(r, (-200.0f32).exp2());
+    }
+
+    #[test]
+    fn bounded_matches_exact_when_wide_enough() {
+        let contributions = vec![
+            Contribution { mag: 123_456, frame: -10 },
+            Contribution { mag: -987, frame: -3 },
+            Contribution { mag: 42, frame: 5 },
+            Contribution { mag: 7_777_777, frame: -20 },
+        ];
+        let exact = AlignUnit::exact().reduce(&contributions);
+        for width in [64, 96, 120] {
+            let b = AlignUnit::bounded(width).reduce(&contributions);
+            assert_eq!(b.to_bits(), exact.to_bits(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn bounded_truncates_distant_small_terms_into_sticky() {
+        // A term 100 bits below the leader only matters through sticky.
+        let contributions = vec![
+            Contribution { mag: 1, frame: 100 },
+            Contribution { mag: 1, frame: -40 },
+        ];
+        let exact = AlignUnit::exact().reduce(&contributions);
+        let narrow = AlignUnit::bounded(32).reduce(&contributions);
+        // Both round to 2^100: the tiny term is below half-ulp either way.
+        assert_eq!(exact, narrow);
+        assert_eq!(exact, (100.0f32).exp2());
+    }
+
+    #[test]
+    fn bounded_can_deviate_when_cancellation_exceeds_width() {
+        // Two large terms cancel; a term 80 bits down carries the result.
+        // A 48-bit unit loses it entirely (sticky only).
+        let contributions = vec![
+            Contribution { mag: 1 << 30, frame: 40 },
+            Contribution { mag: -(1 << 30), frame: 40 },
+            Contribution { mag: 3, frame: -30 },
+        ];
+        let exact = AlignUnit::exact().reduce(&contributions);
+        assert_eq!(exact, 3.0 * (-30.0f32).exp2());
+        let narrow = AlignUnit::bounded(32).reduce(&contributions);
+        // The narrow unit sees only sticky from the small term: result 0.
+        assert_eq!(narrow, 0.0);
+    }
+
+    #[test]
+    fn all_zero_contributions() {
+        let unit = AlignUnit::bounded(64);
+        assert_eq!(unit.reduce(&[Contribution { mag: 0, frame: 10 }]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the modelled range")]
+    fn bounded_width_validation() {
+        let _ = AlignUnit::bounded(16);
+    }
+
+    #[test]
+    fn contribution_from_outlier_result() {
+        let o = OutlierResult { mag: -5, frame: 3 };
+        let c: Contribution = o.into();
+        assert_eq!(c.mag, -5);
+        assert_eq!(c.frame, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! A weight-stationary PE column (paper Fig. 3).
+//!
+//! A column of `R` PEs computes one output element's dot product over
+//! `K = R × lanes` operand pairs per pass. Normal products accumulate into
+//! the partial sum flowing down the column; outlier products hop onto the
+//! vertical inter-PE outlier path (capacity `total_outlier_paths` results
+//! per wavefront — each PE has that many outlier registers feeding the PE
+//! below). At the bottom, the align unit and INT2FP produce the FP32 output.
+//!
+//! The wavefront capacity is the structural hazard the outlier-aware
+//! scheduler of `owlp-systolic` avoids: products belonging to the same
+//! input row travel down in one wavefront, so *per input row and per array
+//! column* the number of outlier products must not exceed the path count.
+//! [`PeColumn::compute`] enforces exactly that invariant.
+
+use crate::align::{AlignUnit, Contribution};
+use crate::error::ArithError;
+use crate::pe::{PeConfig, ProcessingElement};
+use owlp_format::decode::DecodedOperand;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one column pass (one output element).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnOutput {
+    /// The FP32 result after align + INT2FP.
+    pub value: f32,
+    /// Number of products routed down the outlier path.
+    pub outlier_products: usize,
+    /// Number of nonzero products accumulated on the normal path.
+    pub normal_products: usize,
+}
+
+/// A column of weight-stationary PEs plus its bottom-of-column conversion
+/// logic.
+///
+/// ```
+/// use owlp_arith::column::PeColumn;
+/// use owlp_arith::pe::PeConfig;
+/// use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
+///
+/// # fn main() -> Result<(), owlp_arith::ArithError> {
+/// let w = ExponentWindow::owlp(125);
+/// let dec = BiasDecoder::new(w.base());
+/// let a: Vec<_> = (0..16).map(|i| dec.decode_bf16(Bf16::from_f32(1.0 + i as f32 / 16.0), w)).collect();
+/// let b: Vec<_> = (0..16).map(|i| dec.decode_bf16(Bf16::from_f32(0.5 + i as f32 / 32.0), w)).collect();
+/// let col = PeColumn::new(PeConfig::PAPER, 2); // 2 PEs × 8 lanes = K 16
+/// let out = col.compute(&a, &b, w.base(), w.base())?;
+/// assert!(out.value > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeColumn {
+    pe: ProcessingElement,
+    rows: usize,
+    align: AlignUnit,
+}
+
+impl PeColumn {
+    /// A column of `rows` PEs with the exact align unit.
+    pub fn new(config: PeConfig, rows: usize) -> Self {
+        PeColumn { pe: ProcessingElement::new(config), rows, align: AlignUnit::Exact }
+    }
+
+    /// Overrides the align unit (e.g. a bounded hardware width for ablation).
+    pub fn with_align(mut self, align: AlignUnit) -> Self {
+        self.align = align;
+        self
+    }
+
+    /// PEs in the column.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Maximum dot-product length per pass.
+    pub fn k_capacity(&self) -> usize {
+        self.rows * self.pe.config().lanes
+    }
+
+    /// Computes one output element over up to [`PeColumn::k_capacity`]
+    /// operand pairs (shorter inputs are implicitly zero-padded).
+    ///
+    /// # Errors
+    ///
+    /// * [`ArithError::DimensionMismatch`] on length mismatch or overlong
+    ///   inputs.
+    /// * [`ArithError::OutlierPathOverflow`] when the input wavefront
+    ///   carries more outlier products than the column's paths — the hazard
+    ///   zero-insertion scheduling removes.
+    pub fn compute(
+        &self,
+        acts: &[DecodedOperand],
+        wts: &[DecodedOperand],
+        shared_a: u8,
+        shared_w: u8,
+    ) -> Result<ColumnOutput, ArithError> {
+        if acts.len() != wts.len() {
+            return Err(ArithError::DimensionMismatch {
+                what: "column operands",
+                expected: acts.len(),
+                actual: wts.len(),
+            });
+        }
+        if acts.len() > self.k_capacity() {
+            return Err(ArithError::DimensionMismatch {
+                what: "column K extent",
+                expected: self.k_capacity(),
+                actual: acts.len(),
+            });
+        }
+        let lanes = self.pe.config().lanes;
+        let mut contributions: Vec<Contribution> = Vec::new();
+        let mut normal_sum: i64 = 0;
+        let mut normal_frame = shared_a as i32 + shared_w as i32 - 2 * (127 + 7);
+        let mut outlier_products = 0usize;
+        let mut normal_products = 0usize;
+        for (a_chunk, w_chunk) in acts.chunks(lanes).zip(wts.chunks(lanes)) {
+            let out = self.pe.dot_unchecked(a_chunk, w_chunk, shared_a, shared_w);
+            normal_sum += out.normal_sum;
+            normal_frame = out.normal_frame;
+            outlier_products += out.outliers.len();
+            normal_products += out.active_lanes - out.outliers.len();
+            contributions.extend(out.outliers.iter().map(|&o| Contribution::from(o)));
+        }
+        // Wavefront hazard check: all outlier products of this pass share
+        // the down-travelling wavefront, bounded by the per-PE register
+        // count.
+        let capacity = self.pe.config().total_outlier_paths();
+        if outlier_products > capacity {
+            return Err(ArithError::OutlierPathOverflow {
+                produced: outlier_products,
+                capacity,
+            });
+        }
+        contributions.push(Contribution { mag: normal_sum, frame: normal_frame });
+        let value = self.align.reduce(&contributions);
+        Ok(ColumnOutput { value, outlier_products, normal_products })
+    }
+
+    /// Like [`PeColumn::compute`] but without the wavefront capacity check —
+    /// for measuring outlier pressure before scheduling.
+    pub fn compute_unchecked(
+        &self,
+        acts: &[DecodedOperand],
+        wts: &[DecodedOperand],
+        shared_a: u8,
+        shared_w: u8,
+    ) -> ColumnOutput {
+        let lanes = self.pe.config().lanes;
+        let mut contributions: Vec<Contribution> = Vec::new();
+        let mut normal_sum: i64 = 0;
+        let mut normal_frame = shared_a as i32 + shared_w as i32 - 2 * (127 + 7);
+        let mut outlier_products = 0usize;
+        let mut normal_products = 0usize;
+        for (a_chunk, w_chunk) in acts.chunks(lanes).zip(wts.chunks(lanes)) {
+            let out = self.pe.dot_unchecked(a_chunk, w_chunk, shared_a, shared_w);
+            normal_sum += out.normal_sum;
+            normal_frame = out.normal_frame;
+            outlier_products += out.outliers.len();
+            normal_products += out.active_lanes - out.outliers.len();
+            contributions.extend(out.outliers.iter().map(|&o| Contribution::from(o)));
+        }
+        contributions.push(Contribution { mag: normal_sum, frame: normal_frame });
+        let value = self.align.reduce(&contributions);
+        ColumnOutput { value, outlier_products, normal_products }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_dot;
+    use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
+
+    fn decode_vec(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
+        let w = ExponentWindow::owlp(base);
+        let dec = BiasDecoder::new(base);
+        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+    }
+
+    fn bf_vec(xs: &[f32]) -> Vec<Bf16> {
+        xs.iter().map(|&x| Bf16::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn column_matches_exact_dot_without_outliers() {
+        let xs: Vec<f32> = (0..24).map(|i| 1.0 + i as f32 / 32.0).collect();
+        let ys: Vec<f32> = (0..24).map(|i| 2.0 - i as f32 / 24.0).collect();
+        let acts = decode_vec(&xs, 124);
+        let wts = decode_vec(&ys, 124);
+        let col = PeColumn::new(PeConfig::PAPER, 3);
+        let out = col.compute(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+        assert_eq!(out.outlier_products, 0);
+    }
+
+    #[test]
+    fn column_matches_exact_dot_with_outliers() {
+        let mut xs: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 / 8.0).collect();
+        xs[5] = 3.0e20; // activation outlier
+        let mut ys: Vec<f32> = (0..16).map(|i| 0.5 + i as f32 / 16.0).collect();
+        ys[12] = 1.0e-22; // weight outlier
+        let acts = decode_vec(&xs, 124);
+        let wts = decode_vec(&ys, 124);
+        let col = PeColumn::new(PeConfig::PAPER, 2);
+        let out = col.compute(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(out.outlier_products, 2);
+        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+    }
+
+    #[test]
+    fn wavefront_overflow_detected_across_pes() {
+        // 5 activation outliers spread over different PEs still share the
+        // wavefront → overflow with 4 total paths.
+        let mut xs: Vec<f32> = vec![1.0; 40];
+        for i in [0, 9, 18, 27, 36] {
+            xs[i] = 1e25;
+        }
+        let ys: Vec<f32> = vec![1.0; 40];
+        let acts = decode_vec(&xs, 124);
+        let wts = decode_vec(&ys, 124);
+        let col = PeColumn::new(PeConfig::PAPER, 5);
+        let err = col.compute(&acts, &wts, 124, 124).unwrap_err();
+        assert!(matches!(err, ArithError::OutlierPathOverflow { produced: 5, capacity: 4 }));
+        // Unchecked still evaluates correctly.
+        let out = col.compute_unchecked(&acts, &wts, 124, 124);
+        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+    }
+
+    #[test]
+    fn zero_padding_shorter_inputs() {
+        let xs = [1.5f32, 2.0, -0.5];
+        let ys = [2.0f32, 1.0, 4.0];
+        let acts = decode_vec(&xs, 124);
+        let wts = decode_vec(&ys, 124);
+        let col = PeColumn::new(PeConfig::PAPER, 4);
+        let out = col.compute(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(out.value, 3.0 + 2.0 - 2.0);
+    }
+
+    #[test]
+    fn k_capacity() {
+        let col = PeColumn::new(PeConfig::PAPER, 4);
+        assert_eq!(col.k_capacity(), 32);
+        let too_long = vec![DecodedOperand::ZERO; 33];
+        assert!(matches!(
+            col.compute(&too_long, &too_long, 120, 120),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bounded_align_column_still_exact_on_typical_data() {
+        let xs: Vec<f32> = (0..32).map(|i| (i as f32 * 0.73).sin() + 1.5).collect();
+        let ys: Vec<f32> = (0..32).map(|i| (i as f32 * 0.31).cos() + 1.2).collect();
+        let acts = decode_vec(&xs, 124);
+        let wts = decode_vec(&ys, 124);
+        let exact_col = PeColumn::new(PeConfig::PAPER, 4);
+        let bounded_col = exact_col.with_align(AlignUnit::bounded(64));
+        let e = exact_col.compute(&acts, &wts, 124, 124).unwrap();
+        let b = bounded_col.compute(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(e.value.to_bits(), b.value.to_bits());
+    }
+}

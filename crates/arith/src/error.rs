@@ -1,0 +1,76 @@
+//! Error types for the arithmetic datapath.
+
+use owlp_format::FormatError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from datapath simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithError {
+    /// The number of outlier products generated in one PE cycle exceeded the
+    /// PE's outlier-path capacity. The outlier-aware scheduler (paper §V-A)
+    /// exists precisely to prevent this; hitting it means inputs bypassed
+    /// scheduling.
+    OutlierPathOverflow {
+        /// Outlier products produced this cycle.
+        produced: usize,
+        /// Paths available per cycle.
+        capacity: usize,
+    },
+    /// Operand slices had inconsistent lengths for the requested GEMM shape.
+    DimensionMismatch {
+        /// Description of the mismatched dimension.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// An encoding step failed (non-finite input, packing overflow, …).
+    Format(FormatError),
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::OutlierPathOverflow { produced, capacity } => write!(
+                f,
+                "{produced} outlier products exceed the {capacity} outlier paths per cycle"
+            ),
+            ArithError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "dimension mismatch in {what}: expected {expected}, got {actual}")
+            }
+            ArithError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl Error for ArithError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArithError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for ArithError {
+    fn from(e: FormatError) -> Self {
+        ArithError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArithError::Format(FormatError::NonFinite { index: 0 });
+        assert!(e.to_string().contains("format error"));
+        assert!(e.source().is_some());
+        let o = ArithError::OutlierPathOverflow { produced: 3, capacity: 2 };
+        assert!(o.source().is_none());
+        assert!(o.to_string().contains("3 outlier"));
+    }
+}

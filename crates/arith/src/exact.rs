@@ -1,0 +1,158 @@
+//! Correctly-rounded reference dot products and GEMM.
+//!
+//! These are the golden functions of the whole reproduction: the
+//! mathematically exact sum of BF16 products, rounded **once** to FP32.
+//! [`crate::gemm::owlp_gemm`] must match them bit-for-bit; the sequential
+//! FP32 baseline of [`crate::fpmac`] generally does not (it rounds at every
+//! accumulation step).
+
+use crate::kulisch::KulischAcc;
+use owlp_format::Bf16;
+
+/// The exact dot product of two BF16 slices, rounded once to `f32`
+/// (round-to-nearest-even).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or contain non-finite values.
+///
+/// ```
+/// use owlp_format::Bf16;
+/// use owlp_arith::exact_dot;
+/// let a = vec![Bf16::from_f32(1e30), Bf16::from_f32(1.0), Bf16::from_f32(-1e30)];
+/// let b = vec![Bf16::ONE; 3];
+/// assert_eq!(exact_dot(&a, &b), 1.0); // no catastrophic cancellation
+/// ```
+pub fn exact_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc = KulischAcc::new();
+    for (&x, &y) in a.iter().zip(b) {
+        acc.add_product(x, y);
+    }
+    acc.round_to_f32()
+}
+
+/// The exact dot product evaluated in extended precision `f64` view — used
+/// as the error yardstick for the approximate quantization schemes of
+/// paper Table I (where f32's own grid would mask their error).
+pub fn exact_dot_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc = KulischAcc::new();
+    for (&x, &y) in a.iter().zip(b) {
+        acc.add_product(x, y);
+    }
+    acc.to_f64_lossy()
+}
+
+/// Exact GEMM: `C[m][n] = round_once(Σ_k A[m][k]·B[k][n])`.
+///
+/// `a` is `m×k` row-major, `b` is `k×n` row-major; the result is `m×n`
+/// row-major.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-finite inputs.
+pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = KulischAcc::new();
+            for kk in 0..k {
+                acc.add_product(a[i * k + kk], b[kk * n + j]);
+            }
+            out[i * n + j] = acc.round_to_f32();
+        }
+    }
+    out
+}
+
+/// Exact GEMM in the `f64` error yardstick (see [`exact_dot_f64`]).
+pub fn exact_gemm_f64(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = KulischAcc::new();
+            for kk in 0..k {
+                acc.add_product(a[i * k + kk], b[kk * n + j]);
+            }
+            out[i * n + j] = acc.to_f64_lossy();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn dot_simple() {
+        let a: Vec<Bf16> = [1.0f32, 2.0, 3.0].iter().map(|&x| bf(x)).collect();
+        let b: Vec<Bf16> = [4.0f32, 5.0, 6.0].iter().map(|&x| bf(x)).collect();
+        assert_eq!(exact_dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_positive_zero() {
+        assert_eq!(exact_dot(&[], &[]).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn gemm_identity() {
+        // A × I = A for a 3×3.
+        let a: Vec<Bf16> = (1..=9).map(|i| bf(i as f32 * 0.5)).collect();
+        let mut eye = vec![Bf16::ZERO; 9];
+        for i in 0..3 {
+            eye[i * 3 + i] = Bf16::ONE;
+        }
+        let c = exact_gemm(&a, &eye, 3, 3, 3);
+        for (ci, ai) in c.iter().zip(&a) {
+            assert_eq!(*ci, ai.to_f32());
+        }
+    }
+
+    #[test]
+    fn gemm_shapes_nonsquare() {
+        // 2×3 × 3×1.
+        let a: Vec<Bf16> = [1.0f32, 0.5, 2.0, -1.0, 4.0, 0.25].iter().map(|&x| bf(x)).collect();
+        let b: Vec<Bf16> = [2.0f32, 4.0, 8.0].iter().map(|&x| bf(x)).collect();
+        let c = exact_gemm(&a, &b, 2, 3, 1);
+        assert_eq!(c, vec![1.0 * 2.0 + 0.5 * 4.0 + 2.0 * 8.0, -2.0 + 16.0 + 2.0]);
+    }
+
+    #[test]
+    fn exactness_where_f32_sequential_fails() {
+        let mut a = vec![bf(1e30), bf(-1e30)];
+        let mut b = vec![Bf16::ONE, Bf16::ONE];
+        // Interleave small terms that a sequential f32 accumulator loses.
+        for _ in 0..10 {
+            a.push(bf(0.5));
+            b.push(bf(0.5));
+        }
+        // Exact: 10 × 0.25 = 2.5.
+        assert_eq!(exact_dot(&a, &b), 2.5);
+    }
+
+    #[test]
+    fn f64_yardstick_agrees_on_easy_cases() {
+        let a: Vec<Bf16> = (0..32).map(|i| bf(i as f32 / 8.0)).collect();
+        let b: Vec<Bf16> = (0..32).map(|i| bf(1.0 - i as f32 / 64.0)).collect();
+        let v32 = exact_dot(&a, &b) as f64;
+        let v64 = exact_dot_f64(&a, &b);
+        assert!((v32 - v64).abs() <= v64.abs() * 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = exact_dot(&[Bf16::ONE], &[]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fault-injection analysis of the decoded-operand datapath.
+//!
+//! Bit flips are injected into decoded operands (significand, sign, shift
+//! bit, outlier tag, outlier exponent) and the corrupted dot product is
+//! compared against the fault-free result. The analysis quantifies which
+//! fields are critical — e.g. a flipped **outlier tag** mis-frames an
+//! entire product by the gap between the shared and outlier exponents
+//! (potentially hundreds of binary orders), while a significand LSB flip
+//! moves the result by at most one pre-shift-scaled ulp. This motivates
+//! protecting tag/exponent side-band wires in a real implementation.
+
+use crate::column::PeColumn;
+use crate::pe::PeConfig;
+use owlp_format::decode::DecodedOperand;
+use serde::{Deserialize, Serialize};
+
+/// Which field of a decoded operand a fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A bit of the pre-aligned significand (`0..11`).
+    Significand(u8),
+    /// The sign wire.
+    Sign,
+    /// The shift bit (`sh`): a flip mis-scales the product by 2^±4.
+    ShiftBit,
+    /// The outlier tag: a flip re-frames the product entirely.
+    OutlierTag,
+    /// A bit of the outlier exponent side-band (`0..8`).
+    OutlierExp(u8),
+}
+
+impl FaultSite {
+    /// All injectable sites.
+    pub fn all() -> Vec<FaultSite> {
+        let mut v: Vec<FaultSite> = (0..11).map(FaultSite::Significand).collect();
+        v.push(FaultSite::Sign);
+        v.push(FaultSite::ShiftBit);
+        v.push(FaultSite::OutlierTag);
+        v.extend((0..8).map(FaultSite::OutlierExp));
+        v
+    }
+
+    /// Applies the fault to one operand.
+    pub fn inject(self, op: &mut DecodedOperand) {
+        match self {
+            FaultSite::Significand(b) => op.mag ^= 1 << b,
+            FaultSite::Sign => op.sign = !op.sign,
+            FaultSite::ShiftBit => op.sh = !op.sh,
+            FaultSite::OutlierTag => op.tag = !op.tag,
+            FaultSite::OutlierExp(b) => op.exp ^= 1 << b,
+        }
+    }
+}
+
+/// Outcome of injecting one fault into one dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// The injected site.
+    pub site: FaultSite,
+    /// Fault-free result.
+    pub golden: f32,
+    /// Faulty result.
+    pub observed: f32,
+    /// `|observed − golden| / max(|golden|, ε)`.
+    pub relative_error: f64,
+}
+
+impl FaultOutcome {
+    /// Whether the fault was silent (no output change).
+    pub fn silent(&self) -> bool {
+        self.observed.to_bits() == self.golden.to_bits()
+    }
+}
+
+/// Injects `site` into operand `lane` of the activation vector and
+/// evaluates the dot product on a PE column.
+///
+/// # Panics
+///
+/// Panics if `lane` is out of range or the operand slices mismatch in
+/// length.
+pub fn inject_into_dot(
+    acts: &[DecodedOperand],
+    wts: &[DecodedOperand],
+    shared_a: u8,
+    shared_w: u8,
+    lane: usize,
+    site: FaultSite,
+) -> FaultOutcome {
+    assert_eq!(acts.len(), wts.len(), "operand length mismatch");
+    assert!(lane < acts.len(), "lane out of range");
+    let rows = acts.len().div_ceil(PeConfig::PAPER.lanes).max(1);
+    let column = PeColumn::new(PeConfig::PAPER, rows);
+    let golden = column.compute_unchecked(acts, wts, shared_a, shared_w).value;
+    let mut faulty = acts.to_vec();
+    site.inject(&mut faulty[lane]);
+    let observed = column.compute_unchecked(&faulty, wts, shared_a, shared_w).value;
+    FaultOutcome {
+        site,
+        golden,
+        observed,
+        relative_error: (observed as f64 - golden as f64).abs()
+            / (golden.abs() as f64).max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Sweeps every fault site over one lane and returns the outcomes sorted by
+/// descending relative error — the sensitivity ranking.
+pub fn sensitivity_sweep(
+    acts: &[DecodedOperand],
+    wts: &[DecodedOperand],
+    shared_a: u8,
+    shared_w: u8,
+    lane: usize,
+) -> Vec<FaultOutcome> {
+    let mut outcomes: Vec<FaultOutcome> = FaultSite::all()
+        .into_iter()
+        .map(|site| inject_into_dot(acts, wts, shared_a, shared_w, lane, site))
+        .collect();
+    outcomes.sort_by(|a, b| {
+        b.relative_error.partial_cmp(&a.relative_error).expect("errors are finite")
+    });
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
+
+    fn operands(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
+        let w = ExponentWindow::owlp(base);
+        let dec = BiasDecoder::new(base);
+        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+    }
+
+    #[test]
+    fn tag_flip_on_a_normal_operand_is_catastrophic() {
+        // A normal operand suddenly claims the outlier frame (exp byte 0 →
+        // subnormal scale): the product collapses by ~2^-130.
+        let acts = operands(&[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], 124);
+        let wts = operands(&[1.0; 8], 124);
+        let out = inject_into_dot(&acts, &wts, 124, 124, 2, FaultSite::OutlierTag);
+        assert!(out.relative_error > 0.05, "{out:?}");
+    }
+
+    #[test]
+    fn significand_lsb_flip_is_bounded() {
+        let acts = operands(&[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], 124);
+        let wts = operands(&[1.0; 8], 124);
+        let out = inject_into_dot(&acts, &wts, 124, 124, 0, FaultSite::Significand(0));
+        // One ulp of a 1.0 operand against a sum of 20: ≤ 1/128/20.
+        assert!(out.relative_error < 1e-2, "{out:?}");
+        assert!(!out.silent());
+    }
+
+    #[test]
+    fn shift_bit_flip_scales_by_sixteen() {
+        // Operand value 1.0 with sh=0 becomes ×16 when sh flips.
+        let acts = operands(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 124);
+        let wts = operands(&[1.0; 8], 124);
+        let out = inject_into_dot(&acts, &wts, 124, 124, 0, FaultSite::ShiftBit);
+        assert_eq!(out.golden, 1.0);
+        assert_eq!(out.observed, 16.0);
+    }
+
+    #[test]
+    fn sign_flip_negates_the_contribution() {
+        let acts = operands(&[3.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 124);
+        let wts = operands(&[1.0; 8], 124);
+        let out = inject_into_dot(&acts, &wts, 124, 124, 0, FaultSite::Sign);
+        assert_eq!(out.golden, 4.0);
+        assert_eq!(out.observed, -2.0);
+    }
+
+    #[test]
+    fn sensitivity_ranking_places_control_bits_first() {
+        // For an operand of moderate magnitude, the frame-level faults
+        // (tag, high exponent bits, shift) dominate data-bit faults.
+        let acts = operands(&[1.5, 2.0, 0.5, 1.0, 3.0, 0.25, 1.25, 2.5], 124);
+        let wts = operands(&[0.5, 1.0, 2.0, 4.0, 0.5, 4.0, 1.0, 0.5], 124);
+        let ranked = sensitivity_sweep(&acts, &wts, 124, 124, 3);
+        let top: Vec<FaultSite> = ranked.iter().take(3).map(|o| o.site).collect();
+        assert!(
+            top.iter().any(|s| matches!(
+                s,
+                FaultSite::OutlierTag | FaultSite::ShiftBit | FaultSite::Significand(9..=10)
+            )),
+            "top sites {top:?}"
+        );
+        // And the least sensitive site is a low significand bit (or a
+        // silent fault on unused outlier-exponent bits).
+        let bottom = ranked.last().unwrap();
+        assert!(bottom.relative_error <= ranked[0].relative_error);
+    }
+
+    #[test]
+    fn outlier_exp_faults_on_normals_are_silent() {
+        // Normal operands ignore the exponent side-band: flipping it does
+        // nothing (tag is clear). This is a masking property, not a bug.
+        let acts = operands(&[1.0; 8], 124);
+        let wts = operands(&[1.0; 8], 124);
+        let out = inject_into_dot(&acts, &wts, 124, 124, 0, FaultSite::OutlierExp(3));
+        assert!(out.silent());
+    }
+}

@@ -1,0 +1,143 @@
+//! The baseline FP MAC: BF16 multiply, FP32 sequential accumulate.
+//!
+//! This is the arithmetic of the TPU-like comparison design in the paper's
+//! evaluation (§VI-B: "BF16 multiplication and FP32 accumulation"). The
+//! product of two BF16 values is exactly representable in FP32 (8 × 8
+//! significand bits ≤ 24), so the only rounding happens in the running
+//! FP32 addition — once per element. That per-step rounding is what OwL-P's
+//! exact integer accumulation eliminates.
+
+use owlp_format::Bf16;
+
+/// Sequential BF16-multiply / FP32-accumulate dot product, in index order —
+/// the reference behaviour of one baseline MAC column.
+///
+/// ```
+/// use owlp_format::Bf16;
+/// use owlp_arith::fp_mac_dot;
+/// let a = vec![Bf16::from_f32(2.0); 4];
+/// let b = vec![Bf16::from_f32(0.5); 4];
+/// assert_eq!(fp_mac_dot(&a, &b), 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn fp_mac_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x.to_f32() * y.to_f32();
+    }
+    acc
+}
+
+/// Tree-reduction variant (pairwise summation) — how a wide FP adder tree
+/// would accumulate. Exposed for accuracy-comparison experiments; still
+/// rounds at every node, unlike the exact path.
+pub fn fp_tree_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    fn reduce(products: &mut Vec<f32>) -> f32 {
+        while products.len() > 1 {
+            let mut next = Vec::with_capacity(products.len().div_ceil(2));
+            for pair in products.chunks(2) {
+                next.push(if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] });
+            }
+            *products = next;
+        }
+        products.first().copied().unwrap_or(0.0)
+    }
+    let mut products: Vec<f32> =
+        a.iter().zip(b).map(|(&x, &y)| x.to_f32() * y.to_f32()).collect();
+    reduce(&mut products)
+}
+
+/// Baseline GEMM: `C[m][n] = fp_mac_dot(A[m, :], B[:, n])`.
+///
+/// `a` is `m×k` row-major, `b` is `k×n` row-major.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn fp_mac_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk].to_f32() * b[kk * n + j].to_f32();
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_dot;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn simple_dot() {
+        let a: Vec<Bf16> = [1.0f32, 2.0, 3.0].iter().map(|&x| bf(x)).collect();
+        let b: Vec<Bf16> = [4.0f32, 5.0, 6.0].iter().map(|&x| bf(x)).collect();
+        assert_eq!(fp_mac_dot(&a, &b), 32.0);
+        assert_eq!(fp_tree_dot(&a, &b), 32.0);
+    }
+
+    #[test]
+    fn bf16_products_are_exact_in_f32() {
+        // Any single product must equal the exact path: only accumulation
+        // rounds.
+        for (x, y) in [(1.5f32, 2.5f32), (0.0078125, 3.0), (1e19, 1e-19), (-7.0, 0.328125)] {
+            let (bx, by) = (bf(x), bf(y));
+            assert_eq!(fp_mac_dot(&[bx], &[by]), exact_dot(&[bx], &[by]));
+        }
+    }
+
+    #[test]
+    fn sequential_accumulation_loses_small_terms() {
+        // 1e30 + 0.25·10 − 1e30: sequential f32 gives 0, exact gives 2.5.
+        let mut a = vec![bf(1e30)];
+        let mut b = vec![Bf16::ONE];
+        for _ in 0..10 {
+            a.push(bf(0.5));
+            b.push(bf(0.5));
+        }
+        a.push(bf(-1e30));
+        b.push(Bf16::ONE);
+        assert_eq!(fp_mac_dot(&a, &b), 0.0);
+        assert_eq!(exact_dot(&a, &b), 2.5);
+    }
+
+    #[test]
+    fn gemm_matches_dot_per_element() {
+        let a: Vec<Bf16> = (0..6).map(|i| bf(i as f32 * 0.3)).collect();
+        let b: Vec<Bf16> = (0..6).map(|i| bf(1.0 - i as f32 * 0.1)).collect();
+        let c = fp_mac_gemm(&a, &b, 2, 3, 2);
+        // c[0][0] = dot(row0 of A, col0 of B)
+        let row0 = &a[0..3];
+        let col0 = vec![b[0], b[2], b[4]];
+        assert_eq!(c[0], fp_mac_dot(row0, &col0));
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(fp_mac_dot(&[], &[]), 0.0);
+        assert_eq!(fp_tree_dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn tree_dot_odd_length() {
+        let a: Vec<Bf16> = (1..=5).map(|i| bf(i as f32)).collect();
+        let b = vec![Bf16::ONE; 5];
+        assert_eq!(fp_tree_dot(&a, &b), 15.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end functional GEMMs.
+//!
+//! [`owlp_gemm`] runs the full OwL-P pipeline — shared-exponent encoding,
+//! bias decoding, INT PE columns with outlier bypass, align + INT2FP — and
+//! is verified bit-exact against [`crate::exact::exact_gemm`]. It also
+//! reports the outlier statistics the performance model consumes.
+
+use crate::align::AlignUnit;
+use crate::column::PeColumn;
+use crate::error::ArithError;
+use crate::pe::PeConfig;
+use owlp_format::decode::DecodedOperand;
+use owlp_format::{encode_tensor, Bf16, EncodedTensor};
+use serde::{Deserialize, Serialize};
+
+/// Result of an OwL-P GEMM with datapath statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OwlpGemmOutput {
+    /// Row-major `m×n` FP32 results.
+    pub output: Vec<f32>,
+    /// Shared exponent chosen for the activation tensor.
+    pub shared_a: u8,
+    /// Shared exponent chosen for the weight tensor.
+    pub shared_w: u8,
+    /// Outlier entries in the encoded activation tensor.
+    pub act_outliers: usize,
+    /// Outlier entries in the encoded weight tensor.
+    pub weight_outliers: usize,
+    /// Largest number of outlier products observed in one column wavefront
+    /// (one output element's pass) — what the scheduler must keep under the
+    /// path budget.
+    pub max_wavefront_outliers: usize,
+    /// Total products routed down outlier paths.
+    pub total_outlier_products: usize,
+}
+
+/// Runs the OwL-P pipeline on `a` (`m×k`, row-major) × `b` (`k×n`,
+/// row-major) with the paper's PE configuration and the exact align unit.
+///
+/// # Errors
+///
+/// Returns [`ArithError::Format`] for non-finite inputs and
+/// [`ArithError::DimensionMismatch`] for shape errors.
+///
+/// ```
+/// use owlp_format::Bf16;
+/// use owlp_arith::{exact_gemm, owlp_gemm};
+/// # fn main() -> Result<(), owlp_arith::ArithError> {
+/// let a: Vec<Bf16> = (0..6).map(|i| Bf16::from_f32(i as f32 - 2.5)).collect();
+/// let b: Vec<Bf16> = (0..6).map(|i| Bf16::from_f32(0.5 * i as f32)).collect();
+/// let r = owlp_gemm(&a, &b, 2, 3, 2)?;
+/// let golden = exact_gemm(&a, &b, 2, 3, 2);
+/// assert_eq!(r.output, golden);
+/// # Ok(())
+/// # }
+/// ```
+pub fn owlp_gemm(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<OwlpGemmOutput, ArithError> {
+    owlp_gemm_with(a, b, m, k, n, PeConfig::PAPER, AlignUnit::Exact)
+}
+
+/// [`owlp_gemm`] with explicit PE configuration and align-unit policy.
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+pub fn owlp_gemm_with(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+    config: PeConfig,
+    align: AlignUnit,
+) -> Result<OwlpGemmOutput, ArithError> {
+    check_shape(a, m * k, "A")?;
+    check_shape(b, k * n, "B")?;
+    let enc_a = encode_tensor(a, None)?;
+    let enc_b = encode_tensor(b, None)?;
+    let ops_a = enc_a.decode_operands();
+    let ops_b = enc_b.decode_operands();
+    owlp_gemm_decoded(&enc_a, &ops_a, &enc_b, &ops_b, m, k, n, config, align)
+}
+
+/// The datapath half of [`owlp_gemm`], reusable when the tensors are
+/// already encoded/decoded (as the accelerator model does per layer).
+#[allow(clippy::too_many_arguments)]
+pub fn owlp_gemm_decoded(
+    enc_a: &EncodedTensor,
+    ops_a: &[DecodedOperand],
+    enc_b: &EncodedTensor,
+    ops_b: &[DecodedOperand],
+    m: usize,
+    k: usize,
+    n: usize,
+    config: PeConfig,
+    align: AlignUnit,
+) -> Result<OwlpGemmOutput, ArithError> {
+    check_len(ops_a.len(), m * k, "decoded A")?;
+    check_len(ops_b.len(), k * n, "decoded B")?;
+    let rows = k.div_ceil(config.lanes).max(1);
+    let column = PeColumn::new(config, rows).with_align(align);
+    let shared_a = enc_a.shared_exp();
+    let shared_w = enc_b.shared_exp();
+    let mut output = vec![0.0f32; m * n];
+    let mut max_wavefront = 0usize;
+    let mut total_outlier_products = 0usize;
+    let mut wt_col = vec![DecodedOperand::ZERO; k];
+    for j in 0..n {
+        for kk in 0..k {
+            wt_col[kk] = ops_b[kk * n + j];
+        }
+        for i in 0..m {
+            let act_row = &ops_a[i * k..(i + 1) * k];
+            let out = column.compute_unchecked(act_row, &wt_col, shared_a, shared_w);
+            output[i * n + j] = out.value;
+            max_wavefront = max_wavefront.max(out.outlier_products);
+            total_outlier_products += out.outlier_products;
+        }
+    }
+    Ok(OwlpGemmOutput {
+        output,
+        shared_a,
+        shared_w,
+        act_outliers: enc_a.outlier_count(),
+        weight_outliers: enc_b.outlier_count(),
+        max_wavefront_outliers: max_wavefront,
+        total_outlier_products,
+    })
+}
+
+fn check_shape(t: &[Bf16], expected: usize, what: &'static str) -> Result<(), ArithError> {
+    check_len(t.len(), expected, what)
+}
+
+fn check_len(actual: usize, expected: usize, what: &'static str) -> Result<(), ArithError> {
+    if actual != expected {
+        return Err(ArithError::DimensionMismatch { what, expected, actual });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_gemm;
+    use crate::fpmac::fp_mac_gemm;
+
+    fn bf_vec(xs: &[f32]) -> Vec<Bf16> {
+        xs.iter().map(|&x| Bf16::from_f32(x)).collect()
+    }
+
+    /// Deterministic pseudo-random BF16 tensor: magnitudes in a narrow
+    /// exponent band (like real LLM tensors) with optional huge outliers.
+    fn synth(len: usize, seed: u64, outlier_every: usize) -> Vec<Bf16> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 40) as f32 / (1u64 << 24) as f32; // [0,1)
+                let sign = if state & (1 << 13) == 0 { 1.0 } else { -1.0 };
+                let base = sign * (0.75 + u * 0.5); // exponents 126..=127
+                let v = if outlier_every > 0 && i % outlier_every == outlier_every - 1 {
+                    base * 1.0e18
+                } else {
+                    base
+                };
+                Bf16::from_f32(v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_exact_vs_golden_no_outliers() {
+        let a = synth(8 * 16, 1, 0);
+        let b = synth(16 * 4, 2, 0);
+        let r = owlp_gemm(&a, &b, 8, 16, 4).unwrap();
+        let golden = exact_gemm(&a, &b, 8, 16, 4);
+        for (x, y) in r.output.iter().zip(&golden) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(r.act_outliers, 0);
+    }
+
+    #[test]
+    fn bit_exact_vs_golden_with_outliers() {
+        let a = synth(4 * 24, 3, 11);
+        let b = synth(24 * 5, 4, 17);
+        let r = owlp_gemm(&a, &b, 4, 24, 5).unwrap();
+        let golden = exact_gemm(&a, &b, 4, 24, 5);
+        for (x, y) in r.output.iter().zip(&golden) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(r.act_outliers > 0);
+        assert!(r.total_outlier_products > 0);
+    }
+
+    #[test]
+    fn owlp_is_at_least_as_accurate_as_fp_baseline() {
+        // Against the exact result, OwL-P's error is zero by construction;
+        // the sequential FP32 baseline's is ≥ 0. Construct a case where the
+        // baseline is strictly worse.
+        let a = bf_vec(&[1e30, 0.5, 0.5, 0.5, 0.5, -1e30]);
+        let b = bf_vec(&[1.0, 0.5, 0.5, 0.5, 0.5, 1.0]);
+        let owlp = owlp_gemm(&a, &b, 1, 6, 1).unwrap().output[0];
+        let base = fp_mac_gemm(&a, &b, 1, 6, 1)[0];
+        let golden = exact_gemm(&a, &b, 1, 6, 1)[0];
+        assert_eq!(owlp, golden);
+        assert_eq!(golden, 1.0);
+        assert_eq!(base, 0.0); // the baseline lost the small terms
+    }
+
+    #[test]
+    fn zero_dimensional_edges() {
+        let r = owlp_gemm(&[], &[], 0, 0, 0).unwrap();
+        assert!(r.output.is_empty());
+        let a = bf_vec(&[1.0, 2.0]);
+        let r2 = owlp_gemm(&a, &[], 2, 1, 0).unwrap();
+        assert!(r2.output.is_empty());
+    }
+
+    #[test]
+    fn k_zero_gives_zeros() {
+        let r = owlp_gemm(&[], &[], 2, 0, 3).unwrap();
+        assert_eq!(r.output, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = bf_vec(&[1.0; 5]);
+        let b = bf_vec(&[1.0; 6]);
+        assert!(matches!(
+            owlp_gemm(&a, &b, 2, 3, 2),
+            Err(ArithError::DimensionMismatch { what: "A", .. })
+        ));
+    }
+
+    #[test]
+    fn nonfinite_input_is_reported() {
+        let mut a = bf_vec(&[1.0; 4]);
+        a[2] = Bf16::INFINITY;
+        let b = bf_vec(&[1.0; 4]);
+        assert!(matches!(owlp_gemm(&a, &b, 2, 2, 2), Err(ArithError::Format(_))));
+    }
+
+    #[test]
+    fn wavefront_statistics_reported() {
+        // Put 3 outliers in one activation row → wavefront of 3.
+        let mut xs = vec![1.0f32; 2 * 16];
+        xs[1] = 1e20;
+        xs[5] = 1e20;
+        xs[9] = 1e20;
+        let a = bf_vec(&xs);
+        let b = bf_vec(&[1.0f32; 16 * 2]);
+        let r = owlp_gemm(&a, &b, 2, 16, 2).unwrap();
+        assert_eq!(r.max_wavefront_outliers, 3);
+    }
+
+    #[test]
+    fn large_k_spanning_many_pes() {
+        let a = synth(2 * 256, 7, 40);
+        let b = synth(256 * 3, 8, 33);
+        let r = owlp_gemm(&a, &b, 2, 256, 3).unwrap();
+        let golden = exact_gemm(&a, &b, 2, 256, 3);
+        for (x, y) in r.output.iter().zip(&golden) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Exact fixed-point super-accumulation (Kulisch accumulator).
+//!
+//! Every product of two finite BF16 values is an integer multiple of
+//! `2^-266` (two subnormal frames of `2^-133` each) and bounded by
+//! `2^256`. A 768-bit two's-complement fixed-point register therefore
+//! accumulates *any* realistic number of such products without error. This
+//! is the mathematical reference the paper's correctness claim is judged
+//! against, and also the model of an "ideal" align unit with unlimited
+//! width (see [`crate::align`] for the bounded hardware variant).
+
+use owlp_format::Bf16;
+
+/// Number of 64-bit limbs in the accumulator.
+const LIMBS: usize = 12;
+/// Weight of bit 0 of the accumulator: the value is `Σ limbs × 2^LSB_POW`.
+const LSB_POW: i32 = -300;
+/// Highest usable bit index (two's-complement sign headroom).
+const MSB_INDEX: i32 = (LIMBS as i32) * 64 - 1;
+
+/// An exact accumulator for sums of `mag × 2^pow2` terms.
+///
+/// The register spans bit weights `2^-300 ..= 2^467`, comfortably covering
+/// every BF16 product frame (`2^-266 ..= 2^240`) plus > 200 bits of carry
+/// headroom — enough for 2^200 accumulated terms.
+///
+/// ```
+/// use owlp_arith::KulischAcc;
+/// use owlp_format::Bf16;
+///
+/// let mut acc = KulischAcc::new();
+/// acc.add_product(Bf16::from_f32(1.0e30), Bf16::from_f32(1.0e-30));
+/// acc.add_product(Bf16::from_f32(-1.5), Bf16::from_f32(2.0));
+/// // (1e30·1e-30 rounded to bf16 grid) − 3.0, computed exactly, rounded once:
+/// let r = acc.round_to_f32();
+/// assert!((r - (-1.99)).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KulischAcc {
+    limbs: [u64; LIMBS],
+}
+
+impl Default for KulischAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KulischAcc {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        KulischAcc { limbs: [0; LIMBS] }
+    }
+
+    /// Whether the accumulated value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Whether the accumulated value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.limbs[LIMBS - 1] & (1 << 63) != 0
+    }
+
+    /// Adds `mag × 2^pow2` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pow2` falls outside the register's span — impossible for
+    /// BF16 product frames, which is the intended domain.
+    pub fn add_scaled(&mut self, mag: i64, pow2: i32) {
+        if mag == 0 {
+            return;
+        }
+        let shift = pow2 - LSB_POW;
+        assert!(shift >= 0, "pow2 {pow2} below accumulator LSB");
+        assert!(
+            shift + 64 <= MSB_INDEX,
+            "pow2 {pow2} too large for accumulator span"
+        );
+        let limb = (shift / 64) as usize;
+        let off = (shift % 64) as u32;
+        let wide = (mag as i128) << off; // |mag| < 2^63, off ≤ 63 → fits
+        let words = [wide as u64, (wide >> 64) as u64];
+        let ext = if mag < 0 { u64::MAX } else { 0 };
+        let mut carry = false;
+        for (i, &w) in words.iter().enumerate() {
+            carry = add_with_carry(&mut self.limbs[limb + i], w, carry);
+        }
+        for l in &mut self.limbs[limb + 2..] {
+            carry = add_with_carry(l, ext, carry);
+        }
+        // Wrap-around of the top limb cancels against the sign extension of
+        // negative addends; with the provisioned headroom the represented
+        // value never approaches the register bounds.
+    }
+
+    /// Adds the exact product of two finite BF16 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is NaN or ±∞.
+    pub fn add_product(&mut self, a: Bf16, b: Bf16) {
+        assert!(a.is_finite() && b.is_finite(), "non-finite operand in exact product");
+        let mag = a.significand() as i64 * b.significand() as i64;
+        let mag = if a.sign() ^ b.sign() { -mag } else { mag };
+        self.add_scaled(mag, a.pow2_frame() + b.pow2_frame());
+    }
+
+    /// Adds another accumulator's value.
+    pub fn merge(&mut self, other: &KulischAcc) {
+        let mut carry = false;
+        for (l, &o) in self.limbs.iter_mut().zip(&other.limbs) {
+            carry = add_with_carry(l, o, carry);
+        }
+    }
+
+    /// Rounds the exact value to `f32` with round-to-nearest, ties to even —
+    /// a single rounding of the mathematically exact sum.
+    ///
+    /// Exact zero returns `+0.0`. Overflow returns ±∞.
+    pub fn round_to_f32(&self) -> f32 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let negative = self.is_negative();
+        let abs = self.abs_limbs();
+        // Index of the most significant set bit.
+        let msb = highest_bit(&abs).expect("nonzero accumulator has a set bit");
+        // Unbiased exponent of the leading bit.
+        let exp = msb as i32 + LSB_POW;
+        // Cut so the kept integer has ≤ 24 bits and the result exponent is
+        // ≥ -126 − 23 (the f32 subnormal grid).
+        let cut = (msb as i32 - 23).max(-149 - LSB_POW);
+        let kept = extract_bits_rne(&abs, cut);
+        if kept == 0 {
+            return if negative { -0.0 } else { 0.0 };
+        }
+        let _ = exp;
+        // kept × 2^(cut + LSB_POW) is exactly on the f32 grid (kept ≤ 2^24),
+        // so the f64 → f32 conversion below cannot round a second time
+        // (it only saturates to ∞ on overflow, which is the desired result).
+        let magnitude = kept as f64 * ((cut + LSB_POW) as f64).exp2();
+        let v = if negative { -magnitude } else { magnitude };
+        v as f32
+    }
+
+    /// Lossy `f64` view for diagnostics (rounds once to f64 precision).
+    pub fn to_f64_lossy(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let negative = self.is_negative();
+        let abs = self.abs_limbs();
+        let msb = highest_bit(&abs).expect("nonzero");
+        let cut = (msb as i32 - 52).max(0);
+        let kept = extract_bits_rne(&abs, cut);
+        let magnitude = kept as f64 * ((cut + LSB_POW) as f64).exp2();
+        if negative {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    fn abs_limbs(&self) -> [u64; LIMBS] {
+        if !self.is_negative() {
+            return self.limbs;
+        }
+        let mut out = [0u64; LIMBS];
+        let mut carry = true;
+        for (o, &l) in out.iter_mut().zip(&self.limbs) {
+            let inv = !l;
+            let (s, c) = inv.overflowing_add(carry as u64);
+            *o = s;
+            carry = c;
+        }
+        out
+    }
+}
+
+#[inline]
+fn add_with_carry(a: &mut u64, b: u64, carry: bool) -> bool {
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry as u64);
+    *a = s2;
+    c1 || c2
+}
+
+/// Index of the most significant set bit across limbs, or `None` if zero.
+fn highest_bit(limbs: &[u64; LIMBS]) -> Option<usize> {
+    for (i, &l) in limbs.iter().enumerate().rev() {
+        if l != 0 {
+            return Some(i * 64 + 63 - l.leading_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Extracts `value >> cut` rounded to nearest-even, reading guard and sticky
+/// bits below the cut. `cut ≥ 0`. The result fits in ≤ 25 bits for the f32
+/// path (24 kept bits plus a possible rounding carry).
+fn extract_bits_rne(limbs: &[u64; LIMBS], cut: i32) -> u64 {
+    let cut = cut.max(0) as usize;
+    let mut kept: u64 = 0;
+    // Collect up to 64 bits starting at `cut`.
+    let limb = cut / 64;
+    let off = (cut % 64) as u32;
+    if limb < LIMBS {
+        kept = limbs[limb] >> off;
+        if off > 0 && limb + 1 < LIMBS {
+            kept |= limbs[limb + 1] << (64 - off);
+        }
+        // Higher limbs beyond 64 kept bits would overflow the caller's
+        // expectation; callers guarantee the span above the cut is ≤ 64 bits.
+    }
+    // Guard bit (just below the cut) and sticky (everything below guard).
+    let (guard, sticky) = if cut == 0 {
+        (false, false)
+    } else {
+        let g_idx = cut - 1;
+        let guard = limbs[g_idx / 64] & (1u64 << (g_idx % 64)) != 0;
+        let mut sticky = false;
+        // Whole limbs strictly below the guard bit's limb.
+        for &l in &limbs[..g_idx / 64] {
+            if l != 0 {
+                sticky = true;
+                break;
+            }
+        }
+        if !sticky && !g_idx.is_multiple_of(64) {
+            let mask = (1u64 << (g_idx % 64)) - 1;
+            sticky = limbs[g_idx / 64] & mask != 0;
+        }
+        (guard, sticky)
+    };
+    if guard && (sticky || kept & 1 == 1) {
+        kept += 1;
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn zero_accumulator() {
+        let acc = KulischAcc::new();
+        assert!(acc.is_zero());
+        assert_eq!(acc.round_to_f32().to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn single_product_is_exact() {
+        let mut acc = KulischAcc::new();
+        acc.add_product(bf(1.5), bf(2.5));
+        assert_eq!(acc.round_to_f32(), 3.75);
+    }
+
+    #[test]
+    fn negative_sums() {
+        let mut acc = KulischAcc::new();
+        acc.add_product(bf(2.0), bf(-3.0));
+        acc.add_product(bf(1.0), bf(1.0));
+        assert_eq!(acc.round_to_f32(), -5.0);
+        assert!(acc.is_negative());
+    }
+
+    #[test]
+    fn perfect_cancellation() {
+        let mut acc = KulischAcc::new();
+        acc.add_product(bf(1e20), bf(1e18));
+        acc.add_product(bf(-1e20), bf(1e18));
+        acc.add_product(bf(1.0), bf(3.0));
+        assert!(!acc.is_zero());
+        assert_eq!(acc.round_to_f32(), 3.0);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_beats_f32() {
+        // In f32 sequential accumulation 1e30 + 1 − 1e30 = 0; exactly it is 1.
+        let mut acc = KulischAcc::new();
+        acc.add_product(bf(1e30), bf(1.0));
+        acc.add_product(bf(1.0), bf(1.0));
+        acc.add_product(bf(-1e30), bf(1.0));
+        assert_eq!(acc.round_to_f32(), 1.0);
+    }
+
+    #[test]
+    fn extremes_of_the_product_range() {
+        let mut acc = KulischAcc::new();
+        // Smallest subnormal squared: 2^-266.
+        acc.add_product(Bf16::MIN_POSITIVE_SUBNORMAL, Bf16::MIN_POSITIVE_SUBNORMAL);
+        assert!(!acc.is_zero());
+        // Underflows f32 → rounds to 0.
+        assert_eq!(acc.round_to_f32(), 0.0);
+        let lossy = acc.to_f64_lossy();
+        assert!(lossy > 0.0 && lossy < 1e-79);
+
+        let mut acc2 = KulischAcc::new();
+        acc2.add_product(Bf16::MAX, Bf16::MAX);
+        // ≈ 1.15e77, overflows f32 → +∞.
+        assert_eq!(acc2.round_to_f32(), f32::INFINITY);
+        assert!((acc2.to_f64_lossy() - Bf16::MAX.to_f64() * Bf16::MAX.to_f64()).abs() < 1e61);
+    }
+
+    #[test]
+    fn subnormal_f32_results_are_on_grid() {
+        let mut acc = KulischAcc::new();
+        // 2^-75 × 2^-75 = 2^-150 → exactly halfway between 0 and the
+        // smallest f32 subnormal 2^-149; ties-to-even → 0.
+        let tiny = Bf16::from_f32((-75.0f32).exp2());
+        acc.add_product(tiny, tiny);
+        assert_eq!(acc.round_to_f32(), 0.0);
+        // 3 × 2^-150 = 1.5 × 2^-149 → rounds to 2 × 2^-149.
+        let mut acc2 = KulischAcc::new();
+        acc2.add_product(tiny, tiny);
+        acc2.add_product(tiny, tiny);
+        acc2.add_product(tiny, tiny);
+        assert_eq!(acc2.round_to_f32(), 2.0 * (-149.0f32).exp2());
+    }
+
+    #[test]
+    fn rne_tie_to_even() {
+        // Construct a sum exactly halfway between two f32 values:
+        // 2^24 + 0.5 ulp: 16777216 + 1 = 16777217 is halfway between
+        // 16777216 and 16777218 in f32; RNE keeps 16777216.
+        let mut acc = KulischAcc::new();
+        acc.add_scaled(16_777_217, 0);
+        assert_eq!(acc.round_to_f32(), 16_777_216.0);
+        // 16777219 is halfway between 16777218 and 16777220 → even: 16777220.
+        let mut acc2 = KulischAcc::new();
+        acc2.add_scaled(16_777_219, 0);
+        assert_eq!(acc2.round_to_f32(), 16_777_220.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_adds() {
+        let mut a = KulischAcc::new();
+        let mut b = KulischAcc::new();
+        let mut both = KulischAcc::new();
+        for i in 0..50i64 {
+            let x = bf(i as f32 * 0.37 - 7.0);
+            let y = bf((i as f32).sin() * 12.0);
+            if i % 2 == 0 {
+                a.add_product(x, y);
+            } else {
+                b.add_product(x, y);
+            }
+            both.add_product(x, y);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn matches_f64_for_moderate_sums() {
+        // Where f64 is exact (few terms, moderate exponents), results agree.
+        let xs = [1.5f32, -0.25, 3.0, 100.0, -0.0625];
+        let ys = [2.0f32, 8.0, -0.5, 0.125, 4.0];
+        let mut acc = KulischAcc::new();
+        let mut reference = 0.0f64;
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let (bx, by) = (bf(x), bf(y));
+            acc.add_product(bx, by);
+            reference += bx.to_f64() * by.to_f64();
+        }
+        assert_eq!(acc.round_to_f32() as f64, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite operand")]
+    fn non_finite_product_panics() {
+        let mut acc = KulischAcc::new();
+        acc.add_product(Bf16::NAN, bf(1.0));
+    }
+
+    #[test]
+    fn add_scaled_zero_is_noop() {
+        let mut acc = KulischAcc::new();
+        acc.add_scaled(0, -400); // out-of-range pow is fine when mag == 0
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn many_term_accumulation_is_exact() {
+        // Σ i over 10⁵ terms, each as product i × 1.0 with i on the bf16 grid.
+        let mut acc = KulischAcc::new();
+        let mut reference = 0.0f64;
+        for i in 0..100_000u32 {
+            let x = bf((i % 250) as f32);
+            acc.add_product(x, Bf16::ONE);
+            reference += x.to_f64();
+        }
+        assert_eq!(acc.to_f64_lossy(), reference);
+    }
+}

@@ -1,0 +1,398 @@
+//! The OwL-P processing element (paper §IV-B, Fig. 4a).
+//!
+//! Each PE executes an **8-way integer dot product** over pre-aligned
+//! operands from the bias decoder. After each multiplication:
+//!
+//! * the product is shifted left by `4·(sh_a + sh_w)` — the deferred MSB
+//!   half of the two operands' bias shifts, realised by a cheap 3-way
+//!   `{0,4,8}` shifter instead of a per-operand barrel shifter;
+//! * the **path-selection unit** routes the result: products involving an
+//!   outlier operand bypass the vector-sum block onto the intra-PE outlier
+//!   path (at most `outlier paths` of them per cycle — the scheduler
+//!   guarantees this bound, the model enforces it); everything else is
+//!   accumulated into the normal partial sum.
+//!
+//! Products with a zero magnitude are routed to the vector sum regardless of
+//! tags: a zero contributes nothing, so it never needs (or occupies) an
+//! outlier path. This is what makes the scheduler's inserted zeros free and
+//! stored zeros harmless.
+
+use crate::error::ArithError;
+use owlp_format::decode::DecodedOperand;
+use serde::{Deserialize, Serialize};
+
+/// Static PE parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeConfig {
+    /// Dot-product width (8 in the paper).
+    pub lanes: usize,
+    /// Outlier paths reserved for activation-caused outlier products.
+    pub act_outlier_paths: usize,
+    /// Outlier paths reserved for weight-caused outlier products.
+    pub weight_outlier_paths: usize,
+}
+
+impl PeConfig {
+    /// The paper's chosen design point: 8 lanes, 4 outlier paths per PE
+    /// (2 for activations + 2 for weights; §VI-B).
+    pub const PAPER: PeConfig =
+        PeConfig { lanes: 8, act_outlier_paths: 2, weight_outlier_paths: 2 };
+
+    /// Total outlier paths per PE.
+    pub fn total_outlier_paths(&self) -> usize {
+        self.act_outlier_paths + self.weight_outlier_paths
+    }
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// One lane's multiplication result after the post-multiply shifter and
+/// path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneProduct {
+    /// Signed, fully shifted integer product.
+    pub mag: i64,
+    /// The power-of-two frame: `value = mag × 2^frame` exactly.
+    pub frame: i32,
+    /// Whether the activation operand was a (nonzero) outlier.
+    pub act_outlier: bool,
+    /// Whether the weight operand was a (nonzero) outlier.
+    pub weight_outlier: bool,
+}
+
+impl LaneProduct {
+    /// Whether the product takes the intra-PE outlier path.
+    pub fn takes_outlier_path(&self) -> bool {
+        self.mag != 0 && (self.act_outlier || self.weight_outlier)
+    }
+}
+
+/// A result travelling the outlier bypass path: the product plus the frame
+/// information the bottom-of-column align unit needs (paper §IV-C: `E_o` is
+/// `shared + outlier` or `outlier + outlier` depending on the operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlierResult {
+    /// Signed integer product.
+    pub mag: i64,
+    /// Exact frame exponent of the product.
+    pub frame: i32,
+}
+
+/// Output of one PE dot-product cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeOutput {
+    /// Accumulated normal partial sum, exact in the shared frame.
+    pub normal_sum: i64,
+    /// The shared frame: `2^(shared_a + shared_w − 268)`.
+    pub normal_frame: i32,
+    /// Outlier products bypassed this cycle (≤ total outlier paths).
+    pub outliers: Vec<OutlierResult>,
+    /// Lanes whose product was nonzero (for utilisation accounting).
+    pub active_lanes: usize,
+}
+
+/// Functional model of one OwL-P PE.
+///
+/// ```
+/// use owlp_arith::pe::{PeConfig, ProcessingElement};
+/// use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
+///
+/// # fn main() -> Result<(), owlp_arith::ArithError> {
+/// let w = ExponentWindow::owlp(125);
+/// let dec = BiasDecoder::new(w.base());
+/// let acts: Vec<_> = (1..=8).map(|i| dec.decode_bf16(Bf16::from_f32(i as f32 / 4.0), w)).collect();
+/// let wts: Vec<_> = (1..=8).map(|i| dec.decode_bf16(Bf16::from_f32(0.25 + i as f32 / 4.0), w)).collect();
+/// let pe = ProcessingElement::new(PeConfig::PAPER);
+/// let out = pe.dot(&acts, &wts, w.base(), w.base())?;
+/// assert!(out.outliers.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessingElement {
+    config: PeConfig,
+}
+
+impl ProcessingElement {
+    /// Creates a PE with the given configuration.
+    pub fn new(config: PeConfig) -> Self {
+        ProcessingElement { config }
+    }
+
+    /// The PE's configuration.
+    pub fn config(&self) -> PeConfig {
+        self.config
+    }
+
+    /// Multiplies one lane: integer product, `{0,4,8}` shift, frame
+    /// bookkeeping. Pure combinational model (no capacity check).
+    pub fn multiply_lane(
+        act: DecodedOperand,
+        wt: DecodedOperand,
+        shared_a: u8,
+        shared_w: u8,
+    ) -> LaneProduct {
+        let raw = act.mag as i64 * wt.mag as i64;
+        let shifted = raw << (4 * (act.sh as u32 + wt.sh as u32));
+        let mag = if act.sign ^ wt.sign { -shifted } else { shifted };
+        let ea = if act.tag {
+            
+            if act.exp == 0 { 1 } else { act.exp as i32 }
+        } else {
+            shared_a as i32
+        };
+        let ew = if wt.tag {
+            
+            if wt.exp == 0 { 1 } else { wt.exp as i32 }
+        } else {
+            shared_w as i32
+        };
+        LaneProduct {
+            mag,
+            frame: ea + ew - 2 * (127 + 7),
+            act_outlier: act.tag && mag != 0,
+            weight_outlier: wt.tag && mag != 0,
+        }
+    }
+
+    /// One dot-product cycle over up to `lanes` operand pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::DimensionMismatch`] if the slices differ in
+    /// length or exceed the lane count, and
+    /// [`ArithError::OutlierPathOverflow`] if path selection produces more
+    /// outlier results than the PE has paths — the condition the outlier
+    /// scheduler (paper §V-A) prevents by zero insertion.
+    pub fn dot(
+        &self,
+        acts: &[DecodedOperand],
+        wts: &[DecodedOperand],
+        shared_a: u8,
+        shared_w: u8,
+    ) -> Result<PeOutput, ArithError> {
+        if acts.len() != wts.len() {
+            return Err(ArithError::DimensionMismatch {
+                what: "pe lane operands",
+                expected: acts.len(),
+                actual: wts.len(),
+            });
+        }
+        if acts.len() > self.config.lanes {
+            return Err(ArithError::DimensionMismatch {
+                what: "pe lane count",
+                expected: self.config.lanes,
+                actual: acts.len(),
+            });
+        }
+        let normal_frame = shared_a as i32 + shared_w as i32 - 2 * (127 + 7);
+        let mut normal_sum: i64 = 0;
+        let mut outliers = Vec::new();
+        let mut act_out = 0usize;
+        let mut w_out = 0usize;
+        let mut active = 0usize;
+        for (&a, &w) in acts.iter().zip(wts) {
+            let lane = Self::multiply_lane(a, w, shared_a, shared_w);
+            if lane.mag != 0 {
+                active += 1;
+            }
+            if lane.takes_outlier_path() {
+                if lane.act_outlier {
+                    act_out += 1;
+                }
+                if lane.weight_outlier && !lane.act_outlier {
+                    w_out += 1;
+                }
+                outliers.push(OutlierResult { mag: lane.mag, frame: lane.frame });
+            } else {
+                debug_assert!(
+                    lane.mag == 0 || lane.frame == normal_frame,
+                    "normal product must live in the shared frame"
+                );
+                normal_sum += lane.mag;
+            }
+        }
+        if act_out > self.config.act_outlier_paths
+            || w_out > self.config.weight_outlier_paths
+            || outliers.len() > self.config.total_outlier_paths()
+        {
+            return Err(ArithError::OutlierPathOverflow {
+                produced: outliers.len(),
+                capacity: self.config.total_outlier_paths(),
+            });
+        }
+        Ok(PeOutput { normal_sum, normal_frame, outliers, active_lanes: active })
+    }
+
+    /// Like [`ProcessingElement::dot`] but without capacity enforcement —
+    /// used by the scheduler itself when *measuring* outlier pressure.
+    pub fn dot_unchecked(
+        &self,
+        acts: &[DecodedOperand],
+        wts: &[DecodedOperand],
+        shared_a: u8,
+        shared_w: u8,
+    ) -> PeOutput {
+        let normal_frame = shared_a as i32 + shared_w as i32 - 2 * (127 + 7);
+        let mut normal_sum: i64 = 0;
+        let mut outliers = Vec::new();
+        let mut active = 0usize;
+        for (&a, &w) in acts.iter().zip(wts) {
+            let lane = Self::multiply_lane(a, w, shared_a, shared_w);
+            if lane.mag != 0 {
+                active += 1;
+            }
+            if lane.takes_outlier_path() {
+                outliers.push(OutlierResult { mag: lane.mag, frame: lane.frame });
+            } else {
+                normal_sum += lane.mag;
+            }
+        }
+        PeOutput { normal_sum, normal_frame, outliers, active_lanes: active }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
+
+    fn setup(base: u8) -> (ExponentWindow, BiasDecoder) {
+        let w = ExponentWindow::owlp(base);
+        (w, BiasDecoder::new(base))
+    }
+
+    fn dec_all(xs: &[f32], dec: &BiasDecoder, w: ExponentWindow) -> Vec<DecodedOperand> {
+        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+    }
+
+    #[test]
+    fn normal_dot_product_is_exact() {
+        let (w, dec) = setup(124);
+        let acts = dec_all(&[1.0, 2.0, 0.5, 4.0, 1.5, 3.0, 0.25, 8.0], &dec, w);
+        let wts = dec_all(&[0.5, 0.5, 2.0, 0.25, 1.0, 1.0, 4.0, 0.125], &dec, w);
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        let out = pe.dot(&acts, &wts, 124, 124).unwrap();
+        assert!(out.outliers.is_empty());
+        let value = out.normal_sum as f64 * (out.normal_frame as f64).exp2();
+        let expect: f64 = [0.5, 1.0, 1.0, 1.0, 1.5, 3.0, 1.0, 1.0].iter().sum();
+        assert_eq!(value, expect);
+        assert_eq!(out.active_lanes, 8);
+    }
+
+    #[test]
+    fn shifter_applies_four_bits_per_sh() {
+        let (w, dec) = setup(124);
+        // bias 5 → sh=1, pre-shift 1 (value 2^(124+5-127)·1.0 = 4.0).
+        let a = dec.decode_bf16(Bf16::from_f32(4.0), w);
+        assert!(a.sh);
+        let b = dec.decode_bf16(Bf16::from_f32(4.0), w);
+        let lane = ProcessingElement::multiply_lane(a, b, 124, 124);
+        let value = lane.mag as f64 * (lane.frame as f64).exp2();
+        assert_eq!(value, 16.0);
+    }
+
+    #[test]
+    fn outlier_products_take_the_bypass_path() {
+        let (w, dec) = setup(124);
+        let mut acts = dec_all(&[1.0; 8], &dec, w);
+        acts[2] = dec.decode_bf16(Bf16::from_f32(1e30), w);
+        let wts = dec_all(&[2.0; 8], &dec, w);
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        let out = pe.dot(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(out.outliers.len(), 1);
+        let o = out.outliers[0];
+        let value = o.mag as f64 * (o.frame as f64).exp2();
+        let expect = Bf16::from_f32(1e30).to_f64() * 2.0;
+        assert_eq!(value, expect);
+        // Normal sum covers the remaining 7 lanes.
+        let normal = out.normal_sum as f64 * (out.normal_frame as f64).exp2();
+        assert_eq!(normal, 14.0);
+    }
+
+    #[test]
+    fn double_outlier_product_frame() {
+        let (w, dec) = setup(124);
+        let a = dec.decode_bf16(Bf16::from_f32(1e30), w);
+        let b = dec.decode_bf16(Bf16::from_f32(1e-30), w);
+        let lane = ProcessingElement::multiply_lane(a, b, 124, 124);
+        assert!(lane.act_outlier && lane.weight_outlier);
+        let value = lane.mag as f64 * (lane.frame as f64).exp2();
+        let expect = Bf16::from_f32(1e30).to_f64() * Bf16::from_f32(1e-30).to_f64();
+        assert_eq!(value, expect);
+    }
+
+    #[test]
+    fn zero_times_outlier_is_not_an_outlier_result() {
+        let (w, dec) = setup(124);
+        let zero = dec.decode_bf16(Bf16::ZERO, w);
+        let big = dec.decode_bf16(Bf16::from_f32(1e30), w);
+        let lane = ProcessingElement::multiply_lane(zero, big, 124, 124);
+        assert_eq!(lane.mag, 0);
+        assert!(!lane.takes_outlier_path());
+    }
+
+    #[test]
+    fn path_overflow_is_detected() {
+        let (w, dec) = setup(124);
+        let mut acts = dec_all(&[1.0; 8], &dec, w);
+        for lane in [0, 1, 2] {
+            acts[lane] = dec.decode_bf16(Bf16::from_f32(1e30), w);
+        }
+        let wts = dec_all(&[1.0; 8], &dec, w);
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        let err = pe.dot(&acts, &wts, 124, 124).unwrap_err();
+        assert!(matches!(err, ArithError::OutlierPathOverflow { produced: 3, .. }));
+        // The unchecked variant still measures all three.
+        let out = pe.dot_unchecked(&acts, &wts, 124, 124);
+        assert_eq!(out.outliers.len(), 3);
+    }
+
+    #[test]
+    fn weight_and_activation_paths_are_separate_budgets() {
+        let (w, dec) = setup(124);
+        let mut acts = dec_all(&[1.0; 8], &dec, w);
+        let mut wts = dec_all(&[1.0; 8], &dec, w);
+        // 2 activation outliers + 2 weight outliers on distinct lanes: legal.
+        acts[0] = dec.decode_bf16(Bf16::from_f32(1e25), w);
+        acts[1] = dec.decode_bf16(Bf16::from_f32(1e25), w);
+        wts[2] = dec.decode_bf16(Bf16::from_f32(1e-25), w);
+        wts[3] = dec.decode_bf16(Bf16::from_f32(1e-25), w);
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        let out = pe.dot(&acts, &wts, 124, 124).unwrap();
+        assert_eq!(out.outliers.len(), 4);
+        // A third activation outlier overflows the activation budget even
+        // though total paths (4) are not exhausted by activations alone.
+        acts[4] = dec.decode_bf16(Bf16::from_f32(1e25), w);
+        let err = pe.dot(&acts, &wts, 124, 124).unwrap_err();
+        assert!(matches!(err, ArithError::OutlierPathOverflow { .. }));
+    }
+
+    #[test]
+    fn mismatched_lanes_error() {
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        let op = DecodedOperand::ZERO;
+        assert!(matches!(
+            pe.dot(&[op; 3], &[op; 2], 120, 120),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            pe.dot(&[op; 9], &[op; 9], 120, 120),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn subnormal_operands_multiply_exactly() {
+        let (w, dec) = setup(124);
+        let tiny = dec.decode_bf16(Bf16::MIN_POSITIVE_SUBNORMAL, w);
+        let one = dec.decode_bf16(Bf16::ONE, w);
+        let lane = ProcessingElement::multiply_lane(tiny, one, 124, 124);
+        let value = lane.mag as f64 * (lane.frame as f64).exp2();
+        assert_eq!(value, Bf16::MIN_POSITIVE_SUBNORMAL.to_f64());
+    }
+}

@@ -1,0 +1,305 @@
+//! Register-accurate PE pipeline models.
+//!
+//! Table V contrasts the baseline's **4-stage** fused FP MAC pipeline with
+//! OwL-P's **2-stage** INT PE. This module models both at
+//! register-transfer granularity — issue an operand bundle per cycle,
+//! results emerge after the pipeline latency, one result per cycle at full
+//! throughput — so latency/occupancy claims can be tested rather than
+//! asserted, and so the event simulator's skew bookkeeping has a
+//! cycle-true reference for single PEs.
+//!
+//! The *values* computed are exactly those of [`crate::pe`] and
+//! [`crate::fpmac`]; the pipeline adds only timing.
+
+use crate::pe::{PeConfig, PeOutput, ProcessingElement};
+use owlp_format::decode::DecodedOperand;
+use owlp_format::Bf16;
+use serde::{Deserialize, Serialize};
+
+/// One in-flight OwL-P PE operation.
+#[derive(Debug, Clone, PartialEq)]
+struct OwlpBundle {
+    acts: Vec<DecodedOperand>,
+    wts: Vec<DecodedOperand>,
+    tag: u64,
+}
+
+/// A 2-stage OwL-P PE pipeline: stage 0 multiplies + shifts, stage 1
+/// path-selects + accumulates; a result retires every cycle once full.
+///
+/// ```
+/// use owlp_arith::pipeline::OwlpPePipeline;
+/// use owlp_arith::pe::PeConfig;
+///
+/// let mut pipe = OwlpPePipeline::new(PeConfig::PAPER, 124, 124);
+/// assert_eq!(pipe.latency(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwlpPePipeline {
+    pe: ProcessingElement,
+    shared_a: u8,
+    shared_w: u8,
+    stages: [Option<OwlpBundle>; 2],
+    cycle: u64,
+    retired: u64,
+}
+
+/// A retired result with its timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Retired<T> {
+    /// Caller-supplied tag identifying the issued bundle.
+    pub tag: u64,
+    /// Cycle at which the result left the pipeline.
+    pub cycle: u64,
+    /// The computed result.
+    pub result: T,
+}
+
+impl OwlpPePipeline {
+    /// Creates an empty pipeline bound to the tensors' shared exponents.
+    pub fn new(config: PeConfig, shared_a: u8, shared_w: u8) -> Self {
+        OwlpPePipeline {
+            pe: ProcessingElement::new(config),
+            shared_a,
+            shared_w,
+            stages: [None, None],
+            cycle: 0,
+            retired: 0,
+        }
+    }
+
+    /// Pipeline latency in cycles (Table V: 2 for OwL-P).
+    pub fn latency(&self) -> u32 {
+        2
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Results retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Advances one cycle, optionally issuing a new bundle, and returns the
+    /// retiring result, if any.
+    ///
+    /// The datapath itself never stalls (path-overflow inputs are the
+    /// scheduler's responsibility; they are evaluated with the unchecked
+    /// datapath here and surfaced in the output's outlier list).
+    pub fn step(
+        &mut self,
+        issue: Option<(u64, Vec<DecodedOperand>, Vec<DecodedOperand>)>,
+    ) -> Option<Retired<PeOutput>> {
+        self.cycle += 1;
+        // Stage 1 retires.
+        let retiring = self.stages[1].take().map(|b| {
+            self.retired += 1;
+            Retired {
+                tag: b.tag,
+                cycle: self.cycle,
+                result: self.pe.dot_unchecked(&b.acts, &b.wts, self.shared_a, self.shared_w),
+            }
+        });
+        // Stage 0 advances.
+        self.stages[1] = self.stages[0].take();
+        // Issue.
+        if let Some((tag, acts, wts)) = issue {
+            self.stages[0] = Some(OwlpBundle { acts, wts, tag });
+        }
+        retiring
+    }
+
+    /// Drains remaining in-flight operations, returning them in retirement
+    /// order.
+    pub fn drain(&mut self) -> Vec<Retired<PeOutput>> {
+        let mut out = Vec::new();
+        while self.stages.iter().any(Option::is_some) {
+            if let Some(r) = self.step(None) {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+/// One in-flight FMA operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FmaBundle {
+    a: Bf16,
+    b: Bf16,
+    acc_in: f32,
+    tag: u64,
+}
+
+/// The baseline 4-stage fused FP MAC pipeline: multiply, align, add,
+/// normalise/round. Accumulator forwarding is the caller's concern (in a
+/// systolic column the psum arrives from the PE above, so no same-PE
+/// read-after-write hazard exists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmaPipeline {
+    stages: [Option<FmaBundle>; 4],
+    cycle: u64,
+    retired: u64,
+}
+
+impl Default for FmaPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FmaPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        FmaPipeline { stages: [None; 4], cycle: 0, retired: 0 }
+    }
+
+    /// Pipeline latency in cycles (Table V: 4 for the baseline).
+    pub fn latency(&self) -> u32 {
+        4
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Results retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Advances one cycle; `issue` is `(tag, a, b, acc_in)`.
+    pub fn step(&mut self, issue: Option<(u64, Bf16, Bf16, f32)>) -> Option<Retired<f32>> {
+        self.cycle += 1;
+        let retiring = self.stages[3].take().map(|b| {
+            self.retired += 1;
+            Retired {
+                tag: b.tag,
+                cycle: self.cycle,
+                result: b.acc_in + b.a.to_f32() * b.b.to_f32(),
+            }
+        });
+        self.stages[3] = self.stages[2].take();
+        self.stages[2] = self.stages[1].take();
+        self.stages[1] = self.stages[0].take();
+        if let Some((tag, a, b, acc_in)) = issue {
+            self.stages[0] = Some(FmaBundle { a, b, acc_in, tag });
+        }
+        retiring
+    }
+
+    /// Drains remaining in-flight operations.
+    pub fn drain(&mut self) -> Vec<Retired<f32>> {
+        let mut out = Vec::new();
+        while self.stages.iter().any(Option::is_some) {
+            if let Some(r) = self.step(None) {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{BiasDecoder, ExponentWindow};
+
+    fn ops(xs: &[f32]) -> Vec<DecodedOperand> {
+        let w = ExponentWindow::owlp(124);
+        let dec = BiasDecoder::new(124);
+        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+    }
+
+    #[test]
+    fn owlp_latency_is_two_cycles() {
+        // An op issued on step k retires on step k + latency.
+        let mut p = OwlpPePipeline::new(PeConfig::PAPER, 124, 124);
+        let acts = ops(&[1.0; 8]);
+        let wts = ops(&[2.0; 8]);
+        assert!(p.step(Some((7, acts, wts))).is_none()); // step 1: stage 0
+        assert!(p.step(None).is_none()); // step 2: stage 1
+        let r = p.step(None).expect("retires 2 cycles after issue"); // step 3
+        assert_eq!(r.tag, 7);
+        assert_eq!(r.cycle, 1 + p.latency() as u64);
+        let v = r.result.normal_sum as f64 * (r.result.normal_frame as f64).exp2();
+        assert_eq!(v, 16.0);
+    }
+
+    #[test]
+    fn fma_latency_is_four_cycles() {
+        let mut p = FmaPipeline::new();
+        assert!(p.step(Some((1, Bf16::from_f32(3.0), Bf16::from_f32(2.0), 1.0))).is_none());
+        for _ in 0..3 {
+            assert!(p.step(None).is_none());
+        }
+        let r = p.step(None).expect("retires 4 cycles after issue");
+        assert_eq!(r.result, 7.0);
+        assert_eq!(r.cycle, 1 + p.latency() as u64);
+    }
+
+    #[test]
+    fn full_throughput_one_result_per_cycle() {
+        let mut p = OwlpPePipeline::new(PeConfig::PAPER, 124, 124);
+        let acts = ops(&[1.0; 8]);
+        let wts = ops(&[1.0; 8]);
+        let mut retired = 0u64;
+        for i in 0..100u64 {
+            if p.step(Some((i, acts.clone(), wts.clone()))).is_some() {
+                retired += 1;
+            }
+        }
+        retired += p.drain().len() as u64;
+        assert_eq!(retired, 100);
+        // 100 issues retire in 100 + latency cycles.
+        assert_eq!(p.cycle(), 100 + 2);
+    }
+
+    #[test]
+    fn results_retire_in_issue_order() {
+        let mut p = FmaPipeline::new();
+        let mut tags = Vec::new();
+        for i in 0..20u64 {
+            if let Some(r) =
+                p.step(Some((i, Bf16::from_f32(i as f32), Bf16::ONE, 0.0)))
+            {
+                tags.push(r.tag);
+            }
+        }
+        tags.extend(p.drain().into_iter().map(|r| r.tag));
+        assert_eq!(tags, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipeline_values_match_the_functional_models() {
+        // FMA pipeline result == fp arithmetic; OwL-P pipeline result ==
+        // ProcessingElement::dot_unchecked.
+        let acts = ops(&[1.5, 2.0, 0.5, 1.0, 3.0, 0.25, 1.25, 2.5]);
+        let wts = ops(&[0.5, 1.0, 2.0, 4.0, 0.5, 4.0, 1.0, 0.5]);
+        let mut p = OwlpPePipeline::new(PeConfig::PAPER, 124, 124);
+        p.step(Some((0, acts.clone(), wts.clone())));
+        let r = p.drain().remove(0);
+        let pe = ProcessingElement::new(PeConfig::PAPER);
+        assert_eq!(r.result, pe.dot_unchecked(&acts, &wts, 124, 124));
+    }
+
+    #[test]
+    fn bubbles_pass_through() {
+        let mut p = OwlpPePipeline::new(PeConfig::PAPER, 124, 124);
+        let acts = ops(&[1.0; 8]);
+        let wts = ops(&[1.0; 8]);
+        p.step(Some((1, acts.clone(), wts.clone()))); // step 1
+        p.step(None); // step 2: op 1 in stage 1
+        assert_eq!(p.retired(), 0);
+        p.step(Some((2, acts, wts))); // step 3: op 1 retires, op 2 issues
+        assert_eq!(p.retired(), 1);
+        p.step(None); // step 4
+        assert_eq!(p.retired(), 1);
+        p.step(None); // step 5: op 2 retires (the bubble flowed through)
+        assert_eq!(p.retired(), 2);
+    }
+}

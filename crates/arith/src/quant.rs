@@ -1,0 +1,413 @@
+//! Comparison quantization schemes (paper Table I).
+//!
+//! Table I positions OwL-P against three families:
+//!
+//! | scheme | arithmetic | numerical accuracy |
+//! |---|---|---|
+//! | plain INT8 quantization | INT | heavy approximation |
+//! | INT8 + FP outliers (LLM.int8-style) | INT + FP | heavy approx. for normals |
+//! | block floating point (MX-style) | INT + α | light approximation |
+//! | **OwL-P** | INT + α | **same as FP** |
+//!
+//! This module implements all three comparators as functional GEMMs plus the
+//! error metrics used by the `repro table1` experiment. The exact reference
+//! is [`crate::exact::exact_gemm_f64`].
+
+use owlp_format::Bf16;
+use serde::{Deserialize, Serialize};
+
+/// Plain symmetric per-tensor INT8 quantized GEMM: both operands quantized
+/// with scale `max|x| / 127`, products accumulated in `i32`/`i64`, one
+/// dequantization at the end.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn int8_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let (qa, sa) = quantize_int8(a);
+    let (qb, sb) = quantize_int8(b);
+    let scale = sa * sb;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for kk in 0..k {
+                acc += qa[i * k + kk] as i64 * qb[kk * n + j] as i64;
+            }
+            out[i * n + j] = (acc as f64 * scale) as f32;
+        }
+    }
+    out
+}
+
+/// INT8 + FP-outlier GEMM (LLM.int8-style): values whose magnitude exceeds
+/// `threshold_sigmas` standard deviations stay in FP32 and are accumulated
+/// on a separate FP path; the rest are INT8-quantized over the clipped
+/// range. The two partial results are added in FP32.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a non-positive threshold.
+pub fn int8_outlier_gemm(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+    threshold_sigmas: f64,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert!(threshold_sigmas > 0.0, "threshold must be positive");
+    let (qa, sa, fa) = split_quantize(a, threshold_sigmas);
+    let (qb, sb, fb) = split_quantize(b, threshold_sigmas);
+    let scale = sa * sb;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut int_acc: i64 = 0;
+            let mut fp_acc: f32 = 0.0;
+            for kk in 0..k {
+                let (ia, ib) = (i * k + kk, kk * n + j);
+                match (fa[ia], fb[ib]) {
+                    (None, None) => int_acc += qa[ia] as i64 * qb[ib] as i64,
+                    // Any outlier operand routes the product to the FP unit;
+                    // the non-outlier side is dequantized for the multiply.
+                    (Some(x), None) => fp_acc += x * (qb[ib] as f64 * sb) as f32,
+                    (None, Some(y)) => fp_acc += (qa[ia] as f64 * sa) as f32 * y,
+                    (Some(x), Some(y)) => fp_acc += x * y,
+                }
+            }
+            out[i * n + j] = (int_acc as f64 * scale) as f32 + fp_acc;
+        }
+    }
+    out
+}
+
+/// Weight-only INT8 quantized GEMM (AWQ/GPTQ-style deployment, computed
+/// FIGNA-style as FP-INT): weights are quantized per tensor to INT8, then
+/// dequantized and multiplied against full-precision BF16 activations with
+/// FP32 sequential accumulation. Activations keep full precision (which is
+/// why the scheme is popular), but the weight grid still approximates and
+/// the FP fallback costs the hardware the paper wants to avoid (§II-A).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn weight_only_int8_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    let (qb, sb) = quantize_int8(b);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                // Dequantize-then-FP-multiply, as weight-only inference
+                // kernels do.
+                let w = (qb[kk * n + j] as f64 * sb) as f32;
+                acc += a[i * k + kk].to_f32() * w;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Block-floating-point GEMM (MX/MSFP-style): along the reduction dimension,
+/// each `block` of values shares the maximum exponent; mantissas are rounded
+/// to `mant_bits` total bits (sign + magnitude, hidden bit materialised).
+/// Values more than `mant_bits − 1` exponent steps below the block max are
+/// flushed toward zero — the approximation outliers inflict on block FP
+/// (paper §II-A).
+///
+/// # Panics
+///
+/// Panics on shape mismatch, `block == 0`, or `mant_bits` outside `2..=15`.
+pub fn blockfp_gemm(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+    block: usize,
+    mant_bits: u32,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert!(block > 0, "block size must be positive");
+    assert!((2..=15).contains(&mant_bits), "mantissa width out of range");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            let mut kk = 0;
+            while kk < k {
+                let hi = (kk + block).min(k);
+                // Shared exponent = max exponent in the block across the row
+                // of A and column of B separately (per-operand blocks).
+                let ea = block_max_exp(&a[i * k + kk..i * k + hi]);
+                let eb = block_max_exp_strided(b, kk, hi, n, j);
+                for idx in kk..hi {
+                    let qa = quantize_blockfp(a[i * k + idx], ea, mant_bits);
+                    let qb = quantize_blockfp(b[idx * n + j], eb, mant_bits);
+                    acc += qa * qb;
+                }
+                kk = hi;
+            }
+            out[i * n + j] = acc as f32;
+        }
+    }
+    out
+}
+
+fn block_max_exp(xs: &[Bf16]) -> i32 {
+    xs.iter().map(|x| x.exponent_bits() as i32).max().unwrap_or(0).max(1)
+}
+
+fn block_max_exp_strided(b: &[Bf16], lo: usize, hi: usize, n: usize, j: usize) -> i32 {
+    (lo..hi).map(|kk| b[kk * n + j].exponent_bits() as i32).max().unwrap_or(0).max(1)
+}
+
+/// Quantizes one value onto the block grid `2^(emax − 127 − (mant_bits − 2))`.
+fn quantize_blockfp(x: Bf16, emax: i32, mant_bits: u32) -> f64 {
+    let grid = (emax - 127 - (mant_bits as i32 - 2)) as f64;
+    let step = grid.exp2();
+    let q = (x.to_f64() / step).round();
+    let limit = ((1i64 << (mant_bits - 1)) - 1) as f64;
+    q.clamp(-limit, limit) * step
+}
+
+fn quantize_int8(xs: &[Bf16]) -> (Vec<i8>, f64) {
+    let max_abs = xs.iter().map(|x| x.to_f64().abs()).fold(0.0f64, f64::max);
+    if max_abs == 0.0 {
+        return (vec![0; xs.len()], 1.0);
+    }
+    let scale = max_abs / 127.0;
+    let q = xs
+        .iter()
+        .map(|x| (x.to_f64() / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+/// Splits into (quantized normals, scale, per-element FP outliers).
+fn split_quantize(xs: &[Bf16], sigmas: f64) -> (Vec<i8>, f64, Vec<Option<f32>>) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().map(|x| x.to_f64()).sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x.to_f64() - mean).powi(2)).sum::<f64>() / n;
+    let threshold = sigmas * var.sqrt();
+    let outlier: Vec<Option<f32>> = xs
+        .iter()
+        .map(|x| {
+            let v = x.to_f64();
+            if threshold > 0.0 && (v - mean).abs() > threshold {
+                Some(x.to_f32())
+            } else {
+                None
+            }
+        })
+        .collect();
+    let max_abs = xs
+        .iter()
+        .zip(&outlier)
+        .filter(|(_, o)| o.is_none())
+        .map(|(x, _)| x.to_f64().abs())
+        .fold(0.0f64, f64::max);
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let q = xs
+        .iter()
+        .zip(&outlier)
+        .map(|(x, o)| {
+            if o.is_some() {
+                0
+            } else {
+                (x.to_f64() / scale).round().clamp(-127.0, 127.0) as i8
+            }
+        })
+        .collect();
+    (q, scale, outlier)
+}
+
+/// Aggregate error metrics against an exact reference.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Largest relative error.
+    pub max_rel: f64,
+    /// Mean relative error.
+    pub mean_rel: f64,
+    /// Root-mean-square relative error.
+    pub rms_rel: f64,
+    /// Elements that match the correctly-rounded f32 reference bit-for-bit.
+    pub bit_exact: usize,
+    /// Total elements compared.
+    pub total: usize,
+}
+
+impl ErrorStats {
+    /// Compares an approximate f32 result against the exact f64 reference.
+    ///
+    /// Relative error uses `max(|exact|, floor)` as denominator so that
+    /// near-zero references do not blow up the metric; `floor` is the RMS
+    /// magnitude of the reference.
+    pub fn compare(approx: &[f32], exact: &[f64]) -> ErrorStats {
+        assert_eq!(approx.len(), exact.len(), "length mismatch");
+        if approx.is_empty() {
+            return ErrorStats::default();
+        }
+        let floor = (exact.iter().map(|e| e * e).sum::<f64>() / exact.len() as f64)
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
+        let mut max_rel = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        let mut bit_exact = 0usize;
+        for (&a, &e) in approx.iter().zip(exact) {
+            let rel = (a as f64 - e).abs() / e.abs().max(floor);
+            max_rel = max_rel.max(rel);
+            sum += rel;
+            sq += rel * rel;
+            if a.to_bits() == (e as f32).to_bits() {
+                bit_exact += 1;
+            }
+        }
+        let n = approx.len() as f64;
+        ErrorStats {
+            max_rel,
+            mean_rel: sum / n,
+            rms_rel: (sq / n).sqrt(),
+            bit_exact,
+            total: approx.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_gemm, exact_gemm_f64};
+    use crate::gemm::owlp_gemm;
+
+    /// Narrow-band magnitudes (the LLM-like core distribution) with
+    /// occasional ×64 outliers — the regime Table I's comparison assumes.
+    fn synth(len: usize, seed: u64, outlier_every: usize) -> Vec<Bf16> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+                let sign = if state & (1 << 13) == 0 { 1.0 } else { -1.0 };
+                let base = sign * (0.75 + u * 0.5);
+                let v = if outlier_every > 0 && i % outlier_every == outlier_every - 1 {
+                    base * 64.0
+                } else {
+                    base
+                };
+                Bf16::from_f32(v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int8_is_a_heavy_approximation() {
+        let a = synth(8 * 32, 1, 13);
+        let b = synth(32 * 8, 2, 17);
+        let exact = exact_gemm_f64(&a, &b, 8, 32, 8);
+        let q = int8_gemm(&a, &b, 8, 32, 8);
+        let stats = ErrorStats::compare(&q, &exact);
+        assert!(stats.mean_rel > 1e-3, "int8 error unexpectedly small: {stats:?}");
+    }
+
+    #[test]
+    fn outlier_aware_int8_beats_plain_int8_with_outliers() {
+        let a = synth(8 * 64, 3, 9);
+        let b = synth(64 * 8, 4, 11);
+        let exact = exact_gemm_f64(&a, &b, 8, 64, 8);
+        let plain = ErrorStats::compare(&int8_gemm(&a, &b, 8, 64, 8), &exact);
+        let aware = ErrorStats::compare(&int8_outlier_gemm(&a, &b, 8, 64, 8, 3.0), &exact);
+        assert!(
+            aware.mean_rel < plain.mean_rel,
+            "outlier-aware {aware:?} should beat plain {plain:?}"
+        );
+    }
+
+    #[test]
+    fn blockfp_is_a_light_approximation() {
+        // In the outlier-bearing regime the paper targets, per-tensor INT8
+        // scales stretch to the outliers and crush the normal values, while
+        // block FP localises the damage to outlier-containing blocks.
+        let a = synth(8 * 64, 5, 16);
+        let b = synth(64 * 8, 6, 16);
+        let exact = exact_gemm_f64(&a, &b, 8, 64, 8);
+        let bfp = ErrorStats::compare(&blockfp_gemm(&a, &b, 8, 64, 8, 32, 8), &exact);
+        let int8 = ErrorStats::compare(&int8_gemm(&a, &b, 8, 64, 8), &exact);
+        assert!(bfp.mean_rel > 0.0, "block fp still approximates");
+        assert!(bfp.mean_rel < int8.mean_rel, "bfp {bfp:?} vs int8 {int8:?}");
+    }
+
+    #[test]
+    fn blockfp_crushes_normals_that_share_a_block_with_an_outlier() {
+        // §II-A: an outlier stretches the block's shared exponent, wiping
+        // out the mantissa bits of the normal values next to it.
+        let x = Bf16::from_f32(0.8046875); // a typical normal value
+        let clean_emax = 127; // block max ~1.0
+        let dirty_emax = 127 + 8; // block contains a ×256 outlier
+        let q_clean = quantize_blockfp(x, clean_emax, 8);
+        let q_dirty = quantize_blockfp(x, dirty_emax, 8);
+        let rel_clean = (q_clean - x.to_f64()).abs() / x.to_f64();
+        let rel_dirty = (q_dirty - x.to_f64()).abs() / x.to_f64();
+        assert!(rel_clean < 0.02, "clean block keeps normals accurate: {rel_clean}");
+        assert!(rel_dirty > 0.1, "dirty block crushes normals: {rel_dirty}");
+        // The outlier itself is represented fine either way.
+        let big = Bf16::from_f32(0.8046875 * 256.0);
+        let q_big = quantize_blockfp(big, dirty_emax, 8);
+        assert!((q_big - big.to_f64()).abs() / big.to_f64() < 0.02);
+    }
+
+    #[test]
+    fn weight_only_sits_between_full_int8_and_fp() {
+        // Full-precision activations fix half the problem: error lands
+        // between plain INT8 and the (near-exact) FP baseline.
+        let a = synth(8 * 64, 11, 16);
+        let b = synth(64 * 8, 12, 16);
+        let exact = exact_gemm_f64(&a, &b, 8, 64, 8);
+        let wo = ErrorStats::compare(&weight_only_int8_gemm(&a, &b, 8, 64, 8), &exact);
+        let full = ErrorStats::compare(&int8_gemm(&a, &b, 8, 64, 8), &exact);
+        assert!(wo.mean_rel < full.mean_rel, "{wo:?} vs {full:?}");
+        assert!(wo.mean_rel > 1e-6, "weight grid still approximates: {wo:?}");
+    }
+
+    #[test]
+    fn owlp_is_bit_exact_where_all_schemes_approximate() {
+        let a = synth(4 * 48, 9, 12);
+        let b = synth(48 * 4, 10, 15);
+        let exact64 = exact_gemm_f64(&a, &b, 4, 48, 4);
+        let exact32 = exact_gemm(&a, &b, 4, 48, 4);
+        let owlp = owlp_gemm(&a, &b, 4, 48, 4).unwrap();
+        let stats = ErrorStats::compare(&owlp.output, &exact64);
+        assert_eq!(stats.bit_exact, stats.total, "owlp must be correctly rounded everywhere");
+        for (x, y) in owlp.output.iter().zip(&exact32) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_tensor_edge_cases() {
+        let a = vec![Bf16::ZERO; 4];
+        let b = vec![Bf16::ZERO; 4];
+        assert_eq!(int8_gemm(&a, &b, 2, 2, 2), vec![0.0; 4]);
+        assert_eq!(int8_outlier_gemm(&a, &b, 2, 2, 2, 3.0), vec![0.0; 4]);
+        assert_eq!(blockfp_gemm(&a, &b, 2, 2, 2, 2, 8), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn error_stats_on_identical_inputs() {
+        let exact = vec![1.0f64, -2.0, 3.5];
+        let approx: Vec<f32> = exact.iter().map(|&x| x as f32).collect();
+        let s = ErrorStats::compare(&approx, &exact);
+        assert_eq!(s.bit_exact, 3);
+        assert_eq!(s.max_rel, 0.0);
+    }
+}

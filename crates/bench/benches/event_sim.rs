@@ -1,0 +1,39 @@
+//! Criterion: event-driven array simulation cost — cycle-accurate GEMMs on
+//! small arrays, scheduled vs unscheduled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use owlp_systolic::event_sim::{simulate_gemm, simulate_gemm_unscheduled};
+use owlp_systolic::ArrayConfig;
+
+fn bench_event_sim(c: &mut Criterion) {
+    let act = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let wt =
+        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Weight, Dataset::WikiText2);
+    let mut group = c.benchmark_group("event_sim");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(m, k, n) in &[(8usize, 64usize, 8usize), (16, 128, 16)] {
+        let a = TensorGen::new(act, m, k).values(4);
+        let b = TensorGen::new(wt, k, n).values(5);
+        let cfg = ArrayConfig::small(4, 4, 8);
+        let shape = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("scheduled", &shape), &(), |bench, _| {
+            bench.iter(|| simulate_gemm(&cfg, &a, &b, m, k, n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("unscheduled", &shape), &(), |bench, _| {
+            bench.iter(|| simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_sim);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: functional GEMM kernel throughput — the OwL-P INT datapath
+//! versus the FP32-sequential baseline versus the exact Kulisch reference,
+//! plus the Table I quantization comparators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use owlp_arith::exact::exact_gemm;
+use owlp_arith::fpmac::fp_mac_gemm;
+use owlp_arith::gemm::owlp_gemm;
+use owlp_arith::quant::{blockfp_gemm, int8_gemm};
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+
+fn bench_gemms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(m, k, n) in &[(8usize, 64usize, 8usize), (16, 256, 16), (32, 512, 32)] {
+        let act = profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Activation,
+            Dataset::WikiText2,
+        );
+        let wt =
+            profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+        let a = TensorGen::new(act, m, k).values(1);
+        let b = TensorGen::new(wt, k, n).values(2);
+        let macs = (m * k * n) as u64;
+        group.throughput(Throughput::Elements(macs));
+        let shape = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("owlp_int_datapath", &shape), &(), |bench, _| {
+            bench.iter(|| owlp_gemm(&a, &b, m, k, n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fp32_sequential", &shape), &(), |bench, _| {
+            bench.iter(|| fp_mac_gemm(&a, &b, m, k, n))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_kulisch", &shape), &(), |bench, _| {
+            bench.iter(|| exact_gemm(&a, &b, m, k, n))
+        });
+        group.bench_with_input(BenchmarkId::new("int8_quant", &shape), &(), |bench, _| {
+            bench.iter(|| int8_gemm(&a, &b, m, k, n))
+        });
+        group.bench_with_input(BenchmarkId::new("blockfp", &shape), &(), |bench, _| {
+            bench.iter(|| blockfp_gemm(&a, &b, m, k, n, 32, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemms);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: outlier-scheduling throughput — mask statistics and
+//! zero-insertion splitting at realistic tensor sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use owlp_systolic::schedule::OutlierSchedule;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let p = profile_for(
+        ModelId::Llama2_7b,
+        OpKind::QkvProj,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let (m, k) = (512usize, 2048usize);
+    let gen = TensorGen::new(p, m, k);
+    let mask = gen.mask(7);
+    let ops_row: Vec<_> = {
+        let values = TensorGen::new(p, 1, 32).values(9);
+        let enc = owlp_format::encode_tensor(&values, None).unwrap();
+        enc.decode_operands()
+    };
+
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements((m * k) as u64));
+    for paths in [1usize, 2, 4] {
+        let sched = OutlierSchedule::new(32, paths, paths);
+        group.bench_with_input(
+            BenchmarkId::new("activation_stats", paths),
+            &sched,
+            |b, sched| b.iter(|| sched.activation_stats(&mask, m, k)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weight_stats", paths),
+            &sched,
+            |b, sched| b.iter(|| sched.weight_stats(&mask, m, k)),
+        );
+    }
+    let sched = OutlierSchedule::new(32, 2, 2);
+    group.bench_function("split_activation_row_32", |b| {
+        b.iter(|| sched.split_activation_row(&ops_row))
+    });
+    group.bench_function("mask_generation_512x2048", |b| b.iter(|| gen.mask(7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

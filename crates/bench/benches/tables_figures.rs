@@ -1,0 +1,22 @@
+//! Criterion: cost of regenerating each paper artefact end to end — the
+//! repro harness itself as a benchmark (keeps `repro all` fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use owlp_bench::{eq34, fig1, fig11, fig9, table1, table5, SEED};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("table1_accuracy", |b| b.iter(|| table1::run(SEED)));
+    group.bench_function("fig1_histogram", |b| b.iter(|| fig1::run(SEED)));
+    group.bench_function("fig9_area_power_sweep", |b| b.iter(fig9::run));
+    group.bench_function("table5_design_rollup", |b| b.iter(table5::run));
+    group.bench_function("fig11_ten_workloads", |b| b.iter(fig11::run));
+    group.bench_function("eq34_validation", |b| b.iter(|| eq34::run(SEED)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

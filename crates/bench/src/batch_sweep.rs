@@ -1,0 +1,86 @@
+//! Batch-size sweep — supporting analysis for the paper's §VI-C setup.
+//!
+//! The paper evaluates generation at batch 32 (continuous batching). This
+//! sweep shows why the batch size matters: at batch 1 the decode phase is
+//! purely bandwidth-bound, so OwL-P's advantage collapses to the
+//! compression ratio (~1.4×); by batch 32 the workload re-enters the
+//! compute-bound regime where the 3× MAC density dominates.
+
+use crate::render::{ratio, TextTable};
+use owlp_core::report::Comparison;
+use owlp_core::Accelerator;
+use owlp_model::{workload, Dataset, ModelId};
+use serde::{Deserialize, Serialize};
+
+/// Swept batch sizes.
+pub const BATCHES: [usize; 6] = [1, 4, 8, 16, 32, 64];
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSweep {
+    /// `(batch, speedup, energy_ratio)` per point.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+/// Runs the sweep on Llama2-7B generation (256 tokens).
+pub fn run() -> BatchSweep {
+    let base = Accelerator::baseline();
+    let owlp = Accelerator::owlp();
+    let points = BATCHES
+        .iter()
+        .map(|&batch| {
+            let wl = workload::generation_workload(ModelId::Llama2_7b, batch, 128, 256);
+            let b = base.simulate(&wl, Dataset::WikiText2);
+            let o = owlp.simulate(&wl, Dataset::WikiText2);
+            let c = Comparison::between(&b, &o);
+            (batch, c.speedup, c.energy_ratio)
+        })
+        .collect();
+    BatchSweep { points }
+}
+
+/// Renders the sweep.
+pub fn render(s: &BatchSweep) -> String {
+    let mut t = TextTable::new(["batch", "speedup", "energy savings"]);
+    for &(b, sp, en) in &s.points {
+        t.row([b.to_string(), ratio(sp), ratio(en)]);
+    }
+    format!(
+        "Batch sweep — Llama2-7B generation (256 tokens)\n\
+         (at batch 1 OwL-P hits the bandwidth wall — its gain is capped by\n\
+          the fill-overhead-bound baseline vs its own compressed transfers;\n\
+          growing the batch re-enters the compute-bound regime where the 3x\n\
+          MAC density minus scheduling overhead shows fully)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_batch_and_spans_the_two_regimes() {
+        let s = run();
+        let get = |b: usize| s.points.iter().find(|p| p.0 == b).unwrap().1;
+        // Monotone non-decreasing across the sweep.
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 0.02, "{:?}", s.points);
+        }
+        // Bandwidth-capped floor at small batch...
+        assert!((1.5..=2.3).contains(&get(1)), "batch-1 speedup {}", get(1));
+        // ...compute-bound ceiling near 3× minus overheads, clearly above
+        // the floor.
+        assert!(get(64) > 2.6, "batch-64 speedup {}", get(64));
+        assert!(get(64) - get(1) > 0.5);
+    }
+
+    #[test]
+    fn energy_savings_exceed_speedup_at_every_batch() {
+        // The per-MAC energy advantage applies even when bandwidth-bound.
+        let s = run();
+        for &(b, sp, en) in &s.points {
+            assert!(en > sp * 0.9, "batch {b}: energy {en} vs speedup {sp}");
+        }
+    }
+}

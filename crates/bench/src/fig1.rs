@@ -1,0 +1,89 @@
+//! Fig. 1 — exponent distribution of the layer-0 FFN weights of GPT2-Base.
+//!
+//! Synthesises the corresponding weight tensor, builds the exponent
+//! histogram with `owlp-format::stats`, and renders it as a text bar chart
+//! with the densest 7-exponent window (the paper's "normal values")
+//! marked.
+
+use crate::render::bar;
+use owlp_format::stats::ExponentHistogram;
+use owlp_format::{ExponentWindow, NORMAL_WINDOW_WIDTH};
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 1 experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// `(exponent, count)` series, sorted by exponent.
+    pub series: Vec<(u8, u64)>,
+    /// The densest 7-exponent window.
+    pub window: (u8, u8),
+    /// Fraction of values inside the window.
+    pub normal_ratio: f64,
+}
+
+/// Runs the Fig. 1 experiment.
+pub fn run(seed: u64) -> Fig1 {
+    let p = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+    // GPT2-Base layer-0 FFN-up weight: 768 × 3072.
+    let t = TensorGen::new(p, 768, 3072).values(seed);
+    let hist = ExponentHistogram::from_values(&t);
+    let window: ExponentWindow = hist.densest_window(NORMAL_WINDOW_WIDTH);
+    Fig1 {
+        series: hist.series(),
+        window: (window.base(), window.last()),
+        normal_ratio: hist.normal_ratio(window),
+    }
+}
+
+/// Renders the histogram.
+pub fn render(f: &Fig1) -> String {
+    let max = f.series.iter().map(|&(_, c)| c).max().unwrap_or(1) as f64;
+    let mut out = String::from(
+        "Fig. 1 — exponent distribution, GPT2-Base layer-0 FFN weights\n(← outliers | [window] normal values | outliers →)\n",
+    );
+    for &(e, c) in &f.series {
+        let marker = if e >= f.window.0 && e <= f.window.1 { "*" } else { " " };
+        out.push_str(&format!(
+            "  exp {e:>3} {marker} {:>9}  {}\n",
+            c,
+            bar(c as f64 / max, 50)
+        ));
+    }
+    out.push_str(&format!(
+        "window [{}..{}] covers {:.1}% of values (paper: 98.4% for GPT2-Base FFN weights)\n",
+        f.window.0,
+        f.window.1,
+        f.normal_ratio * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_covers_about_98_percent() {
+        let f = run(crate::SEED);
+        assert!((0.973..=0.995).contains(&f.normal_ratio), "{}", f.normal_ratio);
+    }
+
+    #[test]
+    fn distribution_is_bell_shaped_with_tails() {
+        let f = run(crate::SEED);
+        // The peak bin sits inside the window; bins exist outside it.
+        let peak = f.series.iter().max_by_key(|&&(_, c)| c).unwrap().0;
+        assert!(peak >= f.window.0 && peak <= f.window.1);
+        assert!(f.series.iter().any(|&(e, _)| e < f.window.0 || e > f.window.1));
+    }
+
+    #[test]
+    fn render_marks_window_bins() {
+        let f = run(crate::SEED);
+        let s = render(&f);
+        assert!(s.contains("Fig. 1"));
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 10 — `r_a` versus activation outlier paths (a) and `r_w` versus
+//! weight outlier paths (b) for the GPT2 and Llama2 families on WikiText-2.
+
+use crate::render::{rval, TextTable};
+use crate::{measured_ra, measured_rw};
+use owlp_model::{Dataset, ModelId, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Swept path counts.
+pub const PATHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Models plotted in Fig. 10.
+pub const MODELS: [ModelId; 4] =
+    [ModelId::Gpt2Base, ModelId::Gpt2Large, ModelId::Llama2_7b, ModelId::Llama2_70b];
+
+/// The Fig. 10 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// `(model, paths, r_a)` series for panel (a).
+    pub r_a: Vec<(ModelId, usize, f64)>,
+    /// `(model, paths, r_w)` series for panel (b).
+    pub r_w: Vec<(ModelId, usize, f64)>,
+}
+
+/// Runs the Fig. 10 sweep.
+pub fn run(seed: u64) -> Fig10 {
+    let mut r_a = Vec::new();
+    let mut r_w = Vec::new();
+    for &model in &MODELS {
+        let k = model.config().hidden.min(2048);
+        for &paths in &PATHS {
+            r_a.push((
+                model,
+                paths,
+                measured_ra(model, OpKind::QkvProj, Dataset::WikiText2, 256, k, paths, seed),
+            ));
+            r_w.push((model, paths, measured_rw(model, OpKind::QkvProj, k, 256, paths, seed + 5)));
+        }
+    }
+    Fig10 { r_a, r_w }
+}
+
+/// Renders both panels.
+pub fn render(f: &Fig10) -> String {
+    let panel = |name: &str, series: &[(ModelId, usize, f64)]| -> String {
+        let mut t = TextTable::new(["model", "1 path", "2 paths", "4 paths", "8 paths"]);
+        for &model in &MODELS {
+            let mut cells = vec![model.name().to_string()];
+            for &p in &PATHS {
+                let v = series
+                    .iter()
+                    .find(|(m, pp, _)| *m == model && *pp == p)
+                    .map(|(_, _, r)| *r)
+                    .unwrap_or(f64::NAN);
+                cells.push(rval(v));
+            }
+            t.row(cells);
+        }
+        format!("{name}\n{}", t.render())
+    };
+    format!(
+        "Fig. 10 — scheduling overhead vs outlier paths (WikiText-2)\n{}\n{}",
+        panel("(a) r_a vs activation outlier paths", &f.r_a),
+        panel("(b) r_w vs weight outlier paths", &f.r_w)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_decrease_with_paths() {
+        let f = run(crate::SEED);
+        for &model in &MODELS {
+            let series: Vec<f64> = PATHS
+                .iter()
+                .map(|&p| f.r_a.iter().find(|(m, pp, _)| *m == model && *pp == p).unwrap().2)
+                .collect();
+            for w in series.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12, "{model}: {series:?}");
+            }
+            // 8 paths all but eliminate the overhead.
+            assert!(series[3] < 1.05, "{model}: {}", series[3]);
+        }
+    }
+
+    #[test]
+    fn two_paths_is_the_knee() {
+        // The paper picks 4 total paths (2+2): going 1→2 helps much more
+        // than 4→8.
+        let f = run(crate::SEED);
+        for &model in &MODELS {
+            let get = |p: usize| {
+                f.r_a.iter().find(|(m, pp, _)| *m == model && *pp == p).unwrap().2
+            };
+            let gain_12 = get(1) - get(2);
+            let gain_48 = get(4) - get(8);
+            assert!(gain_12 > gain_48, "{model}: {gain_12} vs {gain_48}");
+        }
+    }
+}

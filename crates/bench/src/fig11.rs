@@ -1,0 +1,165 @@
+//! Fig. 11 — relative total cycles (a) and relative energy (b) of OwL-P
+//! versus the FP baseline on the ten evaluation workloads, with the
+//! QKV / attention / projection / FFN breakdown.
+
+use crate::render::{ratio, TextTable};
+use owlp_core::report::geomean;
+use owlp_core::{workloads, Accelerator, Comparison, SimulationReport};
+use owlp_model::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// One workload's pair of reports plus the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Baseline report.
+    pub baseline: SimulationReport,
+    /// OwL-P report.
+    pub owlp: SimulationReport,
+    /// Ratios.
+    pub comparison: Comparison,
+}
+
+/// The full Fig. 11 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Per-workload results in the paper's order.
+    pub results: Vec<WorkloadResult>,
+    /// Geometric-mean speedup (paper: 2.70×).
+    pub avg_speedup: f64,
+    /// Geometric-mean energy savings (paper: 3.57×).
+    pub avg_energy: f64,
+}
+
+/// Runs the Fig. 11 evaluation.
+pub fn run() -> Fig11 {
+    let baseline = Accelerator::baseline();
+    let owlp = Accelerator::owlp();
+    let results: Vec<WorkloadResult> = workloads::paper_workloads()
+        .iter()
+        .map(|wl| {
+            let dataset = workloads::default_dataset(wl.model);
+            let b = baseline.simulate(wl, dataset);
+            let o = owlp.simulate(wl, dataset);
+            let comparison = Comparison::between(&b, &o);
+            WorkloadResult { baseline: b, owlp: o, comparison }
+        })
+        .collect();
+    let avg_speedup = geomean(results.iter().map(|r| r.comparison.speedup));
+    let avg_energy = geomean(results.iter().map(|r| r.comparison.energy_ratio));
+    Fig11 { results, avg_speedup, avg_energy }
+}
+
+/// Renders both panels.
+pub fn render(f: &Fig11) -> String {
+    let mut a = TextTable::new([
+        "workload",
+        "rel. cycles",
+        "speedup",
+        "QKV",
+        "Attention",
+        "Projection",
+        "FFN",
+    ]);
+    for r in &f.results {
+        let rel = 1.0 / r.comparison.speedup;
+        let class_cell = |c: OpClass| -> String {
+            // Fraction of the baseline's cycles that OwL-P spends in this
+            // class: the stacked-bar segment of Fig. 11a.
+            let b = r.baseline.per_class.get(&c).map(|x| x.cycles).unwrap_or(0);
+            let o = r.owlp.per_class.get(&c).map(|x| x.cycles).unwrap_or(0);
+            format!("{:.3}", o as f64 / r.baseline.cycles.max(1) as f64)
+                + &format!("/{:.3}", b as f64 / r.baseline.cycles.max(1) as f64)
+        };
+        a.row([
+            r.baseline.workload.clone(),
+            format!("{rel:.3}"),
+            ratio(r.comparison.speedup),
+            class_cell(OpClass::Qkv),
+            class_cell(OpClass::Attention),
+            class_cell(OpClass::Projection),
+            class_cell(OpClass::Ffn),
+        ]);
+    }
+    let mut b = TextTable::new(["workload", "rel. energy", "savings", "traffic ratio"]);
+    for r in &f.results {
+        b.row([
+            r.baseline.workload.clone(),
+            format!("{:.3}", 1.0 / r.comparison.energy_ratio),
+            ratio(r.comparison.energy_ratio),
+            ratio(r.comparison.traffic_ratio),
+        ]);
+    }
+    format!(
+        "Fig. 11(a) — relative cycles, OwL-P vs FP baseline (class cells: owlp/baseline share)\n{}\n\
+         average speedup: {} (paper 2.70x)\n\n\
+         Fig. 11(b) — relative energy\n{}\n\
+         average energy savings: {} (paper 3.57x, range 2.94-4.04x)\n",
+        a.render(),
+        ratio(f.avg_speedup),
+        b.render(),
+        ratio(f.avg_energy)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owlp_wins_every_workload() {
+        let f = run();
+        assert_eq!(f.results.len(), 10);
+        for r in &f.results {
+            assert!(r.comparison.speedup > 1.0, "{}: {}", r.baseline.workload, r.comparison.speedup);
+            assert!(
+                r.comparison.energy_ratio > 1.0,
+                "{}: {}",
+                r.baseline.workload,
+                r.comparison.energy_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn averages_land_near_paper_headlines() {
+        let f = run();
+        assert!(
+            (2.0..=3.4).contains(&f.avg_speedup),
+            "avg speedup {} (paper 2.70)",
+            f.avg_speedup
+        );
+        assert!(
+            (2.6..=4.6).contains(&f.avg_energy),
+            "avg energy savings {} (paper 3.57)",
+            f.avg_energy
+        );
+    }
+
+    #[test]
+    fn energy_savings_band_matches_paper_range() {
+        // Paper: 2.94–4.04× across workloads; allow a wider modelling band.
+        let f = run();
+        for r in &f.results {
+            assert!(
+                (2.0..=5.2).contains(&r.comparison.energy_ratio),
+                "{}: {}",
+                r.baseline.workload,
+                r.comparison.energy_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn ffn_dominates_bert_cycles() {
+        // Structural sanity of the breakdown: for BERT, FFN is the largest
+        // class on both designs.
+        let f = run();
+        let bert = &f.results[0];
+        for rep in [&bert.baseline, &bert.owlp] {
+            let ffn = rep.class_cycle_share(OpClass::Ffn);
+            for c in [OpClass::Qkv, OpClass::Projection] {
+                assert!(ffn > rep.class_cycle_share(c), "{}", rep.design);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 8 — `r_a` and `r_w` across models (a, b) and submodule tensors
+//! (c, d), measured through the real scheduler on synthesised masks with
+//! two outlier paths (the paper's measurement setup).
+
+use crate::render::{rval, TextTable};
+use crate::{measured_ra, measured_rw};
+use owlp_model::{Dataset, ModelId, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Tensor kinds profiled in Fig. 8c/d.
+pub const SUBMODULE_KINDS: [OpKind; 5] = [
+    OpKind::QkvProj,
+    OpKind::AttnScore,
+    OpKind::AttnContext,
+    OpKind::OutProj,
+    OpKind::FfnUp,
+];
+
+/// Per-model aggregate overheads (Fig. 8a/b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelOverheads {
+    /// Model.
+    pub model: ModelId,
+    /// Measured `r_a` averaged over submodule activations.
+    pub r_a: f64,
+    /// Measured `r_w` averaged over submodule weights.
+    pub r_w: f64,
+}
+
+/// Per-submodule overheads for one model (Fig. 8c/d).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmoduleOverheads {
+    /// Model profiled (the paper uses GPT2-Base-like curves).
+    pub model: ModelId,
+    /// `(kind, r_a)` pairs.
+    pub r_a: Vec<(OpKind, f64)>,
+    /// `(kind, r_w)` pairs.
+    pub r_w: Vec<(OpKind, f64)>,
+}
+
+/// The full Fig. 8 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Panel (a)/(b): per-model aggregates.
+    pub models: Vec<ModelOverheads>,
+    /// Panel (c)/(d): per-submodule detail.
+    pub submodules: SubmoduleOverheads,
+}
+
+fn dataset_for(model: ModelId) -> Dataset {
+    match model {
+        ModelId::BertBase | ModelId::BertLarge => Dataset::Squad2,
+        _ => Dataset::WikiText2,
+    }
+}
+
+/// Runs the Fig. 8 experiment with `paths` outlier paths (2 in the paper).
+pub fn run(seed: u64, paths: usize) -> Fig8 {
+    let models = ModelId::ALL
+        .iter()
+        .map(|&model| {
+            let k = model.config().hidden.min(2048);
+            let dataset = dataset_for(model);
+            let mut ra_sum = 0.0;
+            let mut rw_sum = 0.0;
+            for (i, &kind) in SUBMODULE_KINDS.iter().enumerate() {
+                ra_sum += measured_ra(model, kind, dataset, 256, k, paths, seed + i as u64);
+                rw_sum += measured_rw(model, kind, k, 256, paths, seed + 40 + i as u64);
+            }
+            ModelOverheads {
+                model,
+                r_a: ra_sum / SUBMODULE_KINDS.len() as f64,
+                r_w: rw_sum / SUBMODULE_KINDS.len() as f64,
+            }
+        })
+        .collect();
+    let sub_model = ModelId::Gpt2Base;
+    let k = sub_model.config().hidden;
+    let submodules = SubmoduleOverheads {
+        model: sub_model,
+        r_a: SUBMODULE_KINDS
+            .iter()
+            .map(|&kind| {
+                (kind, measured_ra(sub_model, kind, Dataset::WikiText2, 256, k, paths, seed + 80))
+            })
+            .collect(),
+        r_w: SUBMODULE_KINDS
+            .iter()
+            .map(|&kind| (kind, measured_rw(sub_model, kind, k, 256, paths, seed + 120)))
+            .collect(),
+    };
+    Fig8 { models, submodules }
+}
+
+/// Renders all four panels.
+pub fn render(f: &Fig8) -> String {
+    let mut a = TextTable::new(["model", "r_a", "r_w", "paper band"]);
+    for m in &f.models {
+        a.row([
+            m.model.name().to_string(),
+            rval(m.r_a),
+            rval(m.r_w),
+            "r_a 1.1-1.3, r_w <= 1.1".to_string(),
+        ]);
+    }
+    let mut c = TextTable::new(["submodule tensor", "r_a", "r_w"]);
+    for ((kind, ra), (_, rw)) in f.submodules.r_a.iter().zip(&f.submodules.r_w) {
+        c.row([kind.to_string(), rval(*ra), rval(*rw)]);
+    }
+    format!(
+        "Fig. 8(a,b) — scheduling overheads per model (2 outlier paths)\n{}\nFig. 8(c,d) — per-submodule tensors, {}\n{}",
+        a.render(),
+        f.submodules.model.name(),
+        c.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_overheads_land_in_paper_bands() {
+        let f = run(crate::SEED, 2);
+        for m in &f.models {
+            assert!((1.05..=1.35).contains(&m.r_a), "{}: r_a {}", m.model, m.r_a);
+            assert!((1.0..=1.11).contains(&m.r_w), "{}: r_w {}", m.model, m.r_w);
+        }
+    }
+
+    #[test]
+    fn softmax_fed_tensor_has_highest_ra() {
+        // Fig. 8c: attention-context activations (softmax outputs) lead.
+        let f = run(crate::SEED, 2);
+        let get = |k: OpKind| f.submodules.r_a.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert!(get(OpKind::AttnContext) > get(OpKind::QkvProj));
+        assert!(get(OpKind::AttnContext) > get(OpKind::FfnUp));
+    }
+
+    #[test]
+    fn render_contains_panels() {
+        let s = render(&run(crate::SEED, 2));
+        assert!(s.contains("Fig. 8(a,b)"));
+        assert!(s.contains("attn_context"));
+    }
+}

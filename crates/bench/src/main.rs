@@ -1,0 +1,121 @@
+//! `repro` — regenerate every table and figure of the OwL-P paper.
+//!
+//! ```text
+//! repro all            run every experiment
+//! repro table1         Table I   numerical accuracy by method
+//! repro table2         Table II  normal-value ratios
+//! repro fig1           Fig. 1    exponent histogram
+//! repro fig8           Fig. 8    r_a / r_w across models & submodules
+//! repro table3         Table III Llama2 r_a per dataset
+//! repro table4         Table IV  BERT r_a / r_w per dataset
+//! repro fig9           Fig. 9    area/power vs outlier paths
+//! repro fig10          Fig. 10   r_a / r_w vs outlier paths
+//! repro table5         Table V   design comparison
+//! repro fig11          Fig. 11   relative cycles & energy (10 workloads)
+//! repro eq34           Eq. (3)/(4) validation vs event simulation
+//! repro ablations      align-width / bias-bits / path-split ablations
+//! ```
+
+use owlp_bench::{
+    ablation, batch_sweep, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
+    serving_exp, table1, table2, table3, table4, table5, SEED,
+};
+
+const EXPERIMENTS: [&str; 16] = [
+    "table1", "table2", "fig1", "fig8", "table3", "table4", "fig9", "fig10", "table5", "fig11",
+    "eq34", "ablations", "roofline", "batch", "serving", "dse",
+];
+
+fn run_json(name: &str) -> Result<String, String> {
+    fn ser<T: serde::Serialize>(name: &str, v: &T) -> Result<String, String> {
+        serde_json::to_string_pretty(&serde_json::json!({ "experiment": name, "result": v }))
+            .map_err(|e| e.to_string())
+    }
+    match name {
+        "table1" => ser(name, &table1::run(SEED)),
+        "table2" => ser(name, &table2::run(SEED)),
+        "fig1" => ser(name, &fig1::run(SEED)),
+        "fig8" => ser(name, &fig8::run(SEED, 2)),
+        "table3" => ser(name, &table3::run(SEED)),
+        "table4" => ser(name, &table4::run(SEED)),
+        "fig9" => ser(name, &fig9::run()),
+        "fig10" => ser(name, &fig10::run(SEED)),
+        "table5" => ser(name, &table5::run()),
+        "fig11" => ser(name, &fig11::run()),
+        "eq34" => ser(name, &eq34::run(SEED)),
+        "ablations" => ser(
+            name,
+            &serde_json::json!({
+                "align_width": ablation::align_width(SEED),
+                "window_width": ablation::window_width(SEED),
+                "path_split": ablation::path_split(),
+                "block_size": ablation::block_size(SEED),
+                "blockfp_sweep": ablation::blockfp_sweep(SEED),
+            }),
+        ),
+        "roofline" => ser(name, &roofline_exp::run()),
+        "batch" => ser(name, &batch_sweep::run()),
+        "serving" => ser(name, &serving_exp::run()),
+        "dse" => ser(name, &dse_exp::run()),
+        other => Err(format!("unknown experiment '{other}'")),
+    }
+}
+
+fn run_one(name: &str) -> Result<String, String> {
+    match name {
+        "table1" => Ok(table1::render(&table1::run(SEED))),
+        "table2" => Ok(table2::render(&table2::run(SEED))),
+        "fig1" => Ok(fig1::render(&fig1::run(SEED))),
+        "fig8" => Ok(fig8::render(&fig8::run(SEED, 2))),
+        "table3" => Ok(table3::render(&table3::run(SEED))),
+        "table4" => Ok(table4::render(&table4::run(SEED))),
+        "fig9" => Ok(fig9::render(&fig9::run())),
+        "fig10" => Ok(fig10::render(&fig10::run(SEED))),
+        "table5" => Ok(table5::render(&table5::run())),
+        "fig11" => Ok(fig11::render(&fig11::run())),
+        "eq34" => Ok(eq34::render(&eq34::run(SEED))),
+        "ablations" => Ok(format!(
+            "{}\n{}\n{}\n{}\n{}",
+            ablation::render_align(&ablation::align_width(SEED)),
+            ablation::render_window(&ablation::window_width(SEED)),
+            ablation::render_paths(&ablation::path_split()),
+            ablation::render_blocks(&ablation::block_size(SEED)),
+            ablation::render_blockfp(&ablation::blockfp_sweep(SEED))
+        )),
+        "roofline" => Ok(roofline_exp::render(&roofline_exp::run())),
+        "batch" => Ok(batch_sweep::render(&batch_sweep::run())),
+        "serving" => Ok(serving_exp::render(&serving_exp::run())),
+        "dse" => Ok(dse_exp::render(&dse_exp::run())),
+        other => Err(format!("unknown experiment '{other}'")),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let targets: Vec<&str> = match args.first().map(String::as_str) {
+        None | Some("all") => EXPERIMENTS.to_vec(),
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: repro [all|{}] [--json]", EXPERIMENTS.join("|"));
+            return;
+        }
+        Some(name) => vec![name],
+    };
+    for (i, name) in targets.iter().enumerate() {
+        let rendered = if json { run_json(name) } else { run_one(name) };
+        match rendered {
+            Ok(out) => {
+                if i > 0 && !json {
+                    println!("\n{}\n", "=".repeat(78));
+                }
+                println!("{out}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: repro [all|{}] [--json]", EXPERIMENTS.join("|"));
+                std::process::exit(2);
+            }
+        }
+    }
+}

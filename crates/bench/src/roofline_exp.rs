@@ -1,0 +1,87 @@
+//! Roofline placement of the decode-phase GEMMs — the mechanism behind the
+//! Fig. 11 speedups, made explicit (not a paper figure; supporting
+//! analysis).
+
+use crate::render::TextTable;
+use owlp_core::roofline::{analyze, ridge_point, RooflinePoint};
+use owlp_core::Accelerator;
+use owlp_model::{workload, Dataset, ModelId};
+use serde::{Deserialize, Serialize};
+
+/// The roofline experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Baseline ridge point (MACs/byte).
+    pub baseline_ridge: f64,
+    /// OwL-P ridge point.
+    pub owlp_ridge: f64,
+    /// Baseline per-op placements (deduplicated by op string).
+    pub baseline: Vec<RooflinePoint>,
+    /// OwL-P per-op placements.
+    pub owlp: Vec<RooflinePoint>,
+}
+
+/// Runs the roofline analysis on a Llama2-7B generation slice.
+pub fn run() -> Roofline {
+    let wl = workload::generation_workload(ModelId::Llama2_7b, 32, 128, 64);
+    let base = Accelerator::baseline();
+    let owlp = Accelerator::owlp();
+    let dedup = |points: Vec<RooflinePoint>| -> Vec<RooflinePoint> {
+        let mut seen = std::collections::BTreeSet::new();
+        points.into_iter().filter(|p| seen.insert(p.op.clone())).collect()
+    };
+    Roofline {
+        baseline_ridge: ridge_point(&base),
+        owlp_ridge: ridge_point(&owlp),
+        baseline: dedup(analyze(&base, &wl, Dataset::WikiText2)),
+        owlp: dedup(analyze(&owlp, &wl, Dataset::WikiText2)),
+    }
+}
+
+/// Renders both rooflines.
+pub fn render(r: &Roofline) -> String {
+    let panel = |name: &str, ridge: f64, points: &[RooflinePoint]| -> String {
+        let mut t = TextTable::new(["op (one rep)", "MACs/byte", "bound", "attainable MAC/cyc"]);
+        for p in points {
+            t.row([
+                p.op.clone(),
+                if p.intensity.is_finite() { format!("{:.1}", p.intensity) } else { "∞".into() },
+                if p.memory_bound { "memory".to_string() } else { "compute".to_string() },
+                format!("{:.0}", p.attainable),
+            ]);
+        }
+        format!("{name} (ridge {ridge:.1} MACs/byte)\n{}", t.render())
+    };
+    format!(
+        "Roofline — Llama2-7B generation, per-GEMM placement\n\n{}\n{}",
+        panel("TPU-like baseline", r.baseline_ridge, &r.baseline),
+        panel("OwL-P", r.owlp_ridge, &r.owlp)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owlp_ridge_is_three_times_baseline() {
+        let r = run();
+        assert!((r.owlp_ridge / r.baseline_ridge - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_projections_are_memory_bound_on_both() {
+        let r = run();
+        for set in [&r.baseline, &r.owlp] {
+            let decode = set.iter().find(|p| p.op.starts_with("qkv_proj 32x")).unwrap();
+            assert!(decode.memory_bound, "{decode:?}");
+        }
+    }
+
+    #[test]
+    fn render_lists_ops() {
+        let s = render(&run());
+        assert!(s.contains("qkv_proj"));
+        assert!(s.contains("ffn_down"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Serving metrics — tokens/s, time-per-output-token and time-to-first-
+//! token for the generation workloads on both designs (supporting
+//! analysis; the operator-facing view of Fig. 11).
+
+use crate::render::TextTable;
+use owlp_core::serving::{simulate_serving, ServingMetrics};
+use owlp_core::Accelerator;
+use owlp_model::{Dataset, ModelId};
+use serde::{Deserialize, Serialize};
+
+/// The serving experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Serving {
+    /// `(baseline, owlp)` metric pairs per configuration.
+    pub rows: Vec<(ServingMetrics, ServingMetrics)>,
+}
+
+/// Runs the serving comparison across the decoder models.
+pub fn run() -> Serving {
+    let configs = [
+        (ModelId::Gpt2Base, 32usize, 128usize, 256usize),
+        (ModelId::Gpt2Large, 32, 128, 256),
+        (ModelId::Llama2_7b, 32, 128, 1024),
+        (ModelId::Llama2_70b, 32, 128, 1024),
+    ];
+    let rows = configs
+        .iter()
+        .map(|&(model, batch, prompt, gen)| {
+            let b = simulate_serving(
+                &Accelerator::baseline(),
+                model,
+                batch,
+                prompt,
+                gen,
+                Dataset::WikiText2,
+            );
+            let o =
+                simulate_serving(&Accelerator::owlp(), model, batch, prompt, gen, Dataset::WikiText2);
+            (b, o)
+        })
+        .collect();
+    Serving { rows }
+}
+
+/// Renders the comparison.
+pub fn render(s: &Serving) -> String {
+    let mut t = TextTable::new([
+        "workload",
+        "tok/s base",
+        "tok/s owlp",
+        "TPOT base (ms)",
+        "TPOT owlp",
+        "TTFT base (ms)",
+        "TTFT owlp",
+    ]);
+    for (b, o) in &s.rows {
+        t.row([
+            b.workload.clone(),
+            format!("{:.0}", b.tokens_per_second),
+            format!("{:.0}", o.tokens_per_second),
+            format!("{:.3}", b.time_per_output_token_ms),
+            format!("{:.3}", o.time_per_output_token_ms),
+            format!("{:.2}", b.time_to_first_token_ms),
+            format!("{:.2}", o.time_to_first_token_ms),
+        ]);
+    }
+    format!(
+        "Serving metrics — batch 32, WikiText-2 statistics\n\
+         (TPOT = time per output token per sequence; TTFT = prefill latency)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owlp_improves_every_serving_metric() {
+        let s = run();
+        assert_eq!(s.rows.len(), 4);
+        for (b, o) in &s.rows {
+            assert!(o.tokens_per_second > b.tokens_per_second, "{}", b.workload);
+            assert!(o.time_per_output_token_ms < b.time_per_output_token_ms);
+            assert!(o.time_to_first_token_ms < b.time_to_first_token_ms);
+        }
+    }
+
+    #[test]
+    fn bigger_models_are_slower() {
+        let s = run();
+        let tok = |needle: &str| {
+            s.rows
+                .iter()
+                .find(|(b, _)| b.workload.contains(needle))
+                .map(|(b, _)| b.tokens_per_second)
+                .unwrap()
+        };
+        assert!(tok("GPT2-Base") > tok("GPT2-Large"));
+        assert!(tok("Llama2-7B") > tok("Llama2-70B"));
+    }
+}

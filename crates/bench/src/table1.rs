@@ -1,0 +1,149 @@
+//! Table I — numerical accuracy of computation results by method.
+//!
+//! The paper's Table I is qualitative; this experiment quantifies it:
+//! random LLM-statistics GEMMs are evaluated under each scheme and compared
+//! against the exact (Kulisch) reference. OwL-P must be bit-exact
+//! (correctly rounded) on every output; the others approximate.
+
+use crate::render::TextTable;
+use owlp_arith::exact::{exact_gemm_f64, exact_gemm};
+use owlp_arith::fpmac::fp_mac_gemm;
+use owlp_arith::gemm::owlp_gemm;
+use owlp_arith::quant::{
+    blockfp_gemm, int8_gemm, int8_outlier_gemm, weight_only_int8_gemm, ErrorStats,
+};
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use serde::Serialize;
+
+/// One scheme's measured accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SchemeRow {
+    /// Scheme name (Table I rows).
+    pub scheme: String,
+    /// The paper's qualitative judgement, for side-by-side printing.
+    pub paper_says: &'static str,
+    /// Measured error statistics vs the exact reference.
+    pub stats: ErrorStats,
+}
+
+/// The full Table I experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table1 {
+    /// GEMM shape used.
+    pub shape: (usize, usize, usize),
+    /// Rows in the paper's order.
+    pub rows: Vec<SchemeRow>,
+}
+
+/// Runs the Table I experiment.
+pub fn run(seed: u64) -> Table1 {
+    let (m, k, n) = (32, 256, 32);
+    let model = ModelId::Gpt2Base;
+    let a = TensorGen::new(
+        profile_for(model, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2),
+        m,
+        k,
+    )
+    .values(seed);
+    let b = TensorGen::new(
+        profile_for(model, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2),
+        k,
+        n,
+    )
+    .values(seed ^ 0x77);
+    let reference = exact_gemm_f64(&a, &b, m, k, n);
+    let mut rows = Vec::new();
+    let mut push = |scheme: &str, paper: &'static str, out: Vec<f32>| {
+        rows.push(SchemeRow {
+            scheme: scheme.to_string(),
+            paper_says: paper,
+            stats: ErrorStats::compare(&out, &reference),
+        });
+    };
+    push("FP (BF16 mult, FP32 seq-acc)", "FP", fp_mac_gemm(&a, &b, m, k, n));
+    push("INT8 quantization", "heavy approximation", int8_gemm(&a, &b, m, k, n));
+    push(
+        "Weight-only INT8 (FP-INT)",
+        "dequant + FP fallback",
+        weight_only_int8_gemm(&a, &b, m, k, n),
+    );
+    push(
+        "INT8 + FP outliers",
+        "heavy approx for normals",
+        int8_outlier_gemm(&a, &b, m, k, n, 3.0),
+    );
+    push("Block FP (32-block, 8-bit)", "light approximation", blockfp_gemm(&a, &b, m, k, n, 32, 8));
+    push(
+        "OwL-P (ours)",
+        "same as FP",
+        owlp_gemm(&a, &b, m, k, n).expect("profile tensors are finite").output,
+    );
+    // Sanity anchor: OwL-P must equal the correctly rounded f32 reference.
+    let golden32 = exact_gemm(&a, &b, m, k, n);
+    let owlp_out = rows.last().unwrap();
+    debug_assert_eq!(owlp_out.stats.bit_exact, golden32.len());
+    Table1 { shape: (m, k, n), rows }
+}
+
+/// Renders the result.
+pub fn render(t: &Table1) -> String {
+    let mut table = TextTable::new([
+        "Data format / arithmetic",
+        "mean rel err",
+        "max rel err",
+        "bit-exact",
+        "paper says",
+    ]);
+    for r in &t.rows {
+        table.row([
+            r.scheme.clone(),
+            format!("{:.3e}", r.stats.mean_rel),
+            format!("{:.3e}", r.stats.max_rel),
+            format!("{}/{}", r.stats.bit_exact, r.stats.total),
+            r.paper_says.to_string(),
+        ]);
+    }
+    format!(
+        "Table I — numerical accuracy vs exact FP-FP GEMM ({}x{}x{} synthetic LLM tensors)\n{}",
+        t.shape.0,
+        t.shape.1,
+        t.shape.2,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owlp_is_bit_exact_and_others_are_not() {
+        let t = run(crate::SEED);
+        let owlp = t.rows.iter().find(|r| r.scheme.starts_with("OwL-P")).unwrap();
+        assert_eq!(owlp.stats.bit_exact, owlp.stats.total);
+        let int8 = t.rows.iter().find(|r| r.scheme == "INT8 quantization").unwrap();
+        assert!(int8.stats.mean_rel > owlp.stats.mean_rel);
+        assert!(int8.stats.bit_exact < int8.stats.total);
+    }
+
+    #[test]
+    fn ordering_matches_table1_qualitative_ranking() {
+        // heavy (int8) > light (block fp) > owlp (= 0 vs f32 grid).
+        let t = run(crate::SEED + 1);
+        let err = |name: &str| {
+            t.rows.iter().find(|r| r.scheme.starts_with(name)).unwrap().stats.mean_rel
+        };
+        assert!(err("INT8 quantization") > err("Block FP"));
+        assert!(err("Block FP") > err("OwL-P"));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = run(crate::SEED);
+        let s = render(&t);
+        for r in &t.rows {
+            assert!(s.contains(&r.scheme), "{}", r.scheme);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Table II — ratio of normal values in transformer-based networks.
+//!
+//! For each of the six models, tensors are synthesised from the calibrated
+//! profiles and the fraction of values inside the densest 7-exponent window
+//! is measured with the real format pipeline (`owlp-format::stats`).
+
+use crate::render::{pct, TextTable};
+use owlp_format::stats::normal_ratio_of;
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use serde::{Deserialize, Serialize};
+
+/// Paper's published Table II values (percent), for side-by-side printing.
+pub const PAPER_WEIGHT: [(ModelId, f64); 6] = [
+    (ModelId::BertBase, 98.5),
+    (ModelId::BertLarge, 98.6),
+    (ModelId::Gpt2Base, 98.2),
+    (ModelId::Gpt2Large, 98.4),
+    (ModelId::Llama2_7b, 98.4),
+    (ModelId::Llama2_70b, 98.6),
+];
+
+/// Paper Table II activation row.
+pub const PAPER_ACTIVATION: [(ModelId, f64); 6] = [
+    (ModelId::BertBase, 96.6),
+    (ModelId::BertLarge, 97.9),
+    (ModelId::Gpt2Base, 96.8),
+    (ModelId::Gpt2Large, 97.3),
+    (ModelId::Llama2_7b, 97.6),
+    (ModelId::Llama2_70b, 97.8),
+];
+
+/// One Table II column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelRatios {
+    /// Model.
+    pub model: ModelId,
+    /// Measured weight normal ratio (fraction).
+    pub weight: f64,
+    /// Measured activation normal ratio (fraction).
+    pub activation: f64,
+}
+
+/// The full Table II result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Per-model measurements.
+    pub rows: Vec<ModelRatios>,
+}
+
+/// Runs the Table II experiment.
+pub fn run(seed: u64) -> Table2 {
+    let kinds = [OpKind::QkvProj, OpKind::OutProj, OpKind::FfnUp, OpKind::FfnDown];
+    let rows = ModelId::ALL
+        .iter()
+        .map(|&model| {
+            let dataset = match model {
+                ModelId::BertBase | ModelId::BertLarge => Dataset::Squad2,
+                _ => Dataset::WikiText2,
+            };
+            let dims = model.config();
+            let k = dims.hidden.min(2048);
+            let mean_ratio = |role: TensorRole| -> f64 {
+                let mut sum = 0.0;
+                for (i, &kind) in kinds.iter().enumerate() {
+                    let p = profile_for(model, kind, role, dataset);
+                    let (rows_n, cols_n) = match role {
+                        TensorRole::Weight => (k, 256),
+                        TensorRole::Activation => (256, k),
+                    };
+                    let t = TensorGen::new(p, rows_n, cols_n).values(seed + i as u64);
+                    let (_, ratio) = normal_ratio_of(&t);
+                    sum += ratio;
+                }
+                sum / kinds.len() as f64
+            };
+            ModelRatios {
+                model,
+                weight: mean_ratio(TensorRole::Weight),
+                activation: mean_ratio(TensorRole::Activation),
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// Renders the result with the paper's values alongside.
+pub fn render(t: &Table2) -> String {
+    let mut table =
+        TextTable::new(["", "Weight %", "(paper)", "Activation %", "(paper)"]);
+    for r in &t.rows {
+        let pw = PAPER_WEIGHT.iter().find(|(m, _)| *m == r.model).unwrap().1;
+        let pa = PAPER_ACTIVATION.iter().find(|(m, _)| *m == r.model).unwrap().1;
+        table.row([
+            r.model.name().to_string(),
+            pct(r.weight),
+            format!("{pw:.1}"),
+            pct(r.activation),
+            format!("{pa:.1}"),
+        ]);
+    }
+    format!("Table II — ratio of normal values (measured vs paper)\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_ratios_track_paper_within_one_point() {
+        let t = run(crate::SEED);
+        for r in &t.rows {
+            let pw = PAPER_WEIGHT.iter().find(|(m, _)| *m == r.model).unwrap().1 / 100.0;
+            let pa = PAPER_ACTIVATION.iter().find(|(m, _)| *m == r.model).unwrap().1 / 100.0;
+            assert!((r.weight - pw).abs() < 0.012, "{}: weight {} vs {}", r.model, r.weight, pw);
+            assert!(
+                (r.activation - pa).abs() < 0.02,
+                "{}: act {} vs {}",
+                r.model,
+                r.activation,
+                pa
+            );
+        }
+    }
+
+    #[test]
+    fn weights_are_more_normal_than_activations() {
+        // The paper's consistent pattern.
+        let t = run(crate::SEED);
+        for r in &t.rows {
+            assert!(r.weight > r.activation, "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn render_has_all_models() {
+        let s = render(&run(crate::SEED));
+        for m in ModelId::ALL {
+            assert!(s.contains(m.name()));
+        }
+    }
+}

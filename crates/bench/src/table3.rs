@@ -1,0 +1,134 @@
+//! Table III — Llama2 `r_a` across evaluation datasets (and the constant
+//! `r_w` footnote).
+
+use crate::render::{rval, TextTable};
+use crate::{measured_ra, measured_rw};
+use owlp_model::{Dataset, ModelId, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Paper Table III values for side-by-side printing.
+pub fn paper_value(model: ModelId, dataset: Dataset) -> Option<f64> {
+    let v = match (model, dataset) {
+        (ModelId::Llama2_7b, Dataset::HellaSwag) => 1.216,
+        (ModelId::Llama2_7b, Dataset::WinoGrande) => 1.297,
+        (ModelId::Llama2_7b, Dataset::Piqa) => 1.359,
+        (ModelId::Llama2_7b, Dataset::WikiText2) => 1.168,
+        (ModelId::Llama2_7b, Dataset::Mmlu) => 1.179,
+        (ModelId::Llama2_70b, Dataset::HellaSwag) => 1.263,
+        (ModelId::Llama2_70b, Dataset::WinoGrande) => 1.282,
+        (ModelId::Llama2_70b, Dataset::Piqa) => 1.345,
+        (ModelId::Llama2_70b, Dataset::WikiText2) => 1.158,
+        (ModelId::Llama2_70b, Dataset::Mmlu) => 1.126,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Paper footnote: constant `r_w` per model.
+pub const PAPER_RW: [(ModelId, f64); 2] =
+    [(ModelId::Llama2_7b, 1.052), (ModelId::Llama2_70b, 1.071)];
+
+/// The Table III result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// `(model, dataset, measured r_a)` cells.
+    pub r_a: Vec<(ModelId, Dataset, f64)>,
+    /// `(model, measured r_w)` footnote values.
+    pub r_w: Vec<(ModelId, f64)>,
+}
+
+/// Runs the Table III experiment.
+pub fn run(seed: u64) -> Table3 {
+    let models = [ModelId::Llama2_7b, ModelId::Llama2_70b];
+    let mut r_a = Vec::new();
+    for &model in &models {
+        let k = model.config().hidden.min(2048);
+        for &dataset in &Dataset::LLM_SET {
+            let r = measured_ra(model, OpKind::QkvProj, dataset, 384, k, 2, seed);
+            r_a.push((model, dataset, r));
+        }
+    }
+    let r_w = models
+        .iter()
+        .map(|&model| {
+            let k = model.config().hidden.min(2048);
+            (model, measured_rw(model, OpKind::QkvProj, k, 256, 2, seed + 7))
+        })
+        .collect();
+    Table3 { r_a, r_w }
+}
+
+/// Renders the table.
+pub fn render(t: &Table3) -> String {
+    let mut table = TextTable::new(["", "HellaSwag", "WinoGrande", "PIQA", "WikiText-2", "MMLU"]);
+    for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
+        let cell = |d: Dataset| {
+            let measured =
+                t.r_a.iter().find(|(m, dd, _)| *m == model && *dd == d).map(|(_, _, r)| *r);
+            let paper = paper_value(model, d);
+            match (measured, paper) {
+                (Some(m), Some(p)) => format!("{} ({p:.3})", rval(m)),
+                _ => "-".to_string(),
+            }
+        };
+        table.row([
+            model.name().to_string(),
+            cell(Dataset::HellaSwag),
+            cell(Dataset::WinoGrande),
+            cell(Dataset::Piqa),
+            cell(Dataset::WikiText2),
+            cell(Dataset::Mmlu),
+        ]);
+    }
+    let mut foot = String::new();
+    for (model, rw) in &t.r_w {
+        let paper = PAPER_RW.iter().find(|(m, _)| m == model).unwrap().1;
+        foot.push_str(&format!("  {} r_w = {} (paper {paper:.3})\n", model.name(), rval(*rw)));
+    }
+    format!(
+        "Table III — r_a for Llama2 across datasets, measured (paper)\n{}\n{}",
+        table.render(),
+        foot
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_in_band_and_vary_mildly() {
+        let t = run(crate::SEED);
+        for &(m, d, r) in &t.r_a {
+            assert!((1.05..=1.45).contains(&r), "{m} {d}: {r}");
+        }
+        // Dataset spread is small (paper: negligible variation).
+        for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
+            let vals: Vec<f64> =
+                t.r_a.iter().filter(|(m, _, _)| *m == model).map(|(_, _, r)| *r).collect();
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            assert!(max - min < 0.12, "{model}: spread {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn piqa_is_the_heaviest_dataset() {
+        // Matches the paper's ordering (PIQA has the largest r_a).
+        let t = run(crate::SEED);
+        for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
+            let get = |d: Dataset| {
+                t.r_a.iter().find(|(m, dd, _)| *m == model && *dd == d).unwrap().2
+            };
+            assert!(get(Dataset::Piqa) > get(Dataset::WikiText2), "{model}");
+        }
+    }
+
+    #[test]
+    fn rw_footnote_in_band() {
+        let t = run(crate::SEED);
+        for &(m, rw) in &t.r_w {
+            assert!((1.02..=1.10).contains(&rw), "{m}: {rw}");
+        }
+    }
+}

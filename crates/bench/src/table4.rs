@@ -1,0 +1,75 @@
+//! Table IV — BERT-family `r_a` and `r_w` on SQuAD2 and GLUE.
+
+use crate::render::{rval, TextTable};
+use crate::{measured_ra, measured_rw};
+use owlp_model::{Dataset, ModelId, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Paper Table IV values `(model, dataset, r_a, r_w)`.
+pub const PAPER: [(ModelId, Dataset, f64, f64); 4] = [
+    (ModelId::BertBase, Dataset::Squad2, 1.293, 1.048),
+    (ModelId::BertBase, Dataset::Glue, 1.306, 1.052),
+    (ModelId::BertLarge, Dataset::Squad2, 1.301, 1.049),
+    (ModelId::BertLarge, Dataset::Glue, 1.308, 1.052),
+];
+
+/// The Table IV result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// `(model, dataset, measured r_a, measured r_w)` rows.
+    pub rows: Vec<(ModelId, Dataset, f64, f64)>,
+}
+
+/// Runs the Table IV experiment.
+pub fn run(seed: u64) -> Table4 {
+    let mut rows = Vec::new();
+    for &model in &[ModelId::BertBase, ModelId::BertLarge] {
+        let k = model.config().hidden;
+        for &dataset in &Dataset::BERT_SET {
+            let ra = measured_ra(model, OpKind::QkvProj, dataset, 512, k, 2, seed);
+            let rw = measured_rw(model, OpKind::QkvProj, k, 256, 2, seed + 3);
+            rows.push((model, dataset, ra, rw));
+        }
+    }
+    Table4 { rows }
+}
+
+/// Renders the table.
+pub fn render(t: &Table4) -> String {
+    let mut table = TextTable::new(["model", "dataset", "r_a (paper)", "r_w (paper)"]);
+    for &(m, d, ra, rw) in &t.rows {
+        let paper = PAPER.iter().find(|(pm, pd, _, _)| *pm == m && *pd == d).unwrap();
+        table.row([
+            m.name().to_string(),
+            d.name().to_string(),
+            format!("{} ({:.3})", rval(ra), paper.2),
+            format!("{} ({:.3})", rval(rw), paper.3),
+        ]);
+    }
+    format!("Table IV — r_a and r_w for the BERT family, measured (paper)\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_in_paper_neighbourhood() {
+        let t = run(crate::SEED);
+        for &(m, d, ra, rw) in &t.rows {
+            let paper = PAPER.iter().find(|(pm, pd, _, _)| *pm == m && *pd == d).unwrap();
+            assert!((ra - paper.2).abs() < 0.12, "{m} {d}: r_a {ra} vs {}", paper.2);
+            assert!((rw - paper.3).abs() < 0.04, "{m} {d}: r_w {rw} vs {}", paper.3);
+        }
+    }
+
+    #[test]
+    fn datasets_barely_move_the_numbers() {
+        let t = run(crate::SEED);
+        let squad = t.rows.iter().find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Squad2).unwrap();
+        let glue = t.rows.iter().find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Glue).unwrap();
+        assert!((squad.2 - glue.2).abs() < 0.06);
+        // r_w is dataset-independent by construction.
+        assert_eq!(squad.3, glue.3);
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end numerical-equivalence verification.
+//!
+//! The paper's headline correctness claim: an LLM inferred on OwL-P yields
+//! the same results as on conventional FP hardware. This module runs
+//! synthetic layers — tensors drawn from the calibrated profiles, shapes
+//! from the real model configurations — through the complete OwL-P pipeline
+//! (shared-exponent encoding → bias decoding → INT PE columns with outlier
+//! bypass → align → INT2FP) and compares against the exact FP reference,
+//! bit for bit.
+
+use owlp_arith::exact::exact_gemm;
+use owlp_arith::gemm::owlp_gemm;
+use owlp_arith::ArithError;
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use serde::{Deserialize, Serialize};
+
+/// Result of one layer equivalence check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// Output elements compared.
+    pub elements: usize,
+    /// Elements matching the correctly-rounded reference bit-for-bit.
+    pub bit_exact: usize,
+    /// Activation outliers encountered.
+    pub act_outliers: usize,
+    /// Weight outliers encountered.
+    pub weight_outliers: usize,
+}
+
+impl EquivalenceReport {
+    /// Whether every output matched.
+    pub fn is_equivalent(&self) -> bool {
+        self.bit_exact == self.elements
+    }
+}
+
+/// Runs one synthetic layer GEMM of shape `(m, k) × (k, n)` for `model`'s
+/// `kind` tensors and checks OwL-P against the exact reference.
+///
+/// # Errors
+///
+/// Propagates datapath errors (non-finite values cannot occur with profile
+/// generation, so errors indicate bugs).
+pub fn check_layer(
+    model: ModelId,
+    kind: OpKind,
+    dataset: Dataset,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> Result<EquivalenceReport, ArithError> {
+    let act_profile = profile_for(model, kind, TensorRole::Activation, dataset);
+    let wt_profile = profile_for(model, kind, TensorRole::Weight, dataset);
+    let a = TensorGen::new(act_profile, m, k).values(seed);
+    let b = TensorGen::new(wt_profile, k, n).values(seed ^ 0xABCD);
+    let owlp = owlp_gemm(&a, &b, m, k, n)?;
+    let golden = exact_gemm(&a, &b, m, k, n);
+    let bit_exact = owlp
+        .output
+        .iter()
+        .zip(&golden)
+        .filter(|(x, y)| x.to_bits() == y.to_bits())
+        .count();
+    Ok(EquivalenceReport {
+        elements: golden.len(),
+        bit_exact,
+        act_outliers: owlp.act_outliers,
+        weight_outliers: owlp.weight_outliers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_qkv_layer_is_bit_exact() {
+        let r =
+            check_layer(ModelId::BertBase, OpKind::QkvProj, Dataset::Squad2, 16, 64, 24, 7)
+                .unwrap();
+        assert!(r.is_equivalent(), "{r:?}");
+        assert!(r.act_outliers + r.weight_outliers > 0, "outliers must be exercised");
+    }
+
+    #[test]
+    fn llama_ffn_layer_is_bit_exact() {
+        let r =
+            check_layer(ModelId::Llama2_7b, OpKind::FfnUp, Dataset::WikiText2, 8, 128, 16, 11)
+                .unwrap();
+        assert!(r.is_equivalent(), "{r:?}");
+    }
+
+    #[test]
+    fn softmax_heavy_attention_layer_is_bit_exact() {
+        let r = check_layer(
+            ModelId::Gpt2Base,
+            OpKind::AttnContext,
+            Dataset::WikiText2,
+            12,
+            96,
+            12,
+            3,
+        )
+        .unwrap();
+        assert!(r.is_equivalent(), "{r:?}");
+        assert!(r.act_outliers > 0, "softmax activations should carry outliers");
+    }
+}

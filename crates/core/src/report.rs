@@ -1,0 +1,193 @@
+//! Simulation reports and design-point comparisons (paper Fig. 11).
+
+use owlp_hw::EnergyBreakdown;
+use owlp_model::OpClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-operation-class totals — one stacked-bar segment of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Effective cycles (compute/bandwidth bound, whichever dominates).
+    pub cycles: u64,
+    /// Pure compute cycles (Eq. 4).
+    pub compute_cycles: u64,
+    /// Useful MACs.
+    pub macs: u64,
+    /// Off-chip bytes moved.
+    pub dram_bytes: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl ClassReport {
+    fn add(&mut self, other: &ClassReport) {
+        self.cycles += other.cycles;
+        self.compute_cycles += other.compute_cycles;
+        self.macs += other.macs;
+        self.dram_bytes += other.dram_bytes;
+        self.energy.add(&other.energy);
+    }
+}
+
+/// Full result of simulating one workload on one design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Design-point name.
+    pub design: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total effective cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the design's frequency.
+    pub seconds: f64,
+    /// Total off-chip traffic, bytes.
+    pub dram_bytes: u64,
+    /// Total energy.
+    pub energy: EnergyBreakdown,
+    /// Per-class breakdown.
+    pub per_class: BTreeMap<OpClass, ClassReport>,
+    /// Workload-average activation scheduling overhead (MAC-weighted).
+    pub avg_r_a: f64,
+    /// Workload-average weight scheduling overhead (MAC-weighted).
+    pub avg_r_w: f64,
+}
+
+impl SimulationReport {
+    /// Creates an empty report.
+    pub fn new(design: &str, workload: &str) -> Self {
+        SimulationReport {
+            design: design.to_string(),
+            workload: workload.to_string(),
+            cycles: 0,
+            seconds: 0.0,
+            dram_bytes: 0,
+            energy: EnergyBreakdown::default(),
+            per_class: BTreeMap::new(),
+            avg_r_a: 1.0,
+            avg_r_w: 1.0,
+        }
+    }
+
+    /// Folds one class contribution in.
+    pub fn accumulate(&mut self, class: OpClass, c: &ClassReport) {
+        self.cycles += c.cycles;
+        self.dram_bytes += c.dram_bytes;
+        self.energy.add(&c.energy);
+        self.per_class.entry(class).or_default().add(c);
+    }
+
+    /// Fraction of total cycles in one class (0 when empty).
+    pub fn class_cycle_share(&self, class: OpClass) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.per_class.get(&class).map(|c| c.cycles).unwrap_or(0) as f64 / self.cycles as f64
+    }
+}
+
+/// Relative comparison of two design points on the same workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Workload name.
+    pub workload: String,
+    /// `baseline.cycles / owlp.cycles` (the paper's performance gain).
+    pub speedup: f64,
+    /// `baseline.energy / owlp.energy` (the paper's energy savings).
+    pub energy_ratio: f64,
+    /// `baseline.dram_bytes / owlp.dram_bytes` (compression effect).
+    pub traffic_ratio: f64,
+    /// OwL-P cycles normalised to baseline per class (Fig. 11a bars).
+    pub relative_cycles_per_class: BTreeMap<OpClass, f64>,
+}
+
+impl Comparison {
+    /// Compares a baseline report against an OwL-P report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports cover different workloads.
+    pub fn between(baseline: &SimulationReport, owlp: &SimulationReport) -> Comparison {
+        assert_eq!(baseline.workload, owlp.workload, "mismatched workloads");
+        let mut relative = BTreeMap::new();
+        for class in OpClass::ALL {
+            let b = baseline.per_class.get(&class).map(|c| c.cycles).unwrap_or(0);
+            let o = owlp.per_class.get(&class).map(|c| c.cycles).unwrap_or(0);
+            if b > 0 {
+                relative.insert(class, o as f64 / b as f64);
+            }
+        }
+        Comparison {
+            workload: baseline.workload.clone(),
+            speedup: baseline.cycles as f64 / owlp.cycles.max(1) as f64,
+            energy_ratio: baseline.energy.total_j() / owlp.energy.total_j().max(f64::MIN_POSITIVE),
+            traffic_ratio: baseline.dram_bytes as f64 / owlp.dram_bytes.max(1) as f64,
+            relative_cycles_per_class: relative,
+        }
+    }
+}
+
+/// Geometric mean over comparisons, for headline averages.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_report(cycles: u64, macs: u64) -> ClassReport {
+        ClassReport { cycles, compute_cycles: cycles, macs, dram_bytes: 100, energy: Default::default() }
+    }
+
+    #[test]
+    fn accumulate_totals_and_classes() {
+        let mut r = SimulationReport::new("d", "w");
+        r.accumulate(OpClass::Qkv, &class_report(10, 5));
+        r.accumulate(OpClass::Ffn, &class_report(30, 15));
+        r.accumulate(OpClass::Qkv, &class_report(10, 5));
+        assert_eq!(r.cycles, 50);
+        assert_eq!(r.per_class[&OpClass::Qkv].cycles, 20);
+        assert!((r.class_cycle_share(OpClass::Ffn) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let mut b = SimulationReport::new("base", "w");
+        b.accumulate(OpClass::Qkv, &class_report(300, 1));
+        let mut o = SimulationReport::new("owlp", "w");
+        o.accumulate(OpClass::Qkv, &class_report(100, 1));
+        let c = Comparison::between(&b, &o);
+        assert!((c.speedup - 3.0).abs() < 1e-12);
+        assert!((c.relative_cycles_per_class[&OpClass::Qkv] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched workloads")]
+    fn comparison_requires_same_workload() {
+        let b = SimulationReport::new("base", "w1");
+        let o = SimulationReport::new("owlp", "w2");
+        let _ = Comparison::between(&b, &o);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 1.0);
+    }
+
+    #[test]
+    fn empty_report_shares() {
+        let r = SimulationReport::new("d", "w");
+        assert_eq!(r.class_cycle_share(OpClass::Qkv), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Serving-level metrics: translate simulated cycles into the numbers an
+//! inference-serving operator cares about — tokens/second, time per output
+//! token, time to first token — for the generation workloads.
+
+use crate::accel::Accelerator;
+use crate::report::SimulationReport;
+use owlp_model::{workload, Dataset, ModelId, OpClass, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Serving metrics derived from a generation-workload simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Workload name.
+    pub workload: String,
+    /// Design name.
+    pub design: String,
+    /// Generated tokens per second, across the whole batch.
+    pub tokens_per_second: f64,
+    /// Mean time per output token per sequence, milliseconds.
+    pub time_per_output_token_ms: f64,
+    /// Time to first token (the prefill share of the run), milliseconds.
+    pub time_to_first_token_ms: f64,
+    /// End-to-end seconds.
+    pub total_seconds: f64,
+}
+
+/// Derives serving metrics from a generation simulation.
+///
+/// `batch` sequences each produce `gen_len` tokens; prefill time is
+/// attributed from the large-`M` ops' cycle share (those are the
+/// prompt-processing GEMMs).
+///
+/// # Panics
+///
+/// Panics if `gen_len == 0` or `batch == 0`.
+pub fn serving_metrics(
+    report: &SimulationReport,
+    workload: &Workload,
+    gen_len: usize,
+) -> ServingMetrics {
+    assert!(gen_len > 0, "generation length must be positive");
+    assert!(workload.batch > 0, "batch must be positive");
+    let total_tokens = (workload.batch * gen_len) as f64;
+    // Prefill ops are the ones with M > batch (whole-prompt GEMMs) or
+    // attention over the prompt with M == prompt length (> 1).
+    let prefill_macs: u64 = workload
+        .ops
+        .iter()
+        .filter(|o| o.m > workload.batch)
+        .map(|o| o.macs())
+        .sum();
+    let total_macs: u64 = workload.ops.iter().map(|o| o.macs()).sum();
+    let prefill_fraction = if total_macs == 0 {
+        0.0
+    } else {
+        prefill_macs as f64 / total_macs as f64
+    };
+    let ttft = report.seconds * prefill_fraction;
+    let decode_seconds = report.seconds - ttft;
+    ServingMetrics {
+        workload: report.workload.clone(),
+        design: report.design.clone(),
+        tokens_per_second: total_tokens / report.seconds.max(f64::MIN_POSITIVE),
+        time_per_output_token_ms: decode_seconds / gen_len as f64 * 1e3,
+        time_to_first_token_ms: ttft * 1e3,
+        total_seconds: report.seconds,
+    }
+}
+
+/// Convenience: simulate and derive metrics in one call.
+pub fn simulate_serving(
+    acc: &Accelerator,
+    model: ModelId,
+    batch: usize,
+    prompt_len: usize,
+    gen_len: usize,
+    dataset: Dataset,
+) -> ServingMetrics {
+    let wl = workload::generation_workload(model, batch, prompt_len, gen_len);
+    let report = acc.simulate(&wl, dataset);
+    serving_metrics(&report, &wl, gen_len)
+}
+
+/// Share of decode time spent in attention — grows with context length and
+/// is the long-context bottleneck both designs share.
+pub fn attention_share(report: &SimulationReport) -> f64 {
+    report.class_cycle_share(OpClass::Attention)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owlp_serves_more_tokens_per_second() {
+        let base = simulate_serving(
+            &Accelerator::baseline(),
+            ModelId::Gpt2Base,
+            32,
+            128,
+            256,
+            Dataset::WikiText2,
+        );
+        let owlp = simulate_serving(
+            &Accelerator::owlp(),
+            ModelId::Gpt2Base,
+            32,
+            128,
+            256,
+            Dataset::WikiText2,
+        );
+        assert!(owlp.tokens_per_second > 2.0 * base.tokens_per_second);
+        assert!(owlp.time_per_output_token_ms < base.time_per_output_token_ms);
+        assert!(owlp.time_to_first_token_ms < base.time_to_first_token_ms);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let m = simulate_serving(
+            &Accelerator::owlp(),
+            ModelId::Llama2_7b,
+            32,
+            128,
+            512,
+            Dataset::WikiText2,
+        );
+        // tokens/s × total time ≈ batch × gen.
+        let tokens = m.tokens_per_second * m.total_seconds;
+        assert!((tokens - (32.0 * 512.0)).abs() < 1.0, "{tokens}");
+        // TTFT + decode time = total.
+        let decode = m.time_per_output_token_ms * 512.0 / 1e3;
+        assert!((m.time_to_first_token_ms / 1e3 + decode - m.total_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_prompts_increase_ttft() {
+        let short = simulate_serving(
+            &Accelerator::owlp(),
+            ModelId::Gpt2Base,
+            8,
+            32,
+            64,
+            Dataset::WikiText2,
+        );
+        let long = simulate_serving(
+            &Accelerator::owlp(),
+            ModelId::Gpt2Base,
+            8,
+            512,
+            64,
+            Dataset::WikiText2,
+        );
+        assert!(long.time_to_first_token_ms > 2.0 * short.time_to_first_token_ms);
+    }
+
+    #[test]
+    fn throughput_is_plausible_for_the_hardware() {
+        // GPT2-Base on a 16k-MAC 500 MHz engine: thousands of tokens/s at
+        // batch 32, not millions and not single digits.
+        let base = simulate_serving(
+            &Accelerator::baseline(),
+            ModelId::Gpt2Base,
+            32,
+            128,
+            256,
+            Dataset::WikiText2,
+        );
+        assert!(
+            (100.0..5_000_000.0).contains(&base.tokens_per_second),
+            "{}",
+            base.tokens_per_second
+        );
+    }
+}

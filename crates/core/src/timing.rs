@@ -1,0 +1,68 @@
+//! Double-buffered transfer/compute overlap timing.
+//!
+//! Both designs stream the stationary operand of fold `i+1` while fold `i`
+//! computes (standard double buffering; the 12 MB buffer holds two fold
+//! working sets with room to spare). For a group of identical folds the
+//! total time is therefore
+//!
+//! ```text
+//! T = fetch_one + folds × max(compute_one, fetch_one)
+//! ```
+//!
+//! — the steady state runs at the slower of the two rates, plus one
+//! un-overlapped head fetch. The coarse `max(ΣC, ΣF)` model understates
+//! this by exactly that head term; [`double_buffered_cycles`] makes it
+//! explicit and the simulator uses it.
+
+/// Total cycles for `groups` identical fold groups under double buffering.
+///
+/// `compute_one`/`fetch_one` are per-group cycle counts. Zero groups cost
+/// zero cycles.
+pub fn double_buffered_cycles(compute_one: u64, fetch_one: u64, groups: u64) -> u64 {
+    if groups == 0 {
+        return 0;
+    }
+    fetch_one + groups * compute_one.max(fetch_one)
+}
+
+/// The coarse (fully-overlapped) bound: `max(ΣC, ΣF)`.
+pub fn coarse_cycles(compute_one: u64, fetch_one: u64, groups: u64) -> u64 {
+    (compute_one * groups).max(fetch_one * groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_groups_cost_nothing() {
+        assert_eq!(double_buffered_cycles(100, 50, 0), 0);
+    }
+
+    #[test]
+    fn compute_bound_steady_state() {
+        // 10 groups, compute 100 > fetch 40: head fetch + 10×100.
+        assert_eq!(double_buffered_cycles(100, 40, 10), 40 + 1000);
+    }
+
+    #[test]
+    fn bandwidth_bound_steady_state() {
+        assert_eq!(double_buffered_cycles(30, 80, 10), 80 + 800);
+    }
+
+    #[test]
+    fn exceeds_coarse_bound_by_exactly_the_head_fetch() {
+        for (c, f, g) in [(100u64, 40u64, 7u64), (30, 80, 12), (55, 55, 3)] {
+            let detailed = double_buffered_cycles(c, f, g);
+            let coarse = coarse_cycles(c, f, g);
+            assert_eq!(detailed - coarse, f, "c={c} f={f} g={g}");
+        }
+    }
+
+    #[test]
+    fn head_term_vanishes_relative_to_long_runs() {
+        let detailed = double_buffered_cycles(100, 90, 100_000) as f64;
+        let coarse = coarse_cycles(100, 90, 100_000) as f64;
+        assert!((detailed - coarse) / coarse < 1e-4);
+    }
+}

@@ -1,0 +1,75 @@
+//! The ten evaluation workloads of paper Fig. 11.
+//!
+//! * BERT-Base / BERT-Large: encoder inference, 512 tokens;
+//! * GPT2-Base / GPT2-Large: generation, 256 and 1024 tokens;
+//! * Llama2-7B / Llama2-70B: generation, 1024 and 4096 tokens;
+//!
+//! all generation workloads with KV caching and continuous batching at
+//! batch 32 (paper §VI-C), with a 128-token prompt.
+
+use owlp_model::{workload, ModelId, Workload};
+
+/// Prompt length assumed for the generation workloads (the paper reports
+/// only the generation targets).
+pub const PROMPT_LEN: usize = 128;
+
+/// Generation batch size (paper §VI-C).
+pub const BATCH: usize = 32;
+
+/// BERT input token length (paper §VI-C).
+pub const BERT_SEQ: usize = 512;
+
+/// Builds the ten workloads in the paper's Fig. 11 order.
+pub fn paper_workloads() -> Vec<Workload> {
+    vec![
+        workload::encoder_workload(ModelId::BertBase, BERT_SEQ, 1),
+        workload::encoder_workload(ModelId::BertLarge, BERT_SEQ, 1),
+        workload::generation_workload(ModelId::Gpt2Base, BATCH, PROMPT_LEN, 256),
+        workload::generation_workload(ModelId::Gpt2Base, BATCH, PROMPT_LEN, 1024),
+        workload::generation_workload(ModelId::Gpt2Large, BATCH, PROMPT_LEN, 256),
+        workload::generation_workload(ModelId::Gpt2Large, BATCH, PROMPT_LEN, 1024),
+        workload::generation_workload(ModelId::Llama2_7b, BATCH, PROMPT_LEN, 1024),
+        workload::generation_workload(ModelId::Llama2_7b, BATCH, PROMPT_LEN, 4096),
+        workload::generation_workload(ModelId::Llama2_70b, BATCH, PROMPT_LEN, 1024),
+        workload::generation_workload(ModelId::Llama2_70b, BATCH, PROMPT_LEN, 4096),
+    ]
+}
+
+/// The default dataset per workload: SQuAD2 for the BERT family,
+/// WikiText-2 for the decoder families.
+pub fn default_dataset(model: ModelId) -> owlp_model::Dataset {
+    match model {
+        ModelId::BertBase | ModelId::BertLarge => owlp_model::Dataset::Squad2,
+        _ => owlp_model::Dataset::WikiText2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_ten_workloads() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 10);
+        // Two per model family member.
+        assert_eq!(w.iter().filter(|w| w.model == ModelId::Gpt2Base).count(), 2);
+        assert_eq!(w.iter().filter(|w| w.model == ModelId::Llama2_70b).count(), 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let w = paper_workloads();
+        let mut names: Vec<&str> = w.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn datasets_match_families() {
+        use owlp_model::Dataset;
+        assert_eq!(default_dataset(ModelId::BertBase), Dataset::Squad2);
+        assert_eq!(default_dataset(ModelId::Llama2_7b), Dataset::WikiText2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Multi-tensor model archive — the whole-model container format.
+//!
+//! A model is many tensors, each with its own shared-exponent subset(s).
+//! [`ModelArchive`] bundles named [`PackedTensor`]s (paper Fig. 5 chunks)
+//! into one self-describing byte stream with an index, so a complete set
+//! of compressed model weights can be shipped, inspected and memory-mapped
+//! chunk by chunk — the off-chip layout the accelerator's DMA walks.
+//!
+//! Layout: `MAGIC "OWLA" | version u8 | count u32 | index | blobs`, where
+//! each index entry is `name_len u16 | name | offset u64 | len u64` (offsets
+//! relative to the blob region).
+
+use crate::chunk::PackedTensor;
+use crate::error::FormatError;
+use std::collections::BTreeMap;
+
+/// Archive magic.
+pub const ARCHIVE_MAGIC: &[u8; 4] = b"OWLA";
+/// Archive version.
+pub const ARCHIVE_VERSION: u8 = 1;
+
+/// A named collection of packed tensors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelArchive {
+    tensors: BTreeMap<String, PackedTensor>,
+}
+
+impl ModelArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a tensor under `name`; returns the previous
+    /// occupant, if any.
+    pub fn insert(&mut self, name: impl Into<String>, tensor: PackedTensor) -> Option<PackedTensor> {
+        self.tensors.insert(name.into(), tensor)
+    }
+
+    /// Looks a tensor up by name.
+    pub fn get(&self, name: &str) -> Option<&PackedTensor> {
+        self.tensors.get(name)
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Iterates `(name, tensor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PackedTensor)> {
+        self.tensors.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total packed payload bytes across tensors (excluding the archive
+    /// index).
+    pub fn payload_bytes(&self) -> u64 {
+        self.tensors.values().map(PackedTensor::total_bytes).sum()
+    }
+
+    /// Total elements across tensors.
+    pub fn total_elements(&self) -> u64 {
+        self.tensors.values().map(|t| t.elements() as u64).sum()
+    }
+
+    /// Overall compression ratio vs raw BF16.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.total_elements() * 2;
+        let packed = self.payload_bytes();
+        if packed == 0 {
+            1.0
+        } else {
+            raw as f64 / packed as f64
+        }
+    }
+
+    /// Serialises the archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let blobs: Vec<(&String, Vec<u8>)> =
+            self.tensors.iter().map(|(n, t)| (n, t.to_bytes())).collect();
+        let mut out = Vec::new();
+        out.extend_from_slice(ARCHIVE_MAGIC);
+        out.push(ARCHIVE_VERSION);
+        out.extend_from_slice(&(blobs.len() as u32).to_le_bytes());
+        let mut offset = 0u64;
+        for (name, blob) in &blobs {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            offset += blob.len() as u64;
+        }
+        for (_, blob) in &blobs {
+            out.extend_from_slice(blob);
+        }
+        out
+    }
+
+    /// Parses an archive produced by [`ModelArchive::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::CorruptStream`] /
+    /// [`FormatError::UnexpectedEndOfStream`] on malformed input; each
+    /// contained tensor is validated on load.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let eos = |at: usize| FormatError::UnexpectedEndOfStream { bit_offset: at * 8 };
+        if bytes.len() < 9 {
+            return Err(eos(bytes.len()));
+        }
+        if &bytes[0..4] != ARCHIVE_MAGIC {
+            return Err(FormatError::CorruptStream { reason: "bad archive magic" });
+        }
+        if bytes[4] != ARCHIVE_VERSION {
+            return Err(FormatError::CorruptStream { reason: "unsupported archive version" });
+        }
+        let count = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+        let mut pos = 9usize;
+        let mut entries: Vec<(String, u64, u64)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            if pos + 2 > bytes.len() {
+                return Err(eos(pos));
+            }
+            let name_len =
+                u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+            pos += 2;
+            if pos + name_len + 16 > bytes.len() {
+                return Err(eos(pos));
+            }
+            let name = std::str::from_utf8(&bytes[pos..pos + name_len])
+                .map_err(|_| FormatError::CorruptStream { reason: "tensor name is not utf-8" })?
+                .to_string();
+            pos += name_len;
+            let offset = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8 bytes"));
+            pos += 16;
+            entries.push((name, offset, len));
+        }
+        let blob_base = pos;
+        let mut tensors = BTreeMap::new();
+        for (name, offset, len) in entries {
+            let lo = blob_base
+                .checked_add(offset as usize)
+                .ok_or(FormatError::CorruptStream { reason: "blob offset overflow" })?;
+            let hi = lo
+                .checked_add(len as usize)
+                .ok_or(FormatError::CorruptStream { reason: "blob length overflow" })?;
+            if hi > bytes.len() {
+                return Err(eos(bytes.len()));
+            }
+            let tensor = PackedTensor::from_bytes(&bytes[lo..hi])?;
+            if tensors.insert(name, tensor).is_some() {
+                return Err(FormatError::CorruptStream { reason: "duplicate tensor name" });
+            }
+        }
+        Ok(ModelArchive { tensors })
+    }
+}
+
+impl FromIterator<(String, PackedTensor)> for ModelArchive {
+    fn from_iter<T: IntoIterator<Item = (String, PackedTensor)>>(iter: T) -> Self {
+        ModelArchive { tensors: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkMeta;
+    use crate::encode::encode_tensor;
+    use crate::Bf16;
+
+    fn tensor(seed: u64, len: usize) -> PackedTensor {
+        let data: Vec<Bf16> = (0..len)
+            .map(|i| {
+                let v = 1.0 + ((seed as usize + i) % 61) as f32 / 64.0;
+                Bf16::from_f32(if i % 41 == 40 { v * 1e20 } else { v })
+            })
+            .collect();
+        let enc = encode_tensor(&data, None).expect("encodes");
+        PackedTensor::pack(&enc, ChunkMeta::default()).expect("packs")
+    }
+
+    #[test]
+    fn roundtrip_with_several_tensors() {
+        let mut a = ModelArchive::new();
+        a.insert("layer0.qkv", tensor(1, 100));
+        a.insert("layer0.ffn_up", tensor(2, 257));
+        a.insert("layer1.qkv", tensor(3, 32));
+        let bytes = a.to_bytes();
+        let back = ModelArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.len(), 3);
+        assert_eq!(
+            back.get("layer0.ffn_up").unwrap().unpack().unwrap().to_bf16_vec(),
+            a.get("layer0.ffn_up").unwrap().unpack().unwrap().to_bf16_vec()
+        );
+    }
+
+    #[test]
+    fn empty_archive_roundtrip() {
+        let a = ModelArchive::new();
+        let back = ModelArchive::from_bytes(&a.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut a = ModelArchive::new();
+        assert!(a.insert("w", tensor(1, 10)).is_none());
+        assert!(a.insert("w", tensor(2, 10)).is_some());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut a = ModelArchive::new();
+        a.insert("w", tensor(1, 64));
+        let bytes = a.to_bytes();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(ModelArchive::from_bytes(&bad_magic).is_err());
+        assert!(ModelArchive::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(ModelArchive::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn compression_ratio_aggregates() {
+        let mut a = ModelArchive::new();
+        a.insert("w1", tensor(1, 512));
+        a.insert("w2", tensor(2, 512));
+        let r = a.compression_ratio();
+        assert!(r > 1.25, "{r}");
+        assert_eq!(a.total_elements(), 1024);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut a = ModelArchive::new();
+        a.insert("b", tensor(1, 8));
+        a.insert("a", tensor(2, 8));
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Bit-exact software [bfloat16] type.
+//!
+//! BF16 is the input/output number format of both the baseline accelerator
+//! and OwL-P (paper Eq. 1):
+//!
+//! ```text
+//! BF16: (-1)^sign × 2^(exponent - 127) × 1.frac
+//! ```
+//!
+//! with 1 sign bit, 8 exponent bits and 7 fraction bits — the top 16 bits of
+//! an IEEE-754 `f32`. Conversion **to** `f32` is exact; conversion **from**
+//! `f32` rounds to nearest, ties to even.
+//!
+//! [bfloat16]: https://en.wikipedia.org/wiki/Bfloat16_floating-point_format
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bfloat16 value stored as its raw 16-bit pattern.
+///
+/// All field accessors are exact bit operations; no precision is lost going
+/// through [`Bf16::to_f32`]. The type implements total bitwise equality
+/// (`-0.0 != +0.0`, `NaN == NaN` iff same payload), which is what the
+/// lossless-compression tests of this crate need. Use [`Bf16::to_f32`] for
+/// numeric comparison semantics.
+///
+/// ```
+/// use owlp_format::Bf16;
+/// let x = Bf16::from_f32(3.140625);
+/// assert_eq!(x.to_f32(), 3.140625); // exactly representable
+/// assert_eq!(x.exponent_bits(), 128);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: Bf16 = Bf16(0x8000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Largest finite value, `≈ 3.39e38`.
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Smallest positive normal value, `2^-126`.
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Smallest positive subnormal value, `2^-133`.
+    pub const MIN_POSITIVE_SUBNORMAL: Bf16 = Bf16(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+
+    /// IEEE exponent bias.
+    pub const EXP_BIAS: i32 = 127;
+    /// Number of fraction bits.
+    pub const FRAC_BITS: u32 = 7;
+
+    /// Creates a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest with ties to even.
+    ///
+    /// NaNs are preserved as quiet NaNs (payload truncated, never silently
+    /// turned into infinity).
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Keep sign and top payload bits; force a quiet NaN so the
+            // truncation cannot produce an infinity encoding.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round-to-nearest-even on the 16 truncated bits.
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7FFF).wrapping_add(lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` exactly (every BF16 value is an `f32`).
+    #[inline]
+    pub const fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Converts to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Sign bit: `true` when negative (including `-0.0` and negative NaNs).
+    #[inline]
+    pub const fn sign(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// The raw 8-bit biased exponent field.
+    #[inline]
+    pub const fn exponent_bits(self) -> u8 {
+        ((self.0 >> 7) & 0xFF) as u8
+    }
+
+    /// The raw 7-bit fraction field.
+    #[inline]
+    pub const fn fraction(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// `true` for `+0.0` and `-0.0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 & 0x7FFF == 0
+    }
+
+    /// `true` for subnormal values (exponent field 0, nonzero fraction).
+    #[inline]
+    pub const fn is_subnormal(self) -> bool {
+        self.exponent_bits() == 0 && self.fraction() != 0
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        self.exponent_bits() == 0xFF && self.fraction() != 0
+    }
+
+    /// `true` for `±∞`.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.exponent_bits() == 0xFF && self.fraction() == 0
+    }
+
+    /// `true` for anything that is not NaN or `±∞`.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.exponent_bits() != 0xFF
+    }
+
+    /// The 8-bit significand including the hidden bit: `1.frac` for normal
+    /// values (`0x80 | frac`), `0.frac` for zero/subnormal values (`frac`).
+    ///
+    /// For NaN/∞ this returns the fraction pattern and is not meaningful.
+    #[inline]
+    pub const fn significand(self) -> u8 {
+        if self.exponent_bits() == 0 {
+            self.fraction()
+        } else {
+            0x80 | self.fraction()
+        }
+    }
+
+    /// The power-of-two scale `p` such that the value equals
+    /// `(-1)^sign × significand() × 2^p` exactly, for finite values.
+    ///
+    /// Uniform over normals and subnormals: `max(e, 1) - 127 - 7`.
+    #[inline]
+    pub const fn pow2_frame(self) -> i32 {
+        let e = self.exponent_bits();
+        let eff = if e == 0 { 1 } else { e as i32 };
+        eff - Self::EXP_BIAS - Self::FRAC_BITS as i32
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub const fn abs(self) -> Self {
+        Bf16(self.0 & 0x7FFF)
+    }
+
+    /// Negation (flips the sign bit; exact, also on zero and NaN).
+    #[inline]
+    pub const fn neg(self) -> Self {
+        Bf16(self.0 ^ 0x8000)
+    }
+
+    /// The next representable value toward `+∞` (saturates at `+∞`).
+    ///
+    /// Useful for enumerating the format in exhaustive tests.
+    pub fn next_up(self) -> Self {
+        if self.is_nan() || self.0 == Self::INFINITY.0 {
+            return self;
+        }
+        if self.0 == Self::NEG_ZERO.0 {
+            return Bf16(0x0001);
+        }
+        if self.sign() {
+            Bf16(self.0 - 1)
+        } else {
+            Bf16(self.0 + 1)
+        }
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Iterator over every finite BF16 bit pattern (65 536 minus NaN/∞ codes).
+///
+/// ```
+/// use owlp_format::bf16::all_finite;
+/// assert_eq!(all_finite().count(), 65_536 - 2 * 128);
+/// ```
+pub fn all_finite() -> impl Iterator<Item = Bf16> {
+    (0u16..=u16::MAX)
+        .map(Bf16::from_bits)
+        .filter(|b| b.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f32_exact_values() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 3.5, (-126.0f32).exp2(), 1.5 * 127.0f32.exp2()] {
+            let b = Bf16::from_f32(x);
+            assert_eq!(b.to_f32(), x, "{x} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn from_f32_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and 1.0078125 in BF16;
+        // ties-to-even keeps the even significand (1.0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // 1.0078125 + 2^-8 is halfway with odd low bit; rounds up.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3F82);
+        // Just above halfway always rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+    }
+
+    #[test]
+    fn nan_is_preserved_not_squashed_to_infinity() {
+        let n = Bf16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        // NaN with payload only in the low 16 f32 bits must stay NaN.
+        let tricky = f32::from_bits(0x7F80_0001);
+        assert!(tricky.is_nan());
+        assert!(Bf16::from_f32(tricky).is_nan());
+    }
+
+    #[test]
+    fn field_extraction() {
+        let x = Bf16::from_f32(-6.5); // -1.625 × 2^2
+        assert!(x.sign());
+        assert_eq!(x.exponent_bits(), 129);
+        assert_eq!(x.fraction(), 0b101_0000);
+        assert_eq!(x.significand(), 0b1101_0000);
+    }
+
+    #[test]
+    fn significand_frame_reconstructs_value_for_all_finite() {
+        for b in all_finite() {
+            let sign = if b.sign() { -1.0 } else { 1.0 };
+            let v = sign * b.significand() as f64 * (b.pow2_frame() as f64).exp2();
+            assert_eq!(v, b.to_f64(), "reconstruction failed for {b:?}");
+        }
+    }
+
+    #[test]
+    fn subnormal_classification() {
+        assert!(Bf16::MIN_POSITIVE_SUBNORMAL.is_subnormal());
+        assert!(!Bf16::MIN_POSITIVE.is_subnormal());
+        assert!(!Bf16::ZERO.is_subnormal());
+        assert!(Bf16::ZERO.is_zero());
+        assert!(Bf16::NEG_ZERO.is_zero());
+        assert_eq!(Bf16::MIN_POSITIVE_SUBNORMAL.to_f32(), (-133.0f32).exp2());
+    }
+
+    #[test]
+    fn infinity_and_nan_classification() {
+        assert!(Bf16::INFINITY.is_infinite());
+        assert!(Bf16::NEG_INFINITY.is_infinite());
+        assert!(Bf16::NAN.is_nan());
+        assert!(!Bf16::NAN.is_finite());
+        assert!(!Bf16::INFINITY.is_finite());
+        assert!(Bf16::MAX.is_finite());
+    }
+
+    #[test]
+    fn abs_neg() {
+        let x = Bf16::from_f32(-2.5);
+        assert_eq!(x.abs().to_f32(), 2.5);
+        assert_eq!(x.neg().to_f32(), 2.5);
+        assert_eq!(Bf16::ZERO.neg(), Bf16::NEG_ZERO);
+    }
+
+    #[test]
+    fn next_up_walks_the_format() {
+        let mut x = Bf16::NEG_ZERO;
+        x = x.next_up();
+        assert_eq!(x, Bf16::MIN_POSITIVE_SUBNORMAL);
+        assert_eq!(Bf16::INFINITY.next_up(), Bf16::INFINITY);
+        let just_below_inf = Bf16::MAX;
+        assert_eq!(just_below_inf.next_up(), Bf16::INFINITY);
+    }
+
+    #[test]
+    fn to_f32_exact_for_all_finite() {
+        // Every finite bf16 converts to f32 and back unchanged.
+        for b in all_finite() {
+            assert_eq!(Bf16::from_f32(b.to_f32()), b);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! `owlp-pack` — compress/decompress raw tensor files with the OwL-P
+//! number format.
+//!
+//! ```text
+//! owlp-pack pack   <input.bf16|input.f32> <output.owlp>   # compress
+//! owlp-pack unpack <input.owlp> <output.bf16>             # decompress
+//! owlp-pack info   <input.owlp>                           # inspect
+//! ```
+//!
+//! Input for `pack` is a flat little-endian array of BF16 (`.bf16`) or
+//! IEEE f32 (`.f32`, rounded to BF16 on ingest). The output container is
+//! the three-region memory map of the paper's Fig. 5 plus a 26-byte file
+//! header; `unpack` restores the exact BF16 stream (lossless for `.bf16`
+//! inputs).
+
+use owlp_format::chunk::{ChunkMeta, PackedTensor};
+use owlp_format::{encode_tensor, Bf16};
+use std::fs;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  owlp-pack pack   <input.bf16|input.f32> <output.owlp>\n  \
+         owlp-pack unpack <input.owlp> <output.bf16>\n  owlp-pack info   <input.owlp>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, input, output] if cmd == "pack" => pack(input, output),
+        [cmd, input, output] if cmd == "unpack" => unpack(input, output),
+        [cmd, input] if cmd == "info" => info(input),
+        _ => usage(),
+    }
+}
+
+fn read_values(path: &str) -> Result<Vec<Bf16>, String> {
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".f32") {
+        if bytes.len() % 4 != 0 {
+            return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()));
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| Bf16::from_f32(f32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect())
+    } else {
+        if bytes.len() % 2 != 0 {
+            return Err(format!("{path}: length {} is not a multiple of 2", bytes.len()));
+        }
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| Bf16::from_bits(u16::from_le_bytes(c.try_into().expect("2 bytes"))))
+            .collect())
+    }
+}
+
+fn pack(input: &str, output: &str) -> ExitCode {
+    let values = match read_values(input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let enc = match encode_tensor(&values, None) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: encoding failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let packed = match PackedTensor::pack(&enc, ChunkMeta::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: packing failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bytes = packed.to_bytes();
+    if let Err(e) = fs::write(output, &bytes) {
+        eprintln!("error: writing {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} values -> {} bytes ({:.2}x vs raw BF16), {} outliers ({:.2}%), shared exponent {}",
+        enc.len(),
+        bytes.len(),
+        (enc.len() * 2) as f64 / bytes.len() as f64,
+        enc.outlier_count(),
+        100.0 * enc.outlier_count() as f64 / enc.len().max(1) as f64,
+        enc.shared_exp(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn unpack(input: &str, output: &str) -> ExitCode {
+    let bytes = match fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: reading {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let packed = match PackedTensor::from_bytes(&bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {input} is not a valid owlp container: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let values = packed.unpack().expect("validated on load").to_bf16_vec();
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for v in &values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    if let Err(e) = fs::write(output, &out) {
+        eprintln!("error: writing {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{} values restored to {output}", values.len());
+    ExitCode::SUCCESS
+}
+
+fn info(input: &str) -> ExitCode {
+    let bytes = match fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: reading {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let packed = match PackedTensor::from_bytes(&bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {input} is not a valid owlp container: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let enc = packed.unpack().expect("validated on load");
+    println!("container:       {} bytes (header 26)", bytes.len());
+    println!("elements:        {}", packed.elements());
+    println!("shared exponent: {}", packed.shared_exp());
+    println!("normal region:   {} bytes", packed.normal_region().len());
+    println!("outlier region:  {} bytes ({} outliers)", packed.outlier_region().len(), enc.outlier_count());
+    println!("normal ratio:    {:.2}%", enc.normal_ratio() * 100.0);
+    println!("compression:     {:.2}x vs raw BF16", packed.compression_ratio());
+    ExitCode::SUCCESS
+}

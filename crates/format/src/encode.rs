@@ -1,0 +1,267 @@
+//! Tensor encoding into the OwL-P format.
+//!
+//! [`encode_tensor`] classifies every element of a BF16 tensor against a
+//! shared-exponent window (chosen automatically when not supplied) and
+//! produces an [`EncodedTensor`]: the in-line 11-bit codes plus the
+//! out-of-line outlier exponent stream, exactly the two data regions the
+//! memory map of paper Fig. 5 serialises.
+
+use crate::bf16::Bf16;
+use crate::decode::{BiasDecoder, DecodedOperand};
+use crate::error::FormatError;
+use crate::shared_exp::{select_window, ExponentWindow};
+use crate::value::{EncodedValue, OwlpCode};
+use serde::{Deserialize, Serialize};
+
+/// A tensor encoded in the OwL-P number format.
+///
+/// `codes[i]` is the 11-bit code of element `i` (row-major for 2-D data);
+/// the `k`-th outlier in element order takes its exponent from
+/// `outlier_exps[k]` — the same in-order association the hardware recovers
+/// from the per-group outlier counts and pointers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedTensor {
+    window: ExponentWindow,
+    codes: Vec<OwlpCode>,
+    outlier_exps: Vec<u8>,
+}
+
+impl EncodedTensor {
+    /// The shared-exponent window used for encoding.
+    pub fn window(&self) -> ExponentWindow {
+        self.window
+    }
+
+    /// The shared exponent (window base) stored in the metadata region.
+    pub fn shared_exp(&self) -> u8 {
+        self.window.base()
+    }
+
+    /// Number of encoded elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The in-line 11-bit codes.
+    pub fn codes(&self) -> &[OwlpCode] {
+        &self.codes
+    }
+
+    /// The out-of-line outlier exponent stream, in element order.
+    pub fn outlier_exps(&self) -> &[u8] {
+        &self.outlier_exps
+    }
+
+    /// Number of outlier entries (zeros are stored as exponent-0 outliers
+    /// and counted here; see [`crate::decode`] for why they still never
+    /// consume PE outlier paths).
+    pub fn outlier_count(&self) -> usize {
+        self.outlier_exps.len()
+    }
+
+    /// Fraction of elements encoded as normal values, the paper's
+    /// Table II metric. Zeros count as normal here (they travel the normal
+    /// datapath), while nonzero out-of-window values count as outliers.
+    pub fn normal_ratio(&self) -> f64 {
+        if self.codes.is_empty() {
+            return 1.0;
+        }
+        let outliers = self
+            .iter_values()
+            .filter(|v| match v {
+                EncodedValue::Outlier { exp, frac, .. } => !(*exp == 0 && *frac == 0),
+                EncodedValue::Normal { .. } => false,
+            })
+            .count();
+        1.0 - outliers as f64 / self.codes.len() as f64
+    }
+
+    /// Iterates semantic values (joins codes with their outlier exponents).
+    pub fn iter_values(&self) -> impl Iterator<Item = EncodedValue> + '_ {
+        let mut next_outlier = 0usize;
+        self.codes.iter().map(move |c| {
+            if c.is_outlier() {
+                let exp = self.outlier_exps[next_outlier];
+                next_outlier += 1;
+                EncodedValue::Outlier { sign: c.sign(), exp, frac: c.frac() }
+            } else {
+                EncodedValue::Normal { sign: c.sign(), bias: c.bias(), frac: c.frac() }
+            }
+        })
+    }
+
+    /// Decodes back to BF16, exactly.
+    pub fn to_bf16_vec(&self) -> Vec<Bf16> {
+        self.iter_values().map(|v| v.to_bf16(self.window)).collect()
+    }
+
+    /// Runs the bias decoder over the whole tensor, producing the pre-aligned
+    /// integer operand stream the PE array consumes.
+    pub fn decode_operands(&self) -> Vec<DecodedOperand> {
+        let dec = BiasDecoder::new(self.shared_exp());
+        self.iter_values().map(|v| dec.decode_value(v)).collect()
+    }
+
+    /// Storage cost of the two data regions in bits: 11 bits per element
+    /// plus 8 bits per outlier exponent (group framing overhead is accounted
+    /// by [`crate::chunk::PackedTensor`], which owns the exact layout).
+    pub fn payload_bits(&self) -> u64 {
+        self.codes.len() as u64 * crate::CODE_BITS as u64 + self.outlier_exps.len() as u64 * 8
+    }
+
+    /// Assembles an `EncodedTensor` from parts (used by the unpacker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::CorruptStream`] if the number of outlier codes
+    /// does not match the exponent stream length.
+    pub fn from_parts(
+        window: ExponentWindow,
+        codes: Vec<OwlpCode>,
+        outlier_exps: Vec<u8>,
+    ) -> Result<Self, FormatError> {
+        let marked = codes.iter().filter(|c| c.is_outlier()).count();
+        if marked != outlier_exps.len() {
+            return Err(FormatError::CorruptStream {
+                reason: "outlier code count does not match exponent stream length",
+            });
+        }
+        Ok(EncodedTensor { window, codes, outlier_exps })
+    }
+}
+
+/// Encodes a BF16 tensor into the OwL-P format.
+///
+/// When `window` is `None`, the densest 7-exponent window is selected from
+/// the data (paper §II-B). The encoding is **lossless**: decoding returns
+/// the input bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`FormatError::NonFinite`] if any element is NaN or ±∞.
+///
+/// ```
+/// use owlp_format::{Bf16, encode_tensor};
+/// # fn main() -> Result<(), owlp_format::FormatError> {
+/// let t = vec![Bf16::from_f32(0.5), Bf16::from_f32(-1e30)];
+/// let enc = encode_tensor(&t, None)?;
+/// assert_eq!(enc.outlier_count(), 1); // 1e30 is far outside the window
+/// assert_eq!(enc.to_bf16_vec(), t);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_tensor(
+    data: &[Bf16],
+    window: Option<ExponentWindow>,
+) -> Result<EncodedTensor, FormatError> {
+    let window = window.unwrap_or_else(|| select_window(data));
+    let mut codes = Vec::with_capacity(data.len());
+    let mut outlier_exps = Vec::new();
+    for (index, &x) in data.iter().enumerate() {
+        let v = EncodedValue::classify(x, window).ok_or(FormatError::NonFinite { index })?;
+        codes.push(v.code());
+        if let EncodedValue::Outlier { exp, .. } = v {
+            outlier_exps.push(exp);
+        }
+    }
+    Ok(EncodedTensor { window, codes, outlier_exps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn roundtrip_mixed_tensor() {
+        let data: Vec<Bf16> =
+            [1.0f32, -0.5, 0.0, 3.75, -2e20, 1e-30, 0.007, -0.0].iter().map(|&x| bf(x)).collect();
+        let enc = encode_tensor(&data, None).unwrap();
+        assert_eq!(enc.to_bf16_vec(), data);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let data = vec![bf(1.0), Bf16::NAN];
+        assert_eq!(encode_tensor(&data, None), Err(FormatError::NonFinite { index: 1 }));
+    }
+
+    #[test]
+    fn normal_ratio_counts_zeros_as_normal() {
+        // 8 in-window values, 1 zero, 1 true outlier → ratio 0.9.
+        let mut data: Vec<Bf16> = (0..8).map(|i| bf(1.0 + i as f32 * 0.1)).collect();
+        data.push(Bf16::ZERO);
+        data.push(bf(1e30));
+        let enc = encode_tensor(&data, None).unwrap();
+        assert!((enc.normal_ratio() - 0.9).abs() < 1e-12, "{}", enc.normal_ratio());
+    }
+
+    #[test]
+    fn outlier_exponents_follow_element_order() {
+        let data = vec![bf(1e30), bf(1.0), bf(1e-30)];
+        let enc = encode_tensor(&data, None).unwrap();
+        assert_eq!(enc.outlier_count(), 2);
+        // 1e30 has a large exponent, 1e-30 a small one; order preserved.
+        assert!(enc.outlier_exps()[0] > enc.outlier_exps()[1]);
+    }
+
+    #[test]
+    fn payload_bits_accounting() {
+        let data = vec![bf(1.0); 32];
+        let enc = encode_tensor(&data, None).unwrap();
+        assert_eq!(enc.payload_bits(), 32 * 11);
+        let data2 = vec![bf(1e30); 4];
+        let enc2 = encode_tensor(&data2, None).unwrap();
+        // Everything is an outlier relative to... wait: the window centers on
+        // 1e30's exponent, so these are normals. Force a distant window.
+        let w = ExponentWindow::owlp(1);
+        let enc3 = encode_tensor(&data2, Some(w)).unwrap();
+        assert_eq!(enc2.outlier_count(), 0);
+        assert_eq!(enc3.outlier_count(), 4);
+        assert_eq!(enc3.payload_bits(), 4 * 11 + 4 * 8);
+    }
+
+    #[test]
+    fn decode_operands_match_values_exactly() {
+        let data: Vec<Bf16> =
+            [0.25f32, 7.5, -100.0, 1e-20, 0.0].iter().map(|&x| bf(x)).collect();
+        let enc = encode_tensor(&data, None).unwrap();
+        let ops = enc.decode_operands();
+        for (op, x) in ops.iter().zip(&data) {
+            assert_eq!(op.to_f64(enc.shared_exp()), x.to_f64());
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_outlier_count() {
+        let w = ExponentWindow::owlp(120);
+        let codes = vec![OwlpCode::outlier(false, 3)];
+        let err = EncodedTensor::from_parts(w, codes, vec![]).unwrap_err();
+        assert!(matches!(err, FormatError::CorruptStream { .. }));
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let enc = encode_tensor(&[], None).unwrap();
+        assert!(enc.is_empty());
+        assert_eq!(enc.normal_ratio(), 1.0);
+        assert_eq!(enc.payload_bits(), 0);
+    }
+
+    #[test]
+    fn explicit_window_is_respected() {
+        let w = ExponentWindow::owlp(130);
+        let data = vec![bf(1.0)]; // exponent 127 < 130 → outlier
+        let enc = encode_tensor(&data, Some(w)).unwrap();
+        assert_eq!(enc.outlier_count(), 1);
+        assert_eq!(enc.to_bf16_vec(), data);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types for encoding, packing and unpacking OwL-P data.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the format layer.
+///
+/// All variants carry enough context to locate the offending element; the
+/// `Display` form is lowercase without trailing punctuation per Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// A non-finite value (NaN or ±∞) was handed to the encoder. The OwL-P
+    /// format only represents finite BF16 data (paper Eq. 2).
+    NonFinite {
+        /// Index of the offending element in the input slice.
+        index: usize,
+    },
+    /// A 32-value group contained more outliers than the 5-bit count field
+    /// of the memory map can describe (paper Fig. 5 allows 0–31).
+    TooManyOutliers {
+        /// Index of the offending group.
+        group: usize,
+        /// Number of outliers found.
+        count: usize,
+    },
+    /// The outlier-pointer field (11 bits) overflowed; the tensor has more
+    /// outlier chunks than the on-chip addressing scheme supports.
+    OutlierPointerOverflow {
+        /// The pointer value that did not fit.
+        pointer: usize,
+    },
+    /// The packed stream ended before the declared number of values.
+    UnexpectedEndOfStream {
+        /// Bit offset at which the reader ran out.
+        bit_offset: usize,
+    },
+    /// Packed metadata is internally inconsistent (e.g. count does not match
+    /// the outlier region contents).
+    CorruptStream {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+    /// A dimension mismatch between declared shape and element count.
+    ShapeMismatch {
+        /// Declared number of elements.
+        expected: usize,
+        /// Actual number of elements.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index} cannot be encoded")
+            }
+            FormatError::TooManyOutliers { group, count } => write!(
+                f,
+                "group {group} has {count} outliers, exceeding the 5-bit count field (max 31)"
+            ),
+            FormatError::OutlierPointerOverflow { pointer } => {
+                write!(f, "outlier pointer {pointer} exceeds the 11-bit field")
+            }
+            FormatError::UnexpectedEndOfStream { bit_offset } => {
+                write!(f, "packed stream ended unexpectedly at bit {bit_offset}")
+            }
+            FormatError::CorruptStream { reason } => {
+                write!(f, "corrupt packed stream: {reason}")
+            }
+            FormatError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errs: Vec<FormatError> = vec![
+            FormatError::NonFinite { index: 3 },
+            FormatError::TooManyOutliers { group: 1, count: 32 },
+            FormatError::OutlierPointerOverflow { pointer: 4096 },
+            FormatError::UnexpectedEndOfStream { bit_offset: 17 },
+            FormatError::CorruptStream { reason: "bad count" },
+            FormatError::ShapeMismatch { expected: 4, actual: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Shared-exponent selection.
+//!
+//! OwL-P exploits the observation (paper §II-B, Fig. 1) that the exponents of
+//! LLM weight and activation tensors concentrate in a narrow band: the seven
+//! most common *consecutive* exponents cover ≳96 % of values. Those are the
+//! **normal** values, expressed relative to a per-tensor-subset shared
+//! exponent with a 3-bit bias; everything outside the window is an
+//! **outlier** that keeps its full 8-bit exponent (paper Eq. 2).
+
+use crate::bf16::Bf16;
+use crate::NORMAL_WINDOW_WIDTH;
+use serde::{Deserialize, Serialize};
+
+/// A window of consecutive biased exponents `[base, base + width - 1]`.
+///
+/// Values whose BF16 exponent field falls inside the window are encodable as
+/// normal values with `bias = exponent - base`. The canonical OwL-P window
+/// has width [`NORMAL_WINDOW_WIDTH`] (= 7, from the 3-bit bias field with one
+/// pattern reserved); other widths are supported for ablation studies.
+///
+/// ```
+/// use owlp_format::{Bf16, ExponentWindow};
+/// let w = ExponentWindow::new(124, 7);
+/// assert!(w.contains(Bf16::from_f32(1.0)));   // exponent 127
+/// assert!(!w.contains(Bf16::from_f32(64.0))); // exponent 133 — outlier
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExponentWindow {
+    base: u8,
+    width: u8,
+}
+
+impl ExponentWindow {
+    /// Creates a window starting at biased exponent `base` spanning `width`
+    /// consecutive exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, if `base == 0` (exponent field 0 denotes
+    /// subnormals, which are always outliers), or if the window would extend
+    /// past exponent 254 (255 denotes NaN/∞).
+    pub fn new(base: u8, width: u8) -> Self {
+        assert!(width > 0, "window width must be positive");
+        assert!(base > 0, "window cannot start at the subnormal exponent 0");
+        assert!(
+            base as u32 + width as u32 - 1 <= 254,
+            "window [{base}, {}] extends past the largest finite exponent 254",
+            base as u32 + width as u32 - 1
+        );
+        ExponentWindow { base, width }
+    }
+
+    /// The canonical 7-wide OwL-P window starting at `base`.
+    pub fn owlp(base: u8) -> Self {
+        Self::new(base, NORMAL_WINDOW_WIDTH)
+    }
+
+    /// First exponent in the window (the shared exponent stored in the
+    /// metadata region of the memory map).
+    #[inline]
+    pub fn base(self) -> u8 {
+        self.base
+    }
+
+    /// Number of consecutive exponents covered.
+    #[inline]
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Last exponent in the window.
+    #[inline]
+    pub fn last(self) -> u8 {
+        self.base + self.width - 1
+    }
+
+    /// Whether `x` is encodable as a *normal* value under this window.
+    ///
+    /// Zeros are considered normal-encodable by the datapath convention of
+    /// this crate ([`crate::encode`] stores them as zero-significand codes),
+    /// but this predicate reports the pure exponent-window membership used
+    /// for outlier statistics: zero and subnormal values (exponent field 0)
+    /// are *outside* every window, matching how the paper counts them.
+    #[inline]
+    pub fn contains(self, x: Bf16) -> bool {
+        let e = x.exponent_bits();
+        e >= self.base && e <= self.last()
+    }
+
+    /// The bias of `x` relative to this window, if it is inside.
+    #[inline]
+    pub fn bias_of(self, x: Bf16) -> Option<u8> {
+        if self.contains(x) {
+            Some(x.exponent_bits() - self.base)
+        } else {
+            None
+        }
+    }
+}
+
+/// Selects the densest window of [`NORMAL_WINDOW_WIDTH`] consecutive
+/// exponents over `data` — the "seven most common consecutive exponents"
+/// rule of paper §II-B.
+///
+/// Zeros contribute to no exponent bin (they are representable under any
+/// window); NaN/∞ are ignored here and rejected later by the encoder. When
+/// `data` contains no usable exponents the window defaults to base 1.
+/// Ties are broken toward the smaller base, deterministically.
+///
+/// ```
+/// use owlp_format::{Bf16, select_window};
+/// let t: Vec<Bf16> = (0..100).map(|i| Bf16::from_f32(1.0 + i as f32 / 128.0)).collect();
+/// let w = select_window(&t);
+/// assert!(w.contains(Bf16::from_f32(1.0)));
+/// ```
+pub fn select_window(data: &[Bf16]) -> ExponentWindow {
+    select_window_of_width(data, NORMAL_WINDOW_WIDTH)
+}
+
+/// [`select_window`] with a configurable width, for ablation studies of the
+/// bias-field size (e.g. a 2-bit bias gives width 3).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 254`.
+pub fn select_window_of_width(data: &[Bf16], width: u8) -> ExponentWindow {
+    assert!(width > 0 && width <= 254, "invalid window width {width}");
+    let hist = exponent_counts(data);
+    best_window(&hist, width)
+}
+
+/// Exponent occurrence counts over the 256 possible exponent fields,
+/// counting only finite nonzero values (bins 1..=254 can be populated; bin 0
+/// counts subnormals, which are never normal-encodable).
+pub fn exponent_counts(data: &[Bf16]) -> [u64; 256] {
+    let mut hist = [0u64; 256];
+    for &x in data {
+        if x.is_finite() && !x.is_zero() {
+            hist[x.exponent_bits() as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Picks the densest `width`-wide window from a 256-bin exponent histogram.
+///
+/// Only bins 1..=254 participate (bin 0 is the subnormal exponent; windows
+/// cannot start there). Ties break toward the smaller base.
+pub fn best_window(hist: &[u64; 256], width: u8) -> ExponentWindow {
+    let width = width.min(254);
+    let hi_base = 254 - (width as usize) + 1;
+    let mut best_base = 1usize;
+    let mut current: u64 = hist[1..1 + width as usize].iter().sum();
+    let mut best_count = current;
+    for base in 2..=hi_base {
+        current = current - hist[base - 1] + hist[base + width as usize - 1];
+        if current > best_count {
+            best_count = current;
+            best_base = base;
+        }
+    }
+    ExponentWindow::new(best_base as u8, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn window_bounds() {
+        let w = ExponentWindow::owlp(120);
+        assert_eq!(w.base(), 120);
+        assert_eq!(w.last(), 126);
+        assert_eq!(w.width(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the largest finite exponent")]
+    fn window_past_254_panics() {
+        let _ = ExponentWindow::new(250, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "subnormal exponent 0")]
+    fn window_at_zero_panics() {
+        let _ = ExponentWindow::new(0, 7);
+    }
+
+    #[test]
+    fn contains_and_bias() {
+        let w = ExponentWindow::owlp(125);
+        // exponent of 1.0 is 127 → bias 2.
+        assert_eq!(w.bias_of(bf(1.0)), Some(2));
+        // exponent of 0.25 is 125 → bias 0.
+        assert_eq!(w.bias_of(bf(0.25)), Some(0));
+        // exponent of 16.0 is 131 → bias 6 (last in window).
+        assert_eq!(w.bias_of(bf(16.0)), Some(6));
+        // exponent 132 just outside.
+        assert_eq!(w.bias_of(bf(32.0)), None);
+        assert_eq!(w.bias_of(bf(0.125)), None);
+    }
+
+    #[test]
+    fn zero_and_subnormal_are_outside_all_windows() {
+        let w = ExponentWindow::owlp(1);
+        assert!(!w.contains(Bf16::ZERO));
+        // Subnormals have exponent field 0, below every legal window.
+        assert!(!w.contains(Bf16::MIN_POSITIVE_SUBNORMAL));
+    }
+
+    #[test]
+    fn select_densest_window() {
+        // 90 values with exponent 127 (1.0..2.0), 10 with exponent 140.
+        let mut data: Vec<Bf16> = (0..90).map(|i| bf(1.0 + i as f32 / 100.0)).collect();
+        data.extend((0..10).map(|_| bf(10000.0)));
+        let w = select_window(&data);
+        assert!(w.contains(bf(1.0)), "window {w:?} should contain exp 127");
+        assert!(!w.contains(bf(10000.0)));
+    }
+
+    #[test]
+    fn select_window_ignores_zeros_and_nonfinite() {
+        let data = vec![Bf16::ZERO, Bf16::NAN, Bf16::INFINITY, bf(4.0)];
+        let w = select_window(&data);
+        assert!(w.contains(bf(4.0)));
+    }
+
+    #[test]
+    fn select_window_on_empty_input_defaults() {
+        let w = select_window(&[]);
+        assert_eq!(w.base(), 1);
+    }
+
+    #[test]
+    fn window_straddles_wide_distribution_maximally() {
+        // Exponents 100..=112, uniform; any 7-window covers 7 bins; tie →
+        // smallest base = 100.
+        let mut data = Vec::new();
+        for e in 100u8..=112 {
+            for _ in 0..5 {
+                data.push(Bf16::from_bits((e as u16) << 7));
+            }
+        }
+        let w = select_window(&data);
+        assert_eq!(w.base(), 100);
+    }
+
+    #[test]
+    fn ablation_width() {
+        let data: Vec<Bf16> = (0..50).map(|i| bf(1.0 + i as f32 / 64.0)).collect();
+        let w = select_window_of_width(&data, 3);
+        assert_eq!(w.width(), 3);
+        assert!(w.contains(bf(1.0)));
+    }
+}

@@ -1,0 +1,322 @@
+//! Streaming (vector-unit) encoding with per-subset shared exponents.
+//!
+//! The paper stores "a exponent shared by each **subset tensor** within
+//! each layer" (§III-A) and has the vector unit re-encode the systolic
+//! array's FP outputs into the OwL-P format on the fly (Fig. 3). This
+//! module provides both:
+//!
+//! * [`StreamingEncoder`] — consumes values (FP32 from the array, or BF16)
+//!   block by block; each block gets its own densest window, bounding both
+//!   the encoder's buffering needs and the blast radius of a distribution
+//!   shift inside a tensor;
+//! * [`EncodedStream`] — the resulting sequence of per-block
+//!   [`EncodedTensor`]s with footprint accounting across blocks.
+//!
+//! Smaller blocks adapt better (fewer outliers) but store more metadata;
+//! the `repro ablations` harness sweeps this trade-off.
+
+use crate::bf16::Bf16;
+use crate::chunk::{ChunkMeta, PackedTensor, PackingLayout};
+use crate::encode::{encode_tensor, EncodedTensor};
+use crate::error::FormatError;
+use serde::{Deserialize, Serialize};
+
+/// A tensor encoded as consecutive blocks, each with its own shared
+/// exponent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedStream {
+    blocks: Vec<EncodedTensor>,
+    block_len: usize,
+}
+
+impl EncodedStream {
+    /// The per-block encodings.
+    pub fn blocks(&self) -> &[EncodedTensor] {
+        &self.blocks
+    }
+
+    /// Nominal block length (the final block may be shorter).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total encoded elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(EncodedTensor::len).sum()
+    }
+
+    /// Whether the stream holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total outliers across blocks.
+    pub fn outlier_count(&self) -> usize {
+        self.blocks.iter().map(EncodedTensor::outlier_count).sum()
+    }
+
+    /// Decodes the whole stream back to BF16, exactly.
+    pub fn to_bf16_vec(&self) -> Vec<Bf16> {
+        let mut out = Vec::with_capacity(self.len());
+        for b in &self.blocks {
+            out.extend(b.to_bf16_vec());
+        }
+        out
+    }
+
+    /// Packed footprint in bytes: every block is packed independently (its
+    /// metadata region carries its own shared exponent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates packing errors (32-outlier groups).
+    pub fn packed_bytes(&self) -> Result<u64, FormatError> {
+        let mut total = 0u64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let packed =
+                PackedTensor::pack(b, ChunkMeta { start_addr: i as u32, layer_info: 0 })?;
+            total += packed.total_bytes();
+        }
+        Ok(total)
+    }
+
+    /// Mean bits per value at this block granularity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packing errors.
+    pub fn bits_per_value(&self) -> Result<f64, FormatError> {
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(self.packed_bytes()? as f64 * 8.0 / self.len() as f64)
+    }
+
+    /// Fraction of normal (non-outlier, non-zero-stored) values.
+    pub fn normal_ratio(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let weighted: f64 =
+            self.blocks.iter().map(|b| b.normal_ratio() * b.len() as f64).sum();
+        weighted / self.len() as f64
+    }
+}
+
+/// Incremental encoder: buffer a block, pick its densest window, encode,
+/// repeat — the software model of the vector unit's output path.
+///
+/// ```
+/// use owlp_format::stream::StreamingEncoder;
+///
+/// # fn main() -> Result<(), owlp_format::FormatError> {
+/// let mut enc = StreamingEncoder::new(64);
+/// for i in 0..200 {
+///     enc.push_f32(1.0 + (i % 50) as f32 / 64.0)?;
+/// }
+/// let stream = enc.finish()?;
+/// assert_eq!(stream.len(), 200);
+/// assert_eq!(stream.blocks().len(), 4); // 64+64+64+8
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEncoder {
+    block_len: usize,
+    pending: Vec<Bf16>,
+    blocks: Vec<EncodedTensor>,
+}
+
+impl StreamingEncoder {
+    /// Creates an encoder with the given block length (the "subset tensor"
+    /// granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len == 0`.
+    pub fn new(block_len: usize) -> Self {
+        assert!(block_len > 0, "block length must be positive");
+        StreamingEncoder { block_len, pending: Vec::with_capacity(block_len), blocks: Vec::new() }
+    }
+
+    /// Pushes one BF16 value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NonFinite`] for NaN/∞.
+    pub fn push(&mut self, x: Bf16) -> Result<(), FormatError> {
+        if !x.is_finite() {
+            return Err(FormatError::NonFinite {
+                index: self.blocks.iter().map(EncodedTensor::len).sum::<usize>()
+                    + self.pending.len(),
+            });
+        }
+        self.pending.push(x);
+        if self.pending.len() == self.block_len {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Pushes an FP32 value (rounded to BF16 as the vector unit does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NonFinite`] for NaN/∞ (including FP32 values
+    /// that overflow BF16 to ∞ — the vector unit would saturate; we surface
+    /// the condition instead of silently changing semantics).
+    pub fn push_f32(&mut self, x: f32) -> Result<(), FormatError> {
+        self.push(Bf16::from_f32(x))
+    }
+
+    /// Extends from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first push failure.
+    pub fn extend<I: IntoIterator<Item = Bf16>>(&mut self, iter: I) -> Result<(), FormatError> {
+        for x in iter {
+            self.push(x)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the stream (flushing a partial final block).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures.
+    pub fn finish(mut self) -> Result<EncodedStream, FormatError> {
+        if !self.pending.is_empty() {
+            self.flush_block()?;
+        }
+        Ok(EncodedStream { blocks: self.blocks, block_len: self.block_len })
+    }
+
+    fn flush_block(&mut self) -> Result<(), FormatError> {
+        let block = std::mem::take(&mut self.pending);
+        self.blocks.push(encode_tensor(&block, None)?);
+        self.pending = Vec::with_capacity(self.block_len);
+        Ok(())
+    }
+}
+
+/// Convenience: encodes a whole slice at the given block granularity.
+///
+/// # Errors
+///
+/// Propagates encoding failures.
+pub fn encode_stream(data: &[Bf16], block_len: usize) -> Result<EncodedStream, FormatError> {
+    let mut enc = StreamingEncoder::new(block_len);
+    enc.extend(data.iter().copied())?;
+    enc.finish()
+}
+
+/// Reference footprint of single-window whole-tensor encoding, for
+/// comparing granularities.
+///
+/// # Errors
+///
+/// Propagates encoding/packing failures.
+pub fn monolithic_bits_per_value(data: &[Bf16]) -> Result<f64, FormatError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let enc = encode_tensor(data, None)?;
+    let packed = PackedTensor::pack(&enc, ChunkMeta::default())?;
+    let _ = PackingLayout::PAPER;
+    Ok(packed.total_bytes() as f64 * 8.0 / data.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn stream_roundtrip_is_lossless() {
+        let data: Vec<Bf16> = (0..500)
+            .map(|i| bf((1.0 + (i % 37) as f32 / 32.0) * if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let stream = encode_stream(&data, 128).unwrap();
+        assert_eq!(stream.to_bf16_vec(), data);
+        assert_eq!(stream.len(), 500);
+    }
+
+    #[test]
+    fn per_block_windows_adapt_to_distribution_shift() {
+        // First half around 1.0, second half mostly around 2^10 (with a
+        // sprinkle of small values so no 32-group is pure outliers): one
+        // global window turns most of the second half into outliers;
+        // per-block windows adapt.
+        let mut data: Vec<Bf16> = (0..256).map(|i| bf(1.0 + (i % 50) as f32 / 64.0)).collect();
+        data.extend((0..256).map(|i| {
+            if i % 8 == 0 {
+                bf(1.25)
+            } else {
+                bf((1.0 + (i % 50) as f32 / 64.0) * 1024.0)
+            }
+        }));
+        let stream = encode_stream(&data, 256).unwrap();
+        let global = encode_tensor(&data, None).unwrap();
+        assert!(global.outlier_count() >= 200, "one window cannot cover both halves");
+        assert!(
+            stream.outlier_count() * 4 < global.outlier_count(),
+            "per-block windows adapt: {} vs {}",
+            stream.outlier_count(),
+            global.outlier_count()
+        );
+        // And the footprint advantage is real.
+        let streamed = stream.bits_per_value().unwrap();
+        let mono = monolithic_bits_per_value(&data).unwrap();
+        assert!(streamed < mono, "{streamed} vs {mono}");
+    }
+
+    #[test]
+    fn smaller_blocks_cost_metadata() {
+        // On a stationary distribution, smaller blocks only add header
+        // bytes.
+        let data: Vec<Bf16> = (0..1024).map(|i| bf(1.0 + (i % 90) as f32 / 64.0)).collect();
+        let coarse = encode_stream(&data, 1024).unwrap().bits_per_value().unwrap();
+        let fine = encode_stream(&data, 32).unwrap().bits_per_value().unwrap();
+        assert!(fine > coarse, "{fine} vs {coarse}");
+    }
+
+    #[test]
+    fn push_f32_rounds_like_the_vector_unit() {
+        let mut enc = StreamingEncoder::new(16);
+        enc.push_f32(1.0000001).unwrap(); // rounds onto the BF16 grid
+        let stream = enc.finish().unwrap();
+        assert_eq!(stream.to_bf16_vec(), vec![Bf16::from_f32(1.0000001)]);
+    }
+
+    #[test]
+    fn non_finite_is_rejected_with_position() {
+        let mut enc = StreamingEncoder::new(4);
+        for i in 0..6 {
+            enc.push(bf(i as f32 + 1.0)).unwrap();
+        }
+        let err = enc.push(Bf16::NAN).unwrap_err();
+        assert_eq!(err, FormatError::NonFinite { index: 6 });
+    }
+
+    #[test]
+    fn empty_stream() {
+        let stream = StreamingEncoder::new(8).finish().unwrap();
+        assert!(stream.is_empty());
+        assert_eq!(stream.bits_per_value().unwrap(), 0.0);
+        assert_eq!(stream.normal_ratio(), 1.0);
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let data: Vec<Bf16> = (0..10).map(|i| bf(1.0 + i as f32 / 8.0)).collect();
+        let stream = encode_stream(&data, 4).unwrap();
+        assert_eq!(stream.blocks().len(), 3);
+        assert_eq!(stream.blocks()[2].len(), 2);
+        assert_eq!(stream.to_bf16_vec(), data);
+    }
+}

@@ -1,0 +1,278 @@
+//! The 11-bit OwL-P code and its semantic view.
+//!
+//! Paper Fig. 2(b): each stored value is `{sign (1), bias (3), frac (7)}`.
+//! `bias == 0b111` marks an **outlier**, whose original 8-bit exponent is
+//! stored out-of-line in the outlier data region (paper Fig. 5). Everything
+//! else is a **normal** value relative to the tensor's shared exponent:
+//!
+//! ```text
+//! Normal : (-1)^sign × 2^(shared_exp - 127 + bias) × 1.frac
+//! Outlier: (-1)^sign × 2^(outlier_exp - 127)       × 1.frac
+//! ```
+//!
+//! (paper Eq. 2). This crate additionally gives exact meaning to the two
+//! corner cases real tensors contain:
+//!
+//! * **zeros** are stored as outliers with `outlier_exp == 0` and `frac == 0`
+//!   (BF16 subnormal semantics make that exactly ±0);
+//! * **subnormals** are stored as outliers with `outlier_exp == 0`, keeping
+//!   BF16's hidden-bit-0 semantics, so the format stays lossless over the
+//!   whole finite BF16 range.
+
+use crate::bf16::Bf16;
+use crate::shared_exp::ExponentWindow;
+use crate::OUTLIER_BIAS_MARKER;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packed 11-bit OwL-P code: `[sign | bias(3) | frac(7)]`.
+///
+/// The upper 5 bits of the backing `u16` are always zero.
+///
+/// ```
+/// use owlp_format::OwlpCode;
+/// let c = OwlpCode::normal(true, 4, 0x55);
+/// assert!(c.sign());
+/// assert_eq!(c.bias(), 4);
+/// assert_eq!(c.frac(), 0x55);
+/// assert!(!c.is_outlier());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OwlpCode(u16);
+
+impl OwlpCode {
+    /// Builds a normal-value code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias >= 7` (`0b111` is the outlier marker) or if `frac`
+    /// does not fit in 7 bits.
+    #[inline]
+    pub fn normal(sign: bool, bias: u8, frac: u8) -> Self {
+        assert!(bias < OUTLIER_BIAS_MARKER, "bias {bias} collides with the outlier marker");
+        assert!(frac < 0x80, "fraction {frac:#x} exceeds 7 bits");
+        OwlpCode(((sign as u16) << 10) | ((bias as u16) << 7) | frac as u16)
+    }
+
+    /// Builds an outlier code (bias field forced to the marker pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` does not fit in 7 bits.
+    #[inline]
+    pub fn outlier(sign: bool, frac: u8) -> Self {
+        assert!(frac < 0x80, "fraction {frac:#x} exceeds 7 bits");
+        OwlpCode(((sign as u16) << 10) | ((OUTLIER_BIAS_MARKER as u16) << 7) | frac as u16)
+    }
+
+    /// Reconstructs a code from its raw 11-bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit above bit 10 is set.
+    #[inline]
+    pub fn from_bits(bits: u16) -> Self {
+        assert!(bits < (1 << 11), "OwL-P codes are 11 bits, got {bits:#x}");
+        OwlpCode(bits)
+    }
+
+    /// The raw 11-bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Sign bit.
+    #[inline]
+    pub const fn sign(self) -> bool {
+        self.0 & (1 << 10) != 0
+    }
+
+    /// 3-bit bias field (equals `0b111` for outliers).
+    #[inline]
+    pub const fn bias(self) -> u8 {
+        ((self.0 >> 7) & 0b111) as u8
+    }
+
+    /// 7-bit fraction field.
+    #[inline]
+    pub const fn frac(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// Whether the bias field carries the outlier marker.
+    #[inline]
+    pub const fn is_outlier(self) -> bool {
+        self.bias() == OUTLIER_BIAS_MARKER
+    }
+}
+
+impl fmt::Debug for OwlpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_outlier() {
+            write!(f, "OwlpCode(outlier s={} f={:#04x})", self.sign() as u8, self.frac())
+        } else {
+            write!(
+                f,
+                "OwlpCode(s={} b={} f={:#04x})",
+                self.sign() as u8,
+                self.bias(),
+                self.frac()
+            )
+        }
+    }
+}
+
+/// Semantic view of one encoded value: the code plus, for outliers, the
+/// out-of-line exponent byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncodedValue {
+    /// A value inside the shared-exponent window.
+    Normal {
+        /// Sign bit.
+        sign: bool,
+        /// Exponent bias relative to the shared exponent, `0..=6`.
+        bias: u8,
+        /// 7-bit fraction (hidden bit implied 1).
+        frac: u8,
+    },
+    /// A value outside the window; keeps its full BF16 exponent field.
+    /// `exp == 0` encodes zero/subnormal values (hidden bit implied 0),
+    /// exactly mirroring BF16 semantics.
+    Outlier {
+        /// Sign bit.
+        sign: bool,
+        /// Original 8-bit BF16 exponent field.
+        exp: u8,
+        /// 7-bit fraction.
+        frac: u8,
+    },
+}
+
+impl EncodedValue {
+    /// Classifies a finite BF16 value under `window`.
+    ///
+    /// Returns `None` for NaN/∞, which the format cannot represent.
+    pub fn classify(x: Bf16, window: ExponentWindow) -> Option<Self> {
+        if !x.is_finite() {
+            return None;
+        }
+        match window.bias_of(x) {
+            Some(bias) => Some(EncodedValue::Normal { sign: x.sign(), bias, frac: x.fraction() }),
+            None => Some(EncodedValue::Outlier {
+                sign: x.sign(),
+                exp: x.exponent_bits(),
+                frac: x.fraction(),
+            }),
+        }
+    }
+
+    /// Reconstructs the original BF16 value exactly.
+    pub fn to_bf16(self, window: ExponentWindow) -> Bf16 {
+        match self {
+            EncodedValue::Normal { sign, bias, frac } => {
+                let e = window.base() + bias;
+                Bf16::from_bits(((sign as u16) << 15) | ((e as u16) << 7) | frac as u16)
+            }
+            EncodedValue::Outlier { sign, exp, frac } => {
+                Bf16::from_bits(((sign as u16) << 15) | ((exp as u16) << 7) | frac as u16)
+            }
+        }
+    }
+
+    /// The in-line 11-bit code for this value (outlier exponents are stored
+    /// out-of-line and not part of the code).
+    pub fn code(self) -> OwlpCode {
+        match self {
+            EncodedValue::Normal { sign, bias, frac } => OwlpCode::normal(sign, bias, frac),
+            EncodedValue::Outlier { sign, frac, .. } => OwlpCode::outlier(sign, frac),
+        }
+    }
+
+    /// Whether this value needs an outlier-region exponent entry.
+    pub fn is_outlier(self) -> bool {
+        matches!(self, EncodedValue::Outlier { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf16::all_finite;
+
+    #[test]
+    fn code_packing_roundtrip() {
+        for sign in [false, true] {
+            for bias in 0..7u8 {
+                for frac in [0u8, 1, 0x40, 0x7F] {
+                    let c = OwlpCode::normal(sign, bias, frac);
+                    let c2 = OwlpCode::from_bits(c.to_bits());
+                    assert_eq!(c, c2);
+                    assert_eq!(c.sign(), sign);
+                    assert_eq!(c.bias(), bias);
+                    assert_eq!(c.frac(), frac);
+                    assert!(!c.is_outlier());
+                }
+            }
+        }
+        let o = OwlpCode::outlier(true, 0x12);
+        assert!(o.is_outlier());
+        assert_eq!(o.frac(), 0x12);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the outlier marker")]
+    fn normal_with_marker_bias_panics() {
+        let _ = OwlpCode::normal(false, 7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 7 bits")]
+    fn oversized_frac_panics() {
+        let _ = OwlpCode::normal(false, 0, 0x80);
+    }
+
+    #[test]
+    fn classify_roundtrip_is_lossless_for_every_finite_bf16() {
+        // The headline property of §III-A: no information loss, for any
+        // window placement.
+        for base in [1u8, 64, 120, 127, 200, 248] {
+            let w = ExponentWindow::owlp(base);
+            for x in all_finite() {
+                let ev = EncodedValue::classify(x, w).expect("finite value must classify");
+                assert_eq!(ev.to_bf16(w), x, "lossy roundtrip for {x:?} under {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_nonfinite() {
+        let w = ExponentWindow::owlp(120);
+        assert_eq!(EncodedValue::classify(Bf16::NAN, w), None);
+        assert_eq!(EncodedValue::classify(Bf16::INFINITY, w), None);
+        assert_eq!(EncodedValue::classify(Bf16::NEG_INFINITY, w), None);
+    }
+
+    #[test]
+    fn zero_and_subnormal_classify_as_exponent_zero_outliers() {
+        let w = ExponentWindow::owlp(120);
+        match EncodedValue::classify(Bf16::ZERO, w).unwrap() {
+            EncodedValue::Outlier { exp: 0, frac: 0, sign: false } => {}
+            other => panic!("unexpected classification {other:?}"),
+        }
+        match EncodedValue::classify(Bf16::MIN_POSITIVE_SUBNORMAL, w).unwrap() {
+            EncodedValue::Outlier { exp: 0, frac: 1, .. } => {}
+            other => panic!("unexpected classification {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normal_classification_matches_window_bias() {
+        let w = ExponentWindow::owlp(125);
+        let x = Bf16::from_f32(3.0); // exponent 128, frac 0b1000000
+        match EncodedValue::classify(x, w).unwrap() {
+            EncodedValue::Normal { bias: 3, frac: 0x40, sign: false } => {}
+            other => panic!("unexpected classification {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Robustness fuzzing: the unpacker and container parser must never panic
+//! on corrupted or arbitrary input — they either round-trip correctly or
+//! return a structured error.
+
+use owlp_format::chunk::{ChunkMeta, PackedTensor};
+use owlp_format::{encode_tensor, Bf16};
+use proptest::prelude::*;
+
+fn typical_tensor(len: usize, seed: u64) -> Vec<Bf16> {
+    (0..len)
+        .map(|i| {
+            let x = 1.0 + ((seed.wrapping_mul(2654435761).wrapping_add(i as u64) % 97) as f32) / 97.0;
+            Bf16::from_f32(if i % 31 == 30 { x * 1.0e20 } else { x })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes fed to the container parser: never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = PackedTensor::from_bytes(&bytes);
+    }
+
+    /// A valid container with one flipped bit either still round-trips
+    /// (padding/ignored bits) or fails cleanly — never panics, never
+    /// returns wrong-length data.
+    #[test]
+    fn single_bitflips_fail_cleanly(
+        len in 1usize..100,
+        seed in 0u64..1000,
+        flip_bit in 0usize..4096,
+    ) {
+        let data = typical_tensor(len, seed);
+        let enc = encode_tensor(&data, None).expect("encodes");
+        let packed = PackedTensor::pack(&enc, ChunkMeta::default()).expect("packs");
+        let mut bytes = packed.to_bytes();
+        let bit = flip_bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(p) = PackedTensor::from_bytes(&bytes) {
+            // If it parses, it must be structurally consistent; a parse
+            // error is a clean rejection and needs no further checks.
+            let back = p.unpack().expect("validated by from_bytes");
+            prop_assert_eq!(back.len(), p.elements());
+        }
+    }
+
+    /// Truncation at any point fails cleanly.
+    #[test]
+    fn truncation_fails_cleanly(len in 1usize..80, seed in 0u64..500, cut_pct in 0usize..100) {
+        let data = typical_tensor(len, seed);
+        let enc = encode_tensor(&data, None).expect("encodes");
+        let packed = PackedTensor::pack(&enc, ChunkMeta::default()).expect("packs");
+        let bytes = packed.to_bytes();
+        let cut = bytes.len() * cut_pct / 100;
+        if cut < bytes.len() {
+            prop_assert!(PackedTensor::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

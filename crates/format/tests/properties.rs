@@ -1,0 +1,142 @@
+//! Property-based tests of the format layer's invariants.
+
+use owlp_format::bitstream::{BitReader, BitWriter};
+use owlp_format::chunk::{ChunkMeta, PackedTensor};
+use owlp_format::decode::BiasDecoder;
+use owlp_format::shared_exp::{best_window, exponent_counts};
+use owlp_format::stats::ExponentHistogram;
+use owlp_format::value::EncodedValue;
+use owlp_format::{encode_tensor, Bf16, ExponentWindow, FormatError};
+use proptest::prelude::*;
+
+fn finite_bf16() -> impl Strategy<Value = Bf16> {
+    (0u16..0x80, 0u16..255, any::<bool>())
+        .prop_map(|(frac, exp, sign)| Bf16::from_bits(((sign as u16) << 15) | (exp << 7) | frac))
+}
+
+fn window() -> impl Strategy<Value = ExponentWindow> {
+    (1u8..=248).prop_map(ExponentWindow::owlp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Classification under any window reconstructs exactly.
+    #[test]
+    fn classify_roundtrip(x in finite_bf16(), w in window()) {
+        let v = EncodedValue::classify(x, w).expect("finite classifies");
+        prop_assert_eq!(v.to_bf16(w), x);
+    }
+
+    /// The decoded operand denotes the same numeric value as the input.
+    #[test]
+    fn decoder_is_exact(x in finite_bf16(), w in window()) {
+        let dec = BiasDecoder::new(w.base());
+        let op = dec.decode_bf16(x, w);
+        prop_assert_eq!(op.to_f64(w.base()), x.to_f64());
+        // Zeros never carry the outlier tag.
+        if x.is_zero() {
+            prop_assert!(!op.tag);
+            prop_assert!(op.is_zero());
+        }
+    }
+
+    /// The densest window really is optimal: no other base achieves a
+    /// strictly larger in-window count.
+    #[test]
+    fn selected_window_is_densest(data in prop::collection::vec(finite_bf16(), 1..300)) {
+        let counts = exponent_counts(&data);
+        let best = best_window(&counts, 7);
+        let mass = |w: ExponentWindow| -> u64 {
+            (w.base()..=w.last()).map(|e| counts[e as usize]).sum()
+        };
+        let best_mass = mass(best);
+        for base in 1u8..=248 {
+            prop_assert!(mass(ExponentWindow::owlp(base)) <= best_mass, "base {} beats selection", base);
+        }
+    }
+
+    /// Histogram-based ratio equals encoder-based ratio.
+    #[test]
+    fn ratio_measurements_agree(data in prop::collection::vec(finite_bf16(), 1..200)) {
+        let hist = ExponentHistogram::from_values(&data);
+        let w = hist.densest_window(7);
+        let enc = encode_tensor(&data, Some(w)).expect("finite tensors encode");
+        let from_hist = hist.normal_ratio(w);
+        let from_enc = enc.normal_ratio();
+        prop_assert!((from_hist - from_enc).abs() < 1e-12, "{} vs {}", from_hist, from_enc);
+    }
+
+    /// Bit-stream write/read round-trips arbitrary field sequences.
+    #[test]
+    fn bitstream_roundtrip(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..64)) {
+        let mut w = BitWriter::new();
+        let masked: Vec<(u64, u32)> = fields
+            .iter()
+            .map(|&(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+            .collect();
+        for &(v, n) in &masked {
+            w.write(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &masked {
+            prop_assert_eq!(r.read(n).expect("within stream"), v);
+        }
+    }
+
+    /// Packed total bytes always match the layout formula, and the packed
+    /// stream is bit-faithful.
+    #[test]
+    fn packing_formula_and_fidelity(data in prop::collection::vec(finite_bf16(), 0..150)) {
+        let enc = encode_tensor(&data, None).expect("encodes");
+        match PackedTensor::pack(&enc, ChunkMeta::default()) {
+            Ok(p) => {
+                prop_assert_eq!(p.unpack().expect("unpacks").to_bf16_vec(), &data[..]);
+                prop_assert_eq!(p.elements(), data.len());
+            }
+            Err(FormatError::TooManyOutliers { count, .. }) => prop_assert!(count >= 32),
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+
+    /// Payload bits grow monotonically with outlier count for fixed length.
+    #[test]
+    fn outliers_cost_bits(seed in 0u64..500) {
+        let len = 64usize;
+        let mk = |outliers: usize| -> u64 {
+            let data: Vec<Bf16> = (0..len)
+                .map(|i| {
+                    if i < outliers {
+                        Bf16::from_f32(1.0e30 + seed as f32)
+                    } else {
+                        Bf16::from_f32(1.0 + (i as f32) / 128.0)
+                    }
+                })
+                .collect();
+            let w = ExponentWindow::owlp(124);
+            encode_tensor(&data, Some(w)).expect("encodes").payload_bits()
+        };
+        prop_assert!(mk(8) > mk(2));
+        prop_assert_eq!(mk(8) - mk(2), 6 * 8); // 8 bits per extra outlier
+    }
+}
+
+/// Exhaustive (not property) check kept here because it spans modules: the
+/// complete decode path is exact for every finite BF16 under extreme window
+/// placements.
+#[test]
+fn exhaustive_decode_under_extreme_windows() {
+    for base in [1u8, 248] {
+        let w = ExponentWindow::owlp(base);
+        let dec = BiasDecoder::new(base);
+        for bits in 0u16..=u16::MAX {
+            let x = Bf16::from_bits(bits);
+            if !x.is_finite() {
+                continue;
+            }
+            let op = dec.decode_bf16(x, w);
+            assert_eq!(op.to_f64(base), x.to_f64(), "{x:?} base {base}");
+        }
+    }
+}

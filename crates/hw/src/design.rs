@@ -1,0 +1,200 @@
+//! Chip-level design points (paper Table V, Fig. 9).
+//!
+//! A [`DesignPoint`] rolls PE costs up to the compute-logic level using the
+//! paper's published area composition (MAC array / data setup / others /
+//! layout overhead percentages) and a single switching-activity factor
+//! calibrated to the Table V power anchors.
+
+use crate::memory::MemorySystem;
+use crate::pe::PeCost;
+use crate::tech::TechLibrary;
+use serde::{Deserialize, Serialize};
+
+/// Array-level switching activity used for the Table V power roll-up
+/// (weight-stationary arrays do not toggle every operand bit every cycle).
+pub const ACTIVITY_FACTOR: f64 = 0.55;
+
+/// One accelerator design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Display name.
+    pub name: &'static str,
+    /// PE cost model.
+    pub pe: PeCost,
+    /// PEs per systolic array.
+    pub pes_per_array: usize,
+    /// Independent arrays.
+    pub num_arrays: usize,
+    /// Memory system.
+    pub memory: MemorySystem,
+    /// Fraction of compute area occupied by the MAC array (Table V).
+    pub mac_array_fraction: f64,
+    /// Clock, MHz.
+    pub clock_mhz: f64,
+}
+
+impl DesignPoint {
+    /// The TPU-like baseline of Table V: 16 × (32×32) BF16 FMAs, 73.1 %
+    /// MAC-array share, 12 MB buffers, 500 MHz.
+    pub fn baseline_paper() -> Self {
+        DesignPoint {
+            name: "TPU-like Systolic Engine",
+            pe: PeCost::bf16_fma(&TechLibrary::CMOS28),
+            pes_per_array: 32 * 32,
+            num_arrays: 16,
+            memory: MemorySystem::paper(),
+            mac_array_fraction: 0.731,
+            clock_mhz: 500.0,
+        }
+    }
+
+    /// The OwL-P design of Table V: 48 × (4×32) 8-way INT PEs with 4
+    /// outlier paths, 73.3 % MAC-array share.
+    pub fn owlp_paper() -> Self {
+        DesignPoint {
+            name: "OwL-P",
+            pe: PeCost::owlp_pe(&TechLibrary::CMOS28, 8, 2, 2),
+            pes_per_array: 4 * 32,
+            num_arrays: 48,
+            memory: MemorySystem::paper(),
+            mac_array_fraction: 0.733,
+            clock_mhz: 500.0,
+        }
+    }
+
+    /// Total MAC operations per cycle.
+    pub fn total_macs(&self) -> usize {
+        self.pe.macs * self.pes_per_array * self.num_arrays
+    }
+
+    /// MAC-array logic area, mm².
+    pub fn mac_array_area_mm2(&self) -> f64 {
+        self.pe.area_um2 * (self.pes_per_array * self.num_arrays) as f64 / 1e6
+    }
+
+    /// Total compute-logic area (MAC array ÷ its Table V share), mm².
+    /// Memory buffers are excluded, as in the paper's table footnote.
+    pub fn compute_area_mm2(&self) -> f64 {
+        self.mac_array_area_mm2() / self.mac_array_fraction
+    }
+
+    /// Compute-logic power at the calibrated activity, watts: dynamic MAC
+    /// power + proportional data-setup/decoder overhead + leakage.
+    pub fn power_w(&self) -> f64 {
+        let macs = self.total_macs() as f64;
+        let dynamic =
+            macs * self.pe.energy_per_mac_pj * 1e-12 * self.clock_mhz * 1e6 * ACTIVITY_FACTOR;
+        // Non-MAC logic (data setup, decoders, align/INT2FP) toggles in
+        // proportion to its area share.
+        let non_mac_dynamic = dynamic * (1.0 / self.mac_array_fraction - 1.0) * 0.4;
+        let leakage =
+            self.compute_area_mm2() * self.memory.lib.leakage_mw_per_mm2 * 1e-3;
+        dynamic + non_mac_dynamic + leakage
+    }
+
+    /// One Table V row.
+    pub fn summary(&self) -> DesignSummary {
+        DesignSummary {
+            name: self.name.to_string(),
+            pipeline_stages: self.pe.pipeline_stages,
+            memory_mb: self.memory.sram_bytes as f64 / (1024.0 * 1024.0),
+            power_w: self.power_w(),
+            macs: self.total_macs(),
+            total_area_mm2: self.compute_area_mm2(),
+            mac_array_pct: self.mac_array_fraction * 100.0,
+        }
+    }
+}
+
+/// A Table V row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSummary {
+    /// Design name.
+    pub name: String,
+    /// PE pipeline depth.
+    pub pipeline_stages: u32,
+    /// On-chip memory, MB.
+    pub memory_mb: f64,
+    /// Compute power, W.
+    pub power_w: f64,
+    /// Total MACs.
+    pub macs: usize,
+    /// Compute-logic area, mm².
+    pub total_area_mm2: f64,
+    /// MAC-array share of the compute area, %.
+    pub mac_array_pct: f64,
+}
+
+/// Fig. 9 sweep: area and power of an OwL-P array with `total_paths`
+/// outlier paths per PE, normalised to a BF16 baseline array with the same
+/// MAC count.
+pub fn fig9_point(total_paths: usize) -> (f64, f64) {
+    let lib = TechLibrary::CMOS28;
+    let fma = PeCost::bf16_fma(&lib);
+    let act = total_paths / 2;
+    let w = total_paths - act;
+    let owlp = PeCost::owlp_pe(&lib, 8, act, w);
+    // Same MAC count: 8 FMAs per OwL-P PE.
+    let area_norm = owlp.area_um2 / (8.0 * fma.area_um2);
+    let power_norm = (owlp.energy_per_mac_pj * 8.0) / (fma.energy_per_mac_pj * 8.0);
+    (area_norm, power_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_mac_counts() {
+        assert_eq!(DesignPoint::baseline_paper().total_macs(), 16_384);
+        assert_eq!(DesignPoint::owlp_paper().total_macs(), 49_152);
+    }
+
+    #[test]
+    fn table5_areas_are_close_and_equal_to_each_other() {
+        // Paper: 49.46 vs 49.52 mm² — near-identical compute area.
+        let b = DesignPoint::baseline_paper().compute_area_mm2();
+        let o = DesignPoint::owlp_paper().compute_area_mm2();
+        let ratio = o / b;
+        assert!((0.9..=1.1).contains(&ratio), "area ratio {ratio}");
+        // Absolute anchor within ±20 % of 49.5 mm².
+        assert!((39.0..=60.0).contains(&b), "baseline area {b}");
+    }
+
+    #[test]
+    fn table5_power_anchors() {
+        // Paper: 13.04 W baseline, 8.93 W OwL-P.
+        let b = DesignPoint::baseline_paper().power_w();
+        let o = DesignPoint::owlp_paper().power_w();
+        assert!((10.5..=15.5).contains(&b), "baseline power {b}");
+        assert!((7.0..=11.0).contains(&o), "owlp power {o}");
+        let ratio = b / o;
+        assert!((1.25..=1.75).contains(&ratio), "power ratio {ratio} (paper 1.46)");
+    }
+
+    #[test]
+    fn fig9_trends() {
+        // Area/power grow slowly with outlier paths and stay far below the
+        // FP baseline (normalised < 0.5 at every swept point).
+        let mut prev_area = 0.0;
+        for paths in [0usize, 2, 4, 8] {
+            let (a, p) = fig9_point(paths);
+            assert!(a < 0.5, "paths {paths}: area {a}");
+            assert!(p < 0.5, "paths {paths}: power {p}");
+            assert!(a >= prev_area, "area must be monotone in paths");
+            prev_area = a;
+        }
+        let (a0, _) = fig9_point(0);
+        let (a8, _) = fig9_point(8);
+        assert!(a8 / a0 < 1.25, "8 paths cost < 25 % extra area");
+    }
+
+    #[test]
+    fn summary_row_contents() {
+        let s = DesignPoint::owlp_paper().summary();
+        assert_eq!(s.name, "OwL-P");
+        assert_eq!(s.pipeline_stages, 2);
+        assert_eq!(s.memory_mb, 12.0);
+        assert_eq!(s.macs, 49_152);
+    }
+}

@@ -1,0 +1,148 @@
+//! GEMM-level energy accounting: compute + SRAM + off-chip DRAM.
+//!
+//! The paper's energy result (Fig. 11b, §VI-D) combines three effects:
+//! cheaper INT MACs (4.89× per PE), fewer off-chip bytes (the compressed
+//! number format), and better array utilisation. This module adds the three
+//! energy components for one GEMM given its operation and traffic counts.
+
+use crate::memory::MemorySystem;
+use crate::pe::PeCost;
+use serde::{Deserialize, Serialize};
+
+/// Energy of one (group of) GEMM(s), joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC-array dynamic energy.
+    pub compute_j: f64,
+    /// On-chip buffer read/write energy.
+    pub sram_j: f64,
+    /// Off-chip access energy.
+    pub dram_j: f64,
+    /// Static leakage over the execution window.
+    pub leakage_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.sram_j + self.dram_j + self.leakage_j
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.compute_j += other.compute_j;
+        self.sram_j += other.sram_j;
+        self.dram_j += other.dram_j;
+        self.leakage_j += other.leakage_j;
+    }
+}
+
+/// Energy model binding a PE cost, a memory system and chip-level leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// PE cost model in use.
+    pub pe: PeCost,
+    /// Memory system in use.
+    pub memory: MemorySystem,
+    /// Total logic area for leakage, mm².
+    pub logic_area_mm2: f64,
+}
+
+impl EnergyModel {
+    /// Energy of a workload slice.
+    ///
+    /// * `macs` — useful MAC operations executed;
+    /// * `dram_bytes` — bytes moved over the off-chip link;
+    /// * `sram_bytes` — bytes moved through the on-chip buffers (operands
+    ///   are read once, outputs written once; double counting for the
+    ///   write-then-read of staged tiles is the caller's choice);
+    /// * `seconds` — execution window for leakage integration.
+    pub fn energy(&self, macs: u64, dram_bytes: u64, sram_bytes: u64, seconds: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: macs as f64 * self.pe.energy_per_mac_pj * 1e-12,
+            sram_j: self.memory.sram_read_energy_j(sram_bytes),
+            dram_j: self.memory.dram_energy_j(dram_bytes),
+            leakage_j: self.logic_area_mm2 * self.memory.lib.leakage_mw_per_mm2 * 1e-3 * seconds,
+        }
+    }
+
+    /// Energy with compute charged **per occupied array cycle** rather than
+    /// per useful MAC: the whole array toggles (at the calibrated activity)
+    /// for every cycle it is busy, including fill/drain and zero-inserted
+    /// cycles. This is the accounting the chip-level Table V power numbers
+    /// imply, and what the Fig. 11 energy comparison uses.
+    ///
+    /// * `compute_cycles` — cycles the array spends on this work;
+    /// * `array_macs` — MAC units in the whole engine;
+    /// * `activity` — switching-activity factor (see
+    ///   [`crate::design::ACTIVITY_FACTOR`]).
+    pub fn energy_with_cycles(
+        &self,
+        compute_cycles: u64,
+        array_macs: usize,
+        activity: f64,
+        dram_bytes: u64,
+        sram_bytes: u64,
+        seconds: f64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: compute_cycles as f64
+                * array_macs as f64
+                * self.pe.energy_per_mac_pj
+                * 1e-12
+                * activity,
+            sram_j: self.memory.sram_read_energy_j(sram_bytes),
+            dram_j: self.memory.dram_energy_j(dram_bytes),
+            leakage_j: self.logic_area_mm2 * self.memory.lib.leakage_mw_per_mm2 * 1e-3 * seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::TechLibrary;
+
+    fn model() -> EnergyModel {
+        EnergyModel {
+            pe: PeCost::owlp_pe(&TechLibrary::CMOS28, 8, 2, 2),
+            memory: MemorySystem::paper(),
+            logic_area_mm2: 49.5,
+        }
+    }
+
+    #[test]
+    fn components_sum() {
+        let m = model();
+        let e = m.energy(1_000_000, 4096, 8192, 1e-3);
+        assert!(e.compute_j > 0.0 && e.sram_j > 0.0 && e.dram_j > 0.0 && e.leakage_j > 0.0);
+        let total = e.compute_j + e.sram_j + e.dram_j + e.leakage_j;
+        assert!((e.total_j() - total).abs() < 1e-18);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let m = model();
+        let mut a = m.energy(10, 10, 10, 1e-6);
+        let b = m.energy(20, 20, 20, 2e-6);
+        let expect = m.energy(30, 30, 30, 3e-6);
+        a.add(&b);
+        assert!((a.total_j() - expect.total_j()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn memory_bound_workloads_are_dram_dominated() {
+        // A decode-style GEMM: few MACs per byte moved.
+        let m = model();
+        let e = m.energy(32 * 4096, 4096 * 4096 * 2, 4096 * 4096 * 2, 0.0);
+        assert!(e.dram_j > e.compute_j, "dram {} vs compute {}", e.dram_j, e.compute_j);
+    }
+
+    #[test]
+    fn zero_work_costs_only_leakage() {
+        let m = model();
+        let e = m.energy(0, 0, 0, 1.0);
+        assert_eq!(e.compute_j, 0.0);
+        assert!(e.leakage_j > 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! On-chip SRAM and off-chip HBM2 model (paper §VI-A: 12 MB buffers,
+//! 256 GB/s HBM2).
+
+use crate::tech::TechLibrary;
+use serde::{Deserialize, Serialize};
+
+/// The accelerator memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// Unified on-chip buffer capacity, bytes (12 MB in the paper).
+    pub sram_bytes: u64,
+    /// Off-chip bandwidth, bytes per second (256 GB/s HBM2).
+    pub offchip_bytes_per_s: f64,
+    /// Component energies.
+    pub lib: TechLibrary,
+}
+
+impl MemorySystem {
+    /// The paper's memory configuration.
+    pub fn paper() -> Self {
+        MemorySystem {
+            sram_bytes: 12 * 1024 * 1024,
+            offchip_bytes_per_s: 256.0e9,
+            lib: TechLibrary::CMOS28,
+        }
+    }
+
+    /// Seconds to move `bytes` across the off-chip link (bandwidth-limited;
+    /// latency is hidden by double buffering, as both designs stream).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.offchip_bytes_per_s
+    }
+
+    /// Off-chip access energy for `bytes`, joules.
+    pub fn dram_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.lib.dram_pj_per_bit * 1e-12
+    }
+
+    /// SRAM read energy for `bytes`, joules.
+    pub fn sram_read_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.lib.sram_read_pj_per_byte * 1e-12
+    }
+
+    /// SRAM write energy for `bytes`, joules.
+    pub fn sram_write_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.lib.sram_write_pj_per_byte * 1e-12
+    }
+
+    /// SRAM macro area, mm².
+    pub fn sram_area_mm2(&self) -> f64 {
+        self.sram_bytes as f64 / self.lib.sram_bytes_per_um2 / 1e6
+    }
+
+    /// Whether a working set fits in the on-chip buffer.
+    pub fn fits_on_chip(&self, bytes: u64) -> bool {
+        bytes <= self.sram_bytes
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The on-chip outlier-exponent buffer (paper §IV-D): outlier exponents of
+/// the active tiles are staged on chip; "in case the number of outliers is
+/// too large …, the outliers can be fetched from the external memory using
+/// a combination of the 11-bit address pointer values and meta-data."
+///
+/// This model quantifies that fallback: overflowing entries are fetched
+/// on demand, each costing one DRAM burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlierBuffer {
+    /// Exponent entries the buffer holds.
+    pub entries: usize,
+    /// Bytes fetched per on-demand pointer access (one DRAM burst).
+    pub burst_bytes: u64,
+}
+
+impl OutlierBuffer {
+    /// A plausible sizing: 64 KiB of exponent storage.
+    pub fn paper_sized() -> Self {
+        OutlierBuffer { entries: 64 * 1024, burst_bytes: 32 }
+    }
+
+    /// Outlier entries of one resident tile set that do not fit on chip.
+    pub fn overflow_entries(&self, tile_outliers: usize) -> usize {
+        tile_outliers.saturating_sub(self.entries)
+    }
+
+    /// Extra off-chip bytes caused by the overflow of one tile set.
+    pub fn overflow_bytes(&self, tile_outliers: usize) -> u64 {
+        self.overflow_entries(tile_outliers) as u64 * self.burst_bytes
+    }
+
+    /// Largest per-element outlier rate a tile of `tile_elements` values
+    /// can sustain without overflow.
+    pub fn max_outlier_rate(&self, tile_elements: usize) -> f64 {
+        if tile_elements == 0 {
+            return 1.0;
+        }
+        (self.entries as f64 / tile_elements as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let m = MemorySystem::paper();
+        assert_eq!(m.sram_bytes, 12 * 1024 * 1024);
+        assert_eq!(m.offchip_bytes_per_s, 256.0e9);
+    }
+
+    #[test]
+    fn transfer_time_is_bandwidth_bound() {
+        let m = MemorySystem::paper();
+        // 256 GB at 256 GB/s takes one second.
+        assert!((m.transfer_seconds(256_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_energy_dominates_sram() {
+        let m = MemorySystem::paper();
+        assert!(m.dram_energy_j(1024) > 3.0 * m.sram_read_energy_j(1024));
+    }
+
+    #[test]
+    fn sram_area_is_plausible_for_12mb_at_28nm() {
+        let m = MemorySystem::paper();
+        let a = m.sram_area_mm2();
+        // 12 MB ≈ 40–60 mm² at 28 nm.
+        assert!((30.0..80.0).contains(&a), "{a}");
+    }
+
+    #[test]
+    fn outlier_buffer_rarely_overflows_at_paper_rates() {
+        // A Llama2-7B weight-stationary tile set: one layer's largest
+        // matrix tile resident per array, ~1.5 % outliers. The 64 KiB
+        // buffer holds them with an order of magnitude to spare.
+        let buf = OutlierBuffer::paper_sized();
+        let tile_elements = 48 * 32 * 32 * 8; // all arrays' stationary tiles
+        let outliers = (tile_elements as f64 * 0.015) as usize;
+        assert_eq!(buf.overflow_entries(outliers), 0);
+        assert!(buf.max_outlier_rate(tile_elements) > 0.10);
+    }
+
+    #[test]
+    fn outlier_buffer_overflow_accounting() {
+        let buf = OutlierBuffer { entries: 100, burst_bytes: 32 };
+        assert_eq!(buf.overflow_entries(99), 0);
+        assert_eq!(buf.overflow_entries(100), 0);
+        assert_eq!(buf.overflow_entries(150), 50);
+        assert_eq!(buf.overflow_bytes(150), 50 * 32);
+        assert_eq!(buf.max_outlier_rate(0), 1.0);
+        assert_eq!(buf.max_outlier_rate(1000), 0.1);
+    }
+
+    #[test]
+    fn working_set_check() {
+        let m = MemorySystem::paper();
+        assert!(m.fits_on_chip(8 * 1024 * 1024));
+        assert!(!m.fits_on_chip(16 * 1024 * 1024));
+    }
+}

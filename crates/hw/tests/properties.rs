@@ -1,0 +1,75 @@
+//! Property-based tests of the hardware cost-model invariants.
+
+use owlp_hw::design::fig9_point;
+use owlp_hw::energy::EnergyModel;
+use owlp_hw::pe::PeCost;
+use owlp_hw::tech::TechLibrary;
+use owlp_hw::MemorySystem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PE area/energy are monotone in lanes and outlier paths.
+    #[test]
+    fn pe_cost_monotonicity(lanes in 1usize..16, act in 0usize..5, w in 0usize..5) {
+        let lib = TechLibrary::CMOS28;
+        let pe = PeCost::owlp_pe(&lib, lanes, act, w);
+        let more_lanes = PeCost::owlp_pe(&lib, lanes + 1, act, w);
+        let more_paths = PeCost::owlp_pe(&lib, lanes, act + 1, w);
+        prop_assert!(more_lanes.area_um2 > pe.area_um2);
+        prop_assert!(more_paths.area_um2 > pe.area_um2);
+        prop_assert!(pe.area_um2 > 0.0 && pe.energy_per_mac_pj > 0.0);
+        // Wider dot products amortise shared logic: per-MAC area shrinks.
+        prop_assert!(more_lanes.area_per_mac() < pe.area_per_mac() + 1e-9);
+    }
+
+    /// Fig. 9 normalisation stays below the baseline for any path count the
+    /// architecture would plausibly use.
+    #[test]
+    fn fig9_always_below_baseline(paths in 0usize..12) {
+        let (a, p) = fig9_point(paths);
+        prop_assert!(a > 0.0 && a < 1.0);
+        prop_assert!(p > 0.0 && p < 1.0);
+    }
+
+    /// Energy accounting is additive and linear in each driver.
+    #[test]
+    fn energy_linearity(
+        macs in 0u64..1_000_000,
+        dram in 0u64..1_000_000,
+        sram in 0u64..1_000_000,
+    ) {
+        let m = EnergyModel {
+            pe: PeCost::owlp_pe(&TechLibrary::CMOS28, 8, 2, 2),
+            memory: MemorySystem::paper(),
+            logic_area_mm2: 50.0,
+        };
+        let e1 = m.energy(macs, dram, sram, 0.0);
+        let e2 = m.energy(2 * macs, 2 * dram, 2 * sram, 0.0);
+        prop_assert!((e2.total_j() - 2.0 * e1.total_j()).abs() <= 1e-12 * e2.total_j().max(1e-30));
+    }
+
+    /// Transfer time is inverse in bandwidth and linear in bytes.
+    #[test]
+    fn transfer_scaling(bytes in 1u64..1_000_000_000) {
+        let mut m = MemorySystem::paper();
+        let t1 = m.transfer_seconds(bytes);
+        m.offchip_bytes_per_s *= 2.0;
+        let t2 = m.transfer_seconds(bytes);
+        prop_assert!((t1 - 2.0 * t2).abs() < 1e-15 + 1e-12 * t1);
+        prop_assert!((m.transfer_seconds(2 * bytes) - 2.0 * t2).abs() < 1e-15 + 1e-12 * t1);
+    }
+
+    /// Cycle-based compute energy equals per-MAC energy when the array is
+    /// fully utilised at activity 1.
+    #[test]
+    fn cycle_energy_consistency(cycles in 1u64..100_000) {
+        let pe = PeCost::owlp_pe(&TechLibrary::CMOS28, 8, 2, 2);
+        let m = EnergyModel { pe, memory: MemorySystem::paper(), logic_area_mm2: 50.0 };
+        let array_macs = 1024usize;
+        let full = m.energy_with_cycles(cycles, array_macs, 1.0, 0, 0, 0.0);
+        let per_mac = m.energy(cycles * array_macs as u64, 0, 0, 0.0);
+        prop_assert!((full.compute_j - per_mac.compute_j).abs() < 1e-12 * full.compute_j.max(1e-30));
+    }
+}

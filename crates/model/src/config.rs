@@ -1,0 +1,225 @@
+//! The evaluated model zoo (paper §VI-A: BERT, GPT2 and Llama2 families).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Architecture family, which determines the GEMM structure of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// Bidirectional encoder (BERT): one pass over the full sequence.
+    Encoder,
+    /// Auto-regressive decoder with a learned-position GELU FFN (GPT2).
+    Decoder,
+    /// Auto-regressive decoder with gated SiLU FFN and (optionally grouped)
+    /// multi-query attention (Llama2).
+    GatedDecoder,
+}
+
+/// One of the ten evaluated pretrained models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelId {
+    /// BERT-Base (110 M parameters).
+    BertBase,
+    /// BERT-Large (340 M parameters).
+    BertLarge,
+    /// GPT2-Base (124 M parameters).
+    Gpt2Base,
+    /// GPT2-Large (774 M parameters).
+    Gpt2Large,
+    /// Llama2-7B.
+    Llama2_7b,
+    /// Llama2-70B (grouped-query attention, 8 KV heads).
+    Llama2_70b,
+}
+
+impl ModelId {
+    /// All six models, in the paper's Table II order.
+    pub const ALL: [ModelId; 6] = [
+        ModelId::BertBase,
+        ModelId::BertLarge,
+        ModelId::Gpt2Base,
+        ModelId::Gpt2Large,
+        ModelId::Llama2_7b,
+        ModelId::Llama2_70b,
+    ];
+
+    /// The dimension preset for this model.
+    pub fn config(self) -> TransformerConfig {
+        match self {
+            ModelId::BertBase => TransformerConfig {
+                id: self,
+                arch: Arch::Encoder,
+                hidden: 768,
+                heads: 12,
+                kv_heads: 12,
+                layers: 12,
+                ffn_dim: 3072,
+                vocab: 30_522,
+            },
+            ModelId::BertLarge => TransformerConfig {
+                id: self,
+                arch: Arch::Encoder,
+                hidden: 1024,
+                heads: 16,
+                kv_heads: 16,
+                layers: 24,
+                ffn_dim: 4096,
+                vocab: 30_522,
+            },
+            ModelId::Gpt2Base => TransformerConfig {
+                id: self,
+                arch: Arch::Decoder,
+                hidden: 768,
+                heads: 12,
+                kv_heads: 12,
+                layers: 12,
+                ffn_dim: 3072,
+                vocab: 50_257,
+            },
+            ModelId::Gpt2Large => TransformerConfig {
+                id: self,
+                arch: Arch::Decoder,
+                hidden: 1280,
+                heads: 20,
+                kv_heads: 20,
+                layers: 36,
+                ffn_dim: 5120,
+                vocab: 50_257,
+            },
+            ModelId::Llama2_7b => TransformerConfig {
+                id: self,
+                arch: Arch::GatedDecoder,
+                hidden: 4096,
+                heads: 32,
+                kv_heads: 32,
+                layers: 32,
+                ffn_dim: 11_008,
+                vocab: 32_000,
+            },
+            ModelId::Llama2_70b => TransformerConfig {
+                id: self,
+                arch: Arch::GatedDecoder,
+                hidden: 8192,
+                heads: 64,
+                kv_heads: 8,
+                layers: 80,
+                ffn_dim: 28_672,
+                vocab: 32_000,
+            },
+        }
+    }
+
+    /// Short display name matching the paper's table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::BertBase => "BERT-Base",
+            ModelId::BertLarge => "BERT-Large",
+            ModelId::Gpt2Base => "GPT2-Base",
+            ModelId::Gpt2Large => "GPT2-Large",
+            ModelId::Llama2_7b => "Llama2-7B",
+            ModelId::Llama2_70b => "Llama2-70B",
+        }
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dimension preset of one transformer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Which model this is.
+    pub id: ModelId,
+    /// Architecture family.
+    pub arch: Arch,
+    /// Model (embedding) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (smaller than `heads` under grouped-query attention).
+    pub kv_heads: usize,
+    /// Transformer layers.
+    pub layers: usize,
+    /// FFN intermediate dimension.
+    pub ffn_dim: usize,
+    /// Vocabulary size (for the LM head).
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Width of the KV projection output (`kv_heads × head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Approximate parameter count of the transformer blocks (embeddings
+    /// excluded), for sanity checks.
+    pub fn block_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let attn = h * h + 2 * h * self.kv_dim() as u64 + h * h; // QKV + out-proj
+        let ffn = match self.arch {
+            Arch::GatedDecoder => 3 * h * self.ffn_dim as u64,
+            _ => 2 * h * self.ffn_dim as u64,
+        };
+        (attn + ffn) * self.layers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dims_are_consistent() {
+        for id in ModelId::ALL {
+            let c = id.config();
+            assert_eq!(c.hidden % c.heads, 0, "{id}");
+            assert!(c.kv_heads <= c.heads, "{id}");
+            assert_eq!(c.heads % c.kv_heads, 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn gqa_only_on_llama70b() {
+        for id in ModelId::ALL {
+            let c = id.config();
+            if id == ModelId::Llama2_70b {
+                assert_eq!(c.kv_heads, 8);
+            } else {
+                assert_eq!(c.kv_heads, c.heads, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_counts_are_in_the_right_ballpark() {
+        // Block parameters (embeddings excluded) should land near the
+        // models' advertised sizes.
+        let b7 = ModelId::Llama2_7b.config().block_params();
+        assert!((5.5e9..7.5e9).contains(&(b7 as f64)), "7B blocks: {b7}");
+        let b70 = ModelId::Llama2_70b.config().block_params();
+        assert!((6.0e10..7.5e10).contains(&(b70 as f64)), "70B blocks: {b70}");
+        let bb = ModelId::BertBase.config().block_params();
+        assert!((7.0e7..1.2e8).contains(&(bb as f64)), "BERT-Base blocks: {bb}");
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(ModelId::Llama2_70b.to_string(), "Llama2-70B");
+        assert_eq!(ModelId::BertBase.to_string(), "BERT-Base");
+    }
+
+    #[test]
+    fn ffn_dims() {
+        assert_eq!(ModelId::Gpt2Base.config().ffn_dim, 4 * 768);
+        assert_eq!(ModelId::Llama2_7b.config().ffn_dim, 11_008);
+    }
+}

@@ -1,0 +1,209 @@
+//! GEMM operation taxonomy.
+//!
+//! Each transformer layer decomposes into a fixed set of GEMMs. The paper's
+//! Fig. 11 reports cycle/energy breakdowns over four operation classes —
+//! QKV generation, attention score calculation (which we extend with the
+//! attention×V context GEMM), multi-head projection, and FFN — so every
+//! [`GemmOp`] carries both its precise kind and its reporting class.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Precise GEMM kind within a transformer layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Fused Q/K/V projection: `X · W_qkv`.
+    QkvProj,
+    /// Attention scores: `Q · Kᵀ` (per head).
+    AttnScore,
+    /// Attention context: `softmax(S) · V` (per head).
+    AttnContext,
+    /// Multi-head output projection: `ctx · W_o`.
+    OutProj,
+    /// Gated-FFN gate projection (Llama-style `W_gate`).
+    FfnGate,
+    /// FFN up projection (`W_1` / `W_up`).
+    FfnUp,
+    /// FFN down projection (`W_2` / `W_down`).
+    FfnDown,
+}
+
+impl OpKind {
+    /// Reporting class for the Fig. 11 breakdown.
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::QkvProj => OpClass::Qkv,
+            OpKind::AttnScore | OpKind::AttnContext => OpClass::Attention,
+            OpKind::OutProj => OpClass::Projection,
+            OpKind::FfnGate | OpKind::FfnUp | OpKind::FfnDown => OpClass::Ffn,
+        }
+    }
+
+    /// Whether the second GEMM operand is a static model weight (true) or a
+    /// dynamic activation such as K/V (false). Static weights are encoded
+    /// once offline; dynamic ones are encoded on the fly by the vector unit.
+    pub fn weight_is_static(self) -> bool {
+        !matches!(self, OpKind::AttnScore | OpKind::AttnContext)
+    }
+
+    /// Whether the *activation* operand of this GEMM is the output of a
+    /// softmax (the paper's Fig. 8c notes such tensors show elevated `r_a`).
+    pub fn activation_is_softmax_output(self) -> bool {
+        matches!(self, OpKind::AttnContext)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::QkvProj => "qkv_proj",
+            OpKind::AttnScore => "attn_score",
+            OpKind::AttnContext => "attn_context",
+            OpKind::OutProj => "out_proj",
+            OpKind::FfnGate => "ffn_gate",
+            OpKind::FfnUp => "ffn_up",
+            OpKind::FfnDown => "ffn_down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The paper's four-way operation breakdown (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Q/K/V generation.
+    Qkv,
+    /// Attention score + context.
+    Attention,
+    /// Multi-head projection.
+    Projection,
+    /// Feed-forward network.
+    Ffn,
+}
+
+impl OpClass {
+    /// All classes in display order.
+    pub const ALL: [OpClass; 4] =
+        [OpClass::Qkv, OpClass::Attention, OpClass::Projection, OpClass::Ffn];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Qkv => "QKV",
+            OpClass::Attention => "Attention",
+            OpClass::Projection => "Projection",
+            OpClass::Ffn => "FFN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One (possibly repeated) GEMM of a workload: `(M,K) × (K,N)`, executed
+/// `count` times with identical shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmOp {
+    /// Precise kind.
+    pub kind: OpKind,
+    /// Output rows (tokens/batch entries streamed as activations).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns (stationary operand width).
+    pub n: usize,
+    /// Number of identical repetitions (layers × heads × steps …).
+    pub count: u64,
+    /// Whether the stationary operand's bytes are fetched fresh from
+    /// off-chip per repetition group (weights are; cached K/V mostly are
+    /// too, from the KV cache).
+    pub weight_resident_bytes_per_rep: u64,
+}
+
+impl GemmOp {
+    /// Creates an op with the weight-traffic default of `k × n` BF16 values.
+    pub fn new(kind: OpKind, m: usize, k: usize, n: usize, count: u64) -> Self {
+        GemmOp { kind, m, k, n, count, weight_resident_bytes_per_rep: (k * n) as u64 * 2 }
+    }
+
+    /// Reporting class.
+    pub fn class(&self) -> OpClass {
+        self.kind.class()
+    }
+
+    /// Multiply-accumulate operations across all repetitions.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64 * self.count
+    }
+
+    /// Floating-point operations (2 per MAC) across all repetitions.
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Activation elements streamed per repetition (`m × k`).
+    pub fn activation_elements(&self) -> u64 {
+        self.m as u64 * self.k as u64
+    }
+
+    /// Stationary-operand elements per repetition (`k × n`).
+    pub fn weight_elements(&self) -> u64 {
+        self.k as u64 * self.n as u64
+    }
+
+    /// Output elements per repetition (`m × n`).
+    pub fn output_elements(&self) -> u64 {
+        self.m as u64 * self.n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_all_kinds() {
+        let kinds = [
+            OpKind::QkvProj,
+            OpKind::AttnScore,
+            OpKind::AttnContext,
+            OpKind::OutProj,
+            OpKind::FfnGate,
+            OpKind::FfnUp,
+            OpKind::FfnDown,
+        ];
+        for k in kinds {
+            assert!(OpClass::ALL.contains(&k.class()), "{k}");
+        }
+    }
+
+    #[test]
+    fn attention_operands_are_dynamic() {
+        assert!(!OpKind::AttnScore.weight_is_static());
+        assert!(!OpKind::AttnContext.weight_is_static());
+        assert!(OpKind::QkvProj.weight_is_static());
+        assert!(OpKind::FfnDown.weight_is_static());
+    }
+
+    #[test]
+    fn softmax_tagging() {
+        assert!(OpKind::AttnContext.activation_is_softmax_output());
+        assert!(!OpKind::AttnScore.activation_is_softmax_output());
+    }
+
+    #[test]
+    fn op_accounting() {
+        let op = GemmOp::new(OpKind::FfnUp, 4, 8, 16, 3);
+        assert_eq!(op.macs(), 4 * 8 * 16 * 3);
+        assert_eq!(op.flops(), 2 * op.macs());
+        assert_eq!(op.weight_elements(), 128);
+        assert_eq!(op.activation_elements(), 32);
+        assert_eq!(op.output_elements(), 64);
+        assert_eq!(op.weight_resident_bytes_per_rep, 256);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(OpClass::Qkv.to_string(), "QKV");
+        assert_eq!(OpKind::AttnScore.to_string(), "attn_score");
+    }
+}

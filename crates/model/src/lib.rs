@@ -1,0 +1,47 @@
+//! # owlp-model
+//!
+//! Transformer workload models and calibrated synthetic tensors for the
+//! OwL-P evaluation (paper §VI):
+//!
+//! * [`config`] — the model zoo: BERT-Base/Large, GPT2-Base/Large,
+//!   Llama2-7B/70B dimension presets.
+//! * [`layers`] / [`workload`] — every GEMM of encoder inference and of
+//!   auto-regressive generation (prefill + decode with KV caching and
+//!   continuous batching, batch 32), classified into the paper's Fig. 11
+//!   breakdown (QKV generation, attention, multi-head projection, FFN).
+//! * [`profiles`] — per-(model, tensor, dataset) **statistical exponent
+//!   profiles**: a narrow normal core around a center exponent plus a
+//!   bursty outlier tail, calibrated so the measured normal-value ratios
+//!   match paper Table II and the scheduling overheads `r_a`/`r_w` match
+//!   Fig. 8 / Tables III–IV.
+//! * [`tensorgen`] — a deterministic generator producing BF16 tensors (or
+//!   just their outlier masks, for large shapes) from a profile.
+//!
+//! ## Why synthetic tensors are a faithful substitute
+//!
+//! Every quantity the OwL-P evaluation measures — compression ratio,
+//! zero-insertion overhead, datapath numerics — depends only on the
+//! *exponent distribution* of the tensors (how many values fall outside the
+//! densest 7-exponent window, and how those outliers cluster per row/column)
+//! and on the GEMM *shapes*. The profiles reproduce those statistics; the
+//! actual semantic content of the values is irrelevant to the hardware.
+//!
+//! ```
+//! use owlp_model::{ModelId, workload};
+//!
+//! let w = workload::encoder_workload(ModelId::BertBase, 512, 1);
+//! assert!(w.total_flops() > 1_000_000_000);
+//! ```
+
+pub mod compress;
+pub mod config;
+pub mod layers;
+pub mod profiles;
+pub mod tensorgen;
+pub mod workload;
+
+pub use config::{Arch, ModelId, TransformerConfig};
+pub use layers::{GemmOp, OpClass, OpKind};
+pub use profiles::{fit_profile, Dataset, ExponentProfile, TensorRole};
+pub use tensorgen::TensorGen;
+pub use workload::Workload;

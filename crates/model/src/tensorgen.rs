@@ -1,0 +1,292 @@
+//! Deterministic synthetic tensor generation from exponent profiles.
+//!
+//! The generator is **hash-based**: every element's fate (bursty unit
+//! membership, outlier draw, exponent, fraction, sign) is a pure function of
+//! `(profile.seed_salt, seed, row, col)`. This makes generation
+//! order-independent and lets large tensors produce just their outlier
+//! *mask* (all the scheduler needs) without materialising values.
+//!
+//! Consistency guarantee, verified by tests: encoding the generated values
+//! under [`ExponentProfile::window`] classifies exactly the masked elements
+//! as (nonzero) outliers.
+
+use crate::profiles::{BurstAxis, ExponentProfile};
+use owlp_format::Bf16;
+
+/// Bell-shaped weights over the 7 window exponents (paper Fig. 1's shape).
+const BELL: [u32; 7] = [1, 4, 12, 20, 12, 4, 1];
+const BELL_TOTAL: u32 = 54;
+
+/// A tensor generator bound to one profile and shape.
+///
+/// ```
+/// use owlp_model::{ModelId, OpKind, TensorGen};
+/// use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+///
+/// let p = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+/// let gen = TensorGen::new(p, 64, 96);
+/// let values = gen.values(7);
+/// assert_eq!(values.len(), 64 * 96);
+/// assert!(values.iter().all(|v| v.is_finite()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorGen {
+    profile: ExponentProfile,
+    rows: usize,
+    cols: usize,
+}
+
+impl TensorGen {
+    /// Binds a profile to a `rows × cols` shape.
+    pub fn new(profile: ExponentProfile, rows: usize, cols: usize) -> Self {
+        TensorGen { profile, rows, cols }
+    }
+
+    /// The bound profile.
+    pub fn profile(&self) -> &ExponentProfile {
+        &self.profile
+    }
+
+    /// Tensor shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether element `(r, c)` is a datapath outlier under `seed`.
+    pub fn is_outlier(&self, seed: u64, r: usize, c: usize) -> bool {
+        let p = &self.profile;
+        let unit = match p.burst_axis {
+            BurstAxis::Rows => r,
+            BurstAxis::Cols => c,
+        };
+        let bursty = hash01(p.seed_salt, seed ^ 0xB0B0, unit as u64, 0) < p.burst_fraction;
+        let rate = if bursty { p.burst_outlier_rate } else { p.background_outlier_rate };
+        hash01(p.seed_salt, seed ^ 0x0E11, r as u64, c as u64) < rate
+    }
+
+    /// The row-major outlier mask (what the scheduler consumes).
+    pub fn mask(&self, seed: u64) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(self.is_outlier(seed, r, c));
+            }
+        }
+        out
+    }
+
+    /// One element's value.
+    pub fn value_at(&self, seed: u64, r: usize, c: usize) -> Bf16 {
+        let p = &self.profile;
+        let h = hash(p.seed_salt, seed ^ 0xF00D, r as u64, c as u64);
+        let sign = (h & 1) as u16;
+        let frac = ((h >> 1) & 0x7F) as u16;
+        if self.is_outlier(seed, r, c) {
+            // 4 + extra steps outside the window, alternating side; fall
+            // back to the high side when the low side would hit exponent 0.
+            let extra = ((h >> 8) % p.outlier_exp_spread.max(1) as u64) as i32;
+            let below = (h >> 16) & 1 == 0;
+            let center = p.center_exp as i32;
+            let e = if below && center - 4 - extra >= 1 {
+                center - 4 - extra
+            } else {
+                (center + 4 + extra).min(254)
+            };
+            return Bf16::from_bits((sign << 15) | ((e as u16) << 7) | frac);
+        }
+        if hash01(p.seed_salt, seed ^ 0x2E40, r as u64, c as u64) < p.zero_fraction {
+            return if sign == 0 { Bf16::ZERO } else { Bf16::NEG_ZERO };
+        }
+        // Normal value: bell-shaped exponent offset in [-3, 3].
+        let draw = ((h >> 24) % BELL_TOTAL as u64) as u32;
+        let mut acc = 0u32;
+        let mut offset = -3i32;
+        for (i, &w) in BELL.iter().enumerate() {
+            acc += w;
+            if draw < acc {
+                offset = i as i32 - 3;
+                break;
+            }
+        }
+        let e = (p.center_exp as i32 + offset) as u16;
+        Bf16::from_bits((sign << 15) | (e << 7) | frac)
+    }
+
+    /// The full row-major value tensor.
+    pub fn values(&self, seed: u64) -> Vec<Bf16> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(self.value_at(seed, r, c));
+            }
+        }
+        out
+    }
+}
+
+/// SplitMix64-style avalanche over four keys.
+fn hash(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(21) ^ c.rotate_left(42) ^ d.rotate_left(57);
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the hash.
+fn hash01(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    (hash(a, b, c, d) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelId;
+    use crate::layers::OpKind;
+    use crate::profiles::{profile_for, Dataset, TensorRole};
+    use owlp_format::{encode_tensor, stats::normal_ratio_of};
+
+    fn gpt2_act() -> ExponentProfile {
+        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2)
+    }
+
+    fn gpt2_weight() -> ExponentProfile {
+        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = TensorGen::new(gpt2_act(), 32, 64);
+        assert_eq!(g.values(42), g.values(42));
+        assert_ne!(g.values(42), g.values(43));
+    }
+
+    #[test]
+    fn all_values_are_finite() {
+        let g = TensorGen::new(gpt2_act(), 64, 128);
+        assert!(g.values(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mask_matches_encoded_outliers_exactly() {
+        let p = gpt2_act();
+        let g = TensorGen::new(p, 48, 96);
+        let values = g.values(5);
+        let mask = g.mask(5);
+        let enc = encode_tensor(&values, Some(p.window())).unwrap();
+        let encoded_mask: Vec<bool> = enc.decode_operands().iter().map(|o| o.tag).collect();
+        assert_eq!(mask, encoded_mask);
+    }
+
+    #[test]
+    fn measured_normal_ratio_matches_expectation() {
+        for p in [gpt2_act(), gpt2_weight()] {
+            let g = TensorGen::new(p, 256, 256);
+            let values = g.values(11);
+            let (_, ratio) = normal_ratio_of(&values);
+            let expected = p.expected_normal_ratio();
+            assert!(
+                (ratio - expected).abs() < 0.01,
+                "measured {ratio} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_window_matches_profile_window() {
+        // The densest 7-window of generated data is the profile's window.
+        let p = gpt2_weight();
+        let g = TensorGen::new(p, 128, 128);
+        let values = g.values(3);
+        let enc = encode_tensor(&values, None).unwrap();
+        assert_eq!(enc.window(), p.window());
+    }
+
+    #[test]
+    fn measured_scheduling_overhead_matches_analytic() {
+        // Inline r computation: per row, per 32-tile, splits = ceil(c/2).
+        let p = gpt2_act();
+        let (rows, cols) = (512, 768);
+        let g = TensorGen::new(p, rows, cols);
+        let mask = g.mask(21);
+        let tile = 32;
+        let paths = 2;
+        let tiles = cols / tile;
+        let mut units = 0u64;
+        let mut extra = 0u64;
+        for r in 0..rows {
+            for t in 0..tiles {
+                units += 1;
+                let c =
+                    (0..tile).filter(|i| mask[r * cols + t * tile + i]).count();
+                extra += c.div_ceil(paths).max(1) as u64 - 1;
+            }
+        }
+        let measured = (units + extra) as f64 / units as f64;
+        let analytic = p.expected_extra_ratio(tile, paths);
+        assert!(
+            (measured - analytic).abs() < 0.05,
+            "measured {measured} vs analytic {analytic}"
+        );
+        // And inside the paper's Fig. 8a band.
+        assert!((1.05..=1.35).contains(&measured), "r_a {measured}");
+    }
+
+    #[test]
+    fn weight_bursts_cluster_on_columns() {
+        let p = gpt2_weight();
+        let g = TensorGen::new(p, 256, 256);
+        let mask = g.mask(9);
+        // Column outlier counts should be bimodal: bursty columns carry many
+        // more outliers than background ones.
+        let mut per_col = vec![0usize; 256];
+        for r in 0..256 {
+            for (c, pc) in per_col.iter_mut().enumerate() {
+                if mask[r * 256 + c] {
+                    *pc += 1;
+                }
+            }
+        }
+        let max = *per_col.iter().max().unwrap();
+        let median = {
+            let mut s = per_col.clone();
+            s.sort_unstable();
+            s[128]
+        };
+        assert!(max >= 4 * median.max(1), "max {max} median {median}");
+    }
+
+    #[test]
+    fn zeros_appear_at_the_configured_rate() {
+        let mut p = gpt2_act();
+        p.zero_fraction = 0.05;
+        let g = TensorGen::new(p, 128, 128);
+        let zeros = g.values(2).iter().filter(|v| v.is_zero()).count();
+        let rate = zeros as f64 / (128.0 * 128.0);
+        assert!((rate - 0.05).abs() < 0.012, "zero rate {rate}");
+    }
+
+    #[test]
+    fn outliers_stay_outside_window_after_clamping() {
+        // Even with a center near the exponent floor, outliers never land
+        // inside the window (they fall back to the high side).
+        let mut p = gpt2_weight();
+        p.center_exp = 8;
+        let g = TensorGen::new(p, 64, 64);
+        let values = g.values(4);
+        let mask = g.mask(4);
+        let w = p.window();
+        for (v, m) in values.iter().zip(&mask) {
+            if *m {
+                assert!(!w.contains(*v), "outlier {v:?} inside window");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let g = TensorGen::new(gpt2_act(), 0, 0);
+        assert!(g.values(1).is_empty());
+        assert!(g.mask(1).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the workload and tensor-generation invariants.
+
+use owlp_format::encode_tensor;
+use owlp_model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_model::workload::{encoder_workload, generation_workload, kv_length_buckets};
+use owlp_model::{ModelId, OpKind, TensorGen};
+use proptest::prelude::*;
+
+fn any_model() -> impl Strategy<Value = ModelId> {
+    prop::sample::select(ModelId::ALL.to_vec())
+}
+
+fn any_decoder() -> impl Strategy<Value = ModelId> {
+    prop::sample::select(vec![
+        ModelId::Gpt2Base,
+        ModelId::Gpt2Large,
+        ModelId::Llama2_7b,
+        ModelId::Llama2_70b,
+    ])
+}
+
+fn any_kind() -> impl Strategy<Value = OpKind> {
+    prop::sample::select(vec![
+        OpKind::QkvProj,
+        OpKind::AttnScore,
+        OpKind::AttnContext,
+        OpKind::OutProj,
+        OpKind::FfnGate,
+        OpKind::FfnUp,
+        OpKind::FfnDown,
+    ])
+}
+
+fn any_dataset() -> impl Strategy<Value = Dataset> {
+    prop::sample::select(vec![
+        Dataset::WikiText2,
+        Dataset::HellaSwag,
+        Dataset::WinoGrande,
+        Dataset::Piqa,
+        Dataset::Mmlu,
+        Dataset::Squad2,
+        Dataset::Glue,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every profile produces finite, encodable tensors whose outlier mask
+    /// matches what the encoder classifies under the profile's window.
+    #[test]
+    fn generator_is_consistent_with_encoder(
+        model in any_model(),
+        kind in any_kind(),
+        dataset in any_dataset(),
+        role_weight in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let role = if role_weight { TensorRole::Weight } else { TensorRole::Activation };
+        let p = profile_for(model, kind, role, dataset);
+        let g = TensorGen::new(p, 24, 48);
+        let values = g.values(seed);
+        prop_assert!(values.iter().all(|v| v.is_finite()));
+        let enc = encode_tensor(&values, Some(p.window())).expect("encodable");
+        let mask = g.mask(seed);
+        let enc_mask: Vec<bool> = enc.decode_operands().iter().map(|o| o.tag).collect();
+        prop_assert_eq!(mask, enc_mask);
+    }
+
+    /// Generation is a pure function of (profile, shape, seed, position).
+    #[test]
+    fn generation_is_pure(
+        model in any_model(),
+        seed in 0u64..10_000,
+        r in 0usize..16,
+        c in 0usize..16,
+    ) {
+        let p = profile_for(model, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+        let g = TensorGen::new(p, 16, 16);
+        prop_assert_eq!(g.value_at(seed, r, c), g.value_at(seed, r, c));
+        prop_assert_eq!(g.is_outlier(seed, r, c), g.is_outlier(seed, r, c));
+        // And the full tensor agrees with per-element access.
+        let values = g.values(seed);
+        prop_assert_eq!(values[r * 16 + c], g.value_at(seed, r, c));
+    }
+
+    /// KV buckets always cover every decode step exactly once and lengths
+    /// are within the legal range.
+    #[test]
+    fn kv_buckets_partition_steps(prompt in 0usize..1024, gen in 1usize..8192) {
+        let buckets = kv_length_buckets(prompt, gen);
+        let total: u64 = buckets.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(total, gen as u64);
+        for &(len, steps) in &buckets {
+            prop_assert!(steps > 0);
+            prop_assert!(len > prompt);
+            prop_assert!(len <= prompt + gen);
+        }
+        // Bucket lengths are increasing.
+        for w in buckets.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    /// Workload MACs scale (at least) linearly with generation length.
+    #[test]
+    fn generation_macs_scale(model in any_decoder(), gen_pow in 4u32..9) {
+        let short = generation_workload(model, 8, 64, 1 << gen_pow);
+        let long = generation_workload(model, 8, 64, 1 << (gen_pow + 1));
+        prop_assert!(long.total_macs() > short.total_macs());
+        // Attention grows superlinearly; total at least linearly minus the
+        // fixed prefill.
+        let fixed = encoderless_prefill_macs(model);
+        prop_assert!(
+            long.total_macs() - fixed >= 2 * (short.total_macs() - fixed) - 1,
+            "{} vs {}",
+            long.total_macs(),
+            short.total_macs()
+        );
+    }
+
+    /// Encoder workload MACs scale quadratically in sequence length for the
+    /// attention part and linearly elsewhere — overall between the two.
+    #[test]
+    fn encoder_macs_scaling(model in prop::sample::select(vec![ModelId::BertBase, ModelId::BertLarge])) {
+        let s1 = encoder_workload(model, 128, 1).total_macs() as f64;
+        let s2 = encoder_workload(model, 256, 1).total_macs() as f64;
+        let ratio = s2 / s1;
+        prop_assert!(ratio > 2.0 && ratio < 4.0, "ratio {}", ratio);
+    }
+}
+
+fn encoderless_prefill_macs(model: ModelId) -> u64 {
+    // MACs of the prefill-only part (gen length 1 ≈ prefill + 1 step).
+    let one = generation_workload(model, 8, 64, 1);
+    let two = generation_workload(model, 8, 64, 2);
+    // Subtract one decode step to approximate prefill.
+    2 * one.total_macs() - two.total_macs()
+}

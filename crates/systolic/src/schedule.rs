@@ -1,0 +1,334 @@
+//! Outlier-aware zero-insertion scheduling (paper §V-A, Fig. 6).
+//!
+//! Outlier products belonging to one input row travel down a PE column in a
+//! single wavefront; the wavefront can carry at most as many outlier results
+//! as each PE has outlier registers. When an input row (respectively a
+//! stationary weight column) holds more outliers *within one K-tile* than
+//! the path budget, the scheduler splits it into several sub-rows
+//! (sub-columns) by inserting zeros, each carrying at most `paths` outliers.
+//! The extra streamed rows/columns are the `T_a`/`T_w` cycle overheads of
+//! paper Eq. (4), summarised as `r_a = (M + T_a)/M` and `r_w = (N + T_w)/N`.
+
+use owlp_format::decode::DecodedOperand;
+use owlp_format::EncodedTensor;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate scheduling overhead for one tensor of one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Row-streams (or column-slots) without zero insertion:
+    /// `M × ⌈K / k_tile⌉` for activations, `N × ⌈K / k_tile⌉` for weights.
+    pub base_units: u64,
+    /// Extra streams added by zero insertion (`T_a` or `T_w`, summed over
+    /// K-tiles).
+    pub extra_units: u64,
+    /// The overhead ratio `r = (base + extra) / base`; 1.0 when nothing was
+    /// split.
+    pub ratio: f64,
+    /// The largest outlier count seen in any single unit (row×tile or
+    /// column×tile) before splitting.
+    pub max_outliers_per_unit: usize,
+}
+
+impl ScheduleStats {
+    fn from_counts(base_units: u64, extra_units: u64, max_outliers: usize) -> Self {
+        let ratio = if base_units == 0 {
+            1.0
+        } else {
+            (base_units + extra_units) as f64 / base_units as f64
+        };
+        ScheduleStats { base_units, extra_units, ratio, max_outliers_per_unit: max_outliers }
+    }
+}
+
+/// The outlier scheduler: splits over-subscribed rows/columns and measures
+/// the resulting `r_a`/`r_w` overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutlierSchedule {
+    /// K-elements covered by one array fold (`rows × lanes`).
+    pub k_tile: usize,
+    /// Outlier paths per PE for activation outliers.
+    pub act_paths: usize,
+    /// Outlier paths per PE for weight outliers.
+    pub weight_paths: usize,
+}
+
+impl OutlierSchedule {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_tile == 0` or both path budgets are zero.
+    pub fn new(k_tile: usize, act_paths: usize, weight_paths: usize) -> Self {
+        assert!(k_tile > 0, "k_tile must be positive");
+        assert!(
+            act_paths > 0 || weight_paths > 0,
+            "an outlier-aware schedule needs at least one outlier path"
+        );
+        OutlierSchedule { k_tile, act_paths, weight_paths }
+    }
+
+    /// `T_a`/`r_a` for an `m×k` activation outlier mask (row-major, `true`
+    /// marks an outlier element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != m*k` or the activation path budget is zero
+    /// while outliers are present.
+    pub fn activation_stats(&self, mask: &[bool], m: usize, k: usize) -> ScheduleStats {
+        assert_eq!(mask.len(), m * k, "mask shape mismatch");
+        let tiles = k.div_ceil(self.k_tile).max(usize::from(k == 0));
+        let mut extra = 0u64;
+        let mut max_out = 0usize;
+        for row in 0..m {
+            for t in 0..tiles {
+                let lo = t * self.k_tile;
+                let hi = (lo + self.k_tile).min(k);
+                let count = mask[row * k + lo..row * k + hi].iter().filter(|&&b| b).count();
+                max_out = max_out.max(count);
+                if count > 0 {
+                    assert!(self.act_paths > 0, "activation outliers but no activation paths");
+                    extra += (count.div_ceil(self.act_paths) - 1) as u64;
+                }
+            }
+        }
+        ScheduleStats::from_counts((m * tiles) as u64, extra, max_out)
+    }
+
+    /// `T_w`/`r_w` for a `k×n` weight outlier mask (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != k*n` or the weight path budget is zero while
+    /// outliers are present.
+    pub fn weight_stats(&self, mask: &[bool], k: usize, n: usize) -> ScheduleStats {
+        assert_eq!(mask.len(), k * n, "mask shape mismatch");
+        let tiles = k.div_ceil(self.k_tile).max(usize::from(k == 0));
+        let mut extra = 0u64;
+        let mut max_out = 0usize;
+        for col in 0..n {
+            for t in 0..tiles {
+                let lo = t * self.k_tile;
+                let hi = (lo + self.k_tile).min(k);
+                let count = (lo..hi).filter(|&kk| mask[kk * n + col]).count();
+                max_out = max_out.max(count);
+                if count > 0 {
+                    assert!(self.weight_paths > 0, "weight outliers but no weight paths");
+                    extra += (count.div_ceil(self.weight_paths) - 1) as u64;
+                }
+            }
+        }
+        ScheduleStats::from_counts((n * tiles) as u64, extra, max_out)
+    }
+
+    /// Splits one activation row segment (≤ `k_tile` operands) into
+    /// sub-rows, each with at most `act_paths` outlier operands: the zero
+    /// insertion of paper Fig. 6. Normal operands stay in the first
+    /// sub-row; the `s`-th sub-row carries the outliers with ordinals
+    /// `[s·paths, (s+1)·paths)` at their original positions and zeros
+    /// elsewhere, so the sub-rows' dot products sum to the original's.
+    pub fn split_activation_row(&self, row: &[DecodedOperand]) -> Vec<Vec<DecodedOperand>> {
+        split_segment(row, self.act_paths)
+    }
+
+    /// Splits one stationary weight column segment analogously, with the
+    /// weight path budget.
+    pub fn split_weight_column(&self, col: &[DecodedOperand]) -> Vec<Vec<DecodedOperand>> {
+        split_segment(col, self.weight_paths)
+    }
+}
+
+/// Shared splitting kernel (see [`OutlierSchedule::split_activation_row`]).
+fn split_segment(seg: &[DecodedOperand], paths: usize) -> Vec<Vec<DecodedOperand>> {
+    let outlier_count = seg.iter().filter(|o| o.tag).count();
+    if paths == 0 {
+        assert_eq!(outlier_count, 0, "outliers present but no outlier paths");
+        return vec![seg.to_vec()];
+    }
+    let splits = outlier_count.div_ceil(paths).max(1);
+    let mut out = vec![vec![DecodedOperand::ZERO; seg.len()]; splits];
+    let mut ordinal = 0usize;
+    for (i, &op) in seg.iter().enumerate() {
+        if op.tag {
+            out[ordinal / paths][i] = op;
+            ordinal += 1;
+        } else {
+            out[0][i] = op;
+        }
+    }
+    out
+}
+
+/// Builds the outlier mask of an encoded tensor: `true` where the element
+/// travels the outlier datapath (nonzero out-of-window values; stored zeros
+/// and in-window values are `false`).
+pub fn outlier_mask(enc: &EncodedTensor) -> Vec<bool> {
+    enc.decode_operands().iter().map(|op| op.tag).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{encode_tensor, Bf16, BiasDecoder, ExponentWindow};
+
+    fn ops(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
+        let w = ExponentWindow::owlp(base);
+        let dec = BiasDecoder::new(base);
+        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+    }
+
+    #[test]
+    fn no_outliers_means_no_overhead() {
+        let sched = OutlierSchedule::new(32, 2, 2);
+        let mask = vec![false; 8 * 64];
+        let s = sched.activation_stats(&mask, 8, 64);
+        assert_eq!(s.ratio, 1.0);
+        assert_eq!(s.extra_units, 0);
+        assert_eq!(s.base_units, 8 * 2);
+    }
+
+    #[test]
+    fn fig6_example_three_outliers_two_paths() {
+        // Fig. 6: a column with 3 outliers and 2 paths splits into 2+1.
+        let sched = OutlierSchedule::new(8, 2, 2);
+        let mut mask = vec![false; 8];
+        mask[1] = true;
+        mask[4] = true;
+        mask[6] = true;
+        let s = sched.activation_stats(&mask, 1, 8);
+        assert_eq!(s.extra_units, 1); // one extra sub-row
+        assert_eq!(s.ratio, 2.0); // (1 + 1) / 1 for this single-row tensor
+        assert_eq!(s.max_outliers_per_unit, 3);
+    }
+
+    #[test]
+    fn split_preserves_values_and_respects_budget() {
+        let sched = OutlierSchedule::new(8, 2, 2);
+        let mut xs = vec![1.0f32; 8];
+        xs[1] = 3.0e20;
+        xs[4] = -1.0e22;
+        xs[6] = 2.0e25;
+        let row = ops(&xs, 124);
+        let subs = sched.split_activation_row(&row);
+        assert_eq!(subs.len(), 2);
+        for sub in &subs {
+            assert!(sub.iter().filter(|o| o.tag).count() <= 2);
+            assert_eq!(sub.len(), 8);
+        }
+        // Each position is nonzero in exactly one sub-row and carries the
+        // original operand there.
+        for i in 0..8 {
+            let nonzero: Vec<&DecodedOperand> =
+                subs.iter().map(|s| &s[i]).filter(|o| !o.is_zero()).collect();
+            assert_eq!(nonzero.len(), 1, "position {i}");
+            assert_eq!(*nonzero[0], row[i]);
+        }
+    }
+
+    #[test]
+    fn split_sum_of_dot_products_is_preserved() {
+        use owlp_arith::column::PeColumn;
+        use owlp_arith::exact_dot;
+        use owlp_arith::pe::PeConfig;
+
+        let sched = OutlierSchedule::new(16, 2, 2);
+        let mut xs: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 / 8.0).collect();
+        xs[2] = 1e20;
+        xs[7] = -3e21;
+        xs[11] = 5e19;
+        xs[13] = 2e22;
+        let ys: Vec<f32> = (0..16).map(|i| 0.5 + i as f32 / 16.0).collect();
+        let row = ops(&xs, 124);
+        let wcol = ops(&ys, 124);
+        let subs = sched.split_activation_row(&row);
+        assert_eq!(subs.len(), 2);
+        // Compute each sub-row against the weights and combine the *exact*
+        // contributions — equality is checked at f64 precision because each
+        // sub-pass is itself exact.
+        let col = PeColumn::new(PeConfig::PAPER, 2);
+        let mut combined = 0.0f64;
+        for sub in &subs {
+            let out = col.compute(sub, &wcol, 124, 124).unwrap();
+            combined += out.value as f64;
+        }
+        let a_bf: Vec<Bf16> = xs.iter().map(|&x| Bf16::from_f32(x)).collect();
+        let b_bf: Vec<Bf16> = ys.iter().map(|&x| Bf16::from_f32(x)).collect();
+        let golden = exact_dot(&a_bf, &b_bf) as f64;
+        let rel = (combined - golden).abs() / golden.abs().max(1e-30);
+        assert!(rel < 1e-6, "combined {combined} vs golden {golden}");
+    }
+
+    #[test]
+    fn weight_stats_column_major_access() {
+        // k=4, n=3; outliers down column 1 only.
+        let sched = OutlierSchedule::new(4, 2, 1);
+        let mut mask = vec![false; 12];
+        for kk in 0..4 {
+            mask[kk * 3 + 1] = true;
+        }
+        let s = sched.weight_stats(&mask, 4, 3);
+        // Column 1 has 4 outliers, 1 path → 4 slots, 3 extra.
+        assert_eq!(s.extra_units, 3);
+        assert_eq!(s.base_units, 3);
+        assert!((s.ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiling_splits_pressure() {
+        // 4 outliers in one row of 64: within one 64-tile → 1 extra
+        // (4 outliers / 2 paths = 2 slots); within two 32-tiles of 2 each →
+        // no extra.
+        let mut mask = vec![false; 64];
+        mask[1] = true;
+        mask[2] = true;
+        mask[40] = true;
+        mask[41] = true;
+        let wide = OutlierSchedule::new(64, 2, 2).activation_stats(&mask, 1, 64);
+        let narrow = OutlierSchedule::new(32, 2, 2).activation_stats(&mask, 1, 64);
+        assert_eq!(wide.extra_units, 1);
+        assert_eq!(narrow.extra_units, 0);
+    }
+
+    #[test]
+    fn outlier_mask_from_encoded_tensor() {
+        let mut xs = [1.0f32; 10];
+        xs[3] = 1e30;
+        xs[7] = 0.0; // stored as exponent-0 outlier but not a datapath outlier
+        let t: Vec<Bf16> = xs.iter().map(|&x| Bf16::from_f32(x)).collect();
+        let enc = encode_tensor(&t, None).unwrap();
+        let mask = outlier_mask(&enc);
+        assert!(mask[3]);
+        assert!(!mask[7]);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn more_paths_less_overhead() {
+        // Fig. 10's monotonicity: r decreases as paths increase.
+        let mut mask = vec![false; 4 * 96];
+        for (i, m) in mask.iter_mut().enumerate() {
+            if i % 13 == 0 {
+                *m = true;
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for paths in [1usize, 2, 4, 8] {
+            let s = OutlierSchedule::new(96, paths, paths).activation_stats(&mask, 4, 96);
+            assert!(s.ratio <= prev, "paths {paths}: {} > {prev}", s.ratio);
+            prev = s.ratio;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outlier path")]
+    fn zero_paths_rejected() {
+        let _ = OutlierSchedule::new(32, 0, 0);
+    }
+
+    #[test]
+    fn empty_gemm_edge() {
+        let sched = OutlierSchedule::new(32, 2, 2);
+        let s = sched.activation_stats(&[], 0, 0);
+        assert_eq!(s.ratio, 1.0);
+    }
+}

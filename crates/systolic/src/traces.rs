@@ -1,0 +1,241 @@
+//! SRAM/DRAM access-trace generation (the ScaleSIM-style output).
+//!
+//! ScaleSIM's primary artefacts are per-cycle operand access traces —
+//! ifmap (activation) reads, filter (weight) reads, ofmap (output) writes —
+//! from which bandwidth demand over time is derived. This module generates
+//! the same traces for the weight-stationary dataflow of Eq. (3), with
+//! per-value byte costs as a parameter so the compressed OwL-P format and
+//! the raw BF16 baseline produce their respective traffic.
+
+use crate::config::ArrayConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-value storage costs (bytes) for one trace run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ByteCosts {
+    /// Streamed activation bytes per element.
+    pub activation: f64,
+    /// Stationary weight bytes per element.
+    pub weight: f64,
+    /// Output bytes per element (FP32 written back, later re-encoded).
+    pub output: f64,
+}
+
+impl ByteCosts {
+    /// Raw BF16 operands, FP32 outputs (the baseline).
+    pub const BF16: ByteCosts = ByteCosts { activation: 2.0, weight: 2.0, output: 4.0 };
+
+    /// OwL-P packed operands (≈ 11.5 bits/value), FP32 outputs.
+    pub const OWLP: ByteCosts = ByteCosts { activation: 1.47, weight: 1.45, output: 4.0 };
+}
+
+/// One access event: `(cycle, bytes)`.
+pub type Access = (u64, u64);
+
+/// The generated trace of one GEMM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    /// Activation (ifmap) read events.
+    pub ifmap_reads: Vec<Access>,
+    /// Weight (filter) read events.
+    pub filter_reads: Vec<Access>,
+    /// Output (ofmap) write events.
+    pub ofmap_writes: Vec<Access>,
+    /// Total cycles spanned.
+    pub cycles: u64,
+}
+
+impl AccessTrace {
+    /// Total bytes of one stream.
+    fn stream_bytes(stream: &[Access]) -> u64 {
+        stream.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Total activation bytes read.
+    pub fn ifmap_bytes(&self) -> u64 {
+        Self::stream_bytes(&self.ifmap_reads)
+    }
+
+    /// Total weight bytes read.
+    pub fn filter_bytes(&self) -> u64 {
+        Self::stream_bytes(&self.filter_reads)
+    }
+
+    /// Total output bytes written.
+    pub fn ofmap_bytes(&self) -> u64 {
+        Self::stream_bytes(&self.ofmap_writes)
+    }
+
+    /// All traffic combined.
+    pub fn total_bytes(&self) -> u64 {
+        self.ifmap_bytes() + self.filter_bytes() + self.ofmap_bytes()
+    }
+
+    /// Demand bandwidth profile: total bytes per `bucket`-cycle window,
+    /// in bytes/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket == 0`.
+    pub fn bandwidth_profile(&self, bucket: u64) -> Vec<f64> {
+        assert!(bucket > 0, "bucket must be positive");
+        let buckets = self.cycles.div_ceil(bucket).max(1) as usize;
+        let mut out = vec![0.0f64; buckets];
+        for stream in [&self.ifmap_reads, &self.filter_reads, &self.ofmap_writes] {
+            for &(c, b) in stream.iter() {
+                let idx = ((c.min(self.cycles.saturating_sub(1))) / bucket) as usize;
+                out[idx] += b as f64;
+            }
+        }
+        for v in &mut out {
+            *v /= bucket as f64;
+        }
+        out
+    }
+
+    /// Peak demand bandwidth over `bucket`-cycle windows, bytes/cycle.
+    pub fn peak_bandwidth(&self, bucket: u64) -> f64 {
+        self.bandwidth_profile(bucket).into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// Generates the weight-stationary access trace of one `(m,k) × (k,n)` GEMM
+/// on `cfg`, with per-value costs `bytes`.
+///
+/// Event placement follows the Eq. (3) schedule: each fold loads its
+/// stationary tile over the `rows` fill cycles, streams `m` activation rows
+/// (one row's K-slice per cycle), and drains `m × cols` outputs over the
+/// drain window.
+pub fn generate_trace(
+    cfg: &ArrayConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    bytes: ByteCosts,
+) -> AccessTrace {
+    let mut trace = AccessTrace {
+        ifmap_reads: Vec::new(),
+        filter_reads: Vec::new(),
+        ofmap_writes: Vec::new(),
+        cycles: 0,
+    };
+    if m == 0 || k == 0 || n == 0 {
+        return trace;
+    }
+    let k_tile = cfg.k_tile();
+    let mut cycle = 0u64;
+    for t in 0..k.div_ceil(k_tile) {
+        let lo = t * k_tile;
+        let tile_k = (k - lo).min(k_tile);
+        for fold_cols in (0..n).collect::<Vec<_>>().chunks(cfg.cols) {
+            // Fill: the stationary tile streams in over `rows` cycles.
+            let tile_elems = (tile_k * fold_cols.len()) as f64 * bytes.weight;
+            let per_cycle = (tile_elems / cfg.rows as f64).ceil() as u64;
+            for r in 0..cfg.rows {
+                trace.filter_reads.push((cycle + r as u64, per_cycle));
+            }
+            cycle += cfg.rows as u64;
+            // Stream M rows: one K-slice per cycle.
+            let row_bytes = (tile_k as f64 * bytes.activation).ceil() as u64;
+            for row in 0..m {
+                trace.ifmap_reads.push((cycle + row as u64, row_bytes));
+            }
+            cycle += m as u64;
+            // Drain: outputs leave over rows + cols − 2 cycles (only on the
+            // final K-tile; partial sums of earlier tiles stay on chip).
+            let drain = (cfg.rows + cfg.cols - 2).max(1) as u64;
+            if t == k.div_ceil(k_tile) - 1 {
+                let out_bytes = (m * fold_cols.len()) as f64 * bytes.output;
+                let per_cycle = (out_bytes / drain as f64).ceil() as u64;
+                for d in 0..drain {
+                    trace.ofmap_writes.push((cycle + d, per_cycle));
+                }
+            }
+            cycle += drain;
+        }
+    }
+    trace.cycles = cycle;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_model::cycles_with_overhead;
+
+    #[test]
+    fn totals_match_closed_form_volumes() {
+        let cfg = ArrayConfig::small(4, 4, 8); // k_tile 32
+        let (m, k, n) = (16, 64, 12);
+        let t = generate_trace(&cfg, m, k, n, ByteCosts::BF16);
+        // Weights: each K-tile × each fold loads its slice once.
+        let expected_weights = (k * n) as u64 * 2;
+        assert_eq!(t.filter_bytes(), expected_weights);
+        // Activations: each row's K-slice streams once per N-fold.
+        let n_folds = n.div_ceil(cfg.cols) as u64;
+        assert_eq!(t.ifmap_bytes(), (m * k) as u64 * 2 * n_folds);
+        // Outputs written exactly once.
+        let drain = (cfg.rows + cfg.cols - 2) as u64;
+        let per_cycle = ((m * cfg.cols.min(n)) as f64 * 4.0 / drain as f64).ceil() as u64;
+        assert!(t.ofmap_bytes() >= (m * n) as u64 * 4);
+        assert!(t.ofmap_bytes() <= per_cycle * drain * n_folds);
+    }
+
+    #[test]
+    fn trace_span_matches_cycle_model() {
+        let cfg = ArrayConfig::small(4, 4, 8);
+        let (m, k, n) = (10, 96, 8);
+        let t = generate_trace(&cfg, m, k, n, ByteCosts::BF16);
+        let eq3 = cycles_with_overhead(&cfg, m, k, n, 1.0, 1.0);
+        assert_eq!(t.cycles, eq3.total);
+    }
+
+    #[test]
+    fn compression_shrinks_every_operand_stream() {
+        let cfg = ArrayConfig::OWLP_PAPER;
+        let (m, k, n) = (32, 4096, 4096);
+        let raw = generate_trace(&cfg, m, k, n, ByteCosts::BF16);
+        let packed = generate_trace(&cfg, m, k, n, ByteCosts::OWLP);
+        assert!(packed.filter_bytes() < raw.filter_bytes());
+        assert!(packed.ifmap_bytes() < raw.ifmap_bytes());
+        let ratio = raw.filter_bytes() as f64 / packed.filter_bytes() as f64;
+        assert!((1.3..1.45).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn bandwidth_profile_sums_to_total() {
+        let cfg = ArrayConfig::small(2, 2, 4);
+        let t = generate_trace(&cfg, 8, 16, 6, ByteCosts::BF16);
+        for bucket in [1u64, 7, 64] {
+            let profile = t.bandwidth_profile(bucket);
+            let sum: f64 = profile.iter().map(|v| v * bucket as f64).sum();
+            assert!(
+                (sum - t.total_bytes() as f64).abs() < 1e-6,
+                "bucket {bucket}: {sum} vs {}",
+                t.total_bytes()
+            );
+            assert!(t.peak_bandwidth(bucket) >= sum / (t.cycles as f64 + bucket as f64));
+        }
+    }
+
+    #[test]
+    fn fill_phase_is_filter_dominated_stream_phase_is_ifmap_dominated() {
+        let cfg = ArrayConfig::small(8, 8, 4);
+        let t = generate_trace(&cfg, 64, 32, 8, ByteCosts::BF16);
+        // First `rows` cycles: only filter reads.
+        let early_filter: u64 =
+            t.filter_reads.iter().filter(|&&(c, _)| c < 8).map(|&(_, b)| b).sum();
+        let early_ifmap: u64 =
+            t.ifmap_reads.iter().filter(|&&(c, _)| c < 8).map(|&(_, b)| b).sum();
+        assert!(early_filter > 0);
+        assert_eq!(early_ifmap, 0);
+    }
+
+    #[test]
+    fn empty_gemm_has_empty_trace() {
+        let cfg = ArrayConfig::small(2, 2, 2);
+        let t = generate_trace(&cfg, 0, 4, 4, ByteCosts::BF16);
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.cycles, 0);
+    }
+}

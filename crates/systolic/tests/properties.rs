@@ -1,0 +1,159 @@
+//! Property-based tests of the scheduling and cycle-model invariants.
+
+use owlp_format::decode::DecodedOperand;
+use owlp_format::{encode_tensor, Bf16, BiasDecoder, ExponentWindow};
+use owlp_systolic::cycle_model::{cycles_with_overhead, utilization};
+use owlp_systolic::schedule::{outlier_mask, OutlierSchedule};
+use owlp_systolic::ArrayConfig;
+use proptest::prelude::*;
+
+/// A decoded segment with a controlled outlier pattern.
+fn segment(outlier_positions: &[usize], len: usize) -> Vec<DecodedOperand> {
+    let w = ExponentWindow::owlp(124);
+    let dec = BiasDecoder::new(124);
+    (0..len)
+        .map(|i| {
+            let x = if outlier_positions.contains(&i) {
+                Bf16::from_f32(1.0e25 + i as f32)
+            } else {
+                Bf16::from_f32(1.0 + i as f32 / 64.0)
+            };
+            dec.decode_bf16(x, w)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Splitting invariants: every sub-row respects the path budget, every
+    /// position is non-zero in exactly one sub-row, and the original value
+    /// lives there.
+    #[test]
+    fn split_invariants(
+        len in 1usize..40,
+        paths in 1usize..5,
+        outlier_bits in any::<u64>(),
+    ) {
+        let positions: Vec<usize> =
+            (0..len.min(64)).filter(|i| outlier_bits & (1 << i) != 0).collect();
+        let seg = segment(&positions, len);
+        let sched = OutlierSchedule::new(len.max(1), paths, paths);
+        let subs = sched.split_activation_row(&seg);
+        // Budget.
+        for sub in &subs {
+            prop_assert!(sub.iter().filter(|o| o.tag).count() <= paths);
+            prop_assert_eq!(sub.len(), seg.len());
+        }
+        // Minimality: exactly ceil(outliers / paths) sub-rows (min 1).
+        let expected = positions.len().div_ceil(paths).max(1);
+        prop_assert_eq!(subs.len(), expected);
+        // Partition-of-support.
+        for i in 0..len {
+            let holders: Vec<_> = subs.iter().filter(|s| !s[i].is_zero()).collect();
+            if seg[i].is_zero() {
+                prop_assert!(holders.is_empty());
+            } else {
+                prop_assert_eq!(holders.len(), 1);
+                prop_assert_eq!(holders[0][i], seg[i]);
+            }
+        }
+    }
+
+    /// Ratio bookkeeping: `ratio == (base + extra) / base` always, and more
+    /// paths never increase the overhead.
+    #[test]
+    fn stats_ratio_consistency(
+        m in 1usize..20,
+        k in 1usize..100,
+        density_pct in 0usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut state = seed | 1;
+        let mask: Vec<bool> = (0..m * k)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % 100 < density_pct as u64
+            })
+            .collect();
+        let mut prev = f64::INFINITY;
+        for paths in [1usize, 2, 4, 8] {
+            let s = OutlierSchedule::new(32, paths, paths).activation_stats(&mask, m, k);
+            prop_assert!(
+                (s.ratio - (s.base_units + s.extra_units) as f64 / s.base_units as f64).abs()
+                    < 1e-12
+            );
+            prop_assert!(s.ratio <= prev + 1e-12);
+            prev = s.ratio;
+        }
+    }
+
+    /// Weight stats on a transposed mask equal activation stats on the
+    /// original (the two paths share their counting logic).
+    #[test]
+    fn weight_stats_transpose_duality(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        bits in any::<u128>(),
+    ) {
+        let mask: Vec<bool> =
+            (0..rows * cols).map(|i| bits & (1u128 << (i % 128)) != 0).collect();
+        let mut transposed = vec![false; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                transposed[c * rows + r] = mask[r * cols + c];
+            }
+        }
+        let sched = OutlierSchedule::new(8, 2, 2);
+        // activation stats treat rows as units over K=cols;
+        // weight stats treat columns as units over K=rows.
+        let a = sched.activation_stats(&mask, rows, cols);
+        let w = sched.weight_stats(&transposed, cols, rows);
+        prop_assert_eq!(a.extra_units, w.extra_units);
+        prop_assert_eq!(a.base_units, w.base_units);
+    }
+
+    /// Eq. (3) monotonicity: cycles never decrease when any dimension grows.
+    #[test]
+    fn eq3_is_monotone(
+        m in 1usize..64,
+        k in 1usize..256,
+        n in 1usize..64,
+    ) {
+        let cfg = ArrayConfig::OWLP_PAPER;
+        let base = cycles_with_overhead(&cfg, m, k, n, 1.0, 1.0).total_parallel;
+        prop_assert!(cycles_with_overhead(&cfg, m + 1, k, n, 1.0, 1.0).total_parallel >= base);
+        prop_assert!(cycles_with_overhead(&cfg, m, k + 1, n, 1.0, 1.0).total_parallel >= base);
+        prop_assert!(cycles_with_overhead(&cfg, m, k, n + 1, 1.0, 1.0).total_parallel >= base);
+    }
+
+    /// Utilisation never exceeds 1 and improves with M.
+    #[test]
+    fn utilization_bounds(k in 1usize..512, n in 1usize..512) {
+        let cfg = ArrayConfig::BASELINE_PAPER;
+        let u1 = utilization(&cfg, 1, k, n);
+        let u512 = utilization(&cfg, 512, k, n);
+        prop_assert!((0.0..=1.0).contains(&u1));
+        prop_assert!(u512 <= 1.0);
+        prop_assert!(u512 >= u1);
+    }
+
+    /// The mask derived from an encoded tensor marks exactly the nonzero
+    /// out-of-window values.
+    #[test]
+    fn outlier_mask_matches_window_membership(
+        values in prop::collection::vec(
+            (0u16..0x80, 1u16..255, any::<bool>())
+                .prop_map(|(f, e, s)| Bf16::from_bits(((s as u16) << 15) | (e << 7) | f)),
+            1..100,
+        ),
+    ) {
+        let w = ExponentWindow::owlp(120);
+        let enc = encode_tensor(&values, Some(w)).expect("finite");
+        let mask = outlier_mask(&enc);
+        for (x, m) in values.iter().zip(&mask) {
+            let expected = !w.contains(*x) && !x.is_zero();
+            prop_assert_eq!(*m, expected, "value {:?}", x);
+        }
+    }
+}

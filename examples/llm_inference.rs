@@ -1,0 +1,58 @@
+//! Full LLM-inference simulation: Llama2-7B generating 1024 tokens at
+//! batch 32 with KV caching, on the FP baseline and on OwL-P.
+//!
+//! Reproduces one bar of the paper's Fig. 11 in detail, with the
+//! QKV / attention / projection / FFN breakdown and the energy components.
+//!
+//! ```text
+//! cargo run --release --example llm_inference
+//! ```
+
+use owlp_repro::core::report::Comparison;
+use owlp_repro::core::Accelerator;
+use owlp_repro::model::{workload, Dataset, ModelId, OpClass};
+
+fn main() {
+    let wl = workload::generation_workload(ModelId::Llama2_7b, 32, 128, 1024);
+    println!(
+        "workload: {}  ({} GEMM groups, {:.1} TFLOP total)",
+        wl.name,
+        wl.ops.len(),
+        wl.total_flops() as f64 / 1e12
+    );
+
+    let base = Accelerator::baseline().simulate(&wl, Dataset::WikiText2);
+    let owlp = Accelerator::owlp().simulate(&wl, Dataset::WikiText2);
+
+    for rep in [&base, &owlp] {
+        println!("\n=== {} ===", rep.design);
+        println!(
+            "  cycles: {:>14}   wall-clock: {:.3} s   off-chip: {:.2} GB",
+            rep.cycles,
+            rep.seconds,
+            rep.dram_bytes as f64 / 1e9
+        );
+        println!(
+            "  energy: {:.3} J  (compute {:.3}, sram {:.3}, dram {:.3}, leakage {:.3})",
+            rep.energy.total_j(),
+            rep.energy.compute_j,
+            rep.energy.sram_j,
+            rep.energy.dram_j,
+            rep.energy.leakage_j
+        );
+        if rep.avg_r_a > 1.0 {
+            println!("  scheduling overheads: r_a = {:.3}, r_w = {:.3}", rep.avg_r_a, rep.avg_r_w);
+        }
+        println!("  cycle breakdown:");
+        for class in OpClass::ALL {
+            let share = rep.class_cycle_share(class);
+            println!("    {class:<11} {:>5.1}%", share * 100.0);
+        }
+    }
+
+    let c = Comparison::between(&base, &owlp);
+    println!("\n=== OwL-P vs baseline ===");
+    println!("  speedup:          {:.2}x  (paper average 2.70x)", c.speedup);
+    println!("  energy savings:   {:.2}x  (paper range 2.94-4.04x)", c.energy_ratio);
+    println!("  off-chip traffic: {:.2}x less", c.traffic_ratio);
+}

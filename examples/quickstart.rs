@@ -1,0 +1,77 @@
+//! Quickstart: encode a BF16 tensor into the OwL-P format, run a GEMM on
+//! the integer datapath, and verify the result is bit-identical to the
+//! exact FP reference.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use owlp_repro::arith::{exact_gemm, fp_mac_gemm, owlp_gemm};
+use owlp_repro::format::chunk::{ChunkMeta, PackedTensor};
+use owlp_repro::format::{encode_tensor, Bf16};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small "activation × weight" GEMM with a couple of outliers, the
+    // situation OwL-P is built for.
+    let (m, k, n) = (4, 64, 4);
+    let mut a: Vec<Bf16> = (0..m * k)
+        .map(|i| Bf16::from_f32(((i * 37 % 100) as f32 / 64.0 - 0.78) * 1.3))
+        .collect();
+    let mut b: Vec<Bf16> = (0..k * n)
+        .map(|i| Bf16::from_f32(((i * 53 % 100) as f32 / 80.0 - 0.6) * 0.9))
+        .collect();
+    a[10] = Bf16::from_f32(3.2e20); // activation outlier
+    b[77] = Bf16::from_f32(-1.1e-18); // weight outlier
+
+    // 1. Lossless compression: the shared-exponent format shrinks the
+    //    tensor without losing a single bit.
+    let enc = encode_tensor(&a, None)?;
+    assert_eq!(enc.to_bf16_vec(), a, "encoding is lossless");
+    let packed = PackedTensor::pack(&enc, ChunkMeta::default())?;
+    println!(
+        "activation tensor: {} values, {} outliers, shared exponent {}",
+        enc.len(),
+        enc.outlier_count(),
+        enc.shared_exp()
+    );
+    println!(
+        "packed size: {} bytes vs {} bytes raw BF16  ({:.2}x compression)",
+        packed.total_bytes(),
+        2 * a.len(),
+        packed.compression_ratio()
+    );
+
+    // 2. Integer-datapath GEMM: encode -> bias-decode -> INT PE columns
+    //    with outlier bypass -> align -> INT2FP.
+    let owlp = owlp_gemm(&a, &b, m, k, n)?;
+    let golden = exact_gemm(&a, &b, m, k, n);
+    let fp_baseline = fp_mac_gemm(&a, &b, m, k, n);
+    let exact_matches = owlp
+        .output
+        .iter()
+        .zip(&golden)
+        .filter(|(x, y)| x.to_bits() == y.to_bits())
+        .count();
+    println!(
+        "\nOwL-P INT GEMM vs exact FP reference: {exact_matches}/{} outputs bit-identical",
+        golden.len()
+    );
+    assert_eq!(exact_matches, golden.len());
+
+    // The sequential-FP32 baseline rounds at every accumulation step and is
+    // *not* generally bit-identical to the exact result.
+    let baseline_matches = fp_baseline
+        .iter()
+        .zip(&golden)
+        .filter(|(x, y)| x.to_bits() == y.to_bits())
+        .count();
+    println!(
+        "FP32 sequential baseline:            {baseline_matches}/{} outputs bit-identical",
+        golden.len()
+    );
+    println!(
+        "\noutlier products routed over bypass paths: {} (max {} per column wavefront)",
+        owlp.total_outlier_products, owlp.max_wavefront_outliers
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Network-level equivalence: run a complete transformer forward pass
+//! (attention + softmax + layernorm + GELU FFN) with every GEMM executed on
+//! (a) the exact reference, (b) the OwL-P integer datapath, and (c) the
+//! FP32-sequential baseline — and compare all intermediate tensors.
+//!
+//! This is the paper's "bullet-proof design" claim made executable: OwL-P
+//! is bit-identical to the correctly-rounded reference everywhere, while
+//! the FP baseline accumulates per-add rounding drift.
+//!
+//! ```text
+//! cargo run --release --example transformer_equivalence
+//! ```
+
+use owlp_repro::core::{GemmEngine, TinyConfig, TinyTransformer};
+use owlp_repro::format::Bf16;
+use owlp_repro::model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_repro::model::{ModelId, OpKind, TensorGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = TinyConfig { seq: 12, hidden: 48, heads: 6, ffn: 96, layers: 3 };
+    let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, 2024);
+    let input = TensorGen::new(
+        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Activation, Dataset::WikiText2),
+        cfg.seq,
+        cfg.hidden,
+    )
+    .values(7);
+
+    println!(
+        "transformer: {} layers, hidden {}, {} heads, seq {}  (weights from GPT2-Base profiles)",
+        cfg.layers, cfg.hidden, cfg.heads, cfg.seq
+    );
+
+    let exact = model.forward(&input, GemmEngine::Exact)?;
+    let owlp = model.forward(&input, GemmEngine::Owlp)?;
+    let fp = model.forward(&input, GemmEngine::FpBaseline)?;
+    println!("GEMMs executed per pass: {}", exact.gemm_outputs.len());
+
+    // OwL-P vs exact: every intermediate GEMM output, bit for bit.
+    let mut owlp_identical = true;
+    for (e, o) in exact.gemm_outputs.iter().zip(&owlp.gemm_outputs) {
+        if e.iter().zip(o).any(|(x, y)| x.to_bits() != y.to_bits()) {
+            owlp_identical = false;
+        }
+    }
+    println!(
+        "\nOwL-P vs exact reference: all {} GEMM outputs bit-identical: {}",
+        exact.gemm_outputs.len(),
+        owlp_identical
+    );
+    assert!(owlp_identical);
+
+    // FP baseline vs exact: count drifting elements per GEMM.
+    let mut drifted_gemms = 0usize;
+    let mut total_drifted = 0usize;
+    let mut total_elems = 0usize;
+    for (e, f) in exact.gemm_outputs.iter().zip(&fp.gemm_outputs) {
+        let d = e.iter().zip(f).filter(|(x, y)| x.to_bits() != y.to_bits()).count();
+        if d > 0 {
+            drifted_gemms += 1;
+        }
+        total_drifted += d;
+        total_elems += e.len();
+    }
+    println!(
+        "FP32-sequential baseline:  {drifted_gemms}/{} GEMMs drift ({}/{} elements, per-add rounding)",
+        exact.gemm_outputs.len(),
+        total_drifted,
+        total_elems
+    );
+
+    // Final hidden states.
+    let max_rel_fp = exact
+        .output
+        .iter()
+        .zip(&fp.output)
+        .map(|(e, f)| (e - f).abs() / e.abs().max(1e-3))
+        .fold(0.0f32, f32::max);
+    let bits_owlp = exact
+        .output
+        .iter()
+        .zip(&owlp.output)
+        .all(|(e, o)| e.to_bits() == o.to_bits());
+    println!("\nfinal hidden states:");
+    println!("  OwL-P == exact bitwise: {bits_owlp}");
+    println!("  FP baseline max relative drift: {max_rel_fp:.2e}");
+    println!("\nconclusion: swapping FP MAC hardware for OwL-P changes *nothing*;");
+    println!("the INT datapath is numerically indistinguishable from ideal FP-FP GEMM.");
+
+    // A tiny illustration of the kind of value where it matters.
+    let probe = vec![
+        Bf16::from_f32(1.0e20),
+        Bf16::from_f32(1.0),
+        Bf16::from_f32(-1.0e20),
+        Bf16::from_f32(1.0),
+    ];
+    let ones = vec![Bf16::ONE; 4];
+    let e = owlp_repro::arith::exact_dot(&probe, &ones);
+    let f = owlp_repro::arith::fp_mac_dot(&probe, &ones);
+    println!("\n(example: Σ [1e20, 1, -1e20, 1] — exact/OwL-P: {e}, FP32 sequential: {f})");
+    Ok(())
+}

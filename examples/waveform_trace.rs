@@ -1,0 +1,40 @@
+//! Dump a VCD waveform of a small OwL-P array computing a GEMM with
+//! outlier scheduling, viewable in GTKWave.
+//!
+//! ```text
+//! cargo run --release --example waveform_trace [output.vcd]
+//! ```
+//!
+//! Signals: `busy`, `fold`, `row` (streamed physical row index),
+//! `zero_inserted` (scheduler-split rows), `wavefront_outliers`.
+
+use owlp_repro::format::Bf16;
+use owlp_repro::model::profiles::{profile_for, Dataset, TensorRole};
+use owlp_repro::model::{ModelId, OpKind, TensorGen};
+use owlp_repro::systolic::trace::trace_gemm;
+use owlp_repro::systolic::ArrayConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "owlp_trace.vcd".to_string());
+    let cfg = ArrayConfig::small(4, 8, 8); // 4×8 PEs, 8 lanes, k_tile 32
+    let (m, k, n) = (12, 64, 16);
+    let act = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::AttnContext, // softmax-fed: plenty of outliers to watch
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let wt =
+        profile_for(ModelId::Gpt2Base, OpKind::AttnContext, TensorRole::Weight, Dataset::WikiText2);
+    let a: Vec<Bf16> = TensorGen::new(act, m, k).values(31);
+    let b: Vec<Bf16> = TensorGen::new(wt, k, n).values(32);
+
+    let (vcd, cycles) = trace_gemm(&cfg, &a, &b, m, k, n)?;
+    std::fs::write(&path, &vcd)?;
+    println!("traced a {m}x{k}x{n} GEMM on a {}x{} array ({} lanes/PE)", cfg.rows, cfg.cols, cfg.lanes);
+    println!("{cycles} cycles -> {path} ({} bytes)", vcd.len());
+    let inserted = vcd.matches("1$").count();
+    println!("zero-inserted row events in trace: {inserted}");
+    println!("open with: gtkwave {path}");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # owlp-repro
+//!
+//! Umbrella crate of the OwL-P reproduction. Re-exports the workspace
+//! crates under one roof and hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`).
+//!
+//! The individual crates:
+//!
+//! * [`mod@format`] — the OwL-P number format and lossless compression
+//!   pipeline;
+//! * [`arith`] — exact references and the INT PE datapath;
+//! * [`systolic`] — cycle model, outlier scheduler, event simulator;
+//! * [`model`] — transformer workloads and calibrated synthetic tensors;
+//! * [`hw`] — area/power/energy and memory-system models;
+//! * [`mod@core`] — the end-to-end accelerator simulator.
+//!
+//! ```
+//! use owlp_repro::format::Bf16;
+//! use owlp_repro::arith::{exact_dot, owlp_gemm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a: Vec<Bf16> = (0..8).map(|i| Bf16::from_f32(i as f32 * 0.5)).collect();
+//! let b: Vec<Bf16> = (0..8).map(|i| Bf16::from_f32(1.0 - i as f32 * 0.1)).collect();
+//! let r = owlp_gemm(&a, &b, 1, 8, 1)?;
+//! assert_eq!(r.output[0], exact_dot(&a, &b));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use owlp_arith as arith;
+pub use owlp_core as core;
+pub use owlp_format as format;
+pub use owlp_hw as hw;
+pub use owlp_model as model;
+pub use owlp_systolic as systolic;

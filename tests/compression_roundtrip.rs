@@ -1,0 +1,66 @@
+//! Integration: lossless compression through the full storage pipeline —
+//! encode → bit-level pack (Fig. 5 memory map) → unpack → decode — is the
+//! identity on finite BF16 tensors.
+
+use owlp_repro::format::chunk::{ChunkMeta, PackedTensor, PackingLayout};
+use owlp_repro::format::{encode_tensor, Bf16, FormatError};
+use proptest::prelude::*;
+
+fn finite_bf16() -> impl Strategy<Value = Bf16> {
+    (0u16..0x80, 0u16..255, any::<bool>())
+        .prop_map(|(frac, exp, sign)| Bf16::from_bits(((sign as u16) << 15) | (exp << 7) | frac))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pack_unpack_is_identity(data in prop::collection::vec(finite_bf16(), 0..200)) {
+        let enc = match encode_tensor(&data, None) {
+            Ok(e) => e,
+            Err(err) => return Err(TestCaseError::fail(format!("encode failed: {err}"))),
+        };
+        match PackedTensor::pack(&enc, ChunkMeta { start_addr: 0x100, layer_info: 7 }) {
+            Ok(packed) => {
+                let back = packed.unpack().expect("packed data unpacks");
+                prop_assert_eq!(back.to_bf16_vec(), &data[..]);
+                // Footprint formula agrees with the real packer.
+                prop_assert_eq!(
+                    packed.total_bytes(),
+                    PackingLayout::PAPER.packed_bytes(data.len(), enc.outlier_count())
+                );
+            }
+            // Wholly adversarial tensors can put 32 outliers in one group,
+            // which the 5-bit count field legitimately rejects.
+            Err(FormatError::TooManyOutliers { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("pack failed: {other}"))),
+        }
+    }
+
+    #[test]
+    fn encoding_never_loses_information(data in prop::collection::vec(finite_bf16(), 1..300)) {
+        let enc = encode_tensor(&data, None).expect("finite tensors encode");
+        prop_assert_eq!(enc.to_bf16_vec(), &data[..]);
+        // The decoded-operand view reproduces the numeric value exactly.
+        let shared = enc.shared_exp();
+        for (op, x) in enc.decode_operands().iter().zip(&data) {
+            prop_assert_eq!(op.to_f64(shared), x.to_f64());
+        }
+    }
+
+    #[test]
+    fn compression_beats_bf16_when_outliers_are_rare(
+        seed in 0u64..1000,
+    ) {
+        // Typical (non-adversarial) tensors: narrow band, few outliers.
+        let data: Vec<Bf16> = (0..512)
+            .map(|i| {
+                let x = ((seed.wrapping_mul(31).wrapping_add(i) % 97) as f32) / 97.0;
+                Bf16::from_f32(0.5 + x)
+            })
+            .collect();
+        let enc = encode_tensor(&data, None).expect("encodable");
+        let packed = PackedTensor::pack(&enc, ChunkMeta::default()).expect("packs");
+        prop_assert!(packed.compression_ratio() > 1.25);
+    }
+}

@@ -1,0 +1,97 @@
+//! Integration: the full Fig. 11-style evaluation — OwL-P beats the FP
+//! baseline on every one of the ten paper workloads, with ratios in the
+//! paper's neighbourhood, and the compressed format never changes results.
+
+use owlp_repro::core::report::{geomean, Comparison};
+use owlp_repro::core::{workloads, Accelerator};
+use owlp_repro::model::OpClass;
+
+#[test]
+fn owlp_wins_all_ten_workloads_with_paper_shape() {
+    let base = Accelerator::baseline();
+    let owlp = Accelerator::owlp();
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    for wl in workloads::paper_workloads() {
+        let dataset = workloads::default_dataset(wl.model);
+        let b = base.simulate(&wl, dataset);
+        let o = owlp.simulate(&wl, dataset);
+        let c = Comparison::between(&b, &o);
+        assert!(c.speedup > 1.5, "{}: speedup {}", wl.name, c.speedup);
+        assert!(c.energy_ratio > 2.0, "{}: energy {}", wl.name, c.energy_ratio);
+        assert!(c.traffic_ratio > 1.2, "{}: traffic {}", wl.name, c.traffic_ratio);
+        speedups.push(c.speedup);
+        energies.push(c.energy_ratio);
+    }
+    let avg_speedup = geomean(speedups.iter().copied());
+    let avg_energy = geomean(energies.iter().copied());
+    // Paper: 2.70x speedup, 3.57x energy savings. Allow a modelling band.
+    assert!((2.0..=3.4).contains(&avg_speedup), "avg speedup {avg_speedup}");
+    assert!((2.7..=4.5).contains(&avg_energy), "avg energy {avg_energy}");
+}
+
+#[test]
+fn breakdown_classes_are_populated_for_decoders() {
+    let owlp = Accelerator::owlp();
+    let wl = &workloads::paper_workloads()[6]; // Llama2-7B gen 1024
+    let rep = owlp.simulate(wl, workloads::default_dataset(wl.model));
+    for class in OpClass::ALL {
+        assert!(
+            rep.per_class.contains_key(&class),
+            "{class} missing from the breakdown"
+        );
+        assert!(rep.per_class[&class].cycles > 0, "{class} has zero cycles");
+    }
+}
+
+#[test]
+fn longer_generation_amplifies_attention_share() {
+    let owlp = Accelerator::owlp();
+    let all = workloads::paper_workloads();
+    let short = owlp.simulate(&all[2], workloads::default_dataset(all[2].model)); // GPT2 gen 256
+    let long = owlp.simulate(&all[3], workloads::default_dataset(all[3].model)); // GPT2 gen 1024
+    assert!(
+        long.class_cycle_share(OpClass::Attention) > short.class_cycle_share(OpClass::Attention)
+    );
+}
+
+#[test]
+fn outlier_path_ablation_shows_the_knee() {
+    // Fewer paths → more scheduling overhead → more cycles; the step from
+    // 1+1 to 2+2 paths matters more than 2+2 to 4+4 (why the paper picks 4).
+    let wl = &workloads::paper_workloads()[0];
+    let ds = workloads::default_dataset(wl.model);
+    let c1 = Accelerator::owlp_with_paths(1, 1).simulate(wl, ds).cycles;
+    let c2 = Accelerator::owlp_with_paths(2, 2).simulate(wl, ds).cycles;
+    let c4 = Accelerator::owlp_with_paths(4, 4).simulate(wl, ds).cycles;
+    assert!(c1 > c2, "{c1} vs {c2}");
+    assert!(c2 >= c4);
+    assert!((c1 - c2) > (c2 - c4), "knee: {c1} {c2} {c4}");
+}
+
+#[test]
+fn bucketed_and_exact_decode_simulations_agree() {
+    // The KV-bucket approximation in the workload builder must not distort
+    // the simulated totals: compare against the exact per-step workload.
+    use owlp_repro::model::{workload, Dataset, ModelId};
+    let bucketed = workload::generation_workload(ModelId::Gpt2Base, 32, 128, 256);
+    let exact = workload::generation_workload_exact(ModelId::Gpt2Base, 32, 128, 256);
+    for acc in [Accelerator::baseline(), Accelerator::owlp()] {
+        let b = acc.simulate(&bucketed, Dataset::WikiText2);
+        let e = acc.simulate(&exact, Dataset::WikiText2);
+        let rel = (b.cycles as f64 - e.cycles as f64).abs() / e.cycles as f64;
+        assert!(rel < 0.05, "{}: bucketed {} vs exact {} ({rel})", b.design, b.cycles, e.cycles);
+        let rel_energy =
+            (b.energy.total_j() - e.energy.total_j()).abs() / e.energy.total_j();
+        assert!(rel_energy < 0.05, "{}: energy rel {rel_energy}", b.design);
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let wl = &workloads::paper_workloads()[4];
+    let ds = workloads::default_dataset(wl.model);
+    let a = Accelerator::owlp().simulate(wl, ds);
+    let b = Accelerator::owlp().simulate(wl, ds);
+    assert_eq!(a, b);
+}
