@@ -38,13 +38,15 @@ pub struct Contribution {
 
 impl From<OutlierResult> for Contribution {
     fn from(o: OutlierResult) -> Self {
-        Contribution { mag: o.mag, frame: o.frame }
+        Contribution {
+            mag: o.mag,
+            frame: o.frame,
+        }
     }
 }
 
 /// Alignment/accumulation policy for combining a column's results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum AlignUnit {
     /// Unlimited width: exact accumulation, correctly rounded result.
     #[default]
@@ -69,7 +71,10 @@ impl AlignUnit {
     /// Panics if `width < 32` or `width > 120` (the model accumulates in
     /// `i128` and needs carry headroom).
     pub fn bounded(width: u32) -> Self {
-        assert!((32..=120).contains(&width), "align width {width} out of the modelled range");
+        assert!(
+            (32..=120).contains(&width),
+            "align width {width} out of the modelled range"
+        );
         AlignUnit::Bounded { width }
     }
 
@@ -98,14 +103,16 @@ impl AlignUnit {
     }
 }
 
-
 /// Bounded-width alignment: all contributions are aligned to the maximum
 /// frame; bits falling more than `width` below the leading position are
 /// folded into a sticky flag (sign-magnitude truncation, the standard
 /// aligned-adder construction).
 fn reduce_bounded(contributions: &[Contribution], width: u32) -> f32 {
-    let nonzero: Vec<Contribution> =
-        contributions.iter().copied().filter(|c| c.mag != 0).collect();
+    let nonzero: Vec<Contribution> = contributions
+        .iter()
+        .copied()
+        .filter(|c| c.mag != 0)
+        .collect();
     if nonzero.is_empty() {
         return 0.0;
     }
@@ -166,8 +173,14 @@ mod tests {
         let unit = AlignUnit::exact();
         let r = unit.reduce(&[
             Contribution { mag: 1, frame: 200 },
-            Contribution { mag: 1, frame: -200 },
-            Contribution { mag: -1, frame: 200 },
+            Contribution {
+                mag: 1,
+                frame: -200,
+            },
+            Contribution {
+                mag: -1,
+                frame: 200,
+            },
         ]);
         assert_eq!(r, (-200.0f32).exp2());
     }
@@ -175,10 +188,19 @@ mod tests {
     #[test]
     fn bounded_matches_exact_when_wide_enough() {
         let contributions = vec![
-            Contribution { mag: 123_456, frame: -10 },
-            Contribution { mag: -987, frame: -3 },
+            Contribution {
+                mag: 123_456,
+                frame: -10,
+            },
+            Contribution {
+                mag: -987,
+                frame: -3,
+            },
             Contribution { mag: 42, frame: 5 },
-            Contribution { mag: 7_777_777, frame: -20 },
+            Contribution {
+                mag: 7_777_777,
+                frame: -20,
+            },
         ];
         let exact = AlignUnit::exact().reduce(&contributions);
         for width in [64, 96, 120] {
@@ -206,8 +228,14 @@ mod tests {
         // Two large terms cancel; a term 80 bits down carries the result.
         // A 48-bit unit loses it entirely (sticky only).
         let contributions = vec![
-            Contribution { mag: 1 << 30, frame: 40 },
-            Contribution { mag: -(1 << 30), frame: 40 },
+            Contribution {
+                mag: 1 << 30,
+                frame: 40,
+            },
+            Contribution {
+                mag: -(1 << 30),
+                frame: 40,
+            },
             Contribution { mag: 3, frame: -30 },
         ];
         let exact = AlignUnit::exact().reduce(&contributions);

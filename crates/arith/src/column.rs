@@ -59,7 +59,11 @@ pub struct PeColumn {
 impl PeColumn {
     /// A column of `rows` PEs with the exact align unit.
     pub fn new(config: PeConfig, rows: usize) -> Self {
-        PeColumn { pe: ProcessingElement::new(config), rows, align: AlignUnit::Exact }
+        PeColumn {
+            pe: ProcessingElement::new(config),
+            rows,
+            align: AlignUnit::Exact,
+        }
     }
 
     /// Overrides the align unit (e.g. a bounded hardware width for ablation).
@@ -133,9 +137,16 @@ impl PeColumn {
                 capacity,
             });
         }
-        contributions.push(Contribution { mag: normal_sum, frame: normal_frame });
+        contributions.push(Contribution {
+            mag: normal_sum,
+            frame: normal_frame,
+        });
         let value = self.align.reduce(&contributions);
-        Ok(ColumnOutput { value, outlier_products, normal_products })
+        Ok(ColumnOutput {
+            value,
+            outlier_products,
+            normal_products,
+        })
     }
 
     /// Like [`PeColumn::compute`] but without the wavefront capacity check —
@@ -161,9 +172,16 @@ impl PeColumn {
             normal_products += out.active_lanes - out.outliers.len();
             contributions.extend(out.outliers.iter().map(|&o| Contribution::from(o)));
         }
-        contributions.push(Contribution { mag: normal_sum, frame: normal_frame });
+        contributions.push(Contribution {
+            mag: normal_sum,
+            frame: normal_frame,
+        });
         let value = self.align.reduce(&contributions);
-        ColumnOutput { value, outlier_products, normal_products }
+        ColumnOutput {
+            value,
+            outlier_products,
+            normal_products,
+        }
     }
 }
 
@@ -176,7 +194,9 @@ mod tests {
     fn decode_vec(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
         let w = ExponentWindow::owlp(base);
         let dec = BiasDecoder::new(base);
-        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
     }
 
     fn bf_vec(xs: &[f32]) -> Vec<Bf16> {
@@ -191,7 +211,10 @@ mod tests {
         let wts = decode_vec(&ys, 124);
         let col = PeColumn::new(PeConfig::PAPER, 3);
         let out = col.compute(&acts, &wts, 124, 124).unwrap();
-        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+        assert_eq!(
+            out.value.to_bits(),
+            exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits()
+        );
         assert_eq!(out.outlier_products, 0);
     }
 
@@ -206,7 +229,10 @@ mod tests {
         let col = PeColumn::new(PeConfig::PAPER, 2);
         let out = col.compute(&acts, &wts, 124, 124).unwrap();
         assert_eq!(out.outlier_products, 2);
-        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+        assert_eq!(
+            out.value.to_bits(),
+            exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits()
+        );
     }
 
     #[test]
@@ -222,10 +248,19 @@ mod tests {
         let wts = decode_vec(&ys, 124);
         let col = PeColumn::new(PeConfig::PAPER, 5);
         let err = col.compute(&acts, &wts, 124, 124).unwrap_err();
-        assert!(matches!(err, ArithError::OutlierPathOverflow { produced: 5, capacity: 4 }));
+        assert!(matches!(
+            err,
+            ArithError::OutlierPathOverflow {
+                produced: 5,
+                capacity: 4
+            }
+        ));
         // Unchecked still evaluates correctly.
         let out = col.compute_unchecked(&acts, &wts, 124, 124);
-        assert_eq!(out.value.to_bits(), exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits());
+        assert_eq!(
+            out.value.to_bits(),
+            exact_dot(&bf_vec(&xs), &bf_vec(&ys)).to_bits()
+        );
     }
 
     #[test]

@@ -37,8 +37,15 @@ impl fmt::Display for ArithError {
                 f,
                 "{produced} outlier products exceed the {capacity} outlier paths per cycle"
             ),
-            ArithError::DimensionMismatch { what, expected, actual } => {
-                write!(f, "dimension mismatch in {what}: expected {expected}, got {actual}")
+            ArithError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {what}: expected {expected}, got {actual}"
+                )
             }
             ArithError::Format(e) => write!(f, "format error: {e}"),
         }
@@ -69,7 +76,10 @@ mod tests {
         let e = ArithError::Format(FormatError::NonFinite { index: 0 });
         assert!(e.to_string().contains("format error"));
         assert!(e.source().is_some());
-        let o = ArithError::OutlierPathOverflow { produced: 3, capacity: 2 };
+        let o = ArithError::OutlierPathOverflow {
+            produced: 3,
+            capacity: 2,
+        };
         assert!(o.source().is_none());
         assert!(o.to_string().contains("3 outlier"));
     }

@@ -122,10 +122,16 @@ mod tests {
     #[test]
     fn gemm_shapes_nonsquare() {
         // 2×3 × 3×1.
-        let a: Vec<Bf16> = [1.0f32, 0.5, 2.0, -1.0, 4.0, 0.25].iter().map(|&x| bf(x)).collect();
+        let a: Vec<Bf16> = [1.0f32, 0.5, 2.0, -1.0, 4.0, 0.25]
+            .iter()
+            .map(|&x| bf(x))
+            .collect();
         let b: Vec<Bf16> = [2.0f32, 4.0, 8.0].iter().map(|&x| bf(x)).collect();
         let c = exact_gemm(&a, &b, 2, 3, 1);
-        assert_eq!(c, vec![1.0 * 2.0 + 0.5 * 4.0 + 2.0 * 8.0, -2.0 + 16.0 + 2.0]);
+        assert_eq!(
+            c,
+            vec![1.0 * 2.0 + 0.5 * 4.0 + 2.0 * 8.0, -2.0 + 16.0 + 2.0]
+        );
     }
 
     #[test]

@@ -91,10 +91,14 @@ pub fn inject_into_dot(
     assert!(lane < acts.len(), "lane out of range");
     let rows = acts.len().div_ceil(PeConfig::PAPER.lanes).max(1);
     let column = PeColumn::new(PeConfig::PAPER, rows);
-    let golden = column.compute_unchecked(acts, wts, shared_a, shared_w).value;
+    let golden = column
+        .compute_unchecked(acts, wts, shared_a, shared_w)
+        .value;
     let mut faulty = acts.to_vec();
     site.inject(&mut faulty[lane]);
-    let observed = column.compute_unchecked(&faulty, wts, shared_a, shared_w).value;
+    let observed = column
+        .compute_unchecked(&faulty, wts, shared_a, shared_w)
+        .value;
     FaultOutcome {
         site,
         golden,
@@ -118,7 +122,9 @@ pub fn sensitivity_sweep(
         .map(|site| inject_into_dot(acts, wts, shared_a, shared_w, lane, site))
         .collect();
     outcomes.sort_by(|a, b| {
-        b.relative_error.partial_cmp(&a.relative_error).expect("errors are finite")
+        b.relative_error
+            .partial_cmp(&a.relative_error)
+            .expect("errors are finite")
     });
     outcomes
 }
@@ -131,7 +137,9 @@ mod tests {
     fn operands(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
         let w = ExponentWindow::owlp(base);
         let dec = BiasDecoder::new(base);
-        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
     }
 
     #[test]

@@ -41,14 +41,21 @@ pub fn fp_tree_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
         while products.len() > 1 {
             let mut next = Vec::with_capacity(products.len().div_ceil(2));
             for pair in products.chunks(2) {
-                next.push(if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] });
+                next.push(if pair.len() == 2 {
+                    pair[0] + pair[1]
+                } else {
+                    pair[0]
+                });
             }
             *products = next;
         }
         products.first().copied().unwrap_or(0.0)
     }
-    let mut products: Vec<f32> =
-        a.iter().zip(b).map(|(&x, &y)| x.to_f32() * y.to_f32()).collect();
+    let mut products: Vec<f32> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| x.to_f32() * y.to_f32())
+        .collect();
     reduce(&mut products)
 }
 
@@ -96,7 +103,12 @@ mod tests {
     fn bf16_products_are_exact_in_f32() {
         // Any single product must equal the exact path: only accumulation
         // rounds.
-        for (x, y) in [(1.5f32, 2.5f32), (0.0078125, 3.0), (1e19, 1e-19), (-7.0, 0.328125)] {
+        for (x, y) in [
+            (1.5f32, 2.5f32),
+            (0.0078125, 3.0),
+            (1e19, 1e-19),
+            (-7.0, 0.328125),
+        ] {
             let (bx, by) = (bf(x), bf(y));
             assert_eq!(fp_mac_dot(&[bx], &[by]), exact_dot(&[bx], &[by]));
         }

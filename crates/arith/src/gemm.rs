@@ -140,7 +140,11 @@ fn check_shape(t: &[Bf16], expected: usize, what: &'static str) -> Result<(), Ar
 
 fn check_len(actual: usize, expected: usize, what: &'static str) -> Result<(), ArithError> {
     if actual != expected {
-        return Err(ArithError::DimensionMismatch { what, expected, actual });
+        return Err(ArithError::DimensionMismatch {
+            what,
+            expected,
+            actual,
+        });
     }
     Ok(())
 }
@@ -161,7 +165,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..len)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (state >> 40) as f32 / (1u64 << 24) as f32; // [0,1)
                 let sign = if state & (1 << 13) == 0 { 1.0 } else { -1.0 };
                 let base = sign * (0.75 + u * 0.5); // exponents 126..=127
@@ -245,7 +251,10 @@ mod tests {
         let mut a = bf_vec(&[1.0; 4]);
         a[2] = Bf16::INFINITY;
         let b = bf_vec(&[1.0; 4]);
-        assert!(matches!(owlp_gemm(&a, &b, 2, 2, 2), Err(ArithError::Format(_))));
+        assert!(matches!(
+            owlp_gemm(&a, &b, 2, 2, 2),
+            Err(ArithError::Format(_))
+        ));
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub(crate) fn round_u128_to_f32(abs: u128, frame: i32, extra_sticky: bool, negat
         let guard = abs & (1u128 << (cut - 1)) != 0;
         let below = abs & ((1u128 << (cut - 1)) - 1) != 0;
         let sticky = below || extra_sticky;
-        let rounded = if guard && (sticky || kept & 1 == 1) { kept + 1 } else { kept };
+        let rounded = if guard && (sticky || kept & 1 == 1) {
+            kept + 1
+        } else {
+            kept
+        };
         rounded as f64 * ((frame + cut) as f64).exp2()
     };
     let signed = if negative { -value } else { value };
@@ -75,14 +79,20 @@ mod tests {
         // 2^24 + 1: guard is the dropped 1, sticky 0, kept even → stays.
         assert_eq!(int_to_f32((1 << 24) + 1, 0, false), (1u32 << 24) as f32);
         // 2^24 + 3: kept odd low bit + guard → rounds up.
-        assert_eq!(int_to_f32((1 << 24) + 3, 0, false), ((1u32 << 24) + 4) as f32);
+        assert_eq!(
+            int_to_f32((1 << 24) + 3, 0, false),
+            ((1u32 << 24) + 4) as f32
+        );
     }
 
     #[test]
     fn sticky_breaks_ties_upward() {
         // 2^24 + 1 is a tie without sticky (stays even); with sticky set the
         // value is strictly above the tie → rounds up.
-        assert_eq!(int_to_f32((1 << 24) + 1, 0, true), ((1u32 << 24) + 2) as f32);
+        assert_eq!(
+            int_to_f32((1 << 24) + 1, 0, true),
+            ((1u32 << 24) + 2) as f32
+        );
     }
 
     #[test]
@@ -115,7 +125,11 @@ mod tests {
             for frame in [-30i32, -7, 0, 13] {
                 let direct = int_to_f32(mag, frame, false);
                 let via_f64 = (mag as f64 * (frame as f64).exp2()) as f32;
-                assert_eq!(direct.to_bits(), via_f64.to_bits(), "mag {mag} frame {frame}");
+                assert_eq!(
+                    direct.to_bits(),
+                    via_f64.to_bits(),
+                    "mag {mag} frame {frame}"
+                );
             }
         }
     }

@@ -100,7 +100,10 @@ impl KulischAcc {
     ///
     /// Panics if either operand is NaN or ±∞.
     pub fn add_product(&mut self, a: Bf16, b: Bf16) {
-        assert!(a.is_finite() && b.is_finite(), "non-finite operand in exact product");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "non-finite operand in exact product"
+        );
         let mag = a.significand() as i64 * b.significand() as i64;
         let mag = if a.sign() ^ b.sign() { -mag } else { mag };
         self.add_scaled(mag, a.pow2_frame() + b.pow2_frame());

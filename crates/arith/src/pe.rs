@@ -35,8 +35,11 @@ pub struct PeConfig {
 impl PeConfig {
     /// The paper's chosen design point: 8 lanes, 4 outlier paths per PE
     /// (2 for activations + 2 for weights; §VI-B).
-    pub const PAPER: PeConfig =
-        PeConfig { lanes: 8, act_outlier_paths: 2, weight_outlier_paths: 2 };
+    pub const PAPER: PeConfig = PeConfig {
+        lanes: 8,
+        act_outlier_paths: 2,
+        weight_outlier_paths: 2,
+    };
 
     /// Total outlier paths per PE.
     pub fn total_outlier_paths(&self) -> usize {
@@ -138,16 +141,26 @@ impl ProcessingElement {
     ) -> LaneProduct {
         let raw = act.mag as i64 * wt.mag as i64;
         let shifted = raw << (4 * (act.sh as u32 + wt.sh as u32));
-        let mag = if act.sign ^ wt.sign { -shifted } else { shifted };
+        let mag = if act.sign ^ wt.sign {
+            -shifted
+        } else {
+            shifted
+        };
         let ea = if act.tag {
-            
-            if act.exp == 0 { 1 } else { act.exp as i32 }
+            if act.exp == 0 {
+                1
+            } else {
+                act.exp as i32
+            }
         } else {
             shared_a as i32
         };
         let ew = if wt.tag {
-            
-            if wt.exp == 0 { 1 } else { wt.exp as i32 }
+            if wt.exp == 0 {
+                1
+            } else {
+                wt.exp as i32
+            }
         } else {
             shared_w as i32
         };
@@ -207,7 +220,10 @@ impl ProcessingElement {
                 if lane.weight_outlier && !lane.act_outlier {
                     w_out += 1;
                 }
-                outliers.push(OutlierResult { mag: lane.mag, frame: lane.frame });
+                outliers.push(OutlierResult {
+                    mag: lane.mag,
+                    frame: lane.frame,
+                });
             } else {
                 debug_assert!(
                     lane.mag == 0 || lane.frame == normal_frame,
@@ -225,7 +241,12 @@ impl ProcessingElement {
                 capacity: self.config.total_outlier_paths(),
             });
         }
-        Ok(PeOutput { normal_sum, normal_frame, outliers, active_lanes: active })
+        Ok(PeOutput {
+            normal_sum,
+            normal_frame,
+            outliers,
+            active_lanes: active,
+        })
     }
 
     /// Like [`ProcessingElement::dot`] but without capacity enforcement —
@@ -247,12 +268,20 @@ impl ProcessingElement {
                 active += 1;
             }
             if lane.takes_outlier_path() {
-                outliers.push(OutlierResult { mag: lane.mag, frame: lane.frame });
+                outliers.push(OutlierResult {
+                    mag: lane.mag,
+                    frame: lane.frame,
+                });
             } else {
                 normal_sum += lane.mag;
             }
         }
-        PeOutput { normal_sum, normal_frame, outliers, active_lanes: active }
+        PeOutput {
+            normal_sum,
+            normal_frame,
+            outliers,
+            active_lanes: active,
+        }
     }
 }
 
@@ -267,7 +296,9 @@ mod tests {
     }
 
     fn dec_all(xs: &[f32], dec: &BiasDecoder, w: ExponentWindow) -> Vec<DecodedOperand> {
-        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
     }
 
     #[test]
@@ -346,7 +377,10 @@ mod tests {
         let wts = dec_all(&[1.0; 8], &dec, w);
         let pe = ProcessingElement::new(PeConfig::PAPER);
         let err = pe.dot(&acts, &wts, 124, 124).unwrap_err();
-        assert!(matches!(err, ArithError::OutlierPathOverflow { produced: 3, .. }));
+        assert!(matches!(
+            err,
+            ArithError::OutlierPathOverflow { produced: 3, .. }
+        ));
         // The unchecked variant still measures all three.
         let out = pe.dot_unchecked(&acts, &wts, 124, 124);
         assert_eq!(out.outliers.len(), 3);

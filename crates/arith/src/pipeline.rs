@@ -100,7 +100,9 @@ impl OwlpPePipeline {
             Retired {
                 tag: b.tag,
                 cycle: self.cycle,
-                result: self.pe.dot_unchecked(&b.acts, &b.wts, self.shared_a, self.shared_w),
+                result: self
+                    .pe
+                    .dot_unchecked(&b.acts, &b.wts, self.shared_a, self.shared_w),
             }
         });
         // Stage 0 advances.
@@ -154,7 +156,11 @@ impl Default for FmaPipeline {
 impl FmaPipeline {
     /// Creates an empty pipeline.
     pub fn new() -> Self {
-        FmaPipeline { stages: [None; 4], cycle: 0, retired: 0 }
+        FmaPipeline {
+            stages: [None; 4],
+            cycle: 0,
+            retired: 0,
+        }
     }
 
     /// Pipeline latency in cycles (Table V: 4 for the baseline).
@@ -212,7 +218,9 @@ mod tests {
     fn ops(xs: &[f32]) -> Vec<DecodedOperand> {
         let w = ExponentWindow::owlp(124);
         let dec = BiasDecoder::new(124);
-        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
     }
 
     #[test]
@@ -233,7 +241,9 @@ mod tests {
     #[test]
     fn fma_latency_is_four_cycles() {
         let mut p = FmaPipeline::new();
-        assert!(p.step(Some((1, Bf16::from_f32(3.0), Bf16::from_f32(2.0), 1.0))).is_none());
+        assert!(p
+            .step(Some((1, Bf16::from_f32(3.0), Bf16::from_f32(2.0), 1.0)))
+            .is_none());
         for _ in 0..3 {
             assert!(p.step(None).is_none());
         }
@@ -264,9 +274,7 @@ mod tests {
         let mut p = FmaPipeline::new();
         let mut tags = Vec::new();
         for i in 0..20u64 {
-            if let Some(r) =
-                p.step(Some((i, Bf16::from_f32(i as f32), Bf16::ONE, 0.0)))
-            {
+            if let Some(r) = p.step(Some((i, Bf16::from_f32(i as f32), Bf16::ONE, 0.0))) {
                 tags.push(r.tag);
             }
         }

@@ -164,11 +164,19 @@ pub fn blockfp_gemm(
 }
 
 fn block_max_exp(xs: &[Bf16]) -> i32 {
-    xs.iter().map(|x| x.exponent_bits() as i32).max().unwrap_or(0).max(1)
+    xs.iter()
+        .map(|x| x.exponent_bits() as i32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 fn block_max_exp_strided(b: &[Bf16], lo: usize, hi: usize, n: usize, j: usize) -> i32 {
-    (lo..hi).map(|kk| b[kk * n + j].exponent_bits() as i32).max().unwrap_or(0).max(1)
+    (lo..hi)
+        .map(|kk| b[kk * n + j].exponent_bits() as i32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// Quantizes one value onto the block grid `2^(emax − 127 − (mant_bits − 2))`.
@@ -296,7 +304,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..len)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (state >> 40) as f32 / (1u64 << 24) as f32;
                 let sign = if state & (1 << 13) == 0 { 1.0 } else { -1.0 };
                 let base = sign * (0.75 + u * 0.5);
@@ -317,7 +327,10 @@ mod tests {
         let exact = exact_gemm_f64(&a, &b, 8, 32, 8);
         let q = int8_gemm(&a, &b, 8, 32, 8);
         let stats = ErrorStats::compare(&q, &exact);
-        assert!(stats.mean_rel > 1e-3, "int8 error unexpectedly small: {stats:?}");
+        assert!(
+            stats.mean_rel > 1e-3,
+            "int8 error unexpectedly small: {stats:?}"
+        );
     }
 
     #[test]
@@ -358,7 +371,10 @@ mod tests {
         let q_dirty = quantize_blockfp(x, dirty_emax, 8);
         let rel_clean = (q_clean - x.to_f64()).abs() / x.to_f64();
         let rel_dirty = (q_dirty - x.to_f64()).abs() / x.to_f64();
-        assert!(rel_clean < 0.02, "clean block keeps normals accurate: {rel_clean}");
+        assert!(
+            rel_clean < 0.02,
+            "clean block keeps normals accurate: {rel_clean}"
+        );
         assert!(rel_dirty > 0.1, "dirty block crushes normals: {rel_dirty}");
         // The outlier itself is represented fine either way.
         let big = Bf16::from_f32(0.8046875 * 256.0);
@@ -387,7 +403,10 @@ mod tests {
         let exact32 = exact_gemm(&a, &b, 4, 48, 4);
         let owlp = owlp_gemm(&a, &b, 4, 48, 4).unwrap();
         let stats = ErrorStats::compare(&owlp.output, &exact64);
-        assert_eq!(stats.bit_exact, stats.total, "owlp must be correctly rounded everywhere");
+        assert_eq!(
+            stats.bit_exact, stats.total,
+            "owlp must be correctly rounded everywhere"
+        );
         for (x, y) in owlp.output.iter().zip(&exact32) {
             assert_eq!(x.to_bits(), y.to_bits());
         }

@@ -140,7 +140,11 @@ pub fn run(trials: u64, seed: u64) -> TestbenchReport {
     };
     for trial in 0..trials {
         // Personality: shape class, outlier density, special values.
-        let m = if trial % 5 == 0 { 1 } else { 1 + rng.below(6) as usize };
+        let m = if trial % 5 == 0 {
+            1
+        } else {
+            1 + rng.below(6) as usize
+        };
         let k = 1 + rng.below(48) as usize;
         let n = 1 + rng.below(6) as usize;
         let outlier_rate = match trial % 4 {
@@ -151,10 +155,12 @@ pub fn run(trials: u64, seed: u64) -> TestbenchReport {
         };
         let zeros = trial % 3 == 0;
         let subnormals = trial % 7 == 0;
-        let mut a: Vec<Bf16> =
-            (0..m * k).map(|_| draw_value(&mut rng, outlier_rate, zeros, subnormals)).collect();
-        let mut b: Vec<Bf16> =
-            (0..k * n).map(|_| draw_value(&mut rng, outlier_rate, zeros, subnormals)).collect();
+        let mut a: Vec<Bf16> = (0..m * k)
+            .map(|_| draw_value(&mut rng, outlier_rate, zeros, subnormals))
+            .collect();
+        let mut b: Vec<Bf16> = (0..k * n)
+            .map(|_| draw_value(&mut rng, outlier_rate, zeros, subnormals))
+            .collect();
         // Directed stimulus: every 11th trial plants an exactly cancelling
         // huge pair (same |value|, opposite signs, identical weight rows)
         // so the cancellation corner is guaranteed to be exercised.

@@ -8,7 +8,12 @@ use owlp_model::profiles::{profile_for, Dataset, TensorRole};
 use owlp_model::{ModelId, OpKind, TensorGen};
 
 fn bench_codec(c: &mut Criterion) {
-    let p = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+    let p = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::FfnUp,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     let data = TensorGen::new(p, 256, 1024).values(3);
     let enc = encode_tensor(&data, None).unwrap();
     let packed = PackedTensor::pack(&enc, ChunkMeta::default()).unwrap();
@@ -18,13 +23,17 @@ fn bench_codec(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.throughput(Throughput::Elements(data.len() as u64));
-    group.bench_function("encode_tensor", |b| b.iter(|| encode_tensor(&data, None).unwrap()));
+    group.bench_function("encode_tensor", |b| {
+        b.iter(|| encode_tensor(&data, None).unwrap())
+    });
     group.bench_function("decode_operands", |b| b.iter(|| enc.decode_operands()));
     group.bench_function("to_bf16_roundtrip", |b| b.iter(|| enc.to_bf16_vec()));
     group.bench_function("pack_fig5_memory_map", |b| {
         b.iter(|| PackedTensor::pack(&enc, ChunkMeta::default()).unwrap())
     });
-    group.bench_function("unpack_fig5_memory_map", |b| b.iter(|| packed.unpack().unwrap()));
+    group.bench_function("unpack_fig5_memory_map", |b| {
+        b.iter(|| packed.unpack().unwrap())
+    });
     group.finish();
 }
 

@@ -14,8 +14,12 @@ fn bench_event_sim(c: &mut Criterion) {
         TensorRole::Activation,
         Dataset::WikiText2,
     );
-    let wt =
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Weight, Dataset::WikiText2);
+    let wt = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     let mut group = c.benchmark_group("event_sim");
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(500));

@@ -22,22 +22,32 @@ fn bench_gemms(c: &mut Criterion) {
             TensorRole::Activation,
             Dataset::WikiText2,
         );
-        let wt =
-            profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+        let wt = profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::WikiText2,
+        );
         let a = TensorGen::new(act, m, k).values(1);
         let b = TensorGen::new(wt, k, n).values(2);
         let macs = (m * k * n) as u64;
         group.throughput(Throughput::Elements(macs));
         let shape = format!("{m}x{k}x{n}");
-        group.bench_with_input(BenchmarkId::new("owlp_int_datapath", &shape), &(), |bench, _| {
-            bench.iter(|| owlp_gemm(&a, &b, m, k, n).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("fp32_sequential", &shape), &(), |bench, _| {
-            bench.iter(|| fp_mac_gemm(&a, &b, m, k, n))
-        });
-        group.bench_with_input(BenchmarkId::new("exact_kulisch", &shape), &(), |bench, _| {
-            bench.iter(|| exact_gemm(&a, &b, m, k, n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("owlp_int_datapath", &shape),
+            &(),
+            |bench, _| bench.iter(|| owlp_gemm(&a, &b, m, k, n).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fp32_sequential", &shape),
+            &(),
+            |bench, _| bench.iter(|| fp_mac_gemm(&a, &b, m, k, n)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_kulisch", &shape),
+            &(),
+            |bench, _| bench.iter(|| exact_gemm(&a, &b, m, k, n)),
+        );
         group.bench_with_input(BenchmarkId::new("int8_quant", &shape), &(), |bench, _| {
             bench.iter(|| int8_gemm(&a, &b, m, k, n))
         });

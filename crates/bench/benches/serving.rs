@@ -1,0 +1,56 @@
+//! Criterion: continuous-batching scheduler hot path — one full trace
+//! simulation per iteration, with the cost model's shape caches warmed so
+//! the measurement isolates the scheduler loop (admission, batching,
+//! iteration pricing, completion bookkeeping) rather than the cycle model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owlp_core::Accelerator;
+use owlp_model::{Dataset, ModelId};
+use owlp_serve::{
+    scheduler, simulate_pool, ArrivalProcess, CostModel, LengthDistribution, PoolConfig, Request,
+    SchedulerConfig, TraceSpec,
+};
+
+fn trace(requests: usize, rate_rps: f64) -> Vec<Request> {
+    TraceSpec {
+        arrivals: ArrivalProcess::Poisson { rate_rps },
+        prompt: LengthDistribution::Uniform { lo: 32, hi: 96 },
+        gen: LengthDistribution::Uniform { lo: 8, hi: 32 },
+        requests,
+        seed: 0x0DD5_EED5,
+    }
+    .generate()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cost = CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2);
+    let cfg = SchedulerConfig {
+        max_batch: 16,
+        queue_capacity: 64,
+    };
+    let mut group = c.benchmark_group("serve_scheduler");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &requests in &[64usize, 256] {
+        let t = trace(requests, 800.0);
+        // Warm the memoised shape tables outside the measured region.
+        scheduler::simulate(&cost, &cfg, &t);
+        group.bench_with_input(BenchmarkId::new("simulate", requests), &t, |bench, t| {
+            bench.iter(|| scheduler::simulate(&cost, &cfg, t))
+        });
+    }
+    let t = trace(256, 3_200.0);
+    let pool = PoolConfig {
+        workers: 4,
+        scheduler: cfg,
+    };
+    simulate_pool(&cost, &pool, &t);
+    group.bench_with_input(BenchmarkId::new("pool4", 256usize), &t, |bench, t| {
+        bench.iter(|| simulate_pool(&cost, &pool, t))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

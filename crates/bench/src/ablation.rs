@@ -39,8 +39,12 @@ pub fn align_width(seed: u64) -> AlignWidthAblation {
         TensorRole::Activation,
         Dataset::WikiText2,
     );
-    let wt =
-        profile_for(ModelId::Gpt2Base, OpKind::AttnContext, TensorRole::Weight, Dataset::WikiText2);
+    let wt = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::AttnContext,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     let a_typ = TensorGen::new(act, m, k).values(seed);
     let b_typ = TensorGen::new(wt, k, n).values(seed ^ 1);
     // Adversarial: huge *exactly cancelling* pairs around a small signal —
@@ -65,19 +69,32 @@ pub fn align_width(seed: u64) -> AlignWidthAblation {
         let out = owlp_gemm_with(a, b, m, k, n, PeConfig::PAPER, AlignUnit::bounded(width))
             .expect("finite tensors")
             .output;
-        out.iter().zip(g).filter(|(x, y)| x.to_bits() == y.to_bits()).count() as f64
+        out.iter()
+            .zip(g)
+            .filter(|(x, y)| x.to_bits() == y.to_bits())
+            .count() as f64
             / g.len() as f64
     };
     let points = [32u32, 40, 48, 64, 96, 120]
         .iter()
-        .map(|&w| (w, frac(w, &a_typ, &b_typ, &golden_typ), frac(w, &a_adv, &b_adv, &golden_adv)))
+        .map(|&w| {
+            (
+                w,
+                frac(w, &a_typ, &b_typ, &golden_typ),
+                frac(w, &a_adv, &b_adv, &golden_adv),
+            )
+        })
         .collect();
     AlignWidthAblation { points }
 }
 
 /// Renders the align-width ablation.
 pub fn render_align(a: &AlignWidthAblation) -> String {
-    let mut t = TextTable::new(["align width (bits)", "bit-exact, typical", "bit-exact, adversarial"]);
+    let mut t = TextTable::new([
+        "align width (bits)",
+        "bit-exact, typical",
+        "bit-exact, adversarial",
+    ]);
     for &(w, typ, adv) in &a.points {
         t.row([w.to_string(), pct(typ), pct(adv)]);
     }
@@ -99,7 +116,12 @@ pub struct WindowWidthAblation {
 /// Sweeps the bias-field width for GPT2-Base activations: window width
 /// `2^b − 1` (one pattern reserved for the outlier marker).
 pub fn window_width(seed: u64) -> WindowWidthAblation {
-    let p = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2);
+    let p = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::FfnUp,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
     let (m, k) = (256usize, 768usize);
     let values = TensorGen::new(p, m, k).values(seed);
     let hist = ExponentHistogram::from_values(&values);
@@ -111,11 +133,15 @@ pub fn window_width(seed: u64) -> WindowWidthAblation {
             let outlier_rate = 1.0 - normal_ratio;
             // Storage: sign + bias + 7-bit frac per value, plus 8 bits per
             // outlier exponent and the Fig. 5 group framing (16/32 values).
-            let bits_per_value =
-                (1 + bias_bits + 7) as f64 + outlier_rate * 8.0 + 16.0 / 32.0;
+            let bits_per_value = (1 + bias_bits + 7) as f64 + outlier_rate * 8.0 + 16.0 / 32.0;
             // Scheduling: mask against this window.
-            let mask: Vec<bool> = values.iter().map(|v| !window.contains(*v) && !v.is_zero()).collect();
-            let r_a = OutlierSchedule::new(32, 2, 2).activation_stats(&mask, m, k).ratio;
+            let mask: Vec<bool> = values
+                .iter()
+                .map(|v| !window.contains(*v) && !v.is_zero())
+                .collect();
+            let r_a = OutlierSchedule::new(32, 2, 2)
+                .activation_stats(&mask, m, k)
+                .ratio;
             (bias_bits, width, outlier_rate, bits_per_value, r_a)
         })
         .collect();
@@ -155,7 +181,13 @@ pub fn path_split() -> PathSplitAblation {
     let ds = workloads::default_dataset(wl.model);
     let points = [(1usize, 3usize), (2, 2), (3, 1)]
         .iter()
-        .map(|&(a, w)| (a, w, Accelerator::owlp_with_paths(a, w).simulate(wl, ds).cycles))
+        .map(|&(a, w)| {
+            (
+                a,
+                w,
+                Accelerator::owlp_with_paths(a, w).simulate(wl, ds).cycles,
+            )
+        })
         .collect();
     PathSplitAblation { points }
 }
@@ -193,9 +225,18 @@ pub fn block_size(seed: u64) -> BlockSizeAblation {
     use owlp_format::stream::{encode_stream, monolithic_bits_per_value};
     // Two regimes: attention-probability-like small values, then
     // FFN-activation-like larger ones.
-    let p1 = profile_for(ModelId::Gpt2Base, OpKind::AttnContext, TensorRole::Activation, Dataset::WikiText2);
-    let p2 =
-        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2);
+    let p1 = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::AttnContext,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let p2 = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::FfnUp,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
     let mut data = TensorGen::new(p1, 64, 64).values(seed);
     data.extend(TensorGen::new(p2, 64, 64).values(seed ^ 9));
     let mut points = Vec::new();
@@ -215,7 +256,11 @@ pub fn block_size(seed: u64) -> BlockSizeAblation {
 pub fn render_blocks(b: &BlockSizeAblation) -> String {
     let mut t = TextTable::new(["subset size", "bits/value", "outlier %"]);
     for &(block, bits, rate) in &b.points {
-        let label = if block == 0 { "whole tensor".to_string() } else { block.to_string() };
+        let label = if block == 0 {
+            "whole tensor".to_string()
+        } else {
+            block.to_string()
+        };
         t.row([label, format!("{bits:.2}"), pct(rate)]);
     }
     format!(
@@ -242,13 +287,23 @@ pub fn blockfp_sweep(seed: u64) -> BlockFpSweep {
     use owlp_arith::quant::{blockfp_gemm, ErrorStats};
     let (m, k, n) = (16usize, 128usize, 16usize);
     let a = TensorGen::new(
-        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2),
+        profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Activation,
+            Dataset::WikiText2,
+        ),
         m,
         k,
     )
     .values(seed);
     let b = TensorGen::new(
-        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2),
+        profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::WikiText2,
+        ),
         k,
         n,
     )
@@ -258,8 +313,14 @@ pub fn blockfp_sweep(seed: u64) -> BlockFpSweep {
         ErrorStats::compare(&blockfp_gemm(&a, &b, m, k, n, block, bits), &golden).mean_rel
     };
     BlockFpSweep {
-        by_block: [8usize, 16, 32, 64, 128].iter().map(|&bl| (bl, err(bl, 8))).collect(),
-        by_mantissa: [4u32, 6, 8, 10, 12].iter().map(|&bits| (bits, err(32, bits))).collect(),
+        by_block: [8usize, 16, 32, 64, 128]
+            .iter()
+            .map(|&bl| (bl, err(bl, 8)))
+            .collect(),
+        by_mantissa: [4u32, 6, 8, 10, 12]
+            .iter()
+            .map(|&bits| (bits, err(32, bits)))
+            .collect(),
     }
 }
 
@@ -340,7 +401,12 @@ mod tests {
     fn finer_subsets_reduce_outliers_under_distribution_shift() {
         let b = block_size(crate::SEED);
         let rate = |block: usize| b.points.iter().find(|p| p.0 == block).unwrap().2;
-        assert!(rate(256) < rate(0), "256-subsets {} vs whole {}", rate(256), rate(0));
+        assert!(
+            rate(256) < rate(0),
+            "256-subsets {} vs whole {}",
+            rate(256),
+            rate(0)
+        );
         assert!(rate(1024) <= rate(4096) + 1e-9);
     }
 
@@ -349,7 +415,12 @@ mod tests {
         let p = path_split();
         let cycles = |a: usize| p.points.iter().find(|x| x.0 == a).unwrap().2;
         // 1+3 starves the dominant (activation) pressure: clearly worse.
-        assert!(cycles(1) as f64 > 1.05 * cycles(2) as f64, "{} vs {}", cycles(1), cycles(2));
+        assert!(
+            cycles(1) as f64 > 1.05 * cycles(2) as f64,
+            "{} vs {}",
+            cycles(1),
+            cycles(2)
+        );
         // 2+2 and 3+1 are within 2 % of each other — a tie in practice.
         let rel = (cycles(2) as f64 - cycles(3) as f64).abs() / cycles(2) as f64;
         assert!(rel < 0.02, "2+2 vs 3+1 differ by {rel}");

@@ -15,7 +15,9 @@ pub struct Dse {
 
 /// Runs the exploration at the paper's MAC budget.
 pub fn run() -> Dse {
-    Dse { ranked: explore(49_152) }
+    Dse {
+        ranked: explore(49_152),
+    }
 }
 
 /// Renders the ranking.

@@ -38,12 +38,25 @@ pub struct Eq34 {
 
 /// Runs the validation sweep.
 pub fn run(seed: u64) -> Eq34 {
-    let shapes = [(5usize, 17usize, 7usize), (8, 32, 8), (16, 64, 12), (3, 96, 33)];
+    let shapes = [
+        (5usize, 17usize, 7usize),
+        (8, 32, 8),
+        (16, 64, 12),
+        (3, 96, 33),
+    ];
     let arrays = [(2usize, 3usize, 4usize), (4, 4, 2), (1, 8, 8), (3, 2, 8)];
-    let act_profile =
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Activation, Dataset::WikiText2);
-    let wt_profile =
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Weight, Dataset::WikiText2);
+    let act_profile = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let wt_profile = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     let mut points = Vec::new();
     for (i, &(m, k, n)) in shapes.iter().enumerate() {
         for (j, &(rows, cols, lanes)) in arrays.iter().enumerate() {
@@ -60,7 +73,10 @@ pub fn run(seed: u64) -> Eq34 {
             // Reconstruct the closed form from the simulator's effective
             // row/column counts (exact, unlike the global r approximation).
             let tiles = k.div_ceil(cfg.k_tile()) as u64;
-            let folds_per_tile = sim.physical_columns.div_ceil(tiles).div_ceil(cfg.cols as u64);
+            let folds_per_tile = sim
+                .physical_columns
+                .div_ceil(tiles)
+                .div_ceil(cfg.cols as u64);
             let rows_per_tile = sim.streamed_rows / (tiles * folds_per_tile).max(1);
             let per_fold = (2 * cfg.rows + cfg.cols) as u64 + rows_per_tile - 2;
             let closed_form = per_fold * folds_per_tile * tiles;
@@ -126,8 +142,7 @@ mod tests {
     fn closed_form_tracks_simulation_closely() {
         let e = run(crate::SEED);
         for p in &e.points {
-            let rel =
-                (p.simulated as f64 - p.closed_form as f64).abs() / p.simulated.max(1) as f64;
+            let rel = (p.simulated as f64 - p.closed_form as f64).abs() / p.simulated.max(1) as f64;
             assert!(rel < 0.25, "{p:?}: rel {rel}");
         }
     }

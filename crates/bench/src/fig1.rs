@@ -25,7 +25,12 @@ pub struct Fig1 {
 
 /// Runs the Fig. 1 experiment.
 pub fn run(seed: u64) -> Fig1 {
-    let p = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2);
+    let p = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::FfnUp,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     // GPT2-Base layer-0 FFN-up weight: 768 × 3072.
     let t = TensorGen::new(p, 768, 3072).values(seed);
     let hist = ExponentHistogram::from_values(&t);
@@ -44,7 +49,11 @@ pub fn render(f: &Fig1) -> String {
         "Fig. 1 — exponent distribution, GPT2-Base layer-0 FFN weights\n(← outliers | [window] normal values | outliers →)\n",
     );
     for &(e, c) in &f.series {
-        let marker = if e >= f.window.0 && e <= f.window.1 { "*" } else { " " };
+        let marker = if e >= f.window.0 && e <= f.window.1 {
+            "*"
+        } else {
+            " "
+        };
         out.push_str(&format!(
             "  exp {e:>3} {marker} {:>9}  {}\n",
             c,
@@ -67,7 +76,11 @@ mod tests {
     #[test]
     fn window_covers_about_98_percent() {
         let f = run(crate::SEED);
-        assert!((0.973..=0.995).contains(&f.normal_ratio), "{}", f.normal_ratio);
+        assert!(
+            (0.973..=0.995).contains(&f.normal_ratio),
+            "{}",
+            f.normal_ratio
+        );
     }
 
     #[test]
@@ -76,7 +89,10 @@ mod tests {
         // The peak bin sits inside the window; bins exist outside it.
         let peak = f.series.iter().max_by_key(|&&(_, c)| c).unwrap().0;
         assert!(peak >= f.window.0 && peak <= f.window.1);
-        assert!(f.series.iter().any(|&(e, _)| e < f.window.0 || e > f.window.1));
+        assert!(f
+            .series
+            .iter()
+            .any(|&(e, _)| e < f.window.0 || e > f.window.1));
     }
 
     #[test]

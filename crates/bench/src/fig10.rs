@@ -10,8 +10,12 @@ use serde::{Deserialize, Serialize};
 pub const PATHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Models plotted in Fig. 10.
-pub const MODELS: [ModelId; 4] =
-    [ModelId::Gpt2Base, ModelId::Gpt2Large, ModelId::Llama2_7b, ModelId::Llama2_70b];
+pub const MODELS: [ModelId; 4] = [
+    ModelId::Gpt2Base,
+    ModelId::Gpt2Large,
+    ModelId::Llama2_7b,
+    ModelId::Llama2_70b,
+];
 
 /// The Fig. 10 result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,9 +36,21 @@ pub fn run(seed: u64) -> Fig10 {
             r_a.push((
                 model,
                 paths,
-                measured_ra(model, OpKind::QkvProj, Dataset::WikiText2, 256, k, paths, seed),
+                measured_ra(
+                    model,
+                    OpKind::QkvProj,
+                    Dataset::WikiText2,
+                    256,
+                    k,
+                    paths,
+                    seed,
+                ),
             ));
-            r_w.push((model, paths, measured_rw(model, OpKind::QkvProj, k, 256, paths, seed + 5)));
+            r_w.push((
+                model,
+                paths,
+                measured_rw(model, OpKind::QkvProj, k, 256, paths, seed + 5),
+            ));
         }
     }
     Fig10 { r_a, r_w }
@@ -75,7 +91,13 @@ mod tests {
         for &model in &MODELS {
             let series: Vec<f64> = PATHS
                 .iter()
-                .map(|&p| f.r_a.iter().find(|(m, pp, _)| *m == model && *pp == p).unwrap().2)
+                .map(|&p| {
+                    f.r_a
+                        .iter()
+                        .find(|(m, pp, _)| *m == model && *pp == p)
+                        .unwrap()
+                        .2
+                })
                 .collect();
             for w in series.windows(2) {
                 assert!(w[1] <= w[0] + 1e-12, "{model}: {series:?}");
@@ -92,7 +114,11 @@ mod tests {
         let f = run(crate::SEED);
         for &model in &MODELS {
             let get = |p: usize| {
-                f.r_a.iter().find(|(m, pp, _)| *m == model && *pp == p).unwrap().2
+                f.r_a
+                    .iter()
+                    .find(|(m, pp, _)| *m == model && *pp == p)
+                    .unwrap()
+                    .2
             };
             let gain_12 = get(1) - get(2);
             let gain_48 = get(4) - get(8);

@@ -41,12 +41,20 @@ pub fn run() -> Fig11 {
             let b = baseline.simulate(wl, dataset);
             let o = owlp.simulate(wl, dataset);
             let comparison = Comparison::between(&b, &o);
-            WorkloadResult { baseline: b, owlp: o, comparison }
+            WorkloadResult {
+                baseline: b,
+                owlp: o,
+                comparison,
+            }
         })
         .collect();
     let avg_speedup = geomean(results.iter().map(|r| r.comparison.speedup));
     let avg_energy = geomean(results.iter().map(|r| r.comparison.energy_ratio));
-    Fig11 { results, avg_speedup, avg_energy }
+    Fig11 {
+        results,
+        avg_speedup,
+        avg_energy,
+    }
 }
 
 /// Renders both panels.
@@ -110,7 +118,12 @@ mod tests {
         let f = run();
         assert_eq!(f.results.len(), 10);
         for r in &f.results {
-            assert!(r.comparison.speedup > 1.0, "{}: {}", r.baseline.workload, r.comparison.speedup);
+            assert!(
+                r.comparison.speedup > 1.0,
+                "{}: {}",
+                r.baseline.workload,
+                r.comparison.speedup
+            );
             assert!(
                 r.comparison.energy_ratio > 1.0,
                 "{}: {}",

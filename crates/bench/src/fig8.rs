@@ -81,12 +81,28 @@ pub fn run(seed: u64, paths: usize) -> Fig8 {
         r_a: SUBMODULE_KINDS
             .iter()
             .map(|&kind| {
-                (kind, measured_ra(sub_model, kind, Dataset::WikiText2, 256, k, paths, seed + 80))
+                (
+                    kind,
+                    measured_ra(
+                        sub_model,
+                        kind,
+                        Dataset::WikiText2,
+                        256,
+                        k,
+                        paths,
+                        seed + 80,
+                    ),
+                )
             })
             .collect(),
         r_w: SUBMODULE_KINDS
             .iter()
-            .map(|&kind| (kind, measured_rw(sub_model, kind, k, 256, paths, seed + 120)))
+            .map(|&kind| {
+                (
+                    kind,
+                    measured_rw(sub_model, kind, k, 256, paths, seed + 120),
+                )
+            })
             .collect(),
     };
     Fig8 { models, submodules }

@@ -19,10 +19,13 @@ pub struct Fig9 {
 /// Runs the Fig. 9 sweep.
 pub fn run() -> Fig9 {
     Fig9 {
-        points: PATHS.iter().map(|&p| {
-            let (a, pw) = fig9_point(p);
-            (p, a, pw)
-        }).collect(),
+        points: PATHS
+            .iter()
+            .map(|&p| {
+                let (a, pw) = fig9_point(p);
+                (p, a, pw)
+            })
+            .collect(),
     }
 }
 

@@ -29,6 +29,7 @@
 //! | [`roofline_exp`] | roofline placement of decode GEMMs (supporting analysis) |
 //! | [`batch_sweep`] | speedup vs batch size (supporting analysis) |
 //! | [`serving_exp`] | tokens/s, TPOT, TTFT per design (supporting analysis) |
+//! | [`serve_exp`] | load sweep through the `owlp-serve` continuous-batching simulator |
 //! | [`dse_exp`] | array-organisation design-space exploration (supporting analysis) |
 
 pub mod ablation;
@@ -42,6 +43,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod render;
 pub mod roofline_exp;
+pub mod serve_exp;
 pub mod serving_exp;
 pub mod table1;
 pub mod table2;

@@ -17,13 +17,28 @@
 //! ```
 
 use owlp_bench::{
-    ablation, batch_sweep, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
+    ablation, batch_sweep, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp, serve_exp,
     serving_exp, table1, table2, table3, table4, table5, SEED,
 };
 
-const EXPERIMENTS: [&str; 16] = [
-    "table1", "table2", "fig1", "fig8", "table3", "table4", "fig9", "fig10", "table5", "fig11",
-    "eq34", "ablations", "roofline", "batch", "serving", "dse",
+const EXPERIMENTS: [&str; 17] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig8",
+    "table3",
+    "table4",
+    "fig9",
+    "fig10",
+    "table5",
+    "fig11",
+    "eq34",
+    "ablations",
+    "roofline",
+    "batch",
+    "serving",
+    "serve",
+    "dse",
 ];
 
 fn run_json(name: &str) -> Result<String, String> {
@@ -56,6 +71,7 @@ fn run_json(name: &str) -> Result<String, String> {
         "roofline" => ser(name, &roofline_exp::run()),
         "batch" => ser(name, &batch_sweep::run()),
         "serving" => ser(name, &serving_exp::run()),
+        "serve" => ser(name, &serve_exp::run()),
         "dse" => ser(name, &dse_exp::run()),
         other => Err(format!("unknown experiment '{other}'")),
     }
@@ -85,6 +101,7 @@ fn run_one(name: &str) -> Result<String, String> {
         "roofline" => Ok(roofline_exp::render(&roofline_exp::run())),
         "batch" => Ok(batch_sweep::render(&batch_sweep::run())),
         "serving" => Ok(serving_exp::render(&serving_exp::run())),
+        "serve" => Ok(serve_exp::render(&serve_exp::run())),
         "dse" => Ok(dse_exp::render(&dse_exp::run())),
         other => Err(format!("unknown experiment '{other}'")),
     }

@@ -28,7 +28,10 @@ pub fn run() -> Roofline {
     let owlp = Accelerator::owlp();
     let dedup = |points: Vec<RooflinePoint>| -> Vec<RooflinePoint> {
         let mut seen = std::collections::BTreeSet::new();
-        points.into_iter().filter(|p| seen.insert(p.op.clone())).collect()
+        points
+            .into_iter()
+            .filter(|p| seen.insert(p.op.clone()))
+            .collect()
     };
     Roofline {
         baseline_ridge: ridge_point(&base),
@@ -45,8 +48,16 @@ pub fn render(r: &Roofline) -> String {
         for p in points {
             t.row([
                 p.op.clone(),
-                if p.intensity.is_finite() { format!("{:.1}", p.intensity) } else { "∞".into() },
-                if p.memory_bound { "memory".to_string() } else { "compute".to_string() },
+                if p.intensity.is_finite() {
+                    format!("{:.1}", p.intensity)
+                } else {
+                    "∞".into()
+                },
+                if p.memory_bound {
+                    "memory".to_string()
+                } else {
+                    "compute".to_string()
+                },
                 format!("{:.0}", p.attainable),
             ]);
         }
@@ -73,7 +84,10 @@ mod tests {
     fn decode_projections_are_memory_bound_on_both() {
         let r = run();
         for set in [&r.baseline, &r.owlp] {
-            let decode = set.iter().find(|p| p.op.starts_with("qkv_proj 32x")).unwrap();
+            let decode = set
+                .iter()
+                .find(|p| p.op.starts_with("qkv_proj 32x"))
+                .unwrap();
             assert!(decode.memory_bound, "{decode:?}");
         }
     }

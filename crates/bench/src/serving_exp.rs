@@ -34,8 +34,14 @@ pub fn run() -> Serving {
                 gen,
                 Dataset::WikiText2,
             );
-            let o =
-                simulate_serving(&Accelerator::owlp(), model, batch, prompt, gen, Dataset::WikiText2);
+            let o = simulate_serving(
+                &Accelerator::owlp(),
+                model,
+                batch,
+                prompt,
+                gen,
+                Dataset::WikiText2,
+            );
             (b, o)
         })
         .collect();

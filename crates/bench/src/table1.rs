@@ -6,7 +6,7 @@
 //! (correctly rounded) on every output; the others approximate.
 
 use crate::render::TextTable;
-use owlp_arith::exact::{exact_gemm_f64, exact_gemm};
+use owlp_arith::exact::{exact_gemm, exact_gemm_f64};
 use owlp_arith::fpmac::fp_mac_gemm;
 use owlp_arith::gemm::owlp_gemm;
 use owlp_arith::quant::{
@@ -41,7 +41,12 @@ pub fn run(seed: u64) -> Table1 {
     let (m, k, n) = (32, 256, 32);
     let model = ModelId::Gpt2Base;
     let a = TensorGen::new(
-        profile_for(model, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2),
+        profile_for(
+            model,
+            OpKind::FfnUp,
+            TensorRole::Activation,
+            Dataset::WikiText2,
+        ),
         m,
         k,
     )
@@ -61,8 +66,16 @@ pub fn run(seed: u64) -> Table1 {
             stats: ErrorStats::compare(&out, &reference),
         });
     };
-    push("FP (BF16 mult, FP32 seq-acc)", "FP", fp_mac_gemm(&a, &b, m, k, n));
-    push("INT8 quantization", "heavy approximation", int8_gemm(&a, &b, m, k, n));
+    push(
+        "FP (BF16 mult, FP32 seq-acc)",
+        "FP",
+        fp_mac_gemm(&a, &b, m, k, n),
+    );
+    push(
+        "INT8 quantization",
+        "heavy approximation",
+        int8_gemm(&a, &b, m, k, n),
+    );
     push(
         "Weight-only INT8 (FP-INT)",
         "dequant + FP fallback",
@@ -73,17 +86,26 @@ pub fn run(seed: u64) -> Table1 {
         "heavy approx for normals",
         int8_outlier_gemm(&a, &b, m, k, n, 3.0),
     );
-    push("Block FP (32-block, 8-bit)", "light approximation", blockfp_gemm(&a, &b, m, k, n, 32, 8));
+    push(
+        "Block FP (32-block, 8-bit)",
+        "light approximation",
+        blockfp_gemm(&a, &b, m, k, n, 32, 8),
+    );
     push(
         "OwL-P (ours)",
         "same as FP",
-        owlp_gemm(&a, &b, m, k, n).expect("profile tensors are finite").output,
+        owlp_gemm(&a, &b, m, k, n)
+            .expect("profile tensors are finite")
+            .output,
     );
     // Sanity anchor: OwL-P must equal the correctly rounded f32 reference.
     let golden32 = exact_gemm(&a, &b, m, k, n);
     let owlp_out = rows.last().unwrap();
     debug_assert_eq!(owlp_out.stats.bit_exact, golden32.len());
-    Table1 { shape: (m, k, n), rows }
+    Table1 {
+        shape: (m, k, n),
+        rows,
+    }
 }
 
 /// Renders the result.
@@ -120,9 +142,17 @@ mod tests {
     #[test]
     fn owlp_is_bit_exact_and_others_are_not() {
         let t = run(crate::SEED);
-        let owlp = t.rows.iter().find(|r| r.scheme.starts_with("OwL-P")).unwrap();
+        let owlp = t
+            .rows
+            .iter()
+            .find(|r| r.scheme.starts_with("OwL-P"))
+            .unwrap();
         assert_eq!(owlp.stats.bit_exact, owlp.stats.total);
-        let int8 = t.rows.iter().find(|r| r.scheme == "INT8 quantization").unwrap();
+        let int8 = t
+            .rows
+            .iter()
+            .find(|r| r.scheme == "INT8 quantization")
+            .unwrap();
         assert!(int8.stats.mean_rel > owlp.stats.mean_rel);
         assert!(int8.stats.bit_exact < int8.stats.total);
     }
@@ -132,7 +162,12 @@ mod tests {
         // heavy (int8) > light (block fp) > owlp (= 0 vs f32 grid).
         let t = run(crate::SEED + 1);
         let err = |name: &str| {
-            t.rows.iter().find(|r| r.scheme.starts_with(name)).unwrap().stats.mean_rel
+            t.rows
+                .iter()
+                .find(|r| r.scheme.starts_with(name))
+                .unwrap()
+                .stats
+                .mean_rel
         };
         assert!(err("INT8 quantization") > err("Block FP"));
         assert!(err("Block FP") > err("OwL-P"));

@@ -50,7 +50,12 @@ pub struct Table2 {
 
 /// Runs the Table II experiment.
 pub fn run(seed: u64) -> Table2 {
-    let kinds = [OpKind::QkvProj, OpKind::OutProj, OpKind::FfnUp, OpKind::FfnDown];
+    let kinds = [
+        OpKind::QkvProj,
+        OpKind::OutProj,
+        OpKind::FfnUp,
+        OpKind::FfnDown,
+    ];
     let rows = ModelId::ALL
         .iter()
         .map(|&model| {
@@ -86,11 +91,14 @@ pub fn run(seed: u64) -> Table2 {
 
 /// Renders the result with the paper's values alongside.
 pub fn render(t: &Table2) -> String {
-    let mut table =
-        TextTable::new(["", "Weight %", "(paper)", "Activation %", "(paper)"]);
+    let mut table = TextTable::new(["", "Weight %", "(paper)", "Activation %", "(paper)"]);
     for r in &t.rows {
         let pw = PAPER_WEIGHT.iter().find(|(m, _)| *m == r.model).unwrap().1;
-        let pa = PAPER_ACTIVATION.iter().find(|(m, _)| *m == r.model).unwrap().1;
+        let pa = PAPER_ACTIVATION
+            .iter()
+            .find(|(m, _)| *m == r.model)
+            .unwrap()
+            .1;
         table.row([
             r.model.name().to_string(),
             pct(r.weight),
@@ -99,7 +107,10 @@ pub fn render(t: &Table2) -> String {
             format!("{pa:.1}"),
         ]);
     }
-    format!("Table II — ratio of normal values (measured vs paper)\n{}", table.render())
+    format!(
+        "Table II — ratio of normal values (measured vs paper)\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]
@@ -111,8 +122,19 @@ mod tests {
         let t = run(crate::SEED);
         for r in &t.rows {
             let pw = PAPER_WEIGHT.iter().find(|(m, _)| *m == r.model).unwrap().1 / 100.0;
-            let pa = PAPER_ACTIVATION.iter().find(|(m, _)| *m == r.model).unwrap().1 / 100.0;
-            assert!((r.weight - pw).abs() < 0.012, "{}: weight {} vs {}", r.model, r.weight, pw);
+            let pa = PAPER_ACTIVATION
+                .iter()
+                .find(|(m, _)| *m == r.model)
+                .unwrap()
+                .1
+                / 100.0;
+            assert!(
+                (r.weight - pw).abs() < 0.012,
+                "{}: weight {} vs {}",
+                r.model,
+                r.weight,
+                pw
+            );
             assert!(
                 (r.activation - pa).abs() < 0.02,
                 "{}: act {} vs {}",

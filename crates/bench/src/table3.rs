@@ -52,7 +52,10 @@ pub fn run(seed: u64) -> Table3 {
         .iter()
         .map(|&model| {
             let k = model.config().hidden.min(2048);
-            (model, measured_rw(model, OpKind::QkvProj, k, 256, 2, seed + 7))
+            (
+                model,
+                measured_rw(model, OpKind::QkvProj, k, 256, 2, seed + 7),
+            )
         })
         .collect();
     Table3 { r_a, r_w }
@@ -63,8 +66,11 @@ pub fn render(t: &Table3) -> String {
     let mut table = TextTable::new(["", "HellaSwag", "WinoGrande", "PIQA", "WikiText-2", "MMLU"]);
     for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
         let cell = |d: Dataset| {
-            let measured =
-                t.r_a.iter().find(|(m, dd, _)| *m == model && *dd == d).map(|(_, _, r)| *r);
+            let measured = t
+                .r_a
+                .iter()
+                .find(|(m, dd, _)| *m == model && *dd == d)
+                .map(|(_, _, r)| *r);
             let paper = paper_value(model, d);
             match (measured, paper) {
                 (Some(m), Some(p)) => format!("{} ({p:.3})", rval(m)),
@@ -83,7 +89,11 @@ pub fn render(t: &Table3) -> String {
     let mut foot = String::new();
     for (model, rw) in &t.r_w {
         let paper = PAPER_RW.iter().find(|(m, _)| m == model).unwrap().1;
-        foot.push_str(&format!("  {} r_w = {} (paper {paper:.3})\n", model.name(), rval(*rw)));
+        foot.push_str(&format!(
+            "  {} r_w = {} (paper {paper:.3})\n",
+            model.name(),
+            rval(*rw)
+        ));
     }
     format!(
         "Table III — r_a for Llama2 across datasets, measured (paper)\n{}\n{}",
@@ -104,8 +114,12 @@ mod tests {
         }
         // Dataset spread is small (paper: negligible variation).
         for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
-            let vals: Vec<f64> =
-                t.r_a.iter().filter(|(m, _, _)| *m == model).map(|(_, _, r)| *r).collect();
+            let vals: Vec<f64> = t
+                .r_a
+                .iter()
+                .filter(|(m, _, _)| *m == model)
+                .map(|(_, _, r)| *r)
+                .collect();
             let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = vals.iter().cloned().fold(0.0, f64::max);
             assert!(max - min < 0.12, "{model}: spread {min}..{max}");
@@ -118,7 +132,11 @@ mod tests {
         let t = run(crate::SEED);
         for &model in &[ModelId::Llama2_7b, ModelId::Llama2_70b] {
             let get = |d: Dataset| {
-                t.r_a.iter().find(|(m, dd, _)| *m == model && *dd == d).unwrap().2
+                t.r_a
+                    .iter()
+                    .find(|(m, dd, _)| *m == model && *dd == d)
+                    .unwrap()
+                    .2
             };
             assert!(get(Dataset::Piqa) > get(Dataset::WikiText2), "{model}");
         }

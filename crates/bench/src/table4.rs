@@ -38,7 +38,10 @@ pub fn run(seed: u64) -> Table4 {
 pub fn render(t: &Table4) -> String {
     let mut table = TextTable::new(["model", "dataset", "r_a (paper)", "r_w (paper)"]);
     for &(m, d, ra, rw) in &t.rows {
-        let paper = PAPER.iter().find(|(pm, pd, _, _)| *pm == m && *pd == d).unwrap();
+        let paper = PAPER
+            .iter()
+            .find(|(pm, pd, _, _)| *pm == m && *pd == d)
+            .unwrap();
         table.row([
             m.name().to_string(),
             d.name().to_string(),
@@ -46,7 +49,10 @@ pub fn render(t: &Table4) -> String {
             format!("{} ({:.3})", rval(rw), paper.3),
         ]);
     }
-    format!("Table IV — r_a and r_w for the BERT family, measured (paper)\n{}", table.render())
+    format!(
+        "Table IV — r_a and r_w for the BERT family, measured (paper)\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]
@@ -57,17 +63,36 @@ mod tests {
     fn all_cells_in_paper_neighbourhood() {
         let t = run(crate::SEED);
         for &(m, d, ra, rw) in &t.rows {
-            let paper = PAPER.iter().find(|(pm, pd, _, _)| *pm == m && *pd == d).unwrap();
-            assert!((ra - paper.2).abs() < 0.12, "{m} {d}: r_a {ra} vs {}", paper.2);
-            assert!((rw - paper.3).abs() < 0.04, "{m} {d}: r_w {rw} vs {}", paper.3);
+            let paper = PAPER
+                .iter()
+                .find(|(pm, pd, _, _)| *pm == m && *pd == d)
+                .unwrap();
+            assert!(
+                (ra - paper.2).abs() < 0.12,
+                "{m} {d}: r_a {ra} vs {}",
+                paper.2
+            );
+            assert!(
+                (rw - paper.3).abs() < 0.04,
+                "{m} {d}: r_w {rw} vs {}",
+                paper.3
+            );
         }
     }
 
     #[test]
     fn datasets_barely_move_the_numbers() {
         let t = run(crate::SEED);
-        let squad = t.rows.iter().find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Squad2).unwrap();
-        let glue = t.rows.iter().find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Glue).unwrap();
+        let squad = t
+            .rows
+            .iter()
+            .find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Squad2)
+            .unwrap();
+        let glue = t
+            .rows
+            .iter()
+            .find(|(m, d, _, _)| *m == ModelId::BertBase && *d == Dataset::Glue)
+            .unwrap();
         assert!((squad.2 - glue.2).abs() < 0.06);
         // r_w is dataset-independent by construction.
         assert_eq!(squad.3, glue.3);

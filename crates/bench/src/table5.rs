@@ -84,7 +84,10 @@ pub fn render(t: &Table5) -> String {
         format!("{:.1}", t.owlp.mac_array_pct),
         "73.3".to_string(),
     ]);
-    format!("Table V — design comparison, modelled (paper)\n{}", table.render())
+    format!(
+        "Table V — design comparison, modelled (paper)\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]

@@ -148,14 +148,34 @@ impl Accelerator {
         report
     }
 
+    /// Costs one op in isolation: scheduling overheads plus the full
+    /// cycle/energy model, as one [`ClassReport`]. This is the per-op
+    /// entry point the serving scheduler builds its cost tables from;
+    /// accumulating it over a workload's ops reproduces
+    /// [`Accelerator::simulate`] exactly.
+    pub fn op_report(&self, workload: &Workload, op: &GemmOp, dataset: Dataset) -> ClassReport {
+        let memory = self.design.memory;
+        let energy_model = EnergyModel {
+            pe: self.design.pe,
+            memory,
+            logic_area_mm2: self.design.compute_area_mm2(),
+        };
+        let (r_a, r_w) = self.overheads(workload, op, dataset);
+        self.simulate_op(workload, op, dataset, r_a, r_w, &energy_model, &memory)
+    }
+
+    /// Wall-clock seconds for a cycle count at this design's frequency.
+    pub fn seconds_for(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.array.clock_mhz * 1e6)
+    }
+
     /// Scheduling overheads for one op (1.0/1.0 on the baseline).
     pub fn overheads(&self, workload: &Workload, op: &GemmOp, dataset: Dataset) -> (f64, f64) {
         if self.kind == AcceleratorKind::Baseline {
             return (1.0, 1.0);
         }
         let tile = self.array.k_tile().min(op.k.max(1));
-        let act =
-            profile_for(workload.model, op.kind, TensorRole::Activation, dataset);
+        let act = profile_for(workload.model, op.kind, TensorRole::Activation, dataset);
         let wt = profile_for(workload.model, op.kind, TensorRole::Weight, dataset);
         let r_a = act.expected_extra_ratio(tile, self.array.act_outlier_paths.max(1));
         let r_w = wt.expected_extra_ratio(tile, self.array.weight_outlier_paths.max(1));
@@ -219,8 +239,7 @@ impl Accelerator {
         // --- Off-chip traffic: the stationary operand streams per
         // repetition; activations/outputs stay on chip for these shapes.
         let bpe = self.bytes_per_element(workload, op, dataset);
-        let dram_bytes =
-            (op.weight_elements() as f64 * bpe.weight * op.count as f64).ceil() as u64;
+        let dram_bytes = (op.weight_elements() as f64 * bpe.weight * op.count as f64).ceil() as u64;
         // On-chip movement: stationary operand + streamed activations +
         // outputs (FP32 accumulators written back as BF16/OwL-P).
         let sram_bytes = dram_bytes
@@ -255,16 +274,23 @@ impl Accelerator {
     }
 
     /// Bytes per stored element on the off-chip link.
-    fn bytes_per_element(&self, workload: &Workload, op: &GemmOp, dataset: Dataset) -> BytesPerElement {
+    fn bytes_per_element(
+        &self,
+        workload: &Workload,
+        op: &GemmOp,
+        dataset: Dataset,
+    ) -> BytesPerElement {
         match self.kind {
-            AcceleratorKind::Baseline => BytesPerElement { weight: 2.0, activation: 2.0 },
+            AcceleratorKind::Baseline => BytesPerElement {
+                weight: 2.0,
+                activation: 2.0,
+            },
             AcceleratorKind::Owlp => {
                 let layout = PackingLayout::PAPER;
                 let per = |role: TensorRole| {
                     let p = profile_for(workload.model, op.kind, role, dataset);
                     // Zeros are stored as exponent-0 outlier entries.
-                    let outlier_storage =
-                        p.expected_outlier_rate() + p.zero_fraction;
+                    let outlier_storage = p.expected_outlier_rate() + p.zero_fraction;
                     let elements = 100_000usize;
                     let outliers = (elements as f64 * outlier_storage).round() as usize;
                     layout.packed_bits(elements, outliers) as f64 / 8.0 / elements as f64
@@ -309,7 +335,11 @@ mod tests {
         assert!(c.speedup > 1.2, "speedup {}", c.speedup);
         assert!(c.energy_ratio > 1.5, "energy ratio {}", c.energy_ratio);
         // Compression shrinks traffic by ≈ 16/11.5 ≈ 1.39×.
-        assert!((1.25..=1.55).contains(&c.traffic_ratio), "traffic {}", c.traffic_ratio);
+        assert!(
+            (1.25..=1.55).contains(&c.traffic_ratio),
+            "traffic {}",
+            c.traffic_ratio
+        );
     }
 
     #[test]
@@ -341,13 +371,14 @@ mod tests {
         let mem = acc.design.memory;
         let b = cycle_model::cycles_with_overhead(&acc.array, op.m, op.k, op.n, 1.0, 1.0);
         let compute = b.per_fold * b.folds.div_ceil(acc.array.num_arrays as u64);
-        let ideal = op.m as u64 * op.k as u64 * op.n as u64
-            / acc.array.total_macs() as u64;
+        let ideal = op.m as u64 * op.k as u64 * op.n as u64 / acc.array.total_macs() as u64;
         let bytes = op.weight_elements() * 2;
-        let transfer =
-            (mem.transfer_seconds(bytes) * acc.array.clock_mhz * 1e6).ceil() as u64;
+        let transfer = (mem.transfer_seconds(bytes) * acc.array.clock_mhz * 1e6).ceil() as u64;
         assert!(transfer > ideal, "transfer {transfer} vs ideal {ideal}");
-        assert!(transfer * 4 > compute, "transfer {transfer} vs compute {compute}");
+        assert!(
+            transfer * 4 > compute,
+            "transfer {transfer} vs compute {compute}"
+        );
     }
 
     #[test]
@@ -365,8 +396,15 @@ mod tests {
         let acc = Accelerator::owlp();
         let op = &wl.ops[0];
         let bpe = acc.bytes_per_element(&wl, op, Dataset::Squad2);
-        assert!((1.40..=1.60).contains(&bpe.weight), "weight bpe {}", bpe.weight);
-        assert!(bpe.activation >= bpe.weight, "activations carry more outliers");
+        assert!(
+            (1.40..=1.60).contains(&bpe.weight),
+            "weight bpe {}",
+            bpe.weight
+        );
+        assert!(
+            bpe.activation >= bpe.weight,
+            "activations carry more outliers"
+        );
         assert!(bpe.activation < 1.7);
     }
 
@@ -390,8 +428,7 @@ mod tests {
             analytic.avg_r_w,
             measured.avg_r_w
         );
-        let rel = (analytic.cycles as f64 - measured.cycles as f64).abs()
-            / analytic.cycles as f64;
+        let rel = (analytic.cycles as f64 - measured.cycles as f64).abs() / analytic.cycles as f64;
         assert!(rel < 0.08, "cycle mismatch {rel}");
     }
 
@@ -399,8 +436,10 @@ mod tests {
     fn report_classes_cover_whole_workload() {
         let wl = workload::generation_workload(ModelId::Gpt2Large, 32, 128, 256);
         let o = Accelerator::owlp().simulate(&wl, Dataset::WikiText2);
-        let share_sum: f64 =
-            owlp_model::OpClass::ALL.iter().map(|&c| o.class_cycle_share(c)).sum();
+        let share_sum: f64 = owlp_model::OpClass::ALL
+            .iter()
+            .map(|&c| o.class_cycle_share(c))
+            .sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
     }
 }

@@ -74,12 +74,7 @@ pub fn explore(mac_budget: usize) -> Vec<Candidate> {
     // A reduced mix keeps the sweep fast while covering both regimes.
     let mix = [
         workloads::paper_workloads().remove(0), // BERT-Base 512 (compute-bound)
-        owlp_model::workload::generation_workload(
-            owlp_model::ModelId::Llama2_7b,
-            32,
-            128,
-            64,
-        ), // decode-heavy
+        owlp_model::workload::generation_workload(owlp_model::ModelId::Llama2_7b, 32, 128, 64), // decode-heavy
     ];
     let base_reports: Vec<_> = mix
         .iter()
@@ -107,7 +102,11 @@ pub fn explore(mac_budget: usize) -> Vec<Candidate> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).expect("speedups are finite"));
+    out.sort_by(|a, b| {
+        b.speedup
+            .partial_cmp(&a.speedup)
+            .expect("speedups are finite")
+    });
     out
 }
 

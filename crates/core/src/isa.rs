@@ -73,7 +73,10 @@ pub struct Program {
 impl Program {
     /// Number of GEMM launches (groups).
     pub fn gemm_groups(&self) -> usize {
-        self.commands.iter().filter(|c| matches!(c, Command::Gemm { .. })).count()
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, Command::Gemm { .. }))
+            .count()
     }
 }
 
@@ -91,7 +94,10 @@ pub fn compile(acc: &Accelerator, workload: &Workload, dataset: Dataset) -> Prog
             ops: vec![owlp_model::GemmOp { count: 1, ..*op }],
         };
         let bytes = acc.simulate(&probe, dataset).dram_bytes;
-        commands.push(Command::LoadStationary { bytes, reps: op.count });
+        commands.push(Command::LoadStationary {
+            bytes,
+            reps: op.count,
+        });
         commands.push(Command::Gemm {
             m: op.m as u32,
             k: op.k as u32,
@@ -107,7 +113,10 @@ pub fn compile(acc: &Accelerator, workload: &Workload, dataset: Dataset) -> Prog
         });
         commands.push(Command::Barrier);
     }
-    Program { commands, source: workload.name.clone() }
+    Program {
+        commands,
+        source: workload.name.clone(),
+    }
 }
 
 /// Execution statistics of one program run.
@@ -154,7 +163,15 @@ impl Interpreter {
                     pending_load = Some((bytes, reps));
                     stats.dram_bytes += bytes * reps;
                 }
-                Command::Gemm { m, k, n, reps, r_a_milli, r_w_milli, .. } => {
+                Command::Gemm {
+                    m,
+                    k,
+                    n,
+                    reps,
+                    r_a_milli,
+                    r_w_milli,
+                    ..
+                } => {
                     let (bytes, load_reps) =
                         pending_load.take().expect("gemm without a stationary load");
                     debug_assert_eq!(load_reps, reps, "load/gemm repetition mismatch");
@@ -175,11 +192,10 @@ impl Interpreter {
                     let compute_total = if total_folds == 0 {
                         0
                     } else {
-                        b.per_fold
-                            * total_folds.div_ceil(self.acc.array().num_arrays as u64)
+                        b.per_fold * total_folds.div_ceil(self.acc.array().num_arrays as u64)
                     };
-                    let fetch_one = (self.acc.design().memory.transfer_seconds(bytes) * clock)
-                        .ceil() as u64;
+                    let fetch_one =
+                        (self.acc.design().memory.transfer_seconds(bytes) * clock).ceil() as u64;
                     // Double-buffered DMA: steady state at the slower rate
                     // plus one un-overlapped head fetch.
                     let steady = compute_total.max(fetch_one * reps);
@@ -247,19 +263,30 @@ mod tests {
             let byte_rel = (stats.dram_bytes as f64 - report.dram_bytes as f64).abs()
                 / report.dram_bytes as f64;
             assert!(byte_rel < 1e-4, "{}: bytes rel {byte_rel}", report.design);
-            let rel = (stats.cycles as f64 - report.cycles as f64).abs()
-                / report.cycles as f64;
-            assert!(rel < 0.02, "{}: isa {} vs sim {} ({rel})", report.design, stats.cycles, report.cycles);
+            let rel = (stats.cycles as f64 - report.cycles as f64).abs() / report.cycles as f64;
+            assert!(
+                rel < 0.02,
+                "{}: isa {} vs sim {} ({rel})",
+                report.design,
+                stats.cycles,
+                report.cycles
+            );
         }
     }
 
     #[test]
     fn speedup_holds_through_the_isa_path() {
         let wl = workload::generation_workload(ModelId::Llama2_7b, 32, 128, 64);
-        let base = Interpreter::new(Accelerator::baseline())
-            .execute(&compile(&Accelerator::baseline(), &wl, Dataset::WikiText2));
-        let owlp = Interpreter::new(Accelerator::owlp())
-            .execute(&compile(&Accelerator::owlp(), &wl, Dataset::WikiText2));
+        let base = Interpreter::new(Accelerator::baseline()).execute(&compile(
+            &Accelerator::baseline(),
+            &wl,
+            Dataset::WikiText2,
+        ));
+        let owlp = Interpreter::new(Accelerator::owlp()).execute(&compile(
+            &Accelerator::owlp(),
+            &wl,
+            Dataset::WikiText2,
+        ));
         let speedup = base.cycles as f64 / owlp.cycles as f64;
         assert!((1.8..=3.2).contains(&speedup), "{speedup}");
     }

@@ -77,18 +77,35 @@ mod tests {
 
     #[test]
     fn bert_qkv_layer_is_bit_exact() {
-        let r =
-            check_layer(ModelId::BertBase, OpKind::QkvProj, Dataset::Squad2, 16, 64, 24, 7)
-                .unwrap();
+        let r = check_layer(
+            ModelId::BertBase,
+            OpKind::QkvProj,
+            Dataset::Squad2,
+            16,
+            64,
+            24,
+            7,
+        )
+        .unwrap();
         assert!(r.is_equivalent(), "{r:?}");
-        assert!(r.act_outliers + r.weight_outliers > 0, "outliers must be exercised");
+        assert!(
+            r.act_outliers + r.weight_outliers > 0,
+            "outliers must be exercised"
+        );
     }
 
     #[test]
     fn llama_ffn_layer_is_bit_exact() {
-        let r =
-            check_layer(ModelId::Llama2_7b, OpKind::FfnUp, Dataset::WikiText2, 8, 128, 16, 11)
-                .unwrap();
+        let r = check_layer(
+            ModelId::Llama2_7b,
+            OpKind::FfnUp,
+            Dataset::WikiText2,
+            8,
+            128,
+            16,
+            11,
+        )
+        .unwrap();
         assert!(r.is_equivalent(), "{r:?}");
     }
 
@@ -105,6 +122,9 @@ mod tests {
         )
         .unwrap();
         assert!(r.is_equivalent(), "{r:?}");
-        assert!(r.act_outliers > 0, "softmax activations should carry outliers");
+        assert!(
+            r.act_outliers > 0,
+            "softmax activations should carry outliers"
+        );
     }
 }

@@ -111,7 +111,11 @@ impl Comparison {
         assert_eq!(baseline.workload, owlp.workload, "mismatched workloads");
         let mut relative = BTreeMap::new();
         for class in OpClass::ALL {
-            let b = baseline.per_class.get(&class).map(|c| c.cycles).unwrap_or(0);
+            let b = baseline
+                .per_class
+                .get(&class)
+                .map(|c| c.cycles)
+                .unwrap_or(0);
             let o = owlp.per_class.get(&class).map(|c| c.cycles).unwrap_or(0);
             if b > 0 {
                 relative.insert(class, o as f64 / b as f64);
@@ -146,7 +150,13 @@ mod tests {
     use super::*;
 
     fn class_report(cycles: u64, macs: u64) -> ClassReport {
-        ClassReport { cycles, compute_cycles: cycles, macs, dram_bytes: 100, energy: Default::default() }
+        ClassReport {
+            cycles,
+            compute_cycles: cycles,
+            macs,
+            dram_bytes: 100,
+            energy: Default::default(),
+        }
     }
 
     #[test]

@@ -30,8 +30,7 @@ pub struct RooflinePoint {
 /// off-chip bytes/cycle.
 pub fn ridge_point(acc: &Accelerator) -> f64 {
     let macs_per_cycle = acc.array().total_macs() as f64;
-    let bytes_per_cycle =
-        acc.design().memory.offchip_bytes_per_s / (acc.array().clock_mhz * 1e6);
+    let bytes_per_cycle = acc.design().memory.offchip_bytes_per_s / (acc.array().clock_mhz * 1e6);
     macs_per_cycle / bytes_per_cycle
 }
 
@@ -39,8 +38,7 @@ pub fn ridge_point(acc: &Accelerator) -> f64 {
 pub fn analyze(acc: &Accelerator, workload: &Workload, dataset: Dataset) -> Vec<RooflinePoint> {
     let ridge = ridge_point(acc);
     let macs_per_cycle = acc.array().total_macs() as f64;
-    let bytes_per_cycle =
-        acc.design().memory.offchip_bytes_per_s / (acc.array().clock_mhz * 1e6);
+    let bytes_per_cycle = acc.design().memory.offchip_bytes_per_s / (acc.array().clock_mhz * 1e6);
     workload
         .ops
         .iter()
@@ -102,10 +100,16 @@ mod tests {
         let points = analyze(&acc, &wl, Dataset::WikiText2);
         // Decode QKV (m = 32): intensity = 32 MACs/weight-element / 2 B =
         // 16 MACs/B < ridge 32 → memory-bound.
-        let decode = points.iter().find(|p| p.op.starts_with("qkv_proj 32x")).unwrap();
+        let decode = points
+            .iter()
+            .find(|p| p.op.starts_with("qkv_proj 32x"))
+            .unwrap();
         assert!(decode.memory_bound, "{decode:?}");
         // Prefill QKV (m = 128×32): far right of the ridge.
-        let prefill = points.iter().find(|p| p.op.starts_with("qkv_proj 4096x")).unwrap();
+        let prefill = points
+            .iter()
+            .find(|p| p.op.starts_with("qkv_proj 4096x"))
+            .unwrap();
         assert!(!prefill.memory_bound, "{prefill:?}");
         assert!(prefill.attainable > decode.attainable);
     }
@@ -115,9 +119,20 @@ mod tests {
         let wl = workload::generation_workload(ModelId::Llama2_7b, 32, 0, 4);
         let base_points = analyze(&Accelerator::baseline(), &wl, Dataset::WikiText2);
         let owlp_points = analyze(&Accelerator::owlp(), &wl, Dataset::WikiText2);
-        let b = base_points.iter().find(|p| p.op.starts_with("qkv_proj 32x")).unwrap();
-        let o = owlp_points.iter().find(|p| p.op.starts_with("qkv_proj 32x")).unwrap();
+        let b = base_points
+            .iter()
+            .find(|p| p.op.starts_with("qkv_proj 32x"))
+            .unwrap();
+        let o = owlp_points
+            .iter()
+            .find(|p| p.op.starts_with("qkv_proj 32x"))
+            .unwrap();
         // Same MAC work per rep, fewer bytes → higher intensity on OwL-P.
-        assert!(o.intensity > 1.25 * b.intensity, "{} vs {}", o.intensity, b.intensity);
+        assert!(
+            o.intensity > 1.25 * b.intensity,
+            "{} vs {}",
+            o.intensity,
+            b.intensity
+        );
     }
 }

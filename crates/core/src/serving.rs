@@ -4,8 +4,34 @@
 
 use crate::accel::Accelerator;
 use crate::report::SimulationReport;
-use owlp_model::{workload, Dataset, ModelId, OpClass, Workload};
+use owlp_model::{workload, Dataset, GemmOp, ModelId, OpClass, Phase, Workload};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why serving metrics could not be derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// `gen_len == 0`: there are no output tokens to account time to.
+    ZeroGenerationLength,
+    /// `workload.batch == 0`: there are no sequences.
+    ZeroBatch,
+    /// The report covers no simulated time (an empty workload, or a
+    /// simulation that produced zero cycles), so every rate is undefined.
+    ZeroDuration,
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServingError::ZeroGenerationLength => "generation length is zero",
+            ServingError::ZeroBatch => "workload batch is zero",
+            ServingError::ZeroDuration => "simulation report covers zero seconds",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ServingError {}
 
 /// Serving metrics derived from a generation-workload simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,27 +52,45 @@ pub struct ServingMetrics {
 
 /// Derives serving metrics from a generation simulation.
 ///
-/// `batch` sequences each produce `gen_len` tokens; prefill time is
-/// attributed from the large-`M` ops' cycle share (those are the
-/// prompt-processing GEMMs).
+/// `batch` sequences each produce `gen_len` tokens. Prefill time (TTFT) is
+/// the MAC-weighted share of the ops tagged [`Phase::Prefill`]; decode-only
+/// workloads (no prompt, or a one-token prompt, which is decode-shaped)
+/// therefore report a TTFT of exactly zero. Untagged workloads (all ops
+/// [`Phase::Single`], e.g. hand-built streams) fall back to the `M > batch`
+/// shape heuristic.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `gen_len == 0` or `batch == 0`.
+/// [`ServingError::ZeroGenerationLength`] / [`ServingError::ZeroBatch`] on
+/// degenerate arguments, and [`ServingError::ZeroDuration`] when the report
+/// covers no simulated time (rates would divide by zero).
 pub fn serving_metrics(
     report: &SimulationReport,
     workload: &Workload,
     gen_len: usize,
-) -> ServingMetrics {
-    assert!(gen_len > 0, "generation length must be positive");
-    assert!(workload.batch > 0, "batch must be positive");
+) -> Result<ServingMetrics, ServingError> {
+    if gen_len == 0 {
+        return Err(ServingError::ZeroGenerationLength);
+    }
+    if workload.batch == 0 {
+        return Err(ServingError::ZeroBatch);
+    }
+    if report.seconds <= 0.0 {
+        return Err(ServingError::ZeroDuration);
+    }
     let total_tokens = (workload.batch * gen_len) as f64;
-    // Prefill ops are the ones with M > batch (whole-prompt GEMMs) or
-    // attention over the prompt with M == prompt length (> 1).
+    let tagged = workload.ops.iter().any(|o| o.phase != Phase::Single);
+    let is_prefill = |o: &&GemmOp| {
+        if tagged {
+            o.phase == Phase::Prefill
+        } else {
+            o.m > workload.batch
+        }
+    };
     let prefill_macs: u64 = workload
         .ops
         .iter()
-        .filter(|o| o.m > workload.batch)
+        .filter(is_prefill)
         .map(|o| o.macs())
         .sum();
     let total_macs: u64 = workload.ops.iter().map(|o| o.macs()).sum();
@@ -57,17 +101,22 @@ pub fn serving_metrics(
     };
     let ttft = report.seconds * prefill_fraction;
     let decode_seconds = report.seconds - ttft;
-    ServingMetrics {
+    Ok(ServingMetrics {
         workload: report.workload.clone(),
         design: report.design.clone(),
-        tokens_per_second: total_tokens / report.seconds.max(f64::MIN_POSITIVE),
+        tokens_per_second: total_tokens / report.seconds,
         time_per_output_token_ms: decode_seconds / gen_len as f64 * 1e3,
         time_to_first_token_ms: ttft * 1e3,
         total_seconds: report.seconds,
-    }
+    })
 }
 
 /// Convenience: simulate and derive metrics in one call.
+///
+/// # Panics
+///
+/// Panics if `gen_len == 0` or `batch == 0` (propagated from the workload
+/// builder and [`serving_metrics`]).
 pub fn simulate_serving(
     acc: &Accelerator,
     model: ModelId,
@@ -78,7 +127,42 @@ pub fn simulate_serving(
 ) -> ServingMetrics {
     let wl = workload::generation_workload(model, batch, prompt_len, gen_len);
     let report = acc.simulate(&wl, dataset);
-    serving_metrics(&report, &wl, gen_len)
+    serving_metrics(&report, &wl, gen_len).expect("generation workload yields valid metrics")
+}
+
+/// Cost of one workload op through the accelerator model — one row of the
+/// per-op cost table a serving scheduler prices iterations with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OpCost {
+    /// The op (shape, repetitions, phase).
+    pub op: GemmOp,
+    /// Effective cycles across all repetitions (compute/transfer overlap).
+    pub cycles: u64,
+    /// Pure compute cycles.
+    pub compute_cycles: u64,
+    /// Wall-clock seconds at the design's frequency.
+    pub seconds: f64,
+}
+
+/// Per-op cycle costs of a workload on one design point.
+///
+/// Unlike [`Accelerator::simulate`], which folds everything into per-class
+/// totals, this keeps one entry per op so a scheduler can price individual
+/// prefill/decode iterations (and cache by shape).
+pub fn op_costs(acc: &Accelerator, workload: &Workload, dataset: Dataset) -> Vec<OpCost> {
+    workload
+        .ops
+        .iter()
+        .map(|op| {
+            let r = acc.op_report(workload, op, dataset);
+            OpCost {
+                op: *op,
+                cycles: r.cycles,
+                compute_cycles: r.compute_cycles,
+                seconds: acc.seconds_for(r.cycles),
+            }
+        })
+        .collect()
 }
 
 /// Share of decode time spent in attention — grows with context length and
@@ -151,6 +235,89 @@ mod tests {
             Dataset::WikiText2,
         );
         assert!(long.time_to_first_token_ms > 2.0 * short.time_to_first_token_ms);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let wl = workload::generation_workload(ModelId::Gpt2Base, 4, 16, 8);
+        let report = Accelerator::owlp().simulate(&wl, Dataset::WikiText2);
+        assert_eq!(
+            serving_metrics(&report, &wl, 0),
+            Err(ServingError::ZeroGenerationLength)
+        );
+        let mut empty_batch = wl.clone();
+        empty_batch.batch = 0;
+        assert_eq!(
+            serving_metrics(&report, &empty_batch, 8),
+            Err(ServingError::ZeroBatch)
+        );
+        // A fresh report has zero duration: rates are undefined, not inf.
+        let blank = SimulationReport::new("d", "w");
+        assert_eq!(
+            serving_metrics(&blank, &wl, 8),
+            Err(ServingError::ZeroDuration)
+        );
+        assert!(ServingError::ZeroDuration.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn decode_only_workloads_have_zero_ttft() {
+        // A one-token prompt is decode-shaped; the old `M > batch`
+        // heuristic handled it inconsistently across batch sizes.
+        for (batch, prompt) in [(1usize, 1usize), (8, 1), (32, 1), (4, 0)] {
+            let m = simulate_serving(
+                &Accelerator::owlp(),
+                ModelId::Gpt2Base,
+                batch,
+                prompt,
+                64,
+                Dataset::WikiText2,
+            );
+            assert_eq!(m.time_to_first_token_ms, 0.0, "batch {batch}");
+            assert!(
+                m.time_per_output_token_ms.is_finite() && m.time_per_output_token_ms > 0.0,
+                "batch {batch}"
+            );
+            // With no prefill, decode accounts for the whole run.
+            let decode = m.time_per_output_token_ms * 64.0 / 1e3;
+            assert!((decode - m.total_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn short_prompts_still_attribute_prefill_time() {
+        // prompt < batch: the shape heuristic dropped the prompt-attention
+        // ops (M = prompt ≤ batch) from TTFT; phase tags keep them.
+        let wl = workload::generation_workload(ModelId::Gpt2Base, 32, 16, 64);
+        let report = Accelerator::owlp().simulate(&wl, Dataset::WikiText2);
+        let m = serving_metrics(&report, &wl, 64).unwrap();
+        assert!(m.time_to_first_token_ms > 0.0);
+        let tagged: u64 = wl
+            .ops
+            .iter()
+            .filter(|o| o.phase == owlp_model::Phase::Prefill)
+            .map(|o| o.macs())
+            .sum();
+        let heuristic: u64 = wl
+            .ops
+            .iter()
+            .filter(|o| o.m > wl.batch)
+            .map(|o| o.macs())
+            .sum();
+        assert!(tagged > heuristic, "{tagged} vs {heuristic}");
+    }
+
+    #[test]
+    fn op_costs_sum_to_simulated_total() {
+        let wl = workload::generation_workload(ModelId::Gpt2Base, 8, 64, 32);
+        let acc = Accelerator::owlp();
+        let report = acc.simulate(&wl, Dataset::WikiText2);
+        let costs = op_costs(&acc, &wl, Dataset::WikiText2);
+        assert_eq!(costs.len(), wl.ops.len());
+        let cycle_sum: u64 = costs.iter().map(|c| c.cycles).sum();
+        assert_eq!(cycle_sum, report.cycles);
+        let sec_sum: f64 = costs.iter().map(|c| c.seconds).sum();
+        assert!((sec_sum - report.seconds).abs() < 1e-9);
     }
 
     #[test]

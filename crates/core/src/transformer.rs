@@ -75,7 +75,13 @@ pub struct TinyConfig {
 impl TinyConfig {
     /// A small default that exercises every code path quickly.
     pub fn small() -> Self {
-        TinyConfig { seq: 8, hidden: 32, heads: 4, ffn: 64, layers: 2 }
+        TinyConfig {
+            seq: 8,
+            hidden: 32,
+            heads: 4,
+            ffn: 64,
+            layers: 2,
+        }
     }
 
     fn head_dim(&self) -> usize {
@@ -117,7 +123,11 @@ impl TinyTransformer {
     ///
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn new(config: TinyConfig, model: ModelId, seed: u64) -> Self {
-        assert_eq!(config.hidden % config.heads, 0, "hidden must divide into heads");
+        assert_eq!(
+            config.hidden % config.heads,
+            0,
+            "hidden must divide into heads"
+        );
         let gen = |kind: OpKind, rows: usize, cols: usize, salt: u64| -> Vec<Bf16> {
             let p = profile_for(model, kind, TensorRole::Weight, Dataset::WikiText2);
             TensorGen::new(p, rows, cols).values(seed ^ salt)
@@ -153,14 +163,24 @@ impl TinyTransformer {
     pub fn forward(&self, input: &[Bf16], engine: GemmEngine) -> Result<ForwardTrace, ArithError> {
         let c = self.config;
         assert_eq!(input.len(), c.seq * c.hidden, "input shape mismatch");
-        let mut trace = ForwardTrace { output: Vec::new(), gemm_outputs: Vec::new() };
+        let mut trace = ForwardTrace {
+            output: Vec::new(),
+            gemm_outputs: Vec::new(),
+        };
         let mut x: Vec<f32> = input.iter().map(|b| b.to_f32()).collect();
         for lw in &self.layers {
             // --- Attention block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
             let normed_bf = to_bf16(&normed);
-            let qkv =
-                self.run(engine, &mut trace, &normed_bf, &lw.wqkv, c.seq, c.hidden, 3 * c.hidden)?;
+            let qkv = self.run(
+                engine,
+                &mut trace,
+                &normed_bf,
+                &lw.wqkv,
+                c.seq,
+                c.hidden,
+                3 * c.hidden,
+            )?;
             let d = c.head_dim();
             let scale = 1.0 / (d as f32).sqrt();
             let mut ctx = vec![0.0f32; c.seq * c.hidden];
@@ -192,14 +212,18 @@ impl TinyTransformer {
                 }
             }
             let ctx_bf = to_bf16(&ctx);
-            let proj = self.run(engine, &mut trace, &ctx_bf, &lw.wo, c.seq, c.hidden, c.hidden)?;
+            let proj = self.run(
+                engine, &mut trace, &ctx_bf, &lw.wo, c.seq, c.hidden, c.hidden,
+            )?;
             for (xi, pi) in x.iter_mut().zip(&proj) {
                 *xi += pi;
             }
             // --- FFN block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
             let normed_bf = to_bf16(&normed);
-            let up = self.run(engine, &mut trace, &normed_bf, &lw.w1, c.seq, c.hidden, c.ffn)?;
+            let up = self.run(
+                engine, &mut trace, &normed_bf, &lw.w1, c.seq, c.hidden, c.ffn,
+            )?;
             let act: Vec<f32> = up.iter().map(|&u| gelu(u)).collect();
             let act_bf = to_bf16(&act);
             let down = self.run(engine, &mut trace, &act_bf, &lw.w2, c.seq, c.ffn, c.hidden)?;
@@ -303,7 +327,12 @@ mod tests {
         let exact = model.forward(&x, GemmEngine::Exact).unwrap();
         let owlp = model.forward(&x, GemmEngine::Owlp).unwrap();
         assert_eq!(exact.gemm_outputs.len(), owlp.gemm_outputs.len());
-        for (i, (e, o)) in exact.gemm_outputs.iter().zip(&owlp.gemm_outputs).enumerate() {
+        for (i, (e, o)) in exact
+            .gemm_outputs
+            .iter()
+            .zip(&owlp.gemm_outputs)
+            .enumerate()
+        {
             for (x, y) in e.iter().zip(o) {
                 assert_eq!(x.to_bits(), y.to_bits(), "gemm {i} diverged");
             }
@@ -329,7 +358,10 @@ mod tests {
             let rel = (e - f).abs() / e.abs().max(1e-3);
             max_rel = max_rel.max(rel);
         }
-        assert!(any_diff, "sequential FP32 should differ in at least one ulp somewhere");
+        assert!(
+            any_diff,
+            "sequential FP32 should differ in at least one ulp somewhere"
+        );
         assert!(max_rel < 1e-2, "but only by rounding noise: {max_rel}");
     }
 
@@ -356,7 +388,13 @@ mod tests {
 
     #[test]
     fn outputs_are_finite_and_normalised() {
-        let cfg = TinyConfig { seq: 6, hidden: 24, heads: 3, ffn: 48, layers: 3 };
+        let cfg = TinyConfig {
+            seq: 6,
+            hidden: 24,
+            heads: 3,
+            ffn: 48,
+            layers: 3,
+        };
         let model = TinyTransformer::new(cfg, ModelId::BertBase, 9);
         let x = input(cfg, 10);
         let t = model.forward(&x, GemmEngine::Owlp).unwrap();

@@ -54,7 +54,10 @@ mod tests {
         assert_eq!(w.len(), 10);
         // Two per model family member.
         assert_eq!(w.iter().filter(|w| w.model == ModelId::Gpt2Base).count(), 2);
-        assert_eq!(w.iter().filter(|w| w.model == ModelId::Llama2_70b).count(), 2);
+        assert_eq!(
+            w.iter().filter(|w| w.model == ModelId::Llama2_70b).count(),
+            2
+        );
     }
 
     #[test]

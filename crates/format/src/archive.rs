@@ -33,7 +33,11 @@ impl ModelArchive {
 
     /// Inserts (or replaces) a tensor under `name`; returns the previous
     /// occupant, if any.
-    pub fn insert(&mut self, name: impl Into<String>, tensor: PackedTensor) -> Option<PackedTensor> {
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        tensor: PackedTensor,
+    ) -> Option<PackedTensor> {
         self.tensors.insert(name.into(), tensor)
     }
 
@@ -81,8 +85,11 @@ impl ModelArchive {
 
     /// Serialises the archive.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let blobs: Vec<(&String, Vec<u8>)> =
-            self.tensors.iter().map(|(n, t)| (n, t.to_bytes())).collect();
+        let blobs: Vec<(&String, Vec<u8>)> = self
+            .tensors
+            .iter()
+            .map(|(n, t)| (n, t.to_bytes()))
+            .collect();
         let mut out = Vec::new();
         out.extend_from_slice(ARCHIVE_MAGIC);
         out.push(ARCHIVE_VERSION);
@@ -114,10 +121,14 @@ impl ModelArchive {
             return Err(eos(bytes.len()));
         }
         if &bytes[0..4] != ARCHIVE_MAGIC {
-            return Err(FormatError::CorruptStream { reason: "bad archive magic" });
+            return Err(FormatError::CorruptStream {
+                reason: "bad archive magic",
+            });
         }
         if bytes[4] != ARCHIVE_VERSION {
-            return Err(FormatError::CorruptStream { reason: "unsupported archive version" });
+            return Err(FormatError::CorruptStream {
+                reason: "unsupported archive version",
+            });
         }
         let count = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
         let mut pos = 9usize;
@@ -133,7 +144,9 @@ impl ModelArchive {
                 return Err(eos(pos));
             }
             let name = std::str::from_utf8(&bytes[pos..pos + name_len])
-                .map_err(|_| FormatError::CorruptStream { reason: "tensor name is not utf-8" })?
+                .map_err(|_| FormatError::CorruptStream {
+                    reason: "tensor name is not utf-8",
+                })?
                 .to_string();
             pos += name_len;
             let offset = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
@@ -146,16 +159,22 @@ impl ModelArchive {
         for (name, offset, len) in entries {
             let lo = blob_base
                 .checked_add(offset as usize)
-                .ok_or(FormatError::CorruptStream { reason: "blob offset overflow" })?;
+                .ok_or(FormatError::CorruptStream {
+                    reason: "blob offset overflow",
+                })?;
             let hi = lo
                 .checked_add(len as usize)
-                .ok_or(FormatError::CorruptStream { reason: "blob length overflow" })?;
+                .ok_or(FormatError::CorruptStream {
+                    reason: "blob length overflow",
+                })?;
             if hi > bytes.len() {
                 return Err(eos(bytes.len()));
             }
             let tensor = PackedTensor::from_bytes(&bytes[lo..hi])?;
             if tensors.insert(name, tensor).is_some() {
-                return Err(FormatError::CorruptStream { reason: "duplicate tensor name" });
+                return Err(FormatError::CorruptStream {
+                    reason: "duplicate tensor name",
+                });
             }
         }
         Ok(ModelArchive { tensors })
@@ -164,7 +183,9 @@ impl ModelArchive {
 
 impl FromIterator<(String, PackedTensor)> for ModelArchive {
     fn from_iter<T: IntoIterator<Item = (String, PackedTensor)>>(iter: T) -> Self {
-        ModelArchive { tensors: iter.into_iter().collect() }
+        ModelArchive {
+            tensors: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -197,8 +218,16 @@ mod tests {
         assert_eq!(back, a);
         assert_eq!(back.len(), 3);
         assert_eq!(
-            back.get("layer0.ffn_up").unwrap().unpack().unwrap().to_bf16_vec(),
-            a.get("layer0.ffn_up").unwrap().unpack().unwrap().to_bf16_vec()
+            back.get("layer0.ffn_up")
+                .unwrap()
+                .unpack()
+                .unwrap()
+                .to_bf16_vec(),
+            a.get("layer0.ffn_up")
+                .unwrap()
+                .unpack()
+                .unwrap()
+                .to_bf16_vec()
         );
     }
 

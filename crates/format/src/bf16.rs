@@ -250,7 +250,17 @@ mod tests {
 
     #[test]
     fn roundtrip_f32_exact_values() {
-        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 3.5, (-126.0f32).exp2(), 1.5 * 127.0f32.exp2()] {
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            3.5,
+            (-126.0f32).exp2(),
+            1.5 * 127.0f32.exp2(),
+        ] {
             let b = Bf16::from_f32(x);
             assert_eq!(b.to_f32(), x, "{x} should be exactly representable");
         }

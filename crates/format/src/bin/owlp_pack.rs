@@ -40,7 +40,10 @@ fn read_values(path: &str) -> Result<Vec<Bf16>, String> {
     let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     if path.ends_with(".f32") {
         if bytes.len() % 4 != 0 {
-            return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()));
+            return Err(format!(
+                "{path}: length {} is not a multiple of 4",
+                bytes.len()
+            ));
         }
         Ok(bytes
             .chunks_exact(4)
@@ -48,7 +51,10 @@ fn read_values(path: &str) -> Result<Vec<Bf16>, String> {
             .collect())
     } else {
         if bytes.len() % 2 != 0 {
-            return Err(format!("{path}: length {} is not a multiple of 2", bytes.len()));
+            return Err(format!(
+                "{path}: length {} is not a multiple of 2",
+                bytes.len()
+            ));
         }
         Ok(bytes
             .chunks_exact(2)
@@ -144,8 +150,15 @@ fn info(input: &str) -> ExitCode {
     println!("elements:        {}", packed.elements());
     println!("shared exponent: {}", packed.shared_exp());
     println!("normal region:   {} bytes", packed.normal_region().len());
-    println!("outlier region:  {} bytes ({} outliers)", packed.outlier_region().len(), enc.outlier_count());
+    println!(
+        "outlier region:  {} bytes ({} outliers)",
+        packed.outlier_region().len(),
+        enc.outlier_count()
+    );
     println!("normal ratio:    {:.2}%", enc.normal_ratio() * 100.0);
-    println!("compression:     {:.2}x vs raw BF16", packed.compression_ratio());
+    println!(
+        "compression:     {:.2}x vs raw BF16",
+        packed.compression_ratio()
+    );
     ExitCode::SUCCESS
 }

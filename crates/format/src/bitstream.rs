@@ -111,7 +111,9 @@ impl<'a> BitReader<'a> {
     pub fn read(&mut self, width: u32) -> Result<u64, FormatError> {
         assert!(width <= 64, "width {width} exceeds 64 bits");
         if self.bit_pos + width as usize > self.bytes.len() * 8 {
-            return Err(FormatError::UnexpectedEndOfStream { bit_offset: self.bit_pos });
+            return Err(FormatError::UnexpectedEndOfStream {
+                bit_offset: self.bit_pos,
+            });
         }
         let mut out = 0u64;
         let mut got = 0u32;

@@ -158,7 +158,10 @@ impl PackedTensor {
                 normal.write(0, layout.code_bits);
             }
             if group_outliers >= 1 << layout.count_bits {
-                return Err(FormatError::TooManyOutliers { group: g, count: group_outliers });
+                return Err(FormatError::TooManyOutliers {
+                    group: g,
+                    count: group_outliers,
+                });
             }
             let pointer = (outlier_idx as u64) & ((1u64 << layout.pointer_bits) - 1);
             normal.write(pointer, layout.pointer_bits);
@@ -308,16 +311,23 @@ impl PackedTensor {
     /// and [`FormatError::UnexpectedEndOfStream`] for truncation.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
         if bytes.len() < FILE_HEADER_LEN {
-            return Err(FormatError::UnexpectedEndOfStream { bit_offset: bytes.len() * 8 });
+            return Err(FormatError::UnexpectedEndOfStream {
+                bit_offset: bytes.len() * 8,
+            });
         }
         if &bytes[0..4] != FILE_MAGIC {
-            return Err(FormatError::CorruptStream { reason: "bad magic" });
+            return Err(FormatError::CorruptStream {
+                reason: "bad magic",
+            });
         }
         if bytes[4] != FILE_VERSION {
-            return Err(FormatError::CorruptStream { reason: "unsupported container version" });
+            return Err(FormatError::CorruptStream {
+                reason: "unsupported container version",
+            });
         }
         let shared_exp = bytes[5];
-        let rd32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+        let rd32 =
+            |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
         let elements = rd32(6);
         let start_addr = rd32(10);
         let layer_info = rd32(14);
@@ -325,12 +335,17 @@ impl PackedTensor {
         let outlier_len = rd32(22) as usize;
         let need = FILE_HEADER_LEN + normal_len + outlier_len;
         if bytes.len() < need {
-            return Err(FormatError::UnexpectedEndOfStream { bit_offset: bytes.len() * 8 });
+            return Err(FormatError::UnexpectedEndOfStream {
+                bit_offset: bytes.len() * 8,
+            });
         }
         let normal_region = bytes[FILE_HEADER_LEN..FILE_HEADER_LEN + normal_len].to_vec();
         let outlier_region = bytes[FILE_HEADER_LEN + normal_len..need].to_vec();
         let packed = PackedTensor {
-            meta: ChunkMeta { start_addr, layer_info },
+            meta: ChunkMeta {
+                start_addr,
+                layer_info,
+            },
             shared_exp,
             elements,
             normal_region,
@@ -402,7 +417,13 @@ mod tests {
         let data: Vec<Bf16> = (0..32).map(|_| bf(1.0)).collect();
         let enc = encode_tensor(&data, Some(w)).unwrap();
         let err = PackedTensor::pack(&enc, ChunkMeta::default()).unwrap_err();
-        assert_eq!(err, FormatError::TooManyOutliers { group: 0, count: 32 });
+        assert_eq!(
+            err,
+            FormatError::TooManyOutliers {
+                group: 0,
+                count: 32
+            }
+        );
     }
 
     #[test]
@@ -425,7 +446,10 @@ mod tests {
         // 32*11+11 .. 32*11+16. Flip one.
         let bit = 32 * 11 + 11;
         packed.normal_region[bit / 8] ^= 1 << (bit % 8);
-        assert!(matches!(packed.unpack(), Err(FormatError::CorruptStream { .. })));
+        assert!(matches!(
+            packed.unpack(),
+            Err(FormatError::CorruptStream { .. })
+        ));
     }
 
     #[test]
@@ -435,7 +459,10 @@ mod tests {
         let enc = encode_tensor(&data, None).unwrap();
         let mut packed = PackedTensor::pack(&enc, ChunkMeta::default()).unwrap();
         packed.outlier_region.clear();
-        assert!(matches!(packed.unpack(), Err(FormatError::UnexpectedEndOfStream { .. })));
+        assert!(matches!(
+            packed.unpack(),
+            Err(FormatError::UnexpectedEndOfStream { .. })
+        ));
     }
 
     #[test]
@@ -446,15 +473,24 @@ mod tests {
         let enc = encode_tensor(&data, None).unwrap();
         let packed = PackedTensor::pack(&enc, ChunkMeta::default()).unwrap();
         let layout = PackingLayout::PAPER;
-        assert_eq!(packed.total_bytes(), layout.packed_bytes(100, enc.outlier_count()));
+        assert_eq!(
+            packed.total_bytes(),
+            layout.packed_bytes(100, enc.outlier_count())
+        );
     }
 
     #[test]
     fn compression_beats_bf16_for_typical_tensors() {
-        let data: Vec<Bf16> = (0..4096).map(|i| bf(1.0 + (i % 97) as f32 / 128.0)).collect();
+        let data: Vec<Bf16> = (0..4096)
+            .map(|i| bf(1.0 + (i % 97) as f32 / 128.0))
+            .collect();
         let packed = pack_roundtrip(&data);
         // 11 bits + 16/32 bits overhead per value ≈ 11.5 bits vs 16 bits.
-        assert!(packed.compression_ratio() > 1.3, "{}", packed.compression_ratio());
+        assert!(
+            packed.compression_ratio() > 1.3,
+            "{}",
+            packed.compression_ratio()
+        );
     }
 
     #[test]
@@ -462,8 +498,14 @@ mod tests {
         let mut data: Vec<Bf16> = (0..77).map(|i| bf(1.0 + i as f32 / 64.0)).collect();
         data[5] = bf(1e30);
         let enc = encode_tensor(&data, None).unwrap();
-        let packed =
-            PackedTensor::pack(&enc, ChunkMeta { start_addr: 0xABCD, layer_info: 42 }).unwrap();
+        let packed = PackedTensor::pack(
+            &enc,
+            ChunkMeta {
+                start_addr: 0xABCD,
+                layer_info: 42,
+            },
+        )
+        .unwrap();
         let bytes = packed.to_bytes();
         let back = PackedTensor::from_bytes(&bytes).unwrap();
         assert_eq!(back, packed);
@@ -482,7 +524,9 @@ mod tests {
         bad[0] = b'X';
         assert!(matches!(
             PackedTensor::from_bytes(&bad),
-            Err(FormatError::CorruptStream { reason: "bad magic" })
+            Err(FormatError::CorruptStream {
+                reason: "bad magic"
+            })
         ));
         // Truncated.
         assert!(matches!(
@@ -493,11 +537,13 @@ mod tests {
         let mut flipped = bytes.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0xFF;
-        assert!(PackedTensor::from_bytes(&flipped).is_err() || {
-            // Flipping padding bits of the final byte may be harmless; the
-            // container is still structurally valid then.
-            true
-        });
+        assert!(
+            PackedTensor::from_bytes(&flipped).is_err() || {
+                // Flipping padding bits of the final byte may be harmless; the
+                // container is still structurally valid then.
+                true
+            }
+        );
     }
 
     #[test]

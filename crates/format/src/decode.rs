@@ -50,8 +50,13 @@ pub struct DecodedOperand {
 impl DecodedOperand {
     /// A decoded zero: the operand the outlier scheduler inserts when it
     /// splits an over-subscribed column (paper Fig. 6).
-    pub const ZERO: DecodedOperand =
-        DecodedOperand { mag: 0, sh: false, sign: false, tag: false, exp: 0 };
+    pub const ZERO: DecodedOperand = DecodedOperand {
+        mag: 0,
+        sh: false,
+        sign: false,
+        tag: false,
+        exp: 0,
+    };
 
     /// Whether this operand contributes nothing to a dot product.
     #[inline]
@@ -124,7 +129,11 @@ impl BiasDecoder {
     pub fn decode(&self, code: OwlpCode, outlier_exp: u8) -> DecodedOperand {
         if code.is_outlier() {
             // Outlier: untouched significand, no pre-shift, tag set.
-            let sig = if outlier_exp == 0 { code.frac() } else { 0x80 | code.frac() };
+            let sig = if outlier_exp == 0 {
+                code.frac()
+            } else {
+                0x80 | code.frac()
+            };
             DecodedOperand {
                 mag: sig as u16,
                 sh: false,
@@ -161,7 +170,11 @@ impl BiasDecoder {
     /// Panics if `x` is NaN/∞ (unencodable) or `window.base()` differs from
     /// this decoder's shared exponent.
     pub fn decode_bf16(&self, x: Bf16, window: ExponentWindow) -> DecodedOperand {
-        assert_eq!(window.base(), self.shared_exp, "window/decoder shared exponent mismatch");
+        assert_eq!(
+            window.base(),
+            self.shared_exp,
+            "window/decoder shared exponent mismatch"
+        );
         let ev = EncodedValue::classify(x, window).expect("non-finite value cannot be decoded");
         self.decode_value(ev)
     }
@@ -220,7 +233,11 @@ mod tests {
             let dec = BiasDecoder::new(base);
             for x in all_finite() {
                 let op = dec.decode_bf16(x, w);
-                assert_eq!(op.to_f64(base), x.to_f64(), "mismatch for {x:?} base {base}");
+                assert_eq!(
+                    op.to_f64(base),
+                    x.to_f64(),
+                    "mismatch for {x:?} base {base}"
+                );
             }
         }
     }
@@ -228,8 +245,8 @@ mod tests {
     #[test]
     fn exact_value_folds_pending_shift() {
         let dec = BiasDecoder::new(127); // frame 2^(127-134) = 2^-7
-        // bias 5 → pre-shift 1, sh=1 (pending ×16). Value 1.0×2^(127+5-127)=32... wait:
-        // e = 127+5 = 132 → value = 1.frac × 2^5. With frac=0: 32.0.
+                                         // bias 5 → pre-shift 1, sh=1 (pending ×16). Value 1.0×2^(127+5-127)=32... wait:
+                                         // e = 127+5 = 132 → value = 1.frac × 2^5. With frac=0: 32.0.
         let op = dec.decode(OwlpCode::normal(false, 5, 0), 0);
         assert_eq!(op.to_f64(127), 32.0);
     }

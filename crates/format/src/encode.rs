@@ -88,9 +88,17 @@ impl EncodedTensor {
             if c.is_outlier() {
                 let exp = self.outlier_exps[next_outlier];
                 next_outlier += 1;
-                EncodedValue::Outlier { sign: c.sign(), exp, frac: c.frac() }
+                EncodedValue::Outlier {
+                    sign: c.sign(),
+                    exp,
+                    frac: c.frac(),
+                }
             } else {
-                EncodedValue::Normal { sign: c.sign(), bias: c.bias(), frac: c.frac() }
+                EncodedValue::Normal {
+                    sign: c.sign(),
+                    bias: c.bias(),
+                    frac: c.frac(),
+                }
             }
         })
     }
@@ -131,7 +139,11 @@ impl EncodedTensor {
                 reason: "outlier code count does not match exponent stream length",
             });
         }
-        Ok(EncodedTensor { window, codes, outlier_exps })
+        Ok(EncodedTensor {
+            window,
+            codes,
+            outlier_exps,
+        })
     }
 }
 
@@ -169,7 +181,11 @@ pub fn encode_tensor(
             outlier_exps.push(exp);
         }
     }
-    Ok(EncodedTensor { window, codes, outlier_exps })
+    Ok(EncodedTensor {
+        window,
+        codes,
+        outlier_exps,
+    })
 }
 
 #[cfg(test)]
@@ -182,8 +198,10 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_tensor() {
-        let data: Vec<Bf16> =
-            [1.0f32, -0.5, 0.0, 3.75, -2e20, 1e-30, 0.007, -0.0].iter().map(|&x| bf(x)).collect();
+        let data: Vec<Bf16> = [1.0f32, -0.5, 0.0, 3.75, -2e20, 1e-30, 0.007, -0.0]
+            .iter()
+            .map(|&x| bf(x))
+            .collect();
         let enc = encode_tensor(&data, None).unwrap();
         assert_eq!(enc.to_bf16_vec(), data);
     }
@@ -191,7 +209,10 @@ mod tests {
     #[test]
     fn rejects_nan() {
         let data = vec![bf(1.0), Bf16::NAN];
-        assert_eq!(encode_tensor(&data, None), Err(FormatError::NonFinite { index: 1 }));
+        assert_eq!(
+            encode_tensor(&data, None),
+            Err(FormatError::NonFinite { index: 1 })
+        );
     }
 
     #[test]
@@ -201,7 +222,11 @@ mod tests {
         data.push(Bf16::ZERO);
         data.push(bf(1e30));
         let enc = encode_tensor(&data, None).unwrap();
-        assert!((enc.normal_ratio() - 0.9).abs() < 1e-12, "{}", enc.normal_ratio());
+        assert!(
+            (enc.normal_ratio() - 0.9).abs() < 1e-12,
+            "{}",
+            enc.normal_ratio()
+        );
     }
 
     #[test]
@@ -231,8 +256,10 @@ mod tests {
 
     #[test]
     fn decode_operands_match_values_exactly() {
-        let data: Vec<Bf16> =
-            [0.25f32, 7.5, -100.0, 1e-20, 0.0].iter().map(|&x| bf(x)).collect();
+        let data: Vec<Bf16> = [0.25f32, 7.5, -100.0, 1e-20, 0.0]
+            .iter()
+            .map(|&x| bf(x))
+            .collect();
         let enc = encode_tensor(&data, None).unwrap();
         let ops = enc.decode_operands();
         for (op, x) in ops.iter().zip(&data) {

@@ -70,7 +70,10 @@ impl fmt::Display for FormatError {
                 write!(f, "corrupt packed stream: {reason}")
             }
             FormatError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} elements, got {actual}"
+                )
             }
         }
     }
@@ -86,11 +89,19 @@ mod tests {
     fn display_is_lowercase_without_trailing_punctuation() {
         let errs: Vec<FormatError> = vec![
             FormatError::NonFinite { index: 3 },
-            FormatError::TooManyOutliers { group: 1, count: 32 },
+            FormatError::TooManyOutliers {
+                group: 1,
+                count: 32,
+            },
             FormatError::OutlierPointerOverflow { pointer: 4096 },
             FormatError::UnexpectedEndOfStream { bit_offset: 17 },
-            FormatError::CorruptStream { reason: "bad count" },
-            FormatError::ShapeMismatch { expected: 4, actual: 5 },
+            FormatError::CorruptStream {
+                reason: "bad count",
+            },
+            FormatError::ShapeMismatch {
+                expected: 4,
+                actual: 5,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -20,7 +20,11 @@ pub struct ExponentHistogram {
 
 impl Default for ExponentHistogram {
     fn default() -> Self {
-        ExponentHistogram { counts: vec![0; 256], zeros: 0, total: 0 }
+        ExponentHistogram {
+            counts: vec![0; 256],
+            zeros: 0,
+            total: 0,
+        }
     }
 }
 
@@ -207,8 +211,9 @@ mod tests {
 
     #[test]
     fn densest_window_matches_select_window() {
-        let data: Vec<Bf16> =
-            (0..500).map(|i| bf((1.0 + (i % 13) as f32) * 0.037)).collect();
+        let data: Vec<Bf16> = (0..500)
+            .map(|i| bf((1.0 + (i % 13) as f32) * 0.037))
+            .collect();
         assert!(window_agrees(&data));
     }
 

@@ -73,8 +73,13 @@ impl EncodedStream {
     pub fn packed_bytes(&self) -> Result<u64, FormatError> {
         let mut total = 0u64;
         for (i, b) in self.blocks.iter().enumerate() {
-            let packed =
-                PackedTensor::pack(b, ChunkMeta { start_addr: i as u32, layer_info: 0 })?;
+            let packed = PackedTensor::pack(
+                b,
+                ChunkMeta {
+                    start_addr: i as u32,
+                    layer_info: 0,
+                },
+            )?;
             total += packed.total_bytes();
         }
         Ok(total)
@@ -97,8 +102,11 @@ impl EncodedStream {
         if self.is_empty() {
             return 1.0;
         }
-        let weighted: f64 =
-            self.blocks.iter().map(|b| b.normal_ratio() * b.len() as f64).sum();
+        let weighted: f64 = self
+            .blocks
+            .iter()
+            .map(|b| b.normal_ratio() * b.len() as f64)
+            .sum();
         weighted / self.len() as f64
     }
 }
@@ -136,7 +144,11 @@ impl StreamingEncoder {
     /// Panics if `block_len == 0`.
     pub fn new(block_len: usize) -> Self {
         assert!(block_len > 0, "block length must be positive");
-        StreamingEncoder { block_len, pending: Vec::with_capacity(block_len), blocks: Vec::new() }
+        StreamingEncoder {
+            block_len,
+            pending: Vec::with_capacity(block_len),
+            blocks: Vec::new(),
+        }
     }
 
     /// Pushes one BF16 value.
@@ -190,7 +202,10 @@ impl StreamingEncoder {
         if !self.pending.is_empty() {
             self.flush_block()?;
         }
-        Ok(EncodedStream { blocks: self.blocks, block_len: self.block_len })
+        Ok(EncodedStream {
+            blocks: self.blocks,
+            block_len: self.block_len,
+        })
     }
 
     fn flush_block(&mut self) -> Result<(), FormatError> {
@@ -262,7 +277,10 @@ mod tests {
         }));
         let stream = encode_stream(&data, 256).unwrap();
         let global = encode_tensor(&data, None).unwrap();
-        assert!(global.outlier_count() >= 200, "one window cannot cover both halves");
+        assert!(
+            global.outlier_count() >= 200,
+            "one window cannot cover both halves"
+        );
         assert!(
             stream.outlier_count() * 4 < global.outlier_count(),
             "per-block windows adapt: {} vs {}",
@@ -279,8 +297,13 @@ mod tests {
     fn smaller_blocks_cost_metadata() {
         // On a stationary distribution, smaller blocks only add header
         // bytes.
-        let data: Vec<Bf16> = (0..1024).map(|i| bf(1.0 + (i % 90) as f32 / 64.0)).collect();
-        let coarse = encode_stream(&data, 1024).unwrap().bits_per_value().unwrap();
+        let data: Vec<Bf16> = (0..1024)
+            .map(|i| bf(1.0 + (i % 90) as f32 / 64.0))
+            .collect();
+        let coarse = encode_stream(&data, 1024)
+            .unwrap()
+            .bits_per_value()
+            .unwrap();
         let fine = encode_stream(&data, 32).unwrap().bits_per_value().unwrap();
         assert!(fine > coarse, "{fine} vs {coarse}");
     }

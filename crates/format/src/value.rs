@@ -49,7 +49,10 @@ impl OwlpCode {
     /// does not fit in 7 bits.
     #[inline]
     pub fn normal(sign: bool, bias: u8, frac: u8) -> Self {
-        assert!(bias < OUTLIER_BIAS_MARKER, "bias {bias} collides with the outlier marker");
+        assert!(
+            bias < OUTLIER_BIAS_MARKER,
+            "bias {bias} collides with the outlier marker"
+        );
         assert!(frac < 0x80, "fraction {frac:#x} exceeds 7 bits");
         OwlpCode(((sign as u16) << 10) | ((bias as u16) << 7) | frac as u16)
     }
@@ -110,7 +113,12 @@ impl OwlpCode {
 impl fmt::Debug for OwlpCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_outlier() {
-            write!(f, "OwlpCode(outlier s={} f={:#04x})", self.sign() as u8, self.frac())
+            write!(
+                f,
+                "OwlpCode(outlier s={} f={:#04x})",
+                self.sign() as u8,
+                self.frac()
+            )
         } else {
             write!(
                 f,
@@ -158,7 +166,11 @@ impl EncodedValue {
             return None;
         }
         match window.bias_of(x) {
-            Some(bias) => Some(EncodedValue::Normal { sign: x.sign(), bias, frac: x.fraction() }),
+            Some(bias) => Some(EncodedValue::Normal {
+                sign: x.sign(),
+                bias,
+                frac: x.fraction(),
+            }),
             None => Some(EncodedValue::Outlier {
                 sign: x.sign(),
                 exp: x.exponent_bits(),
@@ -257,11 +269,17 @@ mod tests {
     fn zero_and_subnormal_classify_as_exponent_zero_outliers() {
         let w = ExponentWindow::owlp(120);
         match EncodedValue::classify(Bf16::ZERO, w).unwrap() {
-            EncodedValue::Outlier { exp: 0, frac: 0, sign: false } => {}
+            EncodedValue::Outlier {
+                exp: 0,
+                frac: 0,
+                sign: false,
+            } => {}
             other => panic!("unexpected classification {other:?}"),
         }
         match EncodedValue::classify(Bf16::MIN_POSITIVE_SUBNORMAL, w).unwrap() {
-            EncodedValue::Outlier { exp: 0, frac: 1, .. } => {}
+            EncodedValue::Outlier {
+                exp: 0, frac: 1, ..
+            } => {}
             other => panic!("unexpected classification {other:?}"),
         }
     }
@@ -271,7 +289,11 @@ mod tests {
         let w = ExponentWindow::owlp(125);
         let x = Bf16::from_f32(3.0); // exponent 128, frac 0b1000000
         match EncodedValue::classify(x, w).unwrap() {
-            EncodedValue::Normal { bias: 3, frac: 0x40, sign: false } => {}
+            EncodedValue::Normal {
+                bias: 3,
+                frac: 0x40,
+                sign: false,
+            } => {}
             other => panic!("unexpected classification {other:?}"),
         }
     }

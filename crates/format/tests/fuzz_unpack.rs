@@ -9,7 +9,8 @@ use proptest::prelude::*;
 fn typical_tensor(len: usize, seed: u64) -> Vec<Bf16> {
     (0..len)
         .map(|i| {
-            let x = 1.0 + ((seed.wrapping_mul(2654435761).wrapping_add(i as u64) % 97) as f32) / 97.0;
+            let x =
+                1.0 + ((seed.wrapping_mul(2654435761).wrapping_add(i as u64) % 97) as f32) / 97.0;
             Bf16::from_f32(if i % 31 == 30 { x * 1.0e20 } else { x })
         })
         .collect()

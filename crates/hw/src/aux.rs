@@ -103,7 +103,13 @@ pub struct AuxBreakdown {
 
 /// OwL-P auxiliary totals for `arrays` arrays of `rows × cols` PEs with
 /// `lanes` lanes.
-pub fn owlp_aux(lib: &TechLibrary, arrays: usize, rows: usize, cols: usize, lanes: usize) -> AuxBreakdown {
+pub fn owlp_aux(
+    lib: &TechLibrary,
+    arrays: usize,
+    rows: usize,
+    cols: usize,
+    lanes: usize,
+) -> AuxBreakdown {
     let input_lanes = arrays * rows * lanes; // activation edge streams
     let columns = arrays * cols;
     let datasetup = input_lanes as f64
@@ -111,7 +117,10 @@ pub fn owlp_aux(lib: &TechLibrary, arrays: usize, rows: usize, cols: usize, lane
     let others = input_lanes as f64 * bias_decoder(lib).area_um2          // activation decode
         + columns as f64 * lanes as f64 * bias_decoder(lib).area_um2 / 4.0 // weight decode (amortised over loads)
         + columns as f64 * (align_int2fp(lib).area_um2 + output_encoder(lib).area_um2);
-    AuxBreakdown { datasetup_mm2: datasetup / 1e6, others_mm2: others / 1e6 }
+    AuxBreakdown {
+        datasetup_mm2: datasetup / 1e6,
+        others_mm2: others / 1e6,
+    }
 }
 
 /// Baseline auxiliary totals (data setup only; FP PEs need no decode or
@@ -122,7 +131,10 @@ pub fn baseline_aux(lib: &TechLibrary, arrays: usize, rows: usize, cols: usize) 
         // FP32 operand width costs more setup registers per lane.
         * 2.0
         + (arrays * cols) as f64 * lib.reg_area_per_bit * 32.0;
-    AuxBreakdown { datasetup_mm2: datasetup / 1e6, others_mm2: 0.0 }
+    AuxBreakdown {
+        datasetup_mm2: datasetup / 1e6,
+        others_mm2: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -138,8 +150,14 @@ mod tests {
         let total = DesignPoint::owlp_paper().compute_area_mm2();
         let ds_pct = aux.datasetup_mm2 / total * 100.0;
         let others_pct = aux.others_mm2 / total * 100.0;
-        assert!((0.8..=4.0).contains(&ds_pct), "datasetup {ds_pct}% (paper 2.0%)");
-        assert!((2.0..=8.0).contains(&others_pct), "others {others_pct}% (paper 4.7%)");
+        assert!(
+            (0.8..=4.0).contains(&ds_pct),
+            "datasetup {ds_pct}% (paper 2.0%)"
+        );
+        assert!(
+            (2.0..=8.0).contains(&others_pct),
+            "others {others_pct}% (paper 4.7%)"
+        );
     }
 
     #[test]
@@ -149,7 +167,10 @@ mod tests {
         let aux = baseline_aux(&lib, 16, 32, 32);
         let total = DesignPoint::baseline_paper().compute_area_mm2();
         let ds_pct = aux.datasetup_mm2 / total * 100.0;
-        assert!((0.5..=5.0).contains(&ds_pct), "datasetup {ds_pct}% (paper 2.7%)");
+        assert!(
+            (0.5..=5.0).contains(&ds_pct),
+            "datasetup {ds_pct}% (paper 2.7%)"
+        );
         assert_eq!(aux.others_mm2, 0.0);
     }
 

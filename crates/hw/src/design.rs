@@ -87,8 +87,7 @@ impl DesignPoint {
         // Non-MAC logic (data setup, decoders, align/INT2FP) toggles in
         // proportion to its area share.
         let non_mac_dynamic = dynamic * (1.0 / self.mac_array_fraction - 1.0) * 0.4;
-        let leakage =
-            self.compute_area_mm2() * self.memory.lib.leakage_mw_per_mm2 * 1e-3;
+        let leakage = self.compute_area_mm2() * self.memory.lib.leakage_mw_per_mm2 * 1e-3;
         dynamic + non_mac_dynamic + leakage
     }
 
@@ -169,7 +168,10 @@ mod tests {
         assert!((10.5..=15.5).contains(&b), "baseline power {b}");
         assert!((7.0..=11.0).contains(&o), "owlp power {o}");
         let ratio = b / o;
-        assert!((1.25..=1.75).contains(&ratio), "power ratio {ratio} (paper 1.46)");
+        assert!(
+            (1.25..=1.75).contains(&ratio),
+            "power ratio {ratio} (paper 1.46)"
+        );
     }
 
     #[test]

@@ -57,7 +57,13 @@ impl EnergyModel {
     ///   are read once, outputs written once; double counting for the
     ///   write-then-read of staged tiles is the caller's choice);
     /// * `seconds` — execution window for leakage integration.
-    pub fn energy(&self, macs: u64, dram_bytes: u64, sram_bytes: u64, seconds: f64) -> EnergyBreakdown {
+    pub fn energy(
+        &self,
+        macs: u64,
+        dram_bytes: u64,
+        sram_bytes: u64,
+        seconds: f64,
+    ) -> EnergyBreakdown {
         EnergyBreakdown {
             compute_j: macs as f64 * self.pe.energy_per_mac_pj * 1e-12,
             sram_j: self.memory.sram_read_energy_j(sram_bytes),
@@ -135,7 +141,12 @@ mod tests {
         // A decode-style GEMM: few MACs per byte moved.
         let m = model();
         let e = m.energy(32 * 4096, 4096 * 4096 * 2, 4096 * 4096 * 2, 0.0);
-        assert!(e.dram_j > e.compute_j, "dram {} vs compute {}", e.dram_j, e.compute_j);
+        assert!(
+            e.dram_j > e.compute_j,
+            "dram {} vs compute {}",
+            e.dram_j,
+            e.compute_j
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub struct OutlierBuffer {
 impl OutlierBuffer {
     /// A plausible sizing: 64 KiB of exponent storage.
     pub fn paper_sized() -> Self {
-        OutlierBuffer { entries: 64 * 1024, burst_bytes: 32 }
+        OutlierBuffer {
+            entries: 64 * 1024,
+            burst_bytes: 32,
+        }
     }
 
     /// Outlier entries of one resident tile set that do not fit on chip.
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn outlier_buffer_overflow_accounting() {
-        let buf = OutlierBuffer { entries: 100, burst_bytes: 32 };
+        let buf = OutlierBuffer {
+            entries: 100,
+            burst_bytes: 32,
+        };
         assert_eq!(buf.overflow_entries(99), 0);
         assert_eq!(buf.overflow_entries(100), 0);
         assert_eq!(buf.overflow_entries(150), 50);

@@ -60,11 +60,7 @@ impl PeCost {
         let reg_energy = lib.reg_energy_per_bit * reg_bits;
         PeCost {
             area_um2: mult_area + align_area + add_area + norm_area + reg_area,
-            energy_per_mac_pj: (mult_energy
-                + align_energy
-                + add_energy
-                + norm_energy
-                + reg_energy)
+            energy_per_mac_pj: (mult_energy + align_energy + add_energy + norm_energy + reg_energy)
                 * FMA_SYNTH_ENERGY_FACTOR,
             macs: 1,
             pipeline_stages: 4,
@@ -73,7 +69,12 @@ impl PeCost {
 
     /// The OwL-P INT PE: `lanes`-way dot product with
     /// `act_paths + weight_paths` outlier result registers (2-stage).
-    pub fn owlp_pe(lib: &TechLibrary, lanes: usize, act_paths: usize, weight_paths: usize) -> PeCost {
+    pub fn owlp_pe(
+        lib: &TechLibrary,
+        lanes: usize,
+        act_paths: usize,
+        weight_paths: usize,
+    ) -> PeCost {
         let l = lanes as f64;
         let paths = (act_paths + weight_paths) as f64;
         // Per lane: 8×8 significand multiplier + a 5-stage combined product
@@ -170,7 +171,11 @@ mod tests {
     fn fma_energy_order_of_magnitude() {
         // A BF16 FMA at 28 nm lands in the low single-digit pJ.
         let fma = PeCost::bf16_fma(&lib());
-        assert!((1.0..=4.0).contains(&fma.energy_per_mac_pj), "{}", fma.energy_per_mac_pj);
+        assert!(
+            (1.0..=4.0).contains(&fma.energy_per_mac_pj),
+            "{}",
+            fma.energy_per_mac_pj
+        );
     }
 
     #[test]
@@ -181,7 +186,11 @@ mod tests {
         let p8 = PeCost::owlp_pe(&lib(), 8, 4, 4);
         assert!(p4.area_um2 > p0.area_um2);
         assert!(p8.area_um2 > p4.area_um2);
-        assert!(p8.area_um2 / p0.area_um2 < 1.25, "{}", p8.area_um2 / p0.area_um2);
+        assert!(
+            p8.area_um2 / p0.area_um2 < 1.25,
+            "{}",
+            p8.area_um2 / p0.area_um2
+        );
     }
 
     #[test]

@@ -54,12 +54,14 @@ pub fn pack_model(
             let r = (rows / scale).max(1);
             let c = (cols / scale).max(1);
             let p = profile_for(model, kind, TensorRole::Weight, dataset);
-            let values =
-                TensorGen::new(p, r, c).values(seed ^ (layer as u64) << 8 ^ kind as u64);
+            let values = TensorGen::new(p, r, c).values(seed ^ (layer as u64) << 8 ^ kind as u64);
             let enc = encode_tensor(&values, Some(p.window()))?;
             let packed = PackedTensor::pack(
                 &enc,
-                ChunkMeta { start_addr: archive.payload_bytes() as u32, layer_info: layer as u32 },
+                ChunkMeta {
+                    start_addr: archive.payload_bytes() as u32,
+                    layer_info: layer as u32,
+                },
             )?;
             archive.insert(format!("layer{layer}.{name}"), packed);
         }

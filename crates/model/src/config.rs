@@ -206,9 +206,15 @@ mod tests {
         let b7 = ModelId::Llama2_7b.config().block_params();
         assert!((5.5e9..7.5e9).contains(&(b7 as f64)), "7B blocks: {b7}");
         let b70 = ModelId::Llama2_70b.config().block_params();
-        assert!((6.0e10..7.5e10).contains(&(b70 as f64)), "70B blocks: {b70}");
+        assert!(
+            (6.0e10..7.5e10).contains(&(b70 as f64)),
+            "70B blocks: {b70}"
+        );
         let bb = ModelId::BertBase.config().block_params();
-        assert!((7.0e7..1.2e8).contains(&(bb as f64)), "BERT-Base blocks: {bb}");
+        assert!(
+            (7.0e7..1.2e8).contains(&(bb as f64)),
+            "BERT-Base blocks: {bb}"
+        );
     }
 
     #[test]

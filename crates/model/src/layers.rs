@@ -83,8 +83,12 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes in display order.
-    pub const ALL: [OpClass; 4] =
-        [OpClass::Qkv, OpClass::Attention, OpClass::Projection, OpClass::Ffn];
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Qkv,
+        OpClass::Attention,
+        OpClass::Projection,
+        OpClass::Ffn,
+    ];
 }
 
 impl fmt::Display for OpClass {
@@ -97,6 +101,24 @@ impl fmt::Display for OpClass {
         };
         f.write_str(s)
     }
+}
+
+/// Which serving phase a GEMM belongs to.
+///
+/// Generation workloads split into prompt processing (prefill) and
+/// auto-regressive decode; single-pass encoder workloads have no such
+/// split. Serving metrics attribute prefill-phase cycles to time-to-first-
+/// token and decode-phase cycles to time-per-output-token, so the builders
+/// tag every op instead of leaving attribution to shape heuristics (which
+/// are ambiguous — a one-token prompt produces exactly decode-shaped ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Single-pass inference (encoders); no prefill/decode distinction.
+    Single,
+    /// Prompt processing ahead of the first generated token.
+    Prefill,
+    /// Auto-regressive token generation.
+    Decode,
 }
 
 /// One (possibly repeated) GEMM of a workload: `(M,K) × (K,N)`, executed
@@ -117,12 +139,28 @@ pub struct GemmOp {
     /// off-chip per repetition group (weights are; cached K/V mostly are
     /// too, from the KV cache).
     pub weight_resident_bytes_per_rep: u64,
+    /// Serving phase this op executes in.
+    pub phase: Phase,
 }
 
 impl GemmOp {
     /// Creates an op with the weight-traffic default of `k × n` BF16 values.
     pub fn new(kind: OpKind, m: usize, k: usize, n: usize, count: u64) -> Self {
-        GemmOp { kind, m, k, n, count, weight_resident_bytes_per_rep: (k * n) as u64 * 2 }
+        GemmOp {
+            kind,
+            m,
+            k,
+            n,
+            count,
+            weight_resident_bytes_per_rep: (k * n) as u64 * 2,
+            phase: Phase::Single,
+        }
+    }
+
+    /// Tags the op with the serving phase it executes in.
+    pub fn in_phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
     }
 
     /// Reporting class.
@@ -199,6 +237,8 @@ mod tests {
         assert_eq!(op.activation_elements(), 32);
         assert_eq!(op.output_elements(), 64);
         assert_eq!(op.weight_resident_bytes_per_rep, 256);
+        assert_eq!(op.phase, Phase::Single);
+        assert_eq!(op.in_phase(Phase::Decode).phase, Phase::Decode);
     }
 
     #[test]

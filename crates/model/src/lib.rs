@@ -41,7 +41,7 @@ pub mod tensorgen;
 pub mod workload;
 
 pub use config::{Arch, ModelId, TransformerConfig};
-pub use layers::{GemmOp, OpClass, OpKind};
+pub use layers::{GemmOp, OpClass, OpKind, Phase};
 pub use profiles::{fit_profile, Dataset, ExponentProfile, TensorRole};
 pub use tensorgen::TensorGen;
 pub use workload::Workload;

@@ -242,8 +242,16 @@ fn activation_profile(model: ModelId, kind: OpKind, dataset: Dataset) -> Exponen
     let factor = dataset.activation_burst_factor();
     // Softmax outputs (the activation operand of attn·V) are spikier: most
     // probability mass concentrates on few tokens (paper Fig. 8c).
-    let softmax_boost = if kind.activation_is_softmax_output() { 1.45 } else { 1.0 };
-    let center = if kind.activation_is_softmax_output() { 121 } else { 124 };
+    let softmax_boost = if kind.activation_is_softmax_output() {
+        1.45
+    } else {
+        1.0
+    };
+    let center = if kind.activation_is_softmax_output() {
+        121
+    } else {
+        124
+    };
     ExponentProfile {
         center_exp: center,
         burst_fraction: (q * factor * softmax_boost).min(0.9),
@@ -281,8 +289,7 @@ pub fn fit_profile(
     let center = window.base() + 3;
     let is_outlier =
         |v: &owlp_format::Bf16| -> bool { !window.contains(*v) && !v.is_zero() && v.is_finite() };
-    let zero_fraction =
-        values.iter().filter(|v| v.is_zero()).count() as f64 / values.len() as f64;
+    let zero_fraction = values.iter().filter(|v| v.is_zero()).count() as f64 / values.len() as f64;
     // Per-unit outlier rates along the burst axis.
     let (units, unit_len) = match axis {
         BurstAxis::Rows => (rows, cols),
@@ -291,12 +298,13 @@ pub fn fit_profile(
     let rates: Vec<f64> = (0..units)
         .map(|u| {
             let count = match axis {
-                BurstAxis::Rows => {
-                    values[u * cols..(u + 1) * cols].iter().filter(|v| is_outlier(v)).count()
-                }
-                BurstAxis::Cols => {
-                    (0..rows).filter(|&r| is_outlier(&values[r * cols + u])).count()
-                }
+                BurstAxis::Rows => values[u * cols..(u + 1) * cols]
+                    .iter()
+                    .filter(|v| is_outlier(v))
+                    .count(),
+                BurstAxis::Cols => (0..rows)
+                    .filter(|&r| is_outlier(&values[r * cols + u]))
+                    .count(),
             };
             count as f64 / unit_len as f64
         })
@@ -423,16 +431,35 @@ mod tests {
 
     #[test]
     fn weights_are_dataset_independent() {
-        let a = profile_for(ModelId::Llama2_7b, OpKind::FfnUp, TensorRole::Weight, Dataset::Piqa);
-        let b =
-            profile_for(ModelId::Llama2_7b, OpKind::FfnUp, TensorRole::Weight, Dataset::Mmlu);
+        let a = profile_for(
+            ModelId::Llama2_7b,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::Piqa,
+        );
+        let b = profile_for(
+            ModelId::Llama2_7b,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::Mmlu,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn seeds_decorrelate_tensors() {
-        let a = profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::Glue);
-        let b = profile_for(ModelId::Gpt2Base, OpKind::FfnDown, TensorRole::Weight, Dataset::Glue);
+        let a = profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::Glue,
+        );
+        let b = profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnDown,
+            TensorRole::Weight,
+            Dataset::Glue,
+        );
         assert_ne!(a.seed_salt, b.seed_salt);
     }
 
@@ -472,8 +499,9 @@ mod tests {
     #[test]
     fn fit_handles_uniform_tensors() {
         // A tensor with no outliers at all fits to near-zero rates.
-        let values: Vec<owlp_format::Bf16> =
-            (0..64 * 32).map(|i| owlp_format::Bf16::from_f32(1.0 + (i % 100) as f32 / 128.0)).collect();
+        let values: Vec<owlp_format::Bf16> = (0..64 * 32)
+            .map(|i| owlp_format::Bf16::from_f32(1.0 + (i % 100) as f32 / 128.0))
+            .collect();
         let fitted = fit_profile(&values, 64, 32, BurstAxis::Rows);
         assert!(fitted.expected_outlier_rate() < 1e-6);
         assert!((fitted.expected_extra_ratio(32, 2) - 1.0).abs() < 1e-9);

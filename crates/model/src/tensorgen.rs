@@ -39,7 +39,11 @@ pub struct TensorGen {
 impl TensorGen {
     /// Binds a profile to a `rows × cols` shape.
     pub fn new(profile: ExponentProfile, rows: usize, cols: usize) -> Self {
-        TensorGen { profile, rows, cols }
+        TensorGen {
+            profile,
+            rows,
+            cols,
+        }
     }
 
     /// The bound profile.
@@ -60,7 +64,11 @@ impl TensorGen {
             BurstAxis::Cols => c,
         };
         let bursty = hash01(p.seed_salt, seed ^ 0xB0B0, unit as u64, 0) < p.burst_fraction;
-        let rate = if bursty { p.burst_outlier_rate } else { p.background_outlier_rate };
+        let rate = if bursty {
+            p.burst_outlier_rate
+        } else {
+            p.background_outlier_rate
+        };
         hash01(p.seed_salt, seed ^ 0x0E11, r as u64, c as u64) < rate
     }
 
@@ -95,7 +103,11 @@ impl TensorGen {
             return Bf16::from_bits((sign << 15) | ((e as u16) << 7) | frac);
         }
         if hash01(p.seed_salt, seed ^ 0x2E40, r as u64, c as u64) < p.zero_fraction {
-            return if sign == 0 { Bf16::ZERO } else { Bf16::NEG_ZERO };
+            return if sign == 0 {
+                Bf16::ZERO
+            } else {
+                Bf16::NEG_ZERO
+            };
         }
         // Normal value: bell-shaped exponent offset in [-3, 3].
         let draw = ((h >> 24) % BELL_TOTAL as u64) as u32;
@@ -147,11 +159,21 @@ mod tests {
     use owlp_format::{encode_tensor, stats::normal_ratio_of};
 
     fn gpt2_act() -> ExponentProfile {
-        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Activation, Dataset::WikiText2)
+        profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Activation,
+            Dataset::WikiText2,
+        )
     }
 
     fn gpt2_weight() -> ExponentProfile {
-        profile_for(ModelId::Gpt2Base, OpKind::FfnUp, TensorRole::Weight, Dataset::WikiText2)
+        profile_for(
+            ModelId::Gpt2Base,
+            OpKind::FfnUp,
+            TensorRole::Weight,
+            Dataset::WikiText2,
+        )
     }
 
     #[test]
@@ -217,8 +239,7 @@ mod tests {
         for r in 0..rows {
             for t in 0..tiles {
                 units += 1;
-                let c =
-                    (0..tile).filter(|i| mask[r * cols + t * tile + i]).count();
+                let c = (0..tile).filter(|i| mask[r * cols + t * tile + i]).count();
                 extra += c.div_ceil(paths).max(1) as u64 - 1;
             }
         }

@@ -15,7 +15,7 @@
 //! models see representative shapes without enumerating thousands of steps.
 
 use crate::config::{Arch, ModelId};
-use crate::layers::{GemmOp, OpClass, OpKind};
+use crate::layers::{GemmOp, OpClass, OpKind, Phase};
 use serde::{Deserialize, Serialize};
 
 /// A named stream of GEMMs plus its provenance.
@@ -44,7 +44,11 @@ impl Workload {
 
     /// MACs restricted to one reporting class.
     pub fn macs_of_class(&self, class: OpClass) -> u64 {
-        self.ops.iter().filter(|o| o.class() == class).map(GemmOp::macs).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.class() == class)
+            .map(GemmOp::macs)
+            .sum()
     }
 
     /// Static-weight elements of the model touched by this workload,
@@ -71,7 +75,11 @@ impl Workload {
 /// Panics if called for a decoder-family model.
 pub fn encoder_workload(model: ModelId, seq: usize, batch: usize) -> Workload {
     let cfg = model.config();
-    assert_eq!(cfg.arch, Arch::Encoder, "encoder workload requires an encoder model");
+    assert_eq!(
+        cfg.arch,
+        Arch::Encoder,
+        "encoder workload requires an encoder model"
+    );
     let l = cfg.layers as u64;
     let h = cfg.hidden;
     let heads = cfg.heads as u64;
@@ -85,7 +93,12 @@ pub fn encoder_workload(model: ModelId, seq: usize, batch: usize) -> Workload {
         GemmOp::new(OpKind::FfnUp, m, h, cfg.ffn_dim, l),
         GemmOp::new(OpKind::FfnDown, m, cfg.ffn_dim, h, l),
     ];
-    Workload { name: format!("{model} seq {seq}"), model, batch, ops }
+    Workload {
+        name: format!("{model} seq {seq}"),
+        model,
+        batch,
+        ops,
+    }
 }
 
 /// Builds the generation workload: prefill over `prompt_len` tokens, then
@@ -103,7 +116,11 @@ pub fn generation_workload(
     gen_len: usize,
 ) -> Workload {
     let cfg = model.config();
-    assert_ne!(cfg.arch, Arch::Encoder, "generation workload requires a decoder model");
+    assert_ne!(
+        cfg.arch,
+        Arch::Encoder,
+        "generation workload requires a decoder model"
+    );
     assert!(gen_len > 0, "generation length must be positive");
     let l = cfg.layers as u64;
     let h = cfg.hidden;
@@ -115,39 +132,71 @@ pub fn generation_workload(
     let mut ops = Vec::new();
 
     // --- Prefill: all prompt tokens at once, per sequence in the batch.
+    // A one-token prompt is decode-shaped (one token per sequence, same
+    // per-token cost as a generation step), so it counts as decode: there
+    // is no prompt-crunching ahead of the first token and TTFT is zero.
+    let prefill = if prompt_len > 1 {
+        Phase::Prefill
+    } else {
+        Phase::Decode
+    };
     if prompt_len > 0 {
         let m = prompt_len * batch;
-        ops.push(GemmOp::new(OpKind::QkvProj, m, h, qkv_n, l));
-        ops.push(GemmOp::new(OpKind::AttnScore, prompt_len, d, prompt_len, l * heads * batch as u64));
-        ops.push(GemmOp::new(OpKind::AttnContext, prompt_len, prompt_len, d, l * heads * batch as u64));
-        ops.push(GemmOp::new(OpKind::OutProj, m, h, h, l));
+        ops.push(GemmOp::new(OpKind::QkvProj, m, h, qkv_n, l).in_phase(prefill));
+        ops.push(
+            GemmOp::new(
+                OpKind::AttnScore,
+                prompt_len,
+                d,
+                prompt_len,
+                l * heads * batch as u64,
+            )
+            .in_phase(prefill),
+        );
+        ops.push(
+            GemmOp::new(
+                OpKind::AttnContext,
+                prompt_len,
+                prompt_len,
+                d,
+                l * heads * batch as u64,
+            )
+            .in_phase(prefill),
+        );
+        ops.push(GemmOp::new(OpKind::OutProj, m, h, h, l).in_phase(prefill));
         if gated {
-            ops.push(GemmOp::new(OpKind::FfnGate, m, h, cfg.ffn_dim, l));
+            ops.push(GemmOp::new(OpKind::FfnGate, m, h, cfg.ffn_dim, l).in_phase(prefill));
         }
-        ops.push(GemmOp::new(OpKind::FfnUp, m, h, cfg.ffn_dim, l));
-        ops.push(GemmOp::new(OpKind::FfnDown, m, cfg.ffn_dim, h, l));
+        ops.push(GemmOp::new(OpKind::FfnUp, m, h, cfg.ffn_dim, l).in_phase(prefill));
+        ops.push(GemmOp::new(OpKind::FfnDown, m, cfg.ffn_dim, h, l).in_phase(prefill));
     }
 
     // --- Decode: one token per sequence per step; projections batch the
     // whole continuous batch into M = batch rows.
     let steps = gen_len as u64;
-    ops.push(GemmOp::new(OpKind::QkvProj, batch, h, qkv_n, l * steps));
-    ops.push(GemmOp::new(OpKind::OutProj, batch, h, h, l * steps));
+    let dec = Phase::Decode;
+    ops.push(GemmOp::new(OpKind::QkvProj, batch, h, qkv_n, l * steps).in_phase(dec));
+    ops.push(GemmOp::new(OpKind::OutProj, batch, h, h, l * steps).in_phase(dec));
     if gated {
-        ops.push(GemmOp::new(OpKind::FfnGate, batch, h, cfg.ffn_dim, l * steps));
+        ops.push(GemmOp::new(OpKind::FfnGate, batch, h, cfg.ffn_dim, l * steps).in_phase(dec));
     }
-    ops.push(GemmOp::new(OpKind::FfnUp, batch, h, cfg.ffn_dim, l * steps));
-    ops.push(GemmOp::new(OpKind::FfnDown, batch, cfg.ffn_dim, h, l * steps));
+    ops.push(GemmOp::new(OpKind::FfnUp, batch, h, cfg.ffn_dim, l * steps).in_phase(dec));
+    ops.push(GemmOp::new(OpKind::FfnDown, batch, cfg.ffn_dim, h, l * steps).in_phase(dec));
 
     // --- Decode attention against the growing KV cache, bucketed by
     // power-of-two cache length so shapes stay representative.
     for (kv_len, bucket_steps) in kv_length_buckets(prompt_len, gen_len) {
         let reps = l * heads * batch as u64 * bucket_steps;
-        ops.push(GemmOp::new(OpKind::AttnScore, 1, d, kv_len, reps));
-        ops.push(GemmOp::new(OpKind::AttnContext, 1, kv_len, d, reps));
+        ops.push(GemmOp::new(OpKind::AttnScore, 1, d, kv_len, reps).in_phase(dec));
+        ops.push(GemmOp::new(OpKind::AttnContext, 1, kv_len, d, reps).in_phase(dec));
     }
 
-    Workload { name: format!("{model} gen {gen_len}"), model, batch, ops }
+    Workload {
+        name: format!("{model} gen {gen_len}"),
+        model,
+        batch,
+        ops,
+    }
 }
 
 /// [`generation_workload`] with **exact per-step attention shapes** — one
@@ -170,17 +219,106 @@ pub fn generation_workload_exact(
     let l = cfg.layers as u64;
     let heads = cfg.heads as u64;
     let d = cfg.head_dim();
-    w.ops.retain(|o| {
-        !(o.m == 1 && matches!(o.kind, OpKind::AttnScore | OpKind::AttnContext))
-    });
+    w.ops
+        .retain(|o| !(o.m == 1 && matches!(o.kind, OpKind::AttnScore | OpKind::AttnContext)));
     for s in 0..gen_len {
         let kv_len = prompt_len + s + 1;
         let reps = l * heads * batch as u64;
-        w.ops.push(GemmOp::new(OpKind::AttnScore, 1, d, kv_len, reps));
-        w.ops.push(GemmOp::new(OpKind::AttnContext, 1, kv_len, d, reps));
+        w.ops
+            .push(GemmOp::new(OpKind::AttnScore, 1, d, kv_len, reps).in_phase(Phase::Decode));
+        w.ops
+            .push(GemmOp::new(OpKind::AttnContext, 1, kv_len, d, reps).in_phase(Phase::Decode));
     }
     w.name = format!("{model} gen {gen_len} (exact)");
     w
+}
+
+/// Builds the prefill pass alone: prompt processing for `batch` concurrent
+/// sequences, `prompt_len` tokens each — one admission iteration of a
+/// continuous-batching scheduler. All ops are tagged [`Phase::Prefill`]
+/// (a `prompt_len ≤ 1` prompt is decode-shaped and yields an empty
+/// workload; see [`generation_workload`]).
+///
+/// # Panics
+///
+/// Panics if called for an encoder model.
+pub fn prefill_workload(model: ModelId, batch: usize, prompt_len: usize) -> Workload {
+    let cfg = model.config();
+    assert_ne!(
+        cfg.arch,
+        Arch::Encoder,
+        "generation workload requires a decoder model"
+    );
+    let mut ops = Vec::new();
+    if prompt_len > 1 {
+        let l = cfg.layers as u64;
+        let h = cfg.hidden;
+        let heads = cfg.heads as u64;
+        let d = cfg.head_dim();
+        let qkv_n = h + 2 * cfg.kv_dim();
+        let m = prompt_len * batch;
+        let reps = l * heads * batch as u64;
+        let p = Phase::Prefill;
+        ops.push(GemmOp::new(OpKind::QkvProj, m, h, qkv_n, l).in_phase(p));
+        ops.push(GemmOp::new(OpKind::AttnScore, prompt_len, d, prompt_len, reps).in_phase(p));
+        ops.push(GemmOp::new(OpKind::AttnContext, prompt_len, prompt_len, d, reps).in_phase(p));
+        ops.push(GemmOp::new(OpKind::OutProj, m, h, h, l).in_phase(p));
+        if cfg.arch == Arch::GatedDecoder {
+            ops.push(GemmOp::new(OpKind::FfnGate, m, h, cfg.ffn_dim, l).in_phase(p));
+        }
+        ops.push(GemmOp::new(OpKind::FfnUp, m, h, cfg.ffn_dim, l).in_phase(p));
+        ops.push(GemmOp::new(OpKind::FfnDown, m, cfg.ffn_dim, h, l).in_phase(p));
+    }
+    Workload {
+        name: format!("{model} prefill {prompt_len}"),
+        model,
+        batch,
+        ops,
+    }
+}
+
+/// Builds one decode iteration: every sequence of the batch generates one
+/// token, attending over a `kv_len`-entry cache — the unit of work a
+/// continuous-batching scheduler prices per step. All ops are tagged
+/// [`Phase::Decode`].
+///
+/// # Panics
+///
+/// Panics if called for an encoder model or with `batch == 0` or
+/// `kv_len == 0`.
+pub fn decode_step_workload(model: ModelId, batch: usize, kv_len: usize) -> Workload {
+    let cfg = model.config();
+    assert_ne!(
+        cfg.arch,
+        Arch::Encoder,
+        "generation workload requires a decoder model"
+    );
+    assert!(batch > 0, "batch must be positive");
+    assert!(kv_len > 0, "kv length must be positive");
+    let l = cfg.layers as u64;
+    let h = cfg.hidden;
+    let heads = cfg.heads as u64;
+    let d = cfg.head_dim();
+    let qkv_n = h + 2 * cfg.kv_dim();
+    let dec = Phase::Decode;
+    let mut ops = vec![
+        GemmOp::new(OpKind::QkvProj, batch, h, qkv_n, l).in_phase(dec),
+        GemmOp::new(OpKind::OutProj, batch, h, h, l).in_phase(dec),
+    ];
+    if cfg.arch == Arch::GatedDecoder {
+        ops.push(GemmOp::new(OpKind::FfnGate, batch, h, cfg.ffn_dim, l).in_phase(dec));
+    }
+    ops.push(GemmOp::new(OpKind::FfnUp, batch, h, cfg.ffn_dim, l).in_phase(dec));
+    ops.push(GemmOp::new(OpKind::FfnDown, batch, cfg.ffn_dim, h, l).in_phase(dec));
+    let reps = l * heads * batch as u64;
+    ops.push(GemmOp::new(OpKind::AttnScore, 1, d, kv_len, reps).in_phase(dec));
+    ops.push(GemmOp::new(OpKind::AttnContext, 1, kv_len, d, reps).in_phase(dec));
+    Workload {
+        name: format!("{model} decode step kv {kv_len}"),
+        model,
+        batch,
+        ops,
+    }
 }
 
 /// Buckets the decode steps by KV-cache length: step `s` (0-based) attends
@@ -314,8 +452,11 @@ mod tests {
     #[test]
     fn exact_workload_has_one_op_pair_per_step() {
         let w = generation_workload_exact(ModelId::Gpt2Base, 4, 16, 50);
-        let decode_attn =
-            w.ops.iter().filter(|o| o.m == 1 && o.class() == OpClass::Attention).count();
+        let decode_attn = w
+            .ops
+            .iter()
+            .filter(|o| o.m == 1 && o.class() == OpClass::Attention)
+            .count();
         assert_eq!(decode_attn, 100);
     }
 
@@ -324,9 +465,15 @@ mod tests {
         // Prefill and decode share weights; the unique count must equal the
         // model's block parameter count exactly.
         let w = generation_workload(ModelId::Llama2_7b, 32, 128, 256);
-        assert_eq!(w.unique_weight_elements(), ModelId::Llama2_7b.config().block_params());
+        assert_eq!(
+            w.unique_weight_elements(),
+            ModelId::Llama2_7b.config().block_params()
+        );
         let we = encoder_workload(ModelId::BertBase, 512, 1);
-        assert_eq!(we.unique_weight_elements(), ModelId::BertBase.config().block_params());
+        assert_eq!(
+            we.unique_weight_elements(),
+            ModelId::BertBase.config().block_params()
+        );
     }
 
     #[test]
@@ -334,5 +481,66 @@ mod tests {
         let w = generation_workload(ModelId::Gpt2Base, 4, 0, 16);
         assert!(w.total_macs() > 0);
         assert!(!w.ops.iter().any(|o| o.m == 0));
+    }
+
+    #[test]
+    fn generation_ops_carry_phase_tags() {
+        let w = generation_workload(ModelId::Gpt2Base, 32, 128, 64);
+        assert!(w.ops.iter().all(|o| o.phase != Phase::Single));
+        assert!(w.ops.iter().any(|o| o.phase == Phase::Prefill));
+        assert!(w.ops.iter().any(|o| o.phase == Phase::Decode));
+        // Prefill attention runs over the prompt even when the prompt is
+        // shorter than the batch (the shape heuristic `m > batch` missed
+        // this case).
+        let prefill_attn = w
+            .ops
+            .iter()
+            .find(|o| o.phase == Phase::Prefill && o.kind == OpKind::AttnScore)
+            .unwrap();
+        assert_eq!(prefill_attn.m, 128);
+    }
+
+    #[test]
+    fn one_token_prompt_is_decode_only() {
+        // A 1-token prompt is decode-shaped: no prompt crunching precedes
+        // the first generated token, so everything is decode phase.
+        for batch in [1usize, 32] {
+            let w = generation_workload(ModelId::Gpt2Base, batch, 1, 16);
+            assert!(w.ops.iter().all(|o| o.phase == Phase::Decode), "{batch}");
+        }
+        let w0 = generation_workload(ModelId::Gpt2Base, 4, 0, 16);
+        assert!(w0.ops.iter().all(|o| o.phase == Phase::Decode));
+    }
+
+    #[test]
+    fn encoder_ops_are_single_phase() {
+        let w = encoder_workload(ModelId::BertBase, 512, 1);
+        assert!(w.ops.iter().all(|o| o.phase == Phase::Single));
+    }
+
+    #[test]
+    fn iteration_builders_recompose_the_full_generation() {
+        // Prefill + per-step decode iterations must cover exactly the MACs
+        // of the exact generation workload — the scheduler's unit costs
+        // tile the whole run.
+        let (model, batch, prompt, gen) = (ModelId::Llama2_7b, 8usize, 64usize, 16usize);
+        let full = generation_workload_exact(model, batch, prompt, gen);
+        let mut macs = prefill_workload(model, batch, prompt).total_macs();
+        for s in 0..gen {
+            macs += decode_step_workload(model, batch, prompt + s + 1).total_macs();
+        }
+        assert_eq!(macs, full.total_macs());
+    }
+
+    #[test]
+    fn iteration_builders_tag_phases() {
+        let p = prefill_workload(ModelId::Gpt2Base, 4, 32);
+        assert!(!p.ops.is_empty());
+        assert!(p.ops.iter().all(|o| o.phase == Phase::Prefill));
+        let d = decode_step_workload(ModelId::Gpt2Base, 4, 33);
+        assert!(d.ops.iter().all(|o| o.phase == Phase::Decode));
+        // Decode-shaped prompts produce no prefill work.
+        assert!(prefill_workload(ModelId::Gpt2Base, 4, 1).ops.is_empty());
+        assert!(prefill_workload(ModelId::Gpt2Base, 4, 0).ops.is_empty());
     }
 }

@@ -1,0 +1,170 @@
+//! Percentile roll-ups of per-request latency records.
+//!
+//! Percentiles use the **nearest-rank** definition on a sorted sample
+//! (`p(q) = x[⌈q·n⌉ − 1]`): exact, monotone in `q`, and trivially matched
+//! by an independent sort-based oracle in the property tests.
+
+use crate::scheduler::SimOutcome;
+use serde::Serialize;
+
+/// p50/p95/p99 of one latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes the three ranks from unsorted values (0s when empty).
+    pub fn of(values: &[f64]) -> Percentiles {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Percentiles {
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample;
+/// `q` is clamped to `(0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// The serving figure-of-merit roll-up for one run at one offered load.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServingSummary {
+    /// Design-point name.
+    pub design: String,
+    /// Offered load, requests per second.
+    pub offered_rps: f64,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests rejected by admission backpressure.
+    pub rejected: usize,
+    /// `rejected / requests`.
+    pub rejection_rate: f64,
+    /// Completed requests per second of serving time (arrival of the first
+    /// request to completion of the last) — the throughput the operator
+    /// actually banks.
+    pub goodput_rps: f64,
+    /// Generated tokens per second over the same window.
+    pub output_tokens_per_s: f64,
+    /// Time-to-first-token percentiles, milliseconds.
+    pub ttft_ms: Percentiles,
+    /// Time-per-output-token percentiles, milliseconds.
+    pub tpot_ms: Percentiles,
+    /// End-to-end latency percentiles, milliseconds.
+    pub e2e_ms: Percentiles,
+}
+
+/// Rolls one simulation outcome up into a summary.
+pub fn summarize(design: &str, offered_rps: f64, outcome: &SimOutcome) -> ServingSummary {
+    let requests = outcome.completed.len() + outcome.rejected.len();
+    let ms = |v: Vec<f64>| Percentiles::of(&v.iter().map(|s| s * 1e3).collect::<Vec<_>>());
+    let span = outcome
+        .completed
+        .iter()
+        .map(|c| c.finished_s)
+        .fold(0.0f64, f64::max)
+        - outcome
+            .completed
+            .iter()
+            .map(|c| c.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+    let span = if span.is_finite() && span > 0.0 {
+        span
+    } else {
+        f64::INFINITY // zero/undefined window ⇒ zero rates below
+    };
+    let tokens: usize = outcome.completed.iter().map(|c| c.gen_len).sum();
+    ServingSummary {
+        design: design.to_string(),
+        offered_rps,
+        requests,
+        completed: outcome.completed.len(),
+        rejected: outcome.rejected.len(),
+        rejection_rate: if requests == 0 {
+            0.0
+        } else {
+            outcome.rejected.len() as f64 / requests as f64
+        },
+        goodput_rps: outcome.completed.len() as f64 / span,
+        output_tokens_per_s: tokens as f64 / span,
+        ttft_ms: ms(outcome.completed.iter().map(|c| c.ttft_s()).collect()),
+        tpot_ms: ms(outcome.completed.iter().map(|c| c.tpot_s()).collect()),
+        e2e_ms: ms(outcome.completed.iter().map(|c| c.e2e_s()).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{CompletedRequest, SimStats};
+
+    #[test]
+    fn nearest_rank_on_known_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&v, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&v, 0.95), 95.0);
+        assert_eq!(percentile_sorted(&v, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 100.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_are_zero() {
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let completed = vec![
+            CompletedRequest {
+                id: 0,
+                prompt_len: 8,
+                gen_len: 10,
+                arrival_s: 0.0,
+                admitted_s: 0.0,
+                first_token_s: 0.5,
+                finished_s: 1.0,
+            },
+            CompletedRequest {
+                id: 1,
+                prompt_len: 8,
+                gen_len: 10,
+                arrival_s: 1.0,
+                admitted_s: 1.0,
+                first_token_s: 1.5,
+                finished_s: 2.0,
+            },
+        ];
+        let out = SimOutcome {
+            completed,
+            rejected: vec![2, 3],
+            stats: SimStats::default(),
+        };
+        let s = summarize("owlp", 4.0, &out);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rejection_rate, 0.5);
+        // 2 requests over the [0, 2] s window.
+        assert!((s.goodput_rps - 1.0).abs() < 1e-12);
+        assert!((s.output_tokens_per_s - 10.0).abs() < 1e-12);
+        assert_eq!(s.ttft_ms.p50, 500.0);
+    }
+}

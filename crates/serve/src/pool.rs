@@ -1,0 +1,179 @@
+//! Multi-worker array pool: fan a trace out across OS threads.
+//!
+//! Models a deployment of several independent accelerator array groups
+//! behind one front door. Requests are dispatched **round-robin in trace
+//! order** — a deterministic policy, so the sharding (and therefore every
+//! latency number) depends only on the trace, never on thread timing. Each
+//! worker thread runs the full continuous-batching scheduler on its shard
+//! (`crossbeam` scoped threads + channels; the shared [`CostModel`] is
+//! `Sync` via its `parking_lot` caches) and ships its outcome back over a
+//! channel; outcomes merge by request id into one pool-level result that is
+//! bit-identical to a sequential run of the same shards.
+
+use crate::cost::CostModel;
+use crate::request::Request;
+use crate::scheduler::{self, SchedulerConfig, SimOutcome, SimStats};
+use serde::Serialize;
+
+/// Pool shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PoolConfig {
+    /// Worker (array-group) count; clamped to at least 1.
+    pub workers: usize,
+    /// Per-worker scheduler knobs.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Splits a trace round-robin in trace order.
+fn shard(trace: &[Request], workers: usize) -> Vec<Vec<Request>> {
+    let mut shards = vec![Vec::with_capacity(trace.len() / workers + 1); workers];
+    for (i, r) in trace.iter().enumerate() {
+        shards[i % workers].push(*r);
+    }
+    shards
+}
+
+/// Simulates the trace across the pool's workers on real OS threads and
+/// merges the per-worker outcomes deterministically.
+pub fn simulate_pool(cost: &CostModel, cfg: &PoolConfig, trace: &[Request]) -> SimOutcome {
+    let workers = cfg.workers.max(1);
+    let shards = shard(trace, workers);
+    let (tx, rx) = crossbeam::channel::unbounded::<SimOutcome>();
+    crossbeam::thread::scope(|s| {
+        for sh in &shards {
+            let tx = tx.clone();
+            let scfg = cfg.scheduler;
+            s.spawn(move || {
+                let out = scheduler::simulate(cost, &scfg, sh);
+                tx.send(out).expect("pool collector alive");
+            });
+        }
+        drop(tx);
+        let outcomes: Vec<SimOutcome> = rx.iter().collect();
+        merge(outcomes)
+    })
+    .expect("pool workers do not panic")
+}
+
+/// Merges worker outcomes into one pool-level outcome (order-insensitive).
+fn merge(outcomes: Vec<SimOutcome>) -> SimOutcome {
+    let mut completed = Vec::new();
+    let mut rejected = Vec::new();
+    let mut stats = SimStats::default();
+    for o in outcomes {
+        completed.extend(o.completed);
+        rejected.extend(o.rejected);
+        stats.iterations += o.stats.iterations;
+        stats.peak_batch = stats.peak_batch.max(o.stats.peak_batch);
+        stats.peak_queue = stats.peak_queue.max(o.stats.peak_queue);
+        stats.end_s = stats.end_s.max(o.stats.end_s);
+    }
+    completed.sort_by_key(|c| c.id);
+    rejected.sort_unstable();
+    SimOutcome {
+        completed,
+        rejected,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ArrivalProcess, LengthDistribution, TraceSpec};
+    use owlp_core::Accelerator;
+    use owlp_model::{Dataset, ModelId};
+
+    fn cost() -> CostModel {
+        CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2)
+    }
+
+    fn trace(requests: usize) -> Vec<Request> {
+        TraceSpec {
+            arrivals: ArrivalProcess::Poisson { rate_rps: 40.0 },
+            prompt: LengthDistribution::Uniform { lo: 16, hi: 96 },
+            gen: LengthDistribution::Uniform { lo: 4, hi: 24 },
+            requests,
+            seed: 0x0DD5_EED5,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn sharding_is_round_robin_and_total() {
+        let t = trace(10);
+        let shards = shard(&t, 3);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(shards[0].len(), 4);
+        assert_eq!(shards[1][0].id, 1);
+        assert_eq!(shards[2][1].id, 5);
+    }
+
+    #[test]
+    fn pool_runs_are_reproducible_across_thread_schedules() {
+        let cm = cost();
+        let cfg = PoolConfig {
+            workers: 4,
+            scheduler: SchedulerConfig::default(),
+        };
+        let t = trace(160);
+        let a = simulate_pool(&cm, &cfg, &t);
+        let b = simulate_pool(&cm, &cfg, &t);
+        assert_eq!(a, b);
+        assert_eq!(a.completed.len() + a.rejected.len(), t.len());
+    }
+
+    #[test]
+    fn pool_matches_sequential_shard_runs() {
+        let cm = cost();
+        let cfg = PoolConfig {
+            workers: 3,
+            scheduler: SchedulerConfig::default(),
+        };
+        let t = trace(90);
+        let threaded = simulate_pool(&cm, &cfg, &t);
+        let sequential = merge(
+            shard(&t, 3)
+                .iter()
+                .map(|sh| scheduler::simulate(&cm, &cfg.scheduler, sh))
+                .collect(),
+        );
+        assert_eq!(threaded, sequential);
+    }
+
+    #[test]
+    fn more_workers_serve_heavy_load_sooner() {
+        let cm = cost();
+        let t = TraceSpec {
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps: 5_000.0,
+                burst: 16,
+            },
+            prompt: LengthDistribution::Fixed(64),
+            gen: LengthDistribution::Fixed(16),
+            requests: 256,
+            seed: 1,
+        }
+        .generate();
+        let end = |workers: usize| {
+            let cfg = PoolConfig {
+                workers,
+                scheduler: SchedulerConfig {
+                    max_batch: 8,
+                    queue_capacity: 512,
+                },
+            };
+            simulate_pool(&cm, &cfg, &t).stats.end_s
+        };
+        assert!(end(4) < end(1));
+    }
+}

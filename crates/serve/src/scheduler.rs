@@ -1,0 +1,295 @@
+//! Continuous-batching scheduler: a discrete-event serving simulation.
+//!
+//! The scheduler advances a virtual clock in iteration-level steps (per
+//! Orca): each loop turn ingests arrivals into a **bounded admission
+//! queue** (overflow is rejected — the backpressure policy), admits queued
+//! requests FIFO into free slots of the running batch, charges their
+//! prefill, then runs one decode iteration for the whole running batch.
+//! Sequences leave as soon as their generation finishes, freeing slots for
+//! the next admission — the batch re-forms every iteration rather than
+//! draining.
+//!
+//! Token accounting: prefill primes the KV cache; decode step `s` emits
+//! output token `s+1`. TTFT is therefore queue wait + prefill + the first
+//! decode step, and TPOT averages the remaining `gen_len − 1` steps.
+//!
+//! The simulation is a pure function of the trace and config — no wall
+//! clock, no OS randomness — which is what lets the multi-worker pool
+//! (see [`crate::pool`]) reproduce metrics bit-for-bit from a seed.
+
+use crate::cost::CostModel;
+use crate::request::Request;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SchedulerConfig {
+    /// Array capacity: concurrent sequences per iteration batch.
+    pub max_batch: usize,
+    /// Admission-queue bound; arrivals beyond it are rejected (clamped to
+    /// at least 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 32,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Per-request latency record of a served request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CompletedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Prompt tokens.
+    pub prompt_len: usize,
+    /// Generated tokens.
+    pub gen_len: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// When the scheduler admitted it out of the queue.
+    pub admitted_s: f64,
+    /// When its first output token appeared.
+    pub first_token_s: f64,
+    /// When its last output token appeared.
+    pub finished_s: f64,
+}
+
+impl CompletedRequest {
+    /// Time to first token (queue wait + prefill + first decode step).
+    pub fn ttft_s(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Mean time per output token after the first (0 for one-token
+    /// generations, which have no inter-token gaps).
+    pub fn tpot_s(&self) -> f64 {
+        if self.gen_len <= 1 {
+            0.0
+        } else {
+            (self.finished_s - self.first_token_s) / (self.gen_len - 1) as f64
+        }
+    }
+
+    /// End-to-end latency.
+    pub fn e2e_s(&self) -> f64 {
+        self.finished_s - self.arrival_s
+    }
+}
+
+/// Aggregate counters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct SimStats {
+    /// Decode iterations executed.
+    pub iterations: u64,
+    /// Largest iteration batch formed (≤ `max_batch` by construction).
+    pub peak_batch: usize,
+    /// Deepest the admission queue got.
+    pub peak_queue: usize,
+    /// Final virtual-clock value, seconds.
+    pub end_s: f64,
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimOutcome {
+    /// Served requests, sorted by id.
+    pub completed: Vec<CompletedRequest>,
+    /// Rejected request ids (admission-queue overflow), sorted.
+    pub rejected: Vec<u64>,
+    /// Run counters.
+    pub stats: SimStats,
+}
+
+struct Running {
+    req: Request,
+    produced: usize,
+    first_token_s: Option<f64>,
+    admitted_s: f64,
+}
+
+/// Simulates serving `trace` through one array group.
+///
+/// The trace must be sorted by arrival time (as produced by
+/// [`crate::request::TraceSpec::generate`] or validated by
+/// [`crate::trace::Trace::from_json`]); requests with `gen_len == 0` are
+/// treated as one-token generations.
+pub fn simulate(cost: &CostModel, cfg: &SchedulerConfig, trace: &[Request]) -> SimOutcome {
+    let max_batch = cfg.max_batch.max(1);
+    let queue_capacity = cfg.queue_capacity.max(1);
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut completed: Vec<CompletedRequest> = Vec::new();
+    let mut rejected: Vec<u64> = Vec::new();
+    let mut stats = SimStats::default();
+
+    loop {
+        // Ingest every arrival up to the current clock; the bounded queue
+        // is the backpressure point.
+        while next < trace.len() && trace[next].arrival_s <= clock {
+            if queue.len() < queue_capacity {
+                queue.push_back(trace[next]);
+            } else {
+                rejected.push(trace[next].id);
+            }
+            next += 1;
+        }
+        stats.peak_queue = stats.peak_queue.max(queue.len());
+
+        if running.is_empty() && queue.is_empty() {
+            match trace.get(next) {
+                // Idle: jump straight to the next arrival.
+                Some(r) => {
+                    clock = r.arrival_s;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Admit FIFO into free slots and charge their prefill.
+        while running.len() < max_batch {
+            let Some(req) = queue.pop_front() else { break };
+            let admitted_s = clock;
+            clock += cost.prefill_seconds(req.prompt_len);
+            running.push(Running {
+                req,
+                produced: 0,
+                first_token_s: None,
+                admitted_s,
+            });
+        }
+
+        // One decode iteration across the running batch.
+        let kv_lens: Vec<usize> = running
+            .iter()
+            .map(|r| r.req.prompt_len + r.produced + 1)
+            .collect();
+        clock += cost.decode_step_seconds(&kv_lens);
+        stats.iterations += 1;
+        stats.peak_batch = stats.peak_batch.max(running.len());
+
+        let mut i = 0;
+        while i < running.len() {
+            let r = &mut running[i];
+            r.produced += 1;
+            r.first_token_s.get_or_insert(clock);
+            if r.produced >= r.req.gen_len.max(1) {
+                let r = running.remove(i);
+                completed.push(CompletedRequest {
+                    id: r.req.id,
+                    prompt_len: r.req.prompt_len,
+                    gen_len: r.req.gen_len.max(1),
+                    arrival_s: r.req.arrival_s,
+                    admitted_s: r.admitted_s,
+                    first_token_s: r.first_token_s.unwrap_or(clock),
+                    finished_s: clock,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    stats.end_s = clock;
+    completed.sort_by_key(|c| c.id);
+    rejected.sort_unstable();
+    SimOutcome {
+        completed,
+        rejected,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ArrivalProcess, LengthDistribution, TraceSpec};
+    use owlp_core::Accelerator;
+    use owlp_model::{Dataset, ModelId};
+
+    fn cost() -> CostModel {
+        CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2)
+    }
+
+    fn trace(rate_rps: f64, requests: usize) -> Vec<Request> {
+        TraceSpec {
+            arrivals: ArrivalProcess::Poisson { rate_rps },
+            prompt: LengthDistribution::Uniform { lo: 16, hi: 64 },
+            gen: LengthDistribution::Uniform { lo: 4, hi: 32 },
+            requests,
+            seed: 0x0DD5_EED5,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn every_request_is_accounted_for() {
+        let cm = cost();
+        let t = trace(50.0, 200);
+        let out = simulate(&cm, &SchedulerConfig::default(), &t);
+        assert_eq!(out.completed.len() + out.rejected.len(), t.len());
+        assert!(out.stats.peak_batch <= 32);
+    }
+
+    #[test]
+    fn latencies_are_causally_ordered() {
+        let cm = cost();
+        let out = simulate(&cm, &SchedulerConfig::default(), &trace(20.0, 100));
+        for c in &out.completed {
+            assert!(c.admitted_s >= c.arrival_s, "req {}", c.id);
+            assert!(c.first_token_s > c.admitted_s, "req {}", c.id);
+            assert!(c.finished_s >= c.first_token_s, "req {}", c.id);
+            assert!(c.ttft_s() > 0.0);
+            assert!(c.tpot_s() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cm = cost();
+        let t = trace(30.0, 150);
+        let a = simulate(&cm, &SchedulerConfig::default(), &t);
+        let b = simulate(&cm, &SchedulerConfig::default(), &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overload_rejects_but_underload_does_not() {
+        let cm = cost();
+        let cfg = SchedulerConfig {
+            max_batch: 4,
+            queue_capacity: 4,
+        };
+        let calm = simulate(&cm, &cfg, &trace(5.0, 100));
+        assert!(calm.rejected.is_empty(), "{:?}", calm.rejected.len());
+        let slam = simulate(&cm, &cfg, &trace(100_000.0, 400));
+        assert!(!slam.rejected.is_empty());
+        assert_eq!(slam.completed.len() + slam.rejected.len(), 400);
+    }
+
+    #[test]
+    fn queue_wait_grows_with_load() {
+        let cm = cost();
+        let cfg = SchedulerConfig {
+            max_batch: 8,
+            queue_capacity: 512,
+        };
+        let wait = |rate: f64| {
+            let out = simulate(&cm, &cfg, &trace(rate, 120));
+            out.completed
+                .iter()
+                .map(|c| c.admitted_s - c.arrival_s)
+                .sum::<f64>()
+                / out.completed.len() as f64
+        };
+        assert!(wait(2_000.0) > 2.0 * wait(2.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Replayable JSON traces.
+//!
+//! A trace file is a JSON object with a format version and the request
+//! list, so measured arrival logs (or traces generated once from a
+//! [`TraceSpec`](crate::request::TraceSpec)) can be replayed bit-identically
+//! across runs and machines.
+
+use crate::request::Request;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Current trace-format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// A replayable request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Format version (see [`TRACE_VERSION`]).
+    pub version: u32,
+    /// Requests, sorted by arrival time.
+    pub requests: Vec<Request>,
+}
+
+/// Why a trace failed to load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The JSON text did not parse or did not match the schema.
+    Malformed(String),
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+    /// Requests are not sorted by arrival time, or lengths are invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed(e) => write!(f, "malformed trace JSON: {e}"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Wraps a request list in the current format.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Trace {
+            version: TRACE_VERSION,
+            requests,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("traces serialize infallibly")
+    }
+
+    /// Parses and validates a JSON trace.
+    pub fn from_json(text: &str) -> Result<Trace, TraceError> {
+        let trace: Trace =
+            serde_json::from_str(text).map_err(|e| TraceError::Malformed(e.to_string()))?;
+        if trace.version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(trace.version));
+        }
+        for w in trace.requests.windows(2) {
+            if w[0].arrival_s > w[1].arrival_s {
+                return Err(TraceError::Invalid(format!(
+                    "request {} arrives after request {}",
+                    w[0].id, w[1].id
+                )));
+            }
+        }
+        for r in &trace.requests {
+            if r.gen_len == 0 {
+                return Err(TraceError::Invalid(format!(
+                    "request {} generates zero tokens",
+                    r.id
+                )));
+            }
+            if !r.arrival_s.is_finite() || r.arrival_s < 0.0 {
+                return Err(TraceError::Invalid(format!(
+                    "request {} has arrival {}",
+                    r.id, r.arrival_s
+                )));
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ArrivalProcess, LengthDistribution, TraceSpec};
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            TraceSpec {
+                arrivals: ArrivalProcess::Poisson { rate_rps: 5.0 },
+                prompt: LengthDistribution::Fixed(32),
+                gen: LengthDistribution::Uniform { lo: 4, hi: 16 },
+                requests: 20,
+                seed: 11,
+            }
+            .generate(),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let t = sample_trace();
+        let json = t.to_json();
+        assert_eq!(Trace::from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        assert!(matches!(
+            Trace::from_json("not json"),
+            Err(TraceError::Malformed(_))
+        ));
+        let mut t = sample_trace();
+        t.version = 99;
+        assert!(matches!(
+            Trace::from_json(&t.to_json()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+        let mut t = sample_trace();
+        t.requests.swap(0, 5);
+        assert!(matches!(
+            Trace::from_json(&t.to_json()),
+            Err(TraceError::Invalid(_))
+        ));
+        let mut t = sample_trace();
+        t.requests[3].gen_len = 0;
+        assert!(matches!(
+            Trace::from_json(&t.to_json()),
+            Err(TraceError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the scheduler invariants and percentile math.
+
+use owlp_core::Accelerator;
+use owlp_model::{Dataset, ModelId};
+use owlp_serve::metrics::{percentile_sorted, Percentiles};
+use owlp_serve::request::{ArrivalProcess, LengthDistribution, TraceSpec};
+use owlp_serve::{scheduler, CostModel, SchedulerConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared cost model so the memoised shape tables amortise across
+/// cases (the invariants do not depend on the design point).
+fn cost() -> &'static CostModel {
+    static COST: OnceLock<CostModel> = OnceLock::new();
+    COST.get_or_init(|| CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2))
+}
+
+fn trace_spec() -> impl Strategy<Value = TraceSpec> {
+    (
+        any::<u64>(),
+        1u64..2_000,
+        1usize..40,
+        prop_oneof![
+            Just(ArrivalProcess::Poisson { rate_rps: 0.0 }),
+            Just(ArrivalProcess::Bursty {
+                rate_rps: 0.0,
+                burst: 4
+            }),
+        ],
+    )
+        .prop_map(|(seed, rate, requests, arrivals)| {
+            let arrivals = match arrivals {
+                ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson {
+                    rate_rps: rate as f64,
+                },
+                ArrivalProcess::Bursty { burst, .. } => ArrivalProcess::Bursty {
+                    rate_rps: rate as f64,
+                    burst,
+                },
+            };
+            TraceSpec {
+                arrivals,
+                prompt: LengthDistribution::Uniform { lo: 1, hi: 96 },
+                gen: LengthDistribution::Uniform { lo: 1, hi: 24 },
+                requests,
+                seed,
+            }
+        })
+}
+
+fn config() -> impl Strategy<Value = SchedulerConfig> {
+    (1usize..8, 1usize..16).prop_map(|(max_batch, queue_capacity)| SchedulerConfig {
+        max_batch,
+        queue_capacity,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No request starves: everything in the trace either completes or is
+    /// explicitly rejected, exactly once.
+    #[test]
+    fn no_request_starves(spec in trace_spec(), cfg in config()) {
+        let trace = spec.generate();
+        let out = scheduler::simulate(cost(), &cfg, &trace);
+        prop_assert_eq!(out.completed.len() + out.rejected.len(), trace.len());
+        let mut ids: Vec<u64> = out
+            .completed
+            .iter()
+            .map(|c| c.id)
+            .chain(out.rejected.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+    }
+
+    /// Iteration batches never exceed the array capacity, and per-request
+    /// timestamps stay causally ordered.
+    #[test]
+    fn batches_respect_capacity(spec in trace_spec(), cfg in config()) {
+        let trace = spec.generate();
+        let out = scheduler::simulate(cost(), &cfg, &trace);
+        prop_assert!(out.stats.peak_batch <= cfg.max_batch.max(1));
+        prop_assert!(out.stats.peak_queue <= cfg.queue_capacity.max(1));
+        for c in &out.completed {
+            prop_assert!(c.arrival_s <= c.admitted_s);
+            prop_assert!(c.admitted_s < c.first_token_s);
+            prop_assert!(c.first_token_s <= c.finished_s);
+        }
+    }
+
+    /// The simulation is a pure function of (trace, config).
+    #[test]
+    fn simulation_is_deterministic(spec in trace_spec(), cfg in config()) {
+        let trace = spec.generate();
+        let a = scheduler::simulate(cost(), &cfg, &trace);
+        let b = scheduler::simulate(cost(), &cfg, &trace);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Nearest-rank percentiles match a naive counting oracle: the p-th
+    /// percentile is the smallest sample value with at least ⌈q·n⌉ samples
+    /// at or below it.
+    #[test]
+    fn percentile_matches_counting_oracle(
+        values in prop::collection::vec(0.0f64..1_000.0, 1..120),
+        q_permille in 1u32..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = percentile_sorted(&sorted, q);
+        let need = (q * values.len() as f64).ceil().max(1.0) as usize;
+        let oracle = sorted
+            .iter()
+            .copied()
+            .find(|x| sorted.iter().filter(|v| *v <= x).count() >= need)
+            .unwrap();
+        prop_assert_eq!(got, oracle);
+        // And the three rolled-up ranks agree with direct evaluation.
+        let p = Percentiles::of(&values);
+        prop_assert_eq!(p.p50, percentile_sorted(&sorted, 0.50));
+        prop_assert_eq!(p.p99, percentile_sorted(&sorted, 0.99));
+    }
+}

@@ -88,7 +88,14 @@ pub fn cycles_with_overhead(
     let folds = (effective_n).div_ceil(cfg.cols as u64) * (k as u64).div_ceil(cfg.k_tile() as u64);
     let total = per_fold * folds;
     let total_parallel = per_fold * folds.div_ceil(cfg.num_arrays as u64);
-    CycleBreakdown { per_fold, folds, effective_m, effective_n, total, total_parallel }
+    CycleBreakdown {
+        per_fold,
+        folds,
+        effective_m,
+        effective_n,
+        total,
+        total_parallel,
+    }
 }
 
 /// Cycle count under an **output-stationary** dataflow, for comparison
@@ -108,8 +115,7 @@ pub fn cycles_os(cfg: &ArrayConfig, m: usize, k: usize, n: usize) -> u64 {
     if m == 0 || k == 0 || n == 0 {
         return 0;
     }
-    let per_tile =
-        (k as u64).div_ceil(cfg.lanes as u64) + (cfg.rows + cfg.cols) as u64 - 2;
+    let per_tile = (k as u64).div_ceil(cfg.lanes as u64) + (cfg.rows + cfg.cols) as u64 - 2;
     let tiles = (m as u64).div_ceil(cfg.rows as u64) * (n as u64).div_ceil(cfg.cols as u64);
     per_tile * tiles.div_ceil(cfg.num_arrays as u64)
 }
@@ -144,7 +150,10 @@ mod tests {
     #[test]
     fn eq4_reduces_to_eq3_without_overhead() {
         let cfg = ArrayConfig::OWLP_PAPER;
-        assert_eq!(cycles_eq4(&cfg, 100, 200, 300, 1.0, 1.0), cycles_eq3(&cfg, 100, 200, 300));
+        assert_eq!(
+            cycles_eq4(&cfg, 100, 200, 300, 1.0, 1.0),
+            cycles_eq3(&cfg, 100, 200, 300)
+        );
     }
 
     #[test]
@@ -220,7 +229,10 @@ mod tests {
         // pass — exactly the hardware the paper removes.
         let ws_prefill = cycles_eq3(&cfg, 4096, 4096, 12288);
         let os_prefill = cycles_os(&cfg, 4096, 4096, 12288);
-        assert!(ws_prefill <= os_prefill, "ws {ws_prefill} vs os {os_prefill}");
+        assert!(
+            ws_prefill <= os_prefill,
+            "ws {ws_prefill} vs os {os_prefill}"
+        );
         let ws_decode = cycles_eq3(&cfg, 32, 4096, 4096);
         let os_decode = cycles_os(&cfg, 32, 4096, 4096);
         assert!(os_decode < ws_decode, "os {os_decode} vs ws {ws_decode}");

@@ -146,7 +146,11 @@ fn check(cond: bool, what: &'static str, expected: usize, actual: usize) -> Resu
     if cond {
         Ok(())
     } else {
-        Err(ArithError::DimensionMismatch { what, expected, actual })
+        Err(ArithError::DimensionMismatch {
+            what,
+            expected,
+            actual,
+        })
     }
 }
 
@@ -285,7 +289,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..len)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (state >> 40) as f32 / (1u64 << 24) as f32;
                 let sign = if state & (1 << 13) == 0 { 1.0 } else { -1.0 };
                 let base = sign * (0.75 + u * 0.5);
@@ -325,7 +331,11 @@ mod tests {
         assert!(r.max_wavefront_occupancy <= cfg.total_outlier_paths());
         // Without scheduling the same tensors overflow the paths.
         let raw = simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n).unwrap();
-        assert!(!raw.conflict_free, "expected a conflict, got {}", raw.max_wavefront_occupancy);
+        assert!(
+            !raw.conflict_free,
+            "expected a conflict, got {}",
+            raw.max_wavefront_occupancy
+        );
         // Numerics are identical either way (the hazard is structural).
         assert_eq!(raw.outputs, r.outputs);
     }

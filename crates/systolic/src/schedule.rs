@@ -37,7 +37,12 @@ impl ScheduleStats {
         } else {
             (base_units + extra_units) as f64 / base_units as f64
         };
-        ScheduleStats { base_units, extra_units, ratio, max_outliers_per_unit: max_outliers }
+        ScheduleStats {
+            base_units,
+            extra_units,
+            ratio,
+            max_outliers_per_unit: max_outliers,
+        }
     }
 }
 
@@ -65,7 +70,11 @@ impl OutlierSchedule {
             act_paths > 0 || weight_paths > 0,
             "an outlier-aware schedule needs at least one outlier path"
         );
-        OutlierSchedule { k_tile, act_paths, weight_paths }
+        OutlierSchedule {
+            k_tile,
+            act_paths,
+            weight_paths,
+        }
     }
 
     /// `T_a`/`r_a` for an `m×k` activation outlier mask (row-major, `true`
@@ -84,10 +93,16 @@ impl OutlierSchedule {
             for t in 0..tiles {
                 let lo = t * self.k_tile;
                 let hi = (lo + self.k_tile).min(k);
-                let count = mask[row * k + lo..row * k + hi].iter().filter(|&&b| b).count();
+                let count = mask[row * k + lo..row * k + hi]
+                    .iter()
+                    .filter(|&&b| b)
+                    .count();
                 max_out = max_out.max(count);
                 if count > 0 {
-                    assert!(self.act_paths > 0, "activation outliers but no activation paths");
+                    assert!(
+                        self.act_paths > 0,
+                        "activation outliers but no activation paths"
+                    );
                     extra += (count.div_ceil(self.act_paths) - 1) as u64;
                 }
             }
@@ -174,7 +189,9 @@ mod tests {
     fn ops(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
         let w = ExponentWindow::owlp(base);
         let dec = BiasDecoder::new(base);
-        xs.iter().map(|&x| dec.decode_bf16(Bf16::from_f32(x), w)).collect()
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
     }
 
     #[test]
@@ -218,8 +235,11 @@ mod tests {
         // Each position is nonzero in exactly one sub-row and carries the
         // original operand there.
         for i in 0..8 {
-            let nonzero: Vec<&DecodedOperand> =
-                subs.iter().map(|s| &s[i]).filter(|o| !o.is_zero()).collect();
+            let nonzero: Vec<&DecodedOperand> = subs
+                .iter()
+                .map(|s| &s[i])
+                .filter(|o| !o.is_zero())
+                .collect();
             assert_eq!(nonzero.len(), 1, "position {i}");
             assert_eq!(*nonzero[0], row[i]);
         }

@@ -8,9 +8,9 @@
 
 use crate::config::ArrayConfig;
 use crate::schedule::OutlierSchedule;
-use owlp_format::{encode_tensor, Bf16};
 use owlp_arith::pe::{PeConfig, ProcessingElement};
 use owlp_arith::ArithError;
+use owlp_format::{encode_tensor, Bf16};
 use std::fmt::Write as _;
 
 /// One traced signal.
@@ -42,7 +42,11 @@ impl VcdTrace {
                 last: None,
             })
             .collect();
-        VcdTrace { signals, body: String::new(), time: 0 }
+        VcdTrace {
+            signals,
+            body: String::new(),
+            time: 0,
+        }
     }
 
     fn tick(&mut self, time: u64, values: &[u64]) {
@@ -99,10 +103,18 @@ pub fn trace_gemm(
     n: usize,
 ) -> Result<(String, u64), ArithError> {
     if a.len() != m * k {
-        return Err(ArithError::DimensionMismatch { what: "A", expected: m * k, actual: a.len() });
+        return Err(ArithError::DimensionMismatch {
+            what: "A",
+            expected: m * k,
+            actual: a.len(),
+        });
     }
     if b.len() != k * n {
-        return Err(ArithError::DimensionMismatch { what: "B", expected: k * n, actual: b.len() });
+        return Err(ArithError::DimensionMismatch {
+            what: "B",
+            expected: k * n,
+            actual: b.len(),
+        });
     }
     let mut vcd = VcdTrace::new(&[
         ("busy", 1),
@@ -200,11 +212,13 @@ mod tests {
         (0..len)
             .map(|i| {
                 let base = 1.0 + (i % 19) as f32 / 16.0;
-                Bf16::from_f32(if outlier_every > 0 && i % outlier_every == outlier_every - 1 {
-                    base * 1.0e15
-                } else {
-                    base
-                })
+                Bf16::from_f32(
+                    if outlier_every > 0 && i % outlier_every == outlier_every - 1 {
+                        base * 1.0e15
+                    } else {
+                        base
+                    },
+                )
             })
             .collect()
     }
@@ -228,7 +242,7 @@ mod tests {
     #[test]
     fn inserted_rows_are_marked() {
         let cfg = ArrayConfig::small(2, 2, 4); // k_tile 8, 2+2 paths
-        // 3 outliers in one row-tile → a split → zero_inserted pulses.
+                                               // 3 outliers in one row-tile → a split → zero_inserted pulses.
         let mut xs = [1.0f32; 2 * 8];
         xs[1] = 1e20;
         xs[3] = 2e20;
@@ -237,7 +251,10 @@ mod tests {
         let b = synth(8 * 2, 0);
         let (vcd, _) = trace_gemm(&cfg, &a, &b, 2, 8, 2).unwrap();
         // The zero_inserted signal (id '$') must go high somewhere.
-        assert!(vcd.contains("1$"), "no inserted-row marker in trace:\n{vcd}");
+        assert!(
+            vcd.contains("1$"),
+            "no inserted-row marker in trace:\n{vcd}"
+        );
     }
 
     #[test]

@@ -23,10 +23,18 @@ pub struct ByteCosts {
 
 impl ByteCosts {
     /// Raw BF16 operands, FP32 outputs (the baseline).
-    pub const BF16: ByteCosts = ByteCosts { activation: 2.0, weight: 2.0, output: 4.0 };
+    pub const BF16: ByteCosts = ByteCosts {
+        activation: 2.0,
+        weight: 2.0,
+        output: 4.0,
+    };
 
     /// OwL-P packed operands (≈ 11.5 bits/value), FP32 outputs.
-    pub const OWLP: ByteCosts = ByteCosts { activation: 1.47, weight: 1.45, output: 4.0 };
+    pub const OWLP: ByteCosts = ByteCosts {
+        activation: 1.47,
+        weight: 1.45,
+        output: 4.0,
+    };
 }
 
 /// One access event: `(cycle, bytes)`.
@@ -95,7 +103,9 @@ impl AccessTrace {
 
     /// Peak demand bandwidth over `bucket`-cycle windows, bytes/cycle.
     pub fn peak_bandwidth(&self, bucket: u64) -> f64 {
-        self.bandwidth_profile(bucket).into_iter().fold(0.0, f64::max)
+        self.bandwidth_profile(bucket)
+            .into_iter()
+            .fold(0.0, f64::max)
     }
 }
 
@@ -223,10 +233,18 @@ mod tests {
         let cfg = ArrayConfig::small(8, 8, 4);
         let t = generate_trace(&cfg, 64, 32, 8, ByteCosts::BF16);
         // First `rows` cycles: only filter reads.
-        let early_filter: u64 =
-            t.filter_reads.iter().filter(|&&(c, _)| c < 8).map(|&(_, b)| b).sum();
-        let early_ifmap: u64 =
-            t.ifmap_reads.iter().filter(|&&(c, _)| c < 8).map(|&(_, b)| b).sum();
+        let early_filter: u64 = t
+            .filter_reads
+            .iter()
+            .filter(|&&(c, _)| c < 8)
+            .map(|&(_, b)| b)
+            .sum();
+        let early_ifmap: u64 = t
+            .ifmap_reads
+            .iter()
+            .filter(|&&(c, _)| c < 8)
+            .map(|&(_, b)| b)
+            .sum();
         assert!(early_filter > 0);
         assert_eq!(early_ifmap, 0);
     }

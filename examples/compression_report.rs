@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t_packed = memory.transfer_seconds(packed_bytes);
         println!(
             "{:<12} one weight sweep over HBM2: {:.2} ms raw -> {:.2} ms packed",
-            "", t_raw * 1e3, t_packed * 1e3
+            "",
+            t_raw * 1e3,
+            t_packed * 1e3
         );
     }
 

@@ -41,7 +41,10 @@ fn main() {
             rep.energy.leakage_j
         );
         if rep.avg_r_a > 1.0 {
-            println!("  scheduling overheads: r_a = {:.3}, r_w = {:.3}", rep.avg_r_a, rep.avg_r_w);
+            println!(
+                "  scheduling overheads: r_a = {:.3}, r_w = {:.3}",
+                rep.avg_r_a, rep.avg_r_w
+            );
         }
         println!("  cycle breakdown:");
         for class in OpClass::ALL {
@@ -52,7 +55,13 @@ fn main() {
 
     let c = Comparison::between(&base, &owlp);
     println!("\n=== OwL-P vs baseline ===");
-    println!("  speedup:          {:.2}x  (paper average 2.70x)", c.speedup);
-    println!("  energy savings:   {:.2}x  (paper range 2.94-4.04x)", c.energy_ratio);
+    println!(
+        "  speedup:          {:.2}x  (paper average 2.70x)",
+        c.speedup
+    );
+    println!(
+        "  energy savings:   {:.2}x  (paper range 2.94-4.04x)",
+        c.energy_ratio
+    );
     println!("  off-chip traffic: {:.2}x less", c.traffic_ratio);
 }

@@ -17,10 +17,21 @@ use owlp_repro::model::profiles::{profile_for, Dataset, TensorRole};
 use owlp_repro::model::{ModelId, OpKind, TensorGen};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TinyConfig { seq: 12, hidden: 48, heads: 6, ffn: 96, layers: 3 };
+    let cfg = TinyConfig {
+        seq: 12,
+        hidden: 48,
+        heads: 6,
+        ffn: 96,
+        layers: 3,
+    };
     let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, 2024);
     let input = TensorGen::new(
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Activation, Dataset::WikiText2),
+        profile_for(
+            ModelId::Gpt2Base,
+            OpKind::QkvProj,
+            TensorRole::Activation,
+            Dataset::WikiText2,
+        ),
         cfg.seq,
         cfg.hidden,
     )
@@ -55,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_drifted = 0usize;
     let mut total_elems = 0usize;
     for (e, f) in exact.gemm_outputs.iter().zip(&fp.gemm_outputs) {
-        let d = e.iter().zip(f).filter(|(x, y)| x.to_bits() != y.to_bits()).count();
+        let d = e
+            .iter()
+            .zip(f)
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
         if d > 0 {
             drifted_gemms += 1;
         }

@@ -15,7 +15,9 @@ use owlp_repro::systolic::trace::trace_gemm;
 use owlp_repro::systolic::ArrayConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "owlp_trace.vcd".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "owlp_trace.vcd".to_string());
     let cfg = ArrayConfig::small(4, 8, 8); // 4×8 PEs, 8 lanes, k_tile 32
     let (m, k, n) = (12, 64, 16);
     let act = profile_for(
@@ -24,14 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TensorRole::Activation,
         Dataset::WikiText2,
     );
-    let wt =
-        profile_for(ModelId::Gpt2Base, OpKind::AttnContext, TensorRole::Weight, Dataset::WikiText2);
+    let wt = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::AttnContext,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
     let a: Vec<Bf16> = TensorGen::new(act, m, k).values(31);
     let b: Vec<Bf16> = TensorGen::new(wt, k, n).values(32);
 
     let (vcd, cycles) = trace_gemm(&cfg, &a, &b, m, k, n)?;
     std::fs::write(&path, &vcd)?;
-    println!("traced a {m}x{k}x{n} GEMM on a {}x{} array ({} lanes/PE)", cfg.rows, cfg.cols, cfg.lanes);
+    println!(
+        "traced a {m}x{k}x{n} GEMM on a {}x{} array ({} lanes/PE)",
+        cfg.rows, cfg.cols, cfg.lanes
+    );
     println!("{cycles} cycles -> {path} ({} bytes)", vcd.len());
     let inserted = vcd.matches("1$").count();
     println!("zero-inserted row events in trace: {inserted}");

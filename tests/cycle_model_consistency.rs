@@ -10,11 +10,22 @@ use owlp_repro::systolic::ArrayConfig;
 use proptest::prelude::*;
 
 fn tensors(m: usize, k: usize, n: usize, seed: u64) -> (Vec<Bf16>, Vec<Bf16>) {
-    let act =
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Activation, Dataset::WikiText2);
-    let wt =
-        profile_for(ModelId::Gpt2Base, OpKind::QkvProj, TensorRole::Weight, Dataset::WikiText2);
-    (TensorGen::new(act, m, k).values(seed), TensorGen::new(wt, k, n).values(seed ^ 0x5a5a))
+    let act = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Activation,
+        Dataset::WikiText2,
+    );
+    let wt = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::QkvProj,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
+    (
+        TensorGen::new(act, m, k).values(seed),
+        TensorGen::new(wt, k, n).values(seed ^ 0x5a5a),
+    )
 }
 
 proptest! {

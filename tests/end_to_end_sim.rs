@@ -18,15 +18,28 @@ fn owlp_wins_all_ten_workloads_with_paper_shape() {
         let o = owlp.simulate(&wl, dataset);
         let c = Comparison::between(&b, &o);
         assert!(c.speedup > 1.5, "{}: speedup {}", wl.name, c.speedup);
-        assert!(c.energy_ratio > 2.0, "{}: energy {}", wl.name, c.energy_ratio);
-        assert!(c.traffic_ratio > 1.2, "{}: traffic {}", wl.name, c.traffic_ratio);
+        assert!(
+            c.energy_ratio > 2.0,
+            "{}: energy {}",
+            wl.name,
+            c.energy_ratio
+        );
+        assert!(
+            c.traffic_ratio > 1.2,
+            "{}: traffic {}",
+            wl.name,
+            c.traffic_ratio
+        );
         speedups.push(c.speedup);
         energies.push(c.energy_ratio);
     }
     let avg_speedup = geomean(speedups.iter().copied());
     let avg_energy = geomean(energies.iter().copied());
     // Paper: 2.70x speedup, 3.57x energy savings. Allow a modelling band.
-    assert!((2.0..=3.4).contains(&avg_speedup), "avg speedup {avg_speedup}");
+    assert!(
+        (2.0..=3.4).contains(&avg_speedup),
+        "avg speedup {avg_speedup}"
+    );
     assert!((2.7..=4.5).contains(&avg_energy), "avg energy {avg_energy}");
 }
 
@@ -80,9 +93,14 @@ fn bucketed_and_exact_decode_simulations_agree() {
         let b = acc.simulate(&bucketed, Dataset::WikiText2);
         let e = acc.simulate(&exact, Dataset::WikiText2);
         let rel = (b.cycles as f64 - e.cycles as f64).abs() / e.cycles as f64;
-        assert!(rel < 0.05, "{}: bucketed {} vs exact {} ({rel})", b.design, b.cycles, e.cycles);
-        let rel_energy =
-            (b.energy.total_j() - e.energy.total_j()).abs() / e.energy.total_j();
+        assert!(
+            rel < 0.05,
+            "{}: bucketed {} vs exact {} ({rel})",
+            b.design,
+            b.cycles,
+            e.cycles
+        );
+        let rel_energy = (b.energy.total_j() - e.energy.total_j()).abs() / e.energy.total_j();
         assert!(rel_energy < 0.05, "{}: energy rel {rel_energy}", b.design);
     }
 }

@@ -1,0 +1,458 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Implements the derives by hand-parsing the item's token stream (the
+//! container has no `syn`/`quote`), supporting the shapes this workspace
+//! uses: structs with named fields (optionally generic), tuple structs,
+//! and enums with unit, tuple, and struct variants. The generated impls
+//! target the shim's single-`Value` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Derives the shim's `Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// --- token-stream parsing -------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive only supports struct/enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` then the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` if present, returning the type-parameter names
+/// (lifetimes and const params are not supported — the workspace does not
+/// derive on such items).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            None => panic!("unterminated generics"),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                at_param_start = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+            }
+            Some(TokenTree::Ident(id)) => {
+                if at_param_start && depth == 1 {
+                    params.push(id.to_string());
+                }
+                at_param_start = false;
+            }
+            Some(_) => {
+                at_param_start = false;
+            }
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        // `:`
+        i += 1;
+        skip_type(&tokens, &mut i);
+        // Optional trailing `,`
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a `,` at angle-depth zero.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` then the `,` separator.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------------
+
+fn impl_header(item: &Item, bound: &str, trait_for: &str, extra_lifetime: Option<&str>) -> String {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    for g in &item.generics {
+        params.push(format!("{g}: {bound}"));
+    }
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_for} for {name}{ty_generics}",
+        name = item.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let ty = &item.name;
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{ty}::{vn} => serde::Value::String(\"{vn}\".to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{ty}::{vn}(_f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(_f0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("_f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(_f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({b}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{v}]))])",
+                                b = binds.join(", "),
+                                v = vals.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {b} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{p}]))])",
+                                b = binds.join(", "),
+                                p = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        header = impl_header(item, "serde::Serialize", "serde::Serialize", None)
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: serde::Deserialize::from_value(v.get(\"{n}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::DeError::new(format!(\"{ty}.{n}: {{e}}\")))?",
+                        n = f.name,
+                        ty = item.name
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "), name = item.name)
+        }
+        Body::TupleStruct(1) => format!(
+            "Ok({name}(serde::Deserialize::from_value(v)?))",
+            name = item.name
+        ),
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(_items.get({i}).unwrap_or(&serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ serde::Value::Array(_items) => Ok({name}({inits})), other => Err(serde::DeError::unexpected(\"array\", other)) }}",
+                name = item.name,
+                inits = inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("Ok({name})", name = item.name),
+        Body::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => return Ok({ty}::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        payload_arms.push(format!(
+                            "\"{vn}\" => return Ok({ty}::{vn}(serde::Deserialize::from_value(_payload)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(_items.get({i}).unwrap_or(&serde::Value::Null))?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => {{ if let serde::Value::Array(_items) = _payload {{ return Ok({ty}::{vn}({inits})); }} return Err(serde::DeError::unexpected(\"array\", _payload)); }}",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: serde::Deserialize::from_value(_payload.get(\"{n}\").unwrap_or(&serde::Value::Null))?",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => return Ok({ty}::{vn} {{ {inits} }}),",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let serde::Value::String(_s) = v {{ match _s.as_str() {{ {units} _ => {{}} }} }} \
+                 if let serde::Value::Object(_pairs) = v {{ if _pairs.len() == 1 {{ let (_k, _payload) = &_pairs[0]; let _ = _payload; match _k.as_str() {{ {payloads} _ => {{}} }} }} }} \
+                 Err(serde::DeError::new(\"no matching variant of {name}\"))",
+                units = unit_arms.join(" "),
+                payloads = payload_arms.join(" "),
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} }}",
+        header = impl_header(
+            item,
+            "for<'any> serde::Deserialize<'any>",
+            "serde::Deserialize<'de>",
+            Some("'de")
+        )
+    )
+}

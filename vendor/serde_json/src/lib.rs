@@ -1,0 +1,66 @@
+//! Offline vendored shim for `serde_json`, layered on the serde shim's
+//! concrete [`Value`] tree. Covers `to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, and the `json!` macro for object/array literals
+//! with expression values.
+
+pub use serde::value::{DeError as Error, Value};
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes a value to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let v = Value::parse(text)?;
+    T::from_value(&v)
+}
+
+/// Parses JSON text into a raw [`Value`].
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    Value::parse(text)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Supports the subset this
+/// workspace uses: objects with string keys and expression values, arrays,
+/// and plain expressions (which go through [`serde::Serialize`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_object() {
+        let v = json!({ "a": 1u32, "b": [1u8, 2u8], "c": "x" });
+        assert_eq!(v.to_json(), "{\"a\":1,\"b\":[1,2],\"c\":\"x\"}");
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v: Vec<u32> = from_str(&to_string(&vec![1u32, 2, 3]).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}
