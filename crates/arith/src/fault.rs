@@ -12,12 +12,13 @@
 use crate::column::PeColumn;
 use crate::pe::PeConfig;
 use owlp_format::decode::DecodedOperand;
+use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
 use serde::{Deserialize, Serialize};
 
 /// Which field of a decoded operand a fault hits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultSite {
-    /// A bit of the pre-aligned significand (`0..11`).
+    /// A bit of the pre-aligned significand (`0..DecodedOperand::MAG_BITS`).
     Significand(u8),
     /// The sign wire.
     Sign,
@@ -25,19 +26,34 @@ pub enum FaultSite {
     ShiftBit,
     /// The outlier tag: a flip re-frames the product entirely.
     OutlierTag,
-    /// A bit of the outlier exponent side-band (`0..8`).
+    /// A bit of the outlier exponent side-band (`0..Bf16::EXP_BITS`).
     OutlierExp(u8),
 }
 
 impl FaultSite {
-    /// All injectable sites.
+    /// All injectable sites. Bit ranges derive from the format constants:
+    /// [`DecodedOperand::MAG_BITS`] significand wires and
+    /// [`Bf16::EXP_BITS`] outlier-exponent side-band wires.
     pub fn all() -> Vec<FaultSite> {
-        let mut v: Vec<FaultSite> = (0..11).map(FaultSite::Significand).collect();
+        let mut v: Vec<FaultSite> = (0..DecodedOperand::MAG_BITS as u8)
+            .map(FaultSite::Significand)
+            .collect();
         v.push(FaultSite::Sign);
         v.push(FaultSite::ShiftBit);
         v.push(FaultSite::OutlierTag);
-        v.extend((0..8).map(FaultSite::OutlierExp));
+        v.extend((0..Bf16::EXP_BITS as u8).map(FaultSite::OutlierExp));
         v
+    }
+
+    /// Whether this site rides the tag/exponent **side-band** (the control
+    /// wires the module-level analysis singles out as critical) rather than
+    /// the significand data word. Side-band wires are the ones a parity bit
+    /// over `{tag, sh, exp}` would cover in a real implementation.
+    pub fn side_band(self) -> bool {
+        matches!(
+            self,
+            FaultSite::OutlierTag | FaultSite::ShiftBit | FaultSite::OutlierExp(_)
+        )
     }
 
     /// Applies the fault to one operand.
@@ -129,10 +145,64 @@ pub fn sensitivity_sweep(
     outcomes
 }
 
+/// One row of the criticality-ranked site table: how much damage a bit
+/// flip at `site` does on a representative dot product, and whether a
+/// side-band parity bit would see it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SiteCriticality {
+    /// The fault site.
+    pub site: FaultSite,
+    /// Mean relative error over the reference sweep, floored at `1e-12` so
+    /// even silent sites keep a non-zero sampling weight.
+    pub weight: f64,
+    /// Whether the site is on the parity-protectable tag/exponent side-band
+    /// (see [`FaultSite::side_band`]).
+    pub side_band: bool,
+}
+
+/// The criticality-ranked site table: every injectable site scored by the
+/// mean relative error it causes across a fixed, representative operand set
+/// (mixed magnitudes plus genuine outliers so the tag/exponent side-band is
+/// exercised), sorted most-critical first.
+///
+/// The table is a pure function — same ranking on every call and every
+/// machine — which is what lets a serving-level SDC sampler draw sites
+/// weighted by hardware criticality while staying bit-reproducible.
+pub fn criticality_table() -> Vec<SiteCriticality> {
+    const BASE: u8 = 124;
+    let dec = BiasDecoder::new(BASE);
+    let w = ExponentWindow::owlp(BASE);
+    let decode = |xs: &[f32]| -> Vec<DecodedOperand> {
+        xs.iter()
+            .map(|&x| dec.decode_bf16(Bf16::from_f32(x), w))
+            .collect()
+    };
+    // Two outliers per vector (1e6 and 3e-7 sit far outside the 7-exponent
+    // window at base 124), the rest moderate normals.
+    let acts = decode(&[1.5, -2.0, 1.0e6, 0.5, 3.0, -0.25, 3.0e-7, 2.5]);
+    let wts = decode(&[0.5, 1.0, 2.0, -4.0, 0.5, 4.0, 1.0, -0.5]);
+    let lanes = acts.len();
+    let mut table: Vec<SiteCriticality> = FaultSite::all()
+        .into_iter()
+        .map(|site| {
+            let mean = (0..lanes)
+                .map(|lane| inject_into_dot(&acts, &wts, BASE, BASE, lane, site).relative_error)
+                .sum::<f64>()
+                / lanes as f64;
+            SiteCriticality {
+                site,
+                weight: mean.max(1e-12),
+                side_band: site.side_band(),
+            }
+        })
+        .collect();
+    table.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights are finite"));
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use owlp_format::{Bf16, BiasDecoder, ExponentWindow};
 
     fn operands(xs: &[f32], base: u8) -> Vec<DecodedOperand> {
         let w = ExponentWindow::owlp(base);
@@ -200,6 +270,43 @@ mod tests {
         // silent fault on unused outlier-exponent bits).
         let bottom = ranked.last().unwrap();
         assert!(bottom.relative_error <= ranked[0].relative_error);
+    }
+
+    #[test]
+    fn site_list_is_derived_from_format_constants() {
+        let all = FaultSite::all();
+        let sig = all
+            .iter()
+            .filter(|s| matches!(s, FaultSite::Significand(_)))
+            .count();
+        let exp = all
+            .iter()
+            .filter(|s| matches!(s, FaultSite::OutlierExp(_)))
+            .count();
+        assert_eq!(sig, DecodedOperand::MAG_BITS as usize);
+        assert_eq!(exp, Bf16::EXP_BITS as usize);
+        assert_eq!(all.len(), sig + exp + 3); // + sign, shift, tag
+    }
+
+    #[test]
+    fn criticality_table_is_ranked_deterministic_and_flags_side_band() {
+        let t = criticality_table();
+        assert_eq!(t.len(), FaultSite::all().len());
+        for w in t.windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        assert!(t.iter().all(|r| r.weight > 0.0));
+        assert_eq!(criticality_table(), t);
+        for r in &t {
+            assert_eq!(r.side_band, r.site.side_band());
+        }
+        // The ranking reproduces the module-level conclusion: the most
+        // critical wires are all on the tag/exponent side-band (a flipped
+        // high exponent bit mis-frames a product by hundreds of binary
+        // orders), and even the tag out-damages the significand LSB.
+        assert!(t[..4].iter().all(|r| r.side_band), "{:?}", &t[..4]);
+        let weight_of = |site: FaultSite| t.iter().find(|r| r.site == site).unwrap().weight;
+        assert!(weight_of(FaultSite::OutlierTag) > weight_of(FaultSite::Significand(0)));
     }
 
     #[test]

@@ -45,9 +45,9 @@ fn bench_scheduler(c: &mut Criterion) {
         workers: 4,
         scheduler: cfg,
     };
-    simulate_pool(&cost, &pool, &t);
+    simulate_pool(&cost, &pool, &t).unwrap();
     group.bench_with_input(BenchmarkId::new("pool4", 256usize), &t, |bench, t| {
-        bench.iter(|| simulate_pool(&cost, &pool, t))
+        bench.iter(|| simulate_pool(&cost, &pool, t).unwrap())
     });
     group.finish();
 }

@@ -30,6 +30,7 @@
 //! | [`batch_sweep`] | speedup vs batch size (supporting analysis) |
 //! | [`serving_exp`] | tokens/s, TPOT, TTFT per design (supporting analysis) |
 //! | [`serve_exp`] | load sweep through the `owlp-serve` continuous-batching simulator |
+//! | [`serve_faults_exp`] | serving under escalating fault injection (supporting analysis) |
 //! | [`dse_exp`] | array-organisation design-space exploration (supporting analysis) |
 
 pub mod ablation;
@@ -44,6 +45,7 @@ pub mod fig9;
 pub mod render;
 pub mod roofline_exp;
 pub mod serve_exp;
+pub mod serve_faults_exp;
 pub mod serving_exp;
 pub mod table1;
 pub mod table2;

@@ -14,14 +14,15 @@
 //! repro fig11          Fig. 11   relative cycles & energy (10 workloads)
 //! repro eq34           Eq. (3)/(4) validation vs event simulation
 //! repro ablations      align-width / bias-bits / path-split ablations
+//! repro serve-faults   serving under escalating fault injection
 //! ```
 
 use owlp_bench::{
     ablation, batch_sweep, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp, serve_exp,
-    serving_exp, table1, table2, table3, table4, table5, SEED,
+    serve_faults_exp, serving_exp, table1, table2, table3, table4, table5, SEED,
 };
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig1",
@@ -38,6 +39,7 @@ const EXPERIMENTS: [&str; 17] = [
     "batch",
     "serving",
     "serve",
+    "serve-faults",
     "dse",
 ];
 
@@ -72,6 +74,7 @@ fn run_json(name: &str) -> Result<String, String> {
         "batch" => ser(name, &batch_sweep::run()),
         "serving" => ser(name, &serving_exp::run()),
         "serve" => ser(name, &serve_exp::run()),
+        "serve-faults" => ser(name, &serve_faults_exp::run()),
         "dse" => ser(name, &dse_exp::run()),
         other => Err(format!("unknown experiment '{other}'")),
     }
@@ -102,6 +105,7 @@ fn run_one(name: &str) -> Result<String, String> {
         "batch" => Ok(batch_sweep::render(&batch_sweep::run())),
         "serving" => Ok(serving_exp::render(&serving_exp::run())),
         "serve" => Ok(serve_exp::render(&serve_exp::run())),
+        "serve-faults" => Ok(serve_faults_exp::render(&serve_faults_exp::run())),
         "dse" => Ok(dse_exp::render(&dse_exp::run())),
         other => Err(format!("unknown experiment '{other}'")),
     }

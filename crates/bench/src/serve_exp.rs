@@ -71,6 +71,7 @@ pub fn run() -> LoadSweep {
             let trace = trace_at(rate);
             let serve = |acc: Accelerator| {
                 serve_trace(acc, ModelId::Gpt2Base, Dataset::WikiText2, &pool(), &trace)
+                    .expect("sweep pool config is valid")
             };
             LoadPoint {
                 offered_rps: rate,

@@ -55,6 +55,8 @@ impl Bf16 {
 
     /// IEEE exponent bias.
     pub const EXP_BIAS: i32 = 127;
+    /// Number of exponent bits.
+    pub const EXP_BITS: u32 = 8;
     /// Number of fraction bits.
     pub const FRAC_BITS: u32 = 7;
 

@@ -48,6 +48,15 @@ pub struct DecodedOperand {
 }
 
 impl DecodedOperand {
+    /// Largest pre-shift the decoder applies to a normal significand — the
+    /// two LSBs of the 3-bit bias, so `0b11`.
+    pub const MAX_PRE_SHIFT: u32 = 0b11;
+
+    /// Width in bits of the pre-aligned significand `mag`: the hidden bit
+    /// plus [`Bf16::FRAC_BITS`] fraction bits, shifted left by at most
+    /// [`Self::MAX_PRE_SHIFT`].
+    pub const MAG_BITS: u32 = 1 + Bf16::FRAC_BITS + Self::MAX_PRE_SHIFT;
+
     /// A decoded zero: the operand the outlier scheduler inserts when it
     /// splits an over-subscribed column (paper Fig. 6).
     pub const ZERO: DecodedOperand = DecodedOperand {

@@ -16,8 +16,12 @@
 //!   rejection backpressure, per-request latency records.
 //! * [`pool`] — multi-worker array pool: shards a trace round-robin
 //!   across OS threads (crossbeam) and merges outcomes deterministically.
+//! * [`fault`] — seeded fault plans (crashes, stalls, transient failures,
+//!   criticality-weighted SDCs) and recovery policies (deadlines, bounded
+//!   retry with jittered exponential backoff, degraded admission).
 //! * [`metrics`] — nearest-rank percentile roll-ups: TTFT/TPOT/E2E at
-//!   p50/p95/p99, goodput, rejection rate.
+//!   p50/p95/p99, goodput, rejection rate; fault-run [`MetricsReport`]s.
+//! * [`error`] — the crate-level [`ServeError`].
 //!
 //! ```
 //! use owlp_core::Accelerator;
@@ -39,11 +43,14 @@
 //!     Dataset::WikiText2,
 //!     &PoolConfig::default(),
 //!     &trace,
-//! );
+//! )
+//! .unwrap();
 //! assert_eq!(summary.completed + summary.rejected, 64);
 //! ```
 
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod request;
@@ -51,34 +58,70 @@ pub mod scheduler;
 pub mod trace;
 
 pub use cost::CostModel;
-pub use metrics::{summarize, Percentiles, ServingSummary};
-pub use pool::{simulate_pool, PoolConfig};
+pub use error::ServeError;
+pub use fault::{
+    backoff_delay_s, FaultPlan, FaultSpec, RecoveryPolicy, SdcSampler, StallWindow, WorkerFaultPlan,
+};
+pub use metrics::{summarize, summarize_faults, MetricsReport, Percentiles, ServingSummary};
+pub use pool::{simulate_pool, simulate_pool_faulty, FaultPoolConfig, PoolConfig};
 pub use request::{ArrivalProcess, LengthDistribution, Request, TraceSpec};
-pub use scheduler::{simulate, CompletedRequest, SchedulerConfig, SimOutcome};
+pub use scheduler::{
+    simulate, simulate_faulty, CompletedRequest, FaultSimOutcome, FaultStats, SchedulerConfig,
+    SimOutcome,
+};
 pub use trace::{Trace, TraceError};
 
 use owlp_core::Accelerator;
 use owlp_model::{Dataset, ModelId};
 
+/// Offered load measured from the trace itself (requests over the arrival
+/// span; 0 for degenerate traces).
+fn offered_rps(trace: &[Request]) -> f64 {
+    let span = trace.last().map(|r| r.arrival_s).unwrap_or(0.0);
+    if span > 0.0 {
+        trace.len() as f64 / span
+    } else {
+        0.0
+    }
+}
+
 /// One-call convenience: simulate a trace on a pool and roll up metrics.
 ///
 /// The offered load reported in the summary is measured from the trace
 /// itself (requests over the arrival span).
+///
+/// # Errors
+///
+/// See [`simulate_pool`].
 pub fn serve_trace(
     acc: Accelerator,
     model: ModelId,
     dataset: Dataset,
     pool: &PoolConfig,
     trace: &[Request],
-) -> ServingSummary {
+) -> Result<ServingSummary, ServeError> {
     let cost = CostModel::new(acc, model, dataset);
-    let outcome = simulate_pool(&cost, pool, trace);
-    let span = trace.last().map(|r| r.arrival_s).unwrap_or(0.0);
-    let offered = if span > 0.0 {
-        trace.len() as f64 / span
-    } else {
-        0.0
-    };
+    let outcome = simulate_pool(&cost, pool, trace)?;
     let design = cost.accelerator().design().name;
-    summarize(design, offered, &outcome)
+    Ok(summarize(design, offered_rps(trace), &outcome))
+}
+
+/// One-call convenience for fault-injected runs: simulate a trace on a
+/// pool under `cfg`'s fault plan and recovery policy, then roll the outcome
+/// up into a [`MetricsReport`].
+///
+/// # Errors
+///
+/// See [`simulate_pool_faulty`].
+pub fn serve_trace_faulty(
+    acc: Accelerator,
+    model: ModelId,
+    dataset: Dataset,
+    cfg: &FaultPoolConfig,
+    trace: &[Request],
+) -> Result<MetricsReport, ServeError> {
+    let cost = CostModel::new(acc, model, dataset);
+    let outcome = simulate_pool_faulty(&cost, cfg, trace)?;
+    let design = cost.accelerator().design().name;
+    Ok(summarize_faults(design, offered_rps(trace), &outcome))
 }

@@ -4,7 +4,7 @@
 //! (`p(q) = x[⌈q·n⌉ − 1]`): exact, monotone in `q`, and trivially matched
 //! by an independent sort-based oracle in the property tests.
 
-use crate::scheduler::SimOutcome;
+use crate::scheduler::{FaultSimOutcome, SimOutcome};
 use serde::Serialize;
 
 /// p50/p95/p99 of one latency distribution.
@@ -111,10 +111,95 @@ pub fn summarize(design: &str, offered_rps: f64, outcome: &SimOutcome) -> Servin
     }
 }
 
+/// The full figure-of-merit roll-up of a fault-injected run: the classic
+/// [`ServingSummary`] plus availability, recovery-path counters, and the
+/// fault-adjusted goodput an operator actually banks.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsReport {
+    /// Latency/goodput roll-up of the served requests. `requests` and
+    /// `rejection_rate` are computed over the *full* id partition
+    /// (completed + rejected + failed + deadline-missed + shed), which
+    /// degenerates to the classic definition on a zero-fault run.
+    pub summary: ServingSummary,
+    /// Retry re-admissions scheduled after transient failures.
+    pub retries: u64,
+    /// Requests evicted after exhausting their retry budget.
+    pub evictions: u64,
+    /// Requests shed by degraded-mode admission tightening.
+    pub shed: usize,
+    /// Requests that missed their deadline.
+    pub deadline_missed: usize,
+    /// `deadline_missed / requests`.
+    pub deadline_miss_rate: f64,
+    /// Served responses carrying an undetected corruption.
+    pub corrupted_responses: usize,
+    /// SDC strikes injected.
+    pub sdc_events: u64,
+    /// SDC strikes the side-band parity caught (each re-executed its
+    /// iteration).
+    pub sdc_detected: u64,
+    /// Iterations re-executed after detected SDCs.
+    pub reexec_iterations: u64,
+    /// Transient iteration faults injected.
+    pub iter_faults: u64,
+    /// Workers that crashed during the run.
+    pub crashed_workers: u32,
+    /// Healthy worker-seconds over total worker-seconds (1.0 fault-free).
+    pub availability: f64,
+    /// Goodput counting only *clean* (uncorrupted) completions — the
+    /// number OwL-P's side-band parity is defending.
+    pub goodput_under_faults_rps: f64,
+}
+
+/// Rolls one fault-injected outcome up into a [`MetricsReport`].
+pub fn summarize_faults(design: &str, offered_rps: f64, out: &FaultSimOutcome) -> MetricsReport {
+    let mut summary = summarize(design, offered_rps, &out.base);
+    let total = out.base.completed.len()
+        + out.base.rejected.len()
+        + out.failed.len()
+        + out.deadline_missed.len()
+        + out.shed.len();
+    summary.requests = total;
+    summary.rejection_rate = if total == 0 {
+        0.0
+    } else {
+        out.base.rejected.len() as f64 / total as f64
+    };
+    let deadline_miss_rate = if total == 0 {
+        0.0
+    } else {
+        out.deadline_missed.len() as f64 / total as f64
+    };
+    let served = out.base.completed.len();
+    let goodput_under_faults_rps = if served == 0 {
+        0.0
+    } else {
+        // Ratio first: with zero corruptions it is exactly 1.0, keeping the
+        // zero-fault report bit-identical to the plain summary.
+        summary.goodput_rps * ((served - out.corrupted.len()) as f64 / served as f64)
+    };
+    MetricsReport {
+        summary,
+        retries: out.faults.retries,
+        evictions: out.faults.evictions,
+        shed: out.shed.len(),
+        deadline_missed: out.deadline_missed.len(),
+        deadline_miss_rate,
+        corrupted_responses: out.corrupted.len(),
+        sdc_events: out.faults.sdc_events,
+        sdc_detected: out.faults.sdc_detected,
+        reexec_iterations: out.faults.reexec_iterations,
+        iter_faults: out.faults.iter_faults,
+        crashed_workers: out.faults.crashed_workers,
+        availability: out.availability,
+        goodput_under_faults_rps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{CompletedRequest, SimStats};
+    use crate::scheduler::{CompletedRequest, FaultStats, SimStats};
 
     #[test]
     fn nearest_rank_on_known_sample() {
@@ -166,5 +251,59 @@ mod tests {
         assert!((s.goodput_rps - 1.0).abs() < 1e-12);
         assert!((s.output_tokens_per_s - 10.0).abs() < 1e-12);
         assert_eq!(s.ttft_ms.p50, 500.0);
+    }
+
+    #[test]
+    fn fault_report_partitions_and_discounts_goodput() {
+        let completed = vec![
+            CompletedRequest {
+                id: 0,
+                prompt_len: 8,
+                gen_len: 10,
+                arrival_s: 0.0,
+                admitted_s: 0.0,
+                first_token_s: 0.5,
+                finished_s: 1.0,
+            },
+            CompletedRequest {
+                id: 1,
+                prompt_len: 8,
+                gen_len: 10,
+                arrival_s: 1.0,
+                admitted_s: 1.0,
+                first_token_s: 1.5,
+                finished_s: 2.0,
+            },
+        ];
+        let out = FaultSimOutcome {
+            base: SimOutcome {
+                completed,
+                rejected: vec![2],
+                stats: SimStats::default(),
+            },
+            failed: vec![3],
+            deadline_missed: vec![4],
+            shed: vec![5, 6],
+            corrupted: vec![1],
+            orphans: vec![],
+            faults: FaultStats {
+                retries: 2,
+                evictions: 1,
+                ..FaultStats::default()
+            },
+            availability: 0.75,
+        };
+        let r = summarize_faults("owlp", 4.0, &out);
+        // 2 completed + 1 rejected + 1 failed + 1 missed + 2 shed.
+        assert_eq!(r.summary.requests, 7);
+        assert!((r.summary.rejection_rate - 1.0 / 7.0).abs() < 1e-12);
+        assert!((r.deadline_miss_rate - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.corrupted_responses, 1);
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.evictions, 1);
+        // One of two completions is corrupted: clean goodput is halved.
+        assert!((r.goodput_under_faults_rps - 0.5 * r.summary.goodput_rps).abs() < 1e-12);
+        assert_eq!(r.availability, 0.75);
     }
 }

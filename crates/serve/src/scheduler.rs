@@ -18,7 +18,8 @@
 //! (see [`crate::pool`]) reproduce metrics bit-for-bit from a seed.
 
 use crate::cost::CostModel;
-use crate::request::Request;
+use crate::fault::{backoff_delay_s, FaultPlan, RecoveryPolicy, SdcSampler, WorkerFaultPlan};
+use crate::request::{Request, SplitMix64};
 use serde::Serialize;
 use std::collections::VecDeque;
 
@@ -205,6 +206,377 @@ pub fn simulate(cost: &CostModel, cfg: &SchedulerConfig, trace: &[Request]) -> S
         completed,
         rejected,
         stats,
+    }
+}
+
+/// Fault-path counters of one worker (or, summed, one pool) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct FaultStats {
+    /// Retry re-admissions scheduled after transient failures.
+    pub retries: u64,
+    /// Requests evicted after exhausting their retry budget.
+    pub evictions: u64,
+    /// Transient iteration faults that struck.
+    pub iter_faults: u64,
+    /// Silent-data-corruption strikes.
+    pub sdc_events: u64,
+    /// SDC strikes the side-band parity caught.
+    pub sdc_detected: u64,
+    /// Iterations re-executed after a detected SDC.
+    pub reexec_iterations: u64,
+    /// Workers that crashed.
+    pub crashed_workers: u32,
+}
+
+impl FaultStats {
+    /// Accumulates another run's counters.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.retries += other.retries;
+        self.evictions += other.evictions;
+        self.iter_faults += other.iter_faults;
+        self.sdc_events += other.sdc_events;
+        self.sdc_detected += other.sdc_detected;
+        self.reexec_iterations += other.reexec_iterations;
+        self.crashed_workers += other.crashed_workers;
+    }
+}
+
+/// Everything a fault-aware simulation run produced.
+///
+/// Request ids partition exactly: every trace id lands in exactly one of
+/// `base.completed`, `base.rejected`, `failed`, `deadline_missed`, `shed`,
+/// or (worker-level, until the pool re-dispatches them) `orphans`.
+/// `corrupted` is a subset of `base.completed`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSimOutcome {
+    /// The classic outcome: served + queue-overflow-rejected + counters.
+    pub base: SimOutcome,
+    /// Requests dropped after exhausting their retry budget, sorted.
+    pub failed: Vec<u64>,
+    /// Requests that missed their deadline (dropped in queue or finished
+    /// late), sorted.
+    pub deadline_missed: Vec<u64>,
+    /// Requests shed by degraded-mode admission tightening (the queue had
+    /// nominal room, but the healthy-worker count said otherwise), sorted.
+    pub shed: Vec<u64>,
+    /// Served requests whose response carries an undetected corruption,
+    /// sorted; a subset of `base.completed` ids.
+    pub corrupted: Vec<u64>,
+    /// In-flight/queued/future requests stranded by a worker crash; empty
+    /// at pool level (the pool re-dispatches them to survivors).
+    pub orphans: Vec<Request>,
+    /// Fault-path counters.
+    pub faults: FaultStats,
+    /// Healthy worker-seconds over total worker-seconds (1.0 fault-free;
+    /// recomputed by the pool from crash times).
+    pub availability: f64,
+}
+
+struct PendingReq {
+    req: Request,
+    /// Transient failures suffered so far.
+    attempt: u32,
+    /// Earliest re-admission time (backoff); equals arrival for fresh
+    /// requests.
+    ready_s: f64,
+}
+
+struct RunningF {
+    req: Request,
+    attempt: u32,
+    produced: usize,
+    first_token_s: Option<f64>,
+    admitted_s: f64,
+    corrupted: bool,
+}
+
+/// Inserts into the retry list keeping `(ready_s, id)` order.
+fn insert_retry(retries: &mut Vec<PendingReq>, p: PendingReq) {
+    let at = retries.partition_point(|q| (q.ready_s, q.req.id) <= (p.ready_s, p.req.id));
+    retries.insert(at, p);
+}
+
+/// Simulates serving `trace` through one array group under a fault plan.
+///
+/// `worker` indexes this worker's entry in `plan` (an out-of-range index
+/// means a fault-free worker); the whole plan is needed because degraded
+/// admission keys off the pool-wide healthy count. With a zero plan and a
+/// policy with no deadline this is **bit-identical** to [`simulate`]: the
+/// fault branches charge no time and draw no randomness, so the happy path
+/// cannot drift (property-tested).
+///
+/// Semantics, all at iteration granularity and fully deterministic:
+///
+/// * **crash** — checked at loop top: the worker halts, everything it holds
+///   (running, queued, backing off, not yet ingested) returns as `orphans`;
+/// * **stall** — iteration/prefill charges are multiplied by the stall
+///   window's slowdown at charge time;
+/// * **transient failure** — one victim request loses the iteration and
+///   re-enters admission after [`backoff_delay_s`] (its generation restarts;
+///   `max_retries` exceeded ⇒ evicted into `failed`);
+/// * **SDC** — a criticality-weighted fault site is struck; side-band sites
+///   are caught by parity with `sdc_coverage_permille` probability, which
+///   re-executes (re-charges) the iteration, otherwise one victim response
+///   is silently corrupted;
+/// * **deadline** — queued/backing-off requests past their deadline are
+///   dropped before admission; completions past the deadline count as
+///   missed, not served;
+/// * **degraded admission** — with crashes in the plan, the effective queue
+///   bound scales by the pool-wide healthy fraction; arrivals refused only
+///   by the tightened bound count as `shed`, not `rejected`.
+pub fn simulate_faulty(
+    cost: &CostModel,
+    cfg: &SchedulerConfig,
+    recovery: &RecoveryPolicy,
+    plan: &FaultPlan,
+    worker: usize,
+    sampler: Option<&SdcSampler>,
+    trace: &[Request],
+) -> FaultSimOutcome {
+    let zero_plan = WorkerFaultPlan::default();
+    let wp = plan.workers.get(worker).unwrap_or(&zero_plan);
+    let mut local_sampler = None;
+    let sampler = if wp.sdc_permille == 0 {
+        None
+    } else {
+        Some(sampler.unwrap_or_else(|| local_sampler.insert(SdcSampler::new())))
+    };
+
+    let max_batch = cfg.max_batch.max(1);
+    let queue_capacity = cfg.queue_capacity.max(1);
+    let total_workers = plan.workers.len().max(1);
+    let degraded = recovery.degraded_admission && plan.has_crashes();
+    let stalled = !wp.stalls.is_empty();
+    let mut rng = SplitMix64::new(wp.stream_seed);
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    let mut queue: VecDeque<PendingReq> = VecDeque::new();
+    let mut retries: Vec<PendingReq> = Vec::new();
+    let mut running: Vec<RunningF> = Vec::new();
+    let mut completed: Vec<CompletedRequest> = Vec::new();
+    let mut rejected: Vec<u64> = Vec::new();
+    let mut failed: Vec<u64> = Vec::new();
+    let mut deadline_missed: Vec<u64> = Vec::new();
+    let mut shed: Vec<u64> = Vec::new();
+    let mut corrupted: Vec<u64> = Vec::new();
+    let mut orphans: Vec<Request> = Vec::new();
+    let mut stats = SimStats::default();
+    let mut faults = FaultStats::default();
+
+    loop {
+        // The crash takes effect at the first iteration boundary past it.
+        if let Some(crash) = wp.crash_at_s {
+            if clock >= crash {
+                faults.crashed_workers = 1;
+                orphans.extend(running.drain(..).map(|r| r.req));
+                orphans.extend(queue.drain(..).map(|p| p.req));
+                orphans.extend(retries.drain(..).map(|p| p.req));
+                orphans.extend_from_slice(&trace[next..]);
+                break;
+            }
+        }
+
+        // Ingest every arrival up to the current clock; the bounded queue
+        // is the backpressure point, tightened in degraded mode.
+        let eff_cap = if degraded {
+            let healthy = plan.healthy_at(clock).max(1);
+            (queue_capacity * healthy)
+                .div_ceil(total_workers)
+                .clamp(1, queue_capacity)
+        } else {
+            queue_capacity
+        };
+        while next < trace.len() && trace[next].arrival_s <= clock {
+            let r = trace[next];
+            if queue.len() < eff_cap {
+                queue.push_back(PendingReq {
+                    req: r,
+                    attempt: 0,
+                    ready_s: r.arrival_s,
+                });
+            } else if queue.len() < queue_capacity {
+                shed.push(r.id);
+            } else {
+                rejected.push(r.id);
+            }
+            next += 1;
+        }
+        stats.peak_queue = stats.peak_queue.max(queue.len());
+
+        // Deadline-doomed waiters are dropped before they waste service.
+        if let Some(d) = recovery.deadline_s {
+            let expired = |p: &PendingReq| p.req.arrival_s + d <= clock;
+            for p in queue.iter().filter(|p| expired(p)) {
+                deadline_missed.push(p.req.id);
+            }
+            queue.retain(|p| !expired(p));
+            for p in retries.iter().filter(|p| expired(p)) {
+                deadline_missed.push(p.req.id);
+            }
+            retries.retain(|p| !expired(p));
+        }
+
+        let retry_ready = retries.first().map(|p| p.ready_s);
+        if running.is_empty() && queue.is_empty() && retry_ready.is_none_or(|t| t > clock) {
+            // Idle: jump straight to the next event (arrival or backoff
+            // expiry), whichever comes first.
+            let arrival = trace.get(next).map(|r| r.arrival_s);
+            clock = match (arrival, retry_ready) {
+                (Some(a), Some(t)) => a.min(t),
+                (Some(a), None) => a,
+                (None, Some(t)) => t,
+                (None, None) => break,
+            };
+            continue;
+        }
+
+        // Admit into free slots — expired backoffs first (they are the
+        // oldest requests), then FIFO from the queue — charging prefill.
+        while running.len() < max_batch {
+            let p = if retries.first().is_some_and(|p| p.ready_s <= clock) {
+                retries.remove(0)
+            } else {
+                let Some(p) = queue.pop_front() else { break };
+                p
+            };
+            let admitted_s = clock;
+            let prefill = cost.prefill_seconds(p.req.prompt_len);
+            clock += if stalled {
+                prefill * wp.stall_multiplier(admitted_s)
+            } else {
+                prefill
+            };
+            running.push(RunningF {
+                req: p.req,
+                attempt: p.attempt,
+                produced: 0,
+                first_token_s: None,
+                admitted_s,
+                corrupted: false,
+            });
+        }
+
+        // One decode iteration across the running batch.
+        let kv_lens: Vec<usize> = running
+            .iter()
+            .map(|r| r.req.prompt_len + r.produced + 1)
+            .collect();
+        let step = cost.decode_step_seconds(&kv_lens);
+        let step = if stalled {
+            step * wp.stall_multiplier(clock)
+        } else {
+            step
+        };
+        clock += step;
+        stats.iterations += 1;
+        stats.peak_batch = stats.peak_batch.max(running.len());
+
+        // Transient iteration failure: one victim loses its token and goes
+        // through backoff (or out, once the retry budget is spent).
+        if wp.iter_fail_permille > 0
+            && !running.is_empty()
+            && rng.below(1000) < u64::from(wp.iter_fail_permille.min(1000))
+        {
+            faults.iter_faults += 1;
+            let v = rng.below(running.len() as u64) as usize;
+            let r = running.remove(v);
+            if r.attempt >= recovery.max_retries {
+                faults.evictions += 1;
+                failed.push(r.req.id);
+            } else {
+                faults.retries += 1;
+                let ready_s =
+                    clock + backoff_delay_s(recovery, wp.stream_seed, r.req.id, r.attempt);
+                insert_retry(
+                    &mut retries,
+                    PendingReq {
+                        req: r.req,
+                        attempt: r.attempt + 1,
+                        ready_s,
+                    },
+                );
+            }
+        }
+
+        // SDC: strike a criticality-weighted site; parity over the
+        // side-band either catches it (re-execute) or the corruption rides
+        // a response out silently.
+        if wp.sdc_permille > 0
+            && !running.is_empty()
+            && rng.below(1000) < u64::from(wp.sdc_permille.min(1000))
+        {
+            faults.sdc_events += 1;
+            let site = sampler.expect("sampler present when sdc_permille > 0");
+            let site = site.draw(&mut rng);
+            let detected = site.side_band
+                && rng.below(1000) < u64::from(recovery.sdc_coverage_permille.min(1000));
+            if detected {
+                faults.sdc_detected += 1;
+                faults.reexec_iterations += 1;
+                stats.iterations += 1;
+                clock += step; // re-run the iteration at the same price
+            } else {
+                let v = rng.below(running.len() as u64) as usize;
+                running[v].corrupted = true;
+            }
+        }
+
+        let mut i = 0;
+        while i < running.len() {
+            let r = &mut running[i];
+            r.produced += 1;
+            r.first_token_s.get_or_insert(clock);
+            if r.produced >= r.req.gen_len.max(1) {
+                let r = running.remove(i);
+                let missed = recovery
+                    .deadline_s
+                    .is_some_and(|d| clock - r.req.arrival_s > d);
+                if missed {
+                    deadline_missed.push(r.req.id);
+                } else {
+                    if r.corrupted {
+                        corrupted.push(r.req.id);
+                    }
+                    completed.push(CompletedRequest {
+                        id: r.req.id,
+                        prompt_len: r.req.prompt_len,
+                        gen_len: r.req.gen_len.max(1),
+                        arrival_s: r.req.arrival_s,
+                        admitted_s: r.admitted_s,
+                        first_token_s: r.first_token_s.unwrap_or(clock),
+                        finished_s: clock,
+                    });
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    stats.end_s = clock;
+    completed.sort_by_key(|c| c.id);
+    rejected.sort_unstable();
+    failed.sort_unstable();
+    deadline_missed.sort_unstable();
+    shed.sort_unstable();
+    corrupted.sort_unstable();
+    let availability = match wp.crash_at_s {
+        Some(c) if clock > 0.0 => (c / clock).clamp(0.0, 1.0),
+        _ => 1.0,
+    };
+    FaultSimOutcome {
+        base: SimOutcome {
+            completed,
+            rejected,
+            stats,
+        },
+        failed,
+        deadline_missed,
+        shed,
+        corrupted,
+        orphans,
+        faults,
+        availability,
     }
 }
 

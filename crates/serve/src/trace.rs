@@ -30,6 +30,8 @@ pub enum TraceError {
     UnsupportedVersion(u32),
     /// Requests are not sorted by arrival time, or lengths are invalid.
     Invalid(String),
+    /// Serialisation failed (a non-finite arrival time, typically).
+    Serialize(String),
 }
 
 impl fmt::Display for TraceError {
@@ -38,6 +40,7 @@ impl fmt::Display for TraceError {
             TraceError::Malformed(e) => write!(f, "malformed trace JSON: {e}"),
             TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
+            TraceError::Serialize(e) => write!(f, "trace did not serialize: {e}"),
         }
     }
 }
@@ -54,8 +57,13 @@ impl Trace {
     }
 
     /// Serialises to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("traces serialize infallibly")
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Serialize`] if the trace cannot be represented as
+    /// JSON (e.g. a NaN arrival time smuggled in by hand).
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        serde_json::to_string_pretty(self).map_err(|e| TraceError::Serialize(e.to_string()))
     }
 
     /// Parses and validates a JSON trace.
@@ -112,7 +120,7 @@ mod tests {
     #[test]
     fn json_roundtrip_is_exact() {
         let t = sample_trace();
-        let json = t.to_json();
+        let json = t.to_json().unwrap();
         assert_eq!(Trace::from_json(&json).unwrap(), t);
     }
 
@@ -125,19 +133,19 @@ mod tests {
         let mut t = sample_trace();
         t.version = 99;
         assert!(matches!(
-            Trace::from_json(&t.to_json()),
+            Trace::from_json(&t.to_json().unwrap()),
             Err(TraceError::UnsupportedVersion(99))
         ));
         let mut t = sample_trace();
         t.requests.swap(0, 5);
         assert!(matches!(
-            Trace::from_json(&t.to_json()),
+            Trace::from_json(&t.to_json().unwrap()),
             Err(TraceError::Invalid(_))
         ));
         let mut t = sample_trace();
         t.requests[3].gen_len = 0;
         assert!(matches!(
-            Trace::from_json(&t.to_json()),
+            Trace::from_json(&t.to_json().unwrap()),
             Err(TraceError::Invalid(_))
         ));
     }

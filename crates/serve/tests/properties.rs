@@ -1,10 +1,14 @@
-//! Property tests for the scheduler invariants and percentile math.
+//! Property tests for the scheduler invariants, fault-tolerance
+//! machinery, and percentile math.
 
 use owlp_core::Accelerator;
 use owlp_model::{Dataset, ModelId};
 use owlp_serve::metrics::{percentile_sorted, Percentiles};
 use owlp_serve::request::{ArrivalProcess, LengthDistribution, TraceSpec};
-use owlp_serve::{scheduler, CostModel, SchedulerConfig};
+use owlp_serve::{
+    backoff_delay_s, scheduler, simulate_pool, simulate_pool_faulty, summarize, summarize_faults,
+    CostModel, FaultPlan, FaultPoolConfig, PoolConfig, RecoveryPolicy, SchedulerConfig,
+};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -123,5 +127,107 @@ proptest! {
         let p = Percentiles::of(&values);
         prop_assert_eq!(p.p50, percentile_sorted(&sorted, 0.50));
         prop_assert_eq!(p.p99, percentile_sorted(&sorted, 0.99));
+    }
+
+    /// The retry/backoff schedule is deterministic, monotone non-decreasing
+    /// in the attempt number, and bounded by [base, cap] — for any seed,
+    /// request id, and jitter amplitude.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_monotone(
+        seed in any::<u64>(),
+        request_id in any::<u64>(),
+        base_ms in 1u32..500,
+        cap_x in 1u32..64,
+        jitter_permille in 0u32..=1000,
+    ) {
+        let policy = RecoveryPolicy {
+            backoff_base_s: base_ms as f64 / 1000.0,
+            backoff_cap_s: base_ms as f64 / 1000.0 * cap_x as f64,
+            jitter_permille,
+            ..RecoveryPolicy::default()
+        };
+        let mut prev = 0.0f64;
+        for attempt in 0..16 {
+            let d = backoff_delay_s(&policy, seed, request_id, attempt);
+            prop_assert_eq!(d, backoff_delay_s(&policy, seed, request_id, attempt));
+            prop_assert!(d >= prev, "attempt {}: {} < {}", attempt, d, prev);
+            prop_assert!(d >= policy.backoff_base_s);
+            prop_assert!(d <= policy.backoff_cap_s.max(policy.backoff_base_s));
+            prev = d;
+        }
+    }
+
+    /// A zero fault plan is invisible: the fault-aware pool produces a
+    /// bit-identical base outcome — and a bit-identical metrics summary —
+    /// to the plain pool, for any trace and pool shape.
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_plain_path(
+        spec in trace_spec(),
+        cfg in config(),
+        workers in 1usize..5,
+    ) {
+        let trace = spec.generate();
+        let pool = PoolConfig { workers, scheduler: cfg };
+        let fault_cfg = FaultPoolConfig {
+            plan: FaultPlan::none(workers),
+            recovery: RecoveryPolicy::default(),
+            failover_delay_s: 0.05,
+            pool,
+        };
+        let plain = simulate_pool(cost(), &pool, &trace).unwrap();
+        let faulty = simulate_pool_faulty(cost(), &fault_cfg, &trace).unwrap();
+        prop_assert_eq!(&faulty.base, &plain);
+        prop_assert!(faulty.failed.is_empty());
+        prop_assert!(faulty.deadline_missed.is_empty());
+        prop_assert!(faulty.shed.is_empty());
+        prop_assert!(faulty.corrupted.is_empty());
+        prop_assert!(faulty.orphans.is_empty());
+        prop_assert_eq!(faulty.availability, 1.0);
+        let report = summarize_faults("x", 1.0, &faulty);
+        prop_assert_eq!(&report.summary, &summarize("x", 1.0, &plain));
+        prop_assert_eq!(report.goodput_under_faults_rps, report.summary.goodput_rps);
+    }
+
+    /// Killing workers never loses or duplicates a request id: completed,
+    /// rejected, failed, deadline-missed, and shed partition the trace
+    /// exactly, and the pool leaves no orphan behind.
+    #[test]
+    fn killed_workers_lose_no_request_ids(
+        spec in trace_spec(),
+        cfg in config(),
+        kill_mask in 1u8..15,
+        crash_frac in 0u32..=100,
+    ) {
+        let trace = spec.generate();
+        let workers = 4usize;
+        let span = trace.last().map(|r| r.arrival_s).unwrap_or(0.0);
+        let mut plan = FaultPlan::none(workers);
+        for (w, p) in plan.workers.iter_mut().enumerate() {
+            if kill_mask & (1 << w) != 0 {
+                // Crash times spread over the arrival span (including 0 and
+                // past-the-end), staggered per worker.
+                let frac = (crash_frac as f64 / 100.0 + w as f64 * 0.17) % 1.1;
+                p.crash_at_s = Some(span * frac);
+            }
+        }
+        let fault_cfg = FaultPoolConfig {
+            plan,
+            recovery: RecoveryPolicy::default(),
+            failover_delay_s: 0.02,
+            pool: PoolConfig { workers, scheduler: cfg },
+        };
+        let out = simulate_pool_faulty(cost(), &fault_cfg, &trace).unwrap();
+        prop_assert!(out.orphans.is_empty());
+        let mut ids: Vec<u64> = out.base.completed.iter().map(|c| c.id).collect();
+        ids.extend(&out.base.rejected);
+        ids.extend(&out.failed);
+        ids.extend(&out.deadline_missed);
+        ids.extend(&out.shed);
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = trace.iter().map(|r| r.id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(ids, expected);
+        // And the fault-injected run replays bit-for-bit.
+        prop_assert_eq!(&out, &simulate_pool_faulty(cost(), &fault_cfg, &trace).unwrap());
     }
 }

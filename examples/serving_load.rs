@@ -47,7 +47,8 @@ fn main() {
         .generate();
         println!("\noffered load {rate:.0} req/s ({} requests):", trace.len());
         for acc in [Accelerator::baseline(), Accelerator::owlp()] {
-            let s = serve_trace(acc, ModelId::Gpt2Base, Dataset::WikiText2, &pool, &trace);
+            let s = serve_trace(acc, ModelId::Gpt2Base, Dataset::WikiText2, &pool, &trace)
+                .expect("example pool config is valid");
             print_summary(&s);
         }
     }

@@ -48,6 +48,7 @@ fn four_worker_pool_is_seed_reproducible() {
             &pool(64),
             &t,
         )
+        .unwrap()
     };
     let a = run();
     let b = run();
@@ -68,13 +69,13 @@ fn four_worker_pool_is_seed_reproducible() {
 #[test]
 fn replayed_json_trace_reproduces_the_run() {
     let t = trace(200.0, 96);
-    let json = Trace::new(t.clone()).to_json();
+    let json = Trace::new(t.clone()).to_json().unwrap();
     let replayed = Trace::from_json(&json).unwrap().requests;
     let cost = CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2);
     let cfg = pool(64);
     assert_eq!(
-        simulate_pool(&cost, &cfg, &t),
-        simulate_pool(&cost, &cfg, &replayed)
+        simulate_pool(&cost, &cfg, &t).unwrap(),
+        simulate_pool(&cost, &cfg, &replayed).unwrap()
     );
 }
 
@@ -83,7 +84,7 @@ fn owlp_outserves_the_baseline() {
     for rate in [200.0, 1_600.0] {
         let t = trace(rate, 192);
         let serve = |acc: Accelerator| {
-            serve_trace(acc, ModelId::Gpt2Base, Dataset::WikiText2, &pool(64), &t)
+            serve_trace(acc, ModelId::Gpt2Base, Dataset::WikiText2, &pool(64), &t).unwrap()
         };
         let base = serve(Accelerator::baseline());
         let owlp = serve(Accelerator::owlp());
@@ -110,6 +111,7 @@ fn overload_triggers_rejections_that_back_off_with_capacity() {
             &pool(cap),
             &t,
         )
+        .unwrap()
     };
     let tight = serve(4);
     assert!(tight.rejected > 0);
