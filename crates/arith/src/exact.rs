@@ -44,10 +44,22 @@ pub fn exact_dot_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
     acc.to_f64_lossy()
 }
 
+/// Row tiles per parallel chunk: aim for roughly this many scalar products
+/// per chunk so thread fan-out only engages on GEMMs that can pay for it.
+const GEMM_GRAIN_OPS: usize = 1 << 14;
+
+/// Rows of output per parallel chunk for an `m×k · k×n` GEMM.
+pub(crate) fn row_grain(k: usize, n: usize) -> usize {
+    (GEMM_GRAIN_OPS / (k.saturating_mul(n)).max(1)).max(1)
+}
+
 /// Exact GEMM: `C[m][n] = round_once(Σ_k A[m][k]·B[k][n])`.
 ///
 /// `a` is `m×k` row-major, `b` is `k×n` row-major; the result is `m×n`
-/// row-major.
+/// row-major. Output rows are computed tile-parallel on the [`owlp_par`]
+/// grid and assembled in row order; every output element is an independent
+/// single-rounded exact sum, so the result is bit-identical at every
+/// thread count.
 ///
 /// # Panics
 ///
@@ -55,15 +67,22 @@ pub fn exact_dot_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
 pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = KulischAcc::new();
-            for kk in 0..k {
-                acc.add_product(a[i * k + kk], b[kk * n + j]);
+    let row_blocks = owlp_par::map_chunks(m, row_grain(k, n), |rows| {
+        let mut block = Vec::with_capacity(rows.len() * n);
+        for i in rows {
+            for j in 0..n {
+                let mut acc = KulischAcc::new();
+                for kk in 0..k {
+                    acc.add_product(a[i * k + kk], b[kk * n + j]);
+                }
+                block.push(acc.round_to_f32());
             }
-            out[i * n + j] = acc.round_to_f32();
         }
+        block
+    });
+    let mut out = Vec::with_capacity(m * n);
+    for block in row_blocks {
+        out.extend(block);
     }
     out
 }
@@ -72,15 +91,22 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
 pub fn exact_gemm_f64(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f64> {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
-    let mut out = vec![0.0f64; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = KulischAcc::new();
-            for kk in 0..k {
-                acc.add_product(a[i * k + kk], b[kk * n + j]);
+    let row_blocks = owlp_par::map_chunks(m, row_grain(k, n), |rows| {
+        let mut block = Vec::with_capacity(rows.len() * n);
+        for i in rows {
+            for j in 0..n {
+                let mut acc = KulischAcc::new();
+                for kk in 0..k {
+                    acc.add_product(a[i * k + kk], b[kk * n + j]);
+                }
+                block.push(acc.to_f64_lossy());
             }
-            out[i * n + j] = acc.to_f64_lossy();
         }
+        block
+    });
+    let mut out = Vec::with_capacity(m * n);
+    for block in row_blocks {
+        out.extend(block);
     }
     out
 }
@@ -160,5 +186,30 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = exact_dot(&[Bf16::ONE], &[]);
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        // m is a few multiples of the row grain so the run really spans
+        // several parallel chunks.
+        let (m, k, n) = (4 * row_grain(37, 19), 37, 19);
+        let a: Vec<Bf16> = (0..m * k)
+            .map(|i| bf(((i * 37 % 101) as f32 - 50.0) * 0.03125))
+            .collect();
+        let b: Vec<Bf16> = (0..k * n)
+            .map(|i| bf(((i * 17 % 89) as f32 - 44.0) * 0.0625))
+            .collect();
+        let serial = owlp_par::with_threads(1, || exact_gemm(&a, &b, m, k, n));
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || exact_gemm(&a, &b, m, k, n));
+            for (x, y) in par.iter().zip(&serial) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{t} threads");
+            }
+            let par64 = owlp_par::with_threads(t, || exact_gemm_f64(&a, &b, m, k, n));
+            let ser64 = owlp_par::with_threads(1, || exact_gemm_f64(&a, &b, m, k, n));
+            for (x, y) in par64.iter().zip(&ser64) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{t} threads (f64)");
+            }
+        }
     }
 }

@@ -107,20 +107,41 @@ pub fn owlp_gemm_decoded(
     let column = PeColumn::new(config, rows).with_align(align);
     let shared_a = enc_a.shared_exp();
     let shared_w = enc_b.shared_exp();
+    // Tile-parallel over output columns: each tile gathers its weight
+    // columns and runs every activation row through the PE column. Results
+    // assemble in column order and the wavefront statistics reduce over the
+    // ordered tile list (max and sum — order-free anyway), so the output is
+    // bit-identical to the serial sweep at every thread count.
+    let grain = crate::exact::row_grain(k, m);
+    let tiles = owlp_par::map_chunks(n, grain, |cols| {
+        let j0 = cols.start;
+        let mut values = Vec::with_capacity(cols.len() * m);
+        let mut max_wavefront = 0usize;
+        let mut total = 0usize;
+        let mut wt_col = vec![DecodedOperand::ZERO; k];
+        for j in cols {
+            for kk in 0..k {
+                wt_col[kk] = ops_b[kk * n + j];
+            }
+            for i in 0..m {
+                let act_row = &ops_a[i * k..(i + 1) * k];
+                let out = column.compute_unchecked(act_row, &wt_col, shared_a, shared_w);
+                values.push(out.value);
+                max_wavefront = max_wavefront.max(out.outlier_products);
+                total += out.outlier_products;
+            }
+        }
+        (j0, values, max_wavefront, total)
+    });
     let mut output = vec![0.0f32; m * n];
     let mut max_wavefront = 0usize;
     let mut total_outlier_products = 0usize;
-    let mut wt_col = vec![DecodedOperand::ZERO; k];
-    for j in 0..n {
-        for kk in 0..k {
-            wt_col[kk] = ops_b[kk * n + j];
-        }
-        for i in 0..m {
-            let act_row = &ops_a[i * k..(i + 1) * k];
-            let out = column.compute_unchecked(act_row, &wt_col, shared_a, shared_w);
-            output[i * n + j] = out.value;
-            max_wavefront = max_wavefront.max(out.outlier_products);
-            total_outlier_products += out.outlier_products;
+    for (j0, values, tile_max, tile_total) in tiles {
+        max_wavefront = max_wavefront.max(tile_max);
+        total_outlier_products += tile_total;
+        for (idx, v) in values.into_iter().enumerate() {
+            let (dj, i) = (idx / m.max(1), idx % m.max(1));
+            output[i * n + j0 + dj] = v;
         }
     }
     Ok(OwlpGemmOutput {
@@ -268,6 +289,19 @@ mod tests {
         let b = bf_vec(&[1.0f32; 16 * 2]);
         let r = owlp_gemm(&a, &b, 2, 16, 2).unwrap();
         assert_eq!(r.max_wavefront_outliers, 3);
+    }
+
+    #[test]
+    fn parallel_owlp_gemm_is_bit_identical_to_serial() {
+        // Column grain is 16384/(k·m) = 16, so n = 64 spans four tiles.
+        let (m, k, n) = (16, 64, 64);
+        let a = synth(m * k, 21, 9);
+        let b = synth(k * n, 22, 13);
+        let serial = owlp_par::with_threads(1, || owlp_gemm(&a, &b, m, k, n).unwrap());
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || owlp_gemm(&a, &b, m, k, n).unwrap());
+            assert_eq!(par, serial, "{t} threads");
+        }
     }
 
     #[test]

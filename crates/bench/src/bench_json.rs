@@ -1,0 +1,301 @@
+//! Machine-readable parallel-speedup baselines (`repro bench-json`).
+//!
+//! Times the four `owlp-par` hot paths — exact/OwL-P GEMM, tensor
+//! encode/decode, the event-driven array simulation, and the serving
+//! pool — serially (`with_threads(1)`) and at the resolved thread budget,
+//! and writes one JSON report (default `BENCH_PR3.json`) that CI archives
+//! per commit. Every case also re-checks the determinism contract: the
+//! parallel result must be bit-identical to the serial one.
+//!
+//! Wall-clock numbers are min-of-`REPS` ([`Instant`]), so the report is a
+//! *measurement*, not a promise: on a single-hardware-thread host the
+//! speedups hover around 1× and `hardware_threads` says why.
+
+use crate::render::TextTable;
+use crate::SEED;
+use owlp_core::Accelerator;
+use owlp_model::{Dataset, ModelId};
+use owlp_serve::{
+    simulate_pool, ArrivalProcess, CostModel, LengthDistribution, PoolConfig, SchedulerConfig,
+    TraceSpec,
+};
+use owlp_systolic::{event_sim, ArrayConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Repetitions per timing (the minimum is reported); `--smoke` uses 1.
+const REPS: usize = 3;
+
+/// Report schema version (bump on breaking field changes).
+pub const SCHEMA: u32 = 1;
+
+/// One timed workload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchCase {
+    /// Hot path exercised (`gemm-exact`, `gemm-owlp`, `encode`, `decode`,
+    /// `event-sim`, `serve-pool`).
+    pub name: String,
+    /// Human-readable workload shape.
+    pub shape: String,
+    /// Work units per run (scalar products, elements, or requests).
+    pub ops: u64,
+    /// Threads used for the parallel timing.
+    pub threads: usize,
+    /// Best serial wall-clock, seconds (`OWLP_THREADS=1`).
+    pub serial_s: f64,
+    /// Best parallel wall-clock, seconds.
+    pub parallel_s: f64,
+    /// `ops / serial_s`.
+    pub serial_ops_per_s: f64,
+    /// `ops / parallel_s`.
+    pub parallel_ops_per_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether the parallel result matched the serial result bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// The full baseline report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchReport {
+    /// Report schema version.
+    pub schema: u32,
+    /// Hardware threads the host advertises
+    /// ([`std::thread::available_parallelism`]) — speedups are bounded by
+    /// this, whatever `OWLP_THREADS` asks for.
+    pub hardware_threads: usize,
+    /// Resolved `owlp-par` thread budget for the parallel timings.
+    pub thread_budget: usize,
+    /// Whether this was a `--smoke` run (small shapes, single repetition).
+    pub smoke: bool,
+    /// One entry per hot path.
+    pub cases: Vec<BenchCase>,
+}
+
+/// Times `f` `reps` times and returns (best seconds, last result).
+fn min_time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        out = Some(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+/// Times one workload serially and at `threads`, checking bit-identity
+/// through `fingerprint` (any `Eq` digest of the result).
+fn case<R, D: PartialEq>(
+    name: &str,
+    shape: String,
+    ops: u64,
+    reps: usize,
+    threads: usize,
+    mut run: impl FnMut() -> R,
+    fingerprint: impl Fn(&R) -> D,
+) -> BenchCase {
+    let (serial_s, serial) = owlp_par::with_threads(1, || min_time(reps, &mut run));
+    let (parallel_s, parallel) = owlp_par::with_threads(threads, || min_time(reps, &mut run));
+    BenchCase {
+        name: name.to_string(),
+        shape,
+        ops,
+        threads,
+        serial_s,
+        parallel_s,
+        serial_ops_per_s: ops as f64 / serial_s,
+        parallel_ops_per_s: ops as f64 / parallel_s,
+        speedup: serial_s / parallel_s,
+        bit_identical: fingerprint(&serial) == fingerprint(&parallel),
+    }
+}
+
+/// Deterministic BF16 test tensor with a sprinkling of outliers.
+fn tensor(len: usize, salt: u64) -> Vec<owlp_format::Bf16> {
+    let mut state = SEED ^ salt;
+    (0..len)
+        .map(|_| {
+            // xorshift64* — cheap, seeded, and dependency-free.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let small = ((state >> 32) as i32 % 1000) as f32 * 1e-3;
+            let v = if state.is_multiple_of(61) {
+                small * 1e20
+            } else {
+                small
+            };
+            owlp_format::Bf16::from_f32(v)
+        })
+        .collect()
+}
+
+/// Runs the suite. `smoke` shrinks shapes and repetitions so CI can afford
+/// it on every push.
+pub fn run(smoke: bool) -> BenchReport {
+    let reps = if smoke { 1 } else { REPS };
+    let threads = owlp_par::thread_budget();
+    let mut cases = Vec::new();
+
+    // 1. Exact (Kulisch) GEMM — the golden reference everything is
+    //    checked against.
+    let (m, k, n) = if smoke { (48, 48, 48) } else { (160, 160, 160) };
+    let (a, b) = (tensor(m * k, 1), tensor(k * n, 2));
+    cases.push(case(
+        "gemm-exact",
+        format!("{m}x{k}x{n}"),
+        2 * (m * k * n) as u64,
+        reps,
+        threads,
+        || owlp_arith::exact_gemm(&a, &b, m, k, n),
+        |r| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    ));
+
+    // 2. OwL-P datapath GEMM (encode + decode + PE columns).
+    let (m, k, n) = if smoke { (24, 48, 48) } else { (64, 128, 128) };
+    let (a, b) = (tensor(m * k, 3), tensor(k * n, 4));
+    cases.push(case(
+        "gemm-owlp",
+        format!("{m}x{k}x{n}"),
+        2 * (m * k * n) as u64,
+        reps,
+        threads,
+        || owlp_arith::owlp_gemm(&a, &b, m, k, n).expect("finite inputs"),
+        |r| r.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    ));
+
+    // 3/4. Tensor encode and decode throughput.
+    let len = if smoke { 1 << 14 } else { 1 << 20 };
+    let t = tensor(len, 5);
+    cases.push(case(
+        "encode",
+        format!("{len} elements"),
+        len as u64,
+        reps,
+        threads,
+        || owlp_format::encode_tensor(&t, None).expect("finite inputs"),
+        |e| (e.codes().to_vec(), e.outlier_count()),
+    ));
+    let enc = owlp_format::encode_tensor(&t, None).expect("finite inputs");
+    let mut buf = Vec::new();
+    cases.push(case(
+        "decode",
+        format!("{len} elements"),
+        len as u64,
+        reps,
+        threads,
+        || {
+            enc.decode_into(&mut buf);
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        },
+        |bits| bits.clone(),
+    ));
+
+    // 5. Event-driven array simulation (column-shard parallel).
+    let (m, k, n) = if smoke { (16, 32, 32) } else { (48, 64, 64) };
+    let (a, b) = (tensor(m * k, 6), tensor(k * n, 7));
+    let cfg = ArrayConfig::OWLP_PAPER;
+    cases.push(case(
+        "event-sim",
+        format!("{m}x{k}x{n}"),
+        2 * (m * k * n) as u64,
+        reps,
+        threads,
+        || event_sim::simulate_gemm(&cfg, &a, &b, m, k, n).expect("finite inputs"),
+        |r| r.clone(),
+    ));
+
+    // 6. Serving pool (one shard per worker).
+    let requests = if smoke { 48 } else { 192 };
+    let trace = TraceSpec {
+        arrivals: ArrivalProcess::Poisson { rate_rps: 400.0 },
+        prompt: LengthDistribution::Uniform { lo: 32, hi: 96 },
+        gen: LengthDistribution::Uniform { lo: 8, hi: 32 },
+        requests,
+        seed: SEED,
+    }
+    .generate();
+    let cost = CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2);
+    let pool = PoolConfig {
+        workers: 4,
+        scheduler: SchedulerConfig {
+            max_batch: 16,
+            queue_capacity: 32,
+        },
+    };
+    // Warm the memoised shape tables so neither timing pays them.
+    let _ = simulate_pool(&cost, &pool, &trace);
+    cases.push(case(
+        "serve-pool",
+        format!("{requests} requests, {} workers", pool.workers),
+        requests as u64,
+        reps,
+        threads,
+        || simulate_pool(&cost, &pool, &trace).expect("pool simulation runs"),
+        |r| r.clone(),
+    ));
+
+    BenchReport {
+        schema: SCHEMA,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        thread_budget: threads,
+        smoke,
+        cases,
+    }
+}
+
+/// Console rendering of the report.
+pub fn render(r: &BenchReport) -> String {
+    let mut t = TextTable::new([
+        "case",
+        "shape",
+        "threads",
+        "serial s",
+        "parallel s",
+        "ops/s (par)",
+        "speedup",
+        "bit-identical",
+    ]);
+    for c in &r.cases {
+        t.row([
+            c.name.clone(),
+            c.shape.clone(),
+            c.threads.to_string(),
+            format!("{:.4}", c.serial_s),
+            format!("{:.4}", c.parallel_s),
+            format!("{:.3e}", c.parallel_ops_per_s),
+            format!("{:.2}x", c.speedup),
+            c.bit_identical.to_string(),
+        ]);
+    }
+    format!(
+        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, budget {}{})\n{}",
+        r.schema,
+        r.hardware_threads,
+        if r.hardware_threads == 1 { "" } else { "s" },
+        r.thread_budget,
+        if r.smoke { ", smoke" } else { "" },
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_complete_and_bit_identical() {
+        let r = owlp_par::with_threads(2, || run(true));
+        assert_eq!(r.schema, SCHEMA);
+        assert!(r.smoke);
+        assert_eq!(r.cases.len(), 6);
+        for c in &r.cases {
+            assert!(c.bit_identical, "{} diverged across thread counts", c.name);
+            assert!(c.serial_s > 0.0 && c.parallel_s > 0.0, "{} timings", c.name);
+            assert!(c.speedup > 0.0);
+        }
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("\"hardware_threads\""));
+    }
+}

@@ -16,10 +16,19 @@
 //! repro ablations      align-width / bias-bits / path-split ablations
 //! repro serve-faults   serving under escalating fault injection
 //! ```
+//!
+//! Plus one non-paper maintenance command:
+//!
+//! ```text
+//! repro bench-json [--smoke] [--out PATH]
+//! ```
+//!
+//! which times the `owlp-par` hot paths serial vs parallel and writes a
+//! machine-readable baseline report (default `BENCH_PR3.json`).
 
 use owlp_bench::{
-    ablation, batch_sweep, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp, serve_exp,
-    serve_faults_exp, serving_exp, table1, table2, table3, table4, table5, SEED,
+    ablation, batch_sweep, bench_json, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
+    serve_exp, serve_faults_exp, serving_exp, table1, table2, table3, table4, table5, SEED,
 };
 
 const EXPERIMENTS: [&str; 18] = [
@@ -111,6 +120,29 @@ fn run_one(name: &str) -> Result<String, String> {
     }
 }
 
+/// `repro bench-json [--smoke] [--out PATH]` — run the parallel-speedup
+/// baseline suite and write the JSON report.
+fn run_bench_json(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_PR3.json", String::as_str);
+    let report = bench_json::run(smoke);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("{}", bench_json::render(&report));
+    println!("wrote {out}");
+    if report.cases.iter().any(|c| !c.bit_identical) {
+        eprintln!("error: a parallel result diverged from the serial result");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -118,7 +150,14 @@ fn main() {
     let targets: Vec<&str> = match args.first().map(String::as_str) {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
-            eprintln!("usage: repro [all|{}] [--json]", EXPERIMENTS.join("|"));
+            eprintln!(
+                "usage: repro [all|{}] [--json]\n       repro bench-json [--smoke] [--out PATH]",
+                EXPERIMENTS.join("|")
+            );
+            return;
+        }
+        Some("bench-json") => {
+            run_bench_json(&args[1..]);
             return;
         }
         Some(name) => vec![name],

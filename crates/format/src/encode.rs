@@ -13,6 +13,31 @@ use crate::shared_exp::{select_window, ExponentWindow};
 use crate::value::{EncodedValue, OwlpCode};
 use serde::{Deserialize, Serialize};
 
+/// Elements per parallel chunk when classifying a tensor — large enough
+/// that chunk bookkeeping is noise next to the per-element work.
+const ENCODE_GRAIN: usize = 4096;
+/// Elements per parallel chunk when decoding.
+const DECODE_GRAIN: usize = 4096;
+
+/// The semantic value of one code given its resolved out-of-line exponent
+/// (`exp` is ignored for normals).
+#[inline]
+fn semantic(c: OwlpCode, exp: u8) -> EncodedValue {
+    if c.is_outlier() {
+        EncodedValue::Outlier {
+            sign: c.sign(),
+            exp,
+            frac: c.frac(),
+        }
+    } else {
+        EncodedValue::Normal {
+            sign: c.sign(),
+            bias: c.bias(),
+            frac: c.frac(),
+        }
+    }
+}
+
 /// A tensor encoded in the OwL-P number format.
 ///
 /// `codes[i]` is the 11-bit code of element `i` (row-major for 2-D data);
@@ -88,31 +113,101 @@ impl EncodedTensor {
             if c.is_outlier() {
                 let exp = self.outlier_exps[next_outlier];
                 next_outlier += 1;
-                EncodedValue::Outlier {
-                    sign: c.sign(),
-                    exp,
-                    frac: c.frac(),
-                }
+                semantic(*c, exp)
             } else {
-                EncodedValue::Normal {
-                    sign: c.sign(),
-                    bias: c.bias(),
-                    frac: c.frac(),
-                }
+                semantic(*c, 0)
             }
         })
     }
 
     /// Decodes back to BF16, exactly.
     pub fn to_bf16_vec(&self) -> Vec<Bf16> {
-        self.iter_values().map(|v| v.to_bf16(self.window)).collect()
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decodes into a caller-owned buffer, clearing it first — the
+    /// allocation-free path for per-token decode loops that reuse one
+    /// buffer across tensors. The buffer's capacity is kept.
+    pub fn decode_into(&self, out: &mut Vec<Bf16>) {
+        out.clear();
+        self.decode_append(out);
+    }
+
+    /// Decodes, appending to `out` without clearing (used by block streams
+    /// that concatenate several tensors into one buffer).
+    pub fn decode_append(&self, out: &mut Vec<Bf16>) {
+        let window = self.window;
+        self.decode_each(out, |v| v.to_bf16(window));
     }
 
     /// Runs the bias decoder over the whole tensor, producing the pre-aligned
     /// integer operand stream the PE array consumes.
     pub fn decode_operands(&self) -> Vec<DecodedOperand> {
+        let mut out = Vec::new();
+        self.decode_operands_into(&mut out);
+        out
+    }
+
+    /// [`Self::decode_operands`] into a caller-owned buffer (cleared first,
+    /// capacity kept).
+    pub fn decode_operands_into(&self, out: &mut Vec<DecodedOperand>) {
+        out.clear();
         let dec = BiasDecoder::new(self.shared_exp());
-        self.iter_values().map(|v| dec.decode_value(v)).collect()
+        self.decode_each(out, |v| dec.decode_value(v));
+    }
+
+    /// Maps every semantic value through `f`, appending to `out` in element
+    /// order. Large tensors decode chunk-parallel on the [`owlp_par`] grid:
+    /// a first pass counts outliers per chunk so each chunk knows its base
+    /// offset into the out-of-line exponent stream, then chunks decode
+    /// independently — the same in-order association as the serial walk, so
+    /// results are bit-identical at every thread count.
+    fn decode_each<T: Send>(&self, out: &mut Vec<T>, f: impl Fn(EncodedValue) -> T + Sync) {
+        let n = self.codes.len();
+        out.reserve(n);
+        if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, DECODE_GRAIN) <= 1 {
+            let mut next_outlier = 0usize;
+            for c in &self.codes {
+                let exp = if c.is_outlier() {
+                    let e = self.outlier_exps[next_outlier];
+                    next_outlier += 1;
+                    e
+                } else {
+                    0
+                };
+                out.push(f(semantic(*c, exp)));
+            }
+            return;
+        }
+        let counts = owlp_par::map_chunks(n, DECODE_GRAIN, |r| {
+            self.codes[r].iter().filter(|c| c.is_outlier()).count()
+        });
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut base = 0usize;
+        for c in counts {
+            offsets.push(base);
+            base += c;
+        }
+        let parts = owlp_par::map_chunks(n, DECODE_GRAIN, |r| {
+            let mut next_outlier = offsets[r.start / DECODE_GRAIN];
+            let mut part = Vec::with_capacity(r.len());
+            for c in &self.codes[r] {
+                let exp = if c.is_outlier() {
+                    let e = self.outlier_exps[next_outlier];
+                    next_outlier += 1;
+                    e
+                } else {
+                    0
+                };
+                part.push(f(semantic(*c, exp)));
+            }
+            part
+        });
+        for part in parts {
+            out.extend(part);
+        }
     }
 
     /// Storage cost of the two data regions in bits: 11 bits per element
@@ -172,14 +267,45 @@ pub fn encode_tensor(
     window: Option<ExponentWindow>,
 ) -> Result<EncodedTensor, FormatError> {
     let window = window.unwrap_or_else(|| select_window(data));
+    if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(data.len(), ENCODE_GRAIN) <= 1 {
+        let mut codes = Vec::with_capacity(data.len());
+        let mut outlier_exps = Vec::new();
+        for (index, &x) in data.iter().enumerate() {
+            let v = EncodedValue::classify(x, window).ok_or(FormatError::NonFinite { index })?;
+            codes.push(v.code());
+            if let EncodedValue::Outlier { exp, .. } = v {
+                outlier_exps.push(exp);
+            }
+        }
+        return Ok(EncodedTensor {
+            window,
+            codes,
+            outlier_exps,
+        });
+    }
+    // Chunk-parallel classification: elements are independent given the
+    // window, and concatenating per-chunk code/exponent streams in chunk
+    // order reproduces the serial element order exactly. Error reporting is
+    // order-preserving too — the first `Err` in chunk order carries the
+    // lowest non-finite index, matching the serial scan.
+    let parts = owlp_par::map_chunks(data.len(), ENCODE_GRAIN, |r| {
+        let mut codes = Vec::with_capacity(r.len());
+        let mut exps = Vec::new();
+        for index in r {
+            let v = EncodedValue::classify(data[index], window).ok_or(index)?;
+            codes.push(v.code());
+            if let EncodedValue::Outlier { exp, .. } = v {
+                exps.push(exp);
+            }
+        }
+        Ok::<_, usize>((codes, exps))
+    });
     let mut codes = Vec::with_capacity(data.len());
     let mut outlier_exps = Vec::new();
-    for (index, &x) in data.iter().enumerate() {
-        let v = EncodedValue::classify(x, window).ok_or(FormatError::NonFinite { index })?;
-        codes.push(v.code());
-        if let EncodedValue::Outlier { exp, .. } = v {
-            outlier_exps.push(exp);
-        }
+    for part in parts {
+        let (c, e) = part.map_err(|index| FormatError::NonFinite { index })?;
+        codes.extend(c);
+        outlier_exps.extend(e);
     }
     Ok(EncodedTensor {
         window,
@@ -281,6 +407,65 @@ mod tests {
         assert!(enc.is_empty());
         assert_eq!(enc.normal_ratio(), 1.0);
         assert_eq!(enc.payload_bits(), 0);
+    }
+
+    #[test]
+    fn decode_into_reuses_the_buffer() {
+        let data: Vec<Bf16> = (0..40).map(|i| bf(i as f32 * 0.25 - 3.0)).collect();
+        let enc = encode_tensor(&data, None).unwrap();
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        enc.decode_into(&mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(buf.capacity(), cap, "no reallocation on a warm buffer");
+        // A second decode overwrites, not appends.
+        enc.decode_into(&mut buf);
+        assert_eq!(buf.len(), data.len());
+        let mut ops = Vec::new();
+        enc.decode_operands_into(&mut ops);
+        assert_eq!(ops, enc.decode_operands());
+    }
+
+    #[test]
+    fn parallel_encode_decode_match_serial_bitwise() {
+        // Enough elements (with outliers) to span many parallel chunks.
+        let data: Vec<Bf16> = (0..3 * ENCODE_GRAIN + 17)
+            .map(|i| {
+                let v = ((i % 31) as f32 - 15.0) * 0.125;
+                if i % 97 == 0 {
+                    bf(v * 1.0e25)
+                } else {
+                    bf(v)
+                }
+            })
+            .collect();
+        let serial = owlp_par::with_threads(1, || encode_tensor(&data, None).unwrap());
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || encode_tensor(&data, None).unwrap());
+            assert_eq!(par, serial, "{t} threads");
+            let dec = owlp_par::with_threads(t, || par.to_bf16_vec());
+            assert_eq!(dec, data, "{t} threads");
+            let ops = owlp_par::with_threads(t, || par.decode_operands());
+            assert_eq!(
+                ops,
+                owlp_par::with_threads(1, || serial.decode_operands()),
+                "{t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_encode_reports_first_nonfinite_index() {
+        let mut data: Vec<Bf16> = (0..2 * ENCODE_GRAIN).map(|i| bf(i as f32)).collect();
+        data[ENCODE_GRAIN + 3] = Bf16::NAN;
+        data[ENCODE_GRAIN + 100] = Bf16::INFINITY;
+        let err = owlp_par::with_threads(4, || encode_tensor(&data, None)).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::NonFinite {
+                index: ENCODE_GRAIN + 3
+            }
+        );
     }
 
     #[test]

@@ -55,11 +55,12 @@ impl EncodedStream {
         self.blocks.iter().map(EncodedTensor::outlier_count).sum()
     }
 
-    /// Decodes the whole stream back to BF16, exactly.
+    /// Decodes the whole stream back to BF16, exactly (one output buffer,
+    /// each block appending in place via [`EncodedTensor::decode_append`]).
     pub fn to_bf16_vec(&self) -> Vec<Bf16> {
         let mut out = Vec::with_capacity(self.len());
         for b in &self.blocks {
-            out.extend(b.to_bf16_vec());
+            b.decode_append(&mut out);
         }
         out
     }

@@ -1,0 +1,246 @@
+//! # owlp-par — deterministic data-parallel execution
+//!
+//! A small scoped worker pool used by every hot path of the reproduction
+//! (GEMM verification, tensor encode/decode, the event-driven array
+//! simulator, the serving pool). Its one contract is **determinism**: for a
+//! pure per-chunk function, the result of [`map_chunks`] is bit-for-bit
+//! identical at every thread count, including 1.
+//!
+//! Three design rules make that structural rather than conventional:
+//!
+//! 1. **Fixed chunk grid.** Work over `0..n` is split into contiguous
+//!    chunks of a caller-chosen `grain`; chunk boundaries depend only on
+//!    `(n, grain)`, never on the thread count or scheduling. A function
+//!    whose per-chunk value depends on the chunk shape (e.g. a blocked
+//!    reduction) therefore still sees the *same* blocks at every budget.
+//! 2. **Ordered assembly.** Each chunk's result lands in a slot indexed by
+//!    its chunk id; the output vector is assembled in chunk order after all
+//!    workers join. Callers that reduce across chunks do so serially over
+//!    this ordered vector, so reduction order is fixed too.
+//! 3. **Dynamic scheduling of chunks, not of values.** Workers pull chunk
+//!    ids from an atomic counter (good load balance for skewed tiles), but
+//!    since a chunk's value is a pure function of its range, *which* worker
+//!    computes it cannot matter.
+//!
+//! The thread budget comes from the `OWLP_THREADS` environment variable
+//! (unset/invalid/0 ⇒ `std::thread::available_parallelism()`), or from a
+//! scoped [`with_threads`] override that takes precedence — the override is
+//! what the determinism property tests use so they never race on the
+//! process environment. Inside a worker, nested calls run serially
+//! (budget 1): the top-level call owns the parallelism, which keeps thread
+//! counts bounded and oversubscription impossible.
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable naming the worker-thread budget.
+pub const ENV_THREADS: &str = "OWLP_THREADS";
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside pool workers: nested parallel calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads a parallel call may use right now:
+/// a [`with_threads`] override if one is active, else 1 inside a pool
+/// worker, else `OWLP_THREADS`, else the machine's available parallelism.
+///
+/// Always ≥ 1; a budget of 1 means "run serially on the calling thread".
+pub fn thread_budget() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    env_threads().unwrap_or_else(default_threads)
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var(ENV_THREADS)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the thread budget pinned to `threads` (min 1) on this
+/// thread, restoring the previous budget afterwards (also on unwind).
+///
+/// This is the race-free way to compare thread counts in one process:
+///
+/// ```
+/// let serial = owlp_par::with_threads(1, || owlp_par::map_chunks(10, 3, |r| r.len()));
+/// let parallel = owlp_par::with_threads(8, || owlp_par::map_chunks(10, 3, |r| r.len()));
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Number of chunks the fixed grid splits `n` items into at `grain`.
+pub fn chunk_count(n: usize, grain: usize) -> usize {
+    n.div_ceil(grain.max(1))
+}
+
+fn chunk_range(c: usize, grain: usize, n: usize) -> Range<usize> {
+    let lo = c * grain;
+    lo..(lo + grain).min(n)
+}
+
+/// Maps `f` over the fixed chunk grid of `0..n` (contiguous ranges of at
+/// most `grain` indices) and returns the per-chunk results **in chunk
+/// order**. Runs on up to [`thread_budget`] scoped worker threads; with a
+/// budget of 1 (or a single chunk) it degenerates to a plain serial loop
+/// on the calling thread.
+///
+/// A panic in `f` propagates to the caller, exactly as it would serially.
+pub fn map_chunks<U, F>(n: usize, grain: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(Range<usize>) -> U + Sync,
+{
+    let grain = grain.max(1);
+    let chunks = n.div_ceil(grain);
+    let workers = thread_budget().min(chunks);
+    if workers <= 1 {
+        return (0..chunks).map(|c| f(chunk_range(c, grain, n))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let out = f(chunk_range(c, grain, n));
+                    *slots[c].lock() = Some(out);
+                }
+            });
+        }
+    })
+    .expect("scoped workers joined");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every chunk id was claimed"))
+        .collect()
+}
+
+/// Maps `f` over `0..n` item-wise and returns the results in index order,
+/// scheduling `grain` indices per chunk. Equivalent to
+/// `(0..n).map(f).collect()` at every thread count.
+pub fn map_indexed<U, F>(n: usize, grain: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if thread_budget() <= 1 || chunk_count(n, grain) <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out = Vec::with_capacity(n);
+    for chunk in map_chunks(n, grain, |r| r.map(&f).collect::<Vec<U>>()) {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn chunk_grid_is_fixed() {
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(1, 4), 1);
+        assert_eq!(chunk_count(8, 4), 2);
+        assert_eq!(chunk_count(9, 4), 3);
+        assert_eq!(chunk_range(2, 4, 9), 8..9);
+    }
+
+    #[test]
+    fn map_chunks_orders_results_at_every_budget() {
+        let expect: Vec<Range<usize>> = vec![0..3, 3..6, 6..9, 9..10];
+        for t in [1, 2, 4, 8] {
+            let got = with_threads(t, || map_chunks(10, 3, |r| r));
+            assert_eq!(got, expect, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_iterator() {
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for t in [1, 2, 4, 8] {
+            assert_eq!(with_threads(t, || map_indexed(100, 7, |i| i * i)), expect);
+        }
+    }
+
+    #[test]
+    fn budget_override_wins_and_restores() {
+        let outer = thread_budget();
+        let inner = with_threads(3, thread_budget);
+        assert_eq!(inner, 3);
+        assert_eq!(thread_budget(), outer);
+        // Zero is clamped to 1, not treated as "default".
+        assert_eq!(with_threads(0, thread_budget), 1);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_inside_workers() {
+        let nested_budgets = with_threads(4, || map_indexed(4, 1, |_| thread_budget()));
+        assert_eq!(nested_budgets, vec![1; 4]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        with_threads(8, || {
+            map_indexed(50, 1, |i| hits[i].fetch_add(1, Ordering::Relaxed))
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(with_threads(4, || map_chunks(0, 8, |r| r)).is_empty());
+        assert!(with_threads(4, || map_indexed(0, 8, |i| i)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn worker_panics_propagate() {
+        // std::thread::scope re-panics with its own message once the
+        // workers join; the point is that the caller does not observe a
+        // silently truncated result.
+        with_threads(4, || {
+            map_chunks(8, 1, |r| {
+                if r.start == 3 {
+                    panic!("chunk 3 exploded");
+                }
+                r.start
+            })
+        });
+    }
+}

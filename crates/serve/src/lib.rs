@@ -15,7 +15,8 @@
 //!   iteration-level batches, FIFO admission from a bounded queue,
 //!   rejection backpressure, per-request latency records.
 //! * [`pool`] — multi-worker array pool: shards a trace round-robin
-//!   across OS threads (crossbeam) and merges outcomes deterministically.
+//!   across the [`owlp_par`] worker grid (`OWLP_THREADS`) and merges
+//!   outcomes deterministically.
 //! * [`fault`] — seeded fault plans (crashes, stalls, transient failures,
 //!   criticality-weighted SDCs) and recovery policies (deadlines, bounded
 //!   retry with jittered exponential backoff, degraded admission).

@@ -20,6 +20,10 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Computes the three ranks from unsorted values (0s when empty).
+    ///
+    /// Clones and fully sorts the sample — the deliberately simple oracle
+    /// that [`LatencySummary`] is property-tested against. Hot paths
+    /// should hand their samples to [`LatencySummary`] instead.
     pub fn of(values: &[f64]) -> Percentiles {
         if values.is_empty() {
             return Percentiles::default();
@@ -30,6 +34,55 @@ impl Percentiles {
             p50: percentile_sorted(&sorted, 0.50),
             p95: percentile_sorted(&sorted, 0.95),
             p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+}
+
+/// Owns one latency sample set and rolls it up into [`Percentiles`] with
+/// three `O(n)` selections ([`[f64]::select_nth_unstable_by`]) instead of
+/// cloning and fully sorting the sample per call.
+///
+/// Nearest-rank percentiles only need the element at each of three sorted
+/// positions, so selection produces bit-identical results to the sort-based
+/// [`Percentiles::of`] oracle (ties are exact `f64` duplicates — any
+/// element at the rank is *the* answer).
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    samples: Vec<f64>,
+}
+
+impl LatencySummary {
+    /// Takes ownership of an unsorted sample (no copy is ever made).
+    pub fn new(samples: Vec<f64>) -> LatencySummary {
+        LatencySummary { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consumes the summary and computes p50/p95/p99 in place
+    /// (0s when empty).
+    pub fn percentiles(mut self) -> Percentiles {
+        let n = self.samples.len();
+        if n == 0 {
+            return Percentiles::default();
+        }
+        let mut at_rank = |q: f64| {
+            let rank = (q * n as f64).ceil() as usize;
+            let idx = rank.clamp(1, n) - 1;
+            *self.samples.select_nth_unstable_by(idx, f64::total_cmp).1
+        };
+        Percentiles {
+            p50: at_rank(0.50),
+            p95: at_rank(0.95),
+            p99: at_rank(0.99),
         }
     }
 }
@@ -75,7 +128,10 @@ pub struct ServingSummary {
 /// Rolls one simulation outcome up into a summary.
 pub fn summarize(design: &str, offered_rps: f64, outcome: &SimOutcome) -> ServingSummary {
     let requests = outcome.completed.len() + outcome.rejected.len();
-    let ms = |v: Vec<f64>| Percentiles::of(&v.iter().map(|s| s * 1e3).collect::<Vec<_>>());
+    let ms = |mut v: Vec<f64>| {
+        v.iter_mut().for_each(|s| *s *= 1e3);
+        LatencySummary::new(v).percentiles()
+    };
     let span = outcome
         .completed
         .iter()
@@ -214,6 +270,29 @@ mod tests {
     #[test]
     fn percentiles_of_empty_are_zero() {
         assert_eq!(Percentiles::of(&[]), Percentiles::default());
+        assert_eq!(
+            LatencySummary::new(vec![]).percentiles(),
+            Percentiles::default()
+        );
+    }
+
+    #[test]
+    fn selection_summary_matches_sort_oracle() {
+        // Duplicates, reverse order, and a single-element sample all hit
+        // the rank-clamp edges.
+        for v in [
+            vec![7.0],
+            vec![3.0, 1.0, 2.0, 1.0, 3.0, 3.0],
+            (0..250).rev().map(|i| (i % 17) as f64).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(
+                LatencySummary::new(v.clone()).percentiles(),
+                Percentiles::of(&v)
+            );
+        }
+        let s = LatencySummary::new(vec![1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
     }
 
     #[test]

@@ -3,12 +3,13 @@
 //! Models a deployment of several independent accelerator array groups
 //! behind one front door. Requests are dispatched **round-robin in trace
 //! order** — a deterministic policy, so the sharding (and therefore every
-//! latency number) depends only on the trace, never on thread timing. Each
-//! worker thread runs the full continuous-batching scheduler on its shard
-//! (`crossbeam` scoped threads + channels; the shared [`CostModel`] is
-//! `Sync` via its `parking_lot` caches) and ships its outcome back over a
-//! channel; outcomes merge by request id into one pool-level result that is
-//! bit-identical to a sequential run of the same shards.
+//! latency number) depends only on the trace, never on thread timing.
+//! Workers run concurrently on the [`owlp_par`] deterministic pool (the
+//! shared [`CostModel`] is `Sync` via its `parking_lot` caches), bounded
+//! by the `OWLP_THREADS` budget; per-worker outcomes come back **in worker
+//! order** and merge by request id into one pool-level result that is
+//! bit-identical to a sequential run of the same shards — `OWLP_THREADS=1`
+//! and `=N` produce the same metrics to the last bit.
 //!
 //! The fault-aware entry point [`simulate_pool_faulty`] adds failover:
 //! requests stranded by a worker crash come back as orphans and are
@@ -152,13 +153,13 @@ fn shard_faulty(
     (shards, unserved)
 }
 
-/// Simulates the trace across the pool's workers on real OS threads and
-/// merges the per-worker outcomes deterministically.
+/// Simulates the trace across the pool's workers (concurrently, on the
+/// `owlp-par` worker pool) and merges the per-worker outcomes
+/// deterministically.
 ///
 /// # Errors
 ///
-/// [`ServeError::InvalidPool`] on a zero-worker pool,
-/// [`ServeError::WorkerPanicked`] if a worker thread dies.
+/// [`ServeError::InvalidPool`] on a zero-worker pool.
 pub fn simulate_pool(
     cost: &CostModel,
     cfg: &PoolConfig,
@@ -170,21 +171,10 @@ pub fn simulate_pool(
         ));
     }
     let shards = shard(trace, cfg.workers);
-    crossbeam::thread::scope(|s| {
-        let (tx, rx) = crossbeam::channel::unbounded::<SimOutcome>();
-        for sh in &shards {
-            let tx = tx.clone();
-            let scfg = cfg.scheduler;
-            s.spawn(move || {
-                // A send can only fail once the collector is gone, at which
-                // point the result is moot.
-                let _ = tx.send(scheduler::simulate(cost, &scfg, sh));
-            });
-        }
-        drop(tx);
-        merge(rx.iter().collect())
-    })
-    .map_err(|_| ServeError::WorkerPanicked)
+    let outcomes = owlp_par::map_indexed(shards.len(), 1, |w| {
+        scheduler::simulate(cost, &cfg.scheduler, &shards[w])
+    });
+    Ok(merge(outcomes))
 }
 
 /// Simulates the trace across the pool under a fault plan, with failover.
@@ -201,8 +191,8 @@ pub fn simulate_pool(
 ///
 /// # Errors
 ///
-/// See [`FaultPoolConfig::validate`]; [`ServeError::WorkerPanicked`] if a
-/// worker thread dies.
+/// See [`FaultPoolConfig::validate`]. ([`ServeError::WorkerPanicked`] is
+/// retained as a defensive invariant check on the outcome table.)
 pub fn simulate_pool_faulty(
     cost: &CostModel,
     cfg: &FaultPoolConfig,
@@ -220,38 +210,28 @@ pub fn simulate_pool_faulty(
         .any(|w| w.sdc_permille > 0)
         .then(SdcSampler::new);
 
-    let run_wave = |shards: &[Vec<Request>],
-                    which: &[usize]|
-     -> Result<Vec<(usize, FaultSimOutcome)>, ServeError> {
-        crossbeam::thread::scope(|s| {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            for &w in which {
-                let tx = tx.clone();
-                let scfg = cfg.pool.scheduler;
-                let sh = &shards[w];
-                let sampler = sampler.as_ref();
-                s.spawn(move || {
-                    let out = scheduler::simulate_faulty(
-                        cost,
-                        &scfg,
-                        &cfg.recovery,
-                        &cfg.plan,
-                        w,
-                        sampler,
-                        sh,
-                    );
-                    let _ = tx.send((w, out));
-                });
-            }
-            drop(tx);
-            rx.iter().collect()
-        })
-        .map_err(|_| ServeError::WorkerPanicked)
+    // One wave = the given workers re-simulated concurrently on the
+    // owlp-par pool; results come back in `which` order, so the wave is
+    // deterministic at every thread budget.
+    let run_wave = |shards: &[Vec<Request>], which: &[usize]| -> Vec<(usize, FaultSimOutcome)> {
+        let outs = owlp_par::map_indexed(which.len(), 1, |idx| {
+            let w = which[idx];
+            scheduler::simulate_faulty(
+                cost,
+                &cfg.pool.scheduler,
+                &cfg.recovery,
+                &cfg.plan,
+                w,
+                sampler.as_ref(),
+                &shards[w],
+            )
+        });
+        which.iter().copied().zip(outs).collect()
     };
 
     let all: Vec<usize> = (0..workers).collect();
     let mut outcomes: Vec<Option<FaultSimOutcome>> = (0..workers).map(|_| None).collect();
-    for (w, out) in run_wave(&shards, &all)? {
+    for (w, out) in run_wave(&shards, &all) {
         outcomes[w] = Some(out);
     }
     let mut dirty = vec![false; workers];
@@ -307,7 +287,7 @@ pub fn simulate_pool_faulty(
     // Replay the survivors that picked up orphans, in parallel again.
     let redo: Vec<usize> = (0..workers).filter(|&w| dirty[w]).collect();
     if !redo.is_empty() {
-        for (w, out) in run_wave(&shards, &redo)? {
+        for (w, out) in run_wave(&shards, &redo) {
             outcomes[w] = Some(out);
         }
     }

@@ -3,7 +3,7 @@
 
 use owlp_core::Accelerator;
 use owlp_model::{Dataset, ModelId};
-use owlp_serve::metrics::{percentile_sorted, Percentiles};
+use owlp_serve::metrics::{percentile_sorted, LatencySummary, Percentiles};
 use owlp_serve::request::{ArrivalProcess, LengthDistribution, TraceSpec};
 use owlp_serve::{
     backoff_delay_s, scheduler, simulate_pool, simulate_pool_faulty, summarize, summarize_faults,
@@ -127,6 +127,20 @@ proptest! {
         let p = Percentiles::of(&values);
         prop_assert_eq!(p.p50, percentile_sorted(&sorted, 0.50));
         prop_assert_eq!(p.p99, percentile_sorted(&sorted, 0.99));
+    }
+
+    /// The selection-based [`LatencySummary`] equals the sort-based
+    /// [`Percentiles::of`] oracle on any sample, including heavy ties
+    /// (values drawn from a 12-point grid).
+    #[test]
+    fn selection_percentiles_match_sort_oracle(
+        values in prop::collection::vec(0u8..12, 0..200),
+    ) {
+        let values: Vec<f64> = values.into_iter().map(|v| v as f64 * 2.5).collect();
+        prop_assert_eq!(
+            LatencySummary::new(values.clone()).percentiles(),
+            Percentiles::of(&values)
+        );
     }
 
     /// The retry/backoff schedule is deterministic, monotone non-decreasing

@@ -233,12 +233,20 @@ fn run(
             }
         }
 
-        // Stream every fold of C physical columns.
+        // Stream every fold of C physical columns. Cycle accounting depends
+        // only on the fold structure; the numeric work shards by physical
+        // column (each column's wavefront tracking is independent within a
+        // fold) and merges into the Kulisch grid in column order. Kulisch
+        // accumulation is an exact fixed-point integer sum, so regrouping
+        // per-column partials cannot change a single bit of any output —
+        // the parallel run is bit-identical to the serial sweep.
         for fold in wcols.chunks(cfg.cols) {
             cycles += (2 * cfg.rows + cfg.cols) as u64 + arows.len() as u64 - 2;
             streamed_rows += arows.len() as u64;
-            for (i, arow) in &arows {
-                for (j, wcol) in fold {
+            let column_pass = |(j, wcol): &(usize, Vec<DecodedOperand>)| {
+                let mut partials = vec![KulischAcc::new(); arows.len()];
+                let mut col_max = 0usize;
+                for ((_, arow), acc) in arows.iter().zip(&mut partials) {
                     // One wavefront: walk the PE column and track occupancy.
                     let mut occupancy = 0usize;
                     for r in 0..cfg.rows {
@@ -255,13 +263,51 @@ fn run(
                             shared_w,
                         );
                         occupancy += out.outliers.len();
-                        let acc = &mut accs[i * n + j];
                         acc.add_scaled(out.normal_sum, out.normal_frame);
                         for o in &out.outliers {
                             acc.add_scaled(o.mag, o.frame);
                         }
                     }
-                    max_occ = max_occ.max(occupancy);
+                    col_max = col_max.max(occupancy);
+                }
+                (*j, partials, col_max)
+            };
+            if owlp_par::thread_budget() <= 1 || fold.len() <= 1 {
+                // Serial fast path: accumulate straight into the grid
+                // without materialising per-column partials.
+                for (i, arow) in &arows {
+                    for (j, wcol) in fold {
+                        let mut occupancy = 0usize;
+                        for r in 0..cfg.rows {
+                            let a_lo = r * cfg.lanes;
+                            if a_lo >= arow.len() {
+                                break;
+                            }
+                            let a_hi = (a_lo + cfg.lanes).min(arow.len());
+                            let w_hi = (a_lo + cfg.lanes).min(wcol.len());
+                            let out = pe.dot_unchecked(
+                                &arow[a_lo..a_hi],
+                                &wcol[a_lo..w_hi.max(a_lo)],
+                                shared_a,
+                                shared_w,
+                            );
+                            occupancy += out.outliers.len();
+                            let acc = &mut accs[i * n + j];
+                            acc.add_scaled(out.normal_sum, out.normal_frame);
+                            for o in &out.outliers {
+                                acc.add_scaled(o.mag, o.frame);
+                            }
+                        }
+                        max_occ = max_occ.max(occupancy);
+                    }
+                }
+            } else {
+                let shards = owlp_par::map_indexed(fold.len(), 1, |c| column_pass(&fold[c]));
+                for (j, partials, col_max) in shards {
+                    max_occ = max_occ.max(col_max);
+                    for ((i, _), partial) in arows.iter().zip(&partials) {
+                        accs[i * n + j].merge(partial);
+                    }
                 }
             }
         }
@@ -422,6 +468,26 @@ mod tests {
         // Exact: 10 × 0.5 = 5.0 survives on OwL-P; the FP column loses it.
         assert_eq!(owlp.outputs[0], 5.0);
         assert_eq!(fp.outputs[0], 0.0);
+    }
+
+    #[test]
+    fn parallel_event_sim_is_bit_identical_to_serial() {
+        let cfg = ArrayConfig::small(3, 2, 4);
+        let (m, k, n) = (7, 40, 9);
+        let a = synth(m * k, 31, 5);
+        let b = synth(k * n, 32, 7);
+        let serial = owlp_par::with_threads(1, || simulate_gemm(&cfg, &a, &b, m, k, n).unwrap());
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || simulate_gemm(&cfg, &a, &b, m, k, n).unwrap());
+            assert_eq!(par, serial, "{t} threads");
+            let raw_ser = owlp_par::with_threads(1, || {
+                simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n).unwrap()
+            });
+            let raw_par = owlp_par::with_threads(t, || {
+                simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n).unwrap()
+            });
+            assert_eq!(raw_par, raw_ser, "{t} threads (unscheduled)");
+        }
     }
 
     #[test]

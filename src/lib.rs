@@ -12,7 +12,10 @@
 //! * [`systolic`] — cycle model, outlier scheduler, event simulator;
 //! * [`model`] — transformer workloads and calibrated synthetic tensors;
 //! * [`hw`] — area/power/energy and memory-system models;
-//! * [`mod@core`] — the end-to-end accelerator simulator.
+//! * [`mod@core`] — the end-to-end accelerator simulator;
+//! * [`par`] — the deterministic data-parallel execution layer
+//!   (`OWLP_THREADS`);
+//! * [`serve`] — the trace-driven continuous-batching serving simulator.
 //!
 //! ```
 //! use owlp_repro::format::Bf16;
@@ -32,4 +35,6 @@ pub use owlp_core as core;
 pub use owlp_format as format;
 pub use owlp_hw as hw;
 pub use owlp_model as model;
+pub use owlp_par as par;
+pub use owlp_serve as serve;
 pub use owlp_systolic as systolic;

@@ -1,0 +1,160 @@
+//! Integration: the `owlp-par` determinism contract — every parallelised
+//! hot path (format codec, OwL-P GEMM, event simulation, serving pool)
+//! produces bit-identical results at every thread count.
+//!
+//! `owlp_par::with_threads` pins the budget thread-locally, so each case
+//! replays the same workload at 1/2/4/8 threads and compares against the
+//! serial run wholesale (`PartialEq` on the full outcome structs covers
+//! every field, including statistics counters).
+
+use owlp_repro::arith::owlp_gemm;
+use owlp_repro::format::{encode_tensor, Bf16};
+use owlp_repro::par::with_threads;
+use owlp_repro::serve::{
+    simulate_pool_faulty, summarize_faults, ArrivalProcess, CostModel, FaultPlan, FaultPoolConfig,
+    LengthDistribution, PoolConfig, RecoveryPolicy, SchedulerConfig, TraceSpec,
+};
+use owlp_repro::systolic::{event_sim, ArrayConfig};
+use owlp_repro::{core::Accelerator, model::Dataset, model::ModelId};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// A tensor with a tunable outlier ratio (permille of entries pushed far
+/// outside any plausible exponent window).
+fn tensor(len: usize, outlier_permille: u32, seed: u64) -> Vec<Bf16> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let base = ((state >> 40) as i32 % 500) as f32 * 4e-3;
+            let v = if (state % 1000) < outlier_permille as u64 {
+                base * 1e25
+            } else {
+                base
+            };
+            Bf16::from_f32(v)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Encode → decode is thread-count invariant, including the reusable
+    /// [`decode_into`](owlp_repro::format::EncodedTensor::decode_into)
+    /// buffer path, on tensors long enough to span many parallel chunks.
+    #[test]
+    fn codec_is_thread_count_invariant(
+        len in 1usize..20_000,
+        outlier_permille in 0u32..120,
+        seed in any::<u64>(),
+    ) {
+        let data = tensor(len, outlier_permille, seed);
+        let serial = with_threads(1, || encode_tensor(&data, None)).unwrap();
+        for t in THREADS {
+            let enc = with_threads(t, || encode_tensor(&data, None)).unwrap();
+            prop_assert_eq!(enc.codes(), serial.codes());
+            prop_assert_eq!(enc.outlier_count(), serial.outlier_count());
+            let mut buf = Vec::new();
+            with_threads(t, || enc.decode_into(&mut buf));
+            prop_assert_eq!(&buf, &data);
+        }
+    }
+
+    /// The full OwL-P GEMM (encode + decode + INT datapath) is bit-identical
+    /// across thread counts — output values and wavefront statistics alike.
+    #[test]
+    fn owlp_gemm_is_thread_count_invariant(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..48,
+        outlier_permille in 0u32..80,
+        seed in any::<u64>(),
+    ) {
+        let a = tensor(m * k, outlier_permille, seed);
+        let b = tensor(k * n, outlier_permille, seed.wrapping_add(1));
+        let serial = with_threads(1, || owlp_gemm(&a, &b, m, k, n)).unwrap();
+        for t in THREADS {
+            let par = with_threads(t, || owlp_gemm(&a, &b, m, k, n)).unwrap();
+            prop_assert_eq!(&par, &serial, "{} threads", t);
+        }
+    }
+
+    /// The event-driven array simulation returns the same
+    /// [`EventSimResult`](owlp_repro::systolic::event_sim::EventSimResult)
+    /// — cycles, outputs, occupancy, streaming counters — at every thread
+    /// count, scheduled and unscheduled.
+    #[test]
+    fn event_sim_is_thread_count_invariant(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..40,
+        outlier_permille in 0u32..80,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ArrayConfig::OWLP_PAPER;
+        let a = tensor(m * k, outlier_permille, seed);
+        let b = tensor(k * n, outlier_permille, seed.wrapping_add(1));
+        let serial = with_threads(1, || event_sim::simulate_gemm(&cfg, &a, &b, m, k, n)).unwrap();
+        let serial_raw =
+            with_threads(1, || event_sim::simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n))
+                .unwrap();
+        for t in THREADS {
+            let par = with_threads(t, || event_sim::simulate_gemm(&cfg, &a, &b, m, k, n)).unwrap();
+            prop_assert_eq!(&par, &serial, "{} threads", t);
+            let raw =
+                with_threads(t, || event_sim::simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n))
+                    .unwrap();
+            prop_assert_eq!(&raw, &serial_raw, "{} threads (unscheduled)", t);
+        }
+    }
+}
+
+/// The fault-injected serving pool — including crash-ordered orphan
+/// re-dispatch — replays bit-for-bit at every thread count, down to the
+/// metrics roll-up. One deterministic heavyweight case rather than a
+/// proptest: the cost model's shape tables make each run expensive.
+#[test]
+fn faulty_pool_is_thread_count_invariant() {
+    let trace = TraceSpec {
+        arrivals: ArrivalProcess::Poisson { rate_rps: 300.0 },
+        prompt: LengthDistribution::Uniform { lo: 16, hi: 96 },
+        gen: LengthDistribution::Uniform { lo: 4, hi: 24 },
+        requests: 96,
+        seed: 0x0DD5_EED5,
+    }
+    .generate();
+    let cost = CostModel::new(Accelerator::owlp(), ModelId::Gpt2Base, Dataset::WikiText2);
+    let workers = 4usize;
+    let mut plan = FaultPlan::none(workers);
+    // Two staggered crashes so failover and orphan re-dispatch both fire.
+    plan.workers[1].crash_at_s = Some(0.05);
+    plan.workers[3].crash_at_s = Some(0.11);
+    let cfg = FaultPoolConfig {
+        plan,
+        recovery: RecoveryPolicy::default(),
+        failover_delay_s: 0.02,
+        pool: PoolConfig {
+            workers,
+            scheduler: SchedulerConfig {
+                max_batch: 8,
+                queue_capacity: 16,
+            },
+        },
+    };
+    let serial = with_threads(1, || simulate_pool_faulty(&cost, &cfg, &trace)).unwrap();
+    assert!(serial.faults.crashed_workers > 0, "fault plan must fire");
+    let serial_report = summarize_faults("owlp", 300.0, &serial);
+    for t in THREADS {
+        let par = with_threads(t, || simulate_pool_faulty(&cost, &cfg, &trace)).unwrap();
+        assert_eq!(par, serial, "{t} threads");
+        assert_eq!(
+            summarize_faults("owlp", 300.0, &par),
+            serial_report,
+            "{t} threads (metrics)"
+        );
+    }
+}
