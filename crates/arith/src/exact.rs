@@ -7,10 +7,71 @@
 //! accumulation step).
 
 use crate::kulisch::KulischAcc;
+use crate::window::WindowAcc;
 use owlp_format::Bf16;
+
+/// Magnitude bits of one BF16×BF16 product (8-bit × 8-bit significands).
+const PRODUCT_BITS: i32 = 16;
+
+/// The frame span of a tensor's nonzero elements (min/max of
+/// [`Bf16::pow2_frame`]), or `None` when every element is zero. Also
+/// enforces the exact-arithmetic finiteness contract for *all* elements,
+/// exactly as the per-product path would.
+///
+/// # Panics
+///
+/// Panics on non-finite values.
+fn frame_span(t: &[Bf16]) -> Option<(i32, i32)> {
+    let mut span: Option<(i32, i32)> = None;
+    for &x in t {
+        assert!(x.is_finite(), "non-finite operand in exact product");
+        if x.significand() == 0 {
+            continue;
+        }
+        let f = x.pow2_frame();
+        span = Some(match span {
+            None => (f, f),
+            Some((lo, hi)) => (lo.min(f), hi.max(f)),
+        });
+    }
+    span
+}
+
+/// A WindowAcc template covering every product of the two spans (`None`
+/// when the span is too wide for the 126-bit window, or when one side is
+/// all zeros — the caller handles both).
+fn product_window(sa: (i32, i32), sb: (i32, i32), terms: usize) -> Option<WindowAcc> {
+    WindowAcc::for_span(sa.0 + sb.0, sa.1 + sb.1 + PRODUCT_BITS, terms as u64)
+}
+
+/// A tensor pre-decomposed for the window fast path: signed integer
+/// magnitude and product frame per element, streamed as flat arrays so the
+/// inner GEMM loop does no BF16 bit-fiddling.
+struct Planes {
+    mag: Vec<i32>,
+    frame: Vec<i32>,
+}
+
+fn planes(t: &[Bf16]) -> Planes {
+    let mut mag = Vec::with_capacity(t.len());
+    let mut frame = Vec::with_capacity(t.len());
+    for &x in t {
+        let m = x.significand() as i32;
+        mag.push(if x.sign() { -m } else { m });
+        frame.push(x.pow2_frame());
+    }
+    Planes { mag, frame }
+}
 
 /// The exact dot product of two BF16 slices, rounded once to `f32`
 /// (round-to-nearest-even).
+///
+/// When the two spans of nonzero frames are narrow enough that every
+/// product fits one 126-bit window (the common case — and always the case
+/// for shared-exponent-encoded data), the sum is taken in a flat
+/// [`WindowAcc`]; otherwise each product goes through the full Kulisch
+/// register via the batched API. Both paths compute the identical exact
+/// sum and round it once, so the result is bit-identical either way.
 ///
 /// # Panics
 ///
@@ -25,10 +86,23 @@ use owlp_format::Bf16;
 /// ```
 pub fn exact_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
-    let mut acc = KulischAcc::new();
-    for (&x, &y) in a.iter().zip(b) {
-        acc.add_product(x, y);
+    let (sa, sb) = (frame_span(a), frame_span(b));
+    let (Some(sa), Some(sb)) = (sa, sb) else {
+        return 0.0; // one side all zero → exact +0.0, as Kulisch returns
+    };
+    if let Some(mut win) = product_window(sa, sb, a.len()) {
+        for (&x, &y) in a.iter().zip(b) {
+            let p = x.significand() as i64 * y.significand() as i64;
+            if p == 0 {
+                continue;
+            }
+            let p = if x.sign() ^ y.sign() { -p } else { p };
+            win.add(p, x.pow2_frame() + y.pow2_frame());
+        }
+        return win.round_to_f32();
     }
+    let mut acc = KulischAcc::new();
+    acc.add_product_batch(a, b);
     acc.round_to_f32()
 }
 
@@ -38,9 +112,7 @@ pub fn exact_dot(a: &[Bf16], b: &[Bf16]) -> f32 {
 pub fn exact_dot_f64(a: &[Bf16], b: &[Bf16]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
     let mut acc = KulischAcc::new();
-    for (&x, &y) in a.iter().zip(b) {
-        acc.add_product(x, y);
-    }
+    acc.add_product_batch(a, b);
     acc.to_f64_lossy()
 }
 
@@ -67,19 +139,70 @@ pub(crate) fn row_grain(k: usize, n: usize) -> usize {
 pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
-    let row_blocks = owlp_par::map_chunks(m, row_grain(k, n), |rows| {
-        let mut block = Vec::with_capacity(rows.len() * n);
-        for i in rows {
+    let (sa, sb) = (frame_span(a), frame_span(b));
+    let (Some(sa), Some(sb)) = (sa, sb) else {
+        return vec![0.0; m * n]; // one factor all zero → exact +0.0 grid
+    };
+    let window = product_window(sa, sb, k);
+    let ops_per_row = 2 * (k as u64) * (n as u64);
+    let row_blocks = if let Some(win) = window {
+        // Fast path: every product of the whole GEMM provably fits one
+        // 126-bit window, so each output element is a flat wide-integer
+        // sum rounded once — no 12-limb traffic at all. The tensors are
+        // pre-split into magnitude/frame planes (B transposed so both
+        // operands stream contiguously) to keep the inner loop branch-light.
+        let pa = planes(a);
+        let pb = planes(b);
+        let mut bt_mag = vec![0i32; k * n];
+        let mut bt_frame = vec![0i32; k * n];
+        for kk in 0..k {
             for j in 0..n {
-                let mut acc = KulischAcc::new();
-                for kk in 0..k {
-                    acc.add_product(a[i * k + kk], b[kk * n + j]);
-                }
-                block.push(acc.round_to_f32());
+                bt_mag[j * k + kk] = pb.mag[kk * n + j];
+                bt_frame[j * k + kk] = pb.frame[kk * n + j];
             }
         }
-        block
-    });
+        owlp_par::map_chunks_weighted(m, row_grain(k, n), ops_per_row, |rows| {
+            let mut block = Vec::with_capacity(rows.len() * n);
+            for i in rows {
+                let row_mag = &pa.mag[i * k..(i + 1) * k];
+                let row_frame = &pa.frame[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let col_mag = &bt_mag[j * k..(j + 1) * k];
+                    let col_frame = &bt_frame[j * k..(j + 1) * k];
+                    let mut acc = win;
+                    for kk in 0..k {
+                        let p = row_mag[kk] as i64 * col_mag[kk] as i64;
+                        if p != 0 {
+                            acc.add(p, row_frame[kk] + col_frame[kk]);
+                        }
+                    }
+                    block.push(acc.round_to_f32());
+                }
+            }
+            block
+        })
+    } else {
+        // Wide-span fallback: full Kulisch register per element, with the
+        // batched product API hoisting limb arithmetic out of the loop.
+        let mut bt = vec![Bf16::ZERO; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        owlp_par::map_chunks_weighted(m, row_grain(k, n), ops_per_row, |rows| {
+            let mut block = Vec::with_capacity(rows.len() * n);
+            for i in rows {
+                let row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let mut acc = KulischAcc::new();
+                    acc.add_product_batch(row, &bt[j * k..(j + 1) * k]);
+                    block.push(acc.round_to_f32());
+                }
+            }
+            block
+        })
+    };
     let mut out = Vec::with_capacity(m * n);
     for block in row_blocks {
         out.extend(block);
@@ -91,19 +214,25 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
 pub fn exact_gemm_f64(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f64> {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
-    let row_blocks = owlp_par::map_chunks(m, row_grain(k, n), |rows| {
-        let mut block = Vec::with_capacity(rows.len() * n);
-        for i in rows {
-            for j in 0..n {
-                let mut acc = KulischAcc::new();
-                for kk in 0..k {
-                    acc.add_product(a[i * k + kk], b[kk * n + j]);
-                }
-                block.push(acc.to_f64_lossy());
-            }
+    let mut bt = vec![Bf16::ZERO; k * n];
+    for kk in 0..k {
+        for j in 0..n {
+            bt[j * k + kk] = b[kk * n + j];
         }
-        block
-    });
+    }
+    let row_blocks =
+        owlp_par::map_chunks_weighted(m, row_grain(k, n), 2 * (k as u64) * (n as u64), |rows| {
+            let mut block = Vec::with_capacity(rows.len() * n);
+            for i in rows {
+                let row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let mut acc = KulischAcc::new();
+                    acc.add_product_batch(row, &bt[j * k..(j + 1) * k]);
+                    block.push(acc.to_f64_lossy());
+                }
+            }
+            block
+        });
     let mut out = Vec::with_capacity(m * n);
     for block in row_blocks {
         out.extend(block);
@@ -186,6 +315,80 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = exact_dot(&[Bf16::ONE], &[]);
+    }
+
+    /// Per-product Kulisch GEMM — the pre-fast-path reference.
+    fn oracle_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = KulischAcc::new();
+                for kk in 0..k {
+                    acc.add_product(a[i * k + kk], b[kk * n + j]);
+                }
+                out.push(acc.round_to_f32());
+            }
+        }
+        out
+    }
+
+    fn mixed_tensor(len: usize, outlier_every: usize, seed: u64) -> Vec<Bf16> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let base = ((state >> 33) as i32 % 999) as f32 * 3e-3 - 1.2;
+                let v = match () {
+                    _ if i % 11 == 3 => 0.0,
+                    _ if outlier_every > 0 && i % outlier_every == 1 => base * 1e24,
+                    _ => base,
+                };
+                bf(v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_fast_path_matches_per_product_oracle() {
+        // Narrow span: the window fast path fires.
+        let (m, k, n) = (7, 33, 11);
+        let a = mixed_tensor(m * k, 0, 7);
+        let b = mixed_tensor(k * n, 0, 8);
+        let fast = exact_gemm(&a, &b, m, k, n);
+        let oracle = oracle_gemm(&a, &b, m, k, n);
+        for (x, y) in fast.iter().zip(&oracle) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn kulisch_fallback_matches_per_product_oracle() {
+        // Outliers stretch the product span past the i128 window, forcing
+        // the batched Kulisch fallback.
+        let (m, k, n) = (5, 29, 9);
+        let a = mixed_tensor(m * k, 13, 17);
+        let b = mixed_tensor(k * n, 7, 23);
+        let span_a = frame_span(&a).expect("nonzero");
+        let span_b = frame_span(&b).expect("nonzero");
+        assert!(
+            product_window(span_a, span_b, k).is_none(),
+            "test tensors must be span-hostile"
+        );
+        let fallback = exact_gemm(&a, &b, m, k, n);
+        let oracle = oracle_gemm(&a, &b, m, k, n);
+        for (x, y) in fallback.iter().zip(&oracle) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_zero_factor_gives_positive_zero_grid() {
+        let a = vec![Bf16::ZERO; 6];
+        let b = mixed_tensor(6, 0, 5);
+        let c = exact_gemm(&a, &b, 2, 3, 2);
+        assert!(c.iter().all(|v| v.to_bits() == 0.0f32.to_bits()));
     }
 
     #[test]

@@ -8,9 +8,12 @@
 use crate::align::AlignUnit;
 use crate::column::PeColumn;
 use crate::error::ArithError;
+use crate::kulisch::KulischAcc;
 use crate::pe::PeConfig;
+use crate::window::{WindowAcc, OWLP_PRODUCT_BITS};
 use owlp_format::decode::DecodedOperand;
-use owlp_format::{encode_tensor, Bf16, EncodedTensor};
+use owlp_format::packed::{META_SH, META_SIGN};
+use owlp_format::{encode_tensor, Bf16, EncodedTensor, PackedOperands};
 use serde::{Deserialize, Serialize};
 
 /// Result of an OwL-P GEMM with datapath statistics.
@@ -32,6 +35,69 @@ pub struct OwlpGemmOutput {
     pub max_wavefront_outliers: usize,
     /// Total products routed down outlier paths.
     pub total_outlier_products: usize,
+}
+
+/// A tensor encoded and packed once, for reuse across GEMM calls.
+///
+/// Weight tensors in a serving loop are multiplied every iteration but
+/// never change; preparing them once hoists the encode + decode-pack work
+/// out of the per-request path (the memoisation the event-driven model and
+/// the functional transformer use).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedTensor {
+    enc: EncodedTensor,
+    packed: PackedOperands,
+}
+
+impl PreparedTensor {
+    /// Encodes and packs `t` once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::Format`] for non-finite inputs.
+    pub fn new(t: &[Bf16]) -> Result<Self, ArithError> {
+        let enc = encode_tensor(t, None)?;
+        let packed = enc.decode_packed();
+        Ok(PreparedTensor { enc, packed })
+    }
+
+    /// The encoded tensor.
+    pub fn encoded(&self) -> &EncodedTensor {
+        &self.enc
+    }
+
+    /// The packed decoded operands.
+    pub fn packed(&self) -> &PackedOperands {
+        &self.packed
+    }
+}
+
+/// [`owlp_gemm`] with a pre-prepared weight tensor: only the activation
+/// side pays encode + pack, the weight side reuses its cached planes.
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+pub fn owlp_gemm_prepared(
+    a: &[Bf16],
+    b: &PreparedTensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<OwlpGemmOutput, ArithError> {
+    check_shape(a, m * k, "A")?;
+    let prep_a = PreparedTensor::new(a)?;
+    owlp_gemm_decoded(
+        &prep_a.enc,
+        &prep_a.packed,
+        &b.enc,
+        &b.packed,
+        m,
+        k,
+        n,
+        PeConfig::PAPER,
+        AlignUnit::Exact,
+    )
 }
 
 /// Runs the OwL-P pipeline on `a` (`m×k`, row-major) × `b` (`k×n`,
@@ -82,53 +148,227 @@ pub fn owlp_gemm_with(
     check_shape(b, k * n, "B")?;
     let enc_a = encode_tensor(a, None)?;
     let enc_b = encode_tensor(b, None)?;
-    let ops_a = enc_a.decode_operands();
-    let ops_b = enc_b.decode_operands();
-    owlp_gemm_decoded(&enc_a, &ops_a, &enc_b, &ops_b, m, k, n, config, align)
+    let packed_a = enc_a.decode_packed();
+    let packed_b = enc_b.decode_packed();
+    owlp_gemm_decoded(&enc_a, &packed_a, &enc_b, &packed_b, m, k, n, config, align)
 }
 
 /// The datapath half of [`owlp_gemm`], reusable when the tensors are
 /// already encoded/decoded (as the accelerator model does per layer).
+///
+/// Under [`AlignUnit::Exact`] every wavefront (one output element's pass)
+/// runs the hybrid bounded-window kernel: a flat signed-integer dot product
+/// over the packed magnitude/meta planes accumulates **all** products in a
+/// [`WindowAcc`] on the shared-exponent frame, then the few tagged
+/// positions — found by merging the row's and column's sorted outlier
+/// tables — are corrected: their as-if-normal term is subtracted and the
+/// true outlier product (same integer magnitude, frame rebuilt from the
+/// outliers' own exponents exactly as the PE's outlier bypass does) is
+/// added back through a second, dynamically sized window, or through a
+/// [`KulischAcc`] when the frame span outgrows an `i128`. Both compute the
+/// exact sum and round once with the same RNE conversion, so the result is
+/// bit-identical to driving the PE column; the outlier statistics count
+/// exactly the nonzero tagged products the PE's bypass path would carry.
+/// Runs under an [`AlignUnit::Bounded`] policy are order-sensitive and keep
+/// the full [`PeColumn`] datapath.
 #[allow(clippy::too_many_arguments)]
 pub fn owlp_gemm_decoded(
     enc_a: &EncodedTensor,
-    ops_a: &[DecodedOperand],
+    packed_a: &PackedOperands,
     enc_b: &EncodedTensor,
-    ops_b: &[DecodedOperand],
+    packed_b: &PackedOperands,
     m: usize,
     k: usize,
     n: usize,
     config: PeConfig,
     align: AlignUnit,
 ) -> Result<OwlpGemmOutput, ArithError> {
-    check_len(ops_a.len(), m * k, "decoded A")?;
-    check_len(ops_b.len(), k * n, "decoded B")?;
+    check_len(packed_a.len(), m * k, "decoded A")?;
+    check_len(packed_b.len(), k * n, "decoded B")?;
     let rows = k.div_ceil(config.lanes).max(1);
     let column = PeColumn::new(config, rows).with_align(align);
     let shared_a = enc_a.shared_exp();
     let shared_w = enc_b.shared_exp();
+    let fast_ok = matches!(align, AlignUnit::Exact);
+    // Tagged-position tables, hoisted out of the m×n loop: for each
+    // activation row and weight column, the in-row/in-column offsets of its
+    // tagged outliers plus their decoded exponent term (`max(exp, 1)`, the
+    // PE's subnormal-outlier clamp). Both lists come out sorted because the
+    // packed side tables are position-sorted.
+    let mut row_tags: Vec<Vec<(u32, i32)>> = vec![Vec::new(); if fast_ok { m } else { 0 }];
+    let mut col_tags: Vec<Vec<(u32, i32)>> = vec![Vec::new(); if fast_ok { n } else { 0 }];
+    if fast_ok {
+        for (&p, &e) in packed_a
+            .outlier_positions()
+            .iter()
+            .zip(packed_a.outlier_exps())
+        {
+            row_tags[p as usize / k].push((p % k as u32, e.max(1) as i32));
+        }
+        for (&p, &e) in packed_b
+            .outlier_positions()
+            .iter()
+            .zip(packed_b.outlier_exps())
+        {
+            col_tags[p as usize % n].push((p / n as u32, e.max(1) as i32));
+        }
+    }
+    let a_mag = packed_a.mags();
+    let a_meta = packed_a.metas();
+    let b_mag = packed_b.mags();
+    let b_meta = packed_b.metas();
+    let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, k);
     // Tile-parallel over output columns: each tile gathers its weight
-    // columns and runs every activation row through the PE column. Results
-    // assemble in column order and the wavefront statistics reduce over the
-    // ordered tile list (max and sum — order-free anyway), so the output is
-    // bit-identical to the serial sweep at every thread count.
+    // columns and runs every activation row through the fast kernel or the
+    // PE column. Results assemble in column order and the wavefront
+    // statistics reduce over the ordered tile list (max and sum —
+    // order-free anyway), so the output is bit-identical to the serial
+    // sweep at every thread count.
     let grain = crate::exact::row_grain(k, m);
-    let tiles = owlp_par::map_chunks(n, grain, |cols| {
+    let col_ops = 2 * (k as u64).saturating_mul(m as u64).max(1);
+    let tiles = owlp_par::map_chunks_weighted(n, grain, col_ops, |cols| {
         let j0 = cols.start;
         let mut values = Vec::with_capacity(cols.len() * m);
         let mut max_wavefront = 0usize;
         let mut total = 0usize;
-        let mut wt_col = vec![DecodedOperand::ZERO; k];
-        for j in cols {
-            for kk in 0..k {
-                wt_col[kk] = ops_b[kk * n + j];
+        if fast_ok {
+            let mut wt_mag = vec![0u16; k];
+            let mut wt_meta = vec![0u8; k];
+            // Corrected outlier products of the current wavefront:
+            // (signed integer magnitude, frame), reused across wavefronts.
+            let mut outs: Vec<(i64, i32)> = Vec::new();
+            for j in cols {
+                for kk in 0..k {
+                    wt_mag[kk] = b_mag[kk * n + j];
+                    wt_meta[kk] = b_meta[kk * n + j];
+                }
+                let ctags = &col_tags[j];
+                for i in 0..m {
+                    // Flat window pass over every position: each product is
+                    // an integer < 2^30 on the shared frame, so a flat i64
+                    // dot regroups the PE column's per-lane sums without
+                    // changing the exact value.
+                    let row_mag = &a_mag[i * k..(i + 1) * k];
+                    let row_meta = &a_meta[i * k..(i + 1) * k];
+                    let mut sum = 0i64;
+                    let mut win = win0;
+                    for kk in 0..k {
+                        let p = row_mag[kk] as i64 * wt_mag[kk] as i64;
+                        if p != 0 {
+                            let am = row_meta[kk];
+                            let wm = wt_meta[kk];
+                            // META_SH is bit 1, so this is 4·(sh_a + sh_w).
+                            let sh = 2 * ((am & META_SH) + (wm & META_SH)) as i32;
+                            let v = p << sh;
+                            sum += if (am ^ wm) & META_SIGN != 0 { -v } else { v };
+                        }
+                        if kk & 0x1F == 0x1F {
+                            // Spill every 32 terms: 30-bit products keep the
+                            // running i64 partial far from overflow.
+                            win.add_aligned(sum);
+                            sum = 0;
+                        }
+                    }
+                    win.add_aligned(sum);
+                    let rtags = &row_tags[i];
+                    if rtags.is_empty() && ctags.is_empty() {
+                        values.push(win.round_to_f32());
+                        continue;
+                    }
+                    // Correction walk over the merged union of tagged
+                    // positions: pull each tagged product out of the shared
+                    // frame and rebuild it on its true outlier frame —
+                    // `max(exp, 1)` replacing the shared exponent on each
+                    // tagged side, exactly the PE's bypass-path frame. Zero
+                    // products stay on the normal path (the PE never routes
+                    // them to an outlier slot).
+                    outs.clear();
+                    let (mut x, mut y) = (0usize, 0usize);
+                    while x < rtags.len() || y < ctags.len() {
+                        let (kk, ea, ew) =
+                            if y == ctags.len() || (x < rtags.len() && rtags[x].0 < ctags[y].0) {
+                                let (kk, ea) = rtags[x];
+                                x += 1;
+                                (kk as usize, ea, shared_w as i32)
+                            } else if x == rtags.len() || ctags[y].0 < rtags[x].0 {
+                                let (kk, ew) = ctags[y];
+                                y += 1;
+                                (kk as usize, shared_a as i32, ew)
+                            } else {
+                                let (kk, ea) = rtags[x];
+                                let ew = ctags[y].1;
+                                x += 1;
+                                y += 1;
+                                (kk as usize, ea, ew)
+                            };
+                        let p = row_mag[kk] as i64 * wt_mag[kk] as i64;
+                        if p == 0 {
+                            continue;
+                        }
+                        let am = row_meta[kk];
+                        let wm = wt_meta[kk];
+                        let sh = 2 * ((am & META_SH) + (wm & META_SH)) as i32;
+                        let v = if (am ^ wm) & META_SIGN != 0 {
+                            -(p << sh)
+                        } else {
+                            p << sh
+                        };
+                        win.add_aligned(-v);
+                        outs.push((v, ea + ew - 268));
+                    }
+                    max_wavefront = max_wavefront.max(outs.len());
+                    total += outs.len();
+                    if outs.is_empty() {
+                        // Every tagged product was zero — the shared-frame
+                        // window already holds the exact sum.
+                        values.push(win.round_to_f32());
+                        continue;
+                    }
+                    // One dynamically sized window usually covers the
+                    // outlier frames too; fall back to the Kulisch register
+                    // only when the span outgrows an i128.
+                    let mut lo = win.frame();
+                    let mut hi = win.frame() + OWLP_PRODUCT_BITS;
+                    for &(_, f) in &outs {
+                        lo = lo.min(f);
+                        hi = hi.max(f + OWLP_PRODUCT_BITS);
+                    }
+                    match WindowAcc::for_span(lo, hi, (k + outs.len()) as u64) {
+                        Some(mut wide) => {
+                            wide.add_window(&win);
+                            for &(v, f) in &outs {
+                                wide.add(v, f);
+                            }
+                            values.push(wide.round_to_f32());
+                        }
+                        None => {
+                            let mut acc = KulischAcc::new();
+                            win.merge_into(&mut acc);
+                            for &(v, f) in &outs {
+                                acc.add_scaled(v, f);
+                            }
+                            values.push(acc.round_to_f32());
+                        }
+                    }
+                }
             }
-            for i in 0..m {
-                let act_row = &ops_a[i * k..(i + 1) * k];
-                let out = column.compute_unchecked(act_row, &wt_col, shared_a, shared_w);
-                values.push(out.value);
-                max_wavefront = max_wavefront.max(out.outlier_products);
-                total += out.outlier_products;
+        } else {
+            // Bounded align reduces contributions in the PE column's
+            // arrival order — order-sensitive, so drive the real datapath.
+            let mut wt_col: Vec<DecodedOperand> = Vec::new();
+            let mut act_rows: Vec<Option<Vec<DecodedOperand>>> = vec![None; m];
+            for j in cols {
+                wt_col.clear();
+                wt_col.extend((0..k).map(|kk| packed_b.get(kk * n + j)));
+                for (i, slot) in act_rows.iter_mut().enumerate() {
+                    let act_row = slot.get_or_insert_with(|| {
+                        (i * k..(i + 1) * k).map(|x| packed_a.get(x)).collect()
+                    });
+                    let out = column.compute_unchecked(act_row, &wt_col, shared_a, shared_w);
+                    values.push(out.value);
+                    max_wavefront = max_wavefront.max(out.outlier_products);
+                    total += out.outlier_products;
+                }
             }
         }
         (j0, values, max_wavefront, total)

@@ -109,6 +109,81 @@ impl KulischAcc {
         self.add_scaled(mag, a.pow2_frame() + b.pow2_frame());
     }
 
+    /// Adds `v × 2^frame` exactly for a full-width `i128` value (the spill
+    /// path of [`crate::window::WindowAcc`] and of the batched product
+    /// loop): the value is decomposed into 62-bit digits so each lands in
+    /// [`KulischAcc::add_scaled`]'s `i64` domain.
+    pub(crate) fn add_wide(&mut self, v: i128, frame: i32) {
+        if v == 0 {
+            return;
+        }
+        const DIGIT: u32 = 62;
+        let mask: i128 = (1i128 << DIGIT) - 1;
+        // Radix-2^62 digits with floor semantics (arithmetic shift), so
+        // v == hi·2^124 + mid·2^62 + lo with lo, mid ∈ [0, 2^62).
+        let lo = (v & mask) as i64;
+        let mid = ((v >> DIGIT) & mask) as i64;
+        let hi = (v >> (2 * DIGIT)) as i64;
+        self.add_scaled(lo, frame);
+        self.add_scaled(mid, frame + DIGIT as i32);
+        self.add_scaled(hi, frame + 2 * DIGIT as i32);
+    }
+
+    /// Adds the exact products of two equal-length BF16 slices — the same
+    /// result as calling [`KulischAcc::add_product`] per pair, but with the
+    /// limb-index computation hoisted out of the per-product loop.
+    ///
+    /// Consecutive products usually share (or nearly share) a frame, so
+    /// they are gathered into one `i128` pending window anchored at the
+    /// first frame seen; the 12-limb register is only touched when a
+    /// product jumps outside the pending window or its headroom runs out.
+    /// Integer adds regroup freely, so the accumulated value is identical
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or non-finite values, as
+    /// [`KulischAcc::add_product`] does.
+    pub fn add_product_batch(&mut self, a: &[Bf16], b: &[Bf16]) {
+        assert_eq!(a.len(), b.len(), "dot product length mismatch");
+        // A product magnitude has ≤ 16 bits; keep every pending term under
+        // 2^100 and cap the term count so |pend| stays below 2^126.
+        const MAX_SHIFT: i32 = 84;
+        const PEND_TERMS: u32 = 1 << 26;
+        let mut pend: i128 = 0;
+        let mut anchor: i32 = 0;
+        let mut have = false;
+        let mut slack: u32 = PEND_TERMS;
+        for (&x, &y) in a.iter().zip(b) {
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "non-finite operand in exact product"
+            );
+            let p = x.significand() as i64 * y.significand() as i64;
+            if p == 0 {
+                continue;
+            }
+            let p = if x.sign() ^ y.sign() { -p } else { p };
+            let frame = x.pow2_frame() + y.pow2_frame();
+            let sh = frame - anchor;
+            if !have || !(0..=MAX_SHIFT).contains(&sh) || slack == 0 {
+                if have {
+                    self.add_wide(pend, anchor);
+                }
+                pend = p as i128;
+                anchor = frame;
+                have = true;
+                slack = PEND_TERMS;
+            } else {
+                pend += (p as i128) << sh;
+                slack -= 1;
+            }
+        }
+        if have {
+            self.add_wide(pend, anchor);
+        }
+    }
+
     /// Adds another accumulator's value.
     pub fn merge(&mut self, other: &KulischAcc) {
         let mut carry = false;
@@ -387,6 +462,73 @@ mod tests {
         let mut acc = KulischAcc::new();
         acc.add_scaled(0, -400); // out-of-range pow is fine when mag == 0
         assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn batch_matches_per_product_adds() {
+        // A frame-hostile mix: normals, outlier-scale values, zeros, and
+        // sign flips — the batch path must regroup to the same bits.
+        let mut state = 0xB16B_00B5u64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let base = ((state >> 33) as i32 % 999) as f32 * 3e-3;
+            let scale = match state % 97 {
+                0 => 1e25,
+                1 => 1e-25,
+                _ => 1.0,
+            };
+            xs.push(bf(base * scale));
+            ys.push(bf(if i % 5 == 0 { 0.0 } else { base - 0.7 }));
+        }
+        let mut per_product = KulischAcc::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            per_product.add_product(x, y);
+        }
+        let mut batch = KulischAcc::new();
+        batch.add_product_batch(&xs, &ys);
+        assert_eq!(batch, per_product);
+        assert_eq!(
+            batch.round_to_f32().to_bits(),
+            per_product.round_to_f32().to_bits()
+        );
+    }
+
+    #[test]
+    fn add_wide_splits_match_direct_adds() {
+        for v in [
+            0i128,
+            1,
+            -1,
+            (1i128 << 100) + 12345,
+            -(1i128 << 100) - 9876,
+            i64::MAX as i128 * 7,
+            i64::MIN as i128 * 3,
+        ] {
+            let mut wide = KulischAcc::new();
+            wide.add_wide(v, -40);
+            // Reference: feed |v| in signed 16-bit digits.
+            let mut reference = KulischAcc::new();
+            let sign: i64 = if v < 0 { -1 } else { 1 };
+            let mut rest = v.unsigned_abs();
+            let mut frame = -40;
+            while rest != 0 {
+                reference.add_scaled(sign * (rest & 0xFFFF) as i64, frame);
+                rest >>= 16;
+                frame += 16;
+            }
+            assert_eq!(wide, reference, "v {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite operand")]
+    fn batch_rejects_non_finite() {
+        let mut acc = KulischAcc::new();
+        acc.add_product_batch(&[bf(1.0), Bf16::NAN], &[bf(1.0), bf(1.0)]);
     }
 
     #[test]

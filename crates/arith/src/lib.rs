@@ -63,11 +63,13 @@ pub mod pe;
 pub mod pipeline;
 pub mod quant;
 pub mod testbench;
+pub mod window;
 
 pub use align::{AlignUnit, Contribution};
 pub use error::ArithError;
 pub use exact::{exact_dot, exact_gemm};
 pub use fpmac::{fp_mac_dot, fp_mac_gemm};
-pub use gemm::{owlp_gemm, OwlpGemmOutput};
+pub use gemm::{owlp_gemm, owlp_gemm_prepared, OwlpGemmOutput, PreparedTensor};
 pub use kulisch::KulischAcc;
 pub use pe::{LaneProduct, PeConfig, ProcessingElement};
+pub use window::WindowAcc;

@@ -1,0 +1,92 @@
+//! Criterion: accumulator kernels — per-product `KulischAcc::add_product`
+//! vs the hoisted `add_product_batch` vs the bounded-window `WindowAcc`
+//! fast path, so future accumulator changes have a tracked baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use owlp_arith::kulisch::KulischAcc;
+use owlp_arith::WindowAcc;
+use owlp_format::packed::{META_SH, META_SIGN};
+use owlp_format::{encode_tensor, Bf16};
+
+/// Deterministic BF16 operands in the normal band (exponents 126..=127),
+/// the all-normal common case every fast path targets.
+fn normal_tensor(len: usize, seed: u64) -> Vec<Bf16> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+            let sign = if state & 2 == 0 { 1.0 } else { -1.0 };
+            Bf16::from_f32(sign * (0.75 + u * 0.5))
+        })
+        .collect()
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    const N: usize = 4096;
+    let a = normal_tensor(N, 0x5EED);
+    let b = normal_tensor(N, 0xBEEF);
+    // The struct-of-arrays planes the GEMM fast path streams.
+    let enc_a = encode_tensor(&a, None).unwrap();
+    let enc_b = encode_tensor(&b, None).unwrap();
+    let pa = enc_a.decode_packed();
+    let pb = enc_b.decode_packed();
+    assert_eq!(pa.tagged_count() + pb.tagged_count(), 0, "all-normal input");
+    let (shared_a, shared_w) = (enc_a.shared_exp(), enc_b.shared_exp());
+
+    let mut group = c.benchmark_group("accumulators");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("kulisch_add_product", |bch| {
+        bch.iter(|| {
+            let mut acc = KulischAcc::new();
+            for (x, y) in a.iter().zip(&b) {
+                acc.add_product(*x, *y);
+            }
+            acc.round_to_f32()
+        })
+    });
+    group.bench_function("kulisch_add_product_batch", |bch| {
+        bch.iter(|| {
+            let mut acc = KulischAcc::new();
+            acc.add_product_batch(&a, &b);
+            acc.round_to_f32()
+        })
+    });
+    group.bench_function("window_acc", |bch| {
+        // The exact inner loop of the all-normal GEMM wavefront: flat mag
+        // and meta planes, i64 partial spilled into the i128 window.
+        let (am, amt) = (pa.mags(), pa.metas());
+        let (bm, bmt) = (pb.mags(), pb.metas());
+        bch.iter(|| {
+            let mut win = WindowAcc::for_owlp_normal(shared_a, shared_w, N);
+            let mut sum = 0i64;
+            for kk in 0..N {
+                let p = am[kk] as i64 * bm[kk] as i64;
+                if p != 0 {
+                    let sh = 2 * ((amt[kk] & META_SH) + (bmt[kk] & META_SH)) as i32;
+                    let v = p << sh;
+                    sum += if (amt[kk] ^ bmt[kk]) & META_SIGN != 0 {
+                        -v
+                    } else {
+                        v
+                    };
+                }
+                if kk & 0x1F == 0x1F {
+                    win.add_aligned(sum);
+                    sum = 0;
+                }
+            }
+            win.add_aligned(sum);
+            win.round_to_f32()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

@@ -26,8 +26,10 @@ use std::time::Instant;
 /// Repetitions per timing (the minimum is reported); `--smoke` uses 1.
 const REPS: usize = 3;
 
-/// Report schema version (bump on breaking field changes).
-pub const SCHEMA: u32 = 1;
+/// Report schema version (bump on breaking field changes). v2 adds the
+/// requested-vs-clamped thread accounting and the old-baseline comparison
+/// fields.
+pub const SCHEMA: u32 = 2;
 
 /// One timed workload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -43,7 +45,8 @@ pub struct BenchCase {
     pub threads: usize,
     /// Best serial wall-clock, seconds (`OWLP_THREADS=1`).
     pub serial_s: f64,
-    /// Best parallel wall-clock, seconds.
+    /// Best parallel wall-clock, seconds. Equal to `serial_s` when the
+    /// resolved budget is one thread (there is nothing parallel to time).
     pub parallel_s: f64,
     /// `ops / serial_s`.
     pub serial_ops_per_s: f64,
@@ -53,6 +56,12 @@ pub struct BenchCase {
     pub speedup: f64,
     /// Whether the parallel result matched the serial result bit-for-bit.
     pub bit_identical: bool,
+    /// Serial ops/s of the same case in the previous baseline report
+    /// (`None` when no baseline file was supplied or the case is new).
+    pub baseline_serial_ops_per_s: Option<f64>,
+    /// `serial_ops_per_s / baseline_serial_ops_per_s` — the old-vs-new
+    /// serial gain this PR's fast paths delivered.
+    pub serial_gain: Option<f64>,
 }
 
 /// The full baseline report.
@@ -61,10 +70,14 @@ pub struct BenchReport {
     /// Report schema version.
     pub schema: u32,
     /// Hardware threads the host advertises
-    /// ([`std::thread::available_parallelism`]) — speedups are bounded by
-    /// this, whatever `OWLP_THREADS` asks for.
+    /// ([`owlp_par::hardware_threads`]) — speedups are bounded by this,
+    /// whatever `OWLP_THREADS` asks for.
     pub hardware_threads: usize,
-    /// Resolved `owlp-par` thread budget for the parallel timings.
+    /// Threads the environment *asked* for (`OWLP_THREADS` /
+    /// `with_threads`), before clamping to the hardware.
+    pub requested_threads: usize,
+    /// Resolved (hardware-clamped) `owlp-par` thread budget used for the
+    /// parallel timings.
     pub thread_budget: usize,
     /// Whether this was a `--smoke` run (small shapes, single repetition).
     pub smoke: bool,
@@ -96,7 +109,16 @@ fn case<R, D: PartialEq>(
     fingerprint: impl Fn(&R) -> D,
 ) -> BenchCase {
     let (serial_s, serial) = owlp_par::with_threads(1, || min_time(reps, &mut run));
-    let (parallel_s, parallel) = owlp_par::with_threads(threads, || min_time(reps, &mut run));
+    // A one-thread budget has nothing parallel to time: reporting the
+    // serial number twice (speedup exactly 1.0) is the honest measurement,
+    // where re-timing would only add noise around 1.0×.
+    let (parallel_s, bit_identical) = if threads <= 1 {
+        let _ = serial;
+        (serial_s, true)
+    } else {
+        let (parallel_s, parallel) = owlp_par::with_threads(threads, || min_time(reps, &mut run));
+        (parallel_s, fingerprint(&serial) == fingerprint(&parallel))
+    };
     BenchCase {
         name: name.to_string(),
         shape,
@@ -107,7 +129,9 @@ fn case<R, D: PartialEq>(
         serial_ops_per_s: ops as f64 / serial_s,
         parallel_ops_per_s: ops as f64 / parallel_s,
         speedup: serial_s / parallel_s,
-        bit_identical: fingerprint(&serial) == fingerprint(&parallel),
+        bit_identical,
+        baseline_serial_ops_per_s: None,
+        serial_gain: None,
     }
 }
 
@@ -238,11 +262,43 @@ pub fn run(smoke: bool) -> BenchReport {
 
     BenchReport {
         schema: SCHEMA,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        hardware_threads: owlp_par::hardware_threads(),
+        requested_threads: owlp_par::requested_threads(),
         thread_budget: threads,
         smoke,
         cases,
     }
+}
+
+/// Fills each case's `baseline_serial_ops_per_s` / `serial_gain` from a
+/// previous report's JSON text (schema 1 or 2 — only `cases[].name` and
+/// `cases[].serial_ops_per_s` are consulted, so old baselines parse fine).
+/// Unknown case names are left untouched. Returns `false` when the text is
+/// not a report shaped that way.
+pub fn attach_baseline(report: &mut BenchReport, baseline_json: &str) -> bool {
+    let Ok(v) = serde_json::value_from_str(baseline_json) else {
+        return false;
+    };
+    let Some(serde_json::Value::Array(cases)) = v.get("cases") else {
+        return false;
+    };
+    let mut found = false;
+    for old in cases {
+        let Some(serde_json::Value::String(name)) = old.get("name") else {
+            continue;
+        };
+        let old_ops = match old.get("serial_ops_per_s") {
+            Some(serde_json::Value::Float(f)) => *f,
+            Some(serde_json::Value::Int(i)) => *i as f64,
+            _ => continue,
+        };
+        for c in report.cases.iter_mut().filter(|c| c.name == *name) {
+            c.baseline_serial_ops_per_s = Some(old_ops);
+            c.serial_gain = (old_ops > 0.0).then(|| c.serial_ops_per_s / old_ops);
+            found = true;
+        }
+    }
+    found
 }
 
 /// Console rendering of the report.
@@ -253,8 +309,9 @@ pub fn render(r: &BenchReport) -> String {
         "threads",
         "serial s",
         "parallel s",
-        "ops/s (par)",
+        "ops/s (ser)",
         "speedup",
+        "vs old serial",
         "bit-identical",
     ]);
     for c in &r.cases {
@@ -264,16 +321,19 @@ pub fn render(r: &BenchReport) -> String {
             c.threads.to_string(),
             format!("{:.4}", c.serial_s),
             format!("{:.4}", c.parallel_s),
-            format!("{:.3e}", c.parallel_ops_per_s),
+            format!("{:.3e}", c.serial_ops_per_s),
             format!("{:.2}x", c.speedup),
+            c.serial_gain
+                .map_or_else(|| "-".to_string(), |g| format!("{g:.2}x")),
             c.bit_identical.to_string(),
         ]);
     }
     format!(
-        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, budget {}{})\n{}",
+        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}",
         r.schema,
         r.hardware_threads,
         if r.hardware_threads == 1 { "" } else { "s" },
+        r.requested_threads,
         r.thread_budget,
         if r.smoke { ", smoke" } else { "" },
         t.render()
@@ -290,12 +350,43 @@ mod tests {
         assert_eq!(r.schema, SCHEMA);
         assert!(r.smoke);
         assert_eq!(r.cases.len(), 6);
+        assert_eq!(r.requested_threads, 2);
         for c in &r.cases {
             assert!(c.bit_identical, "{} diverged across thread counts", c.name);
             assert!(c.serial_s > 0.0 && c.parallel_s > 0.0, "{} timings", c.name);
             assert!(c.speedup > 0.0);
+            assert!(c.baseline_serial_ops_per_s.is_none());
         }
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("\"hardware_threads\""));
+        assert!(json.contains("\"requested_threads\""));
+    }
+
+    #[test]
+    fn single_thread_budget_reports_unit_speedup() {
+        let r = owlp_par::with_threads(1, || run(true));
+        for c in &r.cases {
+            assert_eq!(c.serial_s, c.parallel_s, "{}", c.name);
+            assert_eq!(c.speedup, 1.0, "{}", c.name);
+            assert!(c.bit_identical);
+        }
+    }
+
+    #[test]
+    fn baseline_attachment_computes_gains() {
+        let mut r = owlp_par::with_threads(1, || run(true));
+        let old = format!(
+            "{{\"schema\":1,\"cases\":[{{\"name\":\"gemm-owlp\",\"serial_ops_per_s\":{}}},{{\"name\":\"no-such-case\",\"serial_ops_per_s\":1.0}}]}}",
+            r.cases[1].serial_ops_per_s / 2.0
+        );
+        assert!(attach_baseline(&mut r, &old));
+        let c = &r.cases[1];
+        assert_eq!(c.name, "gemm-owlp");
+        let gain = c.serial_gain.expect("gain filled");
+        assert!((gain - 2.0).abs() < 1e-9, "{gain}");
+        assert!(r.cases[0].serial_gain.is_none());
+        // Garbage input is rejected without touching the report.
+        assert!(!attach_baseline(&mut r, "not json"));
+        assert!(!attach_baseline(&mut r, "{\"cases\": 3}"));
     }
 }

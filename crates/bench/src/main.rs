@@ -20,11 +20,13 @@
 //! Plus one non-paper maintenance command:
 //!
 //! ```text
-//! repro bench-json [--smoke] [--out PATH]
+//! repro bench-json [--smoke] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! which times the `owlp-par` hot paths serial vs parallel and writes a
-//! machine-readable baseline report (default `BENCH_PR3.json`).
+//! machine-readable baseline report (default `BENCH_PR4.json`), comparing
+//! serial throughput against the previous baseline (default
+//! `BENCH_PR3.json`) when present.
 
 use owlp_bench::{
     ablation, batch_sweep, bench_json, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
@@ -120,16 +122,29 @@ fn run_one(name: &str) -> Result<String, String> {
     }
 }
 
-/// `repro bench-json [--smoke] [--out PATH]` — run the parallel-speedup
-/// baseline suite and write the JSON report.
+/// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]` — run the
+/// parallel-speedup baseline suite and write the JSON report. When the
+/// baseline file (default `BENCH_PR3.json`) exists, each case also records
+/// its old-vs-new serial throughput gain.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_PR4.json", String::as_str);
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
         .map_or("BENCH_PR3.json", String::as_str);
-    let report = bench_json::run(smoke);
+    let mut report = bench_json::run(smoke);
+    if let Ok(old) = std::fs::read_to_string(baseline) {
+        if !bench_json::attach_baseline(&mut report, &old) {
+            eprintln!("warning: {baseline} is not a bench report; skipping comparison");
+        }
+    }
+    let report = report;
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(out, json + "\n") {
         eprintln!("error: cannot write {out}: {e}");
@@ -151,7 +166,7 @@ fn main() {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
             eprintln!(
-                "usage: repro [all|{}] [--json]\n       repro bench-json [--smoke] [--out PATH]",
+                "usage: repro [all|{}] [--json]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]",
                 EXPERIMENTS.join("|")
             );
             return;

@@ -22,7 +22,7 @@
 
 use owlp_arith::exact::exact_gemm;
 use owlp_arith::fpmac::fp_mac_gemm;
-use owlp_arith::gemm::owlp_gemm;
+use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared, PreparedTensor};
 use owlp_arith::ArithError;
 use owlp_format::Bf16;
 use owlp_model::profiles::{profile_for, Dataset, TensorRole};
@@ -89,13 +89,17 @@ impl TinyConfig {
     }
 }
 
-/// Per-layer weights in BF16 (as the accelerator stores them).
+/// Per-layer weights in BF16 (as the accelerator stores them), each paired
+/// with its OwL-P-prepared form (encoded + packed **once** at construction,
+/// so repeated forward passes — a serving loop's decode iterations — never
+/// re-encode or re-decode a weight tensor).
 #[derive(Debug, Clone, PartialEq)]
 struct LayerWeights {
-    wqkv: Vec<Bf16>, // hidden × 3·hidden
-    wo: Vec<Bf16>,   // hidden × hidden
-    w1: Vec<Bf16>,   // hidden × ffn
-    w2: Vec<Bf16>,   // ffn × hidden
+    wqkv: Vec<Bf16>,               // hidden × 3·hidden
+    wo: Vec<Bf16>,                 // hidden × hidden
+    w1: Vec<Bf16>,                 // hidden × ffn
+    w2: Vec<Bf16>,                 // ffn × hidden
+    prepared: [PreparedTensor; 4], // wqkv, wo, w1, w2 — same order
 }
 
 /// A complete functional transformer with profile-generated weights.
@@ -135,11 +139,19 @@ impl TinyTransformer {
         let layers = (0..config.layers)
             .map(|l| {
                 let s = (l as u64 + 1) * 0x9E37;
+                let wqkv = gen(OpKind::QkvProj, config.hidden, 3 * config.hidden, s);
+                let wo = gen(OpKind::OutProj, config.hidden, config.hidden, s ^ 0x11);
+                let w1 = gen(OpKind::FfnUp, config.hidden, config.ffn, s ^ 0x22);
+                let w2 = gen(OpKind::FfnDown, config.ffn, config.hidden, s ^ 0x33);
+                let prep =
+                    |t: &[Bf16]| PreparedTensor::new(t).expect("generated weights are finite");
+                let prepared = [prep(&wqkv), prep(&wo), prep(&w1), prep(&w2)];
                 LayerWeights {
-                    wqkv: gen(OpKind::QkvProj, config.hidden, 3 * config.hidden, s),
-                    wo: gen(OpKind::OutProj, config.hidden, config.hidden, s ^ 0x11),
-                    w1: gen(OpKind::FfnUp, config.hidden, config.ffn, s ^ 0x22),
-                    w2: gen(OpKind::FfnDown, config.ffn, config.hidden, s ^ 0x33),
+                    wqkv,
+                    wo,
+                    w1,
+                    w2,
+                    prepared,
                 }
             })
             .collect();
@@ -172,11 +184,12 @@ impl TinyTransformer {
             // --- Attention block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
             let normed_bf = to_bf16(&normed);
-            let qkv = self.run(
+            let qkv = self.run_weight(
                 engine,
                 &mut trace,
                 &normed_bf,
                 &lw.wqkv,
+                &lw.prepared[0],
                 c.seq,
                 c.hidden,
                 3 * c.hidden,
@@ -212,8 +225,15 @@ impl TinyTransformer {
                 }
             }
             let ctx_bf = to_bf16(&ctx);
-            let proj = self.run(
-                engine, &mut trace, &ctx_bf, &lw.wo, c.seq, c.hidden, c.hidden,
+            let proj = self.run_weight(
+                engine,
+                &mut trace,
+                &ctx_bf,
+                &lw.wo,
+                &lw.prepared[1],
+                c.seq,
+                c.hidden,
+                c.hidden,
             )?;
             for (xi, pi) in x.iter_mut().zip(&proj) {
                 *xi += pi;
@@ -221,12 +241,28 @@ impl TinyTransformer {
             // --- FFN block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
             let normed_bf = to_bf16(&normed);
-            let up = self.run(
-                engine, &mut trace, &normed_bf, &lw.w1, c.seq, c.hidden, c.ffn,
+            let up = self.run_weight(
+                engine,
+                &mut trace,
+                &normed_bf,
+                &lw.w1,
+                &lw.prepared[2],
+                c.seq,
+                c.hidden,
+                c.ffn,
             )?;
             let act: Vec<f32> = up.iter().map(|&u| gelu(u)).collect();
             let act_bf = to_bf16(&act);
-            let down = self.run(engine, &mut trace, &act_bf, &lw.w2, c.seq, c.ffn, c.hidden)?;
+            let down = self.run_weight(
+                engine,
+                &mut trace,
+                &act_bf,
+                &lw.w2,
+                &lw.prepared[3],
+                c.seq,
+                c.ffn,
+                c.hidden,
+            )?;
             for (xi, di) in x.iter_mut().zip(&down) {
                 *xi += di;
             }
@@ -247,6 +283,29 @@ impl TinyTransformer {
         n: usize,
     ) -> Result<Vec<f32>, ArithError> {
         let out = engine.gemm(a, b, m, k, n)?;
+        trace.gemm_outputs.push(out.clone());
+        Ok(out)
+    }
+
+    /// A weight GEMM: on the OwL-P engine the weight side skips straight to
+    /// its prepared (encoded + packed) form. Bit-identical to [`Self::run`]
+    /// — preparation caches exactly what `owlp_gemm` would recompute.
+    #[allow(clippy::too_many_arguments)]
+    fn run_weight(
+        &self,
+        engine: GemmEngine,
+        trace: &mut ForwardTrace,
+        a: &[Bf16],
+        b: &[Bf16],
+        prepared: &PreparedTensor,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<Vec<f32>, ArithError> {
+        let out = match engine {
+            GemmEngine::Owlp => owlp_gemm_prepared(a, prepared, m, k, n)?.output,
+            _ => engine.gemm(a, b, m, k, n)?,
+        };
         trace.gemm_outputs.push(out.clone());
         Ok(out)
     }

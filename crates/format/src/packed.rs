@@ -1,0 +1,324 @@
+//! Struct-of-arrays decoded operands (`PackedOperands`).
+//!
+//! The GEMM inner loops of `owlp-arith` stream every operand of a tensor
+//! once per output column; loading 8-byte [`DecodedOperand`] structs wastes
+//! bandwidth on the rarely-consulted outlier exponent and keeps the
+//! magnitude and flag fields apart. [`PackedOperands`] mirrors the paper's
+//! storage format instead (Fig. 5): a contiguous `mag` plane, a contiguous
+//! one-byte `sh/sign/tag` plane, and the outlier exponents side-tabled by
+//! element position — so the all-normal fast path touches exactly two flat
+//! arrays and the outlier table is consulted only for tagged operands.
+
+use crate::decode::{BiasDecoder, DecodedOperand};
+use crate::encode::EncodedTensor;
+use std::ops::Range;
+
+/// Meta-plane bit: operand sign.
+pub const META_SIGN: u8 = 1 << 0;
+/// Meta-plane bit: pending `{0,4}`-bit PE shift (`sh`).
+pub const META_SH: u8 = 1 << 1;
+/// Meta-plane bit: outlier tag.
+pub const META_TAG: u8 = 1 << 2;
+
+/// A tensor's decoded operands in struct-of-arrays form.
+///
+/// Semantically identical to `Vec<DecodedOperand>` (see
+/// [`PackedOperands::get`]), but laid out as flat planes:
+///
+/// * `mag[i]` — the pre-aligned integer significand (≤ 11 bits);
+/// * `meta[i]` — sign/sh/tag packed into one byte ([`META_SIGN`] etc.);
+/// * tagged outliers' original exponents in a sorted `(position, exp)`
+///   side table, looked up only when `meta[i] & META_TAG` is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedOperands {
+    shared_exp: u8,
+    mag: Vec<u16>,
+    meta: Vec<u8>,
+    /// Element positions of tagged outliers, strictly increasing.
+    outlier_pos: Vec<u32>,
+    /// `outlier_exp[k]` belongs to element `outlier_pos[k]`.
+    outlier_exp: Vec<u8>,
+}
+
+impl PackedOperands {
+    /// An empty operand set for `shared_exp` (filled by the decode path).
+    pub fn new(shared_exp: u8) -> Self {
+        PackedOperands {
+            shared_exp,
+            mag: Vec::new(),
+            meta: Vec::new(),
+            outlier_pos: Vec::new(),
+            outlier_exp: Vec::new(),
+        }
+    }
+
+    /// Packs an operand slice (the inverse of [`PackedOperands::get`]).
+    pub fn from_operands(shared_exp: u8, ops: &[DecodedOperand]) -> Self {
+        assert!(ops.len() <= u32::MAX as usize, "tensor too large to pack");
+        let mut p = PackedOperands::new(shared_exp);
+        p.mag.reserve(ops.len());
+        p.meta.reserve(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            p.mag.push(op.mag);
+            p.meta.push(pack_meta(op.sign, op.sh, op.tag));
+            if op.tag {
+                p.outlier_pos.push(i as u32);
+                p.outlier_exp.push(op.exp);
+            }
+        }
+        p
+    }
+
+    /// The tensor's shared exponent.
+    pub fn shared_exp(&self) -> u8 {
+        self.shared_exp
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.mag.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// The contiguous magnitude plane.
+    pub fn mags(&self) -> &[u16] {
+        &self.mag
+    }
+
+    /// The contiguous sign/sh/tag plane.
+    pub fn metas(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// Positions of tagged outliers, strictly increasing.
+    pub fn outlier_positions(&self) -> &[u32] {
+        &self.outlier_pos
+    }
+
+    /// The outlier exponents, parallel to
+    /// [`PackedOperands::outlier_positions`].
+    pub fn outlier_exps(&self) -> &[u8] {
+        &self.outlier_exp
+    }
+
+    /// Number of tagged outliers.
+    pub fn tagged_count(&self) -> usize {
+        self.outlier_pos.len()
+    }
+
+    /// The outlier exponent of element `i` (0 for untagged elements —
+    /// matching [`DecodedOperand::exp`]'s convention).
+    pub fn exp_at(&self, i: usize) -> u8 {
+        if self.meta[i] & META_TAG == 0 {
+            return 0;
+        }
+        let k = self
+            .outlier_pos
+            .binary_search(&(i as u32))
+            .expect("tagged element has a side-table entry");
+        self.outlier_exp[k]
+    }
+
+    /// Whether any element of `range` is a tagged outlier — O(log outliers)
+    /// via the sorted position table; this is the wavefront test of the
+    /// GEMM fast path.
+    pub fn range_has_tagged(&self, range: Range<usize>) -> bool {
+        let start = self
+            .outlier_pos
+            .partition_point(|&p| (p as usize) < range.start);
+        self.outlier_pos
+            .get(start)
+            .is_some_and(|&p| (p as usize) < range.end)
+    }
+
+    /// Reconstructs element `i` as a [`DecodedOperand`] — bit-identical to
+    /// what `decode_operands()[i]` holds.
+    pub fn get(&self, i: usize) -> DecodedOperand {
+        let meta = self.meta[i];
+        DecodedOperand {
+            mag: self.mag[i],
+            sh: meta & META_SH != 0,
+            sign: meta & META_SIGN != 0,
+            tag: meta & META_TAG != 0,
+            exp: self.exp_at(i),
+        }
+    }
+
+    /// Materialises the whole tensor as `Vec<DecodedOperand>` (slow-path
+    /// interop and tests).
+    pub fn to_operands(&self) -> Vec<DecodedOperand> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[inline]
+fn pack_meta(sign: bool, sh: bool, tag: bool) -> u8 {
+    ((sign as u8) * META_SIGN) | ((sh as u8) * META_SH) | ((tag as u8) * META_TAG)
+}
+
+/// Elements per parallel chunk when packing (matches the decode grain).
+const PACK_GRAIN: usize = 4096;
+
+impl EncodedTensor {
+    /// Decodes the tensor straight into [`PackedOperands`] — the same
+    /// operands as [`EncodedTensor::decode_operands`], in the
+    /// struct-of-arrays layout the GEMM fast path streams.
+    ///
+    /// Large tensors decode chunk-parallel with the same two-pass offset
+    /// scheme as `decode_operands`, so the result is bit-identical at every
+    /// thread count.
+    pub fn decode_packed(&self) -> PackedOperands {
+        let codes = self.codes();
+        let exps = self.outlier_exps();
+        let n = codes.len();
+        assert!(n <= u32::MAX as usize, "tensor too large to pack");
+        let dec = BiasDecoder::new(self.shared_exp());
+        let mut out = PackedOperands::new(self.shared_exp());
+        out.mag.reserve(n);
+        out.meta.reserve(n);
+        if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, PACK_GRAIN) <= 1 {
+            let mut next_outlier = 0usize;
+            for (i, c) in codes.iter().enumerate() {
+                let exp = if c.is_outlier() {
+                    let e = exps[next_outlier];
+                    next_outlier += 1;
+                    e
+                } else {
+                    0
+                };
+                let op = dec.decode(*c, exp);
+                out.mag.push(op.mag);
+                out.meta.push(pack_meta(op.sign, op.sh, op.tag));
+                if op.tag {
+                    out.outlier_pos.push(i as u32);
+                    out.outlier_exp.push(op.exp);
+                }
+            }
+            return out;
+        }
+        let counts = owlp_par::map_chunks(n, PACK_GRAIN, |r| {
+            codes[r].iter().filter(|c| c.is_outlier()).count()
+        });
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut base = 0usize;
+        for c in counts {
+            offsets.push(base);
+            base += c;
+        }
+        let parts = owlp_par::map_chunks(n, PACK_GRAIN, |r| {
+            let mut next_outlier = offsets[r.start / PACK_GRAIN];
+            let mut mag = Vec::with_capacity(r.len());
+            let mut meta = Vec::with_capacity(r.len());
+            let mut pos = Vec::new();
+            let mut pexp = Vec::new();
+            for i in r {
+                let c = codes[i];
+                let exp = if c.is_outlier() {
+                    let e = exps[next_outlier];
+                    next_outlier += 1;
+                    e
+                } else {
+                    0
+                };
+                let op = dec.decode(c, exp);
+                mag.push(op.mag);
+                meta.push(pack_meta(op.sign, op.sh, op.tag));
+                if op.tag {
+                    pos.push(i as u32);
+                    pexp.push(op.exp);
+                }
+            }
+            (mag, meta, pos, pexp)
+        });
+        for (mag, meta, pos, pexp) in parts {
+            out.mag.extend(mag);
+            out.meta.extend(meta);
+            out.outlier_pos.extend(pos);
+            out.outlier_exp.extend(pexp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf16::Bf16;
+    use crate::encode::encode_tensor;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    fn mixed(len: usize) -> Vec<Bf16> {
+        (0..len)
+            .map(|i| {
+                let v = ((i % 37) as f32 - 18.0) * 0.11;
+                match i % 23 {
+                    0 => bf(v * 1e26),
+                    1 => Bf16::ZERO,
+                    _ => bf(v),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matches_decode_operands_elementwise() {
+        let data = mixed(300);
+        let enc = encode_tensor(&data, None).unwrap();
+        let ops = enc.decode_operands();
+        let packed = enc.decode_packed();
+        assert_eq!(packed.len(), ops.len());
+        assert_eq!(packed.shared_exp(), enc.shared_exp());
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(packed.get(i), *op, "element {i}");
+        }
+        assert_eq!(packed.to_operands(), ops);
+        assert_eq!(
+            PackedOperands::from_operands(enc.shared_exp(), &ops),
+            packed
+        );
+    }
+
+    #[test]
+    fn tagged_ranges_are_found_exactly() {
+        let data = mixed(200);
+        let enc = encode_tensor(&data, None).unwrap();
+        let ops = enc.decode_operands();
+        let packed = enc.decode_packed();
+        for start in (0..200).step_by(17) {
+            for width in [1usize, 5, 40] {
+                let r = start..(start + width).min(200);
+                let expect = ops[r.clone()].iter().any(|o| o.tag);
+                assert_eq!(packed.range_has_tagged(r.clone()), expect, "{r:?}");
+            }
+        }
+        assert!(!packed.range_has_tagged(200..200));
+    }
+
+    #[test]
+    fn zeros_are_untagged_and_cost_no_side_table_entry() {
+        let data = vec![Bf16::ZERO, bf(1.0), bf(-0.0)];
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        assert_eq!(packed.tagged_count(), 0);
+        assert_eq!(packed.exp_at(0), 0);
+        assert!(!packed.range_has_tagged(0..3));
+    }
+
+    #[test]
+    fn parallel_pack_is_bit_identical_to_serial() {
+        let data = mixed(3 * PACK_GRAIN + 11);
+        let enc = encode_tensor(&data, None).unwrap();
+        let serial = owlp_par::with_threads(1, || enc.decode_packed());
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || enc.decode_packed());
+            assert_eq!(par, serial, "{t} threads");
+        }
+    }
+}

@@ -16,10 +16,18 @@ use crate::config::ArrayConfig;
 use crate::schedule::OutlierSchedule;
 use owlp_arith::kulisch::KulischAcc;
 use owlp_arith::pe::{PeConfig, ProcessingElement};
+use owlp_arith::window::WindowAcc;
 use owlp_arith::ArithError;
 use owlp_format::decode::DecodedOperand;
 use owlp_format::{encode_tensor, Bf16};
 use serde::{Deserialize, Serialize};
+
+/// Whether a physical stream (activation row or weight column) carries no
+/// tagged outliers — computed once per stream when the K-tile is built, so
+/// the per-wavefront fast-path test is two boolean loads.
+fn stream_is_clean(ops: &[DecodedOperand]) -> bool {
+    ops.iter().all(|o| !o.tag)
+}
 
 /// Outcome of an event-driven simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -201,35 +209,100 @@ fn run(
     let mut streamed_rows = 0u64;
     let mut physical_columns = 0u64;
 
+    // The bounded window of one K-tile's all-normal wavefronts (shared by
+    // every clean activation-row × weight-column pair).
+    let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, k_tile.max(1));
+
+    // One wavefront: an activation row meeting a weight column. Clean
+    // pairs (no tagged outlier on either stream) take the bounded-window
+    // fast path — a flat integer dot product spilled once into the Kulisch
+    // register. Both paths add the same exact value into the accumulator
+    // (Kulisch addition is exact integer addition, so the decomposition
+    // into per-PE partials vs one wide spill cannot differ by a bit), and
+    // a clean wavefront's occupancy is zero on either path.
+    let wavefront = |arow: &[DecodedOperand],
+                     a_clean: bool,
+                     wcol: &[DecodedOperand],
+                     w_clean: bool,
+                     acc: &mut KulischAcc|
+     -> usize {
+        if a_clean && w_clean {
+            let mut win = win0;
+            let mut sum = 0i64;
+            for (idx, (x, y)) in arow.iter().zip(wcol).enumerate() {
+                let p = x.mag as i64 * y.mag as i64;
+                if p != 0 {
+                    let v = p << (4 * (x.sh as i32 + y.sh as i32));
+                    sum += if x.sign ^ y.sign { -v } else { v };
+                }
+                if idx & 0x1F == 0x1F {
+                    // Spill every 32 terms: 30-bit products keep the
+                    // running i64 partial far from overflow.
+                    win.add_aligned(sum);
+                    sum = 0;
+                }
+            }
+            win.add_aligned(sum);
+            win.merge_into(acc);
+            return 0;
+        }
+        let mut occupancy = 0usize;
+        for r in 0..cfg.rows {
+            let a_lo = r * cfg.lanes;
+            if a_lo >= arow.len() {
+                break;
+            }
+            let a_hi = (a_lo + cfg.lanes).min(arow.len());
+            let w_hi = (a_lo + cfg.lanes).min(wcol.len());
+            let out = pe.dot_unchecked(
+                &arow[a_lo..a_hi],
+                &wcol[a_lo..w_hi.max(a_lo)],
+                shared_a,
+                shared_w,
+            );
+            occupancy += out.outliers.len();
+            acc.add_scaled(out.normal_sum, out.normal_frame);
+            for o in &out.outliers {
+                acc.add_scaled(o.mag, o.frame);
+            }
+        }
+        occupancy
+    };
+
     let tiles = k.div_ceil(k_tile);
     for t in 0..tiles {
         let lo = t * k_tile;
         let hi = (lo + k_tile).min(k);
 
-        // Physical weight columns of this K-tile (with zero insertion).
-        let mut wcols: Vec<(usize, Vec<DecodedOperand>)> = Vec::new();
+        // Physical weight columns of this K-tile (with zero insertion),
+        // each carrying its precomputed cleanliness flag.
+        let mut wcols: Vec<(usize, Vec<DecodedOperand>, bool)> = Vec::new();
         for j in 0..n {
             let col: Vec<DecodedOperand> = (lo..hi).map(|kk| ops_b[kk * n + j]).collect();
             if scheduled {
                 for sub in sched.split_weight_column(&col) {
-                    wcols.push((j, sub));
+                    let clean = stream_is_clean(&sub);
+                    wcols.push((j, sub, clean));
                 }
             } else {
-                wcols.push((j, col));
+                let clean = stream_is_clean(&col);
+                wcols.push((j, col, clean));
             }
         }
         physical_columns += wcols.len() as u64;
 
         // Physical activation rows of this K-tile.
-        let mut arows: Vec<(usize, Vec<DecodedOperand>)> = Vec::new();
+        let mut arows: Vec<(usize, Vec<DecodedOperand>, bool)> = Vec::new();
         for i in 0..m {
             let row: Vec<DecodedOperand> = ops_a[i * k + lo..i * k + hi].to_vec();
             if scheduled {
                 for sub in sched.split_activation_row(&row) {
-                    arows.push((i, sub));
+                    let clean = stream_is_clean(&sub);
+                    arows.push((i, sub, clean));
                 }
             } else {
-                arows.push((i, row));
+                let clean = stream_is_clean(&row);
+                arows.push((i, row, clean));
             }
         }
 
@@ -240,74 +313,27 @@ fn run(
         // accumulation is an exact fixed-point integer sum, so regrouping
         // per-column partials cannot change a single bit of any output —
         // the parallel run is bit-identical to the serial sweep.
+        let col_ops = 2 * (arows.len() as u64).saturating_mul((hi - lo) as u64).max(1);
         for fold in wcols.chunks(cfg.cols) {
             cycles += (2 * cfg.rows + cfg.cols) as u64 + arows.len() as u64 - 2;
             streamed_rows += arows.len() as u64;
-            let column_pass = |(j, wcol): &(usize, Vec<DecodedOperand>)| {
+            let column_pass = |(j, wcol, w_clean): &(usize, Vec<DecodedOperand>, bool)| {
                 let mut partials = vec![KulischAcc::new(); arows.len()];
                 let mut col_max = 0usize;
-                for ((_, arow), acc) in arows.iter().zip(&mut partials) {
-                    // One wavefront: walk the PE column and track occupancy.
-                    let mut occupancy = 0usize;
-                    for r in 0..cfg.rows {
-                        let a_lo = r * cfg.lanes;
-                        if a_lo >= arow.len() {
-                            break;
-                        }
-                        let a_hi = (a_lo + cfg.lanes).min(arow.len());
-                        let w_hi = (a_lo + cfg.lanes).min(wcol.len());
-                        let out = pe.dot_unchecked(
-                            &arow[a_lo..a_hi],
-                            &wcol[a_lo..w_hi.max(a_lo)],
-                            shared_a,
-                            shared_w,
-                        );
-                        occupancy += out.outliers.len();
-                        acc.add_scaled(out.normal_sum, out.normal_frame);
-                        for o in &out.outliers {
-                            acc.add_scaled(o.mag, o.frame);
-                        }
-                    }
-                    col_max = col_max.max(occupancy);
+                for ((_, arow, a_clean), acc) in arows.iter().zip(&mut partials) {
+                    col_max = col_max.max(wavefront(arow, *a_clean, wcol, *w_clean, acc));
                 }
                 (*j, partials, col_max)
             };
-            if owlp_par::thread_budget() <= 1 || fold.len() <= 1 {
-                // Serial fast path: accumulate straight into the grid
-                // without materialising per-column partials.
-                for (i, arow) in &arows {
-                    for (j, wcol) in fold {
-                        let mut occupancy = 0usize;
-                        for r in 0..cfg.rows {
-                            let a_lo = r * cfg.lanes;
-                            if a_lo >= arow.len() {
-                                break;
-                            }
-                            let a_hi = (a_lo + cfg.lanes).min(arow.len());
-                            let w_hi = (a_lo + cfg.lanes).min(wcol.len());
-                            let out = pe.dot_unchecked(
-                                &arow[a_lo..a_hi],
-                                &wcol[a_lo..w_hi.max(a_lo)],
-                                shared_a,
-                                shared_w,
-                            );
-                            occupancy += out.outliers.len();
-                            let acc = &mut accs[i * n + j];
-                            acc.add_scaled(out.normal_sum, out.normal_frame);
-                            for o in &out.outliers {
-                                acc.add_scaled(o.mag, o.frame);
-                            }
-                        }
-                        max_occ = max_occ.max(occupancy);
-                    }
-                }
-            } else {
-                let shards = owlp_par::map_indexed(fold.len(), 1, |c| column_pass(&fold[c]));
-                for (j, partials, col_max) in shards {
-                    max_occ = max_occ.max(col_max);
-                    for ((i, _), partial) in arows.iter().zip(&partials) {
-                        accs[i * n + j].merge(partial);
-                    }
+            // Dispatch weighted by the fold's actual arithmetic volume so
+            // small folds stay serial rather than paying thread hand-off
+            // for a handful of products.
+            let shards =
+                owlp_par::map_indexed_weighted(fold.len(), 1, col_ops, |c| column_pass(&fold[c]));
+            for (j, partials, col_max) in shards {
+                max_occ = max_occ.max(col_max);
+                for ((i, _, _), partial) in arows.iter().zip(&partials) {
+                    accs[i * n + j].merge(partial);
                 }
             }
         }

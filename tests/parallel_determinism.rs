@@ -7,7 +7,7 @@
 //! serial run wholesale (`PartialEq` on the full outcome structs covers
 //! every field, including statistics counters).
 
-use owlp_repro::arith::owlp_gemm;
+use owlp_repro::arith::{exact_gemm, owlp_gemm, KulischAcc};
 use owlp_repro::format::{encode_tensor, Bf16};
 use owlp_repro::par::with_threads;
 use owlp_repro::serve::{
@@ -109,6 +109,55 @@ proptest! {
                 with_threads(t, || event_sim::simulate_gemm_unscheduled(&cfg, &a, &b, m, k, n))
                     .unwrap();
             prop_assert_eq!(&raw, &serial_raw, "{} threads (unscheduled)", t);
+        }
+    }
+}
+
+/// Per-product Kulisch super-accumulator GEMM — the slowest, most direct
+/// oracle: no batching, no window fast path, no parallelism. Everything the
+/// fast paths produce must match this bit-for-bit.
+fn kulisch_oracle_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = KulischAcc::new();
+            for kk in 0..k {
+                acc.add_product(a[i * k + kk], b[kk * n + j]);
+            }
+            out.push(acc.round_to_f32().to_bits());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The bounded-window fast paths (`WindowAcc` inside `exact_gemm` and
+    /// the all-normal wavefronts of `owlp_gemm`) against the per-product
+    /// `KulischAcc` oracle, across the outlier-density spectrum — 0‰
+    /// (every wavefront takes the fast path), ~30‰ (mixed fast/fallback),
+    /// and the adversarial 1000‰ all-outlier tensor (no wavefront may take
+    /// it) — at 1/2/4/8 threads.
+    #[test]
+    fn fast_path_gemms_match_kulisch_oracle_at_all_densities(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..24,
+        density_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let permille = [0u32, 30, 1000][density_idx];
+        let a = tensor(m * k, permille, seed);
+        let b = tensor(k * n, permille, seed.wrapping_add(1));
+        let oracle = kulisch_oracle_gemm(&a, &b, m, k, n);
+        for t in [1usize, 2, 4, 8] {
+            let exact = with_threads(t, || exact_gemm(&a, &b, m, k, n));
+            let exact_bits: Vec<u32> = exact.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&exact_bits, &oracle, "exact_gemm, {} threads, {}permille", t, permille);
+            let owlp = with_threads(t, || owlp_gemm(&a, &b, m, k, n)).unwrap();
+            let owlp_bits: Vec<u32> = owlp.output.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&owlp_bits, &oracle, "owlp_gemm, {} threads, {}permille", t, permille);
         }
     }
 }
