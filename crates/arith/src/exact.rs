@@ -7,6 +7,7 @@
 //! accumulation step).
 
 use crate::kulisch::KulischAcc;
+use crate::microkernel::{self, MR, NR};
 use crate::window::WindowAcc;
 use owlp_format::Bf16;
 
@@ -44,23 +45,101 @@ fn product_window(sa: (i32, i32), sb: (i32, i32), terms: usize) -> Option<Window
     WindowAcc::for_span(sa.0 + sb.0, sa.1 + sb.1 + PRODUCT_BITS, terms as u64)
 }
 
-/// A tensor pre-decomposed for the window fast path: signed integer
-/// magnitude and product frame per element, streamed as flat arrays so the
-/// inner GEMM loop does no BF16 bit-fiddling.
-struct Planes {
-    mag: Vec<i32>,
-    frame: Vec<i32>,
+/// Widest in-band frame range (inclusive, above the band base) one operand
+/// side may use: an in-band element is stored *aligned* as
+/// `significand << (frame − base)` with an 8-bit significand, and the
+/// aligned value must fit the signed `i32` band plane (`8 + 23 = 31` bits).
+const MAX_BAND_WIDTH: i32 = 23;
+
+/// Splits a total in-band bit `budget` between the two operand sides,
+/// favouring whichever side actually spans more frames. Both widths are
+/// clamped to [`MAX_BAND_WIDTH`] and their sum never exceeds `budget`.
+fn split_band_widths(span_a: i32, span_b: i32, budget: i32) -> (i32, i32) {
+    let wa = span_a
+        .min((budget - span_b.min(budget / 2)).max(0))
+        .clamp(0, MAX_BAND_WIDTH);
+    let wb = span_b.min(budget - wa).clamp(0, MAX_BAND_WIDTH);
+    (wa, wb)
 }
 
-fn planes(t: &[Bf16]) -> Planes {
-    let mut mag = Vec::with_capacity(t.len());
-    let mut frame = Vec::with_capacity(t.len());
-    for &x in t {
-        let m = x.significand() as i32;
-        mag.push(if x.sign() { -m } else { m });
-        frame.push(x.pow2_frame());
+/// Base frame of the densest width-`width` band of `t`'s nonzero frames —
+/// the placement that leaves the fewest elements out-of-band. BF16 frames
+/// live in a span of at most a few hundred values, so a flat histogram
+/// plus a sliding-window max is exact and cheap.
+fn densest_band(t: &[Bf16], span: (i32, i32), width: i32) -> i32 {
+    let (lo, hi) = span;
+    if hi - lo <= width {
+        return lo; // the whole tensor fits one band
     }
-    Planes { mag, frame }
+    let bins = (hi - lo + 1) as usize;
+    let mut hist = vec![0u64; bins];
+    for &x in t {
+        if x.significand() != 0 {
+            hist[(x.pow2_frame() - lo) as usize] += 1;
+        }
+    }
+    let w = (width + 1) as usize;
+    let mut cur: u64 = hist[..w].iter().sum();
+    let (mut best, mut best_at) = (cur, 0usize);
+    for s in 1..=bins - w {
+        cur += hist[s + w - 1];
+        cur -= hist[s - 1];
+        if cur > best {
+            best = cur;
+            best_at = s;
+        }
+    }
+    lo + best_at as i32
+}
+
+/// Out-of-band elements of one row (of A) or column (of B): `(k-index,
+/// signed significand, frame)`, in increasing k-index order.
+type BandTags = Vec<Vec<(u32, i64, i32)>>;
+
+/// Decomposes row-major `m×k` A into an aligned signed-`i32` band plane
+/// (zeros for zero or out-of-band elements) plus per-row out-of-band tags.
+fn band_rows(a: &[Bf16], k: usize, base: i32, width: i32) -> (Vec<i32>, BandTags) {
+    let mut plane = vec![0i32; a.len()];
+    let mut tags: BandTags = vec![Vec::new(); a.len() / k.max(1)];
+    for (pos, &x) in a.iter().enumerate() {
+        let sig = x.significand() as i32;
+        if sig == 0 {
+            continue;
+        }
+        let sig = if x.sign() { -sig } else { sig };
+        let f = x.pow2_frame();
+        if f >= base && f - base <= width {
+            plane[pos] = sig << (f - base);
+        } else {
+            tags[pos / k].push(((pos % k) as u32, sig as i64, f));
+        }
+    }
+    (plane, tags)
+}
+
+/// Decomposes row-major `k×n` B into zero-padded K-major `NR`-wide aligned
+/// `i32` panels (the layout [`microkernel::tile_dot_i32`] consumes) plus
+/// per-column out-of-band tags.
+fn band_col_panels(b: &[Bf16], k: usize, n: usize, base: i32, width: i32) -> (Vec<i32>, BandTags) {
+    let panels = n.div_ceil(NR).max(1);
+    let mut data = vec![0i32; panels * k * NR];
+    let mut tags: BandTags = vec![Vec::new(); n];
+    for kk in 0..k {
+        for (j, &x) in b[kk * n..(kk + 1) * n].iter().enumerate() {
+            let sig = x.significand() as i32;
+            if sig == 0 {
+                continue;
+            }
+            let sig = if x.sign() { -sig } else { sig };
+            let f = x.pow2_frame();
+            if f >= base && f - base <= width {
+                data[(j / NR) * k * NR + kk * NR + (j % NR)] = sig << (f - base);
+            } else {
+                tags[j].push((kk as u32, sig as i64, f));
+            }
+        }
+    }
+    (data, tags)
 }
 
 /// The exact dot product of two BF16 slices, rounded once to `f32`
@@ -143,47 +222,96 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
     let (Some(sa), Some(sb)) = (sa, sb) else {
         return vec![0.0; m * n]; // one factor all zero → exact +0.0 grid
     };
-    let window = product_window(sa, sb, k);
+    // Banded fast path budget: an in-band product magnitude is below
+    // 2^(16 + wa + wb), and a k-term lane sum of those needs
+    // ⌈log2 k⌉ + 1 headroom bits on top, so the whole lane provably fits
+    // a signed i64 iff 16 + wa + wb + headroom ≤ 63.
+    let headroom = 64 - (k.max(1) as u64).leading_zeros() as i32;
+    let budget = 47 - headroom;
     let ops_per_row = 2 * (k as u64) * (n as u64);
-    let row_blocks = if let Some(win) = window {
-        // Fast path: every product of the whole GEMM provably fits one
-        // 126-bit window, so each output element is a flat wide-integer
-        // sum rounded once — no 12-limb traffic at all. The tensors are
-        // pre-split into magnitude/frame planes (B transposed so both
-        // operands stream contiguously) to keep the inner loop branch-light.
-        let pa = planes(a);
-        let pb = planes(b);
-        let mut bt_mag = vec![0i32; k * n];
-        let mut bt_frame = vec![0i32; k * n];
-        for kk in 0..k {
-            for j in 0..n {
-                bt_mag[j * k + kk] = pb.mag[kk * n + j];
-                bt_frame[j * k + kk] = pb.frame[kk * n + j];
-            }
-        }
-        owlp_par::map_chunks_weighted(m, row_grain(k, n), ops_per_row, |rows| {
-            let mut block = Vec::with_capacity(rows.len() * n);
-            for i in rows {
-                let row_mag = &pa.mag[i * k..(i + 1) * k];
-                let row_frame = &pa.frame[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let col_mag = &bt_mag[j * k..(j + 1) * k];
-                    let col_frame = &bt_frame[j * k..(j + 1) * k];
-                    let mut acc = win;
-                    for kk in 0..k {
-                        let p = row_mag[kk] as i64 * col_mag[kk] as i64;
-                        if p != 0 {
-                            acc.add(p, row_frame[kk] + col_frame[kk]);
+    let row_blocks = if budget >= 0 {
+        // Fast path: align the densest frame band of each tensor to a
+        // signed-i32 plane, run the register-tiled integer microkernel
+        // over the planes (every in-band product is exact in the i64
+        // lanes by the budget above), and patch the few out-of-band
+        // elements per output with exact per-tag corrections. Tagged and
+        // zero elements store 0 in the plane, so the lane needs no
+        // subtraction — the corrections are purely additive and the total
+        // is the same exact sum, rounded once.
+        let (wa, wb) = split_band_widths(sa.1 - sa.0, sb.1 - sb.0, budget);
+        let base_a = densest_band(a, sa, wa);
+        let base_b = densest_band(b, sb, wb);
+        let (aplane, row_tags) = band_rows(a, k, base_a, wa);
+        let (bpanels, col_tags) = band_col_panels(b, k, n, base_b, wb);
+        let lo = base_a + base_b;
+        let zero_row = vec![0i32; k];
+        let grain = row_grain(k, n).next_multiple_of(MR);
+        owlp_par::map_chunks_weighted(m, grain, ops_per_row, |rows| {
+            let mut block = vec![0.0f32; rows.len() * n];
+            for ib in rows.clone().step_by(MR) {
+                let mr = MR.min(rows.end - ib);
+                let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
+                    if r < mr {
+                        &aplane[(ib + r) * k..(ib + r + 1) * k]
+                    } else {
+                        zero_row.as_slice()
+                    }
+                });
+                for jb in (0..n).step_by(NR) {
+                    let nr = NR.min(n - jb);
+                    let panel = &bpanels[(jb / NR) * k * NR..(jb / NR + 1) * k * NR];
+                    let lanes = microkernel::tile_dot_i32(a_rows, panel);
+                    for (r, lane_row) in lanes.iter().enumerate().take(mr) {
+                        let i = ib + r;
+                        let rtags = &row_tags[i];
+                        for (c, &lane) in lane_row.iter().enumerate().take(nr) {
+                            let j = jb + c;
+                            let ctags = &col_tags[j];
+                            let out = &mut block[(i - rows.start) * n + j];
+                            if rtags.is_empty() && ctags.is_empty() {
+                                let mut win = WindowAcc::new(lo);
+                                win.add_aligned(lane);
+                                *out = win.round_to_f32();
+                                continue;
+                            }
+                            // Merge-walk both tag lists in k order so a
+                            // doubly-tagged position contributes its one
+                            // exact product rather than two mixed terms.
+                            let mut acc = KulischAcc::new();
+                            acc.add_scaled(lane, lo);
+                            let (mut x, mut y) = (0usize, 0usize);
+                            while x < rtags.len() || y < ctags.len() {
+                                let ka = rtags.get(x).map_or(u32::MAX, |t| t.0);
+                                let kb = ctags.get(y).map_or(u32::MAX, |t| t.0);
+                                if ka < kb {
+                                    let (kk, sig, f) = rtags[x];
+                                    x += 1;
+                                    let other = panel[kk as usize * NR + c] as i64;
+                                    acc.add_scaled(sig * other, f + base_b);
+                                } else if kb < ka {
+                                    let (kk, sig, f) = ctags[y];
+                                    y += 1;
+                                    let other = a_rows[r][kk as usize] as i64;
+                                    acc.add_scaled(sig * other, base_a + f);
+                                } else {
+                                    let (_, siga, fa) = rtags[x];
+                                    let (_, sigb, fb) = ctags[y];
+                                    x += 1;
+                                    y += 1;
+                                    acc.add_scaled(siga * sigb, fa + fb);
+                                }
+                            }
+                            *out = acc.round_to_f32();
                         }
                     }
-                    block.push(acc.round_to_f32());
                 }
             }
             block
         })
     } else {
-        // Wide-span fallback: full Kulisch register per element, with the
-        // batched product API hoisting limb arithmetic out of the loop.
+        // Proof-boundary fallback (`k` so large the lane headroom eats the
+        // whole band budget — beyond any realizable tensor): full Kulisch
+        // register per element via the batched product API.
         let mut bt = vec![Bf16::ZERO; k * n];
         for kk in 0..k {
             for j in 0..n {
@@ -364,9 +492,10 @@ mod tests {
     }
 
     #[test]
-    fn kulisch_fallback_matches_per_product_oracle() {
-        // Outliers stretch the product span past the i128 window, forcing
-        // the batched Kulisch fallback.
+    fn wide_span_tagged_path_matches_per_product_oracle() {
+        // Outliers stretch the product span far past any single band (and
+        // past the i128 window), so the banded path must tag out-of-band
+        // elements and patch each output with exact corrections.
         let (m, k, n) = (5, 29, 9);
         let a = mixed_tensor(m * k, 13, 17);
         let b = mixed_tensor(k * n, 7, 23);
@@ -376,11 +505,39 @@ mod tests {
             product_window(span_a, span_b, k).is_none(),
             "test tensors must be span-hostile"
         );
-        let fallback = exact_gemm(&a, &b, m, k, n);
+        let banded = exact_gemm(&a, &b, m, k, n);
         let oracle = oracle_gemm(&a, &b, m, k, n);
-        for (x, y) in fallback.iter().zip(&oracle) {
+        for (x, y) in banded.iter().zip(&oracle) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn band_split_respects_budget_and_caps() {
+        for span_a in [0, 3, 23, 40, 200] {
+            for span_b in [0, 5, 23, 47, 180] {
+                for budget in [0, 7, 24, 46] {
+                    let (wa, wb) = split_band_widths(span_a, span_b, budget);
+                    assert!(wa >= 0 && wb >= 0);
+                    assert!(wa + wb <= budget, "{span_a} {span_b} {budget}");
+                    assert!(wa <= MAX_BAND_WIDTH && wb <= MAX_BAND_WIDTH);
+                    assert!(wa <= span_a && wb <= span_b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn densest_band_prefers_the_crowded_frames() {
+        // 30 values near 1.0 and a lone 1e30 outlier: the densest width-4
+        // band must sit on the cluster, not the outlier.
+        let mut t: Vec<Bf16> = (0..30).map(|i| bf(1.0 + i as f32 / 64.0)).collect();
+        t.push(bf(1e30));
+        let span = frame_span(&t).expect("nonzero");
+        let base = densest_band(&t, span, 4);
+        let cluster_frames: Vec<i32> = t[..30].iter().map(|x| x.pow2_frame()).collect();
+        let lo = *cluster_frames.iter().min().unwrap();
+        assert!(base <= lo && lo <= base + 4, "base {base} misses cluster");
     }
 
     #[test]

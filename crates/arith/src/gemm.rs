@@ -9,11 +9,11 @@ use crate::align::AlignUnit;
 use crate::column::PeColumn;
 use crate::error::ArithError;
 use crate::kulisch::KulischAcc;
+use crate::microkernel::{self, MR, NR};
 use crate::pe::PeConfig;
 use crate::window::{WindowAcc, OWLP_PRODUCT_BITS};
 use owlp_format::decode::DecodedOperand;
-use owlp_format::packed::{META_SH, META_SIGN};
-use owlp_format::{encode_tensor, Bf16, EncodedTensor, PackedOperands};
+use owlp_format::{encode_tensor, Bf16, EncodedTensor, PackedOperands, PackedPanels};
 use serde::{Deserialize, Serialize};
 
 /// Result of an OwL-P GEMM with datapath statistics.
@@ -47,10 +47,15 @@ pub struct OwlpGemmOutput {
 pub struct PreparedTensor {
     enc: EncodedTensor,
     packed: PackedOperands,
+    /// Weight panels for the register-tiled microkernel, memoised when the
+    /// tensor was prepared with a known `k×n` shape
+    /// ([`PreparedTensor::with_shape`]).
+    panels: Option<PackedPanels>,
 }
 
 impl PreparedTensor {
-    /// Encodes and packs `t` once.
+    /// Encodes and packs `t` once (shape-agnostic: no panel cache — the
+    /// GEMM packs panels per call).
     ///
     /// # Errors
     ///
@@ -58,7 +63,27 @@ impl PreparedTensor {
     pub fn new(t: &[Bf16]) -> Result<Self, ArithError> {
         let enc = encode_tensor(t, None)?;
         let packed = enc.decode_packed();
-        Ok(PreparedTensor { enc, packed })
+        Ok(PreparedTensor {
+            enc,
+            packed,
+            panels: None,
+        })
+    }
+
+    /// Encodes, packs, **and panel-tiles** `t` as a `k×n` weight matrix:
+    /// the microkernel panels are built once here and reused by every
+    /// [`owlp_gemm_prepared`] call, replacing the per-call (formerly
+    /// per-output-element) strided column gather.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedTensor::new`], plus [`ArithError::DimensionMismatch`]
+    /// when `t.len() != k·n`.
+    pub fn with_shape(t: &[Bf16], k: usize, n: usize) -> Result<Self, ArithError> {
+        check_shape(t, k * n, "B")?;
+        let mut prep = PreparedTensor::new(t)?;
+        prep.panels = Some(prep.packed.pack_panels(k, n));
+        Ok(prep)
     }
 
     /// The encoded tensor.
@@ -70,10 +95,25 @@ impl PreparedTensor {
     pub fn packed(&self) -> &PackedOperands {
         &self.packed
     }
+
+    /// The memoised microkernel panels, when prepared with a shape.
+    pub fn panels(&self) -> Option<&PackedPanels> {
+        self.panels.as_ref()
+    }
+}
+
+/// Reusable activation-side buffers for [`owlp_gemm_prepared_with`]: the
+/// per-step decode of a serving loop refills the same packed planes
+/// instead of allocating fresh ones every call
+/// ([`EncodedTensor::decode_packed_into`]).
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    packed_a: PackedOperands,
 }
 
 /// [`owlp_gemm`] with a pre-prepared weight tensor: only the activation
-/// side pays encode + pack, the weight side reuses its cached planes.
+/// side pays encode + pack, the weight side reuses its cached planes (and
+/// its memoised panels, when built via [`PreparedTensor::with_shape`]).
 ///
 /// # Errors
 ///
@@ -85,13 +125,35 @@ pub fn owlp_gemm_prepared(
     k: usize,
     n: usize,
 ) -> Result<OwlpGemmOutput, ArithError> {
+    let mut scratch = GemmScratch::default();
+    owlp_gemm_prepared_with(a, b, m, k, n, &mut scratch)
+}
+
+/// [`owlp_gemm_prepared`] with caller-owned activation scratch: a serving
+/// loop (e.g. the `owlp-core` transformer's per-layer sweep) keeps one
+/// [`GemmScratch`] alive so the per-step activation decode allocates
+/// nothing in steady state.
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+pub fn owlp_gemm_prepared_with(
+    a: &[Bf16],
+    b: &PreparedTensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) -> Result<OwlpGemmOutput, ArithError> {
     check_shape(a, m * k, "A")?;
-    let prep_a = PreparedTensor::new(a)?;
-    owlp_gemm_decoded(
-        &prep_a.enc,
-        &prep_a.packed,
+    let enc_a = encode_tensor(a, None)?;
+    enc_a.decode_packed_into(&mut scratch.packed_a);
+    owlp_gemm_packed(
+        &enc_a,
+        &scratch.packed_a,
         &b.enc,
         &b.packed,
+        b.panels.as_ref(),
         m,
         k,
         n,
@@ -155,28 +217,65 @@ pub fn owlp_gemm_with(
 
 /// The datapath half of [`owlp_gemm`], reusable when the tensors are
 /// already encoded/decoded (as the accelerator model does per layer).
+/// Packs microkernel panels for `b` on the fly; see [`owlp_gemm_packed`]
+/// to supply memoised ones.
 ///
-/// Under [`AlignUnit::Exact`] every wavefront (one output element's pass)
-/// runs the hybrid bounded-window kernel: a flat signed-integer dot product
-/// over the packed magnitude/meta planes accumulates **all** products in a
-/// [`WindowAcc`] on the shared-exponent frame, then the few tagged
-/// positions — found by merging the row's and column's sorted outlier
-/// tables — are corrected: their as-if-normal term is subtracted and the
-/// true outlier product (same integer magnitude, frame rebuilt from the
-/// outliers' own exponents exactly as the PE's outlier bypass does) is
-/// added back through a second, dynamically sized window, or through a
-/// [`KulischAcc`] when the frame span outgrows an `i128`. Both compute the
-/// exact sum and round once with the same RNE conversion, so the result is
-/// bit-identical to driving the PE column; the outlier statistics count
-/// exactly the nonzero tagged products the PE's bypass path would carry.
-/// Runs under an [`AlignUnit::Bounded`] policy are order-sensitive and keep
-/// the full [`PeColumn`] datapath.
+/// # Errors
+///
+/// As [`owlp_gemm`].
 #[allow(clippy::too_many_arguments)]
 pub fn owlp_gemm_decoded(
     enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
     enc_b: &EncodedTensor,
     packed_b: &PackedOperands,
+    m: usize,
+    k: usize,
+    n: usize,
+    config: PeConfig,
+    align: AlignUnit,
+) -> Result<OwlpGemmOutput, ArithError> {
+    owlp_gemm_packed(
+        enc_a, packed_a, enc_b, packed_b, None, m, k, n, config, align,
+    )
+}
+
+/// The full datapath drive loop, with optionally memoised weight panels.
+///
+/// Under [`AlignUnit::Exact`] the m×n sweep runs in MR×NR register tiles:
+/// the [`crate::microkernel`] computes each tile as an `i16×i16→i32`
+/// outer-product dot over the activation sval rows and one
+/// [`PackedPanels`] panel, partial-summing `i64` lanes that spill into a
+/// per-element [`WindowAcc`] on the shared-exponent frame (no overflow by
+/// the K_SPILL bound — see the microkernel docs). Outliers stay
+/// *segmented out of the hot loop*: the few tagged positions — found by
+/// merging the row's and column's sorted outlier tables, i.e. exactly the
+/// segments [`PackedOperands::range_has_tagged`] would flag — are then
+/// corrected per element: their as-if-normal term is subtracted and the
+/// true outlier product (same integer magnitude, frame rebuilt from the
+/// outliers' own exponents exactly as the PE's outlier bypass does) is
+/// added back through a second, dynamically sized window, or through a
+/// [`KulischAcc`] when the frame span outgrows an `i128`. Every path
+/// computes the exact sum and rounds once with the same RNE conversion,
+/// so the result is bit-identical to driving the PE column; the outlier
+/// statistics count exactly the nonzero tagged products the PE's bypass
+/// path would carry. Runs under an [`AlignUnit::Bounded`] policy are
+/// order-sensitive and keep the full [`PeColumn`] datapath.
+///
+/// `panels` (when `Some` and shape-matched) must be
+/// `packed_b.pack_panels(k, n)` — [`PreparedTensor::with_shape`] memoises
+/// exactly that; mismatched or absent panels are rebuilt here.
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+#[allow(clippy::too_many_arguments)]
+pub fn owlp_gemm_packed(
+    enc_a: &EncodedTensor,
+    packed_a: &PackedOperands,
+    enc_b: &EncodedTensor,
+    packed_b: &PackedOperands,
+    panels: Option<&PackedPanels>,
     m: usize,
     k: usize,
     n: usize,
@@ -213,146 +312,153 @@ pub fn owlp_gemm_decoded(
             col_tags[p as usize % n].push((p / n as u32, e.max(1) as i32));
         }
     }
-    let a_mag = packed_a.mags();
-    let a_meta = packed_a.metas();
-    let b_mag = packed_b.mags();
-    let b_meta = packed_b.metas();
+    let a_sval = packed_a.svals();
     let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, k);
-    // Tile-parallel over output columns: each tile gathers its weight
-    // columns and runs every activation row through the fast kernel or the
-    // PE column. Results assemble in column order and the wavefront
-    // statistics reduce over the ordered tile list (max and sum —
-    // order-free anyway), so the output is bit-identical to the serial
-    // sweep at every thread count.
-    let grain = crate::exact::row_grain(k, m);
+    // Weight panels for the microkernel: reuse the caller's memoised set
+    // when its shape matches, otherwise pack once per call (still hoisted
+    // out of the m×n sweep entirely).
+    let mut panels_store = None;
+    let panels: Option<&PackedPanels> = if fast_ok {
+        Some(match panels {
+            Some(p) if p.k() == k && p.n() == n => p,
+            _ => panels_store.insert(packed_b.pack_panels(k, n)),
+        })
+    } else {
+        None
+    };
+    // All-zero activation row standing in for the `m % MR` edge rows: zero
+    // svals contribute nothing, so the full-size kernel handles edges.
+    let zero_row = vec![0i16; k];
+    // Tile-parallel over output columns: each chunk runs the register-tiled
+    // microkernel (or the PE column) over its panel range. The grain is
+    // NR-aligned so no MR×NR tile straddles a chunk boundary. Results
+    // assemble in column order and the wavefront statistics reduce over the
+    // ordered tile list (max and sum — order-free anyway), so the output is
+    // bit-identical to the serial sweep at every thread count.
+    let grain = crate::exact::row_grain(k, m).next_multiple_of(NR);
     let col_ops = 2 * (k as u64).saturating_mul(m as u64).max(1);
     let tiles = owlp_par::map_chunks_weighted(n, grain, col_ops, |cols| {
         let j0 = cols.start;
-        let mut values = Vec::with_capacity(cols.len() * m);
+        let mut values;
         let mut max_wavefront = 0usize;
         let mut total = 0usize;
         if fast_ok {
-            let mut wt_mag = vec![0u16; k];
-            let mut wt_meta = vec![0u8; k];
+            let panels = panels.expect("panels are built whenever the fast path runs");
+            values = vec![0.0f32; cols.len() * m];
             // Corrected outlier products of the current wavefront:
             // (signed integer magnitude, frame), reused across wavefronts.
             let mut outs: Vec<(i64, i32)> = Vec::new();
-            for j in cols {
-                for kk in 0..k {
-                    wt_mag[kk] = b_mag[kk * n + j];
-                    wt_meta[kk] = b_meta[kk * n + j];
-                }
-                let ctags = &col_tags[j];
-                for i in 0..m {
-                    // Flat window pass over every position: each product is
-                    // an integer < 2^30 on the shared frame, so a flat i64
-                    // dot regroups the PE column's per-lane sums without
-                    // changing the exact value.
-                    let row_mag = &a_mag[i * k..(i + 1) * k];
-                    let row_meta = &a_meta[i * k..(i + 1) * k];
-                    let mut sum = 0i64;
-                    let mut win = win0;
-                    for kk in 0..k {
-                        let p = row_mag[kk] as i64 * wt_mag[kk] as i64;
-                        if p != 0 {
-                            let am = row_meta[kk];
-                            let wm = wt_meta[kk];
-                            // META_SH is bit 1, so this is 4·(sh_a + sh_w).
-                            let sh = 2 * ((am & META_SH) + (wm & META_SH)) as i32;
-                            let v = p << sh;
-                            sum += if (am ^ wm) & META_SIGN != 0 { -v } else { v };
-                        }
-                        if kk & 0x1F == 0x1F {
-                            // Spill every 32 terms: 30-bit products keep the
-                            // running i64 partial far from overflow.
-                            win.add_aligned(sum);
-                            sum = 0;
-                        }
-                    }
-                    win.add_aligned(sum);
-                    let rtags = &row_tags[i];
-                    if rtags.is_empty() && ctags.is_empty() {
-                        values.push(win.round_to_f32());
-                        continue;
-                    }
-                    // Correction walk over the merged union of tagged
-                    // positions: pull each tagged product out of the shared
-                    // frame and rebuild it on its true outlier frame —
-                    // `max(exp, 1)` replacing the shared exponent on each
-                    // tagged side, exactly the PE's bypass-path frame. Zero
-                    // products stay on the normal path (the PE never routes
-                    // them to an outlier slot).
-                    outs.clear();
-                    let (mut x, mut y) = (0usize, 0usize);
-                    while x < rtags.len() || y < ctags.len() {
-                        let (kk, ea, ew) =
-                            if y == ctags.len() || (x < rtags.len() && rtags[x].0 < ctags[y].0) {
-                                let (kk, ea) = rtags[x];
-                                x += 1;
-                                (kk as usize, ea, shared_w as i32)
-                            } else if x == rtags.len() || ctags[y].0 < rtags[x].0 {
-                                let (kk, ew) = ctags[y];
-                                y += 1;
-                                (kk as usize, shared_a as i32, ew)
-                            } else {
-                                let (kk, ea) = rtags[x];
-                                let ew = ctags[y].1;
-                                x += 1;
-                                y += 1;
-                                (kk as usize, ea, ew)
-                            };
-                        let p = row_mag[kk] as i64 * wt_mag[kk] as i64;
-                        if p == 0 {
-                            continue;
-                        }
-                        let am = row_meta[kk];
-                        let wm = wt_meta[kk];
-                        let sh = 2 * ((am & META_SH) + (wm & META_SH)) as i32;
-                        let v = if (am ^ wm) & META_SIGN != 0 {
-                            -(p << sh)
+            for jb in cols.clone().step_by(NR) {
+                let nr = NR.min(cols.end - jb);
+                let panel = panels.panel(jb / NR);
+                for ib in (0..m).step_by(MR) {
+                    let mr = MR.min(m - ib);
+                    let a_rows: [&[i16]; MR] = std::array::from_fn(|r| {
+                        if r < mr {
+                            &a_sval[(ib + r) * k..(ib + r + 1) * k]
                         } else {
-                            p << sh
-                        };
-                        win.add_aligned(-v);
-                        outs.push((v, ea + ew - 268));
-                    }
-                    max_wavefront = max_wavefront.max(outs.len());
-                    total += outs.len();
-                    if outs.is_empty() {
-                        // Every tagged product was zero — the shared-frame
-                        // window already holds the exact sum.
-                        values.push(win.round_to_f32());
-                        continue;
-                    }
-                    // One dynamically sized window usually covers the
-                    // outlier frames too; fall back to the Kulisch register
-                    // only when the span outgrows an i128.
-                    let mut lo = win.frame();
-                    let mut hi = win.frame() + OWLP_PRODUCT_BITS;
-                    for &(_, f) in &outs {
-                        lo = lo.min(f);
-                        hi = hi.max(f + OWLP_PRODUCT_BITS);
-                    }
-                    match WindowAcc::for_span(lo, hi, (k + outs.len()) as u64) {
-                        Some(mut wide) => {
-                            wide.add_window(&win);
-                            for &(v, f) in &outs {
-                                wide.add(v, f);
-                            }
-                            values.push(wide.round_to_f32());
+                            zero_row.as_slice()
                         }
-                        None => {
-                            let mut acc = KulischAcc::new();
-                            win.merge_into(&mut acc);
-                            for &(v, f) in &outs {
-                                acc.add_scaled(v, f);
+                    });
+                    // The microkernel covers the outlier-free bulk: every
+                    // product is an integer < 2^30 on the shared frame
+                    // (outlier svals included as their as-if-normal value,
+                    // corrected below), so regrouping into register tiles
+                    // cannot change the exact per-element sum.
+                    let wins = microkernel::tile_dot_i16(a_rows, panel, win0);
+                    for (r, wins_row) in wins.iter().enumerate().take(mr) {
+                        let i = ib + r;
+                        let rtags = &row_tags[i];
+                        let row_sval = a_rows[r];
+                        for (c, &tile_win) in wins_row.iter().enumerate().take(nr) {
+                            let j = jb + c;
+                            let ctags = &col_tags[j];
+                            let mut win = tile_win;
+                            let out_idx = (j - cols.start) * m + i;
+                            if rtags.is_empty() && ctags.is_empty() {
+                                values[out_idx] = win.round_to_f32();
+                                continue;
                             }
-                            values.push(acc.round_to_f32());
+                            // Correction walk over the merged union of
+                            // tagged positions: pull each tagged product out
+                            // of the shared frame and rebuild it on its true
+                            // outlier frame — `max(exp, 1)` replacing the
+                            // shared exponent on each tagged side, exactly
+                            // the PE's bypass-path frame. Zero products stay
+                            // on the normal path (the PE never routes them
+                            // to an outlier slot).
+                            outs.clear();
+                            let (mut x, mut y) = (0usize, 0usize);
+                            while x < rtags.len() || y < ctags.len() {
+                                let (kk, ea, ew) = if y == ctags.len()
+                                    || (x < rtags.len() && rtags[x].0 < ctags[y].0)
+                                {
+                                    let (kk, ea) = rtags[x];
+                                    x += 1;
+                                    (kk as usize, ea, shared_w as i32)
+                                } else if x == rtags.len() || ctags[y].0 < rtags[x].0 {
+                                    let (kk, ew) = ctags[y];
+                                    y += 1;
+                                    (kk as usize, shared_a as i32, ew)
+                                } else {
+                                    let (kk, ea) = rtags[x];
+                                    let ew = ctags[y].1;
+                                    x += 1;
+                                    y += 1;
+                                    (kk as usize, ea, ew)
+                                };
+                                // Same signed integer the kernel added: the
+                                // sval product folds sign and the 4·(sh_a +
+                                // sh_w) shift.
+                                let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
+                                if v == 0 {
+                                    continue;
+                                }
+                                win.add_aligned(-v);
+                                outs.push((v, ea + ew - 268));
+                            }
+                            max_wavefront = max_wavefront.max(outs.len());
+                            total += outs.len();
+                            if outs.is_empty() {
+                                // Every tagged product was zero — the
+                                // shared-frame window already holds the
+                                // exact sum.
+                                values[out_idx] = win.round_to_f32();
+                                continue;
+                            }
+                            // One dynamically sized window usually covers
+                            // the outlier frames too; fall back to the
+                            // Kulisch register only when the span outgrows
+                            // an i128.
+                            let mut lo = win.frame();
+                            let mut hi = win.frame() + OWLP_PRODUCT_BITS;
+                            for &(_, f) in &outs {
+                                lo = lo.min(f);
+                                hi = hi.max(f + OWLP_PRODUCT_BITS);
+                            }
+                            match WindowAcc::for_span(lo, hi, (k + outs.len()) as u64) {
+                                Some(mut wide) => {
+                                    wide.add_window(&win);
+                                    for &(v, f) in &outs {
+                                        wide.add(v, f);
+                                    }
+                                    values[out_idx] = wide.round_to_f32();
+                                }
+                                None => {
+                                    let mut acc = KulischAcc::new();
+                                    win.merge_into(&mut acc);
+                                    for &(v, f) in &outs {
+                                        acc.add_scaled(v, f);
+                                    }
+                                    values[out_idx] = acc.round_to_f32();
+                                }
+                            }
                         }
                     }
                 }
             }
         } else {
+            values = Vec::with_capacity(cols.len() * m);
             // Bounded align reduces contributions in the PE column's
             // arrival order — order-sensitive, so drive the real datapath.
             let mut wt_col: Vec<DecodedOperand> = Vec::new();
@@ -542,6 +648,35 @@ mod tests {
             let par = owlp_par::with_threads(t, || owlp_gemm(&a, &b, m, k, n).unwrap());
             assert_eq!(par, serial, "{t} threads");
         }
+    }
+
+    #[test]
+    fn prepared_with_shape_and_scratch_is_bit_identical() {
+        // Shapes deliberately off the MR/NR grid; outliers on both sides.
+        let (m, k, n) = (9, 37, 13);
+        let acts = [synth(m * k, 31, 9), synth(m * k, 32, 7)];
+        let b = synth(k * n, 33, 11);
+        let plain = PreparedTensor::new(&b).unwrap();
+        assert!(plain.panels().is_none());
+        let shaped = PreparedTensor::with_shape(&b, k, n).unwrap();
+        assert!(shaped.panels().is_some());
+        let mut scratch = GemmScratch::default();
+        for a in &acts {
+            let fresh = owlp_gemm_prepared(a, &plain, m, k, n).unwrap();
+            let memo = owlp_gemm_prepared_with(a, &shaped, m, k, n, &mut scratch).unwrap();
+            assert_eq!(
+                memo, fresh,
+                "memoised panels + scratch must not change a bit"
+            );
+            let golden = exact_gemm(a, &b, m, k, n);
+            for (x, y) in memo.output.iter().zip(&golden) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(matches!(
+            PreparedTensor::with_shape(&b, k, n + 1),
+            Err(ArithError::DimensionMismatch { what: "B", .. })
+        ));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod fpmac;
 pub mod gemm;
 pub mod int2fp;
 pub mod kulisch;
+pub mod microkernel;
 pub mod pe;
 pub mod pipeline;
 pub mod quant;
@@ -69,7 +70,10 @@ pub use align::{AlignUnit, Contribution};
 pub use error::ArithError;
 pub use exact::{exact_dot, exact_gemm};
 pub use fpmac::{fp_mac_dot, fp_mac_gemm};
-pub use gemm::{owlp_gemm, owlp_gemm_prepared, OwlpGemmOutput, PreparedTensor};
+pub use gemm::{
+    owlp_gemm, owlp_gemm_prepared, owlp_gemm_prepared_with, GemmScratch, OwlpGemmOutput,
+    PreparedTensor,
+};
 pub use kulisch::KulischAcc;
 pub use pe::{LaneProduct, PeConfig, ProcessingElement};
 pub use window::WindowAcc;

@@ -1,0 +1,283 @@
+//! Register-tiled, autovectorization-friendly GEMM microkernels.
+//!
+//! The scalar hot loops ([`crate::gemm::owlp_gemm_decoded`] and the
+//! windowed [`crate::exact::exact_gemm`] tiles) historically did one
+//! `u16 as i64 × u16 as i64` FMA per product, plus a per-product branch
+//! for the sign and the `{0,4,8}` post-multiply shift. The paper's whole
+//! point is that the OwL-P datapath is *integer-only* — so the software
+//! model should run at integer-SIMD speed too. This module restructures
+//! the inner loop around two facts:
+//!
+//! 1. **Products are exact in narrow integers.** A packed operand's folded
+//!    significand (`sval = ±(mag << 4·sh)`, see
+//!    [`owlp_format::packed::PackedOperands::svals`]) satisfies
+//!    `|sval| ≤ (2^11 − 1)·2^4 = 32752 < 2^15`, so it fits an `i16` and a
+//!    product of two fits an `i32` (`|p| < 2^30`) with no rounding — the
+//!    `{0,4,8}` shifter and both signs are already folded in. The
+//!    `i16×i16→i32` multiply-add shape is exactly what packed integer
+//!    SIMD units (and autovectorizers) are built for.
+//!
+//! 2. **Lane sums provably cannot overflow before the spill.** Partial
+//!    sums are kept in `i64` lanes and spilled into the existing
+//!    [`WindowAcc`] `i128` frame every [`K_SPILL`] terms. The bound:
+//!    `K_SPILL · max|p| ≤ 2^14 · 2^30 = 2^44 ≪ 2^63`, so the `i64` lane
+//!    is exact by a margin of 19 bits (any `K_SPILL ≤ 2^32` would do;
+//!    2^14 keeps a segment resident in L1). Integer addition is
+//!    associative and commutative, so regrouping the dot product into
+//!    MR×NR register tiles, K segments, and per-lane partials computes
+//!    the *same* exact integer as the scalar sweep — bit-identity with
+//!    the Kulisch oracle is preserved by construction, exactly as for
+//!    [`WindowAcc`] itself.
+//!
+//! The kernel computes an [`MR`]×[`NR`] output tile per call: `MR` rows
+//! of A (flat sval slices) against one [`owlp_format::PackedPanels`]
+//! panel of `NR` interleaved weight columns. Callers pad edge tiles with
+//! an all-zero row / rely on the panel's zero-padded columns — zero
+//! svals contribute nothing, so there are no edge-case variants to
+//! diverge from the proof above.
+//!
+//! The `i32` twin ([`tile_dot_i32`]) serves the exact-GEMM band path,
+//! where in-band aligned magnitudes span up to 31 bits; its caller sizes
+//! the band so that even the **full-k** lane sum fits `i64` (see
+//! `crate::exact`), so it needs no intermediate spill.
+
+use crate::window::WindowAcc;
+
+/// Output-tile rows per microkernel call.
+pub const MR: usize = 4;
+
+/// Output-tile columns per microkernel call — fixed by the panel layout.
+pub const NR: usize = owlp_format::packed::PANEL_NR;
+
+/// K-depth between lane spills into the [`WindowAcc`] frame. With
+/// products `|p| < 2^30`, a lane accumulates `< 2^44` per segment —
+/// provably exact in `i64` (see the module docs).
+pub const K_SPILL: usize = 1 << 14;
+
+/// Multiplies one K-segment of an MR×NR tile into the `i64` lane array:
+/// `lanes[r][c] += Σ_kk a_rows[r][kk] · panel[kk·NR + c]`.
+///
+/// `a_rows` are `seg`-long sval slices (pad missing edge rows with a zero
+/// slice); `panel` is the matching `seg·NR` K-major panel segment. The
+/// caller must spill at least every [`K_SPILL`] terms.
+#[inline]
+pub fn tile_mul_i16(a_rows: [&[i16]; MR], panel: &[i16], lanes: &mut [[i64; NR]; MR]) {
+    let seg = a_rows[0].len();
+    debug_assert!(seg <= K_SPILL, "segment longer than the spill period");
+    debug_assert!(a_rows.iter().all(|r| r.len() == seg));
+    debug_assert_eq!(panel.len(), seg * NR);
+    for kk in 0..seg {
+        let b = &panel[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let av = a_rows[r][kk] as i32;
+            for (c, lane) in lanes[r].iter_mut().enumerate() {
+                // i16×i16 → exact i32 product, widened once per lane.
+                *lane += (av * b[c] as i32) as i64;
+            }
+        }
+    }
+}
+
+/// Full-depth MR×NR tile: segments of [`K_SPILL`] terms accumulate in
+/// `i64` lanes and spill into per-element [`WindowAcc`]s cloned from
+/// `win0` (the shared-frame window of the GEMM call).
+#[inline]
+pub fn tile_dot_i16(a_rows: [&[i16]; MR], panel: &[i16], win0: WindowAcc) -> [[WindowAcc; NR]; MR] {
+    let k = a_rows[0].len();
+    debug_assert_eq!(panel.len(), k * NR);
+    let mut wins = [[win0; NR]; MR];
+    let mut lanes = [[0i64; NR]; MR];
+    let mut s = 0usize;
+    while s < k {
+        let seg = K_SPILL.min(k - s);
+        let sub: [&[i16]; MR] = std::array::from_fn(|r| &a_rows[r][s..s + seg]);
+        tile_mul_i16(sub, &panel[s * NR..(s + seg) * NR], &mut lanes);
+        for (wr, lr) in wins.iter_mut().zip(&mut lanes) {
+            for (w, lane) in wr.iter_mut().zip(lr.iter_mut()) {
+                w.add_aligned(std::mem::take(lane));
+            }
+        }
+        s += seg;
+    }
+    wins
+}
+
+/// Clean-pair dot product over folded significands, spilled into a copy
+/// of `win0` per [`K_SPILL`] segment — the systolic event simulator's
+/// all-normal wavefront (streams may differ in length; the shorter one
+/// bounds the depth, matching the zip semantics of the scalar loop).
+#[inline]
+pub fn dot_sval(a: &[i16], b: &[i16], win0: WindowAcc) -> WindowAcc {
+    let len = a.len().min(b.len());
+    let mut win = win0;
+    let mut s = 0usize;
+    while s < len {
+        let seg = K_SPILL.min(len - s);
+        let mut sum = 0i64;
+        for kk in s..s + seg {
+            sum += (a[kk] as i32 * b[kk] as i32) as i64;
+        }
+        win.add_aligned(sum);
+        s += seg;
+    }
+    win
+}
+
+/// The `i32` twin of [`tile_mul_i16`] for the exact-GEMM band planes:
+/// products are taken in `i64` (`|a| < 2^31` each side). The caller's
+/// band-width budget guarantees the full-depth lane sum fits `i64`, so
+/// no spill period applies here.
+#[inline]
+pub fn tile_mul_i32(a_rows: [&[i32]; MR], panel: &[i32], lanes: &mut [[i64; NR]; MR]) {
+    let seg = a_rows[0].len();
+    debug_assert!(a_rows.iter().all(|r| r.len() == seg));
+    debug_assert_eq!(panel.len(), seg * NR);
+    for kk in 0..seg {
+        let b = &panel[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let av = a_rows[r][kk] as i64;
+            for (c, lane) in lanes[r].iter_mut().enumerate() {
+                *lane += av * b[c] as i64;
+            }
+        }
+    }
+}
+
+/// Full-depth MR×NR tile over `i32` band planes, returning raw `i64`
+/// lane sums (the caller owns rounding / correction).
+#[inline]
+pub fn tile_dot_i32(a_rows: [&[i32]; MR], panel: &[i32]) -> [[i64; NR]; MR] {
+    let mut lanes = [[0i64; NR]; MR];
+    tile_mul_i32(a_rows, panel, &mut lanes);
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{encode_tensor, Bf16};
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    /// Normal-band values so every product lands on the shared frame.
+    fn normals(len: usize, seed: u64) -> Vec<Bf16> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+                let sign = if state & 2 == 0 { 1.0 } else { -1.0 };
+                bf(sign * (0.75 + u * 0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sval_bound_is_i16_safe() {
+        // The proof constant: max mag (11 bits) at max shift.
+        let max = ((1i32 << 11) - 1) << 4;
+        assert_eq!(max, 32752);
+        assert!(max <= i16::MAX as i32);
+        // And the product bound used for K_SPILL.
+        assert!((max as i64 * max as i64) < 1 << 30);
+        assert!((K_SPILL as i64) << 30 <= 1 << 44);
+    }
+
+    #[test]
+    fn tile_matches_scalar_dot_per_element() {
+        let k = 3 * K_SPILL / 2 + 7; // forces a mid-depth spill + remainder
+        let a: Vec<Bf16> = normals(MR * k, 11);
+        let b: Vec<Bf16> = normals(k * NR, 22);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let pa = ea.decode_packed();
+        let pb = eb.decode_packed();
+        let panels = pb.pack_panels(k, NR);
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), eb.shared_exp(), k);
+        let a_rows: [&[i16]; MR] = std::array::from_fn(|r| &pa.svals()[r * k..(r + 1) * k]);
+        let wins = tile_dot_i16(a_rows, panels.panel(0), win0);
+        for (r, wrow) in wins.iter().enumerate() {
+            for (c, wtile) in wrow.iter().enumerate() {
+                let mut win = win0;
+                let mut sum = 0i64;
+                for kk in 0..k {
+                    sum += pa.svals()[r * k + kk] as i64 * pb.svals()[kk * NR + c] as i64;
+                    if kk & 0x1F == 0x1F {
+                        win.add_aligned(sum);
+                        sum = 0;
+                    }
+                }
+                win.add_aligned(sum);
+                assert_eq!(
+                    wtile.round_to_f32().to_bits(),
+                    win.round_to_f32().to_bits(),
+                    "tile ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_sval_matches_scalar_spill_loop() {
+        let k = K_SPILL + 33;
+        let a = normals(k, 5);
+        let b = normals(k, 6);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (ea.decode_packed(), eb.decode_packed());
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), eb.shared_exp(), k);
+        let fast = dot_sval(pa.svals(), pb.svals(), win0);
+        let mut win = win0;
+        for kk in 0..k {
+            win.add_aligned(pa.svals()[kk] as i64 * pb.svals()[kk] as i64);
+        }
+        assert_eq!(fast.round_to_f32().to_bits(), win.round_to_f32().to_bits());
+    }
+
+    #[test]
+    fn zero_padded_rows_and_columns_contribute_nothing() {
+        let k = 37;
+        let a = normals(k, 3);
+        let ea = encode_tensor(&a, None).unwrap();
+        let pa = ea.decode_packed();
+        let zero = vec![0i16; k];
+        let a_rows: [&[i16]; MR] =
+            std::array::from_fn(|r| if r == 0 { pa.svals() } else { zero.as_slice() });
+        let panel = vec![0i16; k * NR];
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), 127, k);
+        let wins = tile_dot_i16(a_rows, &panel, win0);
+        for row in &wins {
+            for w in row {
+                assert!(w.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn i32_tile_matches_scalar() {
+        let k = 129;
+        let mut state = 0xACE1u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 33) as i32 % (1 << 20)) - (1 << 19)
+        };
+        let a: Vec<i32> = (0..MR * k).map(|_| next()).collect();
+        let panel: Vec<i32> = (0..k * NR).map(|_| next()).collect();
+        let a_rows: [&[i32]; MR] = std::array::from_fn(|r| &a[r * k..(r + 1) * k]);
+        let lanes = tile_dot_i32(a_rows, &panel);
+        for r in 0..MR {
+            for c in 0..NR {
+                let scalar: i64 = (0..k)
+                    .map(|kk| a[r * k + kk] as i64 * panel[kk * NR + c] as i64)
+                    .sum();
+                assert_eq!(lanes[r][c], scalar, "({r},{c})");
+            }
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! Criterion: accumulator kernels — per-product `KulischAcc::add_product`
 //! vs the hoisted `add_product_batch` vs the bounded-window `WindowAcc`
-//! fast path, so future accumulator changes have a tracked baseline.
+//! fast path vs the register-tiled sval microkernel, plus the
+//! panel-cache hit/miss cost of a prepared-weight GEMM, so future
+//! accumulator changes have a tracked baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use owlp_arith::gemm::{owlp_gemm_prepared, PreparedTensor};
 use owlp_arith::kulisch::KulischAcc;
-use owlp_arith::WindowAcc;
+use owlp_arith::{microkernel, WindowAcc};
 use owlp_format::packed::{META_SH, META_SIGN};
 use owlp_format::{encode_tensor, Bf16};
 
@@ -84,6 +87,46 @@ fn bench_accumulators(c: &mut Criterion) {
             win.add_aligned(sum);
             win.round_to_f32()
         })
+    });
+    group.bench_function("microkernel_tile_dot", |bch| {
+        // The same dot product through the register-tiled sval plane: one
+        // MR×NR tile whose rows/columns all alias the same vectors, so the
+        // per-element work matches `window_acc` while exercising the
+        // i16×i16→i32 lane structure the compiler can vectorize.
+        let a_sval = pa.svals();
+        let panel: Vec<i16> = pb
+            .svals()
+            .iter()
+            .flat_map(|&s| std::iter::repeat_n(s, microkernel::NR))
+            .collect();
+        let a_rows: [&[i16]; microkernel::MR] = [a_sval, a_sval, a_sval, a_sval];
+        let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, N);
+        bch.iter(|| {
+            let wins = microkernel::tile_dot_i16(a_rows, &panel, win0);
+            wins[0][0].round_to_f32()
+        })
+    });
+    group.finish();
+
+    // Panel cache: a prepared weight either carries its packed B panels
+    // (`with_shape` — cache hit on every GEMM) or forces `owlp_gemm` to
+    // re-tile per call (`new` — cache miss). Same arithmetic, same result;
+    // the delta is the per-call packing cost the cache removes.
+    let (m, k, n) = (16, 64, 64);
+    let act = normal_tensor(m * k, 0xAC75);
+    let wt = normal_tensor(k * n, 0x3E16);
+    let hit = PreparedTensor::with_shape(&wt, k, n).unwrap();
+    let miss = PreparedTensor::new(&wt).unwrap();
+    let mut group = c.benchmark_group("panel-cache");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(2 * (m * k * n) as u64));
+    group.bench_function("prepared_hit", |bch| {
+        bch.iter(|| owlp_gemm_prepared(&act, &hit, m, k, n).unwrap().output)
+    });
+    group.bench_function("prepared_miss", |bch| {
+        bch.iter(|| owlp_gemm_prepared(&act, &miss, m, k, n).unwrap().output)
     });
     group.finish();
 }

@@ -16,8 +16,8 @@ use crate::SEED;
 use owlp_core::Accelerator;
 use owlp_model::{Dataset, ModelId};
 use owlp_serve::{
-    simulate_pool, ArrivalProcess, CostModel, LengthDistribution, PoolConfig, SchedulerConfig,
-    TraceSpec,
+    simulate_pool_with, ArrivalProcess, CostModel, LengthDistribution, PoolConfig, SchedulerConfig,
+    ShardScratch, TraceSpec,
 };
 use owlp_systolic::{event_sim, ArrayConfig};
 use serde::Serialize;
@@ -248,15 +248,18 @@ pub fn run(smoke: bool) -> BenchReport {
             queue_capacity: 32,
         },
     };
-    // Warm the memoised shape tables so neither timing pays them.
-    let _ = simulate_pool(&cost, &pool, &trace);
+    // Warm the memoised shape tables so neither timing pays them, and
+    // reuse one shard scratch across every timed round — the steady-state
+    // shape of a serving loop.
+    let mut shards = ShardScratch::default();
+    let _ = simulate_pool_with(&cost, &pool, &trace, &mut shards);
     cases.push(case(
         "serve-pool",
         format!("{requests} requests, {} workers", pool.workers),
         requests as u64,
         reps,
         threads,
-        || simulate_pool(&cost, &pool, &trace).expect("pool simulation runs"),
+        || simulate_pool_with(&cost, &pool, &trace, &mut shards).expect("pool simulation runs"),
         |r| r.clone(),
     ));
 

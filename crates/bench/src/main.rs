@@ -24,9 +24,9 @@
 //! ```
 //!
 //! which times the `owlp-par` hot paths serial vs parallel and writes a
-//! machine-readable baseline report (default `BENCH_PR4.json`), comparing
+//! machine-readable baseline report (default `BENCH_PR5.json`), comparing
 //! serial throughput against the previous baseline (default
-//! `BENCH_PR3.json`) when present.
+//! `BENCH_PR4.json`) when present.
 
 use owlp_bench::{
     ablation, batch_sweep, bench_json, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
@@ -124,7 +124,7 @@ fn run_one(name: &str) -> Result<String, String> {
 
 /// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]` — run the
 /// parallel-speedup baseline suite and write the JSON report. When the
-/// baseline file (default `BENCH_PR3.json`) exists, each case also records
+/// baseline file (default `BENCH_PR4.json`) exists, each case also records
 /// its old-vs-new serial throughput gain.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -132,12 +132,12 @@ fn run_bench_json(args: &[String]) {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR4.json", String::as_str);
+        .map_or("BENCH_PR5.json", String::as_str);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR3.json", String::as_str);
+        .map_or("BENCH_PR4.json", String::as_str);
     let mut report = bench_json::run(smoke);
     if let Ok(old) = std::fs::read_to_string(baseline) {
         if !bench_json::attach_baseline(&mut report, &old) {

@@ -22,7 +22,7 @@
 
 use owlp_arith::exact::exact_gemm;
 use owlp_arith::fpmac::fp_mac_gemm;
-use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared, PreparedTensor};
+use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared_with, GemmScratch, PreparedTensor};
 use owlp_arith::ArithError;
 use owlp_format::Bf16;
 use owlp_model::profiles::{profile_for, Dataset, TensorRole};
@@ -90,9 +90,9 @@ impl TinyConfig {
 }
 
 /// Per-layer weights in BF16 (as the accelerator stores them), each paired
-/// with its OwL-P-prepared form (encoded + packed **once** at construction,
-/// so repeated forward passes — a serving loop's decode iterations — never
-/// re-encode or re-decode a weight tensor).
+/// with its OwL-P-prepared form (encoded, packed, **and panel-tiled** once
+/// at construction, so repeated forward passes — a serving loop's decode
+/// iterations — never re-encode, re-decode, or re-tile a weight tensor).
 #[derive(Debug, Clone, PartialEq)]
 struct LayerWeights {
     wqkv: Vec<Bf16>,               // hidden × 3·hidden
@@ -143,9 +143,15 @@ impl TinyTransformer {
                 let wo = gen(OpKind::OutProj, config.hidden, config.hidden, s ^ 0x11);
                 let w1 = gen(OpKind::FfnUp, config.hidden, config.ffn, s ^ 0x22);
                 let w2 = gen(OpKind::FfnDown, config.ffn, config.hidden, s ^ 0x33);
-                let prep =
-                    |t: &[Bf16]| PreparedTensor::new(t).expect("generated weights are finite");
-                let prepared = [prep(&wqkv), prep(&wo), prep(&w1), prep(&w2)];
+                let prep = |t: &[Bf16], k: usize, n: usize| {
+                    PreparedTensor::with_shape(t, k, n).expect("generated weights are finite")
+                };
+                let prepared = [
+                    prep(&wqkv, config.hidden, 3 * config.hidden),
+                    prep(&wo, config.hidden, config.hidden),
+                    prep(&w1, config.hidden, config.ffn),
+                    prep(&w2, config.ffn, config.hidden),
+                ];
                 LayerWeights {
                     wqkv,
                     wo,
@@ -179,6 +185,9 @@ impl TinyTransformer {
             output: Vec::new(),
             gemm_outputs: Vec::new(),
         };
+        // One activation-side scratch for the whole pass: every weight GEMM
+        // decodes its activations into the same reused packed planes.
+        let mut scratch = GemmScratch::default();
         let mut x: Vec<f32> = input.iter().map(|b| b.to_f32()).collect();
         for lw in &self.layers {
             // --- Attention block (pre-norm).
@@ -187,6 +196,7 @@ impl TinyTransformer {
             let qkv = self.run_weight(
                 engine,
                 &mut trace,
+                &mut scratch,
                 &normed_bf,
                 &lw.wqkv,
                 &lw.prepared[0],
@@ -228,6 +238,7 @@ impl TinyTransformer {
             let proj = self.run_weight(
                 engine,
                 &mut trace,
+                &mut scratch,
                 &ctx_bf,
                 &lw.wo,
                 &lw.prepared[1],
@@ -244,6 +255,7 @@ impl TinyTransformer {
             let up = self.run_weight(
                 engine,
                 &mut trace,
+                &mut scratch,
                 &normed_bf,
                 &lw.w1,
                 &lw.prepared[2],
@@ -256,6 +268,7 @@ impl TinyTransformer {
             let down = self.run_weight(
                 engine,
                 &mut trace,
+                &mut scratch,
                 &act_bf,
                 &lw.w2,
                 &lw.prepared[3],
@@ -288,13 +301,16 @@ impl TinyTransformer {
     }
 
     /// A weight GEMM: on the OwL-P engine the weight side skips straight to
-    /// its prepared (encoded + packed) form. Bit-identical to [`Self::run`]
-    /// — preparation caches exactly what `owlp_gemm` would recompute.
+    /// its prepared (encoded + packed + panel-tiled) form, and the
+    /// activation side decodes into the caller's reused scratch planes.
+    /// Bit-identical to [`Self::run`] — preparation caches exactly what
+    /// `owlp_gemm` would recompute.
     #[allow(clippy::too_many_arguments)]
     fn run_weight(
         &self,
         engine: GemmEngine,
         trace: &mut ForwardTrace,
+        scratch: &mut GemmScratch,
         a: &[Bf16],
         b: &[Bf16],
         prepared: &PreparedTensor,
@@ -303,7 +319,7 @@ impl TinyTransformer {
         n: usize,
     ) -> Result<Vec<f32>, ArithError> {
         let out = match engine {
-            GemmEngine::Owlp => owlp_gemm_prepared(a, prepared, m, k, n)?.output,
+            GemmEngine::Owlp => owlp_gemm_prepared_with(a, prepared, m, k, n, scratch)?.output,
             _ => engine.gemm(a, b, m, k, n)?,
         };
         trace.gemm_outputs.push(out.clone());

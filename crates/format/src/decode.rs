@@ -73,6 +73,21 @@ impl DecodedOperand {
         self.mag == 0
     }
 
+    /// The sign- and `sh`-folded significand `±(mag << 4·sh)` — the same
+    /// value `owlp_format::packed::PackedOperands::svals` stores. `mag` is
+    /// ≤ 11 bits, so the result is ≤ `32752` and always fits an `i16`; a
+    /// product of two svals is exact in `i32` (the microkernel's operand
+    /// form).
+    #[inline]
+    pub fn sval(self) -> i16 {
+        let v = (self.mag as i16) << (if self.sh { 4 } else { 0 });
+        if self.sign {
+            -v
+        } else {
+            v
+        }
+    }
+
     /// The exact value this operand denotes, as `(signed_mag, pow2)` with
     /// `value = signed_mag × 2^pow2`, given the tensor's shared exponent.
     ///

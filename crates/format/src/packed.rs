@@ -1,4 +1,5 @@
-//! Struct-of-arrays decoded operands (`PackedOperands`).
+//! Struct-of-arrays decoded operands (`PackedOperands`) and the
+//! register-tile weight panels (`PackedPanels`) built from them.
 //!
 //! The GEMM inner loops of `owlp-arith` stream every operand of a tensor
 //! once per output column; loading 8-byte [`DecodedOperand`] structs wastes
@@ -8,6 +9,15 @@
 //! one-byte `sh/sign/tag` plane, and the outlier exponents side-tabled by
 //! element position — so the all-normal fast path touches exactly two flat
 //! arrays and the outlier table is consulted only for tagged operands.
+//!
+//! On top of those planes sits a third, *fully folded* plane: `sval[i]`
+//! is the signed magnitude with the operand's own `{0,4}`-bit `sh`
+//! pre-shift already applied, `±(mag << 4·sh)`. A normal magnitude is
+//! ≤ 11 bits and the folded shift adds at most 4, so `|sval| ≤ 32752`
+//! always fits an `i16` — and a product of two svals is exact in `i32`
+//! (the paper's `{0,4,8}` post-multiply shifter becomes a no-op). That
+//! turns the GEMM inner loop into a plain `i16×i16→i32` multiply-add,
+//! the shape autovectorizers map onto packed integer FMA lanes.
 
 use crate::decode::{BiasDecoder, DecodedOperand};
 use crate::encode::EncodedTensor;
@@ -20,6 +30,10 @@ pub const META_SH: u8 = 1 << 1;
 /// Meta-plane bit: outlier tag.
 pub const META_TAG: u8 = 1 << 2;
 
+/// Output columns per weight panel — the NR of the `owlp-arith`
+/// register-tiled microkernel (which re-exports it as its own `NR`).
+pub const PANEL_NR: usize = 4;
+
 /// A tensor's decoded operands in struct-of-arrays form.
 ///
 /// Semantically identical to `Vec<DecodedOperand>` (see
@@ -27,6 +41,8 @@ pub const META_TAG: u8 = 1 << 2;
 ///
 /// * `mag[i]` — the pre-aligned integer significand (≤ 11 bits);
 /// * `meta[i]` — sign/sh/tag packed into one byte ([`META_SIGN`] etc.);
+/// * `sval[i]` — the sign- and `sh`-folded significand `±(mag << 4·sh)`
+///   (see the module docs; always fits an `i16`);
 /// * tagged outliers' original exponents in a sorted `(position, exp)`
 ///   side table, looked up only when `meta[i] & META_TAG` is set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,10 +50,20 @@ pub struct PackedOperands {
     shared_exp: u8,
     mag: Vec<u16>,
     meta: Vec<u8>,
+    sval: Vec<i16>,
     /// Element positions of tagged outliers, strictly increasing.
     outlier_pos: Vec<u32>,
     /// `outlier_exp[k]` belongs to element `outlier_pos[k]`.
     outlier_exp: Vec<u8>,
+}
+
+impl Default for PackedOperands {
+    /// An empty operand set (shared exponent 0) — the state a reusable
+    /// decode buffer starts in before [`EncodedTensor::decode_packed_into`]
+    /// fills it.
+    fn default() -> Self {
+        PackedOperands::new(0)
+    }
 }
 
 impl PackedOperands {
@@ -47,6 +73,7 @@ impl PackedOperands {
             shared_exp,
             mag: Vec::new(),
             meta: Vec::new(),
+            sval: Vec::new(),
             outlier_pos: Vec::new(),
             outlier_exp: Vec::new(),
         }
@@ -58,15 +85,27 @@ impl PackedOperands {
         let mut p = PackedOperands::new(shared_exp);
         p.mag.reserve(ops.len());
         p.meta.reserve(ops.len());
+        p.sval.reserve(ops.len());
         for (i, op) in ops.iter().enumerate() {
             p.mag.push(op.mag);
             p.meta.push(pack_meta(op.sign, op.sh, op.tag));
+            p.sval.push(sval_of(op.mag, op.sh, op.sign));
             if op.tag {
                 p.outlier_pos.push(i as u32);
                 p.outlier_exp.push(op.exp);
             }
         }
         p
+    }
+
+    /// Empties every plane while keeping the allocations, ready for refill.
+    fn reset(&mut self, shared_exp: u8) {
+        self.shared_exp = shared_exp;
+        self.mag.clear();
+        self.meta.clear();
+        self.sval.clear();
+        self.outlier_pos.clear();
+        self.outlier_exp.clear();
     }
 
     /// The tensor's shared exponent.
@@ -92,6 +131,13 @@ impl PackedOperands {
     /// The contiguous sign/sh/tag plane.
     pub fn metas(&self) -> &[u8] {
         &self.meta
+    }
+
+    /// The contiguous folded-significand plane: `±(mag << 4·sh)` per
+    /// element (outliers keep their raw ±8-bit significand — their `sh`
+    /// is never set). The microkernel's operand stream.
+    pub fn svals(&self) -> &[i16] {
+        &self.sval
     }
 
     /// Positions of tagged outliers, strictly increasing.
@@ -153,11 +199,89 @@ impl PackedOperands {
     pub fn to_operands(&self) -> Vec<DecodedOperand> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Packs this tensor, viewed as a `k×n` row-major weight matrix, into
+    /// [`PANEL_NR`]-column panels for the register-tiled GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k·n` differs from the element count.
+    pub fn pack_panels(&self, k: usize, n: usize) -> PackedPanels {
+        assert_eq!(self.len(), k * n, "panel shape mismatch");
+        let panels = n.div_ceil(PANEL_NR).max(1);
+        let mut data = vec![0i16; panels * k * PANEL_NR];
+        for pb in 0..n.div_ceil(PANEL_NR) {
+            let j0 = pb * PANEL_NR;
+            let cols = PANEL_NR.min(n - j0);
+            let base = pb * k * PANEL_NR;
+            for kk in 0..k {
+                let src = kk * n + j0;
+                let dst = base + kk * PANEL_NR;
+                data[dst..dst + cols].copy_from_slice(&self.sval[src..src + cols]);
+            }
+        }
+        PackedPanels { k, n, data }
+    }
+}
+
+/// Weight columns repacked for the `owlp-arith` microkernel: the `k×n`
+/// weight matrix is split into `⌈n/NR⌉` panels of [`PANEL_NR`] adjacent
+/// output columns, each stored K-major (`panel[kk·NR + c]` is column
+/// `j0 + c` at depth `kk`), so one MR×NR output tile streams **one**
+/// contiguous panel instead of gathering `NR` strided columns per tile.
+/// Edge panels (when `NR ∤ n`) are zero-padded — a zero sval contributes
+/// nothing, so the microkernel never needs an edge variant.
+///
+/// Built once per weight tensor via [`PackedOperands::pack_panels`] and
+/// memoised on the arith layer's `PreparedTensor`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPanels {
+    k: usize,
+    n: usize,
+    /// `⌈n/NR⌉` panels of `k·NR` svals each, zero-padded.
+    data: Vec<i16>,
+}
+
+impl PackedPanels {
+    /// Depth (reduction dimension) the panels were packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns the panels were packed for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of [`PANEL_NR`]-column panels.
+    pub fn num_panels(&self) -> usize {
+        self.n.div_ceil(PANEL_NR)
+    }
+
+    /// Panel `pb` (covering columns `pb·NR .. pb·NR+NR`), `k·NR` svals.
+    pub fn panel(&self, pb: usize) -> &[i16] {
+        let stride = self.k * PANEL_NR;
+        &self.data[pb * stride..(pb + 1) * stride]
+    }
 }
 
 #[inline]
 fn pack_meta(sign: bool, sh: bool, tag: bool) -> u8 {
     ((sign as u8) * META_SIGN) | ((sh as u8) * META_SH) | ((tag as u8) * META_TAG)
+}
+
+/// The folded significand `±(mag << 4·sh)`. `mag` is ≤ 11 bits
+/// ([`DecodedOperand::MAG_BITS`]) so the shifted magnitude is
+/// ≤ `(2^11 − 1) << 4 = 32752 < 2^15` — always exact in `i16`.
+#[inline]
+fn sval_of(mag: u16, sh: bool, sign: bool) -> i16 {
+    debug_assert!(mag < 1 << 11, "magnitude exceeds the decoded 11-bit bound");
+    let v = (mag as i16) << (if sh { 4 } else { 0 });
+    if sign {
+        -v
+    } else {
+        v
+    }
 }
 
 /// Elements per parallel chunk when packing (matches the decode grain).
@@ -172,14 +296,26 @@ impl EncodedTensor {
     /// scheme as `decode_operands`, so the result is bit-identical at every
     /// thread count.
     pub fn decode_packed(&self) -> PackedOperands {
+        let mut out = PackedOperands::new(self.shared_exp());
+        self.decode_packed_into(&mut out);
+        out
+    }
+
+    /// [`EncodedTensor::decode_packed`] into a caller-owned buffer
+    /// (mirroring [`EncodedTensor::decode_into`]): `out` is cleared and
+    /// refilled, keeping its plane allocations — the per-step decode in a
+    /// serving loop amortises to zero allocations once the buffer has
+    /// grown to the steady-state tensor size.
+    pub fn decode_packed_into(&self, out: &mut PackedOperands) {
         let codes = self.codes();
         let exps = self.outlier_exps();
         let n = codes.len();
         assert!(n <= u32::MAX as usize, "tensor too large to pack");
         let dec = BiasDecoder::new(self.shared_exp());
-        let mut out = PackedOperands::new(self.shared_exp());
+        out.reset(self.shared_exp());
         out.mag.reserve(n);
         out.meta.reserve(n);
+        out.sval.reserve(n);
         if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, PACK_GRAIN) <= 1 {
             let mut next_outlier = 0usize;
             for (i, c) in codes.iter().enumerate() {
@@ -193,12 +329,13 @@ impl EncodedTensor {
                 let op = dec.decode(*c, exp);
                 out.mag.push(op.mag);
                 out.meta.push(pack_meta(op.sign, op.sh, op.tag));
+                out.sval.push(sval_of(op.mag, op.sh, op.sign));
                 if op.tag {
                     out.outlier_pos.push(i as u32);
                     out.outlier_exp.push(op.exp);
                 }
             }
-            return out;
+            return;
         }
         let counts = owlp_par::map_chunks(n, PACK_GRAIN, |r| {
             codes[r].iter().filter(|c| c.is_outlier()).count()
@@ -213,6 +350,7 @@ impl EncodedTensor {
             let mut next_outlier = offsets[r.start / PACK_GRAIN];
             let mut mag = Vec::with_capacity(r.len());
             let mut meta = Vec::with_capacity(r.len());
+            let mut sval = Vec::with_capacity(r.len());
             let mut pos = Vec::new();
             let mut pexp = Vec::new();
             for i in r {
@@ -227,20 +365,21 @@ impl EncodedTensor {
                 let op = dec.decode(c, exp);
                 mag.push(op.mag);
                 meta.push(pack_meta(op.sign, op.sh, op.tag));
+                sval.push(sval_of(op.mag, op.sh, op.sign));
                 if op.tag {
                     pos.push(i as u32);
                     pexp.push(op.exp);
                 }
             }
-            (mag, meta, pos, pexp)
+            (mag, meta, sval, pos, pexp)
         });
-        for (mag, meta, pos, pexp) in parts {
+        for (mag, meta, sval, pos, pexp) in parts {
             out.mag.extend(mag);
             out.meta.extend(meta);
+            out.sval.extend(sval);
             out.outlier_pos.extend(pos);
             out.outlier_exp.extend(pexp);
         }
-        out
     }
 }
 
@@ -286,6 +425,25 @@ mod tests {
     }
 
     #[test]
+    fn svals_fold_sign_and_shift() {
+        let data = mixed(300);
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        for (i, op) in packed.to_operands().iter().enumerate() {
+            let expect = {
+                let v = (op.mag as i32) << (if op.sh { 4 } else { 0 });
+                if op.sign {
+                    -v
+                } else {
+                    v
+                }
+            };
+            assert!(i16::try_from(expect).is_ok(), "sval overflows i16");
+            assert_eq!(packed.svals()[i] as i32, expect, "element {i}");
+        }
+    }
+
+    #[test]
     fn tagged_ranges_are_found_exactly() {
         let data = mixed(200);
         let enc = encode_tensor(&data, None).unwrap();
@@ -309,6 +467,44 @@ mod tests {
         assert_eq!(packed.tagged_count(), 0);
         assert_eq!(packed.exp_at(0), 0);
         assert!(!packed.range_has_tagged(0..3));
+    }
+
+    #[test]
+    fn decode_packed_into_reuses_and_matches() {
+        let big = mixed(500);
+        let small = mixed(60);
+        let enc_big = encode_tensor(&big, None).unwrap();
+        let enc_small = encode_tensor(&small, None).unwrap();
+        let mut buf = PackedOperands::default();
+        enc_big.decode_packed_into(&mut buf);
+        assert_eq!(buf, enc_big.decode_packed());
+        // Refill with a smaller tensor: stale planes must be fully cleared.
+        enc_small.decode_packed_into(&mut buf);
+        assert_eq!(buf, enc_small.decode_packed());
+        assert_eq!(buf.len(), 60);
+    }
+
+    #[test]
+    fn panels_match_strided_column_gather() {
+        let (k, n) = (13, 11); // NR ∤ n exercises the zero-padded edge
+        let data = mixed(k * n);
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        let panels = packed.pack_panels(k, n);
+        assert_eq!(panels.k(), k);
+        assert_eq!(panels.n(), n);
+        assert_eq!(panels.num_panels(), n.div_ceil(PANEL_NR));
+        for pb in 0..panels.num_panels() {
+            let panel = panels.panel(pb);
+            assert_eq!(panel.len(), k * PANEL_NR);
+            for kk in 0..k {
+                for c in 0..PANEL_NR {
+                    let j = pb * PANEL_NR + c;
+                    let expect = if j < n { packed.svals()[kk * n + j] } else { 0 };
+                    assert_eq!(panel[kk * PANEL_NR + c], expect, "panel {pb} ({kk},{c})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub use fault::{
     backoff_delay_s, FaultPlan, FaultSpec, RecoveryPolicy, SdcSampler, StallWindow, WorkerFaultPlan,
 };
 pub use metrics::{summarize, summarize_faults, MetricsReport, Percentiles, ServingSummary};
-pub use pool::{simulate_pool, simulate_pool_faulty, FaultPoolConfig, PoolConfig};
+pub use pool::{
+    simulate_pool, simulate_pool_faulty, simulate_pool_faulty_with, simulate_pool_with,
+    FaultPoolConfig, PoolConfig, ShardScratch,
+};
 pub use request::{ArrivalProcess, LengthDistribution, Request, TraceSpec};
 pub use scheduler::{
     simulate, simulate_faulty, CompletedRequest, FaultSimOutcome, FaultStats, SchedulerConfig,

@@ -119,24 +119,57 @@ impl FaultPoolConfig {
     }
 }
 
-/// Splits a trace round-robin in trace order.
-fn shard(trace: &[Request], workers: usize) -> Vec<Vec<Request>> {
-    let mut shards = vec![Vec::with_capacity(trace.len() / workers + 1); workers];
+/// Reusable per-worker shard buffers for the `_with` pool entry points.
+///
+/// A serving loop calls the pool simulator once per round; the round-robin
+/// shards are the only allocation that scales with the trace, so a loop
+/// that holds one `ShardScratch` refills the same `Vec`s every round
+/// instead of reallocating them. The buffers adapt to any worker count and
+/// trace length; results are bit-identical to the scratch-free entry
+/// points.
+#[derive(Debug, Default, Clone)]
+pub struct ShardScratch {
+    shards: Vec<Vec<Request>>,
+}
+
+/// Clears `shards` down to `workers` empty buffers (keeping capacity) and
+/// reserves room for an even round-robin split of `trace`.
+fn reset_shards(shards: &mut Vec<Vec<Request>>, trace_len: usize, workers: usize) {
+    shards.resize_with(workers, Vec::new);
+    for s in shards.iter_mut() {
+        s.clear();
+        s.reserve(trace_len / workers + 1);
+    }
+}
+
+/// Splits a trace round-robin in trace order into the reused buffers.
+fn shard_into(trace: &[Request], workers: usize, shards: &mut Vec<Vec<Request>>) {
+    reset_shards(shards, trace.len(), workers);
     for (i, r) in trace.iter().enumerate() {
         shards[i % workers].push(*r);
     }
+}
+
+/// Splits a trace round-robin in trace order (test-only convenience; the
+/// entry points shard through [`shard_into`]).
+#[cfg(test)]
+fn shard(trace: &[Request], workers: usize) -> Vec<Vec<Request>> {
+    let mut shards = Vec::new();
+    shard_into(trace, workers, &mut shards);
     shards
 }
 
-/// Round-robin sharding that skips workers already dead at a request's
-/// arrival. With a crash-free plan this reduces exactly to [`shard`].
-/// Returns the shards plus the ids that found **no** live worker.
-fn shard_faulty(
+/// Round-robin sharding into reused buffers that skips workers already
+/// dead at a request's arrival. With a crash-free plan this reduces
+/// exactly to [`shard_into`]. Returns the ids that found **no** live
+/// worker.
+fn shard_faulty_into(
     trace: &[Request],
     plan: &FaultPlan,
     workers: usize,
-) -> (Vec<Vec<Request>>, Vec<u64>) {
-    let mut shards = vec![Vec::with_capacity(trace.len() / workers + 1); workers];
+    shards: &mut Vec<Vec<Request>>,
+) -> Vec<u64> {
+    reset_shards(shards, trace.len(), workers);
     let mut unserved = Vec::new();
     for (i, r) in trace.iter().enumerate() {
         let alive = |w: usize| {
@@ -150,7 +183,7 @@ fn shard_faulty(
             None => unserved.push(r.id),
         }
     }
-    (shards, unserved)
+    unserved
 }
 
 /// Simulates the trace across the pool's workers (concurrently, on the
@@ -165,12 +198,30 @@ pub fn simulate_pool(
     cfg: &PoolConfig,
     trace: &[Request],
 ) -> Result<SimOutcome, ServeError> {
+    let mut scratch = ShardScratch::default();
+    simulate_pool_with(cost, cfg, trace, &mut scratch)
+}
+
+/// [`simulate_pool`] with caller-owned shard buffers: repeated rounds of a
+/// serving loop reuse `scratch` instead of reallocating per call. The
+/// outcome is bit-identical to [`simulate_pool`].
+///
+/// # Errors
+///
+/// [`ServeError::InvalidPool`] on a zero-worker pool.
+pub fn simulate_pool_with(
+    cost: &CostModel,
+    cfg: &PoolConfig,
+    trace: &[Request],
+    scratch: &mut ShardScratch,
+) -> Result<SimOutcome, ServeError> {
     if cfg.workers == 0 {
         return Err(ServeError::InvalidPool(
             "worker count must be at least 1".into(),
         ));
     }
-    let shards = shard(trace, cfg.workers);
+    shard_into(trace, cfg.workers, &mut scratch.shards);
+    let shards = &scratch.shards;
     let outcomes = owlp_par::map_indexed(shards.len(), 1, |w| {
         scheduler::simulate(cost, &cfg.scheduler, &shards[w])
     });
@@ -198,9 +249,26 @@ pub fn simulate_pool_faulty(
     cfg: &FaultPoolConfig,
     trace: &[Request],
 ) -> Result<FaultSimOutcome, ServeError> {
+    let mut scratch = ShardScratch::default();
+    simulate_pool_faulty_with(cost, cfg, trace, &mut scratch)
+}
+
+/// [`simulate_pool_faulty`] with caller-owned shard buffers (see
+/// [`simulate_pool_with`]); bit-identical to the scratch-free entry point.
+///
+/// # Errors
+///
+/// See [`FaultPoolConfig::validate`].
+pub fn simulate_pool_faulty_with(
+    cost: &CostModel,
+    cfg: &FaultPoolConfig,
+    trace: &[Request],
+    scratch: &mut ShardScratch,
+) -> Result<FaultSimOutcome, ServeError> {
     cfg.validate()?;
     let workers = cfg.pool.workers;
-    let (mut shards, mut pool_shed) = shard_faulty(trace, &cfg.plan, workers);
+    let mut pool_shed = shard_faulty_into(trace, &cfg.plan, workers, &mut scratch.shards);
+    let shards = &mut scratch.shards;
     // One shared sampler: the criticality sweep prices a few thousand dot
     // products, no reason to pay it per worker.
     let sampler = cfg
@@ -231,7 +299,7 @@ pub fn simulate_pool_faulty(
 
     let all: Vec<usize> = (0..workers).collect();
     let mut outcomes: Vec<Option<FaultSimOutcome>> = (0..workers).map(|_| None).collect();
-    for (w, out) in run_wave(&shards, &all) {
+    for (w, out) in run_wave(shards, &all) {
         outcomes[w] = Some(out);
     }
     let mut dirty = vec![false; workers];
@@ -287,7 +355,7 @@ pub fn simulate_pool_faulty(
     // Replay the survivors that picked up orphans, in parallel again.
     let redo: Vec<usize> = (0..workers).filter(|&w| dirty[w]).collect();
     if !redo.is_empty() {
-        for (w, out) in run_wave(&shards, &redo) {
+        for (w, out) in run_wave(shards, &redo) {
             outcomes[w] = Some(out);
         }
     }
@@ -419,7 +487,8 @@ mod tests {
     #[test]
     fn faulty_sharding_without_crashes_matches_plain() {
         let t = trace(24);
-        let (shards, unserved) = shard_faulty(&t, &FaultPlan::none(3), 3);
+        let mut shards = Vec::new();
+        let unserved = shard_faulty_into(&t, &FaultPlan::none(3), 3, &mut shards);
         assert_eq!(shards, shard(&t, 3));
         assert!(unserved.is_empty());
     }
@@ -429,7 +498,8 @@ mod tests {
         let t = trace(24);
         let mut plan = FaultPlan::none(3);
         plan.workers[1].crash_at_s = Some(0.0);
-        let (shards, unserved) = shard_faulty(&t, &plan, 3);
+        let mut shards = Vec::new();
+        let unserved = shard_faulty_into(&t, &plan, 3, &mut shards);
         assert!(shards[1].is_empty());
         assert_eq!(shards[0].len() + shards[2].len(), 24);
         assert!(unserved.is_empty());
@@ -437,8 +507,49 @@ mod tests {
         for w in &mut plan.workers {
             w.crash_at_s = Some(0.0);
         }
-        let (_, unserved) = shard_faulty(&t, &plan, 3);
+        let unserved = shard_faulty_into(&t, &plan, 3, &mut shards);
         assert_eq!(unserved.len(), 24);
+    }
+
+    #[test]
+    fn shard_buffers_adapt_when_reused_across_rounds() {
+        // One scratch driven through different worker counts and trace
+        // sizes must always re-shard from a clean slate.
+        let mut shards = Vec::new();
+        shard_into(&trace(30), 5, &mut shards);
+        assert_eq!(shards.len(), 5);
+        shard_into(&trace(10), 2, &mut shards);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards, shard(&trace(10), 2));
+        shard_into(&trace(40), 7, &mut shards);
+        assert_eq!(shards, shard(&trace(40), 7));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_rounds() {
+        let cm = cost();
+        let cfg = PoolConfig {
+            workers: 3,
+            scheduler: SchedulerConfig::default(),
+        };
+        let mut scratch = ShardScratch::default();
+        // Several serving rounds over one reused scratch, interleaving
+        // plain and faulty entry points and varying trace lengths.
+        for requests in [90, 30, 120] {
+            let t = trace(requests);
+            let fresh = simulate_pool(&cm, &cfg, &t).unwrap();
+            let reused = simulate_pool_with(&cm, &cfg, &t, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+            let mut fcfg = FaultPoolConfig {
+                plan: FaultPlan::none(3),
+                ..FaultPoolConfig::default()
+            };
+            fcfg.pool.workers = 3;
+            fcfg.plan.workers[1].crash_at_s = Some(t[t.len() / 2].arrival_s);
+            let fresh = simulate_pool_faulty(&cm, &fcfg, &t).unwrap();
+            let reused = simulate_pool_faulty_with(&cm, &fcfg, &t, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::config::ArrayConfig;
 use crate::schedule::OutlierSchedule;
 use owlp_arith::kulisch::KulischAcc;
+use owlp_arith::microkernel;
 use owlp_arith::pe::{PeConfig, ProcessingElement};
 use owlp_arith::window::WindowAcc;
 use owlp_arith::ArithError;
@@ -27,6 +28,29 @@ use serde::{Deserialize, Serialize};
 /// the per-wavefront fast-path test is two boolean loads.
 fn stream_is_clean(ops: &[DecodedOperand]) -> bool {
     ops.iter().all(|o| !o.tag)
+}
+
+/// A physical stream ready to meet a wavefront: logical index, decoded
+/// operands, the pre-folded signed sval plane ([`DecodedOperand::sval`],
+/// consumed by the clean-pair microkernel), and the cleanliness flag.
+struct Stream {
+    idx: usize,
+    ops: Vec<DecodedOperand>,
+    sval: Vec<i16>,
+    clean: bool,
+}
+
+impl Stream {
+    fn new(idx: usize, ops: Vec<DecodedOperand>) -> Self {
+        let sval = ops.iter().map(|o| o.sval()).collect();
+        let clean = stream_is_clean(&ops);
+        Stream {
+            idx,
+            ops,
+            sval,
+            clean,
+        }
+    }
 }
 
 /// Outcome of an event-driven simulation run.
@@ -215,48 +239,28 @@ fn run(
 
     // One wavefront: an activation row meeting a weight column. Clean
     // pairs (no tagged outlier on either stream) take the bounded-window
-    // fast path — a flat integer dot product spilled once into the Kulisch
-    // register. Both paths add the same exact value into the accumulator
-    // (Kulisch addition is exact integer addition, so the decomposition
-    // into per-PE partials vs one wide spill cannot differ by a bit), and
-    // a clean wavefront's occupancy is zero on either path.
-    let wavefront = |arow: &[DecodedOperand],
-                     a_clean: bool,
-                     wcol: &[DecodedOperand],
-                     w_clean: bool,
-                     acc: &mut KulischAcc|
-     -> usize {
-        if a_clean && w_clean {
-            let mut win = win0;
-            let mut sum = 0i64;
-            for (idx, (x, y)) in arow.iter().zip(wcol).enumerate() {
-                let p = x.mag as i64 * y.mag as i64;
-                if p != 0 {
-                    let v = p << (4 * (x.sh as i32 + y.sh as i32));
-                    sum += if x.sign ^ y.sign { -v } else { v };
-                }
-                if idx & 0x1F == 0x1F {
-                    // Spill every 32 terms: 30-bit products keep the
-                    // running i64 partial far from overflow.
-                    win.add_aligned(sum);
-                    sum = 0;
-                }
-            }
-            win.add_aligned(sum);
+    // fast path — the sval-plane microkernel dot product spilled into the
+    // Kulisch register. Both paths add the same exact value into the
+    // accumulator (Kulisch addition is exact integer addition, so the
+    // decomposition into per-PE partials vs one wide spill cannot differ
+    // by a bit), and a clean wavefront's occupancy is zero on either path.
+    let wavefront = |arow: &Stream, wcol: &Stream, acc: &mut KulischAcc| -> usize {
+        if arow.clean && wcol.clean {
+            let win = microkernel::dot_sval(&arow.sval, &wcol.sval, win0);
             win.merge_into(acc);
             return 0;
         }
         let mut occupancy = 0usize;
         for r in 0..cfg.rows {
             let a_lo = r * cfg.lanes;
-            if a_lo >= arow.len() {
+            if a_lo >= arow.ops.len() {
                 break;
             }
-            let a_hi = (a_lo + cfg.lanes).min(arow.len());
-            let w_hi = (a_lo + cfg.lanes).min(wcol.len());
+            let a_hi = (a_lo + cfg.lanes).min(arow.ops.len());
+            let w_hi = (a_lo + cfg.lanes).min(wcol.ops.len());
             let out = pe.dot_unchecked(
-                &arow[a_lo..a_hi],
-                &wcol[a_lo..w_hi.max(a_lo)],
+                &arow.ops[a_lo..a_hi],
+                &wcol.ops[a_lo..w_hi.max(a_lo)],
                 shared_a,
                 shared_w,
             );
@@ -275,34 +279,30 @@ fn run(
         let hi = (lo + k_tile).min(k);
 
         // Physical weight columns of this K-tile (with zero insertion),
-        // each carrying its precomputed cleanliness flag.
-        let mut wcols: Vec<(usize, Vec<DecodedOperand>, bool)> = Vec::new();
+        // each carrying its sval plane and precomputed cleanliness flag.
+        let mut wcols: Vec<Stream> = Vec::new();
         for j in 0..n {
             let col: Vec<DecodedOperand> = (lo..hi).map(|kk| ops_b[kk * n + j]).collect();
             if scheduled {
                 for sub in sched.split_weight_column(&col) {
-                    let clean = stream_is_clean(&sub);
-                    wcols.push((j, sub, clean));
+                    wcols.push(Stream::new(j, sub));
                 }
             } else {
-                let clean = stream_is_clean(&col);
-                wcols.push((j, col, clean));
+                wcols.push(Stream::new(j, col));
             }
         }
         physical_columns += wcols.len() as u64;
 
         // Physical activation rows of this K-tile.
-        let mut arows: Vec<(usize, Vec<DecodedOperand>, bool)> = Vec::new();
+        let mut arows: Vec<Stream> = Vec::new();
         for i in 0..m {
             let row: Vec<DecodedOperand> = ops_a[i * k + lo..i * k + hi].to_vec();
             if scheduled {
                 for sub in sched.split_activation_row(&row) {
-                    let clean = stream_is_clean(&sub);
-                    arows.push((i, sub, clean));
+                    arows.push(Stream::new(i, sub));
                 }
             } else {
-                let clean = stream_is_clean(&row);
-                arows.push((i, row, clean));
+                arows.push(Stream::new(i, row));
             }
         }
 
@@ -317,13 +317,13 @@ fn run(
         for fold in wcols.chunks(cfg.cols) {
             cycles += (2 * cfg.rows + cfg.cols) as u64 + arows.len() as u64 - 2;
             streamed_rows += arows.len() as u64;
-            let column_pass = |(j, wcol, w_clean): &(usize, Vec<DecodedOperand>, bool)| {
+            let column_pass = |wcol: &Stream| {
                 let mut partials = vec![KulischAcc::new(); arows.len()];
                 let mut col_max = 0usize;
-                for ((_, arow, a_clean), acc) in arows.iter().zip(&mut partials) {
-                    col_max = col_max.max(wavefront(arow, *a_clean, wcol, *w_clean, acc));
+                for (arow, acc) in arows.iter().zip(&mut partials) {
+                    col_max = col_max.max(wavefront(arow, wcol, acc));
                 }
-                (*j, partials, col_max)
+                (wcol.idx, partials, col_max)
             };
             // Dispatch weighted by the fold's actual arithmetic volume so
             // small folds stay serial rather than paying thread hand-off
@@ -332,8 +332,8 @@ fn run(
                 owlp_par::map_indexed_weighted(fold.len(), 1, col_ops, |c| column_pass(&fold[c]));
             for (j, partials, col_max) in shards {
                 max_occ = max_occ.max(col_max);
-                for ((i, _, _), partial) in arows.iter().zip(&partials) {
-                    accs[i * n + j].merge(partial);
+                for (arow, partial) in arows.iter().zip(&partials) {
+                    accs[arow.idx * n + j].merge(partial);
                 }
             }
         }

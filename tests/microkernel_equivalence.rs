@@ -1,0 +1,127 @@
+//! Integration: the register-tiled microkernel drive loops (`owlp_gemm`'s
+//! packed-plane fast path, the prepared/panel-cached variant, and the
+//! banded `exact_gemm`) equal the scalar per-product Kulisch oracle
+//! bit-for-bit — across outlier densities from all-normal to all-outlier,
+//! across shapes that leave MR/NR edge remainders, and at every thread
+//! count.
+
+use owlp_repro::arith::exact::exact_gemm;
+use owlp_repro::arith::gemm::{owlp_gemm, owlp_gemm_prepared_with, GemmScratch, PreparedTensor};
+use owlp_repro::arith::microkernel::{MR, NR};
+use owlp_repro::arith::KulischAcc;
+use owlp_repro::format::Bf16;
+use owlp_repro::par::with_threads;
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Outlier densities in permille: all-normal, the paper's realistic ~3%,
+/// and all-outlier (every nonzero element far outside the shared window).
+const DENSITIES: [u32; 3] = [0, 30, 1000];
+
+/// A tensor with a tunable outlier ratio (permille of entries pushed far
+/// outside any plausible exponent window), zeros included.
+fn tensor(len: usize, outlier_permille: u32, seed: u64) -> Vec<Bf16> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let base = ((state >> 40) as i32 % 500) as f32 * 4e-3;
+            let v = if (state % 1000) < outlier_permille as u64 {
+                base * 1e25
+            } else {
+                base
+            };
+            Bf16::from_f32(v)
+        })
+        .collect()
+}
+
+/// The scalar oracle: one full Kulisch register per output element, one
+/// product at a time, rounded once.
+fn kulisch_oracle(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = KulischAcc::new();
+            for kk in 0..k {
+                acc.add_product(a[i * k + kk], b[kk * n + j]);
+            }
+            out.push(acc.round_to_f32());
+        }
+    }
+    out
+}
+
+fn assert_bits_equal(name: &str, got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "{} length", name);
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{}[{}]: {} vs {}", name, i, x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every tiled drive loop equals the scalar Kulisch oracle, for shapes
+    /// deliberately straddling the MR×NR grid, at 0/30/1000‰ outlier
+    /// density, at 1/2/4/8 threads.
+    #[test]
+    fn tiled_gemms_match_the_scalar_kulisch_oracle(
+        m_tiles in 0usize..3,
+        m_rem in 0usize..MR,
+        n_tiles in 0usize..3,
+        n_rem in 0usize..NR,
+        k in 1usize..48,
+        density_idx in 0usize..DENSITIES.len(),
+        seed in any::<u64>(),
+    ) {
+        let m = (m_tiles * MR + m_rem).max(1);
+        let n = (n_tiles * NR + n_rem).max(1);
+        let density = DENSITIES[density_idx];
+        let a = tensor(m * k, density, seed);
+        let b = tensor(k * n, density, seed.rotate_left(17) | 2);
+        let oracle = kulisch_oracle(&a, &b, m, k, n);
+        let prepared = PreparedTensor::with_shape(&b, k, n).expect("finite inputs");
+        let mut scratch = GemmScratch::default();
+        for t in THREADS {
+            let owlp = with_threads(t, || owlp_gemm(&a, &b, m, k, n)).expect("finite inputs");
+            assert_bits_equal("owlp_gemm", &owlp.output, &oracle)?;
+            let prep = with_threads(t, || {
+                owlp_gemm_prepared_with(&a, &prepared, m, k, n, &mut scratch)
+            })
+            .expect("finite inputs");
+            assert_bits_equal("owlp_gemm_prepared_with", &prep.output, &oracle)?;
+            let exact = with_threads(t, || exact_gemm(&a, &b, m, k, n));
+            assert_bits_equal("exact_gemm", &exact, &oracle)?;
+        }
+    }
+}
+
+/// Deterministic sweep of the exact MR/NR boundary shapes (1, MR−1, MR,
+/// MR+1, 2·MR+3, and the NR analogues) at the realistic density.
+#[test]
+fn edge_remainder_shapes_are_bit_exact() {
+    let k = 19;
+    let ms = [1, MR - 1, MR, MR + 1, 2 * MR + 3];
+    let ns = [1, NR - 1, NR, NR + 1, 2 * NR + 3];
+    for (i, &m) in ms.iter().enumerate() {
+        for (j, &n) in ns.iter().enumerate() {
+            let seed = 0xED6E ^ ((i as u64) << 8) ^ (j as u64);
+            let a = tensor(m * k, 30, seed);
+            let b = tensor(k * n, 30, seed | 1 << 20);
+            let oracle = kulisch_oracle(&a, &b, m, k, n);
+            let owlp = owlp_gemm(&a, &b, m, k, n).expect("finite inputs");
+            let exact = exact_gemm(&a, &b, m, k, n);
+            for (x, y) in owlp.output.iter().zip(&oracle) {
+                assert_eq!(x.to_bits(), y.to_bits(), "owlp {m}x{k}x{n}");
+            }
+            for (x, y) in exact.iter().zip(&oracle) {
+                assert_eq!(x.to_bits(), y.to_bits(), "exact {m}x{k}x{n}");
+            }
+        }
+    }
+}
