@@ -28,8 +28,8 @@ const REPS: usize = 3;
 
 /// Report schema version (bump on breaking field changes). v2 adds the
 /// requested-vs-clamped thread accounting and the old-baseline comparison
-/// fields.
-pub const SCHEMA: u32 = 2;
+/// fields; v3 adds the `memory` co-simulation section.
+pub const SCHEMA: u32 = 3;
 
 /// One timed workload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -64,6 +64,35 @@ pub struct BenchCase {
     pub serial_gain: Option<f64>,
 }
 
+/// One per-design, per-phase verdict from the `owlp-mem` co-simulation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MemoryPhaseVerdict {
+    /// Design point (`baseline` / `owlp`).
+    pub design: String,
+    /// Serving phase (`Prefill` / `Decode`).
+    pub phase: String,
+    /// Achieved off-chip bandwidth over the phase makespan, GB/s.
+    pub achieved_gbps: f64,
+    /// `max(compute, memory) / makespan` — 1.0 is perfect prefetch overlap.
+    pub overlap_efficiency: f64,
+    /// Event-driven verdict: memory cycles exceed compute cycles.
+    pub memory_bound: bool,
+}
+
+/// The `memory` section: event-driven HBM/SRAM co-simulation verdicts on
+/// the paper's generation workload. Not a timing — a model-consistency
+/// gate: CI fails when `byte_conservation_ok` is false.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MemorySection {
+    /// Off-chip bandwidth roof, GB/s (same HBM on both designs).
+    pub peak_gbps: f64,
+    /// Per-design, per-phase verdicts.
+    pub phases: Vec<MemoryPhaseVerdict>,
+    /// Every phase's channel-level byte accounting matched its request
+    /// stream (outlier spill included).
+    pub byte_conservation_ok: bool,
+}
+
 /// The full baseline report.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchReport {
@@ -83,6 +112,8 @@ pub struct BenchReport {
     pub smoke: bool,
     /// One entry per hot path.
     pub cases: Vec<BenchCase>,
+    /// Memory co-simulation verdicts (schema v3).
+    pub memory: MemorySection,
 }
 
 /// Times `f` `reps` times and returns (best seconds, last result).
@@ -270,6 +301,41 @@ pub fn run(smoke: bool) -> BenchReport {
         thread_budget: threads,
         smoke,
         cases,
+        memory: memory_section(smoke),
+    }
+}
+
+/// Co-simulates the paper's generation workload on both designs and
+/// collapses the roofline report into the `memory` section. Cheap even in
+/// full mode — the uniform-phase engine extrapolates from a bounded warmup
+/// window instead of walking every fold group.
+fn memory_section(smoke: bool) -> MemorySection {
+    let gen = if smoke { 8 } else { 64 };
+    let wl = owlp_model::workload::generation_workload(ModelId::Llama2_7b, 32, 128, gen);
+    let mut phases = Vec::new();
+    let mut peak_gbps = 0.0;
+    let mut conserved = true;
+    for (name, acc) in [
+        ("baseline", Accelerator::baseline()),
+        ("owlp", Accelerator::owlp()),
+    ] {
+        let report = owlp_core::cosim::cosim_workload(&acc, &wl, Dataset::WikiText2);
+        peak_gbps = report.peak_gbps;
+        conserved &= report.bytes_conserved();
+        for agg in &report.aggregates {
+            phases.push(MemoryPhaseVerdict {
+                design: name.to_string(),
+                phase: format!("{:?}", agg.class),
+                achieved_gbps: agg.achieved_gbps,
+                overlap_efficiency: agg.overlap_efficiency,
+                memory_bound: agg.memory_bound,
+            });
+        }
+    }
+    MemorySection {
+        peak_gbps,
+        phases,
+        byte_conservation_ok: conserved,
     }
 }
 
@@ -331,15 +397,33 @@ pub fn render(r: &BenchReport) -> String {
             c.bit_identical.to_string(),
         ]);
     }
+    let mut mt = TextTable::new(["design", "phase", "GB/s", "overlap", "verdict"]);
+    for p in &r.memory.phases {
+        mt.row([
+            p.design.clone(),
+            p.phase.clone(),
+            format!("{:.1}", p.achieved_gbps),
+            format!("{:.3}", p.overlap_efficiency),
+            if p.memory_bound {
+                "memory".to_string()
+            } else {
+                "compute".to_string()
+            },
+        ]);
+    }
     format!(
-        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}",
+        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}\n\
+         Memory co-simulation (roof {:.0} GB/s, byte conservation {})\n{}",
         r.schema,
         r.hardware_threads,
         if r.hardware_threads == 1 { "" } else { "s" },
         r.requested_threads,
         r.thread_budget,
         if r.smoke { ", smoke" } else { "" },
-        t.render()
+        t.render(),
+        r.memory.peak_gbps,
+        if r.memory.byte_conservation_ok { "ok" } else { "VIOLATED" },
+        mt.render()
     )
 }
 
@@ -363,6 +447,19 @@ mod tests {
         let json = serde_json::to_string(&r).expect("serializes");
         assert!(json.contains("\"hardware_threads\""));
         assert!(json.contains("\"requested_threads\""));
+        assert!(json.contains("\"byte_conservation_ok\""));
+        // The memory gate and the paper's phase verdicts: OwL-P decode is
+        // bandwidth-bound, prefill compute-bound on both designs.
+        assert!(r.memory.byte_conservation_ok);
+        assert_eq!(r.memory.phases.len(), 4);
+        for p in &r.memory.phases {
+            match (p.design.as_str(), p.phase.as_str()) {
+                ("owlp", "Decode") => assert!(p.memory_bound),
+                (_, "Prefill") => assert!(!p.memory_bound, "{} prefill", p.design),
+                _ => {}
+            }
+            assert!(p.achieved_gbps > 0.0 && p.achieved_gbps <= r.memory.peak_gbps + 1e-9);
+        }
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //! ```
 //!
 //! which times the `owlp-par` hot paths serial vs parallel and writes a
-//! machine-readable baseline report (default `BENCH_PR5.json`), comparing
+//! machine-readable baseline report (default `BENCH_PR6.json`), comparing
 //! serial throughput against the previous baseline (default
-//! `BENCH_PR4.json`) when present.
+//! `BENCH_PR5.json`) when present. The report carries a `memory` section —
+//! event-driven HBM co-simulation verdicts — and the run fails when byte
+//! conservation is violated.
+//!
+//! `repro roofline --smoke` shortens the co-simulated generation tail so
+//! CI can gate on the phase verdicts cheaply.
 
 use owlp_bench::{
     ablation, batch_sweep, bench_json, dse_exp, eq34, fig1, fig10, fig11, fig8, fig9, roofline_exp,
@@ -54,7 +59,7 @@ const EXPERIMENTS: [&str; 18] = [
     "dse",
 ];
 
-fn run_json(name: &str) -> Result<String, String> {
+fn run_json(name: &str, smoke: bool) -> Result<String, String> {
     fn ser<T: serde::Serialize>(name: &str, v: &T) -> Result<String, String> {
         serde_json::to_string_pretty(&serde_json::json!({ "experiment": name, "result": v }))
             .map_err(|e| e.to_string())
@@ -81,7 +86,7 @@ fn run_json(name: &str) -> Result<String, String> {
                 "blockfp_sweep": ablation::blockfp_sweep(SEED),
             }),
         ),
-        "roofline" => ser(name, &roofline_exp::run()),
+        "roofline" => ser(name, &roofline_exp::run_with(smoke)),
         "batch" => ser(name, &batch_sweep::run()),
         "serving" => ser(name, &serving_exp::run()),
         "serve" => ser(name, &serve_exp::run()),
@@ -91,7 +96,7 @@ fn run_json(name: &str) -> Result<String, String> {
     }
 }
 
-fn run_one(name: &str) -> Result<String, String> {
+fn run_one(name: &str, smoke: bool) -> Result<String, String> {
     match name {
         "table1" => Ok(table1::render(&table1::run(SEED))),
         "table2" => Ok(table2::render(&table2::run(SEED))),
@@ -112,7 +117,7 @@ fn run_one(name: &str) -> Result<String, String> {
             ablation::render_blocks(&ablation::block_size(SEED)),
             ablation::render_blockfp(&ablation::blockfp_sweep(SEED))
         )),
-        "roofline" => Ok(roofline_exp::render(&roofline_exp::run())),
+        "roofline" => Ok(roofline_exp::render(&roofline_exp::run_with(smoke))),
         "batch" => Ok(batch_sweep::render(&batch_sweep::run())),
         "serving" => Ok(serving_exp::render(&serving_exp::run())),
         "serve" => Ok(serve_exp::render(&serve_exp::run())),
@@ -124,7 +129,7 @@ fn run_one(name: &str) -> Result<String, String> {
 
 /// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]` — run the
 /// parallel-speedup baseline suite and write the JSON report. When the
-/// baseline file (default `BENCH_PR4.json`) exists, each case also records
+/// baseline file (default `BENCH_PR5.json`) exists, each case also records
 /// its old-vs-new serial throughput gain.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -132,12 +137,12 @@ fn run_bench_json(args: &[String]) {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR5.json", String::as_str);
+        .map_or("BENCH_PR6.json", String::as_str);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR4.json", String::as_str);
+        .map_or("BENCH_PR5.json", String::as_str);
     let mut report = bench_json::run(smoke);
     if let Ok(old) = std::fs::read_to_string(baseline) {
         if !bench_json::attach_baseline(&mut report, &old) {
@@ -156,29 +161,41 @@ fn run_bench_json(args: &[String]) {
         eprintln!("error: a parallel result diverged from the serial result");
         std::process::exit(1);
     }
+    if !report.memory.byte_conservation_ok {
+        eprintln!("error: the memory co-simulation violated byte conservation");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    // `bench-json` parses its own flags (including `--smoke`), so only
+    // strip the flag for the experiment path.
+    if args.first().map(String::as_str) == Some("bench-json") {
+        run_bench_json(&args[1..]);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
     let targets: Vec<&str> = match args.first().map(String::as_str) {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
             eprintln!(
-                "usage: repro [all|{}] [--json]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]",
+                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]",
                 EXPERIMENTS.join("|")
             );
-            return;
-        }
-        Some("bench-json") => {
-            run_bench_json(&args[1..]);
             return;
         }
         Some(name) => vec![name],
     };
     for (i, name) in targets.iter().enumerate() {
-        let rendered = if json { run_json(name) } else { run_one(name) };
+        let rendered = if json {
+            run_json(name, smoke)
+        } else {
+            run_one(name, smoke)
+        };
         match rendered {
             Ok(out) => {
                 if i > 0 && !json {

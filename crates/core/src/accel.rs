@@ -77,6 +77,14 @@ impl Accelerator {
         a
     }
 
+    /// The same design with a different memory system — the entry point
+    /// for `repro` sweeps that vary channel count / burst size /
+    /// double-buffer depth from JSON config.
+    pub fn with_memory(mut self, memory: MemorySystem) -> Self {
+        self.design.memory = memory;
+        self
+    }
+
     /// Which design this is.
     pub fn kind(&self) -> AcceleratorKind {
         self.kind
@@ -239,7 +247,24 @@ impl Accelerator {
         // --- Off-chip traffic: the stationary operand streams per
         // repetition; activations/outputs stay on chip for these shapes.
         let bpe = self.bytes_per_element(workload, op, dataset);
-        let dram_bytes = (op.weight_elements() as f64 * bpe.weight * op.count as f64).ceil() as u64;
+        let weight_bytes =
+            (op.weight_elements() as f64 * bpe.weight * op.count as f64).ceil() as u64;
+        // §IV-D fallback: outlier exponents beyond the on-chip buffer are
+        // re-fetched from HBM per resident tile set, one burst per entry
+        // (zero at paper outlier rates — the 64 Ki-entry buffer holds a
+        // full tile set's outliers with an order of magnitude to spare).
+        let groups = total_folds.div_ceil(self.array.num_arrays.max(1) as u64);
+        let spill = if groups == 0 {
+            0
+        } else {
+            let per_group = (op.weight_elements() * op.count).div_ceil(groups);
+            let entries = owlp_mem::tiles::tile_outlier_entries(
+                per_group,
+                self.outlier_storage_rate(workload, op, dataset),
+            );
+            memory.outlier_buffer.overflow_bytes(entries) * groups
+        };
+        let dram_bytes = weight_bytes + spill;
         // On-chip movement: stationary operand + streamed activations +
         // outputs (FP32 accumulators written back as BF16/OwL-P).
         let sram_bytes = dram_bytes
@@ -273,8 +298,28 @@ impl Accelerator {
         }
     }
 
+    /// Fraction of stored weight elements that occupy an outlier-buffer
+    /// entry while their tile set is resident (outliers plus zeros, which
+    /// the format stores as exponent-0 outlier entries; see
+    /// [`Accelerator::bytes_per_element`]). Zero on the baseline, which
+    /// has no outlier path.
+    pub(crate) fn outlier_storage_rate(
+        &self,
+        workload: &Workload,
+        op: &GemmOp,
+        dataset: Dataset,
+    ) -> f64 {
+        match self.kind {
+            AcceleratorKind::Baseline => 0.0,
+            AcceleratorKind::Owlp => {
+                let p = profile_for(workload.model, op.kind, TensorRole::Weight, dataset);
+                p.expected_outlier_rate() + p.zero_fraction
+            }
+        }
+    }
+
     /// Bytes per stored element on the off-chip link.
-    fn bytes_per_element(
+    pub(crate) fn bytes_per_element(
         &self,
         workload: &Workload,
         op: &GemmOp,
@@ -305,9 +350,9 @@ impl Accelerator {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct BytesPerElement {
-    weight: f64,
-    activation: f64,
+pub(crate) struct BytesPerElement {
+    pub(crate) weight: f64,
+    pub(crate) activation: f64,
 }
 
 #[cfg(test)]
@@ -430,6 +475,28 @@ mod tests {
         );
         let rel = (analytic.cycles as f64 - measured.cycles as f64).abs() / analytic.cycles as f64;
         assert!(rel < 0.08, "cycle mismatch {rel}");
+    }
+
+    #[test]
+    fn outlier_buffer_overflow_feeds_traffic_and_energy() {
+        // At paper sizing the 64 Ki-entry buffer absorbs every tile set's
+        // outliers; shrinking it to nothing forces the §IV-D spill path,
+        // which must show up in traffic, cycles, and DRAM energy.
+        let wl = workload::generation_workload(ModelId::Llama2_7b, 32, 128, 16);
+        let stock = Accelerator::owlp().simulate(&wl, Dataset::WikiText2);
+        let mut mem = owlp_hw::MemorySystem::paper();
+        mem.outlier_buffer.entries = 0;
+        let starved = Accelerator::owlp()
+            .with_memory(mem)
+            .simulate(&wl, Dataset::WikiText2);
+        assert!(
+            starved.dram_bytes > stock.dram_bytes,
+            "{} vs {}",
+            starved.dram_bytes,
+            stock.dram_bytes
+        );
+        assert!(starved.cycles >= stock.cycles);
+        assert!(starved.energy.dram_j > stock.energy.dram_j);
     }
 
     #[test]

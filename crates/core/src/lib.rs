@@ -12,6 +12,9 @@
 //!   breakdown (QKV / attention / projection / FFN) and
 //!   [`report::Comparison`] for speedup / energy-savings ratios.
 //! * [`workloads`] — the ten evaluation workloads of Fig. 11.
+//! * [`cosim`] — the bridge to the `owlp-mem` HBM/SRAM co-simulator:
+//!   per-op fold groups racing their tile fetches, with roofline
+//!   aggregation per serving phase.
 //! * [`numeric`] — end-to-end numerical-equivalence verification: synthetic
 //!   layers run through the full encode → INT-array → FP pipeline and
 //!   compared bit-for-bit against the exact FP reference.
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod accel;
+pub mod cosim;
 pub mod dse;
 pub mod isa;
 pub mod numeric;

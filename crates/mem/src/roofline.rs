@@ -1,0 +1,251 @@
+//! Roofline aggregation over co-simulated phases.
+//!
+//! The paper's Eq. 3/4 discussion argues decode is bandwidth-bound: one
+//! token's GEMMs touch every weight byte once, so arithmetic intensity is
+//! ~`batch` MACs per weight byte and the 256 GB/s link, not the 49 K MACs,
+//! sets the decode rate — while prefill amortises the same bytes over the
+//! whole prompt and lives on the compute roof. This module turns a set of
+//! [`PhaseResult`]s into exactly that comparison: per-op roofline points
+//! and per-class (prefill/decode) aggregates with an explicit
+//! memory-bound/compute-bound verdict.
+
+use crate::cosim::{PhaseClass, PhaseResult};
+use owlp_hw::MemorySystem;
+use serde::{Deserialize, Serialize};
+
+/// One op's position on the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Op label.
+    pub label: String,
+    /// Serving phase class.
+    pub class: PhaseClass,
+    /// Arithmetic intensity: MACs per fetched off-chip byte.
+    pub intensity_macs_per_byte: f64,
+    /// Achieved off-chip bandwidth over the makespan, GB/s.
+    pub achieved_gbps: f64,
+    /// Achieved compute rate over the makespan, GMAC/s.
+    pub achieved_gmacs: f64,
+    /// `max(compute, memory) / makespan` — 1.0 is perfect overlap.
+    pub overlap_efficiency: f64,
+    /// Whether the op is bandwidth-bound.
+    pub memory_bound: bool,
+    /// The underlying co-sim result.
+    pub result: PhaseResult,
+}
+
+/// Per-phase-class totals and verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAggregate {
+    /// The class being aggregated.
+    pub class: PhaseClass,
+    /// Σ compute cycles across the class's ops.
+    pub compute_cycles: f64,
+    /// Σ pure-memory cycles.
+    pub memory_cycles: f64,
+    /// Σ makespans (ops execute back to back within a phase).
+    pub makespan: f64,
+    /// Σ off-chip payload bytes.
+    pub fetched_bytes: u64,
+    /// Σ outlier-spill bytes.
+    pub overflow_bytes: u64,
+    /// Σ MACs.
+    pub macs: u64,
+    /// Class-level arithmetic intensity, MACs per byte.
+    pub intensity_macs_per_byte: f64,
+    /// Achieved bandwidth over the class makespan, GB/s.
+    pub achieved_gbps: f64,
+    /// Fraction of the class makespan covered by `max(compute, memory)`.
+    pub overlap_efficiency: f64,
+    /// The roofline verdict: `Σ memory > Σ compute`.
+    pub memory_bound: bool,
+    /// Whether every op in the class conserved bytes across channels.
+    pub bytes_conserved: bool,
+}
+
+/// A full roofline report: points, class aggregates, and machine limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflineReport {
+    /// Accelerator clock, Hz.
+    pub clock_hz: f64,
+    /// Peak off-chip bandwidth, GB/s.
+    pub peak_gbps: f64,
+    /// Per-op points in input order.
+    pub points: Vec<RooflinePoint>,
+    /// One aggregate per class present, in [`PhaseClass`] declaration
+    /// order (Single, Prefill, Decode).
+    pub aggregates: Vec<PhaseAggregate>,
+}
+
+impl RooflineReport {
+    /// Builds the report from co-sim results.
+    pub fn new(mem: &MemorySystem, clock_hz: f64, results: Vec<PhaseResult>) -> Self {
+        let points: Vec<RooflinePoint> = results
+            .into_iter()
+            .map(|r| {
+                let seconds = r.makespan / clock_hz;
+                let (gbps, gmacs) = if seconds > 0.0 {
+                    (
+                        r.fetched_bytes as f64 / seconds / 1e9,
+                        r.macs as f64 / seconds / 1e9,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                RooflinePoint {
+                    label: r.label.clone(),
+                    class: r.class,
+                    intensity_macs_per_byte: if r.fetched_bytes > 0 {
+                        r.macs as f64 / r.fetched_bytes as f64
+                    } else {
+                        f64::INFINITY
+                    },
+                    achieved_gbps: gbps,
+                    achieved_gmacs: gmacs,
+                    overlap_efficiency: r.overlap_efficiency(),
+                    memory_bound: r.memory_bound,
+                    result: r,
+                }
+            })
+            .collect();
+        let aggregates = [PhaseClass::Single, PhaseClass::Prefill, PhaseClass::Decode]
+            .into_iter()
+            .filter_map(|class| aggregate(&points, class, clock_hz))
+            .collect();
+        RooflineReport {
+            clock_hz,
+            peak_gbps: mem.offchip_bytes_per_s / 1e9,
+            points,
+            aggregates,
+        }
+    }
+
+    /// The aggregate for `class`, if any op of that class was simulated.
+    pub fn class_aggregate(&self, class: PhaseClass) -> Option<&PhaseAggregate> {
+        self.aggregates.iter().find(|a| a.class == class)
+    }
+
+    /// Whether every simulated op conserved bytes.
+    pub fn bytes_conserved(&self) -> bool {
+        self.aggregates.iter().all(|a| a.bytes_conserved)
+    }
+}
+
+fn aggregate(points: &[RooflinePoint], class: PhaseClass, clock_hz: f64) -> Option<PhaseAggregate> {
+    let of_class: Vec<&RooflinePoint> = points.iter().filter(|p| p.class == class).collect();
+    if of_class.is_empty() {
+        return None;
+    }
+    let compute_cycles: f64 = of_class.iter().map(|p| p.result.compute_cycles).sum();
+    let memory_cycles: f64 = of_class.iter().map(|p| p.result.memory_cycles).sum();
+    let makespan: f64 = of_class.iter().map(|p| p.result.makespan).sum();
+    let fetched_bytes: u64 = of_class.iter().map(|p| p.result.fetched_bytes).sum();
+    let overflow_bytes: u64 = of_class.iter().map(|p| p.result.overflow_bytes).sum();
+    let macs: u64 = of_class.iter().map(|p| p.result.macs).sum();
+    let seconds = makespan / clock_hz;
+    Some(PhaseAggregate {
+        class,
+        compute_cycles,
+        memory_cycles,
+        makespan,
+        fetched_bytes,
+        overflow_bytes,
+        macs,
+        intensity_macs_per_byte: if fetched_bytes > 0 {
+            macs as f64 / fetched_bytes as f64
+        } else {
+            f64::INFINITY
+        },
+        achieved_gbps: if seconds > 0.0 {
+            fetched_bytes as f64 / seconds / 1e9
+        } else {
+            0.0
+        },
+        overlap_efficiency: if makespan > 0.0 {
+            compute_cycles.max(memory_cycles) / makespan
+        } else {
+            1.0
+        },
+        memory_bound: memory_cycles > compute_cycles,
+        bytes_conserved: of_class.iter().all(|p| p.result.conserves_bytes()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::{CosimEngine, PhaseSpec};
+
+    fn result(label: &str, class: PhaseClass, compute: u64, bytes: u64) -> PhaseResult {
+        let e = CosimEngine::new(MemorySystem::paper(), 500.0e6);
+        e.run_phase(&PhaseSpec {
+            label: label.into(),
+            class,
+            groups: 100,
+            compute_cycles_per_group: compute,
+            tile_bytes_per_group: bytes,
+            outliers_per_group: 0,
+            resident_bytes: 0,
+            macs: 1_000_000,
+        })
+    }
+
+    #[test]
+    fn aggregates_split_by_class_and_carry_the_verdict() {
+        let mem = MemorySystem::paper();
+        let rep = RooflineReport::new(
+            &mem,
+            500.0e6,
+            vec![
+                result("prefill/qkv", PhaseClass::Prefill, 5000, 512),
+                result("decode/qkv", PhaseClass::Decode, 4, 8192),
+                result("decode/ffn", PhaseClass::Decode, 8, 8192),
+            ],
+        );
+        assert_eq!(rep.aggregates.len(), 2);
+        let pre = rep.class_aggregate(PhaseClass::Prefill).unwrap();
+        let dec = rep.class_aggregate(PhaseClass::Decode).unwrap();
+        assert!(!pre.memory_bound);
+        assert!(dec.memory_bound);
+        assert!(rep.bytes_conserved());
+        assert_eq!(rep.peak_gbps, 256.0);
+        // Achieved bandwidth can approach but never beat the roof.
+        for a in &rep.aggregates {
+            assert!(
+                a.achieved_gbps <= rep.peak_gbps + 1e-9,
+                "{}",
+                a.achieved_gbps
+            );
+        }
+        assert!(dec.achieved_gbps > 0.9 * rep.peak_gbps);
+    }
+
+    #[test]
+    fn intensity_orders_prefill_above_decode() {
+        let mem = MemorySystem::paper();
+        let rep = RooflineReport::new(
+            &mem,
+            500.0e6,
+            vec![
+                result("prefill", PhaseClass::Prefill, 5000, 512),
+                result("decode", PhaseClass::Decode, 4, 8192),
+            ],
+        );
+        let pre = rep.class_aggregate(PhaseClass::Prefill).unwrap();
+        let dec = rep.class_aggregate(PhaseClass::Decode).unwrap();
+        assert!(pre.intensity_macs_per_byte > dec.intensity_macs_per_byte);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mem = MemorySystem::paper();
+        let rep = RooflineReport::new(
+            &mem,
+            500.0e6,
+            vec![result("x", PhaseClass::Single, 10, 512)],
+        );
+        let v = rep.to_value();
+        let back = RooflineReport::from_value(&v).unwrap();
+        assert_eq!(back, rep);
+    }
+}

@@ -51,6 +51,33 @@ impl Workload {
             .sum()
     }
 
+    /// The sub-workload of ops tagged with `phase`, preserving op order.
+    /// The name gains a `" [<phase>]"` suffix; batch and model carry over.
+    pub fn phase_subset(&self, phase: Phase) -> Workload {
+        Workload {
+            name: format!("{} [{phase:?}]", self.name),
+            model: self.model,
+            batch: self.batch,
+            ops: self
+                .ops
+                .iter()
+                .filter(|o| o.phase == phase)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Splits the stream into its non-empty phases, in
+    /// Single → Prefill → Decode order — the traffic-builder entry point
+    /// for phase-resolved memory co-simulation.
+    pub fn split_phases(&self) -> Vec<(Phase, Workload)> {
+        [Phase::Single, Phase::Prefill, Phase::Decode]
+            .into_iter()
+            .map(|p| (p, self.phase_subset(p)))
+            .filter(|(_, w)| !w.ops.is_empty())
+            .collect()
+    }
+
     /// Static-weight elements of the model touched by this workload,
     /// counted once per distinct weight matrix (`layers` per static op),
     /// for footprint estimates.
@@ -510,6 +537,28 @@ mod tests {
         }
         let w0 = generation_workload(ModelId::Gpt2Base, 4, 0, 16);
         assert!(w0.ops.iter().all(|o| o.phase == Phase::Decode));
+    }
+
+    #[test]
+    fn split_phases_partitions_the_stream() {
+        let w = generation_workload(ModelId::Llama2_7b, 32, 128, 64);
+        let phases = w.split_phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, Phase::Prefill);
+        assert_eq!(phases[1].0, Phase::Decode);
+        let total: usize = phases.iter().map(|(_, p)| p.ops.len()).sum();
+        assert_eq!(total, w.ops.len());
+        let macs: u64 = phases.iter().map(|(_, p)| p.total_macs()).sum();
+        assert_eq!(macs, w.total_macs());
+        for (phase, sub) in &phases {
+            assert!(sub.ops.iter().all(|o| o.phase == *phase));
+            assert_eq!(sub.batch, w.batch);
+        }
+        // Encoder workloads collapse to one Single phase.
+        let e = encoder_workload(ModelId::BertBase, 128, 1);
+        let ep = e.split_phases();
+        assert_eq!(ep.len(), 1);
+        assert_eq!(ep[0].0, Phase::Single);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod request;
 pub mod scheduler;
 pub mod trace;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, CostSource};
 pub use error::ServeError;
 pub use fault::{
     backoff_delay_s, FaultPlan, FaultSpec, RecoveryPolicy, SdcSampler, StallWindow, WorkerFaultPlan,

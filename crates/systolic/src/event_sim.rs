@@ -70,6 +70,10 @@ pub struct EventSimResult {
     /// Effective physical weight columns (across K-tiles), for `r_w`
     /// cross-checks.
     pub physical_columns: u64,
+    /// Cycles of each fold in issue order (`Σ fold_cycles == cycles`).
+    /// This is the phase-coupling hook for the `owlp-mem` co-simulator:
+    /// each fold is one compute group whose makespan races its tile fetch.
+    pub fold_cycles: Vec<u64>,
 }
 
 /// Simulates the OwL-P array on a GEMM, **with** outlier-aware scheduling.
@@ -135,6 +139,7 @@ pub fn simulate_gemm_fp_baseline(
             conflict_free: true,
             streamed_rows: 0,
             physical_columns: 0,
+            fold_cycles: Vec::new(),
         });
     }
     // The baseline covers `rows` K-elements per fold (one MAC per PE).
@@ -144,12 +149,15 @@ pub fn simulate_gemm_fp_baseline(
     let mut cycles = 0u64;
     let mut streamed_rows = 0u64;
     let mut physical_columns = 0u64;
+    let mut fold_cycles = Vec::new();
     for t in 0..tiles {
         let lo = t * k_tile;
         let hi = (lo + k_tile).min(k);
         physical_columns += n as u64;
         for fold_cols in (0..n).collect::<Vec<_>>().chunks(cfg.cols) {
-            cycles += (2 * cfg.rows + cfg.cols) as u64 + m as u64 - 2;
+            let fold = (2 * cfg.rows + cfg.cols) as u64 + m as u64 - 2;
+            cycles += fold;
+            fold_cycles.push(fold);
             streamed_rows += m as u64;
             for i in 0..m {
                 for &j in fold_cols {
@@ -171,6 +179,7 @@ pub fn simulate_gemm_fp_baseline(
         conflict_free: true,
         streamed_rows,
         physical_columns,
+        fold_cycles,
     })
 }
 
@@ -206,6 +215,7 @@ fn run(
             conflict_free: true,
             streamed_rows: 0,
             physical_columns: 0,
+            fold_cycles: Vec::new(),
         });
     }
     let enc_a = encode_tensor(a, None)?;
@@ -232,6 +242,7 @@ fn run(
     let mut max_occ = 0usize;
     let mut streamed_rows = 0u64;
     let mut physical_columns = 0u64;
+    let mut fold_cycles = Vec::new();
 
     // The bounded window of one K-tile's all-normal wavefronts (shared by
     // every clean activation-row × weight-column pair).
@@ -315,7 +326,9 @@ fn run(
         // the parallel run is bit-identical to the serial sweep.
         let col_ops = 2 * (arows.len() as u64).saturating_mul((hi - lo) as u64).max(1);
         for fold in wcols.chunks(cfg.cols) {
-            cycles += (2 * cfg.rows + cfg.cols) as u64 + arows.len() as u64 - 2;
+            let fold_len = (2 * cfg.rows + cfg.cols) as u64 + arows.len() as u64 - 2;
+            cycles += fold_len;
+            fold_cycles.push(fold_len);
             streamed_rows += arows.len() as u64;
             let column_pass = |wcol: &Stream| {
                 let mut partials = vec![KulischAcc::new(); arows.len()];
@@ -347,6 +360,7 @@ fn run(
         conflict_free: capacity == 0 || max_occ <= capacity,
         streamed_rows,
         physical_columns,
+        fold_cycles,
     })
 }
 
@@ -514,6 +528,20 @@ mod tests {
             });
             assert_eq!(raw_par, raw_ser, "{t} threads (unscheduled)");
         }
+    }
+
+    #[test]
+    fn fold_cycles_sum_to_total_on_both_datapaths() {
+        let cfg = ArrayConfig::small(3, 2, 4);
+        let (m, k, n) = (5, 26, 9);
+        let a = synth(m * k, 21, 6);
+        let b = synth(k * n, 22, 8);
+        let owlp = simulate_gemm(&cfg, &a, &b, m, k, n).unwrap();
+        assert_eq!(owlp.fold_cycles.iter().sum::<u64>(), owlp.cycles);
+        assert!(!owlp.fold_cycles.is_empty());
+        let fp = simulate_gemm_fp_baseline(&cfg, &a, &b, m, k, n).unwrap();
+        assert_eq!(fp.fold_cycles.iter().sum::<u64>(), fp.cycles);
+        assert_eq!(fp.fold_cycles.len() as u64, fp.streamed_rows / m as u64);
     }
 
     #[test]

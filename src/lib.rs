@@ -12,6 +12,8 @@
 //! * [`systolic`] — cycle model, outlier scheduler, event simulator;
 //! * [`model`] — transformer workloads and calibrated synthetic tensors;
 //! * [`hw`] — area/power/energy and memory-system models;
+//! * [`mem`] — the event-driven HBM/SRAM co-simulation (channels, tile
+//!   double buffering, compute/memory overlap, roofline verdicts);
 //! * [`mod@core`] — the end-to-end accelerator simulator;
 //! * [`par`] — the deterministic data-parallel execution layer
 //!   (`OWLP_THREADS`);
@@ -34,6 +36,7 @@ pub use owlp_arith as arith;
 pub use owlp_core as core;
 pub use owlp_format as format;
 pub use owlp_hw as hw;
+pub use owlp_mem as mem;
 pub use owlp_model as model;
 pub use owlp_par as par;
 pub use owlp_serve as serve;
