@@ -6,10 +6,43 @@
 //! FP32 baseline of [`crate::fpmac`] generally does not (it rounds at every
 //! accumulation step).
 
+use crate::gemm::{AbftSums, LaneStrike};
 use crate::kulisch::KulischAcc;
 use crate::microkernel::{self, MR, NR};
 use crate::window::WindowAcc;
 use owlp_format::Bf16;
+
+/// ABFT checksum pair of one [`exact_gemm_abft`] run: the *observed*
+/// row/column sums of the banded fast path's i64 lanes, and the
+/// *reference* sums computed independently from the aligned band planes.
+/// Both live on the same integer grid (`2^(base_a + base_b)`), so
+/// `observed == reference` holds exactly on a clean run — there is no
+/// roundoff tolerance to tune. Out-of-band tag corrections bypass the
+/// lanes on both sides of the comparison, so they cannot raise a false
+/// positive either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbftCheck {
+    /// Row/column sums the drive loop actually accumulated.
+    pub observed: AbftSums,
+    /// The same sums recomputed from the band planes (`rows[i] =
+    /// Σ_k plane_a[i,k]·(Σ_j plane_b[k,j])`, and transposed for columns).
+    pub reference: AbftSums,
+}
+
+impl AbftCheck {
+    /// Row and column indices whose observed sum disagrees with the
+    /// reference — empty on a clean run; exactly one of each after a
+    /// single lane strike, intersecting at the damaged element.
+    pub fn mismatches(&self) -> (Vec<usize>, Vec<usize>) {
+        let rows = (0..self.observed.rows.len())
+            .filter(|&i| self.observed.rows[i] != self.reference.rows[i])
+            .collect();
+        let cols = (0..self.observed.cols.len())
+            .filter(|&j| self.observed.cols[j] != self.reference.cols[j])
+            .collect();
+        (rows, cols)
+    }
+}
 
 /// Magnitude bits of one BF16×BF16 product (8-bit × 8-bit significands).
 const PRODUCT_BITS: i32 = 16;
@@ -216,11 +249,47 @@ pub(crate) fn row_grain(k: usize, n: usize) -> usize {
 ///
 /// Panics on shape mismatch or non-finite inputs.
 pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
+    exact_gemm_impl(a, b, m, k, n, false, None).0
+}
+
+/// [`exact_gemm`] with ABFT checksum collection and optionally a
+/// sanctioned single-bit lane strike (applied to the in-band i64 lane of
+/// one output element, corrupting output and checksums consistently).
+///
+/// Returns `None` for the check when the banded fast path did not run —
+/// an all-zero factor (nothing to protect) or the Kulisch proof-boundary
+/// fallback (whose per-product accumulation has no shared integer frame
+/// to checksum). Callers treat `None` as "ABFT unavailable", not as a
+/// verdict.
+///
+/// # Panics
+///
+/// As [`exact_gemm`].
+pub fn exact_gemm_abft(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+    strike: Option<LaneStrike>,
+) -> (Vec<f32>, Option<AbftCheck>) {
+    exact_gemm_impl(a, b, m, k, n, true, strike)
+}
+
+fn exact_gemm_impl(
+    a: &[Bf16],
+    b: &[Bf16],
+    m: usize,
+    k: usize,
+    n: usize,
+    abft: bool,
+    strike: Option<LaneStrike>,
+) -> (Vec<f32>, Option<AbftCheck>) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
     let (sa, sb) = (frame_span(a), frame_span(b));
     let (Some(sa), Some(sb)) = (sa, sb) else {
-        return vec![0.0; m * n]; // one factor all zero → exact +0.0 grid
+        return (vec![0.0; m * n], None); // one factor all zero → exact +0.0
     };
     // Banded fast path budget: an in-band product magnitude is below
     // 2^(16 + wa + wb), and a k-term lane sum of those needs
@@ -229,6 +298,7 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
     let headroom = 64 - (k.max(1) as u64).leading_zeros() as i32;
     let budget = 47 - headroom;
     let ops_per_row = 2 * (k as u64) * (n as u64);
+    let mut reference: Option<AbftSums> = None;
     let row_blocks = if budget >= 0 {
         // Fast path: align the densest frame band of each tensor to a
         // signed-i32 plane, run the register-tiled integer microkernel
@@ -243,11 +313,55 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
         let base_b = densest_band(b, sb, wb);
         let (aplane, row_tags) = band_rows(a, k, base_a, wa);
         let (bpanels, col_tags) = band_col_panels(b, k, n, base_b, wb);
+        // ABFT reference sums straight from the band planes (the panel
+        // zero-padding contributes nothing): what the lanes *must* add up
+        // to, independently of the kernel's regrouping.
+        reference = abft.then(|| {
+            // Marginals in i64 (the band planes are i32, so ~2^31 summands
+            // of slack) and widening 64×64→128 multiplies for the final
+            // sums: this runs on every checked GEMM and is priced against
+            // the ≤5% integrity overhead budget. The panels are walked
+            // panel-major so the inner loops stay contiguous; the zero
+            // padding of edge panels contributes nothing to either sum.
+            let mut asum = vec![0i64; k];
+            for row in aplane.chunks_exact(k) {
+                for (s, &v) in asum.iter_mut().zip(row) {
+                    *s += i64::from(v);
+                }
+            }
+            let mut bsum = vec![0i64; k];
+            let mut cols_ref = vec![0i128; n];
+            for (pb, panel) in bpanels.chunks_exact(k * NR).enumerate() {
+                let j0 = pb * NR;
+                let width = NR.min(n - j0);
+                for (kk, lane) in panel.chunks_exact(NR).enumerate() {
+                    bsum[kk] += lane.iter().map(|&v| i64::from(v)).sum::<i64>();
+                    let s = i128::from(asum[kk]);
+                    for (c, &v) in lane.iter().take(width).enumerate() {
+                        cols_ref[j0 + c] += s * i128::from(v);
+                    }
+                }
+            }
+            let rows_ref = aplane
+                .chunks_exact(k)
+                .map(|row| {
+                    row.iter()
+                        .zip(&bsum)
+                        .map(|(&v, &s)| i128::from(v) * i128::from(s))
+                        .sum()
+                })
+                .collect();
+            AbftSums {
+                rows: rows_ref,
+                cols: cols_ref,
+            }
+        });
         let lo = base_a + base_b;
         let zero_row = vec![0i32; k];
         let grain = row_grain(k, n).next_multiple_of(MR);
         owlp_par::map_chunks_weighted(m, grain, ops_per_row, |rows| {
             let mut block = vec![0.0f32; rows.len() * n];
+            let mut sums = abft.then(|| (vec![0i128; rows.len()], vec![0i128; n]));
             for ib in rows.clone().step_by(MR) {
                 let mr = MR.min(rows.end - ib);
                 let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
@@ -266,6 +380,19 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
                         let rtags = &row_tags[i];
                         for (c, &lane) in lane_row.iter().enumerate().take(nr) {
                             let j = jb + c;
+                            let mut lane = lane;
+                            // Sanctioned lane upset: flip before both the
+                            // output use and the checksum collection so the
+                            // two corrupt consistently.
+                            if let Some(s) = strike {
+                                if s.i == i && s.j == j {
+                                    lane ^= 1i64 << s.bit;
+                                }
+                            }
+                            if let Some((rs, cs)) = sums.as_mut() {
+                                rs[i - rows.start] += lane as i128;
+                                cs[j] += lane as i128;
+                            }
                             let ctags = &col_tags[j];
                             let out = &mut block[(i - rows.start) * n + j];
                             if rtags.is_empty() && ctags.is_empty() {
@@ -306,7 +433,7 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
                     }
                 }
             }
-            block
+            (block, sums)
         })
     } else {
         // Proof-boundary fallback (`k` so large the lane headroom eats the
@@ -328,14 +455,34 @@ pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f
                     block.push(acc.round_to_f32());
                 }
             }
-            block
+            (block, None)
         })
     };
     let mut out = Vec::with_capacity(m * n);
-    for block in row_blocks {
+    // Observed ABFT sums: row partials concatenate in chunk (row) order;
+    // column partials merge elementwise — i128 adds, so order-free and
+    // bit-identical at every thread count.
+    let mut observed = (abft && reference.is_some()).then(|| AbftSums {
+        rows: Vec::with_capacity(m),
+        cols: vec![0i128; n],
+    });
+    for (block, chunk_sums) in row_blocks {
         out.extend(block);
+        if let (Some(dst), Some((rs, cs))) = (observed.as_mut(), chunk_sums) {
+            dst.rows.extend(rs);
+            for (d, s) in dst.cols.iter_mut().zip(cs) {
+                *d += s;
+            }
+        }
     }
-    out
+    let check = match (observed, reference) {
+        (Some(observed), Some(reference)) => Some(AbftCheck {
+            observed,
+            reference,
+        }),
+        _ => None,
+    };
+    (out, check)
 }
 
 /// Exact GEMM in the `f64` error yardstick (see [`exact_dot_f64`]).
@@ -509,6 +656,56 @@ mod tests {
         let oracle = oracle_gemm(&a, &b, m, k, n);
         for (x, y) in banded.iter().zip(&oracle) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn abft_check_is_clean_and_localizes_a_lane_strike() {
+        let (m, k, n) = (7, 33, 11);
+        let a = mixed_tensor(m * k, 0, 7);
+        let b = mixed_tensor(k * n, 0, 8);
+        let (out, check) = exact_gemm_abft(&a, &b, m, k, n, None);
+        assert_eq!(out, exact_gemm(&a, &b, m, k, n), "ABFT must not perturb");
+        let check = check.expect("fast path ran");
+        assert_eq!(check.observed, check.reference, "clean run, exact match");
+        assert_eq!(check.mismatches(), (vec![], vec![]));
+        let strike = LaneStrike {
+            i: 2,
+            j: 5,
+            bit: 33,
+        };
+        let (bad, struck) = exact_gemm_abft(&a, &b, m, k, n, Some(strike));
+        let struck = struck.expect("fast path ran");
+        assert_eq!(struck.mismatches(), (vec![2], vec![5]), "localized");
+        assert_ne!(bad[2 * n + 5].to_bits(), out[2 * n + 5].to_bits());
+    }
+
+    #[test]
+    fn abft_ignores_out_of_band_tag_corrections() {
+        // Span-hostile tensors: outliers go down the tag-correction path,
+        // which bypasses the lanes on both sides of the comparison — a
+        // heavy-outlier run must still check perfectly clean.
+        let (m, k, n) = (5, 29, 9);
+        let a = mixed_tensor(m * k, 13, 17);
+        let b = mixed_tensor(k * n, 7, 23);
+        let (out, check) = exact_gemm_abft(&a, &b, m, k, n, None);
+        assert_eq!(out, exact_gemm(&a, &b, m, k, n));
+        let check = check.expect("banded path ran");
+        assert_eq!(check.observed, check.reference);
+    }
+
+    #[test]
+    fn abft_is_bit_identical_across_thread_counts() {
+        let (m, k, n) = (4 * row_grain(37, 19), 37, 19);
+        let a = mixed_tensor(m * k, 0, 31);
+        let b = mixed_tensor(k * n, 0, 37);
+        let serial = owlp_par::with_threads(1, || exact_gemm_abft(&a, &b, m, k, n, None));
+        for t in [2, 4, 8] {
+            let par = owlp_par::with_threads(t, || exact_gemm_abft(&a, &b, m, k, n, None));
+            assert_eq!(par.1, serial.1, "{t} threads");
+            for (x, y) in par.0.iter().zip(&serial.0) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{t} threads");
+            }
         }
     }
 

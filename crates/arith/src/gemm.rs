@@ -37,6 +37,39 @@ pub struct OwlpGemmOutput {
     pub total_outlier_products: usize,
 }
 
+/// ABFT checksum vectors of one OwL-P GEMM: the *observed* row and column
+/// sums of the raw shared-frame accumulator words ([`WindowAcc::raw`]),
+/// collected inline by the drive loop before outlier correction.
+///
+/// Because every normal product is an integer on the shared frame, these
+/// sums obey the same closed arithmetic as the data: an independent
+/// reference `rows[i] = Σ_k a_sval[i,k]·(Σ_j b_sval[k,j])` must match
+/// *exactly* — zero false positives, no FP tolerance band — and a single
+/// accumulator-lane upset perturbs exactly one row and one column sum,
+/// localizing the damaged output element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbftSums {
+    /// `rows[i]` — Σ over j of the raw pre-correction accumulator of
+    /// output element `(i, j)`.
+    pub rows: Vec<i128>,
+    /// `cols[j]` — Σ over i of the same raw words.
+    pub cols: Vec<i128>,
+}
+
+/// A sanctioned single-bit upset on one output element's accumulator lane,
+/// applied inside the drive loop *before* the ABFT sums are collected — so
+/// the corrupted output and the checksums disagree with the reference in
+/// exactly the way a real in-flight particle strike would produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStrike {
+    /// Output row of the struck element.
+    pub i: usize,
+    /// Output column of the struck element.
+    pub j: usize,
+    /// Accumulator bit to flip (`< 127`).
+    pub bit: u32,
+}
+
 /// A tensor encoded and packed once, for reuse across GEMM calls.
 ///
 /// Weight tensors in a serving loop are multiplied every iteration but
@@ -282,6 +315,70 @@ pub fn owlp_gemm_packed(
     config: PeConfig,
     align: AlignUnit,
 ) -> Result<OwlpGemmOutput, ArithError> {
+    owlp_gemm_packed_impl(
+        enc_a, packed_a, enc_b, packed_b, panels, m, k, n, config, align, false, None,
+    )
+    .map(|(out, _)| out)
+}
+
+/// [`owlp_gemm_packed`] with ABFT checksum collection (and optionally a
+/// sanctioned accumulator-lane strike), on the paper's PE configuration
+/// and the exact align unit — the only datapath whose regrouped integer
+/// sums the checksum algebra covers.
+///
+/// The returned [`AbftSums`] are the observed raw row/column sums; the
+/// integrity layer verifies them against an independently computed
+/// reference and, on mismatch, localizes and recomputes the damaged
+/// element. Collection is O(m·n) extra integer adds on top of the
+/// O(m·k·n) kernel, so the overhead vanishes with `k`.
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+#[allow(clippy::too_many_arguments)]
+pub fn owlp_gemm_packed_abft(
+    enc_a: &EncodedTensor,
+    packed_a: &PackedOperands,
+    enc_b: &EncodedTensor,
+    packed_b: &PackedOperands,
+    panels: Option<&PackedPanels>,
+    m: usize,
+    k: usize,
+    n: usize,
+    strike: Option<LaneStrike>,
+) -> Result<(OwlpGemmOutput, AbftSums), ArithError> {
+    owlp_gemm_packed_impl(
+        enc_a,
+        packed_a,
+        enc_b,
+        packed_b,
+        panels,
+        m,
+        k,
+        n,
+        PeConfig::PAPER,
+        AlignUnit::Exact,
+        true,
+        strike,
+    )
+    .map(|(out, sums)| (out, sums.expect("ABFT sums collected on the exact path")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn owlp_gemm_packed_impl(
+    enc_a: &EncodedTensor,
+    packed_a: &PackedOperands,
+    enc_b: &EncodedTensor,
+    packed_b: &PackedOperands,
+    panels: Option<&PackedPanels>,
+    m: usize,
+    k: usize,
+    n: usize,
+    config: PeConfig,
+    align: AlignUnit,
+    abft: bool,
+    strike: Option<LaneStrike>,
+) -> Result<(OwlpGemmOutput, Option<AbftSums>), ArithError> {
     check_len(packed_a.len(), m * k, "decoded A")?;
     check_len(packed_b.len(), k * n, "decoded B")?;
     let rows = k.div_ceil(config.lanes).max(1);
@@ -289,6 +386,7 @@ pub fn owlp_gemm_packed(
     let shared_a = enc_a.shared_exp();
     let shared_w = enc_b.shared_exp();
     let fast_ok = matches!(align, AlignUnit::Exact);
+    debug_assert!(fast_ok || !abft, "ABFT requires the exact align unit");
     // Tagged-position tables, hoisted out of the m×n loop: for each
     // activation row and weight column, the in-row/in-column offsets of its
     // tagged outliers plus their decoded exponent term (`max(exp, 1)`, the
@@ -342,6 +440,11 @@ pub fn owlp_gemm_packed(
         let mut values;
         let mut max_wavefront = 0usize;
         let mut total = 0usize;
+        // Per-chunk ABFT partials: full-length row sums (this chunk's
+        // column slice contributes to every row) and this chunk's column
+        // sums. i128 addition is exact, so the merge is order-free and the
+        // checksums are bit-identical at every thread count.
+        let mut sums = abft.then(|| (vec![0i128; m], vec![0i128; cols.len()]));
         if fast_ok {
             let panels = panels.expect("panels are built whenever the fast path runs");
             values = vec![0.0f32; cols.len() * m];
@@ -375,6 +478,19 @@ pub fn owlp_gemm_packed(
                             let ctags = &col_tags[j];
                             let mut win = tile_win;
                             let out_idx = (j - cols.start) * m + i;
+                            // The sanctioned upset lands on the raw lane
+                            // *before* checksum collection: output and
+                            // checksums corrupt consistently, exactly as an
+                            // in-flight strike would.
+                            if let Some(s) = strike {
+                                if s.i == i && s.j == j {
+                                    win.toggle_bit(s.bit);
+                                }
+                            }
+                            if let Some((rs, cs)) = sums.as_mut() {
+                                rs[i] += win.raw();
+                                cs[j - cols.start] += win.raw();
+                            }
                             if rtags.is_empty() && ctags.is_empty() {
                                 values[out_idx] = win.round_to_f32();
                                 continue;
@@ -477,28 +593,41 @@ pub fn owlp_gemm_packed(
                 }
             }
         }
-        (j0, values, max_wavefront, total)
+        (j0, values, max_wavefront, total, sums)
     });
     let mut output = vec![0.0f32; m * n];
     let mut max_wavefront = 0usize;
     let mut total_outlier_products = 0usize;
-    for (j0, values, tile_max, tile_total) in tiles {
+    let mut abft_sums = abft.then(|| AbftSums {
+        rows: vec![0i128; m],
+        cols: vec![0i128; n],
+    });
+    for (j0, values, tile_max, tile_total, chunk_sums) in tiles {
         max_wavefront = max_wavefront.max(tile_max);
         total_outlier_products += tile_total;
+        if let (Some(dst), Some((rs, cs))) = (abft_sums.as_mut(), chunk_sums) {
+            for (d, s) in dst.rows.iter_mut().zip(rs) {
+                *d += s;
+            }
+            dst.cols[j0..j0 + cs.len()].copy_from_slice(&cs);
+        }
         for (idx, v) in values.into_iter().enumerate() {
             let (dj, i) = (idx / m.max(1), idx % m.max(1));
             output[i * n + j0 + dj] = v;
         }
     }
-    Ok(OwlpGemmOutput {
-        output,
-        shared_a,
-        shared_w,
-        act_outliers: enc_a.outlier_count(),
-        weight_outliers: enc_b.outlier_count(),
-        max_wavefront_outliers: max_wavefront,
-        total_outlier_products,
-    })
+    Ok((
+        OwlpGemmOutput {
+            output,
+            shared_a,
+            shared_w,
+            act_outliers: enc_a.outlier_count(),
+            weight_outliers: enc_b.outlier_count(),
+            max_wavefront_outliers: max_wavefront,
+            total_outlier_products,
+        },
+        abft_sums,
+    ))
 }
 
 fn check_shape(t: &[Bf16], expected: usize, what: &'static str) -> Result<(), ArithError> {
@@ -677,6 +806,82 @@ mod tests {
             PreparedTensor::with_shape(&b, k, n + 1),
             Err(ArithError::DimensionMismatch { what: "B", .. })
         ));
+    }
+
+    #[test]
+    fn abft_sums_match_reference_and_localize_a_strike() {
+        let (m, k, n) = (9, 37, 13);
+        let a = synth(m * k, 41, 9);
+        let b = synth(k * n, 42, 11);
+        let enc_a = encode_tensor(&a, None).unwrap();
+        let enc_b = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (enc_a.decode_packed(), enc_b.decode_packed());
+        let (out, sums) =
+            owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, None).unwrap();
+        // The ABFT run must not perturb the plain result by a bit.
+        let plain = owlp_gemm(&a, &b, m, k, n).unwrap();
+        assert_eq!(out, plain);
+        // Independent reference over the sval planes: the raw accumulator
+        // of (i, j) is exactly Σ_k a_sval[i,k]·b_sval[k,j].
+        let bsum: Vec<i128> = (0..k)
+            .map(|kk| (0..n).map(|j| pb.svals()[kk * n + j] as i128).sum())
+            .collect();
+        for i in 0..m {
+            let want: i128 = (0..k)
+                .map(|kk| pa.svals()[i * k + kk] as i128 * bsum[kk])
+                .sum();
+            assert_eq!(sums.rows[i], want, "row {i}");
+        }
+        // A single lane strike moves exactly one row and one column sum,
+        // by exactly ±2^bit — even when f32 rounding masks it in the
+        // output (an outlier-dominated element swallows a low-bit flip;
+        // the integer checksums never do).
+        let strike = LaneStrike {
+            i: 4,
+            j: 7,
+            bit: 19,
+        };
+        let (_, struck) =
+            owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, Some(strike)).unwrap();
+        let delta = struck.rows[4] - sums.rows[4];
+        assert_eq!(delta.abs(), 1i128 << 19);
+        assert_eq!(struck.cols[7] - sums.cols[7], delta);
+        for i in (0..m).filter(|&i| i != 4) {
+            assert_eq!(struck.rows[i], sums.rows[i], "row {i} untouched");
+        }
+        for j in (0..n).filter(|&j| j != 7) {
+            assert_eq!(struck.cols[j], sums.cols[j], "col {j} untouched");
+        }
+        // On an outlier-free workload the same strike is output-visible.
+        let a2 = synth(m * k, 43, 0);
+        let b2 = synth(k * n, 44, 0);
+        let enc_a2 = encode_tensor(&a2, None).unwrap();
+        let enc_b2 = encode_tensor(&b2, None).unwrap();
+        let (pa2, pb2) = (enc_a2.decode_packed(), enc_b2.decode_packed());
+        let (clean2, _) =
+            owlp_gemm_packed_abft(&enc_a2, &pa2, &enc_b2, &pb2, None, m, k, n, None).unwrap();
+        let (bad2, _) =
+            owlp_gemm_packed_abft(&enc_a2, &pa2, &enc_b2, &pb2, None, m, k, n, Some(strike))
+                .unwrap();
+        assert_ne!(
+            bad2.output[4 * n + 7].to_bits(),
+            clean2.output[4 * n + 7].to_bits()
+        );
+    }
+
+    #[test]
+    fn parallel_abft_sums_are_bit_identical_to_serial() {
+        let (m, k, n) = (16, 64, 64);
+        let a = synth(m * k, 51, 9);
+        let b = synth(k * n, 52, 13);
+        let enc_a = encode_tensor(&a, None).unwrap();
+        let enc_b = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (enc_a.decode_packed(), enc_b.decode_packed());
+        let run = || owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, None).unwrap();
+        let serial = owlp_par::with_threads(1, run);
+        for t in [2, 4, 8] {
+            assert_eq!(owlp_par::with_threads(t, run), serial, "{t} threads");
+        }
     }
 
     #[test]

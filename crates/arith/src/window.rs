@@ -125,6 +125,19 @@ impl WindowAcc {
         self.acc += other.acc << (other.lo - self.lo);
     }
 
+    /// The raw accumulator word (the exact value is `raw × 2^frame`) — the
+    /// ABFT checksum input: integer row/column sums over these words obey
+    /// the same closed arithmetic as the data itself.
+    pub fn raw(&self) -> i128 {
+        self.acc
+    }
+
+    /// Flips one bit of the accumulator word — the sanctioned
+    /// accumulator-lane upset for fault-injection studies (an involution).
+    pub fn toggle_bit(&mut self, bit: u32) {
+        self.acc ^= 1i128 << bit;
+    }
+
     /// Rounds the exact value to `f32` — the identical single RNE rounding
     /// as [`KulischAcc::round_to_f32`].
     pub fn round_to_f32(&self) -> f32 {

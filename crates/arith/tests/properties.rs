@@ -2,10 +2,12 @@
 
 use owlp_arith::align::{AlignUnit, Contribution};
 use owlp_arith::exact::{exact_dot, exact_dot_f64, exact_gemm};
+use owlp_arith::fault::FaultSite;
 use owlp_arith::fpmac::{fp_mac_dot, fp_tree_dot};
 use owlp_arith::gemm::owlp_gemm;
 use owlp_arith::int2fp::int_to_f32;
 use owlp_arith::kulisch::KulischAcc;
+use owlp_format::decode::DecodedOperand;
 use owlp_format::Bf16;
 use proptest::prelude::*;
 
@@ -22,8 +24,62 @@ fn moderate_bf16() -> impl Strategy<Value = Bf16> {
         .prop_map(|(frac, exp, sign)| Bf16::from_bits(((sign as u16) << 15) | (exp << 7) | frac))
 }
 
+fn any_operand() -> impl Strategy<Value = DecodedOperand> {
+    (
+        0u16..(1 << DecodedOperand::MAG_BITS),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(mag, sh, sign, tag, exp)| DecodedOperand {
+            mag,
+            sh,
+            sign,
+            tag,
+            exp,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every fault site is a pure bit/bool toggle: injecting it twice
+    /// restores the operand exactly (and once always changes it) — the
+    /// property that lets the integrity sweep inject and undo strikes
+    /// without re-decoding tensors.
+    #[test]
+    fn fault_injection_is_an_involution(
+        op in any_operand(),
+        site in prop::sample::select(FaultSite::all()),
+    ) {
+        let mut struck = op;
+        site.inject(&mut struck);
+        prop_assert_ne!(struck, op, "{:?} must not be silent on the operand", site);
+        site.inject(&mut struck);
+        prop_assert_eq!(struck, op, "{:?} must be an involution", site);
+    }
+
+    /// `side_band()` partitions the site list exactly: the side-band sites
+    /// are precisely {ShiftBit, OutlierTag, OutlierExp(_)} and every site
+    /// appears in exactly one class (with no duplicates in `all()`).
+    #[test]
+    fn side_band_partitions_the_sites(_nothing in 0u8..1) {
+        let all = FaultSite::all();
+        for (i, s) in all.iter().enumerate() {
+            prop_assert_eq!(
+                s.side_band(),
+                matches!(s, FaultSite::ShiftBit | FaultSite::OutlierTag | FaultSite::OutlierExp(_)),
+                "{:?}", s
+            );
+            prop_assert!(!all[i + 1..].contains(s), "{:?} duplicated", s);
+        }
+        let side: usize = all.iter().filter(|s| s.side_band()).count();
+        let data = all.iter().filter(|s| !s.side_band()).count();
+        prop_assert_eq!(side + data, all.len());
+        prop_assert_eq!(side, 2 + Bf16::EXP_BITS as usize);
+        prop_assert_eq!(data, DecodedOperand::MAG_BITS as usize + 1); // + sign
+    }
 
     /// The Kulisch accumulator agrees with f64 wherever f64 is exact.
     #[test]

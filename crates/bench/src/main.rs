@@ -27,8 +27,16 @@
 //! machine-readable baseline report (default `BENCH_PR6.json`), comparing
 //! serial throughput against the previous baseline (default
 //! `BENCH_PR5.json`) when present. The report carries a `memory` section —
-//! event-driven HBM co-simulation verdicts — and the run fails when byte
-//! conservation is violated.
+//! event-driven HBM co-simulation verdicts — and an `integrity` section —
+//! seeded fault-sweep coverage plus checksum overhead. The run fails when
+//! byte conservation is violated, when any swept fault escapes or raises
+//! a false positive, or (full runs only) when the checksum overhead
+//! exceeds its budget.
+//!
+//! `repro serve-faults --json PATH` writes the fault sweep as JSON to
+//! `PATH` and exits nonzero when the integrity gate fails (an SDC escaped
+//! into a delivered response under the full detector configuration) —
+//! the machine-readable form CI diffs across thread budgets.
 //!
 //! `repro roofline --smoke` shortens the co-simulated generation tail so
 //! CI can gate on the phase verdicts cheaply.
@@ -165,10 +173,76 @@ fn run_bench_json(args: &[String]) {
         eprintln!("error: the memory co-simulation violated byte conservation");
         std::process::exit(1);
     }
+    let integ = &report.integrity;
+    if integ.escaped_total > 0 {
+        eprintln!(
+            "error: {} swept faults escaped the full integrity configuration",
+            integ.escaped_total
+        );
+        std::process::exit(1);
+    }
+    if integ.false_positives > 0 {
+        eprintln!(
+            "error: {} fault-free probes raised a detector",
+            integ.false_positives
+        );
+        std::process::exit(1);
+    }
+    if !integ.corrected_bit_identical {
+        eprintln!("error: a corrected run diverged from the fault-free oracle");
+        std::process::exit(1);
+    }
+    // Overhead is a timing, so only full runs gate on it: smoke shapes are
+    // too small for the fraction to be meaningful against CI jitter.
+    if !report.smoke && integ.max_overhead_frac > bench_json::OVERHEAD_LIMIT_FRAC {
+        eprintln!(
+            "error: checksum overhead {:.1}% exceeds the {:.0}% budget",
+            integ.max_overhead_frac * 100.0,
+            bench_json::OVERHEAD_LIMIT_FRAC * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve-faults --json PATH` — write the fault sweep as JSON and
+/// enforce the serving-layer integrity gate.
+fn run_serve_faults_json(path: &str) {
+    let sweep = serve_faults_exp::run();
+    // Same `{experiment, result}` envelope as the stdout `--json` path.
+    let json = serde_json::to_string_pretty(
+        &serde_json::json!({ "experiment": "serve-faults", "result": &sweep }),
+    )
+    .expect("sweep serializes");
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+    let violations = serve_faults_exp::gate(&sweep);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `serve-faults --json PATH` (with a path operand) writes the gated
+    // machine-readable sweep; bare `--json` keeps the stdout behaviour.
+    // Checked before the global `--json` strip so the path survives.
+    if args.first().map(String::as_str) == Some("serve-faults") {
+        if let Some(path) = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .filter(|p| !p.starts_with('-'))
+        {
+            run_serve_faults_json(path);
+            return;
+        }
+    }
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     // `bench-json` parses its own flags (including `--smoke`), so only
@@ -183,7 +257,7 @@ fn main() {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
             eprintln!(
-                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]",
+                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]\n       repro serve-faults --json PATH",
                 EXPERIMENTS.join("|")
             );
             return;

@@ -4,10 +4,13 @@
 //! healthy pool to a meltdown with crashed workers, stalls, transient
 //! iteration failures, and silent data corruptions — and reports what the
 //! recovery machinery (failover, bounded retry with backoff, degraded
-//! admission, side-band parity) salvages on the baseline FP32 array versus
-//! OwL-P. The headline column is *clean goodput*: completions per second
-//! whose responses carry no undetected corruption. Every number is a pure
-//! function of `(trace seed, fault seed, config)` and replays bit-for-bit.
+//! admission, and the `owlp-integrity` detection ladder of side-band
+//! parity, plane CRC, and ABFT checksums) salvages on the baseline FP32
+//! array versus OwL-P. The headline column is *clean goodput*: completions
+//! per second whose responses carry no undetected corruption — with the
+//! full integrity configuration every SDC is caught and corrected, so
+//! `corrupt` stays zero even at meltdown. Every number is a pure function
+//! of `(trace seed, fault seed, config)` and replays bit-for-bit.
 
 use crate::render::TextTable;
 use crate::SEED;
@@ -175,7 +178,9 @@ pub fn render(sweep: &FaultSweep) -> String {
         "evict",
         "shed",
         "ddl miss%",
-        "SDC hit/det",
+        "SDC hit/det/corr",
+        "escape",
+        "tile rc",
         "corrupt",
     ]);
     for p in &sweep.points {
@@ -190,17 +195,49 @@ pub fn render(sweep: &FaultSweep) -> String {
                 format!("{}", r.evictions),
                 format!("{}", r.shed),
                 format!("{:.1}", r.deadline_miss_rate * 100.0),
-                format!("{}/{}", r.sdc_events, r.sdc_detected),
+                format!("{}/{}/{}", r.sdc_events, r.sdc_detected, r.sdc_corrected),
+                format!("{}", r.sdc_escaped),
+                format!("{}", r.tile_recomputes),
                 format!("{}", r.corrupted_responses),
             ]);
         }
     }
     format!(
         "Serving under faults — GPT2-Base, 4-worker pool, batch 16, queue 32\n\
-         (deadline 2 s, retry budget 3, side-band parity coverage 90%;\n\
+         (deadline 2 s, retry budget 3, full integrity: side-band parity +\n\
+         plane CRC32C + ABFT checksums, localized tile recompute;\n\
          {REQUESTS} Poisson requests at {RATE_RPS:.0} req/s, seed {SEED:#x})\n{}",
         t.render()
     )
+}
+
+/// CI gate: with the full integrity configuration no SDC may escape into
+/// a delivered response, the outcome partition must balance, and every
+/// fault-free level must report zero detector activity (no false
+/// positives). Returns the violations, empty on a clean sweep.
+pub fn gate(sweep: &FaultSweep) -> Vec<String> {
+    let mut violations = Vec::new();
+    for p in &sweep.points {
+        for r in [&p.baseline, &p.owlp] {
+            let who = format!("{}/{}", p.level.name, r.summary.design);
+            if r.sdc_escaped > 0 || r.corrupted_responses > 0 {
+                violations.push(format!(
+                    "{who}: {} escaped SDCs corrupted {} responses under full integrity",
+                    r.sdc_escaped, r.corrupted_responses
+                ));
+            }
+            if r.sdc_detected + r.sdc_masked + r.sdc_escaped != r.sdc_events {
+                violations.push(format!(
+                    "{who}: SDC partition does not balance ({} + {} + {} != {})",
+                    r.sdc_detected, r.sdc_masked, r.sdc_escaped, r.sdc_events
+                ));
+            }
+            if p.level.sdc_permille == 0 && (r.sdc_events > 0 || r.sdc_detected > 0) {
+                violations.push(format!("{who}: detector activity on a fault-free level"));
+            }
+        }
+    }
+    violations
 }
 
 #[cfg(test)]
@@ -239,12 +276,18 @@ mod tests {
         }
         // OwL-P's per-GEMM speedup survives the roll-up.
         assert!(none.owlp.summary.goodput_rps > none.baseline.summary.goodput_rps);
-        // SDC level injects, parity catches most but not all.
+        // SDC level injects; the full integrity ladder catches and
+        // corrects every strike, so no response is ever corrupted.
         let sdc = &sweep.points[1];
         for r in [&sdc.baseline, &sdc.owlp] {
             assert!(r.sdc_events > 0);
-            assert!(r.sdc_detected < r.sdc_events);
+            assert_eq!(r.sdc_detected + r.sdc_masked + r.sdc_escaped, r.sdc_events);
+            assert_eq!(r.sdc_escaped, 0);
+            assert_eq!(r.corrupted_responses, 0);
+            assert!(r.sdc_corrected > 0);
+            assert!(r.tile_recomputes > 0);
         }
+        assert!(gate(&sweep).is_empty(), "{:?}", gate(&sweep));
         // Crash level actually kills workers and degrades availability.
         let crash = &sweep.points[3];
         assert!(crash.owlp.crashed_workers > 0);

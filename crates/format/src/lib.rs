@@ -59,7 +59,7 @@ pub use chunk::{PackedTensor, PackingLayout};
 pub use decode::{BiasDecoder, DecodedOperand};
 pub use encode::{encode_tensor, EncodedTensor};
 pub use error::FormatError;
-pub use packed::{PackedOperands, PackedPanels};
+pub use packed::{PackedOperands, PackedPanels, PackedPlane};
 pub use shared_exp::{select_window, select_window_of_width, ExponentWindow};
 pub use stats::ExponentHistogram;
 pub use stream::{encode_stream, EncodedStream, StreamingEncoder};

@@ -29,6 +29,29 @@ pub const META_SIGN: u8 = 1 << 0;
 pub const META_SH: u8 = 1 << 1;
 /// Meta-plane bit: outlier tag.
 pub const META_TAG: u8 = 1 << 2;
+/// Meta-plane bit: side-band parity over `{sh, tag, exp}` —
+/// `sh ⊕ tag ⊕ popcount(exp)`, stored at pack time so a single upset on
+/// any side-band wire (shift, tag, or an outlier-exponent bit) is
+/// detectable without re-decoding. The sign bit is deliberately *not*
+/// covered: a sign flip is a data-plane fault (it corrupts `sval`) and is
+/// the plane checksums' job.
+pub const META_PAR: u8 = 1 << 3;
+
+/// The planes of a packed tensor, addressable for sanctioned fault
+/// injection ([`PackedOperands::flip_bit`]) and integrity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PackedPlane {
+    /// The `mag` plane (`u16` words).
+    Mag,
+    /// The `meta` plane (`u8` words: sign/sh/tag/parity).
+    Meta,
+    /// The folded-significand `sval` plane (`i16` words).
+    Sval,
+    /// The sorted outlier-position side table (`u32` words).
+    OutlierPos,
+    /// The outlier-exponent side table (`u8` words).
+    OutlierExp,
+}
 
 /// Output columns per weight panel — the NR of the `owlp-arith`
 /// register-tiled microkernel (which re-exports it as its own `NR`).
@@ -40,7 +63,8 @@ pub const PANEL_NR: usize = 4;
 /// [`PackedOperands::get`]), but laid out as flat planes:
 ///
 /// * `mag[i]` — the pre-aligned integer significand (≤ 11 bits);
-/// * `meta[i]` — sign/sh/tag packed into one byte ([`META_SIGN`] etc.);
+/// * `meta[i]` — sign/sh/tag/parity packed into one byte ([`META_SIGN`]
+///   etc.; [`META_PAR`] guards the `{sh, tag, exp}` side-band);
 /// * `sval[i]` — the sign- and `sh`-folded significand `±(mag << 4·sh)`
 ///   (see the module docs; always fits an `i16`);
 /// * tagged outliers' original exponents in a sorted `(position, exp)`
@@ -88,7 +112,7 @@ impl PackedOperands {
         p.sval.reserve(ops.len());
         for (i, op) in ops.iter().enumerate() {
             p.mag.push(op.mag);
-            p.meta.push(pack_meta(op.sign, op.sh, op.tag));
+            p.meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
             p.sval.push(sval_of(op.mag, op.sh, op.sign));
             if op.tag {
                 p.outlier_pos.push(i as u32);
@@ -128,7 +152,7 @@ impl PackedOperands {
         &self.mag
     }
 
-    /// The contiguous sign/sh/tag plane.
+    /// The contiguous sign/sh/tag/parity plane.
     pub fn metas(&self) -> &[u8] {
         &self.meta
     }
@@ -179,6 +203,114 @@ impl PackedOperands {
         self.outlier_pos
             .get(start)
             .is_some_and(|&p| (p as usize) < range.end)
+    }
+
+    /// Whether element `i`'s [`META_PAR`] side-band parity is consistent
+    /// with its `{sh, tag, exp}` wires.
+    ///
+    /// The outlier exponent is looked up by an *unconditional* binary
+    /// search on the position table (not gated on the tag bit, unlike
+    /// [`PackedOperands::exp_at`]): a tag flipped `1→0` must still see its
+    /// side-table exponent and a tag flipped `0→1` must see `exp = 0`, so
+    /// both flips break parity deterministically instead of depending on
+    /// the (possibly corrupted) tag to route the lookup.
+    pub fn parity_ok(&self, i: usize) -> bool {
+        let meta = self.meta[i];
+        let exp = match self.outlier_pos.binary_search(&(i as u32)) {
+            Ok(k) => self.outlier_exp[k],
+            Err(_) => 0,
+        };
+        let want = parity_bit(meta & META_SH != 0, meta & META_TAG != 0, exp);
+        (meta & META_PAR != 0) == want
+    }
+
+    /// Scans every element's side-band parity and returns the first
+    /// inconsistent position, or `None` when the side-band is clean.
+    ///
+    /// Equivalent to `(0..len).find(|&i| !parity_ok(i))` but runs at a
+    /// couple of bit operations per element: `parity_ok(i)` holds iff the
+    /// fold of meta bits `{sh, tag, par}` XOR the element's side-table
+    /// exponent parity is even, so the scan folds eight meta bytes at a
+    /// time and XORs in the (sparse, sorted) exponent-odd positions — the
+    /// first surviving odd lane is the first inconsistent element.
+    pub fn parity_scan(&self) -> Option<usize> {
+        // Per-byte fold of meta bits 1..=3 (sh, tag, par) into each lane's
+        // low bit; the shifted source bits never cross a byte boundary.
+        // The (sorted, sparse) side-table entries whose exponent parity is
+        // odd XOR into their element's lane via the merge cursor — on a
+        // clean tensor exactly those lanes carry an odd meta fold, so
+        // everything cancels and the scan is a straight sweep.
+        const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+        let mut cursor = 0usize;
+        let mut base = 0usize;
+        let mut chunks = self.meta.chunks_exact(8);
+        for ch in chunks.by_ref() {
+            let w = u64::from_le_bytes(ch.try_into().expect("chunk of 8"));
+            let mut odd = ((w >> 1) ^ (w >> 2) ^ (w >> 3)) & LANE_LSB;
+            while self
+                .outlier_pos
+                .get(cursor)
+                .is_some_and(|&p| (p as usize) < base + 8)
+            {
+                let p = self.outlier_pos[cursor] as usize;
+                if p >= base && self.outlier_exp[cursor].count_ones() & 1 == 1 {
+                    odd ^= 1u64 << ((p - base) * 8);
+                }
+                cursor += 1;
+            }
+            if odd != 0 {
+                return Some(base + odd.trailing_zeros() as usize / 8);
+            }
+            base += 8;
+        }
+        for (i, &m) in chunks.remainder().iter().enumerate() {
+            let mut odd = (u32::from(m >> 1) ^ u32::from(m >> 2) ^ u32::from(m >> 3)) & 1;
+            while self.outlier_pos.get(cursor) == Some(&((base + i) as u32)) {
+                odd ^= u32::from(self.outlier_exp[cursor].count_ones() & 1 == 1);
+                cursor += 1;
+            }
+            if odd != 0 {
+                return Some(base + i);
+            }
+        }
+        None
+    }
+
+    /// Flips one bit of one word of `plane` — the sanctioned single-upset
+    /// injection primitive (an involution: flipping twice restores the
+    /// tensor exactly). `index` addresses the plane's own word array (the
+    /// side tables are shorter than the element count), and `bit` must fit
+    /// the plane's word width.
+    pub fn flip_bit(&mut self, plane: PackedPlane, index: usize, bit: u32) {
+        match plane {
+            PackedPlane::Mag => self.mag[index] ^= 1u16 << bit,
+            PackedPlane::Meta => self.meta[index] ^= 1u8 << bit,
+            PackedPlane::Sval => self.sval[index] ^= 1i16 << bit,
+            PackedPlane::OutlierPos => self.outlier_pos[index] ^= 1u32 << bit,
+            PackedPlane::OutlierExp => self.outlier_exp[index] ^= 1u8 << bit,
+        }
+    }
+
+    /// Number of words in `plane` (the side tables are shorter than the
+    /// element planes).
+    pub fn plane_len(&self, plane: PackedPlane) -> usize {
+        match plane {
+            PackedPlane::Mag => self.mag.len(),
+            PackedPlane::Meta => self.meta.len(),
+            PackedPlane::Sval => self.sval.len(),
+            PackedPlane::OutlierPos => self.outlier_pos.len(),
+            PackedPlane::OutlierExp => self.outlier_exp.len(),
+        }
+    }
+
+    /// Recomputes `sval[range]` from the mag/meta planes — the repair path
+    /// for a corrupted folded-significand word once the source planes have
+    /// been verified intact.
+    pub fn rebuild_sval_range(&mut self, range: Range<usize>) {
+        for i in range {
+            let meta = self.meta[i];
+            self.sval[i] = sval_of(self.mag[i], meta & META_SH != 0, meta & META_SIGN != 0);
+        }
     }
 
     /// Reconstructs element `i` as a [`DecodedOperand`] — bit-identical to
@@ -263,11 +395,31 @@ impl PackedPanels {
         let stride = self.k * PANEL_NR;
         &self.data[pb * stride..(pb + 1) * stride]
     }
+
+    /// The whole panel-major sval store (checksum input).
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Flips one bit of one panel word — the sanctioned single-upset
+    /// injection primitive for the repacked weight store (an involution).
+    pub fn flip_bit(&mut self, index: usize, bit: u32) {
+        self.data[index] ^= 1i16 << bit;
+    }
+}
+
+/// The [`META_PAR`] value for a `{sh, tag, exp}` side-band triple.
+#[inline]
+fn parity_bit(sh: bool, tag: bool, exp: u8) -> bool {
+    sh ^ tag ^ (exp.count_ones() & 1 == 1)
 }
 
 #[inline]
-fn pack_meta(sign: bool, sh: bool, tag: bool) -> u8 {
-    ((sign as u8) * META_SIGN) | ((sh as u8) * META_SH) | ((tag as u8) * META_TAG)
+fn pack_meta(sign: bool, sh: bool, tag: bool, exp: u8) -> u8 {
+    ((sign as u8) * META_SIGN)
+        | ((sh as u8) * META_SH)
+        | ((tag as u8) * META_TAG)
+        | (parity_bit(sh, tag, exp) as u8 * META_PAR)
 }
 
 /// The folded significand `±(mag << 4·sh)`. `mag` is ≤ 11 bits
@@ -328,7 +480,7 @@ impl EncodedTensor {
                 };
                 let op = dec.decode(*c, exp);
                 out.mag.push(op.mag);
-                out.meta.push(pack_meta(op.sign, op.sh, op.tag));
+                out.meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
                 out.sval.push(sval_of(op.mag, op.sh, op.sign));
                 if op.tag {
                     out.outlier_pos.push(i as u32);
@@ -364,7 +516,7 @@ impl EncodedTensor {
                 };
                 let op = dec.decode(c, exp);
                 mag.push(op.mag);
-                meta.push(pack_meta(op.sign, op.sh, op.tag));
+                meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
                 sval.push(sval_of(op.mag, op.sh, op.sign));
                 if op.tag {
                     pos.push(i as u32);
@@ -505,6 +657,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn side_band_parity_detects_every_side_band_flip() {
+        let data = mixed(300);
+        let enc = encode_tensor(&data, None).unwrap();
+        let clean = enc.decode_packed();
+        assert_eq!(clean.parity_scan(), None, "clean tensor must scan clean");
+        let outlier = clean.outlier_positions()[0] as usize;
+        let normal = (0..clean.len())
+            .find(|&i| clean.metas()[i] & META_TAG == 0)
+            .unwrap();
+        // sh, tag, and parity-bit flips on meta; exponent flips on the side
+        // table — every covered wire, on both a normal and an outlier.
+        for (plane, index, bit) in [
+            (PackedPlane::Meta, normal, 1),  // sh
+            (PackedPlane::Meta, normal, 2),  // tag 0→1
+            (PackedPlane::Meta, normal, 3),  // parity bit itself
+            (PackedPlane::Meta, outlier, 1), // sh on an outlier
+            (PackedPlane::Meta, outlier, 2), // tag 1→0
+            (PackedPlane::OutlierExp, 0, 0), // exp low bit
+            (PackedPlane::OutlierExp, 0, 7), // exp high bit
+        ] {
+            let mut p = clean.clone();
+            p.flip_bit(plane, index, bit);
+            assert!(p.parity_scan().is_some(), "{plane:?}[{index}] bit {bit}");
+            p.flip_bit(plane, index, bit);
+            assert_eq!(p, clean, "flip must be an involution");
+        }
+        // A sign flip is data-plane damage, not side-band damage.
+        let mut p = clean.clone();
+        p.flip_bit(PackedPlane::Meta, normal, 0);
+        assert_eq!(p.parity_scan(), None);
+    }
+
+    #[test]
+    fn rebuild_sval_range_repairs_a_struck_word() {
+        let data = mixed(120);
+        let enc = encode_tensor(&data, None).unwrap();
+        let clean = enc.decode_packed();
+        let mut p = clean.clone();
+        p.flip_bit(PackedPlane::Sval, 17, 9);
+        assert_ne!(p, clean);
+        p.rebuild_sval_range(17..18);
+        assert_eq!(p, clean);
+        // Rebuilding everything from intact source planes is the identity.
+        let mut q = clean.clone();
+        q.rebuild_sval_range(0..q.len());
+        assert_eq!(q, clean);
     }
 
     #[test]

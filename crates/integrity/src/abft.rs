@@ -1,0 +1,231 @@
+//! ABFT checksum algebra for the OwL-P packed GEMM.
+//!
+//! The drive loop collects *observed* row/column sums of the raw
+//! shared-frame accumulator words ([`AbftSums`], via
+//! `owlp_arith::gemm::owlp_gemm_packed_abft`). This module computes the
+//! *reference* side from the packed `sval` planes alone:
+//!
+//! ```text
+//! rows[i] = Σ_k a_sval[i,k] · (Σ_j b_sval[k,j])      — O(k·(m+n)) mults
+//! cols[j] = Σ_k (Σ_i a_sval[i,k]) · b_sval[k,j]
+//! ```
+//!
+//! Both sides are sums of the *same* integer products, merely regrouped,
+//! so over `i128` they agree **exactly** on a fault-free run — no epsilon,
+//! no false positives. Outlier corrections deliberately bypass the raw
+//! words on the observed side and the `sval` algebra never sees them on
+//! the reference side, so tagged elements cancel identically.
+//!
+//! A single accumulator upset of `±2^bit` at element `(i, j)` shifts
+//! exactly `rows[i]` and `cols[j]` by that amount: the mismatch pattern
+//! localizes the element, and [`recompute_element`] repairs it with one
+//! `O(k)` PE-column pass that is bit-identical to the fast path.
+
+use owlp_arith::column::PeColumn;
+use owlp_arith::pe::PeConfig;
+use owlp_arith::AbftSums;
+use owlp_format::decode::DecodedOperand;
+use owlp_format::PackedOperands;
+
+use crate::digest::IntegrityError;
+
+/// The reference checksum vectors of an `m×k·k×n` packed GEMM, computed
+/// independently of the drive loop from the `sval` planes.
+pub fn reference_sums(
+    packed_a: &PackedOperands,
+    packed_b: &PackedOperands,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> AbftSums {
+    let a = packed_a.svals();
+    let b = packed_b.svals();
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    // Depth-wise marginals first: bsum[kk] = Σ_j b[kk,j], asum[kk] = Σ_i a[i,kk].
+    // This runs on every checked GEMM, so it is priced against the ≤5%
+    // overhead budget. Fast path: with m, n ≤ 2^15 both marginals fit an
+    // `i32` (|marginal| ≤ 2^15·2^15 = 2^30), every product is one widening
+    // 32×32→64 multiply the autovectorizer can lane, and k ≤ 2^17 keeps
+    // the `i64` inner sums under 2^62 — overflow-free. Every realizable
+    // workload takes this branch; the widening `i128` fallback keeps the
+    // function total. The `bsum` marginal and the `cols` vector fall out
+    // of the same sweep over the B plane, so B is read once, not twice.
+    if m <= 1 << 15 && n <= 1 << 15 && k <= 1 << 17 {
+        let mut asum = vec![0i32; k];
+        for row in a.chunks_exact(k) {
+            for (acc, &v) in asum.iter_mut().zip(row) {
+                *acc += i32::from(v);
+            }
+        }
+        let mut bsum = vec![0i32; k];
+        let mut cols = vec![0i64; n];
+        for (kk, row) in b.chunks_exact(n).enumerate() {
+            let s = i64::from(asum[kk]);
+            let mut rsum = 0i32;
+            for (acc, &v) in cols.iter_mut().zip(row) {
+                rsum += i32::from(v);
+                *acc += s * i64::from(v);
+            }
+            bsum[kk] = rsum;
+        }
+        let rows = a
+            .chunks_exact(k)
+            .map(|row| {
+                let s: i64 = row
+                    .iter()
+                    .zip(&bsum)
+                    .map(|(&v, &s)| i64::from(v) * i64::from(s))
+                    .sum();
+                i128::from(s)
+            })
+            .collect();
+        return AbftSums {
+            rows,
+            cols: cols.into_iter().map(i128::from).collect(),
+        };
+    }
+    let mut asum = vec![0i64; k];
+    for row in a.chunks_exact(k) {
+        for (acc, &v) in asum.iter_mut().zip(row) {
+            *acc += i64::from(v);
+        }
+    }
+    let mut bsum = vec![0i64; k];
+    for (kk, row) in b.chunks_exact(n).enumerate() {
+        bsum[kk] = row.iter().map(|&v| i64::from(v)).sum();
+    }
+    let rows = a
+        .chunks_exact(k)
+        .map(|row| {
+            row.iter()
+                .zip(&bsum)
+                .map(|(&v, &s)| i128::from(v) * i128::from(s))
+                .sum()
+        })
+        .collect();
+    let mut cols = vec![0i128; n];
+    for (kk, row) in b.chunks_exact(n).enumerate() {
+        let s = i128::from(asum[kk]);
+        for (acc, &v) in cols.iter_mut().zip(row) {
+            *acc += s * i128::from(v);
+        }
+    }
+    AbftSums { rows, cols }
+}
+
+/// Indices where `observed` and `reference` disagree, `(rows, cols)`.
+pub fn mismatches(observed: &AbftSums, reference: &AbftSums) -> (Vec<usize>, Vec<usize>) {
+    let rows = observed
+        .rows
+        .iter()
+        .zip(&reference.rows)
+        .enumerate()
+        .filter_map(|(i, (o, r))| (o != r).then_some(i))
+        .collect();
+    let cols = observed
+        .cols
+        .iter()
+        .zip(&reference.cols)
+        .enumerate()
+        .filter_map(|(j, (o, r))| (o != r).then_some(j))
+        .collect();
+    (rows, cols)
+}
+
+/// Verifies the checksums, reporting the mismatch shape on failure.
+///
+/// # Errors
+///
+/// [`IntegrityError::ChecksumMismatch`] with the mismatching row/column
+/// counts.
+pub fn verify(observed: &AbftSums, reference: &AbftSums) -> Result<(), IntegrityError> {
+    let (rows, cols) = mismatches(observed, reference);
+    if rows.is_empty() && cols.is_empty() {
+        Ok(())
+    } else {
+        Err(IntegrityError::ChecksumMismatch {
+            rows: rows.len(),
+            cols: cols.len(),
+        })
+    }
+}
+
+/// Recomputes output element `(i, j)` with one PE-column pass over the
+/// packed operands — the localized ABFT repair. Bit-identical to the fast
+/// path (the crate-level theorem: every exact-align datapath computes the
+/// same correctly rounded FP32 value).
+#[allow(clippy::too_many_arguments)]
+pub fn recompute_element(
+    packed_a: &PackedOperands,
+    packed_b: &PackedOperands,
+    shared_a: u8,
+    shared_w: u8,
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+) -> f32 {
+    let acts: Vec<DecodedOperand> = (0..k).map(|kk| packed_a.get(i * k + kk)).collect();
+    let wts: Vec<DecodedOperand> = (0..k).map(|kk| packed_b.get(kk * n + j)).collect();
+    let rows = k.div_ceil(PeConfig::PAPER.lanes).max(1);
+    PeColumn::new(PeConfig::PAPER, rows)
+        .compute_unchecked(&acts, &wts, shared_a, shared_w)
+        .value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::synth_tensor;
+    use owlp_arith::{owlp_gemm_packed_abft, LaneStrike};
+    use owlp_format::encode_tensor;
+
+    #[test]
+    fn reference_matches_the_drive_loop_and_repair_is_bit_identical() {
+        let (m, k, n) = (5, 16, 7);
+        let enc_a = encode_tensor(&synth_tensor(m * k, 21, 9), None).expect("finite");
+        let enc_b = encode_tensor(&synth_tensor(k * n, 22, 11), None).expect("finite");
+        let packed_a = enc_a.decode_packed();
+        let packed_b = enc_b.decode_packed();
+        let (clean, observed) =
+            owlp_gemm_packed_abft(&enc_a, &packed_a, &enc_b, &packed_b, None, m, k, n, None)
+                .expect("gemm");
+        let reference = reference_sums(&packed_a, &packed_b, m, k, n);
+        assert!(verify(&observed, &reference).is_ok());
+
+        let strike = LaneStrike {
+            i: 3,
+            j: 2,
+            bit: 27,
+        };
+        let (_struck, observed) = owlp_gemm_packed_abft(
+            &enc_a,
+            &packed_a,
+            &enc_b,
+            &packed_b,
+            None,
+            m,
+            k,
+            n,
+            Some(strike),
+        )
+        .expect("gemm");
+        assert_eq!(mismatches(&observed, &reference), (vec![3], vec![2]));
+        assert_eq!(
+            verify(&observed, &reference),
+            Err(IntegrityError::ChecksumMismatch { rows: 1, cols: 1 })
+        );
+        let repaired = recompute_element(
+            &packed_a,
+            &packed_b,
+            clean.shared_a,
+            clean.shared_w,
+            k,
+            n,
+            3,
+            2,
+        );
+        assert_eq!(repaired.to_bits(), clean.output[3 * n + 2].to_bits());
+    }
+}

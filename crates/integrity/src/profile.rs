@@ -1,0 +1,196 @@
+//! Measured detection profiles: what each armed-detector configuration
+//! *actually* catches, per fault site class.
+//!
+//! The serving layer's SDC model used to flip a coin against a configured
+//! "coverage" permille. This module replaces that with measurement: every
+//! [`FaultSite`] wire class (plus an accumulator-lane strike) is injected
+//! into a real guarded GEMM once per [`IntegrityConfig`], and the
+//! resulting detect/localize/correct outcome is recorded. Because every
+//! detector is deterministic — parity, CRC, and exact integer checksums
+//! have no probabilistic component — one injection per class fully
+//! characterizes the configuration.
+//!
+//! Profiles are memoized per configuration bitmask in a static
+//! [`OnceLock`] table: the first scheduler that asks pays one small GEMM
+//! sweep (~23 executions of a 6×16×8 problem); everyone after reads a
+//! `&'static`.
+
+use owlp_arith::fault::FaultSite;
+use owlp_format::decode::DecodedOperand;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+use crate::checked::{Detector, GuardedGemm, IntegrityConfig, Strike};
+use crate::workload::synth_tensor;
+use owlp_arith::LaneStrike;
+
+/// Measured outcome of one fault site class under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// Which detector fired, if any.
+    pub detector: Option<Detector>,
+    /// Whether detection localized the damage (bounded repair possible).
+    pub localized: bool,
+    /// Whether the fault was corrected (repair or re-execution).
+    pub corrected: bool,
+    /// Whether the delivered output matched the fault-free oracle.
+    pub bit_clean: bool,
+}
+
+impl SiteProfile {
+    /// Whether the class is detected at all under this configuration.
+    pub fn detected(&self) -> bool {
+        self.detector.is_some()
+    }
+}
+
+/// Detection outcomes for every fault site class under one configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionProfile {
+    /// The configuration the profile was measured under.
+    pub config: IntegrityConfig,
+    /// Outcomes aligned with [`FaultSite::all`] order.
+    pub sites: Vec<SiteProfile>,
+    /// Outcome of an accumulator-lane strike.
+    pub accumulator: SiteProfile,
+}
+
+const MAG_BITS: usize = DecodedOperand::MAG_BITS as usize;
+
+/// Dense index of `site` in [`FaultSite::all`] order.
+pub fn site_index(site: FaultSite) -> usize {
+    match site {
+        FaultSite::Significand(b) => b as usize,
+        FaultSite::Sign => MAG_BITS,
+        FaultSite::ShiftBit => MAG_BITS + 1,
+        FaultSite::OutlierTag => MAG_BITS + 2,
+        FaultSite::OutlierExp(b) => MAG_BITS + 3 + b as usize,
+    }
+}
+
+impl DetectionProfile {
+    /// Measures the profile by real injection on a fixed small workload.
+    pub fn measure(config: IntegrityConfig) -> Self {
+        let (m, k, n) = (6, 16, 8);
+        let a = synth_tensor(m * k, 97, 9);
+        let b = synth_tensor(k * n, 98, 11);
+        let mut guarded = GuardedGemm::new(&a, &b, m, k, n).expect("finite profile workload");
+        let of_run = |run: crate::checked::GuardedRun| SiteProfile {
+            detector: run.detector,
+            localized: run.localized,
+            corrected: run.corrected(),
+            bit_clean: run.bit_clean,
+        };
+        let sites = FaultSite::all()
+            .into_iter()
+            .enumerate()
+            .map(|(idx, site)| {
+                debug_assert_eq!(
+                    site_index(site),
+                    idx,
+                    "profile index must match all() order"
+                );
+                // A representative normal element on the weight tensor
+                // (element k+2 is untagged for the chosen outlier strides);
+                // exponent strikes index the outlier side table instead.
+                let strike = Strike::from_site(site, true, k + 2, 0);
+                of_run(guarded.run(config, Some(strike)))
+            })
+            .collect();
+        let accumulator = of_run(guarded.run(
+            config,
+            Some(Strike::Lane(LaneStrike {
+                i: 1,
+                j: 2,
+                bit: 30,
+            })),
+        ));
+        DetectionProfile {
+            config,
+            sites,
+            accumulator,
+        }
+    }
+
+    /// The memoized profile for `config`.
+    pub fn shared(config: IntegrityConfig) -> &'static DetectionProfile {
+        static PROFILES: [OnceLock<DetectionProfile>; IntegrityConfig::COUNT] =
+            [const { OnceLock::new() }; IntegrityConfig::COUNT];
+        PROFILES[config.bitmask()].get_or_init(|| DetectionProfile::measure(config))
+    }
+
+    /// The measured outcome for one operand fault site class.
+    pub fn site(&self, site: FaultSite) -> &SiteProfile {
+        &self.sites[site_index(site)]
+    }
+
+    /// Fraction of operand site classes detected, in permille (for
+    /// reporting — scheduling decisions use the per-site outcomes).
+    pub fn coverage_permille(&self) -> u32 {
+        if self.sites.is_empty() {
+            return 0;
+        }
+        let detected = self.sites.iter().filter(|s| s.detected()).count();
+        (detected * 1000 / self.sites.len()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_detects_and_corrects_every_class() {
+        let p = DetectionProfile::shared(IntegrityConfig::full());
+        assert_eq!(p.sites.len(), FaultSite::all().len());
+        for (site, s) in FaultSite::all().into_iter().zip(&p.sites) {
+            let expect = if site.side_band() {
+                Detector::Parity
+            } else {
+                Detector::PlaneCrc
+            };
+            assert_eq!(s.detector, Some(expect), "{site:?}");
+            assert!(s.localized && s.corrected && s.bit_clean, "{site:?}");
+        }
+        assert_eq!(p.accumulator.detector, Some(Detector::Abft));
+        assert!(p.accumulator.localized && p.accumulator.bit_clean);
+        assert_eq!(p.coverage_permille(), 1000);
+    }
+
+    #[test]
+    fn disarmed_config_detects_nothing() {
+        let p = DetectionProfile::shared(IntegrityConfig::off());
+        assert!(p.sites.iter().all(|s| s.detector.is_none() && !s.corrected));
+        assert_eq!(p.accumulator.detector, None);
+        assert_eq!(p.coverage_permille(), 0);
+    }
+
+    #[test]
+    fn crc_only_still_catches_side_band_storage_faults() {
+        let cfg = IntegrityConfig {
+            parity: false,
+            plane_crc: true,
+            abft: false,
+        };
+        let p = DetectionProfile::shared(cfg);
+        for (site, s) in FaultSite::all().into_iter().zip(&p.sites) {
+            assert_eq!(s.detector, Some(Detector::PlaneCrc), "{site:?}");
+        }
+        // But nothing guards the accumulator without ABFT.
+        assert_eq!(p.accumulator.detector, None);
+    }
+
+    #[test]
+    fn shared_profiles_are_memoized() {
+        let a = DetectionProfile::shared(IntegrityConfig::full());
+        let b = DetectionProfile::shared(IntegrityConfig::full());
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn site_index_matches_all_order() {
+        for (idx, site) in FaultSite::all().into_iter().enumerate() {
+            assert_eq!(site_index(site), idx, "{site:?}");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Seeded large-count fault sweeps over real GEMM executions.
+//!
+//! [`fault_sweep`] injects `faults` single-bit strikes — uniformly over
+//! every [`FaultSite`] wire class on both operand tensors plus
+//! accumulator lanes — into a [`GuardedGemm`] and classifies each outcome
+//! from the detectors' own verdicts and a bit-exact oracle comparison:
+//!
+//! * **detected / localized / corrected** — a checksum fired; the repair
+//!   (or re-execution) must restore the oracle bits exactly;
+//! * **escaped** — no detector fired and the output is corrupt: the
+//!   silent data corruption the layer exists to eliminate;
+//! * **masked** — no detector fired and the output is bit-clean anyway
+//!   (e.g. a low accumulator bit absorbed by FP32 rounding, or latent
+//!   metadata damage the hot kernel never consumes).
+//!
+//! Interleaved fault-free probes measure the false-positive rate, which
+//! must be exactly zero: every detector compares closed integer
+//! arithmetic, not FP approximations.
+
+use owlp_arith::fault::FaultSite;
+use owlp_arith::LaneStrike;
+use owlp_format::PackedPlane;
+use serde::{Deserialize, Serialize};
+
+use crate::checked::{GuardedGemm, IntegrityConfig, Strike};
+use crate::workload::synth_tensor;
+
+/// Coverage counters for one fault site class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCoverage {
+    /// Class label (`significand`, `sign`, `shift-bit`, `outlier-tag`,
+    /// `outlier-exp`, `accumulator`).
+    pub class: String,
+    /// Strikes injected into this class.
+    pub injected: u64,
+    /// Strikes a detector caught.
+    pub detected: u64,
+    /// Caught strikes whose damage was localized (bounded repair).
+    pub localized: u64,
+    /// Caught strikes that were corrected (repair or re-execution).
+    pub corrected: u64,
+    /// Undetected strikes that corrupted the delivered output.
+    pub escaped: u64,
+    /// Undetected strikes with a bit-clean output anyway.
+    pub masked: u64,
+}
+
+impl ClassCoverage {
+    fn new(class: &str) -> Self {
+        ClassCoverage {
+            class: class.to_string(),
+            injected: 0,
+            detected: 0,
+            localized: 0,
+            corrected: 0,
+            escaped: 0,
+            masked: 0,
+        }
+    }
+}
+
+/// Aggregate result of one seeded sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// RNG seed the sweep ran under.
+    pub seed: u64,
+    /// The detector configuration swept.
+    pub config: IntegrityConfig,
+    /// Total strikes injected.
+    pub faults: u64,
+    /// Strikes caught by any detector.
+    pub detected: u64,
+    /// Caught strikes corrected back to the oracle bits.
+    pub corrected: u64,
+    /// Undetected corruptions of the delivered output.
+    pub escaped: u64,
+    /// Undetected strikes that left the output bit-clean.
+    pub masked: u64,
+    /// Fault-free probe runs interleaved with the strikes.
+    pub clean_probes: u64,
+    /// Probes on which any detector fired (must be zero — the checksums
+    /// are exact).
+    pub false_positives: u64,
+    /// Whether every corrected run delivered oracle-identical bits.
+    pub corrected_bit_identical: bool,
+    /// Per-class breakdown.
+    pub classes: Vec<ClassCoverage>,
+}
+
+fn class_label(site: FaultSite) -> &'static str {
+    match site {
+        FaultSite::Significand(_) => "significand",
+        FaultSite::Sign => "sign",
+        FaultSite::ShiftBit => "shift-bit",
+        FaultSite::OutlierTag => "outlier-tag",
+        FaultSite::OutlierExp(_) => "outlier-exp",
+    }
+}
+
+/// xorshift64* — deterministic, seed-stable across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Highest raw accumulator bit a sweep strike may flip. The shared-frame
+/// windows carry far more headroom, but staying well inside the occupied
+/// range keeps every strike representative of a realistic lane upset.
+const MAX_LANE_BIT: u64 = 48;
+
+/// Runs a seeded sweep of `faults` strikes under `config`, interleaving
+/// one fault-free probe per 64 strikes (at least 16).
+pub fn fault_sweep(seed: u64, faults: u64, config: IntegrityConfig) -> SweepReport {
+    let (m, k, n) = (8, 16, 12);
+    let a = synth_tensor(m * k, seed ^ 0x9E37_79B9_7F4A_7C15, 9);
+    let b = synth_tensor(k * n, seed ^ 0xC2B2_AE3D_27D4_EB4F, 11);
+    let mut guarded = GuardedGemm::new(&a, &b, m, k, n).expect("finite sweep workload");
+    let mut rng = Rng(crate::workload::mix_seed(seed));
+
+    let sites = FaultSite::all();
+    let mut classes: Vec<ClassCoverage> = [
+        "significand",
+        "sign",
+        "shift-bit",
+        "outlier-tag",
+        "outlier-exp",
+        "accumulator",
+    ]
+    .iter()
+    .map(|c| ClassCoverage::new(c))
+    .collect();
+    let class_slot = |label: &str, classes: &mut Vec<ClassCoverage>| -> usize {
+        classes
+            .iter()
+            .position(|c| c.class == label)
+            .expect("class table is fixed")
+    };
+
+    let mut report = SweepReport {
+        seed,
+        config,
+        faults,
+        detected: 0,
+        corrected: 0,
+        escaped: 0,
+        masked: 0,
+        clean_probes: 0,
+        false_positives: 0,
+        corrected_bit_identical: true,
+        classes: Vec::new(),
+    };
+
+    let probe_every = 64;
+    for shot in 0..faults {
+        // Uniform over the 22 operand wire classes plus accumulator lanes.
+        let pick = rng.below(sites.len() as u64 + 1) as usize;
+        let (label, strike) = if pick == sites.len() {
+            let strike = Strike::Lane(LaneStrike {
+                i: rng.below(m as u64) as usize,
+                j: rng.below(n as u64) as usize,
+                bit: rng.below(MAX_LANE_BIT) as u32,
+            });
+            ("accumulator", strike)
+        } else {
+            let site = sites[pick];
+            let on_b = rng.below(2) == 1;
+            let (element, slot) = match site {
+                FaultSite::OutlierExp(_) => {
+                    let slots = guarded.plane_len(on_b, PackedPlane::OutlierExp) as u64;
+                    (0, rng.below(slots) as usize)
+                }
+                _ => {
+                    let len = guarded.plane_len(on_b, PackedPlane::Sval) as u64;
+                    (rng.below(len) as usize, 0)
+                }
+            };
+            (
+                class_label(site),
+                Strike::from_site(site, on_b, element, slot),
+            )
+        };
+
+        let run = guarded.run(config, Some(strike));
+        let slot = class_slot(label, &mut classes);
+        let class = &mut classes[slot];
+        class.injected += 1;
+        if run.detector.is_some() {
+            report.detected += 1;
+            class.detected += 1;
+            if run.localized {
+                class.localized += 1;
+            }
+            if run.corrected() {
+                report.corrected += 1;
+                class.corrected += 1;
+            }
+            report.corrected_bit_identical &= run.bit_clean;
+        } else if run.bit_clean {
+            report.masked += 1;
+            class.masked += 1;
+        } else {
+            report.escaped += 1;
+            class.escaped += 1;
+        }
+
+        if shot % probe_every == 0 || shot >= faults.saturating_sub(16) {
+            report.clean_probes += 1;
+            let probe = guarded.run(config, None);
+            if probe.detector.is_some() || !probe.bit_clean {
+                report.false_positives += 1;
+            }
+        }
+    }
+    report.classes = classes;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_sweep_has_no_escapes_and_no_false_positives() {
+        let r = fault_sweep(7, 600, IntegrityConfig::full());
+        assert_eq!(r.faults, 600);
+        assert_eq!(r.escaped, 0, "checksummed path must not leak corruption");
+        assert_eq!(r.false_positives, 0, "exact checksums never cry wolf");
+        assert!(r.corrected_bit_identical);
+        assert!(r.detected > 0 && r.corrected == r.detected);
+        assert_eq!(r.detected + r.masked + r.escaped, r.faults);
+        let by_class: u64 = r.classes.iter().map(|c| c.injected).sum();
+        assert_eq!(by_class, r.faults);
+        for class in &r.classes {
+            assert!(class.injected > 0, "{} never exercised", class.class);
+            assert_eq!(class.escaped, 0, "{} leaked", class.class);
+        }
+    }
+
+    #[test]
+    fn sweeps_are_seed_deterministic() {
+        let a = fault_sweep(42, 150, IntegrityConfig::full());
+        let b = fault_sweep(42, 150, IntegrityConfig::full());
+        assert_eq!(a, b);
+        let c = fault_sweep(43, 150, IntegrityConfig::full());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disarmed_sweep_lets_faults_escape() {
+        let r = fault_sweep(11, 300, IntegrityConfig::off());
+        assert_eq!(r.detected, 0);
+        assert!(r.escaped > 0, "unprotected runs must show real escapes");
+        assert_eq!(r.false_positives, 0);
+    }
+
+    #[test]
+    fn abft_only_cover_catches_accumulator_strikes_exactly() {
+        let cfg = IntegrityConfig {
+            parity: false,
+            plane_crc: false,
+            abft: true,
+        };
+        let r = fault_sweep(5, 400, cfg);
+        let acc = r.classes.iter().find(|c| c.class == "accumulator").unwrap();
+        assert_eq!(acc.detected, acc.injected, "ABFT owns the accumulator");
+        assert_eq!(acc.escaped, 0);
+        // Operand data faults are not ABFT's domain (the reference is
+        // computed from the same svals), so some escape without the CRC.
+        assert!(r.escaped > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic synthetic tensors for integrity measurement.
+//!
+//! One xorshift64* generator shared by the detection-profile workload, the
+//! fault sweep, and the bench overhead measurement, so every consumer
+//! injects into the *same* reproducible data.
+
+use owlp_format::Bf16;
+
+/// `len` moderate BF16 values seeded by `seed`; every `outlier_every`-th
+/// element (when nonzero) is scaled by `1e20` so it lands far outside any
+/// shared-exponent window and exercises the outlier side tables.
+/// One splitmix64 step — decorrelates adjacent seeds before the xorshift
+/// stream starts (`seed | 1` alone would alias 42 and 43).
+pub(crate) fn mix_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+pub fn synth_tensor(len: usize, seed: u64, outlier_every: usize) -> Vec<Bf16> {
+    let mut state = mix_seed(seed);
+    (0..len)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mixed = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let frac = ((mixed >> 40) as f32) / (1u64 << 24) as f32;
+            let mut v = (frac - 0.5) * 8.0;
+            if v == 0.0 {
+                v = 0.5;
+            }
+            if outlier_every != 0 && i % outlier_every == outlier_every - 1 {
+                v *= 1.0e20;
+            }
+            Bf16::from_f32(v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensors_are_deterministic_finite_and_outlier_bearing() {
+        let a = synth_tensor(128, 42, 7);
+        let b = synth_tensor(128, 42, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.to_f32().is_finite()));
+        assert!(a.iter().any(|x| x.to_f32().abs() > 1.0e18));
+        assert!(a.iter().all(|x| x.to_f32() != 0.0));
+        let c = synth_tensor(128, 43, 7);
+        assert_ne!(a, c);
+    }
+}

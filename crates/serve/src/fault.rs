@@ -16,15 +16,21 @@
 //!   throttling, contended HBM, a sick DMA engine);
 //! * **transient iteration failures & SDCs** — per-iteration events. A
 //!   transient failure costs one victim request its iteration and sends it
-//!   through bounded retry with exponential backoff; an SDC strikes a
-//!   [`FaultSite`] drawn from the `owlp-arith` criticality table — parity
-//!   on the tag/exponent side-band detects it with configurable coverage
-//!   (detected ⇒ the iteration re-executes; undetected ⇒ the response is
-//!   silently corrupted and surfaces in `corrupted_responses`).
+//!   through bounded retry with exponential backoff; an SDC strikes either
+//!   an accumulator lane or a [`FaultSite`] drawn from the `owlp-arith`
+//!   criticality table, and its fate comes from the **measured**
+//!   [`owlp_integrity::DetectionProfile`] of the policy's armed detectors
+//!   (side-band parity, plane CRCs, ABFT checksums) — real injections into
+//!   real GEMMs, not a coverage coin flip. Detected-and-localized strikes
+//!   are corrected at tile-recompute cost; detected-but-unlocalized ones
+//!   re-execute the iteration; undetected corruptions ride a response out
+//!   silently and surface in `corrupted_responses`.
 
 use crate::request::SplitMix64;
 use owlp_arith::fault::{criticality_table, SiteCriticality};
+use owlp_integrity::IntegrityConfig;
 use serde::Serialize;
+use std::sync::OnceLock;
 
 /// A window during which a worker runs slow.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -183,10 +189,15 @@ pub struct RecoveryPolicy {
     /// Deterministic-jitter amplitude, permille of the raw delay (clamped
     /// to 500 so the schedule stays monotone under doubling).
     pub jitter_permille: u32,
-    /// Parity coverage of the tag/exponent side-band wires, permille: the
-    /// probability a side-band SDC is detected (and re-executed) instead of
-    /// silently corrupting a response. Data-wire SDCs are never detected.
-    pub sdc_coverage_permille: u32,
+    /// Which integrity detectors the datapath arms. Detection/correction
+    /// outcomes come from the measured
+    /// [`owlp_integrity::DetectionProfile`] of this configuration — real
+    /// injection results, not probabilities.
+    pub integrity: IntegrityConfig,
+    /// Cost of a localized repair (tile rebuild / element recompute),
+    /// permille of one decode-iteration step. Detected-but-unlocalized
+    /// strikes re-execute the whole iteration instead.
+    pub tile_recompute_cost_permille: u32,
     /// Tighten admission when healthy-worker count drops: each survivor's
     /// effective queue capacity scales with the healthy fraction, shedding
     /// load early instead of queueing it into certain deadline misses.
@@ -201,7 +212,8 @@ impl Default for RecoveryPolicy {
             backoff_base_s: 0.05,
             backoff_cap_s: 2.0,
             jitter_permille: 250,
-            sdc_coverage_permille: 900,
+            integrity: IntegrityConfig::full(),
+            tile_recompute_cost_permille: 50,
             degraded_admission: true,
         }
     }
@@ -272,6 +284,15 @@ impl SdcSampler {
     /// would make every draw the top exponent bit.
     pub fn new() -> SdcSampler {
         Self::from_table(criticality_table())
+    }
+
+    /// The process-wide memoized sampler. [`criticality_table`] re-prices
+    /// the whole sensitivity sweep (thousands of dot products) on every
+    /// call, so build it once and share the result — per-worker simulation
+    /// fallbacks must not pay that per invocation.
+    pub fn shared() -> &'static SdcSampler {
+        static SHARED: OnceLock<SdcSampler> = OnceLock::new();
+        SHARED.get_or_init(SdcSampler::new)
     }
 
     /// Builds from an explicit table (tests).
@@ -399,6 +420,20 @@ mod tests {
             ..RecoveryPolicy::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn shared_sampler_is_memoized_and_matches_a_fresh_one() {
+        let a = SdcSampler::shared();
+        let b = SdcSampler::shared();
+        assert!(std::ptr::eq(a, b), "shared() must not re-price the table");
+        let fresh = SdcSampler::new();
+        assert_eq!(a.table().len(), fresh.table().len());
+        let mut ra = SplitMix64::new(3);
+        let mut rb = SplitMix64::new(3);
+        for _ in 0..32 {
+            assert_eq!(a.draw(&mut ra).site, fresh.draw(&mut rb).site);
+        }
     }
 
     #[test]

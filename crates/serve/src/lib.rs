@@ -18,8 +18,10 @@
 //!   across the [`owlp_par`] worker grid (`OWLP_THREADS`) and merges
 //!   outcomes deterministically.
 //! * [`fault`] — seeded fault plans (crashes, stalls, transient failures,
-//!   criticality-weighted SDCs) and recovery policies (deadlines, bounded
-//!   retry with jittered exponential backoff, degraded admission).
+//!   criticality-weighted SDCs resolved against the measured
+//!   `owlp-integrity` detection profile) and recovery policies (deadlines,
+//!   bounded retry with jittered exponential backoff, degraded admission,
+//!   localized tile recompute).
 //! * [`metrics`] — nearest-rank percentile roll-ups: TTFT/TPOT/E2E at
 //!   p50/p95/p99, goodput, rejection rate; fault-run [`MetricsReport`]s.
 //! * [`error`] — the crate-level [`ServeError`].
@@ -64,6 +66,7 @@ pub use fault::{
     backoff_delay_s, FaultPlan, FaultSpec, RecoveryPolicy, SdcSampler, StallWindow, WorkerFaultPlan,
 };
 pub use metrics::{summarize, summarize_faults, MetricsReport, Percentiles, ServingSummary};
+pub use owlp_integrity::IntegrityConfig;
 pub use pool::{
     simulate_pool, simulate_pool_faulty, simulate_pool_faulty_with, simulate_pool_with,
     FaultPoolConfig, PoolConfig, ShardScratch,

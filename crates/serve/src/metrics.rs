@@ -187,14 +187,27 @@ pub struct MetricsReport {
     pub deadline_missed: usize,
     /// `deadline_missed / requests`.
     pub deadline_miss_rate: f64,
-    /// Served responses carrying an undetected corruption.
+    /// Served responses carrying an *escaped* corruption — strikes no
+    /// detector fired on. Detected-and-corrected strikes never land here.
     pub corrupted_responses: usize,
     /// SDC strikes injected.
     pub sdc_events: u64,
-    /// SDC strikes the side-band parity caught (each re-executed its
-    /// iteration).
+    /// SDC strikes any integrity detector (parity, plane CRC, ABFT)
+    /// caught.
     pub sdc_detected: u64,
-    /// Iterations re-executed after detected SDCs.
+    /// Detected strikes repaired in place by a bounded tile recompute,
+    /// delivering oracle-identical bits without a full re-execution.
+    pub sdc_corrected: u64,
+    /// Undetected strikes that corrupted a delivered response.
+    pub sdc_escaped: u64,
+    /// Undetected strikes absorbed by FP32 rounding (bit-clean output).
+    pub sdc_masked: u64,
+    /// Bounded tile recomputes performed by the localized-repair path.
+    pub tile_recomputes: u64,
+    /// Mean detection latency of caught SDCs, in iterations (storage
+    /// checks fire at load, ABFT at the end of the struck iteration).
+    pub sdc_detect_latency_iters: f64,
+    /// Iterations re-executed after detected-but-unlocalized SDCs.
     pub reexec_iterations: u64,
     /// Transient iteration faults injected.
     pub iter_faults: u64,
@@ -244,6 +257,15 @@ pub fn summarize_faults(design: &str, offered_rps: f64, out: &FaultSimOutcome) -
         corrupted_responses: out.corrupted.len(),
         sdc_events: out.faults.sdc_events,
         sdc_detected: out.faults.sdc_detected,
+        sdc_corrected: out.faults.sdc_corrected,
+        sdc_escaped: out.faults.sdc_escaped,
+        sdc_masked: out.faults.sdc_masked,
+        tile_recomputes: out.faults.tile_recomputes,
+        sdc_detect_latency_iters: if out.faults.sdc_detected == 0 {
+            0.0
+        } else {
+            out.faults.sdc_detect_latency_iters as f64 / out.faults.sdc_detected as f64
+        },
         reexec_iterations: out.faults.reexec_iterations,
         iter_faults: out.faults.iter_faults,
         crashed_workers: out.faults.crashed_workers,
@@ -368,6 +390,13 @@ mod tests {
             faults: FaultStats {
                 retries: 2,
                 evictions: 1,
+                sdc_events: 10,
+                sdc_detected: 6,
+                sdc_corrected: 5,
+                sdc_escaped: 1,
+                sdc_masked: 3,
+                tile_recomputes: 5,
+                sdc_detect_latency_iters: 3,
                 ..FaultStats::default()
             },
             availability: 0.75,
@@ -381,7 +410,14 @@ mod tests {
         assert_eq!(r.corrupted_responses, 1);
         assert_eq!(r.retries, 2);
         assert_eq!(r.evictions, 1);
-        // One of two completions is corrupted: clean goodput is halved.
+        // Every strike is detected, masked, or escaped — corrected ones
+        // are a subset of detected, not a separate partition cell.
+        assert_eq!(r.sdc_detected + r.sdc_masked + r.sdc_escaped, r.sdc_events);
+        assert_eq!(r.sdc_corrected, 5);
+        assert_eq!(r.tile_recomputes, 5);
+        assert!((r.sdc_detect_latency_iters - 0.5).abs() < 1e-12);
+        // Only the escape corrupts a completion: clean goodput is halved,
+        // and the five corrected strikes cost tile recomputes, not goodput.
         assert!((r.goodput_under_faults_rps - 0.5 * r.summary.goodput_rps).abs() < 1e-12);
         assert_eq!(r.availability, 0.75);
     }

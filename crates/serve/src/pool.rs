@@ -269,14 +269,15 @@ pub fn simulate_pool_faulty_with(
     let workers = cfg.pool.workers;
     let mut pool_shed = shard_faulty_into(trace, &cfg.plan, workers, &mut scratch.shards);
     let shards = &mut scratch.shards;
-    // One shared sampler: the criticality sweep prices a few thousand dot
-    // products, no reason to pay it per worker.
+    // One process-wide sampler: the criticality sweep prices a few
+    // thousand dot products, no reason to pay it per worker or even per
+    // pool run.
     let sampler = cfg
         .plan
         .workers
         .iter()
         .any(|w| w.sdc_permille > 0)
-        .then(SdcSampler::new);
+        .then(SdcSampler::shared);
 
     // One wave = the given workers re-simulated concurrently on the
     // owlp-par pool; results come back in `which` order, so the wave is
@@ -290,7 +291,7 @@ pub fn simulate_pool_faulty_with(
                 &cfg.recovery,
                 &cfg.plan,
                 w,
-                sampler.as_ref(),
+                sampler,
                 &shards[w],
             )
         });
@@ -324,7 +325,7 @@ pub fn simulate_pool_faulty_with(
                 &cfg.recovery,
                 &cfg.plan,
                 w,
-                sampler.as_ref(),
+                sampler,
                 &shards[w],
             ));
         }

@@ -20,6 +20,7 @@
 use crate::cost::CostModel;
 use crate::fault::{backoff_delay_s, FaultPlan, RecoveryPolicy, SdcSampler, WorkerFaultPlan};
 use crate::request::{Request, SplitMix64};
+use owlp_integrity::{DetectionProfile, Detector};
 use serde::Serialize;
 use std::collections::VecDeque;
 
@@ -220,8 +221,25 @@ pub struct FaultStats {
     pub iter_faults: u64,
     /// Silent-data-corruption strikes.
     pub sdc_events: u64,
-    /// SDC strikes the side-band parity caught.
+    /// SDC strikes an armed integrity detector caught (parity, plane CRC,
+    /// or ABFT — per the measured detection profile).
     pub sdc_detected: u64,
+    /// Detected strikes corrected in place by a localized repair (tile
+    /// rebuild or element recompute).
+    pub sdc_corrected: u64,
+    /// Undetected strikes that corrupted a response (true escapes).
+    pub sdc_escaped: u64,
+    /// Undetected strikes absorbed with no output effect (e.g. FP32
+    /// rounding masked the perturbation, or the damage was latent
+    /// metadata the kernel never consumed).
+    pub sdc_masked: u64,
+    /// Localized repairs performed (each charged at the policy's
+    /// tile-recompute cost instead of a full re-execution).
+    pub tile_recomputes: u64,
+    /// Summed detection latency of caught SDCs, in iterations: load-time
+    /// detectors (parity, plane CRC) catch before the iteration's compute
+    /// (latency 0), ABFT catches after it (latency 1).
+    pub sdc_detect_latency_iters: u64,
     /// Iterations re-executed after a detected SDC.
     pub reexec_iterations: u64,
     /// Workers that crashed.
@@ -236,6 +254,11 @@ impl FaultStats {
         self.iter_faults += other.iter_faults;
         self.sdc_events += other.sdc_events;
         self.sdc_detected += other.sdc_detected;
+        self.sdc_corrected += other.sdc_corrected;
+        self.sdc_escaped += other.sdc_escaped;
+        self.sdc_masked += other.sdc_masked;
+        self.tile_recomputes += other.tile_recomputes;
+        self.sdc_detect_latency_iters += other.sdc_detect_latency_iters;
         self.reexec_iterations += other.reexec_iterations;
         self.crashed_workers += other.crashed_workers;
     }
@@ -296,6 +319,12 @@ fn insert_retry(retries: &mut Vec<PendingReq>, p: PendingReq) {
     retries.insert(at, p);
 }
 
+/// Share of SDC strikes that hit accumulator lanes mid-GEMM, permille;
+/// the rest strike operand storage at a criticality-weighted site. Lane
+/// upsets are what ABFT exists for, so the mix keeps both detector
+/// domains exercised.
+pub const ACC_STRIKE_PERMILLE: u64 = 250;
+
 /// Simulates serving `trace` through one array group under a fault plan.
 ///
 /// `worker` indexes this worker's entry in `plan` (an out-of-range index
@@ -314,10 +343,14 @@ fn insert_retry(retries: &mut Vec<PendingReq>, p: PendingReq) {
 /// * **transient failure** — one victim request loses the iteration and
 ///   re-enters admission after [`backoff_delay_s`] (its generation restarts;
 ///   `max_retries` exceeded ⇒ evicted into `failed`);
-/// * **SDC** — a criticality-weighted fault site is struck; side-band sites
-///   are caught by parity with `sdc_coverage_permille` probability, which
-///   re-executes (re-charges) the iteration, otherwise one victim response
-///   is silently corrupted;
+/// * **SDC** — the strike hits an accumulator lane (a fixed
+///   [`ACC_STRIKE_PERMILLE`] share) or a criticality-weighted operand
+///   [`crate::fault::SdcSite`]; its fate is read from the **measured**
+///   [`DetectionProfile`] of the policy's armed detectors. Detected and
+///   localized ⇒ corrected at `tile_recompute_cost_permille` of one step;
+///   detected but unlocalized ⇒ the iteration re-executes at full price;
+///   undetected ⇒ either masked (bit-clean output anyway) or one victim
+///   response is silently corrupted;
 /// * **deadline** — queued/backing-off requests past their deadline are
 ///   dropped before admission; completions past the deadline count as
 ///   missed, not served;
@@ -335,12 +368,17 @@ pub fn simulate_faulty(
 ) -> FaultSimOutcome {
     let zero_plan = WorkerFaultPlan::default();
     let wp = plan.workers.get(worker).unwrap_or(&zero_plan);
-    let mut local_sampler = None;
     let sampler = if wp.sdc_permille == 0 {
         None
     } else {
-        Some(sampler.unwrap_or_else(|| local_sampler.insert(SdcSampler::new())))
+        // The process-wide sampler: the fallback used to re-price the whole
+        // criticality table per call.
+        Some(sampler.unwrap_or_else(|| SdcSampler::shared()))
     };
+    // Measured detection outcomes for the armed detectors; only built (and
+    // memoized process-wide) when SDCs can actually strike, so the
+    // zero-plan path stays bit-identical to `simulate`.
+    let profile = (wp.sdc_permille > 0).then(|| DetectionProfile::shared(recovery.integrity));
 
     let max_batch = cfg.max_batch.max(1);
     let queue_capacity = cfg.queue_capacity.max(1);
@@ -498,26 +536,47 @@ pub fn simulate_faulty(
             }
         }
 
-        // SDC: strike a criticality-weighted site; parity over the
-        // side-band either catches it (re-execute) or the corruption rides
-        // a response out silently.
+        // SDC: strike an accumulator lane or a criticality-weighted operand
+        // site, then read the strike's fate from the measured detection
+        // profile of the armed detectors — detection is a property of the
+        // checksums, not a coin flip.
         if wp.sdc_permille > 0
             && !running.is_empty()
             && rng.below(1000) < u64::from(wp.sdc_permille.min(1000))
         {
             faults.sdc_events += 1;
-            let site = sampler.expect("sampler present when sdc_permille > 0");
-            let site = site.draw(&mut rng);
-            let detected = site.side_band
-                && rng.below(1000) < u64::from(recovery.sdc_coverage_permille.min(1000));
-            if detected {
-                faults.sdc_detected += 1;
-                faults.reexec_iterations += 1;
-                stats.iterations += 1;
-                clock += step; // re-run the iteration at the same price
+            let profile = profile.expect("profile present when sdc_permille > 0");
+            let outcome = if rng.below(1000) < ACC_STRIKE_PERMILLE {
+                profile.accumulator
             } else {
-                let v = rng.below(running.len() as u64) as usize;
-                running[v].corrupted = true;
+                let sampler = sampler.expect("sampler present when sdc_permille > 0");
+                *profile.site(sampler.draw(&mut rng).site)
+            };
+            match outcome.detector {
+                Some(detector) => {
+                    faults.sdc_detected += 1;
+                    // Load-time detectors fire before the iteration's
+                    // compute; ABFT verifies after it.
+                    if detector == Detector::Abft {
+                        faults.sdc_detect_latency_iters += 1;
+                    }
+                    if outcome.localized && outcome.corrected {
+                        faults.sdc_corrected += 1;
+                        faults.tile_recomputes += 1;
+                        clock += step * f64::from(recovery.tile_recompute_cost_permille.min(1000))
+                            / 1000.0;
+                    } else {
+                        faults.reexec_iterations += 1;
+                        stats.iterations += 1;
+                        clock += step; // re-run the iteration at full price
+                    }
+                }
+                None if outcome.bit_clean => faults.sdc_masked += 1,
+                None => {
+                    faults.sdc_escaped += 1;
+                    let v = rng.below(running.len() as u64) as usize;
+                    running[v].corrupted = true;
+                }
             }
         }
 

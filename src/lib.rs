@@ -17,7 +17,9 @@
 //! * [`mod@core`] — the end-to-end accelerator simulator;
 //! * [`par`] — the deterministic data-parallel execution layer
 //!   (`OWLP_THREADS`);
-//! * [`serve`] — the trace-driven continuous-batching serving simulator.
+//! * [`serve`] — the trace-driven continuous-batching serving simulator;
+//! * [`integrity`] — exact ABFT checksums, CRC32C plane digests, and
+//!   side-band parity with real fault injection and localized repair.
 //!
 //! ```
 //! use owlp_repro::format::Bf16;
@@ -36,6 +38,7 @@ pub use owlp_arith as arith;
 pub use owlp_core as core;
 pub use owlp_format as format;
 pub use owlp_hw as hw;
+pub use owlp_integrity as integrity;
 pub use owlp_mem as mem;
 pub use owlp_model as model;
 pub use owlp_par as par;
