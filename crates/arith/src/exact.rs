@@ -249,7 +249,7 @@ pub(crate) fn row_grain(k: usize, n: usize) -> usize {
 ///
 /// Panics on shape mismatch or non-finite inputs.
 pub fn exact_gemm(a: &[Bf16], b: &[Bf16], m: usize, k: usize, n: usize) -> Vec<f32> {
-    exact_gemm_impl(a, b, m, k, n, false, None).0
+    exact_gemm_impl::<false>(a, b, m, k, n, None).0
 }
 
 /// [`exact_gemm`] with ABFT checksum collection and optionally a
@@ -273,16 +273,18 @@ pub fn exact_gemm_abft(
     n: usize,
     strike: Option<LaneStrike>,
 ) -> (Vec<f32>, Option<AbftCheck>) {
-    exact_gemm_impl(a, b, m, k, n, true, strike)
+    exact_gemm_impl::<true>(a, b, m, k, n, strike)
 }
 
-fn exact_gemm_impl(
+// `ABFT` is const so the plain `exact_gemm` monomorphization carries no
+// per-element strike/checksum checks in the banded hot loop (the PR6
+// bench recorded that leak as a serial regression).
+fn exact_gemm_impl<const ABFT: bool>(
     a: &[Bf16],
     b: &[Bf16],
     m: usize,
     k: usize,
     n: usize,
-    abft: bool,
     strike: Option<LaneStrike>,
 ) -> (Vec<f32>, Option<AbftCheck>) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
@@ -316,7 +318,7 @@ fn exact_gemm_impl(
         // ABFT reference sums straight from the band planes (the panel
         // zero-padding contributes nothing): what the lanes *must* add up
         // to, independently of the kernel's regrouping.
-        reference = abft.then(|| {
+        reference = ABFT.then(|| {
             // Marginals in i64 (the band planes are i32, so ~2^31 summands
             // of slack) and widening 64×64→128 multiplies for the final
             // sums: this runs on every checked GEMM and is priced against
@@ -359,9 +361,12 @@ fn exact_gemm_impl(
         let lo = base_a + base_b;
         let zero_row = vec![0i32; k];
         let grain = row_grain(k, n).next_multiple_of(MR);
+        // Resolved before the fan-out so a `with_tier` override on this
+        // thread applies inside every pool worker.
+        let tier = microkernel::selected_tier();
         owlp_par::map_chunks_weighted(m, grain, ops_per_row, |rows| {
             let mut block = vec![0.0f32; rows.len() * n];
-            let mut sums = abft.then(|| (vec![0i128; rows.len()], vec![0i128; n]));
+            let mut sums = ABFT.then(|| (vec![0i128; rows.len()], vec![0i128; n]));
             for ib in rows.clone().step_by(MR) {
                 let mr = MR.min(rows.end - ib);
                 let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
@@ -374,7 +379,13 @@ fn exact_gemm_impl(
                 for jb in (0..n).step_by(NR) {
                     let nr = NR.min(n - jb);
                     let panel = &bpanels[(jb / NR) * k * NR..(jb / NR + 1) * k * NR];
-                    let lanes = microkernel::tile_dot_i32(a_rows, panel);
+                    let lanes = microkernel::tile_dot_i32_with(tier, a_rows, panel);
+                    // Tile-local checksum partials, flushed once per tile:
+                    // i128 addition is exact and order-free, so batching
+                    // the per-element read-modify-writes into registers
+                    // leaves the checksums bit-identical.
+                    let mut tile_rs = [0i128; MR];
+                    let mut tile_cs = [0i128; NR];
                     for (r, lane_row) in lanes.iter().enumerate().take(mr) {
                         let i = ib + r;
                         let rtags = &row_tags[i];
@@ -383,15 +394,16 @@ fn exact_gemm_impl(
                             let mut lane = lane;
                             // Sanctioned lane upset: flip before both the
                             // output use and the checksum collection so the
-                            // two corrupt consistently.
-                            if let Some(s) = strike {
-                                if s.i == i && s.j == j {
-                                    lane ^= 1i64 << s.bit;
+                            // two corrupt consistently. Compiled out of the
+                            // non-ABFT monomorphization.
+                            if ABFT {
+                                if let Some(s) = strike {
+                                    if s.i == i && s.j == j {
+                                        lane ^= 1i64 << s.bit;
+                                    }
                                 }
-                            }
-                            if let Some((rs, cs)) = sums.as_mut() {
-                                rs[i - rows.start] += lane as i128;
-                                cs[j] += lane as i128;
+                                tile_rs[r] += lane as i128;
+                                tile_cs[c] += lane as i128;
                             }
                             let ctags = &col_tags[j];
                             let out = &mut block[(i - rows.start) * n + j];
@@ -431,6 +443,16 @@ fn exact_gemm_impl(
                             *out = acc.round_to_f32();
                         }
                     }
+                    if ABFT {
+                        if let Some((rs, cs)) = sums.as_mut() {
+                            for (r, part) in tile_rs.iter().enumerate().take(mr) {
+                                rs[ib + r - rows.start] += part;
+                            }
+                            for (c, part) in tile_cs.iter().enumerate().take(nr) {
+                                cs[jb + c] += part;
+                            }
+                        }
+                    }
                 }
             }
             (block, sums)
@@ -462,7 +484,7 @@ fn exact_gemm_impl(
     // Observed ABFT sums: row partials concatenate in chunk (row) order;
     // column partials merge elementwise — i128 adds, so order-free and
     // bit-identical at every thread count.
-    let mut observed = (abft && reference.is_some()).then(|| AbftSums {
+    let mut observed = (ABFT && reference.is_some()).then(|| AbftSums {
         rows: Vec::with_capacity(m),
         cols: vec![0i128; n],
     });

@@ -273,6 +273,49 @@ pub fn owlp_gemm_decoded(
     )
 }
 
+/// Merges a row's and a column's sorted outlier tables, yielding each
+/// tagged depth once with its pair of exponent terms — the shared exponent
+/// standing in for whichever side is untagged. This is the single walk the
+/// per-element outlier correction makes over the tag union.
+#[inline]
+fn for_each_tag(
+    rtags: &[(u32, i32)],
+    ctags: &[(u32, i32)],
+    shared_a: i32,
+    shared_w: i32,
+    mut f: impl FnMut(usize, i32, i32),
+) {
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < rtags.len() || y < ctags.len() {
+        let (kk, ea, ew) = if y == ctags.len() || (x < rtags.len() && rtags[x].0 < ctags[y].0) {
+            let (kk, ea) = rtags[x];
+            x += 1;
+            (kk as usize, ea, shared_w)
+        } else if x == rtags.len() || ctags[y].0 < rtags[x].0 {
+            let (kk, ew) = ctags[y];
+            y += 1;
+            (kk as usize, shared_a, ew)
+        } else {
+            let (kk, ea) = rtags[x];
+            let ew = ctags[y].1;
+            x += 1;
+            y += 1;
+            (kk as usize, ea, ew)
+        };
+        f(kk, ea, ew);
+    }
+}
+
+/// Min/max exponent term over one tag list (`None` when untagged) — the
+/// per-row/per-column bound the correction uses to size its wide window
+/// without a per-element scan over the tags.
+fn tag_exp_bounds(tags: &[(u32, i32)]) -> Option<(i32, i32)> {
+    tags.iter().fold(None, |acc, &(_, e)| match acc {
+        None => Some((e, e)),
+        Some((lo, hi)) => Some((lo.min(e), hi.max(e))),
+    })
+}
+
 /// The full datapath drive loop, with optionally memoised weight panels.
 ///
 /// Under [`AlignUnit::Exact`] the m×n sweep runs in MR×NR register tiles:
@@ -315,8 +358,8 @@ pub fn owlp_gemm_packed(
     config: PeConfig,
     align: AlignUnit,
 ) -> Result<OwlpGemmOutput, ArithError> {
-    owlp_gemm_packed_impl(
-        enc_a, packed_a, enc_b, packed_b, panels, m, k, n, config, align, false, None,
+    owlp_gemm_packed_impl::<false>(
+        enc_a, packed_a, enc_b, packed_b, panels, m, k, n, config, align, None,
     )
     .map(|(out, _)| out)
 }
@@ -347,7 +390,7 @@ pub fn owlp_gemm_packed_abft(
     n: usize,
     strike: Option<LaneStrike>,
 ) -> Result<(OwlpGemmOutput, AbftSums), ArithError> {
-    owlp_gemm_packed_impl(
+    owlp_gemm_packed_impl::<true>(
         enc_a,
         packed_a,
         enc_b,
@@ -358,14 +401,18 @@ pub fn owlp_gemm_packed_abft(
         n,
         PeConfig::PAPER,
         AlignUnit::Exact,
-        true,
         strike,
     )
     .map(|(out, sums)| (out, sums.expect("ABFT sums collected on the exact path")))
 }
 
+// `ABFT` is a const generic so the compiler monomorphizes a checksum-free
+// copy of the hot loop for the plain GEMM: the per-element strike and
+// row/column-sum bookkeeping below compiles out entirely instead of
+// burdening the non-ABFT path with dead `Option` checks (the PR6 bench
+// recorded exactly that leak as a serial regression).
 #[allow(clippy::too_many_arguments)]
-fn owlp_gemm_packed_impl(
+fn owlp_gemm_packed_impl<const ABFT: bool>(
     enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
     enc_b: &EncodedTensor,
@@ -376,7 +423,6 @@ fn owlp_gemm_packed_impl(
     n: usize,
     config: PeConfig,
     align: AlignUnit,
-    abft: bool,
     strike: Option<LaneStrike>,
 ) -> Result<(OwlpGemmOutput, Option<AbftSums>), ArithError> {
     check_len(packed_a.len(), m * k, "decoded A")?;
@@ -386,7 +432,7 @@ fn owlp_gemm_packed_impl(
     let shared_a = enc_a.shared_exp();
     let shared_w = enc_b.shared_exp();
     let fast_ok = matches!(align, AlignUnit::Exact);
-    debug_assert!(fast_ok || !abft, "ABFT requires the exact align unit");
+    debug_assert!(fast_ok || !ABFT, "ABFT requires the exact align unit");
     // Tagged-position tables, hoisted out of the m×n loop: for each
     // activation row and weight column, the in-row/in-column offsets of its
     // tagged outliers plus their decoded exponent term (`max(exp, 1)`, the
@@ -408,6 +454,34 @@ fn owlp_gemm_packed_impl(
             .zip(packed_b.outlier_exps())
         {
             col_tags[p as usize % n].push((p / n as u32, e.max(1) as i32));
+        }
+    }
+    // Per-row/per-column exponent-term bounds, hoisted out of the m×n
+    // sweep: the correction sizes its wide window from these instead of
+    // re-scanning each element's tag union. The bound is conservative (it
+    // also covers the doubly-tagged cross term whether or not one occurs),
+    // which can only push the rare huge-span case onto the Kulisch
+    // fallback — both paths compute the same exact sum.
+    let row_ea: Vec<Option<(i32, i32)>> = row_tags.iter().map(|t| tag_exp_bounds(t)).collect();
+    let col_ew: Vec<Option<(i32, i32)>> = col_tags.iter().map(|t| tag_exp_bounds(t)).collect();
+    // Tagged-depth bitmasks (one `k`-bit mask per row/column, flat at
+    // `mask_words` words each): the correction tests `row ∩ column` with a
+    // couple of word ANDs and only falls back to the branchy merged walk
+    // when a depth really is tagged on both sides — rare, and the only
+    // case whose rebuilt frame can escape the singly-tagged bounds.
+    let mask_words = k.div_ceil(64).max(1);
+    let mut row_masks = vec![0u64; if fast_ok { m * mask_words } else { 0 }];
+    let mut col_masks = vec![0u64; if fast_ok { n * mask_words } else { 0 }];
+    if fast_ok {
+        for (i, tags) in row_tags.iter().enumerate() {
+            for &(kk, _) in tags {
+                row_masks[i * mask_words + kk as usize / 64] |= 1u64 << (kk % 64);
+            }
+        }
+        for (j, tags) in col_tags.iter().enumerate() {
+            for &(kk, _) in tags {
+                col_masks[j * mask_words + kk as usize / 64] |= 1u64 << (kk % 64);
+            }
         }
     }
     let a_sval = packed_a.svals();
@@ -435,6 +509,9 @@ fn owlp_gemm_packed_impl(
     // bit-identical to the serial sweep at every thread count.
     let grain = crate::exact::row_grain(k, m).next_multiple_of(NR);
     let col_ops = 2 * (k as u64).saturating_mul(m as u64).max(1);
+    // Resolved before the fan-out so a `with_tier` override on this thread
+    // (tests, per-tier benches) applies inside every pool worker.
+    let tier = microkernel::selected_tier();
     let tiles = owlp_par::map_chunks_weighted(n, grain, col_ops, |cols| {
         let j0 = cols.start;
         let mut values;
@@ -444,13 +521,13 @@ fn owlp_gemm_packed_impl(
         // column slice contributes to every row) and this chunk's column
         // sums. i128 addition is exact, so the merge is order-free and the
         // checksums are bit-identical at every thread count.
-        let mut sums = abft.then(|| (vec![0i128; m], vec![0i128; cols.len()]));
+        let mut sums = ABFT.then(|| (vec![0i128; m], vec![0i128; cols.len()]));
         if fast_ok {
             let panels = panels.expect("panels are built whenever the fast path runs");
             values = vec![0.0f32; cols.len() * m];
-            // Corrected outlier products of the current wavefront:
-            // (signed integer magnitude, frame), reused across wavefronts.
-            let mut outs: Vec<(i64, i32)> = Vec::new();
+            // Doubly-tagged products whose frame escapes the sized window
+            // (rare) — reused across elements.
+            let mut extras: Vec<(i64, i32)> = Vec::new();
             for jb in cols.clone().step_by(NR) {
                 let nr = NR.min(cols.end - jb);
                 let panel = panels.panel(jb / NR);
@@ -468,10 +545,18 @@ fn owlp_gemm_packed_impl(
                     // (outlier svals included as their as-if-normal value,
                     // corrected below), so regrouping into register tiles
                     // cannot change the exact per-element sum.
-                    let wins = microkernel::tile_dot_i16(a_rows, panel, win0);
+                    let wins = microkernel::tile_dot_i16_with(tier, a_rows, panel, win0);
+                    // Tile-local checksum partials: the per-element i128
+                    // read-modify-writes on the chunk-wide sum vectors are
+                    // batched into registers here and flushed once per tile
+                    // (i128 addition is exact and order-free, so the
+                    // checksums are unchanged bit for bit).
+                    let mut tile_rs = [0i128; MR];
+                    let mut tile_cs = [0i128; NR];
                     for (r, wins_row) in wins.iter().enumerate().take(mr) {
                         let i = ib + r;
                         let rtags = &row_tags[i];
+                        let rmask = &row_masks[i * mask_words..(i + 1) * mask_words];
                         let row_sval = a_rows[r];
                         for (c, &tile_win) in wins_row.iter().enumerate().take(nr) {
                             let j = jb + c;
@@ -481,15 +566,16 @@ fn owlp_gemm_packed_impl(
                             // The sanctioned upset lands on the raw lane
                             // *before* checksum collection: output and
                             // checksums corrupt consistently, exactly as an
-                            // in-flight strike would.
-                            if let Some(s) = strike {
-                                if s.i == i && s.j == j {
-                                    win.toggle_bit(s.bit);
+                            // in-flight strike would. Compiled out of the
+                            // non-ABFT monomorphization.
+                            if ABFT {
+                                if let Some(s) = strike {
+                                    if s.i == i && s.j == j {
+                                        win.toggle_bit(s.bit);
+                                    }
                                 }
-                            }
-                            if let Some((rs, cs)) = sums.as_mut() {
-                                rs[i] += win.raw();
-                                cs[j - cols.start] += win.raw();
+                                tile_rs[r] += win.raw();
+                                tile_cs[c] += win.raw();
                             }
                             if rtags.is_empty() && ctags.is_empty() {
                                 values[out_idx] = win.round_to_f32();
@@ -502,72 +588,154 @@ fn owlp_gemm_packed_impl(
                             // shared exponent on each tagged side, exactly
                             // the PE's bypass-path frame. Zero products stay
                             // on the normal path (the PE never routes them
-                            // to an outlier slot).
-                            outs.clear();
-                            let (mut x, mut y) = (0usize, 0usize);
-                            while x < rtags.len() || y < ctags.len() {
-                                let (kk, ea, ew) = if y == ctags.len()
-                                    || (x < rtags.len() && rtags[x].0 < ctags[y].0)
-                                {
-                                    let (kk, ea) = rtags[x];
-                                    x += 1;
-                                    (kk as usize, ea, shared_w as i32)
-                                } else if x == rtags.len() || ctags[y].0 < rtags[x].0 {
-                                    let (kk, ew) = ctags[y];
-                                    y += 1;
-                                    (kk as usize, shared_a as i32, ew)
-                                } else {
-                                    let (kk, ea) = rtags[x];
-                                    let ew = ctags[y].1;
-                                    x += 1;
-                                    y += 1;
-                                    (kk as usize, ea, ew)
-                                };
-                                // Same signed integer the kernel added: the
-                                // sval product folds sign and the 4·(sh_a +
-                                // sh_w) shift.
-                                let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
-                                if v == 0 {
-                                    continue;
-                                }
-                                win.add_aligned(-v);
-                                outs.push((v, ea + ew - 268));
-                            }
-                            max_wavefront = max_wavefront.max(outs.len());
-                            total += outs.len();
-                            if outs.is_empty() {
-                                // Every tagged product was zero — the
-                                // shared-frame window already holds the
-                                // exact sum.
-                                values[out_idx] = win.round_to_f32();
-                                continue;
-                            }
-                            // One dynamically sized window usually covers
-                            // the outlier frames too; fall back to the
-                            // Kulisch register only when the span outgrows
-                            // an i128.
+                            // to an outlier slot). One pass: the wide window
+                            // is sized up front from the hoisted per-row/
+                            // per-column exponent bounds, so each tagged
+                            // product is subtracted and re-added in the same
+                            // step. Falls back to the Kulisch register only
+                            // when the bounded span outgrows an i128.
+                            // The window is sized from the singly-tagged
+                            // bounds only: a doubly-tagged depth (both the
+                            // row and the column tag the same kk — rare,
+                            // and the only case whose frame can escape
+                            // these bounds) is diverted to the `extras`
+                            // side list and folded in afterwards.
                             let mut lo = win.frame();
-                            let mut hi = win.frame() + OWLP_PRODUCT_BITS;
-                            for &(_, f) in &outs {
-                                lo = lo.min(f);
-                                hi = hi.max(f + OWLP_PRODUCT_BITS);
+                            let mut hi = lo + OWLP_PRODUCT_BITS;
+                            if let Some((elo, ehi)) = row_ea[i] {
+                                lo = lo.min(elo + shared_w as i32 - 268);
+                                hi = hi.max(ehi + shared_w as i32 - 268 + OWLP_PRODUCT_BITS);
                             }
-                            match WindowAcc::for_span(lo, hi, (k + outs.len()) as u64) {
+                            if let Some((elo, ehi)) = col_ew[j] {
+                                lo = lo.min(shared_a as i32 + elo - 268);
+                                hi = hi.max(shared_a as i32 + ehi - 268 + OWLP_PRODUCT_BITS);
+                            }
+                            let terms = (k + rtags.len() + ctags.len()) as u64;
+                            let mut routed = 0usize;
+                            match WindowAcc::for_span(lo, hi, terms) {
                                 Some(mut wide) => {
-                                    wide.add_window(&win);
-                                    for &(v, f) in &outs {
-                                        wide.add(v, f);
+                                    let cmask = &col_masks[j * mask_words..(j + 1) * mask_words];
+                                    let disjoint = rmask.iter().zip(cmask).all(|(a, b)| a & b == 0);
+                                    if disjoint {
+                                        // No depth is tagged on both sides:
+                                        // two straight sweeps, each rebuilt
+                                        // frame provably inside the window
+                                        // by the singly-tagged bounds above.
+                                        // Same signed integer the kernel
+                                        // added: the sval product folds sign
+                                        // and the 4·(sh_a + sh_w) shift.
+                                        for &(kk, ea) in rtags.iter() {
+                                            let kk = kk as usize;
+                                            let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
+                                            if v == 0 {
+                                                continue;
+                                            }
+                                            win.add_aligned(-v);
+                                            wide.add(v, ea + shared_w as i32 - 268);
+                                            routed += 1;
+                                        }
+                                        for &(kk, ew) in ctags.iter() {
+                                            let kk = kk as usize;
+                                            let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
+                                            if v == 0 {
+                                                continue;
+                                            }
+                                            win.add_aligned(-v);
+                                            wide.add(v, shared_a as i32 + ew - 268);
+                                            routed += 1;
+                                        }
+                                        values[out_idx] = if routed == 0 {
+                                            // Every tagged product was zero —
+                                            // the shared-frame window already
+                                            // holds the exact sum.
+                                            win.round_to_f32()
+                                        } else {
+                                            wide.add_window(&win);
+                                            wide.round_to_f32()
+                                        };
+                                        max_wavefront = max_wavefront.max(routed);
+                                        total += routed;
+                                        continue;
                                     }
-                                    values[out_idx] = wide.round_to_f32();
+                                    let hi_fit = hi - OWLP_PRODUCT_BITS;
+                                    extras.clear();
+                                    for_each_tag(
+                                        rtags,
+                                        ctags,
+                                        shared_a as i32,
+                                        shared_w as i32,
+                                        |kk, ea, ew| {
+                                            let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
+                                            if v == 0 {
+                                                return;
+                                            }
+                                            win.add_aligned(-v);
+                                            let f = ea + ew - 268;
+                                            if f >= lo && f <= hi_fit {
+                                                wide.add(v, f);
+                                            } else {
+                                                extras.push((v, f));
+                                            }
+                                            routed += 1;
+                                        },
+                                    );
+                                    values[out_idx] = if !extras.is_empty() {
+                                        // A doubly-tagged frame escaped the
+                                        // window — take everything through
+                                        // the Kulisch register.
+                                        let mut acc = KulischAcc::new();
+                                        win.merge_into(&mut acc);
+                                        wide.merge_into(&mut acc);
+                                        for &(v, f) in extras.iter() {
+                                            acc.add_scaled(v, f);
+                                        }
+                                        acc.round_to_f32()
+                                    } else if routed == 0 {
+                                        // Every tagged product was zero — the
+                                        // shared-frame window already holds
+                                        // the exact sum.
+                                        win.round_to_f32()
+                                    } else {
+                                        wide.add_window(&win);
+                                        wide.round_to_f32()
+                                    };
                                 }
                                 None => {
                                     let mut acc = KulischAcc::new();
-                                    win.merge_into(&mut acc);
-                                    for &(v, f) in &outs {
-                                        acc.add_scaled(v, f);
-                                    }
-                                    values[out_idx] = acc.round_to_f32();
+                                    for_each_tag(
+                                        rtags,
+                                        ctags,
+                                        shared_a as i32,
+                                        shared_w as i32,
+                                        |kk, ea, ew| {
+                                            let v = row_sval[kk] as i64 * panel[kk * NR + c] as i64;
+                                            if v == 0 {
+                                                return;
+                                            }
+                                            win.add_aligned(-v);
+                                            acc.add_scaled(v, ea + ew - 268);
+                                            routed += 1;
+                                        },
+                                    );
+                                    values[out_idx] = if routed == 0 {
+                                        win.round_to_f32()
+                                    } else {
+                                        win.merge_into(&mut acc);
+                                        acc.round_to_f32()
+                                    };
                                 }
+                            }
+                            max_wavefront = max_wavefront.max(routed);
+                            total += routed;
+                        }
+                    }
+                    if ABFT {
+                        if let Some((rs, cs)) = sums.as_mut() {
+                            for (r, part) in tile_rs.iter().enumerate().take(mr) {
+                                rs[ib + r] += part;
+                            }
+                            for (c, part) in tile_cs.iter().enumerate().take(nr) {
+                                cs[jb + c - cols.start] += part;
                             }
                         }
                     }
@@ -598,7 +766,7 @@ fn owlp_gemm_packed_impl(
     let mut output = vec![0.0f32; m * n];
     let mut max_wavefront = 0usize;
     let mut total_outlier_products = 0usize;
-    let mut abft_sums = abft.then(|| AbftSums {
+    let mut abft_sums = ABFT.then(|| AbftSums {
         rows: vec![0i128; m],
         cols: vec![0i128; n],
     });

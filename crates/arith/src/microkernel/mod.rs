@@ -1,0 +1,473 @@
+//! Register-tiled GEMM microkernels with explicit SIMD tiers and
+//! runtime dispatch.
+//!
+//! The scalar hot loops ([`crate::gemm::owlp_gemm_decoded`] and the
+//! windowed [`crate::exact::exact_gemm`] tiles) historically did one
+//! `u16 as i64 × u16 as i64` FMA per product, plus a per-product branch
+//! for the sign and the `{0,4,8}` post-multiply shift. The paper's whole
+//! point is that the OwL-P datapath is *integer-only* — so the software
+//! model should run at integer-SIMD speed too. This module restructures
+//! the inner loop around two facts:
+//!
+//! 1. **Products are exact in narrow integers.** A packed operand's folded
+//!    significand (`sval = ±(mag << 4·sh)`, see
+//!    [`owlp_format::packed::PackedOperands::svals`]) satisfies
+//!    `|sval| ≤ (2^11 − 1)·2^4 = 32752 < 2^15`, so it fits an `i16` and a
+//!    product of two fits an `i32` (`|p| < 2^30`) with no rounding — the
+//!    `{0,4,8}` shifter and both signs are already folded in. The
+//!    `i16×i16→i32` multiply-add shape is exactly what packed integer
+//!    SIMD units are built for — and since PR7 the kernels use them
+//!    **explicitly** rather than hoping the autovectorizer does.
+//!
+//! 2. **Lane sums provably cannot overflow before the spill.** Partial
+//!    sums are kept in `i64` lanes and spilled into the existing
+//!    [`WindowAcc`] `i128` frame every [`K_SPILL`] terms. The bound:
+//!    `K_SPILL · max|p| ≤ 2^14 · 2^30 = 2^44 ≪ 2^63`, so the `i64` lane
+//!    is exact by a margin of 19 bits (any `K_SPILL ≤ 2^32` would do;
+//!    2^14 keeps a segment resident in L1). Integer addition is
+//!    associative and commutative, so regrouping the dot product into
+//!    MR×NR register tiles, K segments, per-lane partials — **or the
+//!    pairwise-`madd` adjacent sums of the SIMD tiers** — computes the
+//!    *same* exact integer as the scalar sweep; bit-identity with the
+//!    Kulisch oracle is preserved by construction at every tier. The one
+//!    extra SIMD obligation, that `madd`'s intra-instruction `i32` pair
+//!    sum itself cannot wrap, follows from the sval bound
+//!    (`2·32752² < 2^31`; only `(-32768)²·2` would overflow) — see
+//!    [`x86`]'s module docs for the full argument.
+//!
+//! ## Tiers and dispatch
+//!
+//! Every entry point has a scalar reference implementation ([`scalar`],
+//! the always-on oracle) plus optional SIMD tiers: SSE2 and AVX2 on
+//! x86-64 ([`x86`]), NEON on aarch64 ([`neon`]). A tier is selected once
+//! per process ([`dispatch::selected_tier`]) from runtime CPU detection
+//! and the `OWLP_SIMD=scalar|sse2|avx2|neon|auto` override; tests force
+//! tiers per-scope with [`with_tier`]. The drive loops resolve the tier
+//! *before* fanning out to the thread pool and call the `*_with` variants
+//! so a forced tier holds at every thread count. On the Sse2 tier,
+//! [`tile_dot_i32`] stays scalar (SSE2 has no signed widening 32-bit
+//! multiply); all other entry points vectorize on every non-scalar tier.
+//!
+//! The kernel computes an [`MR`]×[`NR`] output tile per call: `MR` rows
+//! of A (flat sval slices) against one [`owlp_format::PackedPanels`]
+//! panel of `NR` interleaved weight columns. Callers pad edge tiles with
+//! an all-zero row / rely on the panel's zero-padded columns — zero
+//! svals contribute nothing, so there are no edge-case variants to
+//! diverge from the proof above. Panels may carry zero-padded depths
+//! beyond the K segment ([`owlp_format::PackedPanels::padded_k`]); the
+//! kernels only require `panel.len() ≥ seg·NR`.
+//!
+//! The `i32` twin ([`tile_dot_i32`]) serves the exact-GEMM band path,
+//! where in-band aligned magnitudes span up to 31 bits; its caller sizes
+//! the band so that even the **full-k** lane sum fits `i64` (see
+//! `crate::exact`), so it needs no intermediate spill.
+
+pub mod dispatch;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub use dispatch::{
+    available_tiers, detected_features, env_request, selected_tier, with_tier, KernelTier, ENV_SIMD,
+};
+
+use crate::window::WindowAcc;
+
+/// Output-tile rows per microkernel call.
+pub const MR: usize = 4;
+
+/// Output-tile columns per microkernel call — fixed by the panel layout.
+pub const NR: usize = owlp_format::packed::PANEL_NR;
+
+/// K-depth between lane spills into the [`WindowAcc`] frame. With
+/// products `|p| < 2^30`, a lane accumulates `< 2^44` per segment —
+/// provably exact in `i64` (see the module docs).
+pub const K_SPILL: usize = 1 << 14;
+
+/// Multiplies one K-segment of an MR×NR tile into the `i64` lane array:
+/// `lanes[r][c] += Σ_kk a_rows[r][kk] · panel[kk·NR + c]`, on the
+/// process-selected tier.
+///
+/// `a_rows` are `seg`-long sval slices (pad missing edge rows with a zero
+/// slice); `panel` is a K-major panel segment of at least `seg·NR`
+/// entries (extra zero-padded depths are ignored). The caller must spill
+/// at least every [`K_SPILL`] terms.
+#[inline]
+pub fn tile_mul_i16(a_rows: [&[i16]; MR], panel: &[i16], lanes: &mut [[i64; NR]; MR]) {
+    tile_mul_i16_with(selected_tier(), a_rows, panel, lanes);
+}
+
+/// [`tile_mul_i16`] on an explicit (clamped) tier — the form the drive
+/// loops use so a tier resolved before a parallel fan-out applies on
+/// every worker thread.
+#[inline]
+pub fn tile_mul_i16_with(
+    tier: KernelTier,
+    a_rows: [&[i16]; MR],
+    panel: &[i16],
+    lanes: &mut [[i64; NR]; MR],
+) {
+    let seg = a_rows[0].len();
+    debug_assert!(seg <= K_SPILL, "segment longer than the spill period");
+    debug_assert!(a_rows.iter().all(|r| r.len() == seg));
+    debug_assert!(panel.len() >= seg * NR, "panel shorter than the K segment");
+    match dispatch::clamp(tier) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp` only yields Avx2 when runtime detection saw it.
+        KernelTier::Avx2 => unsafe { x86::tile_mul_i16_avx2(a_rows, panel, lanes) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Sse2 => x86::tile_mul_i16_sse2(a_rows, panel, lanes),
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::tile_mul_i16_neon(a_rows, panel, lanes),
+        _ => scalar::tile_mul_i16(a_rows, panel, lanes),
+    }
+}
+
+/// Full-depth MR×NR tile: segments of [`K_SPILL`] terms accumulate in
+/// `i64` lanes and spill into per-element [`WindowAcc`]s cloned from
+/// `win0` (the shared-frame window of the GEMM call).
+#[inline]
+pub fn tile_dot_i16(a_rows: [&[i16]; MR], panel: &[i16], win0: WindowAcc) -> [[WindowAcc; NR]; MR] {
+    tile_dot_i16_with(selected_tier(), a_rows, panel, win0)
+}
+
+/// [`tile_dot_i16`] on an explicit tier (clamped once up front).
+#[inline]
+pub fn tile_dot_i16_with(
+    tier: KernelTier,
+    a_rows: [&[i16]; MR],
+    panel: &[i16],
+    win0: WindowAcc,
+) -> [[WindowAcc; NR]; MR] {
+    let tier = dispatch::clamp(tier);
+    let k = a_rows[0].len();
+    debug_assert!(panel.len() >= k * NR);
+    let mut wins = [[win0; NR]; MR];
+    let mut lanes = [[0i64; NR]; MR];
+    let mut s = 0usize;
+    while s < k {
+        let seg = K_SPILL.min(k - s);
+        let sub: [&[i16]; MR] = std::array::from_fn(|r| &a_rows[r][s..s + seg]);
+        tile_mul_i16_with(tier, sub, &panel[s * NR..(s + seg) * NR], &mut lanes);
+        for (wr, lr) in wins.iter_mut().zip(&mut lanes) {
+            for (w, lane) in wr.iter_mut().zip(lr.iter_mut()) {
+                w.add_aligned(std::mem::take(lane));
+            }
+        }
+        s += seg;
+    }
+    wins
+}
+
+/// Clean-pair dot product over folded significands, spilled into a copy
+/// of `win0` per [`K_SPILL`] segment — the systolic event simulator's
+/// all-normal wavefront (streams may differ in length; the shorter one
+/// bounds the depth, matching the zip semantics of the scalar loop).
+#[inline]
+pub fn dot_sval(a: &[i16], b: &[i16], win0: WindowAcc) -> WindowAcc {
+    dot_sval_with(selected_tier(), a, b, win0)
+}
+
+/// [`dot_sval`] on an explicit tier (clamped once up front).
+#[inline]
+pub fn dot_sval_with(tier: KernelTier, a: &[i16], b: &[i16], win0: WindowAcc) -> WindowAcc {
+    let tier = dispatch::clamp(tier);
+    let len = a.len().min(b.len());
+    let mut win = win0;
+    let mut s = 0usize;
+    while s < len {
+        let seg = K_SPILL.min(len - s);
+        let (sa, sb) = (&a[s..s + seg], &b[s..s + seg]);
+        let sum = match tier {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `clamp` only yields Avx2 when runtime detection saw it.
+            KernelTier::Avx2 => unsafe { x86::dot_seg_avx2(sa, sb) },
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Sse2 => x86::dot_seg_sse2(sa, sb),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => neon::dot_seg_neon(sa, sb),
+            _ => scalar::dot_seg(sa, sb),
+        };
+        win.add_aligned(sum);
+        s += seg;
+    }
+    win
+}
+
+/// The `i32` twin of [`tile_mul_i16`] for the exact-GEMM band planes:
+/// products are taken in `i64` (`|a| < 2^31` each side). The caller's
+/// band-width budget guarantees the full-depth lane sum fits `i64`, so
+/// no spill period applies here.
+#[inline]
+pub fn tile_mul_i32(a_rows: [&[i32]; MR], panel: &[i32], lanes: &mut [[i64; NR]; MR]) {
+    tile_mul_i32_with(selected_tier(), a_rows, panel, lanes);
+}
+
+/// [`tile_mul_i32`] on an explicit (clamped) tier. The Sse2 tier has no
+/// vector path here (no SSE2 signed widening 32-bit multiply) and runs
+/// the scalar oracle.
+#[inline]
+pub fn tile_mul_i32_with(
+    tier: KernelTier,
+    a_rows: [&[i32]; MR],
+    panel: &[i32],
+    lanes: &mut [[i64; NR]; MR],
+) {
+    let seg = a_rows[0].len();
+    debug_assert!(a_rows.iter().all(|r| r.len() == seg));
+    debug_assert!(panel.len() >= seg * NR);
+    match dispatch::clamp(tier) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp` only yields Avx2 when runtime detection saw it.
+        KernelTier::Avx2 => unsafe { x86::tile_mul_i32_avx2(a_rows, panel, lanes) },
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::tile_mul_i32_neon(a_rows, panel, lanes),
+        _ => scalar::tile_mul_i32(a_rows, panel, lanes),
+    }
+}
+
+/// Full-depth MR×NR tile over `i32` band planes, returning raw `i64`
+/// lane sums (the caller owns rounding / correction).
+#[inline]
+pub fn tile_dot_i32(a_rows: [&[i32]; MR], panel: &[i32]) -> [[i64; NR]; MR] {
+    tile_dot_i32_with(selected_tier(), a_rows, panel)
+}
+
+/// [`tile_dot_i32`] on an explicit tier.
+#[inline]
+pub fn tile_dot_i32_with(tier: KernelTier, a_rows: [&[i32]; MR], panel: &[i32]) -> [[i64; NR]; MR] {
+    let mut lanes = [[0i64; NR]; MR];
+    tile_mul_i32_with(tier, a_rows, panel, &mut lanes);
+    lanes
+}
+
+/// The tier each public entry point *effectively* runs on under the
+/// current selection — they differ only where an ISA level lacks the
+/// needed instruction (Sse2's `tile_dot_i32`). For `repro features` and
+/// the bench report.
+pub fn entry_point_tiers() -> [(&'static str, KernelTier); 3] {
+    let t = selected_tier();
+    let i32_tier = if t == KernelTier::Sse2 {
+        KernelTier::Scalar
+    } else {
+        t
+    };
+    [
+        ("tile_dot_i16", t),
+        ("tile_dot_i32", i32_tier),
+        ("dot_sval", t),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owlp_format::{encode_tensor, Bf16};
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    /// Normal-band values so every product lands on the shared frame.
+    fn normals(len: usize, seed: u64) -> Vec<Bf16> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+                let sign = if state & 2 == 0 { 1.0 } else { -1.0 };
+                bf(sign * (0.75 + u * 0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sval_bound_is_i16_safe() {
+        // The proof constant: max mag (11 bits) at max shift.
+        let max = ((1i32 << 11) - 1) << 4;
+        assert_eq!(max, 32752);
+        assert!(max <= i16::MAX as i32);
+        // And the product bound used for K_SPILL.
+        assert!((max as i64 * max as i64) < 1 << 30);
+        assert!((K_SPILL as i64) << 30 <= 1 << 44);
+        // The madd-specific bound: an adjacent pair sum fits i32.
+        assert!(2 * (max as i64) * (max as i64) < 1 << 31);
+    }
+
+    #[test]
+    fn tile_matches_scalar_dot_per_element() {
+        let k = 3 * K_SPILL / 2 + 7; // forces a mid-depth spill + remainder
+        let a: Vec<Bf16> = normals(MR * k, 11);
+        let b: Vec<Bf16> = normals(k * NR, 22);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let pa = ea.decode_packed();
+        let pb = eb.decode_packed();
+        let panels = pb.pack_panels(k, NR);
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), eb.shared_exp(), k);
+        let a_rows: [&[i16]; MR] = std::array::from_fn(|r| &pa.svals()[r * k..(r + 1) * k]);
+        for &tier in available_tiers() {
+            let wins = tile_dot_i16_with(tier, a_rows, panels.panel(0), win0);
+            for (r, wrow) in wins.iter().enumerate() {
+                for (c, wtile) in wrow.iter().enumerate() {
+                    let mut win = win0;
+                    let mut sum = 0i64;
+                    for kk in 0..k {
+                        sum += pa.svals()[r * k + kk] as i64 * pb.svals()[kk * NR + c] as i64;
+                        if kk & 0x1F == 0x1F {
+                            win.add_aligned(sum);
+                            sum = 0;
+                        }
+                    }
+                    win.add_aligned(sum);
+                    assert_eq!(
+                        wtile.round_to_f32().to_bits(),
+                        win.round_to_f32().to_bits(),
+                        "tier {tier} tile ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_sval_matches_scalar_spill_loop() {
+        let k = K_SPILL + 33;
+        let a = normals(k, 5);
+        let b = normals(k, 6);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (ea.decode_packed(), eb.decode_packed());
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), eb.shared_exp(), k);
+        let mut win = win0;
+        for kk in 0..k {
+            win.add_aligned(pa.svals()[kk] as i64 * pb.svals()[kk] as i64);
+        }
+        for &tier in available_tiers() {
+            let fast = dot_sval_with(tier, pa.svals(), pb.svals(), win0);
+            assert_eq!(
+                fast.round_to_f32().to_bits(),
+                win.round_to_f32().to_bits(),
+                "tier {tier}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_padded_rows_and_columns_contribute_nothing() {
+        let k = 37;
+        let a = normals(k, 3);
+        let ea = encode_tensor(&a, None).unwrap();
+        let pa = ea.decode_packed();
+        let zero = vec![0i16; k];
+        let a_rows: [&[i16]; MR] =
+            std::array::from_fn(|r| if r == 0 { pa.svals() } else { zero.as_slice() });
+        let panel = vec![0i16; k * NR];
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), 127, k);
+        for &tier in available_tiers() {
+            let wins = tile_dot_i16_with(tier, a_rows, &panel, win0);
+            for row in &wins {
+                for w in row {
+                    assert!(w.is_zero(), "tier {tier}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i32_tile_matches_scalar() {
+        let k = 129;
+        let mut state = 0xACE1u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 33) as i32 % (1 << 20)) - (1 << 19)
+        };
+        let a: Vec<i32> = (0..MR * k).map(|_| next()).collect();
+        let panel: Vec<i32> = (0..k * NR).map(|_| next()).collect();
+        let a_rows: [&[i32]; MR] = std::array::from_fn(|r| &a[r * k..(r + 1) * k]);
+        for &tier in available_tiers() {
+            let lanes = tile_dot_i32_with(tier, a_rows, &panel);
+            for r in 0..MR {
+                for c in 0..NR {
+                    let scalar: i64 = (0..k)
+                        .map(|kk| a[r * k + kk] as i64 * panel[kk * NR + c] as i64)
+                        .sum();
+                    assert_eq!(lanes[r][c], scalar, "tier {tier} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_magnitude_svals_are_exact_on_every_tier() {
+        // The madd worst case: every operand at ±32752 with alternating
+        // signs, odd length so the remainder path runs too.
+        let k = 2 * K_SPILL + 15;
+        let a: Vec<i16> = (0..k)
+            .map(|i| if i % 2 == 0 { 32752 } else { -32752 })
+            .collect();
+        let b: Vec<i16> = (0..k)
+            .map(|i| if i % 3 == 0 { -32752 } else { 32752 })
+            .collect();
+        let win0 = WindowAcc::for_owlp_normal(127, 127, k);
+        let oracle = dot_sval_with(KernelTier::Scalar, &a, &b, win0);
+        for &tier in available_tiers() {
+            let got = dot_sval_with(tier, &a, &b, win0);
+            assert_eq!(got.raw(), oracle.raw(), "tier {tier}");
+        }
+        // And through the tile path, one column of each sign pattern.
+        let panel: Vec<i16> = (0..k)
+            .flat_map(|i| {
+                let v = if i % 5 == 0 { -32752i16 } else { 32752 };
+                [v, -v, v, -v]
+            })
+            .collect();
+        let a_rows: [&[i16]; MR] = [&a, &b, &a, &b];
+        let oracle = tile_dot_i16_with(KernelTier::Scalar, a_rows, &panel, win0);
+        for &tier in available_tiers() {
+            let got = tile_dot_i16_with(tier, a_rows, &panel, win0);
+            for r in 0..MR {
+                for c in 0..NR {
+                    assert_eq!(got[r][c].raw(), oracle[r][c].raw(), "tier {tier} ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_panels_are_ignored_beyond_the_segment() {
+        // A panel longer than seg·NR (the PR7 zero-padded layout) must
+        // produce the same lanes as the exact-length panel.
+        let k = 21; // odd: exercises every tier's tail
+        let a: Vec<i16> = (0..k as i16).map(|i| (i * 7 - 50) * 3).collect();
+        let a_rows: [&[i16]; MR] = [&a, &a, &a, &a];
+        let exact: Vec<i16> = (0..k * NR).map(|i| (i as i16 % 111) - 55).collect();
+        let mut padded = exact.clone();
+        padded.extend(std::iter::repeat_n(0i16, 3 * NR));
+        for &tier in available_tiers() {
+            let mut lanes_a = [[0i64; NR]; MR];
+            let mut lanes_b = [[0i64; NR]; MR];
+            tile_mul_i16_with(tier, a_rows, &exact, &mut lanes_a);
+            tile_mul_i16_with(tier, a_rows, &padded, &mut lanes_b);
+            assert_eq!(lanes_a, lanes_b, "tier {tier}");
+        }
+    }
+
+    #[test]
+    fn entry_point_tiers_are_consistent() {
+        let tiers = entry_point_tiers();
+        assert_eq!(tiers.len(), 3);
+        for (name, tier) in tiers {
+            assert!(
+                available_tiers().contains(&tier),
+                "{name} reports unavailable tier {tier}"
+            );
+        }
+    }
+}

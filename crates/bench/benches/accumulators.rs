@@ -88,24 +88,29 @@ fn bench_accumulators(c: &mut Criterion) {
             win.round_to_f32()
         })
     });
-    group.bench_function("microkernel_tile_dot", |bch| {
-        // The same dot product through the register-tiled sval plane: one
-        // MR×NR tile whose rows/columns all alias the same vectors, so the
-        // per-element work matches `window_acc` while exercising the
-        // i16×i16→i32 lane structure the compiler can vectorize.
-        let a_sval = pa.svals();
-        let panel: Vec<i16> = pb
-            .svals()
-            .iter()
-            .flat_map(|&s| std::iter::repeat_n(s, microkernel::NR))
-            .collect();
-        let a_rows: [&[i16]; microkernel::MR] = [a_sval, a_sval, a_sval, a_sval];
-        let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, N);
-        bch.iter(|| {
-            let wins = microkernel::tile_dot_i16(a_rows, &panel, win0);
-            wins[0][0].round_to_f32()
-        })
-    });
+    // The same dot product through the register-tiled sval plane: one
+    // MR×NR tile whose rows/columns all alias the same vectors, so the
+    // per-element work matches `window_acc` while exercising the
+    // i16×i16→i32 lane structure — once per kernel tier this host can
+    // run, so the SIMD speedup itself has a tracked baseline.
+    let a_sval = pa.svals();
+    let panel: Vec<i16> = pb
+        .svals()
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, microkernel::NR))
+        .collect();
+    let a_rows: [&[i16]; microkernel::MR] = [a_sval, a_sval, a_sval, a_sval];
+    let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, N);
+    for &tier in microkernel::available_tiers() {
+        group.bench_function(format!("microkernel_tile_dot/{tier}"), |bch| {
+            bch.iter(|| {
+                microkernel::with_tier(tier, || {
+                    let wins = microkernel::tile_dot_i16(a_rows, &panel, win0);
+                    wins[0][0].round_to_f32()
+                })
+            })
+        });
+    }
     group.finish();
 
     // Panel cache: a prepared weight either carries its packed B panels

@@ -17,21 +17,30 @@
 //! repro serve-faults   serving under escalating fault injection
 //! ```
 //!
-//! Plus one non-paper maintenance command:
+//! Plus two non-paper maintenance commands:
 //!
 //! ```text
-//! repro bench-json [--smoke] [--out PATH] [--baseline PATH]
+//! repro bench-json [--smoke] [--out PATH] [--baseline PATH] [--allow-regress]
+//! repro features
 //! ```
 //!
-//! which times the `owlp-par` hot paths serial vs parallel and writes a
-//! machine-readable baseline report (default `BENCH_PR6.json`), comparing
-//! serial throughput against the previous baseline (default
-//! `BENCH_PR5.json`) when present. The report carries a `memory` section —
-//! event-driven HBM co-simulation verdicts — and an `integrity` section —
-//! seeded fault-sweep coverage plus checksum overhead. The run fails when
-//! byte conservation is violated, when any swept fault escapes or raises
-//! a false positive, or (full runs only) when the checksum overhead
-//! exceeds its budget.
+//! `bench-json` times the `owlp-par` hot paths serial vs parallel and
+//! writes a machine-readable baseline report (default `BENCH_PR7.json`),
+//! comparing serial throughput against the previous baseline (default
+//! `BENCH_PR6.json`) when present. The report carries a `memory` section —
+//! event-driven HBM co-simulation verdicts — an `integrity` section —
+//! seeded fault-sweep coverage plus checksum overhead — and a `simd`
+//! section — runtime kernel-dispatch accounting with per-tier throughput
+//! and cross-tier bit-identity. The run fails when byte conservation is
+//! violated, when any swept fault escapes or raises a false positive,
+//! when any kernel tier diverges from the scalar oracle, or (full runs
+//! only) when the checksum overhead exceeds its budget or a case's serial
+//! throughput regresses more than 10% against the baseline without
+//! `--allow-regress`.
+//!
+//! `features` prints the detected CPU features, the kernel tier each
+//! microkernel entry point dispatches to, and the effective
+//! `OWLP_SIMD` / `OWLP_THREADS` overrides.
 //!
 //! `repro serve-faults --json PATH` writes the fault sweep as JSON to
 //! `PATH` and exits nonzero when the integrity gate fails (an SDC escaped
@@ -135,22 +144,25 @@ fn run_one(name: &str, smoke: bool) -> Result<String, String> {
     }
 }
 
-/// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]` — run the
-/// parallel-speedup baseline suite and write the JSON report. When the
-/// baseline file (default `BENCH_PR5.json`) exists, each case also records
-/// its old-vs-new serial throughput gain.
+/// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]
+/// [--allow-regress]` — run the parallel-speedup baseline suite and write
+/// the JSON report. When the baseline file (default `BENCH_PR6.json`)
+/// exists, each case also records its old-vs-new serial throughput gain;
+/// a case regressing past [`bench_json::REGRESS_LIMIT_GAIN`] always warns
+/// and fails non-smoke runs unless `--allow-regress` is given.
 fn run_bench_json(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let allow_regress = args.iter().any(|a| a == "--allow-regress");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR6.json", String::as_str);
+        .map_or("BENCH_PR7.json", String::as_str);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR5.json", String::as_str);
+        .map_or("BENCH_PR6.json", String::as_str);
     let mut report = bench_json::run(smoke);
     if let Ok(old) = std::fs::read_to_string(baseline) {
         if !bench_json::attach_baseline(&mut report, &old) {
@@ -167,6 +179,10 @@ fn run_bench_json(args: &[String]) {
     println!("wrote {out}");
     if report.cases.iter().any(|c| !c.bit_identical) {
         eprintln!("error: a parallel result diverged from the serial result");
+        std::process::exit(1);
+    }
+    if !report.simd.tiers_bit_identical {
+        eprintln!("error: a forced kernel tier diverged from the scalar oracle");
         std::process::exit(1);
     }
     if !report.memory.byte_conservation_ok {
@@ -202,6 +218,54 @@ fn run_bench_json(args: &[String]) {
         );
         std::process::exit(1);
     }
+    // Serial-throughput regressions always warn; like overhead, they only
+    // gate full runs (smoke shapes are too noisy), and `--allow-regress`
+    // waives the gate for runs on known-slow or loaded machines.
+    let regressed = bench_json::regressions(&report);
+    for r in &regressed {
+        eprintln!("warning: regression: {r}");
+    }
+    if !report.smoke && !allow_regress && !regressed.is_empty() {
+        eprintln!(
+            "error: {} case(s) regressed more than {:.0}% vs {baseline}; \
+             pass --allow-regress to override",
+            regressed.len(),
+            (1.0 - bench_json::REGRESS_LIMIT_GAIN) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `repro features` — print the detected CPU features, the kernel tier
+/// each microkernel entry point dispatches to, and the effective
+/// environment overrides, so a bench or CI log can be interpreted
+/// without re-deriving what the host supports.
+fn run_features() {
+    use owlp_arith::microkernel;
+    let features = microkernel::detected_features();
+    let tiers: Vec<&str> = microkernel::available_tiers()
+        .iter()
+        .map(|t| t.name())
+        .collect();
+    println!("cpu features : {}", features.join(" "));
+    println!("kernel tiers : {}", tiers.join(" "));
+    println!("selected tier: {}", microkernel::selected_tier());
+    println!("entry points :");
+    for (entry, tier) in microkernel::entry_point_tiers() {
+        println!("  {entry:<14} {tier}");
+    }
+    let env_of = |k: &str| std::env::var(k).unwrap_or_else(|_| "(unset)".into());
+    println!(
+        "{:<13}: {}",
+        microkernel::ENV_SIMD,
+        env_of(microkernel::ENV_SIMD)
+    );
+    println!(
+        "{:<13}: {}",
+        owlp_par::ENV_THREADS,
+        env_of(owlp_par::ENV_THREADS)
+    );
+    println!("threads      : {}", owlp_par::thread_budget());
 }
 
 /// `repro serve-faults --json PATH` — write the fault sweep as JSON and
@@ -251,13 +315,17 @@ fn main() {
         run_bench_json(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("features") {
+        run_features();
+        return;
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let targets: Vec<&str> = match args.first().map(String::as_str) {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
             eprintln!(
-                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH]\n       repro serve-faults --json PATH",
+                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH] [--allow-regress]\n       repro features\n       repro serve-faults --json PATH",
                 EXPERIMENTS.join("|")
             );
             return;

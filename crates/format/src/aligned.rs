@@ -1,0 +1,209 @@
+//! 32-byte-aligned backing storage for the hot `i16` planes.
+//!
+//! The SIMD microkernel tiers (`owlp-arith::microkernel`) stream the
+//! sval plane and the repacked weight panels with 128/256-bit loads.
+//! Those kernels use unaligned load instructions throughout, so
+//! alignment is **never** a safety contract — but a 32-byte-aligned base
+//! keeps full-width loads from straddling cache lines, which is the
+//! difference between one and two L1 accesses per vector on most cores.
+//! [`AlignedVec`] provides exactly the subset of `Vec<i16>` the packed
+//! planes use, backed by `Vec` of 32-byte chunks so the first element is
+//! always 32-byte aligned (the global allocator aligns the chunk array
+//! to its `repr(align)`).
+//!
+//! Capacity is managed in whole chunks; `len` tracks the live element
+//! count. Spare capacity within the last chunk is always zero-filled, so
+//! growth never exposes uninitialized memory and zero-padded tails (the
+//! panel layout relies on them) are free.
+
+use std::ops::{Deref, DerefMut};
+
+/// One allocation granule: 16 `i16`s forced to 32-byte alignment.
+#[repr(C, align(32))]
+#[derive(Clone, Copy)]
+struct Chunk([i16; Chunk::LEN]);
+
+impl Chunk {
+    const LEN: usize = 16;
+    const ZERO: Chunk = Chunk([0; Chunk::LEN]);
+}
+
+/// A growable `i16` buffer whose first element is 32-byte aligned.
+///
+/// Dereferences to `&[i16]` / `&mut [i16]`, so all slice reads and
+/// in-place writes look exactly like `Vec<i16>`; only the growth API is
+/// narrowed to what the packed planes need.
+#[derive(Clone, Default)]
+pub struct AlignedVec {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+impl AlignedVec {
+    /// An empty buffer (no allocation until the first push).
+    pub fn new() -> Self {
+        AlignedVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// A zero-filled buffer of `len` elements — the `vec![0i16; len]`
+    /// equivalent the panel packer starts from.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedVec {
+            chunks: vec![Chunk::ZERO; len.div_ceil(Chunk::LEN)],
+            len,
+        }
+    }
+
+    /// Live element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ensures capacity for `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = (self.len + additional).div_ceil(Chunk::LEN);
+        if need > self.chunks.len() {
+            self.chunks.reserve(need - self.chunks.len());
+        }
+    }
+
+    /// Drops all elements, keeping the allocation for refill.
+    pub fn clear(&mut self) {
+        // Re-zero the previously live prefix so cleared-then-grown
+        // buffers keep the all-spare-capacity-is-zero invariant.
+        let used = self.len.div_ceil(Chunk::LEN);
+        for c in &mut self.chunks[..used] {
+            *c = Chunk::ZERO;
+        }
+        self.len = 0;
+    }
+
+    /// Grows to `new_len` elements, zero-filling the extension.
+    pub fn resize_zeroed(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "AlignedVec does not shrink");
+        self.chunks
+            .resize(new_len.div_ceil(Chunk::LEN), Chunk::ZERO);
+        self.len = new_len;
+    }
+
+    /// Appends one element.
+    #[inline]
+    pub fn push(&mut self, value: i16) {
+        if self.len == self.chunks.len() * Chunk::LEN {
+            self.chunks.push(Chunk::ZERO);
+        }
+        let i = self.len;
+        self.chunks[i / Chunk::LEN].0[i % Chunk::LEN] = value;
+        self.len += 1;
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[i16]) {
+        let old = self.len;
+        self.resize_zeroed(old + src.len());
+        self[old..].copy_from_slice(src);
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [i16];
+
+    #[inline]
+    fn deref(&self) -> &[i16] {
+        // SAFETY: `chunks` is a contiguous array of `[i16; 16]` wrappers
+        // (repr(C)), every element is initialized (zero-filled growth),
+        // and `len ≤ chunks.len()·16` by construction.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr() as *const i16, self.len) }
+    }
+}
+
+impl DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [i16] {
+        // SAFETY: as in `deref`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr() as *mut i16, self.len) }
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for AlignedVec {}
+
+impl FromIterator<i16> for AlignedVec {
+    fn from_iter<I: IntoIterator<Item = i16>>(iter: I) -> Self {
+        let mut v = AlignedVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pointer_is_32_byte_aligned() {
+        for len in [1usize, 5, 16, 17, 1000] {
+            let v = AlignedVec::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % 32, 0, "len {len}");
+            assert_eq!(v.len(), len);
+            assert!(v.iter().all(|&x| x == 0));
+        }
+        let mut v = AlignedVec::new();
+        v.push(7);
+        assert_eq!(v.as_ptr() as usize % 32, 0);
+    }
+
+    #[test]
+    fn behaves_like_a_vec() {
+        let mut v = AlignedVec::new();
+        for i in 0..100i16 {
+            v.push(i * 3 - 50);
+        }
+        let expect: Vec<i16> = (0..100).map(|i| i * 3 - 50).collect();
+        assert_eq!(&*v, expect.as_slice());
+        v[10] = -999;
+        assert_eq!(v[10], -999);
+        v.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(v.len(), 103);
+        assert_eq!(&v[100..], &[1, 2, 3]);
+        let w: AlignedVec = expect.iter().copied().collect();
+        assert_eq!(&w[..], expect.as_slice());
+        v.clear();
+        assert!(v.is_empty());
+        // Cleared storage refills from zero.
+        v.resize_zeroed(64);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn spare_capacity_stays_zeroed_across_clear() {
+        let mut v = AlignedVec::new();
+        for _ in 0..20 {
+            v.push(-1);
+        }
+        v.clear();
+        v.resize_zeroed(40);
+        assert!(v.iter().all(|&x| x == 0), "stale bytes after clear+grow");
+    }
+}

@@ -40,6 +40,7 @@
 //!
 //! [bfloat16]: https://en.wikipedia.org/wiki/Bfloat16_floating-point_format
 
+pub mod aligned;
 pub mod archive;
 pub mod bf16;
 pub mod bitstream;

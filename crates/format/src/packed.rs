@@ -19,6 +19,7 @@
 //! turns the GEMM inner loop into a plain `i16×i16→i32` multiply-add,
 //! the shape autovectorizers map onto packed integer FMA lanes.
 
+use crate::aligned::AlignedVec;
 use crate::decode::{BiasDecoder, DecodedOperand};
 use crate::encode::EncodedTensor;
 use std::ops::Range;
@@ -57,6 +58,12 @@ pub enum PackedPlane {
 /// register-tiled microkernel (which re-exports it as its own `NR`).
 pub const PANEL_NR: usize = 4;
 
+/// Panel depths are zero-padded to this multiple: 8 depths × [`PANEL_NR`]
+/// columns × 2 bytes = one 64-byte stride, so every panel of an
+/// [`AlignedVec`]-backed store starts cache-line aligned and the SIMD
+/// microkernel's 4-depth quad loads tile it evenly.
+pub const PANEL_K_PAD: usize = 8;
+
 /// A tensor's decoded operands in struct-of-arrays form.
 ///
 /// Semantically identical to `Vec<DecodedOperand>` (see
@@ -74,7 +81,9 @@ pub struct PackedOperands {
     shared_exp: u8,
     mag: Vec<u16>,
     meta: Vec<u8>,
-    sval: Vec<i16>,
+    /// 32-byte-aligned so the SIMD microkernel's full-width loads never
+    /// straddle cache lines ([`crate::aligned`]).
+    sval: AlignedVec,
     /// Element positions of tagged outliers, strictly increasing.
     outlier_pos: Vec<u32>,
     /// `outlier_exp[k]` belongs to element `outlier_pos[k]`.
@@ -97,7 +106,7 @@ impl PackedOperands {
             shared_exp,
             mag: Vec::new(),
             meta: Vec::new(),
-            sval: Vec::new(),
+            sval: AlignedVec::new(),
             outlier_pos: Vec::new(),
             outlier_exp: Vec::new(),
         }
@@ -341,18 +350,24 @@ impl PackedOperands {
     pub fn pack_panels(&self, k: usize, n: usize) -> PackedPanels {
         assert_eq!(self.len(), k * n, "panel shape mismatch");
         let panels = n.div_ceil(PANEL_NR).max(1);
-        let mut data = vec![0i16; panels * k * PANEL_NR];
+        // Depth padded to the SIMD quad width (and, with the 32-byte base
+        // of `AlignedVec`, a 64-byte panel stride): every panel starts
+        // cache-line aligned and full-width loads of whole quads stay
+        // in-bounds. The padding depths are zero svals — they contribute
+        // nothing, exactly like the zero-padded edge columns.
+        let kp = k.next_multiple_of(PANEL_K_PAD);
+        let mut data = AlignedVec::zeroed(panels * kp * PANEL_NR);
         for pb in 0..n.div_ceil(PANEL_NR) {
             let j0 = pb * PANEL_NR;
             let cols = PANEL_NR.min(n - j0);
-            let base = pb * k * PANEL_NR;
+            let base = pb * kp * PANEL_NR;
             for kk in 0..k {
                 let src = kk * n + j0;
                 let dst = base + kk * PANEL_NR;
                 data[dst..dst + cols].copy_from_slice(&self.sval[src..src + cols]);
             }
         }
-        PackedPanels { k, n, data }
+        PackedPanels { k, kp, n, data }
     }
 }
 
@@ -369,15 +384,24 @@ impl PackedOperands {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedPanels {
     k: usize,
+    /// Stored depth: `k` rounded up to [`PANEL_K_PAD`], zero-filled.
+    kp: usize,
     n: usize,
-    /// `⌈n/NR⌉` panels of `k·NR` svals each, zero-padded.
-    data: Vec<i16>,
+    /// `⌈n/NR⌉` panels of `kp·NR` svals each, zero-padded, 32-byte
+    /// aligned per panel.
+    data: AlignedVec,
 }
 
 impl PackedPanels {
     /// Depth (reduction dimension) the panels were packed for.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Stored (zero-padded) depth per panel — `k` rounded up to
+    /// [`PANEL_K_PAD`]. The extra depths are zero svals.
+    pub fn padded_k(&self) -> usize {
+        self.kp
     }
 
     /// Output columns the panels were packed for.
@@ -390,9 +414,10 @@ impl PackedPanels {
         self.n.div_ceil(PANEL_NR)
     }
 
-    /// Panel `pb` (covering columns `pb·NR .. pb·NR+NR`), `k·NR` svals.
+    /// Panel `pb` (covering columns `pb·NR .. pb·NR+NR`), `kp·NR` svals
+    /// (depths `k..kp` are the zero padding).
     pub fn panel(&self, pb: usize) -> &[i16] {
-        let stride = self.k * PANEL_NR;
+        let stride = self.kp * PANEL_NR;
         &self.data[pb * stride..(pb + 1) * stride]
     }
 
@@ -528,7 +553,7 @@ impl EncodedTensor {
         for (mag, meta, sval, pos, pexp) in parts {
             out.mag.extend(mag);
             out.meta.extend(meta);
-            out.sval.extend(sval);
+            out.sval.extend_from_slice(&sval);
             out.outlier_pos.extend(pos);
             out.outlier_exp.extend(pexp);
         }
@@ -646,9 +671,15 @@ mod tests {
         assert_eq!(panels.k(), k);
         assert_eq!(panels.n(), n);
         assert_eq!(panels.num_panels(), n.div_ceil(PANEL_NR));
+        assert_eq!(panels.padded_k(), k.next_multiple_of(PANEL_K_PAD));
         for pb in 0..panels.num_panels() {
             let panel = panels.panel(pb);
-            assert_eq!(panel.len(), k * PANEL_NR);
+            assert_eq!(panel.len(), panels.padded_k() * PANEL_NR);
+            assert_eq!(panel.as_ptr() as usize % 32, 0, "panel {pb} misaligned");
+            assert!(
+                panel[k * PANEL_NR..].iter().all(|&v| v == 0),
+                "panel {pb} padding must be zero svals"
+            );
             for kk in 0..k {
                 for c in 0..PANEL_NR {
                     let j = pb * PANEL_NR + c;

@@ -247,6 +247,9 @@ fn run(
     // The bounded window of one K-tile's all-normal wavefronts (shared by
     // every clean activation-row × weight-column pair).
     let win0 = WindowAcc::for_owlp_normal(shared_a, shared_w, k_tile.max(1));
+    // Kernel tier resolved before the column fan-out so a `with_tier`
+    // override on this thread applies inside every pool worker.
+    let tier = microkernel::selected_tier();
 
     // One wavefront: an activation row meeting a weight column. Clean
     // pairs (no tagged outlier on either stream) take the bounded-window
@@ -257,7 +260,7 @@ fn run(
     // by a bit), and a clean wavefront's occupancy is zero on either path.
     let wavefront = |arow: &Stream, wcol: &Stream, acc: &mut KulischAcc| -> usize {
         if arow.clean && wcol.clean {
-            let win = microkernel::dot_sval(&arow.sval, &wcol.sval, win0);
+            let win = microkernel::dot_sval_with(tier, &arow.sval, &wcol.sval, win0);
             win.merge_into(acc);
             return 0;
         }

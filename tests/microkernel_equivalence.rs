@@ -7,13 +7,20 @@
 
 use owlp_repro::arith::exact::exact_gemm;
 use owlp_repro::arith::gemm::{owlp_gemm, owlp_gemm_prepared_with, GemmScratch, PreparedTensor};
-use owlp_repro::arith::microkernel::{MR, NR};
-use owlp_repro::arith::KulischAcc;
+use owlp_repro::arith::microkernel::{
+    self, available_tiers, dot_sval_with, tile_dot_i16_with, tile_dot_i32_with, with_tier,
+    KernelTier, MR, NR,
+};
+use owlp_repro::arith::{KulischAcc, WindowAcc};
 use owlp_repro::format::Bf16;
 use owlp_repro::par::with_threads;
 use proptest::prelude::*;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Thread counts for the cross-tier sweep: the serial path and one
+/// fan-out wide enough to split every chunking strategy.
+const TIER_THREADS: [usize; 2] = [1, 4];
 
 /// Outlier densities in permille: all-normal, the paper's realistic ~3%,
 /// and all-outlier (every nonzero element far outside the shared window).
@@ -97,6 +104,105 @@ proptest! {
             assert_bits_equal("owlp_gemm_prepared_with", &prep.output, &oracle)?;
             let exact = with_threads(t, || exact_gemm(&a, &b, m, k, n));
             assert_bits_equal("exact_gemm", &exact, &oracle)?;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every SIMD tier this host offers produces bit-identical GEMM
+    /// outputs to the forced-scalar oracle — across outlier densities,
+    /// k values that leave pairwise-madd and K_PAD remainders, and at
+    /// serial and fanned-out thread counts. Signs are exercised by the
+    /// generator (roughly half of all entries are negative).
+    #[test]
+    fn every_tier_matches_the_forced_scalar_oracle(
+        m_rem in 0usize..MR,
+        n_rem in 0usize..NR,
+        k in 1usize..48,
+        density_idx in 0usize..DENSITIES.len(),
+        seed in any::<u64>(),
+    ) {
+        let (m, n) = (MR + m_rem, NR + n_rem);
+        let density = DENSITIES[density_idx];
+        let a = tensor(m * k, density, seed);
+        let b = tensor(k * n, density, seed.rotate_left(23) | 2);
+        let scalar_owlp = with_tier(KernelTier::Scalar, || owlp_gemm(&a, &b, m, k, n))
+            .expect("finite inputs");
+        let scalar_exact = with_tier(KernelTier::Scalar, || exact_gemm(&a, &b, m, k, n));
+        for &tier in available_tiers() {
+            for t in TIER_THREADS {
+                let owlp = with_tier(tier, || with_threads(t, || owlp_gemm(&a, &b, m, k, n)))
+                    .expect("finite inputs");
+                assert_bits_equal(tier.name(), &owlp.output, &scalar_owlp.output)?;
+                let exact = with_tier(tier, || with_threads(t, || exact_gemm(&a, &b, m, k, n)));
+                assert_bits_equal(tier.name(), &exact, &scalar_exact)?;
+            }
+        }
+    }
+
+    /// The raw kernel entry points agree with the scalar tier exactly at
+    /// the extremes of their input contracts: svals sampled from
+    /// {0, ±1, ±small, ±32752} (32752 is the maximum folded-significand
+    /// magnitude, the bound the pairwise-madd no-wrap proof rests on),
+    /// at depths straddling the SIMD lane widths.
+    #[test]
+    fn raw_kernels_agree_with_scalar_at_extreme_svals(
+        k in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        const EXTREMES: [i16; 9] = [0, 1, -1, 7, -7, 300, -300, 32752, -32752];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            EXTREMES[(state % EXTREMES.len() as u64) as usize]
+        };
+        let rows: Vec<Vec<i16>> = (0..MR).map(|_| (0..k).map(|_| next()).collect()).collect();
+        let panel: Vec<i16> = (0..k * NR).map(|_| next()).collect();
+        let a_rows: [&[i16]; MR] = std::array::from_fn(|r| rows[r].as_slice());
+        let win0 = WindowAcc::new(0);
+        let oracle = tile_dot_i16_with(KernelTier::Scalar, a_rows, &panel, win0);
+        let dot_oracle = dot_sval_with(KernelTier::Scalar, &rows[0], &rows[1], win0);
+        // The i32 twin sees in-band aligned magnitudes; scale to ~2^27 so
+        // the full-depth lane sum provably fits i64 at k<70 (the caller's
+        // band-width budget provides the same guarantee in production).
+        let rows32: Vec<Vec<i32>> =
+            (0..MR).map(|_| (0..k).map(|_| next() as i32 * 4_099).collect()).collect();
+        let panel32: Vec<i32> = (0..k * NR).map(|_| next() as i32 * 4_093).collect();
+        let a32: [&[i32]; MR] = std::array::from_fn(|r| rows32[r].as_slice());
+        let oracle32 = tile_dot_i32_with(KernelTier::Scalar, a32, &panel32);
+        for &tier in available_tiers() {
+            let wins = tile_dot_i16_with(tier, a_rows, &panel, win0);
+            for (wr, or) in wins.iter().zip(&oracle) {
+                for (w, o) in wr.iter().zip(or) {
+                    prop_assert_eq!(w.raw(), o.raw(), "tile_dot_i16 {} k={}", tier, k);
+                }
+            }
+            let dot = dot_sval_with(tier, &rows[0], &rows[1], win0);
+            prop_assert_eq!(dot.raw(), dot_oracle.raw(), "dot_sval {} k={}", tier, k);
+            let lanes = tile_dot_i32_with(tier, a32, &panel32);
+            prop_assert_eq!(lanes, oracle32, "tile_dot_i32 {} k={}", tier, k);
+        }
+    }
+}
+
+/// `with_tier` requests above what the host supports clamp to an
+/// available tier and still match the oracle (e.g. `avx2` forced on an
+/// SSE2-only machine, `neon` on x86) — the env-override safety net.
+#[test]
+fn unavailable_tier_requests_clamp_and_stay_exact() {
+    let (m, k, n) = (MR + 1, 13, NR + 2);
+    let a = tensor(m * k, 30, 0xC1A5);
+    let b = tensor(k * n, 30, 0x51DE);
+    let oracle = kulisch_oracle(&a, &b, m, k, n);
+    for tier in [KernelTier::Sse2, KernelTier::Avx2, KernelTier::Neon] {
+        let out =
+            microkernel::with_tier(tier, || owlp_gemm(&a, &b, m, k, n)).expect("finite inputs");
+        for (x, y) in out.output.iter().zip(&oracle) {
+            assert_eq!(x.to_bits(), y.to_bits(), "forced {tier}");
         }
     }
 }
