@@ -13,7 +13,7 @@ use crate::microkernel::{self, MR, NR};
 use crate::pe::PeConfig;
 use crate::window::{WindowAcc, OWLP_PRODUCT_BITS};
 use owlp_format::decode::DecodedOperand;
-use owlp_format::{encode_tensor, Bf16, EncodedTensor, PackedOperands, PackedPanels};
+use owlp_format::{encode_tensor, Bf16, MappedTensor, PackedOperands, PackedPanels};
 use serde::{Deserialize, Serialize};
 
 /// Result of an OwL-P GEMM with datapath statistics.
@@ -75,10 +75,12 @@ pub struct LaneStrike {
 /// Weight tensors in a serving loop are multiplied every iteration but
 /// never change; preparing them once hoists the encode + decode-pack work
 /// out of the per-request path (the memoisation the event-driven model and
-/// the functional transformer use).
+/// the functional transformer use). The planes inside may be owned heap
+/// buffers (the encode path) or borrowed views into a mapped archive v2
+/// file ([`PreparedTensor::from_mapped`]) — the GEMM reads them through
+/// the same slices either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedTensor {
-    enc: EncodedTensor,
     packed: PackedOperands,
     /// Weight panels for the register-tiled microkernel, memoised when the
     /// tensor was prepared with a known `k×n` shape
@@ -97,7 +99,6 @@ impl PreparedTensor {
         let enc = encode_tensor(t, None)?;
         let packed = enc.decode_packed();
         Ok(PreparedTensor {
-            enc,
             packed,
             panels: None,
         })
@@ -119,9 +120,15 @@ impl PreparedTensor {
         Ok(prep)
     }
 
-    /// The encoded tensor.
-    pub fn encoded(&self) -> &EncodedTensor {
-        &self.enc
+    /// Adopts the planes of an archive-v2 tensor *without decoding or
+    /// re-packing anything*: the operand planes and (when the archive
+    /// stored them) the microkernel weight panels are borrowed views into
+    /// the mapped file, so preparation is O(1) and the weight bytes stay
+    /// shared with the page cache. Bit-identical to
+    /// [`PreparedTensor::with_shape`] on the tensor's original values.
+    pub fn from_mapped(t: MappedTensor) -> Self {
+        let (packed, panels) = t.into_parts();
+        PreparedTensor { packed, panels }
     }
 
     /// The packed decoded operands.
@@ -138,7 +145,7 @@ impl PreparedTensor {
 /// Reusable activation-side buffers for [`owlp_gemm_prepared_with`]: the
 /// per-step decode of a serving loop refills the same packed planes
 /// instead of allocating fresh ones every call
-/// ([`EncodedTensor::decode_packed_into`]).
+/// ([`owlp_format::EncodedTensor::decode_packed_into`]).
 #[derive(Debug, Default)]
 pub struct GemmScratch {
     packed_a: PackedOperands,
@@ -182,9 +189,7 @@ pub fn owlp_gemm_prepared_with(
     let enc_a = encode_tensor(a, None)?;
     enc_a.decode_packed_into(&mut scratch.packed_a);
     owlp_gemm_packed(
-        &enc_a,
         &scratch.packed_a,
-        &b.enc,
         &b.packed,
         b.panels.as_ref(),
         m,
@@ -245,7 +250,7 @@ pub fn owlp_gemm_with(
     let enc_b = encode_tensor(b, None)?;
     let packed_a = enc_a.decode_packed();
     let packed_b = enc_b.decode_packed();
-    owlp_gemm_decoded(&enc_a, &packed_a, &enc_b, &packed_b, m, k, n, config, align)
+    owlp_gemm_decoded(&packed_a, &packed_b, m, k, n, config, align)
 }
 
 /// The datapath half of [`owlp_gemm`], reusable when the tensors are
@@ -256,11 +261,8 @@ pub fn owlp_gemm_with(
 /// # Errors
 ///
 /// As [`owlp_gemm`].
-#[allow(clippy::too_many_arguments)]
 pub fn owlp_gemm_decoded(
-    enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
-    enc_b: &EncodedTensor,
     packed_b: &PackedOperands,
     m: usize,
     k: usize,
@@ -268,9 +270,7 @@ pub fn owlp_gemm_decoded(
     config: PeConfig,
     align: AlignUnit,
 ) -> Result<OwlpGemmOutput, ArithError> {
-    owlp_gemm_packed(
-        enc_a, packed_a, enc_b, packed_b, None, m, k, n, config, align,
-    )
+    owlp_gemm_packed(packed_a, packed_b, None, m, k, n, config, align)
 }
 
 /// Merges a row's and a column's sorted outlier tables, yielding each
@@ -347,9 +347,7 @@ fn tag_exp_bounds(tags: &[(u32, i32)]) -> Option<(i32, i32)> {
 /// As [`owlp_gemm`].
 #[allow(clippy::too_many_arguments)]
 pub fn owlp_gemm_packed(
-    enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
-    enc_b: &EncodedTensor,
     packed_b: &PackedOperands,
     panels: Option<&PackedPanels>,
     m: usize,
@@ -358,10 +356,8 @@ pub fn owlp_gemm_packed(
     config: PeConfig,
     align: AlignUnit,
 ) -> Result<OwlpGemmOutput, ArithError> {
-    owlp_gemm_packed_impl::<false>(
-        enc_a, packed_a, enc_b, packed_b, panels, m, k, n, config, align, None,
-    )
-    .map(|(out, _)| out)
+    owlp_gemm_packed_impl::<false>(packed_a, packed_b, panels, m, k, n, config, align, None)
+        .map(|(out, _)| out)
 }
 
 /// [`owlp_gemm_packed`] with ABFT checksum collection (and optionally a
@@ -380,9 +376,7 @@ pub fn owlp_gemm_packed(
 /// As [`owlp_gemm`].
 #[allow(clippy::too_many_arguments)]
 pub fn owlp_gemm_packed_abft(
-    enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
-    enc_b: &EncodedTensor,
     packed_b: &PackedOperands,
     panels: Option<&PackedPanels>,
     m: usize,
@@ -391,9 +385,7 @@ pub fn owlp_gemm_packed_abft(
     strike: Option<LaneStrike>,
 ) -> Result<(OwlpGemmOutput, AbftSums), ArithError> {
     owlp_gemm_packed_impl::<true>(
-        enc_a,
         packed_a,
-        enc_b,
         packed_b,
         panels,
         m,
@@ -413,9 +405,7 @@ pub fn owlp_gemm_packed_abft(
 // recorded exactly that leak as a serial regression).
 #[allow(clippy::too_many_arguments)]
 fn owlp_gemm_packed_impl<const ABFT: bool>(
-    enc_a: &EncodedTensor,
     packed_a: &PackedOperands,
-    enc_b: &EncodedTensor,
     packed_b: &PackedOperands,
     panels: Option<&PackedPanels>,
     m: usize,
@@ -429,8 +419,8 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
     check_len(packed_b.len(), k * n, "decoded B")?;
     let rows = k.div_ceil(config.lanes).max(1);
     let column = PeColumn::new(config, rows).with_align(align);
-    let shared_a = enc_a.shared_exp();
-    let shared_w = enc_b.shared_exp();
+    let shared_a = packed_a.shared_exp();
+    let shared_w = packed_b.shared_exp();
     let fast_ok = matches!(align, AlignUnit::Exact);
     debug_assert!(fast_ok || !ABFT, "ABFT requires the exact align unit");
     // Tagged-position tables, hoisted out of the m×n loop: for each
@@ -789,8 +779,8 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
             output,
             shared_a,
             shared_w,
-            act_outliers: enc_a.outlier_count(),
-            weight_outliers: enc_b.outlier_count(),
+            act_outliers: packed_a.stored_outlier_count(),
+            weight_outliers: packed_b.stored_outlier_count(),
             max_wavefront_outliers: max_wavefront,
             total_outlier_products,
         },
@@ -984,8 +974,7 @@ mod tests {
         let enc_a = encode_tensor(&a, None).unwrap();
         let enc_b = encode_tensor(&b, None).unwrap();
         let (pa, pb) = (enc_a.decode_packed(), enc_b.decode_packed());
-        let (out, sums) =
-            owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, None).unwrap();
+        let (out, sums) = owlp_gemm_packed_abft(&pa, &pb, None, m, k, n, None).unwrap();
         // The ABFT run must not perturb the plain result by a bit.
         let plain = owlp_gemm(&a, &b, m, k, n).unwrap();
         assert_eq!(out, plain);
@@ -1009,8 +998,7 @@ mod tests {
             j: 7,
             bit: 19,
         };
-        let (_, struck) =
-            owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, Some(strike)).unwrap();
+        let (_, struck) = owlp_gemm_packed_abft(&pa, &pb, None, m, k, n, Some(strike)).unwrap();
         let delta = struck.rows[4] - sums.rows[4];
         assert_eq!(delta.abs(), 1i128 << 19);
         assert_eq!(struck.cols[7] - sums.cols[7], delta);
@@ -1026,11 +1014,8 @@ mod tests {
         let enc_a2 = encode_tensor(&a2, None).unwrap();
         let enc_b2 = encode_tensor(&b2, None).unwrap();
         let (pa2, pb2) = (enc_a2.decode_packed(), enc_b2.decode_packed());
-        let (clean2, _) =
-            owlp_gemm_packed_abft(&enc_a2, &pa2, &enc_b2, &pb2, None, m, k, n, None).unwrap();
-        let (bad2, _) =
-            owlp_gemm_packed_abft(&enc_a2, &pa2, &enc_b2, &pb2, None, m, k, n, Some(strike))
-                .unwrap();
+        let (clean2, _) = owlp_gemm_packed_abft(&pa2, &pb2, None, m, k, n, None).unwrap();
+        let (bad2, _) = owlp_gemm_packed_abft(&pa2, &pb2, None, m, k, n, Some(strike)).unwrap();
         assert_ne!(
             bad2.output[4 * n + 7].to_bits(),
             clean2.output[4 * n + 7].to_bits()
@@ -1045,7 +1030,7 @@ mod tests {
         let enc_a = encode_tensor(&a, None).unwrap();
         let enc_b = encode_tensor(&b, None).unwrap();
         let (pa, pb) = (enc_a.decode_packed(), enc_b.decode_packed());
-        let run = || owlp_gemm_packed_abft(&enc_a, &pa, &enc_b, &pb, None, m, k, n, None).unwrap();
+        let run = || owlp_gemm_packed_abft(&pa, &pb, None, m, k, n, None).unwrap();
         let serial = owlp_par::with_threads(1, run);
         for t in [2, 4, 8] {
             assert_eq!(owlp_par::with_threads(t, run), serial, "{t} threads");

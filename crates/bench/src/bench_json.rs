@@ -32,8 +32,10 @@ const REPS: usize = 7;
 /// `integrity` fault-sweep and checksum-overhead section; v5 adds the
 /// `simd` dispatch section (detected features, selected tier, per-tier
 /// throughput and cross-tier bit-identity) and per-case `serial_gain`
-/// regression gating.
-pub const SCHEMA: u32 = 5;
+/// regression gating; v6 adds the `weights` archive-v2 section
+/// (mmap-vs-eager cold load, streaming-encode budget conformance, and the
+/// mapped-vs-owned GEMM bit-identity gate).
+pub const SCHEMA: u32 = 6;
 
 /// Maximum acceptable checksum overhead on the serial GEMM paths
 /// (fraction of plain throughput). CI fails a full run that exceeds it.
@@ -208,6 +210,45 @@ pub struct SimdSection {
     pub tiers_bit_identical: bool,
 }
 
+/// Cold-load floor CI enforces: mapping a packed archive must beat the
+/// eager encode-and-pack cold start by at least this factor on a full run.
+pub const COLD_LOAD_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// The `weights` section (schema v6): the zero-copy archive-v2 weight
+/// path. One model's tensors are streaming-encoded to disk under a small
+/// fixed budget, then cold-started both ways — eager (encode + pack +
+/// panel-tile from BF16, today's startup) and mapped (open + adopt planes,
+/// zero decode) — and every mapped tensor's GEMM is re-checked bit-for-bit
+/// against its owned twin at every kernel tier and thread count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WeightsSection {
+    /// Tensors packed into the archive.
+    pub tensors: usize,
+    /// Archive file size, bytes.
+    pub archive_bytes: u64,
+    /// Streaming-encode transient-memory budget, bytes.
+    pub stream_budget: u64,
+    /// Peak transient bytes the streaming encoder actually held.
+    pub stream_peak_alloc: u64,
+    /// `stream_peak_alloc <= stream_budget` — the bounded-memory gate.
+    pub stream_within_budget: bool,
+    /// Best eager cold start, seconds (encode + pack + panel per tensor).
+    pub eager_cold_s: f64,
+    /// Best mapped cold start, seconds (open archive + adopt all planes).
+    pub mmap_cold_s: f64,
+    /// `eager_cold_s / mmap_cold_s` — gated at
+    /// [`COLD_LOAD_SPEEDUP_FLOOR`] on full runs.
+    pub cold_speedup: f64,
+    /// Whether the planes came from a true `mmap` (vs the aligned
+    /// heap-read fallback — same layout, so the identity gates still run).
+    pub mapped: bool,
+    /// Every per-plane CRC32C digest verified against the mapped bytes.
+    pub digests_verified: bool,
+    /// Every mapped tensor's GEMM reproduced its owned twin's output bits
+    /// at every available kernel tier, serially and at the thread budget.
+    pub mapped_gemm_bit_identical: bool,
+}
+
 /// The full baseline report.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchReport {
@@ -233,6 +274,8 @@ pub struct BenchReport {
     pub integrity: IntegritySection,
     /// Kernel-dispatch accounting and per-tier throughput (schema v5).
     pub simd: SimdSection,
+    /// Archive-v2 weight-path verdicts (schema v6).
+    pub weights: WeightsSection,
 }
 
 /// Interleaved min-times of a plain/checked pair: the two closures run
@@ -441,6 +484,106 @@ pub fn run(smoke: bool) -> BenchReport {
         memory: memory_section(smoke),
         integrity: integrity_section(smoke),
         simd: simd_section(smoke),
+        weights: weights_section(smoke),
+    }
+}
+
+/// Packs a small weight set to disk under a tight streaming budget, then
+/// measures both cold starts and re-checks mapped-vs-owned GEMM
+/// bit-identity across every kernel tier and thread count.
+fn weights_section(smoke: bool) -> WeightsSection {
+    use owlp_arith::gemm::{owlp_gemm_prepared, PreparedTensor};
+    use owlp_arith::microkernel;
+    use owlp_format::{ArchiveWriter, MappedArchive};
+
+    let reps = if smoke { 1 } else { REPS };
+    let threads = owlp_par::thread_budget();
+    // Tensor set sized so the eager side pays a real encode+pack bill;
+    // the budget is far below the raw tensor bytes, forcing many
+    // streaming chunks per tensor.
+    let (k, n, count) = if smoke { (96, 64, 3) } else { (256, 192, 4) };
+    let budget = if smoke { 32 << 10 } else { 256 << 10 };
+    let tensors: Vec<(String, Vec<owlp_format::Bf16>)> = (0..count)
+        .map(|i| (format!("w{i}"), tensor(k * n, 100 + i as u64)))
+        .collect();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("owlp-bench-weights-{}.owl2", std::process::id()));
+    let mut writer = ArchiveWriter::with_budget(&path, budget).expect("temp archive creates");
+    for (name, data) in &tensors {
+        writer
+            .add_tensor_slice(name, k, n, data)
+            .expect("bench tensors are finite");
+    }
+    let summary = writer.finish().expect("archive finishes");
+
+    // Eager cold start: what startup costs today — encode, decode-pack,
+    // and panel-tile every tensor from its BF16 values.
+    let (eager_cold_s, owned) = min_time(reps, || {
+        tensors
+            .iter()
+            .map(|(_, data)| PreparedTensor::with_shape(data, k, n).expect("finite"))
+            .collect::<Vec<_>>()
+    });
+    // Mapped cold start: open the archive and adopt every tensor's planes.
+    // `tensor_unverified` is the production fast path; digests get their
+    // own verified pass below.
+    let (mmap_cold_s, mapped_prepared) = min_time(reps, || {
+        let archive = MappedArchive::open(&path).expect("archive opens");
+        tensors
+            .iter()
+            .map(|(name, _)| {
+                PreparedTensor::from_mapped(archive.tensor_unverified(name).expect("present"))
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let archive = MappedArchive::open(&path).expect("archive reopens");
+    let mapped = archive.was_mapped();
+    let digests_verified = archive.verify().is_ok();
+
+    // Bit-identity gate: every mapped tensor, every available kernel
+    // tier, one thread and the full budget — mapped planes must be
+    // indistinguishable from owned ones to the GEMM.
+    let m = if smoke { 8 } else { 16 };
+    let a = tensor(m * k, 99);
+    let mut identical = true;
+    for (own, map) in owned.iter().zip(&mapped_prepared) {
+        identical &= own == map;
+        for &tier in microkernel::available_tiers() {
+            for t in [1, threads] {
+                let bits = |prep: &PreparedTensor| {
+                    microkernel::with_tier(tier, || {
+                        owlp_par::with_threads(t, || {
+                            owlp_gemm_prepared(&a, prep, m, k, n)
+                                .expect("finite")
+                                .output
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                };
+                identical &= bits(own) == bits(map);
+            }
+        }
+    }
+    drop(mapped_prepared);
+    drop(archive);
+    std::fs::remove_file(&path).ok();
+
+    WeightsSection {
+        tensors: summary.tensors,
+        archive_bytes: summary.file_len,
+        stream_budget: summary.budget as u64,
+        stream_peak_alloc: summary.peak_alloc as u64,
+        stream_within_budget: summary.peak_alloc <= summary.budget,
+        eager_cold_s,
+        mmap_cold_s,
+        cold_speedup: eager_cold_s / mmap_cold_s,
+        mapped,
+        digests_verified,
+        mapped_gemm_bit_identical: identical,
     }
 }
 
@@ -466,9 +609,7 @@ fn simd_section(smoke: bool) -> SimdSection {
     let panels = packed_b.pack_panels(k, n);
     let run_owlp = || {
         owlp_arith::gemm::owlp_gemm_packed(
-            &enc_a,
             &packed_a,
-            &enc_b,
             &packed_b,
             Some(&panels),
             m,
@@ -579,7 +720,7 @@ fn integrity_section(smoke: bool) -> IntegritySection {
     // One copy of the operands for both sides of the ratio: the plain
     // kernel reads the guarded working storage and memoised weight
     // panels, as production would.
-    let (enc_a, packed_a, enc_b, packed_b) = guarded.working();
+    let (packed_a, packed_b) = guarded.working();
     let panels = guarded.panels();
     let mut overhead = Vec::new();
     let mut push = |case: &str, plain_s: f64, checked_s: f64| {
@@ -600,9 +741,7 @@ fn integrity_section(smoke: bool) -> IntegritySection {
             || {
                 std::hint::black_box(
                     owlp_arith::gemm::owlp_gemm_packed(
-                        enc_a,
                         packed_a,
-                        enc_b,
                         packed_b,
                         Some(panels),
                         m,
@@ -829,12 +968,15 @@ pub fn render(r: &BenchReport) -> String {
             format!("{:.3e}", tt.serial_ops_per_s),
         ]);
     }
+    let w = &r.weights;
     format!(
         "Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}\n\
          Memory co-simulation (roof {:.0} GB/s, byte conservation {})\n{}\n\
          Integrity sweep (seed {}, {} faults, {} escaped, {} false positive{}, corrected bit-identical {})\n{}\n\
          Checksum overhead (serial, limit {:.0}%)\n{}\n\
-         Kernel tiers (OWLP_SIMD={}, selected {}, features [{}], cross-tier bit-identical {})\n{}",
+         Kernel tiers (OWLP_SIMD={}, selected {}, features [{}], cross-tier bit-identical {})\n{}\n\
+         Weight archive ({} tensors, {} B, stream peak {}/{} B within-budget {}, mapped {})\n  \
+         cold load: eager {:.4}s vs mmap {:.4}s = {:.1}x, digests verified {}, mapped GEMM bit-identical {}",
         r.schema,
         r.hardware_threads,
         if r.hardware_threads == 1 { "" } else { "s" },
@@ -858,7 +1000,18 @@ pub fn render(r: &BenchReport) -> String {
         r.simd.selected_tier,
         r.simd.detected_features.join(","),
         r.simd.tiers_bit_identical,
-        st.render()
+        st.render(),
+        w.tensors,
+        w.archive_bytes,
+        w.stream_peak_alloc,
+        w.stream_budget,
+        w.stream_within_budget,
+        w.mapped,
+        w.eager_cold_s,
+        w.mmap_cold_s,
+        w.cold_speedup,
+        w.digests_verified,
+        w.mapped_gemm_bit_identical
     )
 }
 
@@ -886,6 +1039,26 @@ mod tests {
         assert!(json.contains("\"escaped_total\""));
         assert!(json.contains("\"overhead_frac\""));
         assert!(json.contains("\"tiers_bit_identical\""));
+        assert!(json.contains("\"stream_within_budget\""));
+        assert!(json.contains("\"mapped_gemm_bit_identical\""));
+        assert!(json.contains("\"cold_speedup\""));
+        // The weights gates CI enforces on full runs: streaming encode
+        // within budget, digests verified, mapped GEMM bit-identical.
+        // (The ≥10x cold-load floor is only gated on full runs — smoke
+        // shapes are too small for a stable ratio — but the ratio must
+        // at least be well-formed.)
+        assert!(r.weights.tensors > 0);
+        assert!(r.weights.archive_bytes > 0);
+        assert!(
+            r.weights.stream_within_budget,
+            "streaming encode exceeded its budget"
+        );
+        assert!(r.weights.digests_verified);
+        assert!(
+            r.weights.mapped_gemm_bit_identical,
+            "a mapped tensor's GEMM diverged from its owned twin"
+        );
+        assert!(r.weights.cold_speedup.is_finite() && r.weights.cold_speedup > 0.0);
         // The simd section CI gates on: scalar first, every available
         // tier timed on both GEMM paths, all tiers bit-identical.
         assert_eq!(

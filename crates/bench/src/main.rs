@@ -17,30 +17,44 @@
 //! repro serve-faults   serving under escalating fault injection
 //! ```
 //!
-//! Plus two non-paper maintenance commands:
+//! Plus three non-paper maintenance commands:
 //!
 //! ```text
 //! repro bench-json [--smoke] [--out PATH] [--baseline PATH] [--allow-regress]
-//! repro features
+//! repro pack [--out PATH] [--budget BYTES] [--verify]
+//! repro features [--archive PATH]
 //! ```
 //!
 //! `bench-json` times the `owlp-par` hot paths serial vs parallel and
-//! writes a machine-readable baseline report (default `BENCH_PR7.json`),
+//! writes a machine-readable baseline report (default `BENCH_PR8.json`),
 //! comparing serial throughput against the previous baseline (default
-//! `BENCH_PR6.json`) when present. The report carries a `memory` section —
+//! `BENCH_PR7.json`) when present. The report carries a `memory` section —
 //! event-driven HBM co-simulation verdicts — an `integrity` section —
-//! seeded fault-sweep coverage plus checksum overhead — and a `simd`
+//! seeded fault-sweep coverage plus checksum overhead — a `simd`
 //! section — runtime kernel-dispatch accounting with per-tier throughput
-//! and cross-tier bit-identity. The run fails when byte conservation is
-//! violated, when any swept fault escapes or raises a false positive,
-//! when any kernel tier diverges from the scalar oracle, or (full runs
-//! only) when the checksum overhead exceeds its budget or a case's serial
+//! and cross-tier bit-identity — and a `weights` section — archive-v2
+//! streaming-encode budget conformance, mmap-vs-eager cold load, and
+//! mapped-vs-owned GEMM bit-identity. The run fails when byte
+//! conservation is violated, when any swept fault escapes or raises a
+//! false positive, when any kernel tier diverges from the scalar oracle,
+//! when the streaming encoder exceeds its budget or a mapped GEMM
+//! diverges, or (full runs only) when the checksum overhead exceeds its
+//! budget, the mapped cold load misses its ≥10x floor, or a case's serial
 //! throughput regresses more than 10% against the baseline without
 //! `--allow-regress`.
 //!
+//! `pack` streaming-encodes the deterministic smoke model's weights into
+//! an archive-v2 file under the `OWLP_STREAM_BUDGET` byte budget (or
+//! `--budget`, accepting K/M/G suffixes); `--verify` maps the archive
+//! back, checks every plane digest, and re-runs the transformer forward
+//! pass off the mapped planes bit-for-bit against the exact engine — the
+//! CI serving-cold-start gate.
+//!
 //! `features` prints the detected CPU features, the kernel tier each
 //! microkernel entry point dispatches to, and the effective
-//! `OWLP_SIMD` / `OWLP_THREADS` overrides.
+//! `OWLP_SIMD` / `OWLP_THREADS` / `OWLP_STREAM_BUDGET` overrides; with
+//! `--archive PATH` it also scrubs that archive-v2 file (whole-plane and
+//! per-tile CRC32C digests) and reports what it verified.
 //!
 //! `repro serve-faults --json PATH` writes the fault sweep as JSON to
 //! `PATH` and exits nonzero when the integrity gate fails (an SDC escaped
@@ -146,7 +160,7 @@ fn run_one(name: &str, smoke: bool) -> Result<String, String> {
 
 /// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]
 /// [--allow-regress]` — run the parallel-speedup baseline suite and write
-/// the JSON report. When the baseline file (default `BENCH_PR6.json`)
+/// the JSON report. When the baseline file (default `BENCH_PR7.json`)
 /// exists, each case also records its old-vs-new serial throughput gain;
 /// a case regressing past [`bench_json::REGRESS_LIMIT_GAIN`] always warns
 /// and fails non-smoke runs unless `--allow-regress` is given.
@@ -157,12 +171,12 @@ fn run_bench_json(args: &[String]) {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR7.json", String::as_str);
+        .map_or("BENCH_PR8.json", String::as_str);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR6.json", String::as_str);
+        .map_or("BENCH_PR7.json", String::as_str);
     let mut report = bench_json::run(smoke);
     if let Ok(old) = std::fs::read_to_string(baseline) {
         if !bench_json::attach_baseline(&mut report, &old) {
@@ -187,6 +201,33 @@ fn run_bench_json(args: &[String]) {
     }
     if !report.memory.byte_conservation_ok {
         eprintln!("error: the memory co-simulation violated byte conservation");
+        std::process::exit(1);
+    }
+    let weights = &report.weights;
+    if !weights.stream_within_budget {
+        eprintln!(
+            "error: streaming encode peaked at {} bytes over its {}-byte budget",
+            weights.stream_peak_alloc, weights.stream_budget
+        );
+        std::process::exit(1);
+    }
+    if !weights.digests_verified {
+        eprintln!("error: an archive plane digest failed verification");
+        std::process::exit(1);
+    }
+    if !weights.mapped_gemm_bit_identical {
+        eprintln!("error: a mapped tensor's GEMM diverged from its owned twin");
+        std::process::exit(1);
+    }
+    // The cold-load floor is a timing, so like the other timing gates it
+    // only binds full runs — smoke shapes are too small for the ratio to
+    // clear jitter.
+    if !report.smoke && weights.cold_speedup < bench_json::COLD_LOAD_SPEEDUP_FLOOR {
+        eprintln!(
+            "error: mapped cold load is only {:.1}x faster than eager (floor {:.0}x)",
+            weights.cold_speedup,
+            bench_json::COLD_LOAD_SPEEDUP_FLOOR
+        );
         std::process::exit(1);
     }
     let integ = &report.integrity;
@@ -236,11 +277,139 @@ fn run_bench_json(args: &[String]) {
     }
 }
 
-/// `repro features` — print the detected CPU features, the kernel tier
-/// each microkernel entry point dispatches to, and the effective
-/// environment overrides, so a bench or CI log can be interpreted
-/// without re-deriving what the host supports.
-fn run_features() {
+/// `repro pack [--out PATH] [--budget BYTES] [--verify]` — the offline
+/// half of the serving cold start: streaming-encode the deterministic
+/// smoke model's weights into an archive-v2 file under a bounded
+/// transient-memory budget. With `--verify`, map the archive back, check
+/// every plane digest, serve a GEMM off the mapped planes, and re-run the
+/// transformer forward pass bit-for-bit against the exact engine.
+fn run_pack(args: &[String]) {
+    use owlp_core::{GemmEngine, TinyConfig, TinyTransformer};
+    use owlp_model::ModelId;
+
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("model.owl2", String::as_str);
+    let verify = args.iter().any(|a| a == "--verify");
+    let budget = match args
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(s) => match owlp_format::archive2::parse_stream_budget(s) {
+            Some(b) => b,
+            None => {
+                eprintln!("error: --budget {s:?} is not a byte count (K/M/G suffixes accepted)");
+                std::process::exit(2);
+            }
+        },
+        None => owlp_format::stream_budget_from_env(),
+    };
+
+    let cfg = TinyConfig::small();
+    let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, SEED);
+    let summary = match model.save_archive_with_budget(std::path::Path::new(out), budget) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot pack {out}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "packed {} tensor{} into {out}: {} bytes, stream budget {} bytes, peak {} bytes",
+        summary.tensors,
+        if summary.tensors == 1 { "" } else { "s" },
+        summary.file_len,
+        summary.budget,
+        summary.peak_alloc
+    );
+    if summary.peak_alloc > summary.budget {
+        eprintln!(
+            "error: streaming encode peaked at {} bytes over its {}-byte budget",
+            summary.peak_alloc, summary.budget
+        );
+        std::process::exit(1);
+    }
+    if !verify {
+        return;
+    }
+
+    // Digest-verified load through the serving path, plus one GEMM off
+    // the mapped planes.
+    let (served, cold) = match owlp_serve::ColdStart::measure(std::path::Path::new(out)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: cold start failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = owlp_serve::ServedWeights::load(std::path::Path::new(out)) {
+        eprintln!("error: a plane digest failed verification: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "cold start: {} tensors in {:.6}s (mmap {}), digest scrub ok",
+        cold.tensors, cold.load_s, cold.mapped,
+    );
+    // First sorted name is `layer0/w1`, whose k is the hidden dim.
+    let name = served
+        .names()
+        .into_iter()
+        .next()
+        .expect("model has tensors");
+    let k = cfg.hidden;
+    let acts: Vec<owlp_format::Bf16> = (0..4 * k)
+        .map(|i| owlp_format::Bf16::from_f32(0.25 + (i % 7) as f32 * 0.125))
+        .collect();
+    if let Err(e) = served.gemm(&name, &acts, 4) {
+        eprintln!("error: the served GEMM failed on {name}: {e}");
+        std::process::exit(1);
+    }
+
+    // The end-to-end gate: a transformer rebuilt from the mapped archive
+    // must equal the model that wrote it, and its OwL-P forward pass must
+    // reproduce the exact engine's bits.
+    let loaded = match TinyTransformer::from_archive(cfg, std::path::Path::new(out)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot reload {out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if loaded != model {
+        eprintln!("error: the reloaded transformer differs from the packed one");
+        std::process::exit(1);
+    }
+    let x: Vec<owlp_format::Bf16> = (0..cfg.seq * cfg.hidden)
+        .map(|i| owlp_format::Bf16::from_f32(((i % 13) as f32 - 6.0) * 0.125))
+        .collect();
+    let owlp = loaded
+        .forward(&x, GemmEngine::Owlp)
+        .expect("finite forward");
+    let exact = loaded
+        .forward(&x, GemmEngine::Exact)
+        .expect("finite forward");
+    let identical = owlp
+        .output
+        .iter()
+        .zip(&exact.output)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !identical {
+        eprintln!("error: the mapped forward pass diverged from the exact engine");
+        std::process::exit(1);
+    }
+    println!("verify: mapped forward pass bit-identical to the exact engine");
+}
+
+/// `repro features [--archive PATH]` — print the detected CPU features,
+/// the kernel tier each microkernel entry point dispatches to, and the
+/// effective environment overrides, so a bench or CI log can be
+/// interpreted without re-deriving what the host supports. With
+/// `--archive`, scrub that archive-v2 file's digests and report the
+/// verified plane/tile counts.
+fn run_features(args: &[String]) {
     use owlp_arith::microkernel;
     let features = microkernel::detected_features();
     let tiers: Vec<&str> = microkernel::available_tiers()
@@ -266,6 +435,40 @@ fn run_features() {
         env_of(owlp_par::ENV_THREADS)
     );
     println!("threads      : {}", owlp_par::thread_budget());
+    println!(
+        "{:<13}: {}",
+        owlp_format::archive2::STREAM_BUDGET_ENV,
+        env_of(owlp_format::archive2::STREAM_BUDGET_ENV)
+    );
+    println!(
+        "stream budget: {} bytes",
+        owlp_format::stream_budget_from_env()
+    );
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--archive")
+        .and_then(|i| args.get(i + 1))
+    {
+        match owlp_format::MappedArchive::open(std::path::Path::new(path)) {
+            Ok(archive) => match archive.verify() {
+                Ok(report) => println!(
+                    "archive      : {path} ok — {} tensors, {} planes, {} tiles verified (mmap {})",
+                    report.tensors,
+                    report.planes,
+                    report.tiles,
+                    archive.was_mapped()
+                ),
+                Err(e) => {
+                    eprintln!("error: archive {path} failed its digest scrub: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot open archive {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// `repro serve-faults --json PATH` — write the fault sweep as JSON and
@@ -315,8 +518,12 @@ fn main() {
         run_bench_json(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("pack") {
+        run_pack(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("features") {
-        run_features();
+        run_features(&args[1..]);
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -325,7 +532,7 @@ fn main() {
         None | Some("all") => EXPERIMENTS.to_vec(),
         Some("--help") | Some("-h") => {
             eprintln!(
-                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH] [--allow-regress]\n       repro features\n       repro serve-faults --json PATH",
+                "usage: repro [all|{}] [--json] [--smoke]\n       repro bench-json [--smoke] [--out PATH] [--baseline PATH] [--allow-regress]\n       repro pack [--out PATH] [--budget BYTES] [--verify]\n       repro features [--archive PATH]\n       repro serve-faults --json PATH",
                 EXPERIMENTS.join("|")
             );
             return;

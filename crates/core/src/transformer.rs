@@ -24,10 +24,11 @@ use owlp_arith::exact::exact_gemm;
 use owlp_arith::fpmac::fp_mac_gemm;
 use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared_with, GemmScratch, PreparedTensor};
 use owlp_arith::ArithError;
-use owlp_format::Bf16;
+use owlp_format::{ArchiveError, ArchiveSummary, ArchiveWriter, Bf16, FormatError, MappedArchive};
 use owlp_model::profiles::{profile_for, Dataset, TensorRole};
 use owlp_model::{ModelId, OpKind, TensorGen};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Which datapath executes the GEMMs of a forward pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,6 +88,23 @@ impl TinyConfig {
     fn head_dim(&self) -> usize {
         self.hidden / self.heads
     }
+
+    /// `(k, n)` of the four weight tensors of one layer, in the
+    /// wqkv/wo/w1/w2 order of `LayerWeights::prepared`.
+    fn weight_shapes(&self) -> [(usize, usize); 4] {
+        [
+            (self.hidden, 3 * self.hidden),
+            (self.hidden, self.hidden),
+            (self.hidden, self.ffn),
+            (self.ffn, self.hidden),
+        ]
+    }
+}
+
+/// Archive-v2 name of weight tensor `t` (wqkv/wo/w1/w2 order) of layer `l`.
+fn tensor_name(l: usize, t: usize) -> String {
+    const NAMES: [&str; 4] = ["wqkv", "wo", "w1", "w2"];
+    format!("layer{l}/{}", NAMES[t])
 }
 
 /// Per-layer weights in BF16 (as the accelerator stores them), each paired
@@ -167,6 +185,92 @@ impl TinyTransformer {
     /// The configuration.
     pub fn config(&self) -> TinyConfig {
         self.config
+    }
+
+    /// Packs every weight tensor into an archive-v2 file at `path` —
+    /// planes, sorted outlier tables, and microkernel panels laid out
+    /// exactly as the GEMM consumes them — under the
+    /// `OWLP_STREAM_BUDGET` streaming-encode byte budget. The offline
+    /// half of the serving cold start: [`TinyTransformer::from_archive`]
+    /// maps the result back with zero decode or re-pack work.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and encode errors ([`ArchiveError`]).
+    pub fn save_archive(&self, path: &Path) -> Result<ArchiveSummary, ArchiveError> {
+        let mut writer = ArchiveWriter::create(path)?;
+        self.write_tensors(&mut writer)?;
+        writer.finish()
+    }
+
+    /// [`TinyTransformer::save_archive`] with an explicit streaming-encode
+    /// byte budget instead of the environment default.
+    ///
+    /// # Errors
+    ///
+    /// As [`TinyTransformer::save_archive`].
+    pub fn save_archive_with_budget(
+        &self,
+        path: &Path,
+        budget: usize,
+    ) -> Result<ArchiveSummary, ArchiveError> {
+        let mut writer = ArchiveWriter::with_budget(path, budget)?;
+        self.write_tensors(&mut writer)?;
+        writer.finish()
+    }
+
+    fn write_tensors(&self, writer: &mut ArchiveWriter) -> Result<(), ArchiveError> {
+        let shapes = self.config.weight_shapes();
+        for (l, lw) in self.layers.iter().enumerate() {
+            let tensors = [&lw.wqkv, &lw.wo, &lw.w1, &lw.w2];
+            for (t, (&(k, n), data)) in shapes.iter().zip(tensors).enumerate() {
+                writer.add_tensor_slice(&tensor_name(l, t), k, n, data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a transformer from a packed archive, borrowing every
+    /// weight plane and panel straight out of the mapped file: each
+    /// tensor's digests are verified, its BF16 values are reconstructed
+    /// losslessly (for the exact/FP reference engines), and its prepared
+    /// form adopts the mapped planes with no decode or re-pack — the
+    /// serving cold-start path. The result is equal to the transformer
+    /// that wrote the archive, and its forward pass is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError`] for unreadable/corrupt archives, missing tensors,
+    /// or shapes that disagree with `config`.
+    pub fn from_archive(config: TinyConfig, path: &Path) -> Result<Self, ArchiveError> {
+        let archive = MappedArchive::open(path)?;
+        let shapes = config.weight_shapes();
+        let layers = (0..config.layers)
+            .map(|l| {
+                let mut tensors: [Option<(Vec<Bf16>, PreparedTensor)>; 4] =
+                    [None, None, None, None];
+                for (t, slot) in tensors.iter_mut().enumerate() {
+                    let mapped = archive.tensor(&tensor_name(l, t))?;
+                    let (k, n) = shapes[t];
+                    if (mapped.k(), mapped.n()) != (k, n) {
+                        return Err(ArchiveError::Format(FormatError::ShapeMismatch {
+                            expected: k * n,
+                            actual: mapped.k() * mapped.n(),
+                        }));
+                    }
+                    *slot = Some((mapped.to_bf16_vec(), PreparedTensor::from_mapped(mapped)));
+                }
+                let [qkv, o, up, down] = tensors.map(|t| t.expect("all four slots filled"));
+                Ok(LayerWeights {
+                    wqkv: qkv.0,
+                    wo: o.0,
+                    w1: up.0,
+                    w2: down.0,
+                    prepared: [qkv.1, o.1, up.1, down.1],
+                })
+            })
+            .collect::<Result<Vec<_>, ArchiveError>>()?;
+        Ok(TinyTransformer { config, layers })
     }
 
     /// Runs the forward pass on `input` (`seq × hidden` BF16, row-major).
@@ -485,5 +589,51 @@ mod tests {
         let cfg = TinyConfig::small();
         let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, 1);
         let _ = model.forward(&[Bf16::ONE; 3], GemmEngine::Exact);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "owlp-transformer-test-{}-{name}.owl2",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn archive_roundtrip_reloads_an_equal_transformer() {
+        let cfg = TinyConfig::small();
+        let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, 11);
+        let path = temp_path("roundtrip");
+        // A tiny budget forces many streaming chunks per tensor.
+        model.save_archive_with_budget(&path, 8 << 10).unwrap();
+        let loaded = TinyTransformer::from_archive(cfg, &path).unwrap();
+        // Mapped planes compare by contents, so equality covers every
+        // weight value, packed plane, and memoised panel.
+        assert_eq!(model, loaded);
+        let x = input(cfg, 12);
+        let a = model.forward(&x, GemmEngine::Owlp).unwrap();
+        let b = loaded.forward(&x, GemmEngine::Owlp).unwrap();
+        assert_eq!(a, b, "mapped weights must not change a bit");
+        let exact = loaded.forward(&x, GemmEngine::Exact).unwrap();
+        for (x, y) in exact.output.iter().zip(&b.output) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_archive_rejects_a_mismatched_config() {
+        let cfg = TinyConfig::small();
+        let model = TinyTransformer::new(cfg, ModelId::Gpt2Base, 13);
+        let path = temp_path("mismatch");
+        model.save_archive_with_budget(&path, 64 << 10).unwrap();
+        let mut wider = cfg;
+        wider.ffn *= 2;
+        assert!(TinyTransformer::from_archive(wider, &path).is_err());
+        let mut deeper = cfg;
+        deeper.layers += 1;
+        assert!(TinyTransformer::from_archive(deeper, &path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

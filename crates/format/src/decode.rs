@@ -114,6 +114,36 @@ impl DecodedOperand {
         let (m, p) = self.exact_value(shared_exp);
         m as f64 * (p as f64).exp2()
     }
+
+    /// Reconstructs the original BF16 value — the exact inverse of
+    /// [`BiasDecoder::decode`] under the same shared exponent, bit-for-bit
+    /// (including the sign of zero). This is the decode half of the
+    /// streaming archive: the packed planes alone recover the source
+    /// weights losslessly, so no BF16 copy needs to ride in the container.
+    ///
+    /// Outliers carry their exponent byte verbatim; for subnormals
+    /// (`exp == 0`) the magnitude has no hidden bit, so `mag & 0x7F` is
+    /// the fraction either way. A normal's pre-shift is recovered from
+    /// the magnitude's top bit (the hidden bit landed at position
+    /// `7 + pre-shift`), giving back the bias LSBs; the bias MSB is `sh`.
+    pub fn to_bf16(self, shared_exp: u8) -> Bf16 {
+        let sign = (self.sign as u16) << 15;
+        if self.tag {
+            return Bf16::from_bits(
+                sign | u16::from(self.exp) << Bf16::FRAC_BITS | (self.mag & 0x7F),
+            );
+        }
+        if self.mag == 0 {
+            // A stored ±0 (outlier code with zero significand, emitted
+            // untagged by the decoder's zero rule).
+            return Bf16::from_bits(sign);
+        }
+        let pre = 15 - self.mag.leading_zeros() - Bf16::FRAC_BITS;
+        debug_assert!(pre <= Self::MAX_PRE_SHIFT, "magnitude exceeds a normal's");
+        let frac = (self.mag >> pre) & 0x7F;
+        let bias = pre as u16 | (self.sh as u16) << 2;
+        Bf16::from_bits(sign | (u16::from(shared_exp) + bias) << Bf16::FRAC_BITS | frac)
+    }
 }
 
 /// The bias decoder unit: holds the tensor's shared exponent and converts
@@ -261,6 +291,22 @@ mod tests {
                     op.to_f64(base),
                     x.to_f64(),
                     "mismatch for {x:?} base {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_bf16_inverts_decode_for_every_finite_value() {
+        for base in [1u8, 100, 127, 248] {
+            let w = ExponentWindow::owlp(base);
+            let dec = BiasDecoder::new(base);
+            for x in all_finite() {
+                let op = dec.decode_bf16(x, w);
+                assert_eq!(
+                    op.to_bf16(base).to_bits(),
+                    x.to_bits(),
+                    "round-trip mismatch for {x:?} base {base}"
                 );
             }
         }

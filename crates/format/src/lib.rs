@@ -42,25 +42,35 @@
 
 pub mod aligned;
 pub mod archive;
+pub mod archive2;
 pub mod bf16;
 pub mod bitstream;
 pub mod chunk;
+pub mod crc;
 pub mod decode;
 pub mod encode;
 pub mod error;
+pub mod mmap;
 pub mod packed;
+pub mod plane;
 pub mod shared_exp;
 pub mod stats;
 pub mod stream;
 pub mod value;
 
 pub use archive::ModelArchive;
+pub use archive2::{
+    stream_budget_from_env, ArchiveError, ArchiveSummary, ArchiveWriter, MappedArchive,
+    MappedTensor, VerifyReport,
+};
 pub use bf16::Bf16;
 pub use chunk::{PackedTensor, PackingLayout};
 pub use decode::{BiasDecoder, DecodedOperand};
 pub use encode::{encode_tensor, EncodedTensor};
 pub use error::FormatError;
+pub use mmap::MappedFile;
 pub use packed::{PackedOperands, PackedPanels, PackedPlane};
+pub use plane::{Plane, SvalPlane};
 pub use shared_exp::{select_window, select_window_of_width, ExponentWindow};
 pub use stats::ExponentHistogram;
 pub use stream::{encode_stream, EncodedStream, StreamingEncoder};

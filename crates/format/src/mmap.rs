@@ -1,0 +1,246 @@
+//! Read-only memory-mapped files for the zero-copy archive loader.
+//!
+//! [`MappedFile`] maps a file `PROT_READ`/`MAP_PRIVATE` on 64-bit Unix
+//! (the syscalls are declared directly — the workspace vendors no `libc`)
+//! and falls back to a 64-byte-aligned heap read everywhere else, or when
+//! the kernel refuses the mapping. Both paths expose the same contract:
+//!
+//! * the base pointer is at least 64-byte aligned (`mmap` returns
+//!   page-aligned addresses; the fallback allocates in 64-byte granules),
+//!   so a file offset's alignment carries over to the in-memory plane —
+//!   the property [`crate::plane`] validates when it lends an mmapped
+//!   `sval` or panel region straight to the SIMD microkernels;
+//! * the bytes are immutable for the mapping's lifetime (the mapping is
+//!   private, and every consumer holds the file through an
+//!   `Arc<MappedFile>`), which is what makes the borrowed planes safe to
+//!   share across the `owlp-par` workers.
+//!
+//! Archive integrity does not rest on the OS: the archive index carries
+//! CRC32C digests per plane, verified at load ([`crate::archive2`]).
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// 64-byte allocation granule for the heap fallback, so the fallback
+/// honours the same base alignment as a page-aligned mapping.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct Granule([u8; 64]);
+
+enum Backing {
+    /// A live `mmap` region (base, mapped length). Unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { base: *mut u8, map_len: usize },
+    /// Heap copy in 64-byte granules (non-Unix targets, zero-length
+    /// files, or an `mmap` refusal).
+    Heap(Vec<Granule>),
+}
+
+/// A read-only file, memory-mapped when the platform allows it.
+pub struct MappedFile {
+    backing: Backing,
+    len: usize,
+}
+
+// SAFETY: the backing bytes are immutable for the lifetime of the value —
+// the mapping is PROT_READ/MAP_PRIVATE and never handed out mutably, the
+// heap fallback is never written after construction — so shared access
+// from multiple threads is a plain read of plain bytes.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        // 64-bit Unix ABI: `off_t` is `i64` on every target this gate
+        // admits (Linux and the BSD/macOS family).
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl MappedFile {
+    /// Opens and maps `path` read-only.
+    ///
+    /// Falls back to reading the file into an aligned heap buffer when
+    /// mapping is unavailable (non-Unix target, empty file, or the
+    /// kernel declining the map) — callers observe identical bytes and
+    /// alignment either way, only [`MappedFile::was_mapped`] differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `open`/`metadata`/`read` failures.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let mut file = File::open(path)?;
+        let meta = file.metadata()?;
+        let len = usize::try_from(meta.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: a fresh anonymous-address PROT_READ/MAP_PRIVATE
+            // mapping of an open fd; the result is checked against
+            // MAP_FAILED before use, and unmapped exactly once in Drop.
+            let base = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if base as isize != -1 {
+                return Ok(MappedFile {
+                    backing: Backing::Mapped {
+                        base: base as *mut u8,
+                        map_len: len,
+                    },
+                    len,
+                });
+            }
+        }
+        let mut granules = vec![Granule([0; 64]); len.div_ceil(64)];
+        // SAFETY: `granules` is a contiguous array of 64 plain bytes per
+        // element, fully initialized, covering at least `len` bytes.
+        let dst = unsafe { std::slice::from_raw_parts_mut(granules.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(dst)?;
+        Ok(MappedFile {
+            backing: Backing::Heap(granules),
+            len,
+        })
+    }
+
+    /// The file contents. Base pointer is ≥ 64-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { base, .. } => {
+                // SAFETY: the mapping covers `len` readable bytes and
+                // lives until Drop.
+                unsafe { std::slice::from_raw_parts(*base, self.len) }
+            }
+            Backing::Heap(granules) => {
+                // SAFETY: as in `open` — contiguous initialized bytes.
+                unsafe { std::slice::from_raw_parts(granules.as_ptr() as *const u8, self.len) }
+            }
+        }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the contents are an actual `mmap` region (`false`: the
+    /// aligned heap-read fallback is serving the bytes).
+    pub fn was_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mapped { base, map_len } = self.backing {
+            // SAFETY: `base`/`map_len` came from a successful mmap and
+            // are unmapped exactly once.
+            unsafe {
+                sys::munmap(base as *mut std::ffi::c_void, map_len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len)
+            .field("mapped", &self.was_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("owlp-mmap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_a_file_and_reads_it_back() {
+        let path = temp_path("roundtrip");
+        let data: Vec<u8> = (0..70_000u32).map(|i| (i * 7 + 3) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.len(), data.len());
+        assert_eq!(map.bytes(), data.as_slice());
+        assert_eq!(map.bytes().as_ptr() as usize % 64, 0, "base alignment");
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(map.was_mapped(), "expected a real mapping on 64-bit unix");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_are_fine() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_files_error() {
+        assert!(MappedFile::open(&temp_path("does-not-exist")).is_err());
+    }
+
+    #[test]
+    fn mapped_bytes_are_shareable_across_threads() {
+        let path = temp_path("threads");
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = std::sync::Arc::new(MappedFile::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                let want = data.clone();
+                std::thread::spawn(move || assert_eq!(m.bytes(), want.as_slice()))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

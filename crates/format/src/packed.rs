@@ -20,8 +20,11 @@
 //! the shape autovectorizers map onto packed integer FMA lanes.
 
 use crate::aligned::AlignedVec;
+use crate::bf16::Bf16;
 use crate::decode::{BiasDecoder, DecodedOperand};
 use crate::encode::EncodedTensor;
+use crate::error::FormatError;
+use crate::plane::{Plane, SvalPlane};
 use std::ops::Range;
 
 /// Meta-plane bit: operand sign.
@@ -76,18 +79,29 @@ pub const PANEL_K_PAD: usize = 8;
 ///   (see the module docs; always fits an `i16`);
 /// * tagged outliers' original exponents in a sorted `(position, exp)`
 ///   side table, looked up only when `meta[i] & META_TAG` is set.
+///
+/// Every plane is a [`Plane`]/[`SvalPlane`] — **owned** heap storage on
+/// the in-memory decode paths, or a **mapped** zero-copy view when the
+/// tensor was loaded from an [`crate::archive2::MappedArchive`]. Reads
+/// are identical either way; the sanctioned mutators copy-on-write.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedOperands {
     shared_exp: u8,
-    mag: Vec<u16>,
-    meta: Vec<u8>,
+    /// Outlier entries in the *encoded* tensor, including stored zeros
+    /// (which decode untagged) — what `EncodedTensor::outlier_count`
+    /// reports and the bandwidth model prices. Carried here so a tensor
+    /// loaded from the archive needs no encoded copy.
+    stored_outliers: usize,
+    mag: Plane<u16>,
+    meta: Plane<u8>,
     /// 32-byte-aligned so the SIMD microkernel's full-width loads never
-    /// straddle cache lines ([`crate::aligned`]).
-    sval: AlignedVec,
+    /// straddle cache lines ([`crate::aligned`]; mapped views validate
+    /// the same alignment at load).
+    sval: SvalPlane,
     /// Element positions of tagged outliers, strictly increasing.
-    outlier_pos: Vec<u32>,
+    outlier_pos: Plane<u32>,
     /// `outlier_exp[k]` belongs to element `outlier_pos[k]`.
-    outlier_exp: Vec<u8>,
+    outlier_exp: Plane<u8>,
 }
 
 impl Default for PackedOperands {
@@ -104,11 +118,12 @@ impl PackedOperands {
     pub fn new(shared_exp: u8) -> Self {
         PackedOperands {
             shared_exp,
-            mag: Vec::new(),
-            meta: Vec::new(),
-            sval: AlignedVec::new(),
-            outlier_pos: Vec::new(),
-            outlier_exp: Vec::new(),
+            stored_outliers: 0,
+            mag: Plane::default(),
+            meta: Plane::default(),
+            sval: SvalPlane::default(),
+            outlier_pos: Plane::default(),
+            outlier_exp: Plane::default(),
         }
     }
 
@@ -116,24 +131,97 @@ impl PackedOperands {
     pub fn from_operands(shared_exp: u8, ops: &[DecodedOperand]) -> Self {
         assert!(ops.len() <= u32::MAX as usize, "tensor too large to pack");
         let mut p = PackedOperands::new(shared_exp);
-        p.mag.reserve(ops.len());
-        p.meta.reserve(ops.len());
-        p.sval.reserve(ops.len());
+        let mag = p.mag.owned_vec();
+        mag.reserve(ops.len());
+        let meta = p.meta.owned_vec();
+        meta.reserve(ops.len());
+        let sval = p.sval.owned_vec();
+        sval.reserve(ops.len());
+        let pos = p.outlier_pos.owned_vec();
+        let exps = p.outlier_exp.owned_vec();
+        let mut stored = 0usize;
         for (i, op) in ops.iter().enumerate() {
-            p.mag.push(op.mag);
-            p.meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
-            p.sval.push(sval_of(op.mag, op.sh, op.sign));
+            mag.push(op.mag);
+            meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
+            sval.push(sval_of(op.mag, op.sh, op.sign));
             if op.tag {
-                p.outlier_pos.push(i as u32);
-                p.outlier_exp.push(op.exp);
+                pos.push(i as u32);
+                exps.push(op.exp);
             }
+            // Tagged entries and stored zeros both occupied an outlier
+            // slot in the encoded stream.
+            stored += (op.tag || op.mag == 0) as usize;
         }
+        p.stored_outliers = stored;
         p
+    }
+
+    /// Rebuilds a packed tensor from externally supplied planes — the
+    /// zero-copy archive load path ([`crate::archive2`]). The planes may
+    /// be owned or mapped; their mutual consistency is validated here
+    /// (their *content* integrity is the archive digests' job).
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::CorruptStream`] when plane lengths disagree, the
+    /// side tables mismatch, outlier positions are unsorted or out of
+    /// range, or `stored_outliers` undercounts the tagged entries.
+    pub fn from_planes(
+        shared_exp: u8,
+        stored_outliers: usize,
+        mag: Plane<u16>,
+        meta: Plane<u8>,
+        sval: SvalPlane,
+        outlier_pos: Plane<u32>,
+        outlier_exp: Plane<u8>,
+    ) -> Result<Self, FormatError> {
+        let n = mag.len();
+        if n > u32::MAX as usize {
+            return Err(FormatError::CorruptStream {
+                reason: "packed tensor too large",
+            });
+        }
+        if meta.len() != n || sval.len() != n {
+            return Err(FormatError::CorruptStream {
+                reason: "packed element planes disagree in length",
+            });
+        }
+        if outlier_pos.len() != outlier_exp.len() {
+            return Err(FormatError::CorruptStream {
+                reason: "outlier side tables disagree in length",
+            });
+        }
+        if stored_outliers < outlier_pos.len() {
+            return Err(FormatError::CorruptStream {
+                reason: "stored outlier count below tagged count",
+            });
+        }
+        let pos = outlier_pos.as_slice();
+        if !pos.windows(2).all(|w| w[0] < w[1]) {
+            return Err(FormatError::CorruptStream {
+                reason: "outlier positions not strictly increasing",
+            });
+        }
+        if pos.last().is_some_and(|&p| p as usize >= n) {
+            return Err(FormatError::CorruptStream {
+                reason: "outlier position out of range",
+            });
+        }
+        Ok(PackedOperands {
+            shared_exp,
+            stored_outliers,
+            mag,
+            meta,
+            sval,
+            outlier_pos,
+            outlier_exp,
+        })
     }
 
     /// Empties every plane while keeping the allocations, ready for refill.
     fn reset(&mut self, shared_exp: u8) {
         self.shared_exp = shared_exp;
+        self.stored_outliers = 0;
         self.mag.clear();
         self.meta.clear();
         self.sval.clear();
@@ -158,30 +246,30 @@ impl PackedOperands {
 
     /// The contiguous magnitude plane.
     pub fn mags(&self) -> &[u16] {
-        &self.mag
+        self.mag.as_slice()
     }
 
     /// The contiguous sign/sh/tag/parity plane.
     pub fn metas(&self) -> &[u8] {
-        &self.meta
+        self.meta.as_slice()
     }
 
     /// The contiguous folded-significand plane: `±(mag << 4·sh)` per
     /// element (outliers keep their raw ±8-bit significand — their `sh`
     /// is never set). The microkernel's operand stream.
     pub fn svals(&self) -> &[i16] {
-        &self.sval
+        self.sval.as_slice()
     }
 
     /// Positions of tagged outliers, strictly increasing.
     pub fn outlier_positions(&self) -> &[u32] {
-        &self.outlier_pos
+        self.outlier_pos.as_slice()
     }
 
     /// The outlier exponents, parallel to
     /// [`PackedOperands::outlier_positions`].
     pub fn outlier_exps(&self) -> &[u8] {
-        &self.outlier_exp
+        self.outlier_exp.as_slice()
     }
 
     /// Number of tagged outliers.
@@ -189,29 +277,45 @@ impl PackedOperands {
         self.outlier_pos.len()
     }
 
+    /// Outlier entries in the encoded stream this tensor decoded from —
+    /// [`PackedOperands::tagged_count`] plus the stored ±0s, which occupy
+    /// an outlier slot on disk but decode untagged. This is the count
+    /// `EncodedTensor::outlier_count` reports and the GEMM statistics
+    /// carry.
+    pub fn stored_outlier_count(&self) -> usize {
+        self.stored_outliers
+    }
+
+    /// Whether any plane borrows a mapped archive rather than owning its
+    /// storage.
+    pub fn is_mapped(&self) -> bool {
+        self.mag.is_mapped()
+            || self.meta.is_mapped()
+            || self.sval.is_mapped()
+            || self.outlier_pos.is_mapped()
+            || self.outlier_exp.is_mapped()
+    }
+
     /// The outlier exponent of element `i` (0 for untagged elements —
     /// matching [`DecodedOperand::exp`]'s convention).
     pub fn exp_at(&self, i: usize) -> u8 {
-        if self.meta[i] & META_TAG == 0 {
+        if self.metas()[i] & META_TAG == 0 {
             return 0;
         }
         let k = self
-            .outlier_pos
+            .outlier_positions()
             .binary_search(&(i as u32))
             .expect("tagged element has a side-table entry");
-        self.outlier_exp[k]
+        self.outlier_exps()[k]
     }
 
     /// Whether any element of `range` is a tagged outlier — O(log outliers)
     /// via the sorted position table; this is the wavefront test of the
     /// GEMM fast path.
     pub fn range_has_tagged(&self, range: Range<usize>) -> bool {
-        let start = self
-            .outlier_pos
-            .partition_point(|&p| (p as usize) < range.start);
-        self.outlier_pos
-            .get(start)
-            .is_some_and(|&p| (p as usize) < range.end)
+        let pos = self.outlier_positions();
+        let start = pos.partition_point(|&p| (p as usize) < range.start);
+        pos.get(start).is_some_and(|&p| (p as usize) < range.end)
     }
 
     /// Whether element `i`'s [`META_PAR`] side-band parity is consistent
@@ -224,9 +328,9 @@ impl PackedOperands {
     /// both flips break parity deterministically instead of depending on
     /// the (possibly corrupted) tag to route the lookup.
     pub fn parity_ok(&self, i: usize) -> bool {
-        let meta = self.meta[i];
-        let exp = match self.outlier_pos.binary_search(&(i as u32)) {
-            Ok(k) => self.outlier_exp[k],
+        let meta = self.metas()[i];
+        let exp = match self.outlier_positions().binary_search(&(i as u32)) {
+            Ok(k) => self.outlier_exps()[k],
             Err(_) => 0,
         };
         let want = parity_bit(meta & META_SH != 0, meta & META_TAG != 0, exp);
@@ -250,19 +354,16 @@ impl PackedOperands {
         // clean tensor exactly those lanes carry an odd meta fold, so
         // everything cancels and the scan is a straight sweep.
         const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+        let (pos, exps) = (self.outlier_positions(), self.outlier_exps());
         let mut cursor = 0usize;
         let mut base = 0usize;
-        let mut chunks = self.meta.chunks_exact(8);
+        let mut chunks = self.metas().chunks_exact(8);
         for ch in chunks.by_ref() {
             let w = u64::from_le_bytes(ch.try_into().expect("chunk of 8"));
             let mut odd = ((w >> 1) ^ (w >> 2) ^ (w >> 3)) & LANE_LSB;
-            while self
-                .outlier_pos
-                .get(cursor)
-                .is_some_and(|&p| (p as usize) < base + 8)
-            {
-                let p = self.outlier_pos[cursor] as usize;
-                if p >= base && self.outlier_exp[cursor].count_ones() & 1 == 1 {
+            while pos.get(cursor).is_some_and(|&p| (p as usize) < base + 8) {
+                let p = pos[cursor] as usize;
+                if p >= base && exps[cursor].count_ones() & 1 == 1 {
                     odd ^= 1u64 << ((p - base) * 8);
                 }
                 cursor += 1;
@@ -274,8 +375,8 @@ impl PackedOperands {
         }
         for (i, &m) in chunks.remainder().iter().enumerate() {
             let mut odd = (u32::from(m >> 1) ^ u32::from(m >> 2) ^ u32::from(m >> 3)) & 1;
-            while self.outlier_pos.get(cursor) == Some(&((base + i) as u32)) {
-                odd ^= u32::from(self.outlier_exp[cursor].count_ones() & 1 == 1);
+            while pos.get(cursor) == Some(&((base + i) as u32)) {
+                odd ^= u32::from(exps[cursor].count_ones() & 1 == 1);
                 cursor += 1;
             }
             if odd != 0 {
@@ -290,13 +391,17 @@ impl PackedOperands {
     /// tensor exactly). `index` addresses the plane's own word array (the
     /// side tables are shorter than the element count), and `bit` must fit
     /// the plane's word width.
+    ///
+    /// On a mapped tensor the struck plane copy-on-writes into owned
+    /// storage first: the file (and any other view of it) never sees the
+    /// upset, and the involution property still holds for this value.
     pub fn flip_bit(&mut self, plane: PackedPlane, index: usize, bit: u32) {
         match plane {
-            PackedPlane::Mag => self.mag[index] ^= 1u16 << bit,
-            PackedPlane::Meta => self.meta[index] ^= 1u8 << bit,
-            PackedPlane::Sval => self.sval[index] ^= 1i16 << bit,
-            PackedPlane::OutlierPos => self.outlier_pos[index] ^= 1u32 << bit,
-            PackedPlane::OutlierExp => self.outlier_exp[index] ^= 1u8 << bit,
+            PackedPlane::Mag => self.mag.make_mut()[index] ^= 1u16 << bit,
+            PackedPlane::Meta => self.meta.make_mut()[index] ^= 1u8 << bit,
+            PackedPlane::Sval => self.sval.make_mut()[index] ^= 1i16 << bit,
+            PackedPlane::OutlierPos => self.outlier_pos.make_mut()[index] ^= 1u32 << bit,
+            PackedPlane::OutlierExp => self.outlier_exp.make_mut()[index] ^= 1u8 << bit,
         }
     }
 
@@ -316,23 +421,48 @@ impl PackedOperands {
     /// for a corrupted folded-significand word once the source planes have
     /// been verified intact.
     pub fn rebuild_sval_range(&mut self, range: Range<usize>) {
+        let sval = self.sval.make_mut();
+        let (mag, meta) = (self.mag.as_slice(), self.meta.as_slice());
         for i in range {
-            let meta = self.meta[i];
-            self.sval[i] = sval_of(self.mag[i], meta & META_SH != 0, meta & META_SIGN != 0);
+            sval[i] = sval_of(mag[i], meta[i] & META_SH != 0, meta[i] & META_SIGN != 0);
         }
     }
 
     /// Reconstructs element `i` as a [`DecodedOperand`] — bit-identical to
     /// what `decode_operands()[i]` holds.
     pub fn get(&self, i: usize) -> DecodedOperand {
-        let meta = self.meta[i];
+        let meta = self.metas()[i];
         DecodedOperand {
-            mag: self.mag[i],
+            mag: self.mags()[i],
             sh: meta & META_SH != 0,
             sign: meta & META_SIGN != 0,
             tag: meta & META_TAG != 0,
             exp: self.exp_at(i),
         }
+    }
+
+    /// Reconstructs elements `range` as BF16 values — the exact inverse of
+    /// the encode/decode pipeline (see [`DecodedOperand::to_bf16`]).
+    pub fn to_bf16_range(&self, range: Range<usize>) -> Vec<Bf16> {
+        range
+            .map(|i| self.get(i).to_bf16(self.shared_exp))
+            .collect()
+    }
+
+    /// Reconstructs the whole tensor as BF16 values, chunk-parallel and
+    /// bit-identical at every thread count — the archive load path's bridge
+    /// back to the float-typed model layers.
+    pub fn to_bf16_vec(&self) -> Vec<Bf16> {
+        let n = self.len();
+        if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, PACK_GRAIN) <= 1 {
+            return self.to_bf16_range(0..n);
+        }
+        let parts = owlp_par::map_chunks(n, PACK_GRAIN, |r| self.to_bf16_range(r));
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part);
+        }
+        out
     }
 
     /// Materialises the whole tensor as `Vec<DecodedOperand>` (slow-path
@@ -356,6 +486,7 @@ impl PackedOperands {
         // in-bounds. The padding depths are zero svals — they contribute
         // nothing, exactly like the zero-padded edge columns.
         let kp = k.next_multiple_of(PANEL_K_PAD);
+        let sval = self.svals();
         let mut data = AlignedVec::zeroed(panels * kp * PANEL_NR);
         for pb in 0..n.div_ceil(PANEL_NR) {
             let j0 = pb * PANEL_NR;
@@ -364,10 +495,15 @@ impl PackedOperands {
             for kk in 0..k {
                 let src = kk * n + j0;
                 let dst = base + kk * PANEL_NR;
-                data[dst..dst + cols].copy_from_slice(&self.sval[src..src + cols]);
+                data[dst..dst + cols].copy_from_slice(&sval[src..src + cols]);
             }
         }
-        PackedPanels { k, kp, n, data }
+        PackedPanels {
+            k,
+            kp,
+            n,
+            data: SvalPlane::from(data),
+        }
     }
 }
 
@@ -388,11 +524,32 @@ pub struct PackedPanels {
     kp: usize,
     n: usize,
     /// `⌈n/NR⌉` panels of `kp·NR` svals each, zero-padded, 32-byte
-    /// aligned per panel.
-    data: AlignedVec,
+    /// aligned per panel — owned, or a zero-copy view into a mapped
+    /// archive whose panel region was written pre-packed.
+    data: SvalPlane,
 }
 
 impl PackedPanels {
+    /// Wraps an externally supplied panel-major sval plane (the zero-copy
+    /// archive load path): `data` must hold exactly the
+    /// `⌈n/NR⌉ · padded_k · NR` words [`PackedOperands::pack_panels`]
+    /// would produce for a `k×n` weight.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::CorruptStream`] when the plane length disagrees with
+    /// the shape.
+    pub fn from_plane(k: usize, n: usize, data: SvalPlane) -> Result<Self, FormatError> {
+        let kp = k.next_multiple_of(PANEL_K_PAD);
+        let want = n.div_ceil(PANEL_NR).max(1) * kp * PANEL_NR;
+        if data.len() != want {
+            return Err(FormatError::CorruptStream {
+                reason: "panel plane length disagrees with weight shape",
+            });
+        }
+        Ok(PackedPanels { k, kp, n, data })
+    }
+
     /// Depth (reduction dimension) the panels were packed for.
     pub fn k(&self) -> usize {
         self.k
@@ -418,18 +575,26 @@ impl PackedPanels {
     /// (depths `k..kp` are the zero padding).
     pub fn panel(&self, pb: usize) -> &[i16] {
         let stride = self.kp * PANEL_NR;
-        &self.data[pb * stride..(pb + 1) * stride]
+        &self.data.as_slice()[pb * stride..(pb + 1) * stride]
     }
 
     /// The whole panel-major sval store (checksum input).
     pub fn data(&self) -> &[i16] {
-        &self.data
+        self.data.as_slice()
+    }
+
+    /// Whether the panel store borrows a mapped archive rather than owning
+    /// its storage.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Flips one bit of one panel word — the sanctioned single-upset
-    /// injection primitive for the repacked weight store (an involution).
+    /// injection primitive for the repacked weight store (an involution;
+    /// copy-on-writes first when the store is mapped, so the file is
+    /// never struck).
     pub fn flip_bit(&mut self, index: usize, bit: u32) {
-        self.data[index] ^= 1i16 << bit;
+        self.data.make_mut()[index] ^= 1i16 << bit;
     }
 }
 
@@ -490,9 +655,17 @@ impl EncodedTensor {
         assert!(n <= u32::MAX as usize, "tensor too large to pack");
         let dec = BiasDecoder::new(self.shared_exp());
         out.reset(self.shared_exp());
-        out.mag.reserve(n);
-        out.meta.reserve(n);
-        out.sval.reserve(n);
+        // Every outlier code — tagged or a stored zero — consumed one
+        // exponent slot in the encoded stream.
+        out.stored_outliers = exps.len();
+        let mag = out.mag.owned_vec();
+        mag.reserve(n);
+        let meta = out.meta.owned_vec();
+        meta.reserve(n);
+        let sval = out.sval.owned_vec();
+        sval.reserve(n);
+        let pos = out.outlier_pos.owned_vec();
+        let pexp = out.outlier_exp.owned_vec();
         if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, PACK_GRAIN) <= 1 {
             let mut next_outlier = 0usize;
             for (i, c) in codes.iter().enumerate() {
@@ -504,12 +677,12 @@ impl EncodedTensor {
                     0
                 };
                 let op = dec.decode(*c, exp);
-                out.mag.push(op.mag);
-                out.meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
-                out.sval.push(sval_of(op.mag, op.sh, op.sign));
+                mag.push(op.mag);
+                meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
+                sval.push(sval_of(op.mag, op.sh, op.sign));
                 if op.tag {
-                    out.outlier_pos.push(i as u32);
-                    out.outlier_exp.push(op.exp);
+                    pos.push(i as u32);
+                    pexp.push(op.exp);
                 }
             }
             return;
@@ -550,12 +723,12 @@ impl EncodedTensor {
             }
             (mag, meta, sval, pos, pexp)
         });
-        for (mag, meta, sval, pos, pexp) in parts {
-            out.mag.extend(mag);
-            out.meta.extend(meta);
-            out.sval.extend_from_slice(&sval);
-            out.outlier_pos.extend(pos);
-            out.outlier_exp.extend(pexp);
+        for (pmag, pmeta, psval, ppos, ppexp) in parts {
+            mag.extend(pmag);
+            meta.extend(pmeta);
+            sval.extend_from_slice(&psval);
+            pos.extend(ppos);
+            pexp.extend(ppexp);
         }
     }
 }
@@ -737,6 +910,109 @@ mod tests {
         let mut q = clean.clone();
         q.rebuild_sval_range(0..q.len());
         assert_eq!(q, clean);
+    }
+
+    #[test]
+    fn stored_outlier_count_matches_the_encoded_stream() {
+        let data = mixed(300); // mixed() stores both huge outliers and ±0s
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        assert_eq!(packed.stored_outlier_count(), enc.outlier_count());
+        let tagged = enc.decode_operands().iter().filter(|o| o.tag).count();
+        assert_eq!(packed.tagged_count(), tagged);
+        assert!(packed.stored_outlier_count() > packed.tagged_count());
+        let repacked = PackedOperands::from_operands(enc.shared_exp(), &enc.decode_operands());
+        assert_eq!(repacked.stored_outlier_count(), enc.outlier_count());
+    }
+
+    #[test]
+    fn from_planes_roundtrips_and_rejects_inconsistency() {
+        let data = mixed(200);
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        let planes = || {
+            (
+                Plane::from(packed.mags().to_vec()),
+                Plane::from(packed.metas().to_vec()),
+                SvalPlane::from(packed.svals().iter().copied().collect::<AlignedVec>()),
+                Plane::from(packed.outlier_positions().to_vec()),
+                Plane::from(packed.outlier_exps().to_vec()),
+            )
+        };
+        let (mag, meta, sval, pos, exp) = planes();
+        let rebuilt = PackedOperands::from_planes(
+            packed.shared_exp(),
+            packed.stored_outlier_count(),
+            mag,
+            meta,
+            sval,
+            pos,
+            exp,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, packed);
+        assert_eq!(
+            rebuilt.stored_outlier_count(),
+            packed.stored_outlier_count()
+        );
+        // Mismatched element planes.
+        let (mag, meta, _, pos, exp) = planes();
+        assert!(PackedOperands::from_planes(
+            packed.shared_exp(),
+            packed.stored_outlier_count(),
+            mag,
+            meta,
+            SvalPlane::default(),
+            pos,
+            exp,
+        )
+        .is_err());
+        // Stored count below the tagged count.
+        let (mag, meta, sval, pos, exp) = planes();
+        assert!(
+            PackedOperands::from_planes(packed.shared_exp(), 0, mag, meta, sval, pos, exp).is_err()
+        );
+        // Unsorted positions.
+        let (mag, meta, sval, _, exp) = planes();
+        let mut rev: Vec<u32> = packed.outlier_positions().to_vec();
+        rev.reverse();
+        assert!(PackedOperands::from_planes(
+            packed.shared_exp(),
+            packed.stored_outlier_count(),
+            mag,
+            meta,
+            sval,
+            Plane::from(rev),
+            exp,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn to_bf16_vec_inverts_the_whole_pipeline() {
+        let data = mixed(3 * PACK_GRAIN + 7);
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        let serial = owlp_par::with_threads(1, || packed.to_bf16_vec());
+        assert_eq!(serial, data, "lossless reconstruction");
+        for t in [2, 4] {
+            assert_eq!(owlp_par::with_threads(t, || packed.to_bf16_vec()), serial);
+        }
+        assert_eq!(packed.to_bf16_range(5..12), data[5..12]);
+    }
+
+    #[test]
+    fn panels_from_plane_validates_shape() {
+        let (k, n) = (13, 11);
+        let data = mixed(k * n);
+        let enc = encode_tensor(&data, None).unwrap();
+        let packed = enc.decode_packed();
+        let panels = packed.pack_panels(k, n);
+        let plane = SvalPlane::from(panels.data().iter().copied().collect::<AlignedVec>());
+        let rebuilt = PackedPanels::from_plane(k, n, plane.clone()).unwrap();
+        assert_eq!(rebuilt, panels);
+        assert!(PackedPanels::from_plane(k + PANEL_K_PAD, n, plane.clone()).is_err());
+        assert!(PackedPanels::from_plane(k, n + PANEL_NR, plane).is_err());
     }
 
     #[test]

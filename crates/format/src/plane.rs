@@ -1,0 +1,480 @@
+//! Borrow-vs-own storage for the packed operand planes.
+//!
+//! [`crate::PackedOperands`] and [`crate::PackedPanels`] historically
+//! owned their planes (`Vec`/[`AlignedVec`]). The zero-copy archive
+//! ([`crate::archive2`]) stores every plane on disk *exactly* as the
+//! kernels consume it, so a loaded tensor should borrow its planes
+//! straight out of the mmapped file instead of copying them. [`Plane`]
+//! and [`SvalPlane`] are the two storage shapes that split:
+//!
+//! * **Owned** — a `Vec<T>` (or [`AlignedVec`] for the hot `i16`
+//!   planes), exactly the pre-archive behaviour; produced by the
+//!   in-memory encode/decode paths, mutable in place.
+//! * **Mapped** — a read-only view into an [`Arc<MappedFile>`], length
+//!   and alignment validated at construction; produced by the archive
+//!   loader, zero bytes copied.
+//!
+//! Reads are uniform (`as_slice` / `Deref`-free on purpose: call sites
+//! stay explicit about plane access). The few mutators the repo
+//! sanctions — fault injection (`flip_bit`), the `sval` repair path, and
+//! decode-buffer refill — go through [`Plane::make_mut`] /
+//! [`Plane::owned_vec`], which copy a mapped plane into owned storage
+//! first (copy-on-write), so mutating a loaded tensor never touches the
+//! file and involution tests keep holding.
+//!
+//! The mapped variants are only constructed on little-endian targets
+//! (the archive byte order); big-endian loaders decode into owned
+//! storage instead.
+
+use crate::aligned::AlignedVec;
+use crate::error::FormatError;
+use crate::mmap::MappedFile;
+use std::sync::Arc;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for i16 {}
+    impl Sealed for u32 {}
+}
+
+/// Word types a [`Plane`] may hold: plain-old-data integers whose
+/// in-memory layout on a little-endian target equals the archive's
+/// little-endian byte stream.
+pub trait PlaneWord:
+    sealed::Sealed + Copy + PartialEq + Eq + std::fmt::Debug + Send + Sync + 'static
+{
+    /// Reads one word from its little-endian byte encoding.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl PlaneWord for u8 {
+    fn read_le(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+}
+impl PlaneWord for u16 {
+    fn read_le(bytes: &[u8]) -> Self {
+        u16::from_le_bytes([bytes[0], bytes[1]])
+    }
+}
+impl PlaneWord for i16 {
+    fn read_le(bytes: &[u8]) -> Self {
+        i16::from_le_bytes([bytes[0], bytes[1]])
+    }
+}
+impl PlaneWord for u32 {
+    fn read_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+    }
+}
+
+/// A validated read-only word view into a mapped file.
+struct MappedWords<T> {
+    ptr: *const T,
+    len: usize,
+    /// Keeps the mapping alive for as long as any view borrows it.
+    keep: Arc<MappedFile>,
+}
+
+// SAFETY: the view is read-only over bytes that `MappedFile` guarantees
+// immutable, and `T` is a plain integer.
+unsafe impl<T: PlaneWord> Send for MappedWords<T> {}
+unsafe impl<T: PlaneWord> Sync for MappedWords<T> {}
+
+impl<T: PlaneWord> Clone for MappedWords<T> {
+    fn clone(&self) -> Self {
+        MappedWords {
+            ptr: self.ptr,
+            len: self.len,
+            keep: Arc::clone(&self.keep),
+        }
+    }
+}
+
+impl<T: PlaneWord> MappedWords<T> {
+    /// Validates `elements` words of `T` at byte `offset` of `file`:
+    /// in-bounds and word-aligned (with `min_align` additionally imposed
+    /// for SIMD planes). Returns `None` on a big-endian target — the
+    /// caller decodes into owned storage instead.
+    fn new(
+        file: &Arc<MappedFile>,
+        offset: usize,
+        elements: usize,
+        min_align: usize,
+    ) -> Result<Option<Self>, FormatError> {
+        let bytes =
+            elements
+                .checked_mul(std::mem::size_of::<T>())
+                .ok_or(FormatError::CorruptStream {
+                    reason: "mapped plane length overflows",
+                })?;
+        let end = offset
+            .checked_add(bytes)
+            .ok_or(FormatError::CorruptStream {
+                reason: "mapped plane range overflows",
+            })?;
+        if end > file.len() {
+            return Err(FormatError::CorruptStream {
+                reason: "mapped plane extends past end of file",
+            });
+        }
+        let base = file.bytes().as_ptr() as usize + offset;
+        if !base.is_multiple_of(std::mem::align_of::<T>()) || !base.is_multiple_of(min_align.max(1))
+        {
+            return Err(FormatError::CorruptStream {
+                reason: "mapped plane is misaligned",
+            });
+        }
+        if cfg!(target_endian = "little") {
+            Ok(Some(MappedWords {
+                ptr: base as *const T,
+                len: elements,
+                keep: Arc::clone(file),
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: constructor validated bounds and alignment against the
+        // live mapping held by `keep`; bytes are immutable and, on the
+        // little-endian targets that construct this, any bit pattern is a
+        // valid `T`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// Decodes a mapped byte range into owned words — the big-endian (or
+/// copy-on-write) path.
+fn decode_words<T: PlaneWord>(file: &MappedFile, offset: usize, elements: usize) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    file.bytes()[offset..offset + elements * size]
+        .chunks_exact(size)
+        .map(T::read_le)
+        .collect()
+}
+
+/// A `Vec<T>`-or-mapped-view plane (the `mag`, `meta`, and outlier
+/// side-table storage).
+#[derive(Clone)]
+pub enum Plane<T: PlaneWord> {
+    /// Heap storage, mutable in place.
+    Owned(Vec<T>),
+    /// Zero-copy view into a mapped archive.
+    Mapped(MappedView<T>),
+}
+
+/// Opaque handle around the mapped variant (keeps the raw-pointer detail
+/// out of the public enum).
+#[derive(Clone)]
+pub struct MappedView<T: PlaneWord>(MappedWords<T>);
+
+impl<T: PlaneWord> Default for Plane<T> {
+    fn default() -> Self {
+        Plane::Owned(Vec::new())
+    }
+}
+
+impl<T: PlaneWord> From<Vec<T>> for Plane<T> {
+    fn from(v: Vec<T>) -> Self {
+        Plane::Owned(v)
+    }
+}
+
+impl<T: PlaneWord> Plane<T> {
+    /// A zero-copy view of `elements` words at byte `offset` of `file`
+    /// (bounds- and alignment-validated). On big-endian targets the
+    /// words are decoded into owned storage instead.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::CorruptStream`] when the range leaves the file or
+    /// the offset is not word-aligned.
+    pub fn from_mapped(
+        file: &Arc<MappedFile>,
+        offset: usize,
+        elements: usize,
+    ) -> Result<Self, FormatError> {
+        Ok(match MappedWords::new(file, offset, elements, 1)? {
+            Some(view) => Plane::Mapped(MappedView(view)),
+            None => Plane::Owned(decode_words(file, offset, elements)),
+        })
+    }
+
+    /// The plane contents.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Plane::Owned(v) => v,
+            Plane::Mapped(m) => m.0.as_slice(),
+        }
+    }
+
+    /// Word count.
+    pub fn len(&self) -> usize {
+        match self {
+            Plane::Owned(v) => v.len(),
+            Plane::Mapped(m) => m.0.len,
+        }
+    }
+
+    /// Whether the plane holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the plane borrows a mapped archive (vs owning heap
+    /// storage).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Plane::Mapped(_))
+    }
+
+    /// Mutable access, copying a mapped plane into owned storage first
+    /// (copy-on-write): mutation never reaches the file.
+    pub fn make_mut(&mut self) -> &mut [T] {
+        self.owned_vec()
+    }
+
+    /// The owned backing vector, converting from a mapped view first if
+    /// needed — the growth/refill path of the decode buffers.
+    pub fn owned_vec(&mut self) -> &mut Vec<T> {
+        if let Plane::Mapped(m) = self {
+            *self = Plane::Owned(m.0.as_slice().to_vec());
+        }
+        match self {
+            Plane::Owned(v) => v,
+            Plane::Mapped(_) => unreachable!("converted above"),
+        }
+    }
+
+    /// Empties the plane. An owned plane keeps its allocation for
+    /// refill; a mapped plane drops its file reference and becomes an
+    /// empty owned plane.
+    pub fn clear(&mut self) {
+        match self {
+            Plane::Owned(v) => v.clear(),
+            Plane::Mapped(_) => *self = Plane::Owned(Vec::new()),
+        }
+    }
+}
+
+impl<T: PlaneWord> PartialEq for Plane<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PlaneWord> Eq for Plane<T> {}
+
+impl<T: PlaneWord> std::fmt::Debug for Plane<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plane")
+            .field("mapped", &self.is_mapped())
+            .field("words", &self.as_slice())
+            .finish()
+    }
+}
+
+/// The `i16` twin of [`Plane`] for the SIMD-hot `sval` and panel
+/// stores: owned storage is an [`AlignedVec`] (32-byte base) and a
+/// mapped view additionally demands a 32-byte-aligned file offset, so
+/// full-width vector loads never straddle cache lines regardless of
+/// which side of the borrow/own split served the plane.
+#[derive(Clone)]
+pub enum SvalPlane {
+    /// 32-byte-aligned heap storage, mutable in place.
+    Owned(AlignedVec),
+    /// Zero-copy 32-byte-aligned view into a mapped archive.
+    Mapped(MappedView<i16>),
+}
+
+/// Byte alignment a mapped [`SvalPlane`] must start on.
+pub const SVAL_PLANE_ALIGN: usize = 32;
+
+impl Default for SvalPlane {
+    fn default() -> Self {
+        SvalPlane::Owned(AlignedVec::new())
+    }
+}
+
+impl From<AlignedVec> for SvalPlane {
+    fn from(v: AlignedVec) -> Self {
+        SvalPlane::Owned(v)
+    }
+}
+
+impl SvalPlane {
+    /// A zero-copy view of `elements` svals at byte `offset` of `file`.
+    /// Demands [`SVAL_PLANE_ALIGN`]; decodes into owned storage on
+    /// big-endian targets.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::CorruptStream`] when the range leaves the file or
+    /// the offset misses the 32-byte alignment contract.
+    pub fn from_mapped(
+        file: &Arc<MappedFile>,
+        offset: usize,
+        elements: usize,
+    ) -> Result<Self, FormatError> {
+        Ok(
+            match MappedWords::new(file, offset, elements, SVAL_PLANE_ALIGN)? {
+                Some(view) => SvalPlane::Mapped(MappedView(view)),
+                None => {
+                    let mut v = AlignedVec::new();
+                    v.extend_from_slice(&decode_words::<i16>(file, offset, elements));
+                    SvalPlane::Owned(v)
+                }
+            },
+        )
+    }
+
+    /// The plane contents.
+    pub fn as_slice(&self) -> &[i16] {
+        match self {
+            SvalPlane::Owned(v) => v,
+            SvalPlane::Mapped(m) => m.0.as_slice(),
+        }
+    }
+
+    /// Word count.
+    pub fn len(&self) -> usize {
+        match self {
+            SvalPlane::Owned(v) => v.len(),
+            SvalPlane::Mapped(m) => m.0.len,
+        }
+    }
+
+    /// Whether the plane holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the plane borrows a mapped archive.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SvalPlane::Mapped(_))
+    }
+
+    /// Mutable access, copying a mapped plane into owned aligned storage
+    /// first (copy-on-write).
+    pub fn make_mut(&mut self) -> &mut [i16] {
+        self.owned_vec()
+    }
+
+    /// The owned [`AlignedVec`], converting from a mapped view first if
+    /// needed.
+    pub fn owned_vec(&mut self) -> &mut AlignedVec {
+        if let SvalPlane::Mapped(m) = self {
+            let mut v = AlignedVec::new();
+            v.extend_from_slice(m.0.as_slice());
+            *self = SvalPlane::Owned(v);
+        }
+        match self {
+            SvalPlane::Owned(v) => v,
+            SvalPlane::Mapped(_) => unreachable!("converted above"),
+        }
+    }
+
+    /// Empties the plane (owned keeps its allocation; mapped drops the
+    /// file reference).
+    pub fn clear(&mut self) {
+        match self {
+            SvalPlane::Owned(v) => v.clear(),
+            SvalPlane::Mapped(_) => *self = SvalPlane::Owned(AlignedVec::new()),
+        }
+    }
+}
+
+impl PartialEq for SvalPlane {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SvalPlane {}
+
+impl std::fmt::Debug for SvalPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvalPlane")
+            .field("mapped", &self.is_mapped())
+            .field("words", &self.as_slice())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_temp(name: &str, bytes: &[u8]) -> (PathBuf, Arc<MappedFile>) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("owlp-plane-test-{}-{name}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        let map = Arc::new(MappedFile::open(&p).unwrap());
+        (p, map)
+    }
+
+    #[test]
+    fn mapped_plane_reads_the_le_words() {
+        let words: Vec<u16> = (0..100u16).map(|i| i.wrapping_mul(257) ^ 7).collect();
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let (path, map) = write_temp("u16", &bytes);
+        let plane = Plane::<u16>::from_mapped(&map, 0, words.len()).unwrap();
+        assert_eq!(plane.as_slice(), words.as_slice());
+        assert_eq!(plane.len(), words.len());
+        // Equality is by contents, across the borrow/own split.
+        assert_eq!(plane, Plane::Owned(words.clone()));
+        drop(plane);
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_and_misaligned_views_are_rejected() {
+        let (path, map) = write_temp("bounds", &[0u8; 64]);
+        assert!(Plane::<u16>::from_mapped(&map, 0, 33).is_err(), "past eof");
+        assert!(Plane::<u16>::from_mapped(&map, 1, 4).is_err(), "odd offset");
+        assert!(
+            SvalPlane::from_mapped(&map, 16, 4).is_err(),
+            "sval plane must be 32-byte aligned"
+        );
+        assert!(SvalPlane::from_mapped(&map, 32, 16).is_ok());
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn copy_on_write_leaves_the_mapping_untouched() {
+        let words: Vec<i16> = (0..64i16).collect();
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let (path, map) = write_temp("cow", &bytes);
+        let mut plane = SvalPlane::from_mapped(&map, 0, words.len()).unwrap();
+        let twin = plane.clone();
+        if cfg!(target_endian = "little") {
+            assert!(plane.is_mapped());
+        }
+        plane.make_mut()[3] = -999;
+        assert!(!plane.is_mapped(), "mutation must detach from the file");
+        assert_eq!(plane.as_slice()[3], -999);
+        assert_eq!(twin.as_slice(), words.as_slice(), "twin sees clean bytes");
+        assert_eq!(map.bytes(), bytes.as_slice(), "file bytes unchanged");
+        // Owned storage out of CoW keeps the aligned-base contract.
+        assert_eq!(plane.as_slice().as_ptr() as usize % 32, 0);
+        drop((plane, twin));
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn clear_detaches_mapped_planes() {
+        let (path, map) = write_temp("clear", &[1u8; 32]);
+        let mut plane = Plane::<u8>::from_mapped(&map, 0, 32).unwrap();
+        plane.clear();
+        assert!(plane.is_empty() && !plane.is_mapped());
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+}

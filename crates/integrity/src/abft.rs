@@ -189,8 +189,7 @@ mod tests {
         let packed_a = enc_a.decode_packed();
         let packed_b = enc_b.decode_packed();
         let (clean, observed) =
-            owlp_gemm_packed_abft(&enc_a, &packed_a, &enc_b, &packed_b, None, m, k, n, None)
-                .expect("gemm");
+            owlp_gemm_packed_abft(&packed_a, &packed_b, None, m, k, n, None).expect("gemm");
         let reference = reference_sums(&packed_a, &packed_b, m, k, n);
         assert!(verify(&observed, &reference).is_ok());
 
@@ -199,18 +198,8 @@ mod tests {
             j: 2,
             bit: 27,
         };
-        let (_struck, observed) = owlp_gemm_packed_abft(
-            &enc_a,
-            &packed_a,
-            &enc_b,
-            &packed_b,
-            None,
-            m,
-            k,
-            n,
-            Some(strike),
-        )
-        .expect("gemm");
+        let (_struck, observed) =
+            owlp_gemm_packed_abft(&packed_a, &packed_b, None, m, k, n, Some(strike)).expect("gemm");
         assert_eq!(mismatches(&observed, &reference), (vec![3], vec![2]));
         assert_eq!(
             verify(&observed, &reference),

@@ -210,9 +210,7 @@ impl GuardedGemm {
         let packed_b = enc_b.decode_packed();
         let panels = packed_b.pack_panels(k, n);
         let oracle = owlp_gemm_packed(
-            &enc_a,
             &packed_a,
-            &enc_b,
             &packed_b,
             Some(&panels),
             m,
@@ -334,9 +332,7 @@ impl GuardedGemm {
         let mut reexecuted = false;
         if cfg.abft || lane_strike.is_some() {
             let (result, observed) = owlp_gemm_packed_abft(
-                &self.enc_a,
                 &self.packed_a,
-                &self.enc_b,
                 &self.packed_b,
                 None,
                 self.m,
@@ -425,9 +421,7 @@ impl GuardedGemm {
             // Pristine-state contract: the working planes equal the sealed
             // ones here, so the memoised panels are the production shape.
             let (out, observed) = owlp_gemm_packed_abft(
-                &self.enc_a,
                 &self.packed_a,
-                &self.enc_b,
                 &self.packed_b,
                 Some(&self.panels),
                 self.m,
@@ -447,9 +441,7 @@ impl GuardedGemm {
 
     fn clean_rerun(&self) -> OwlpGemmOutput {
         owlp_gemm_packed(
-            &self.enc_a,
             &self.packed_a,
-            &self.enc_b,
             &self.packed_b,
             None,
             self.m,
@@ -461,20 +453,13 @@ impl GuardedGemm {
         .expect("guarded operands stay finite")
     }
 
-    /// The working encoded tensors and packed planes, `(enc_a, packed_a,
-    /// enc_b, packed_b)`. Overhead timings drive the *unguarded* kernel
-    /// through these same references so plain and checked runs share one
-    /// copy of the operands — as production would — instead of the plain
-    /// twin dragging a duplicate working set through the cache.
-    pub fn working(
-        &self,
-    ) -> (
-        &EncodedTensor,
-        &PackedOperands,
-        &EncodedTensor,
-        &PackedOperands,
-    ) {
-        (&self.enc_a, &self.packed_a, &self.enc_b, &self.packed_b)
+    /// The working packed planes, `(packed_a, packed_b)`. Overhead timings
+    /// drive the *unguarded* kernel through these same references so plain
+    /// and checked runs share one copy of the operands — as production
+    /// would — instead of the plain twin dragging a duplicate working set
+    /// through the cache.
+    pub fn working(&self) -> (&PackedOperands, &PackedOperands) {
+        (&self.packed_a, &self.packed_b)
     }
 
     /// The microkernel weight panels memoised from the pristine `B`

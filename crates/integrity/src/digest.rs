@@ -18,10 +18,11 @@ use owlp_format::{PackedOperands, PackedPanels, PackedPlane};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
-/// Elements per `sval` digest tile. 256 `i16` words = 512 bytes — the
-/// burst granule the memory model uses, and small enough that an in-place
-/// [`PackedOperands::rebuild_sval_range`] repair is cheap.
-pub const SVAL_TILE: usize = 256;
+/// Elements per `sval` digest tile — re-exported from
+/// [`owlp_format::crc`], where the on-disk archive's per-tile CRC tables
+/// share the same granule, so a table sealed at pack time verifies the
+/// mapped planes unchanged.
+pub use owlp_format::crc::SVAL_TILE;
 
 /// A detected integrity violation, typed by the layer that caught it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

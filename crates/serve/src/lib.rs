@@ -24,6 +24,8 @@
 //!   localized tile recompute).
 //! * [`metrics`] — nearest-rank percentile roll-ups: TTFT/TPOT/E2E at
 //!   p50/p95/p99, goodput, rejection rate; fault-run [`MetricsReport`]s.
+//! * [`weights`] — [`ServedWeights`]: the serving cold start off a packed
+//!   archive-v2 file — map, adopt planes, GEMM; no decode, no re-pack.
 //! * [`error`] — the crate-level [`ServeError`].
 //!
 //! ```
@@ -59,6 +61,7 @@ pub mod pool;
 pub mod request;
 pub mod scheduler;
 pub mod trace;
+pub mod weights;
 
 pub use cost::{CostModel, CostSource};
 pub use error::ServeError;
@@ -77,6 +80,7 @@ pub use scheduler::{
     SimOutcome,
 };
 pub use trace::{Trace, TraceError};
+pub use weights::{ColdStart, ServedWeights};
 
 use owlp_core::Accelerator;
 use owlp_model::{Dataset, ModelId};

@@ -1,0 +1,127 @@
+//! Integration: the zero-copy archive-v2 path — offline streaming encode →
+//! mmap load → GEMM straight off the mapped planes — is bit-identical to
+//! the in-memory prepare path on every tensor shape, outlier density, and
+//! SIMD tier.
+//!
+//! This is the storage analogue of `numerical_equivalence.rs`: the archive
+//! may change *where* the planes live (page cache instead of heap), but it
+//! must never change a single output bit.
+
+use owlp_repro::arith::gemm::{owlp_gemm_prepared, PreparedTensor};
+use owlp_repro::arith::microkernel;
+use owlp_repro::format::{ArchiveWriter, Bf16, MappedArchive};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Fresh temp file per proptest case (cases run concurrently).
+fn temp_path(tag: u64) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "owlp-archive-roundtrip-{}-{tag:016x}.owl2",
+        std::process::id()
+    ));
+    p
+}
+
+/// A tensor whose outlier density is controlled by `outlier_mod`: every
+/// `outlier_mod`-th value escapes the shared window (0 = none).
+fn tensor(len: usize, salt: u64, outlier_mod: usize) -> Vec<Bf16> {
+    (0..len)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 97) as f32;
+            let v = 0.5 + x / 97.0;
+            if outlier_mod > 0 && i % outlier_mod == 0 {
+                Bf16::from_f32(v * 1e26)
+            } else if outlier_mod > 0 && i % outlier_mod == 1 {
+                Bf16::ZERO
+            } else {
+                Bf16::from_f32(v)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case writes, maps, and deletes a file — keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mapped GEMM == owned GEMM, bit for bit, at every available SIMD
+    /// tier. Shapes deliberately straddle panel/tile remainders (the
+    /// microkernel's `PANEL_K_PAD` and the digest tile size).
+    #[test]
+    fn mapped_gemm_is_bit_identical_to_owned(
+        seed in 0u64..1u64 << 48,
+        m in 1usize..12,
+        k in 1usize..80,
+        n in 1usize..40,
+        outlier_mod in 0usize..24,
+    ) {
+        let a = tensor(m * k, seed, outlier_mod);
+        let b = tensor(k * n, seed.wrapping_add(1), outlier_mod);
+
+        // A 2 KiB budget forces many row chunks even on these small
+        // shapes. No peak assert here: dense outlier tables legitimately
+        // persist across chunks outside the chunk budget (see the module
+        // docs) — conformance is tested below in its sparse domain.
+        let path = temp_path(seed ^ ((m * k * n) as u64) << 8);
+        let mut w = ArchiveWriter::with_budget(&path, 2 << 10)
+            .map_err(|e| TestCaseError::fail(format!("create failed: {e}")))?;
+        w.add_tensor_slice("w", k, n, &b)
+            .map_err(|e| TestCaseError::fail(format!("add failed: {e}")))?;
+        w.finish()
+            .map_err(|e| TestCaseError::fail(format!("finish failed: {e}")))?;
+
+        let archive = MappedArchive::open(&path)
+            .map_err(|e| TestCaseError::fail(format!("open failed: {e}")))?;
+        let mapped_t = archive.tensor("w")
+            .map_err(|e| TestCaseError::fail(format!("digest-verified load failed: {e}")))?;
+        // The archive is lossless before it is fast.
+        prop_assert_eq!(mapped_t.to_bf16_vec(), &b[..]);
+
+        let owned = PreparedTensor::with_shape(&b, k, n).expect("finite weights prepare");
+        let mapped = PreparedTensor::from_mapped(mapped_t);
+        for &tier in microkernel::available_tiers() {
+            let (ro, rm) = microkernel::with_tier(tier, || {
+                let ro = owlp_gemm_prepared(&a, &owned, m, k, n).expect("owned gemm");
+                let rm = owlp_gemm_prepared(&a, &mapped, m, k, n).expect("mapped gemm");
+                (ro, rm)
+            });
+            for (x, y) in ro.output.iter().zip(&rm.output) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "tier {} diverged", tier);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The streaming budget bounds transient allocation without changing
+    /// the file: two encodes of the same tensors under wildly different
+    /// budgets produce byte-identical archives. Outliers stay sparse
+    /// here — that is the domain where `peak_alloc <= budget` is the
+    /// writer's contract (dense outlier side-tables persist across
+    /// chunks by design).
+    #[test]
+    fn stream_budget_never_changes_the_bytes(
+        seed in 0u64..1u64 << 48,
+        k in 1usize..64,
+        n in 1usize..32,
+        sparse_mod in prop_oneof![Just(0usize), (16usize..64)],
+    ) {
+        let b = tensor(k * n, seed, sparse_mod);
+        let tight = temp_path(seed ^ 0xA);
+        let roomy = temp_path(seed ^ 0xB);
+        for (path, budget) in [(&tight, 32usize << 10), (&roomy, 64 << 20)] {
+            let mut w = ArchiveWriter::with_budget(path, budget)
+                .map_err(|e| TestCaseError::fail(format!("create failed: {e}")))?;
+            w.add_tensor_slice("w", k, n, &b)
+                .map_err(|e| TestCaseError::fail(format!("add failed: {e}")))?;
+            let s = w.finish()
+                .map_err(|e| TestCaseError::fail(format!("finish failed: {e}")))?;
+            prop_assert!(s.peak_alloc <= s.budget);
+        }
+        let ta = std::fs::read(&tight).expect("tight archive readable");
+        let ra = std::fs::read(&roomy).expect("roomy archive readable");
+        prop_assert_eq!(ta, ra);
+        std::fs::remove_file(&tight).ok();
+        std::fs::remove_file(&roomy).ok();
+    }
+}
