@@ -360,100 +360,188 @@ fn exact_gemm_impl<const ABFT: bool>(
         });
         let lo = base_a + base_b;
         let zero_row = vec![0i32; k];
-        let grain = row_grain(k, n).next_multiple_of(MR);
+        // Cache-blocking geometry over the 4-byte i32 band planes,
+        // resolved before the fan-out (like the kernel tier below) so the
+        // `with_block`/`OWLP_BLOCK` overrides apply at every thread count.
+        // No Kc spill cap here: the band budget already proves the
+        // full-depth i64 lane sum exact, and every stripe-partial sum is
+        // bounded by the same budget.
+        let geom = owlp_format::block_geometry(4, MR, NR).for_shape(m, k, n, MR, NR);
+        let (mc, nc, kc) = (geom.mc, geom.nc, geom.kc);
+        // MR-aligned grain; a grain wider than one Mc block rounds to
+        // whole blocks so chunk boundaries never split a block.
+        let grain = {
+            let g = row_grain(k, n).next_multiple_of(MR);
+            if g > mc {
+                g.next_multiple_of(mc)
+            } else {
+                g
+            }
+        };
         // Resolved before the fan-out so a `with_tier` override on this
         // thread applies inside every pool worker.
         let tier = microkernel::selected_tier();
         owlp_par::map_chunks_weighted(m, grain, ops_per_row, |rows| {
             let mut block = vec![0.0f32; rows.len() * n];
             let mut sums = ABFT.then(|| (vec![0i128; rows.len()], vec![0i128; n]));
-            for ib in rows.clone().step_by(MR) {
+            // Finalizes one MR×NR lane tile: the sanctioned strike, the
+            // checksum partials, and the per-element out-of-band
+            // corrections — one copy shared by the single-stripe and
+            // multi-stripe traversals below.
+            let mut finalize_tile = |lanes: &[[i64; NR]; MR], ib: usize, jb: usize| {
                 let mr = MR.min(rows.end - ib);
-                let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
-                    if r < mr {
-                        &aplane[(ib + r) * k..(ib + r + 1) * k]
-                    } else {
-                        zero_row.as_slice()
-                    }
-                });
-                for jb in (0..n).step_by(NR) {
-                    let nr = NR.min(n - jb);
-                    let panel = &bpanels[(jb / NR) * k * NR..(jb / NR + 1) * k * NR];
-                    let lanes = microkernel::tile_dot_i32_with(tier, a_rows, panel);
-                    // Tile-local checksum partials, flushed once per tile:
-                    // i128 addition is exact and order-free, so batching
-                    // the per-element read-modify-writes into registers
-                    // leaves the checksums bit-identical.
-                    let mut tile_rs = [0i128; MR];
-                    let mut tile_cs = [0i128; NR];
-                    for (r, lane_row) in lanes.iter().enumerate().take(mr) {
-                        let i = ib + r;
-                        let rtags = &row_tags[i];
-                        for (c, &lane) in lane_row.iter().enumerate().take(nr) {
-                            let j = jb + c;
-                            let mut lane = lane;
-                            // Sanctioned lane upset: flip before both the
-                            // output use and the checksum collection so the
-                            // two corrupt consistently. Compiled out of the
-                            // non-ABFT monomorphization.
-                            if ABFT {
-                                if let Some(s) = strike {
-                                    if s.i == i && s.j == j {
-                                        lane ^= 1i64 << s.bit;
-                                    }
-                                }
-                                tile_rs[r] += lane as i128;
-                                tile_cs[c] += lane as i128;
-                            }
-                            let ctags = &col_tags[j];
-                            let out = &mut block[(i - rows.start) * n + j];
-                            if rtags.is_empty() && ctags.is_empty() {
-                                let mut win = WindowAcc::new(lo);
-                                win.add_aligned(lane);
-                                *out = win.round_to_f32();
-                                continue;
-                            }
-                            // Merge-walk both tag lists in k order so a
-                            // doubly-tagged position contributes its one
-                            // exact product rather than two mixed terms.
-                            let mut acc = KulischAcc::new();
-                            acc.add_scaled(lane, lo);
-                            let (mut x, mut y) = (0usize, 0usize);
-                            while x < rtags.len() || y < ctags.len() {
-                                let ka = rtags.get(x).map_or(u32::MAX, |t| t.0);
-                                let kb = ctags.get(y).map_or(u32::MAX, |t| t.0);
-                                if ka < kb {
-                                    let (kk, sig, f) = rtags[x];
-                                    x += 1;
-                                    let other = panel[kk as usize * NR + c] as i64;
-                                    acc.add_scaled(sig * other, f + base_b);
-                                } else if kb < ka {
-                                    let (kk, sig, f) = ctags[y];
-                                    y += 1;
-                                    let other = a_rows[r][kk as usize] as i64;
-                                    acc.add_scaled(sig * other, base_a + f);
-                                } else {
-                                    let (_, siga, fa) = rtags[x];
-                                    let (_, sigb, fb) = ctags[y];
-                                    x += 1;
-                                    y += 1;
-                                    acc.add_scaled(siga * sigb, fa + fb);
+                let nr = NR.min(n - jb);
+                let panel = &bpanels[(jb / NR) * k * NR..(jb / NR + 1) * k * NR];
+                // Tile-local checksum partials, flushed once per tile:
+                // i128 addition is exact and order-free, so batching
+                // the per-element read-modify-writes into registers
+                // leaves the checksums bit-identical.
+                let mut tile_rs = [0i128; MR];
+                let mut tile_cs = [0i128; NR];
+                for (r, lane_row) in lanes.iter().enumerate().take(mr) {
+                    let i = ib + r;
+                    let rtags = &row_tags[i];
+                    let arow = &aplane[i * k..(i + 1) * k];
+                    for (c, &lane) in lane_row.iter().enumerate().take(nr) {
+                        let j = jb + c;
+                        let mut lane = lane;
+                        // Sanctioned lane upset: flip before both the
+                        // output use and the checksum collection so the
+                        // two corrupt consistently. Compiled out of the
+                        // non-ABFT monomorphization.
+                        if ABFT {
+                            if let Some(s) = strike {
+                                if s.i == i && s.j == j {
+                                    lane ^= 1i64 << s.bit;
                                 }
                             }
-                            *out = acc.round_to_f32();
+                            tile_rs[r] += lane as i128;
+                            tile_cs[c] += lane as i128;
                         }
+                        let ctags = &col_tags[j];
+                        let out = &mut block[(i - rows.start) * n + j];
+                        if rtags.is_empty() && ctags.is_empty() {
+                            let mut win = WindowAcc::new(lo);
+                            win.add_aligned(lane);
+                            *out = win.round_to_f32();
+                            continue;
+                        }
+                        // Merge-walk both tag lists in k order so a
+                        // doubly-tagged position contributes its one
+                        // exact product rather than two mixed terms.
+                        let mut acc = KulischAcc::new();
+                        acc.add_scaled(lane, lo);
+                        let (mut x, mut y) = (0usize, 0usize);
+                        while x < rtags.len() || y < ctags.len() {
+                            let ka = rtags.get(x).map_or(u32::MAX, |t| t.0);
+                            let kb = ctags.get(y).map_or(u32::MAX, |t| t.0);
+                            if ka < kb {
+                                let (kk, sig, f) = rtags[x];
+                                x += 1;
+                                let other = panel[kk as usize * NR + c] as i64;
+                                acc.add_scaled(sig * other, f + base_b);
+                            } else if kb < ka {
+                                let (kk, sig, f) = ctags[y];
+                                y += 1;
+                                let other = arow[kk as usize] as i64;
+                                acc.add_scaled(sig * other, base_a + f);
+                            } else {
+                                let (_, siga, fa) = rtags[x];
+                                let (_, sigb, fb) = ctags[y];
+                                x += 1;
+                                y += 1;
+                                acc.add_scaled(siga * sigb, fa + fb);
+                            }
+                        }
+                        *out = acc.round_to_f32();
                     }
-                    if ABFT {
-                        if let Some((rs, cs)) = sums.as_mut() {
-                            for (r, part) in tile_rs.iter().enumerate().take(mr) {
-                                rs[ib + r - rows.start] += part;
-                            }
-                            for (c, part) in tile_cs.iter().enumerate().take(nr) {
-                                cs[jb + c] += part;
-                            }
+                }
+                if ABFT {
+                    if let Some((rs, cs)) = sums.as_mut() {
+                        for (r, part) in tile_rs.iter().enumerate().take(mr) {
+                            rs[ib + r - rows.start] += part;
+                        }
+                        for (c, part) in tile_cs.iter().enumerate().take(nr) {
+                            cs[jb + c] += part;
                         }
                     }
                 }
+            };
+            // BLIS-style blocked traversal: pure re-association of the same
+            // exact integer sums, so every (Mc, Kc, Nc) choice — including
+            // the unblocked geometry — is bit-identical at every tier.
+            let single_stripe = k <= kc;
+            // Per-(Mc,Nc)-block lane plane for the multi-stripe path,
+            // allocated lazily and reused across blocks.
+            let mut lane_tiles: Vec<[[i64; NR]; MR]> = Vec::new();
+            let mut ic = rows.start;
+            while ic < rows.end {
+                let ic_end = (ic + mc).min(rows.end);
+                let mut jc = 0usize;
+                while jc < n {
+                    let hi_col = (jc + nc).min(n);
+                    if single_stripe {
+                        // One Kc stripe covers the whole depth: lanes go
+                        // straight from registers into the finalize pass.
+                        for jb in (jc..hi_col).step_by(NR) {
+                            let panel = &bpanels[(jb / NR) * k * NR..(jb / NR + 1) * k * NR];
+                            for ib in (ic..ic_end).step_by(MR) {
+                                let mr = MR.min(ic_end - ib);
+                                let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
+                                    if r < mr {
+                                        &aplane[(ib + r) * k..(ib + r + 1) * k]
+                                    } else {
+                                        zero_row.as_slice()
+                                    }
+                                });
+                                let lanes = microkernel::tile_dot_i32_with(tier, a_rows, panel);
+                                finalize_tile(&lanes, ib, jb);
+                            }
+                        }
+                    } else {
+                        // Kc stripes accumulate into a tile-major i64 lane
+                        // plane covering this (Mc, Nc) block; the band
+                        // budget keeps every partial and the full-depth sum
+                        // exact in i64, so no spill plane is ever needed.
+                        let groups = (hi_col - jc).div_ceil(NR);
+                        let tile_rows = (ic_end - ic).div_ceil(MR);
+                        lane_tiles.clear();
+                        lane_tiles.resize(groups * tile_rows, [[0i64; NR]; MR]);
+                        let mut pc = 0usize;
+                        while pc < k {
+                            let kcl = kc.min(k - pc);
+                            for (g, jb) in (jc..hi_col).step_by(NR).enumerate() {
+                                let pbase = (jb / NR) * k * NR;
+                                let stripe = &bpanels[pbase + pc * NR..pbase + (pc + kcl) * NR];
+                                for (tr, ib) in (ic..ic_end).step_by(MR).enumerate() {
+                                    let mr = MR.min(ic_end - ib);
+                                    let a_rows: [&[i32]; MR] = std::array::from_fn(|r| {
+                                        if r < mr {
+                                            let row = (ib + r) * k;
+                                            &aplane[row + pc..row + pc + kcl]
+                                        } else {
+                                            &zero_row[..kcl]
+                                        }
+                                    });
+                                    microkernel::tile_mul_i32_with(
+                                        tier,
+                                        a_rows,
+                                        stripe,
+                                        &mut lane_tiles[g * tile_rows + tr],
+                                    );
+                                }
+                            }
+                            pc += kcl;
+                        }
+                        for (g, jb) in (jc..hi_col).step_by(NR).enumerate() {
+                            for (tr, ib) in (ic..ic_end).step_by(MR).enumerate() {
+                                finalize_tile(&lane_tiles[g * tile_rows + tr], ib, jb);
+                            }
+                        }
+                    }
+                    jc = hi_col;
+                }
+                ic = ic_end;
             }
             (block, sums)
         })
@@ -678,6 +766,38 @@ mod tests {
         let oracle = oracle_gemm(&a, &b, m, k, n);
         for (x, y) in banded.iter().zip(&oracle) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn forced_blocks_stay_bit_identical_with_tags_and_abft() {
+        use owlp_format::{with_block, BlockGeometry};
+        // Span-hostile tensors so the tag-correction path runs too.
+        let (m, k, n) = (13, 29, 9);
+        let a = mixed_tensor(m * k, 13, 17);
+        let b = mixed_tensor(k * n, 7, 23);
+        let strike = Some(LaneStrike {
+            i: 4,
+            j: 2,
+            bit: 21,
+        });
+        let baseline = with_block(BlockGeometry::UNBLOCKED, || {
+            exact_gemm_abft(&a, &b, m, k, n, strike)
+        });
+        // Ragged tails, block == extent, block > extent, and the
+        // multi-stripe lane-plane path (kc < k) all regroup the same exact
+        // integer sums — outputs and checksums must match bit for bit.
+        for geom in ["4,8,4", "8,29,12", "16,64,16", "4,16,8", "12,12,4"] {
+            let g = BlockGeometry::parse(geom).unwrap();
+            let (out, check) = with_block(g, || exact_gemm_abft(&a, &b, m, k, n, strike));
+            for (x, y) in out.iter().zip(&baseline.0) {
+                assert_eq!(x.to_bits(), y.to_bits(), "geometry {geom}");
+            }
+            assert_eq!(
+                check.as_ref().map(|c| &c.observed),
+                baseline.1.as_ref().map(|c| &c.observed),
+                "geometry {geom}"
+            );
         }
     }
 

@@ -9,11 +9,14 @@ use crate::align::AlignUnit;
 use crate::column::PeColumn;
 use crate::error::ArithError;
 use crate::kulisch::KulischAcc;
-use crate::microkernel::{self, MR, NR};
+use crate::microkernel::{self, MR, MR8, NR};
 use crate::pe::PeConfig;
 use crate::window::{WindowAcc, OWLP_PRODUCT_BITS};
 use owlp_format::decode::DecodedOperand;
-use owlp_format::{encode_tensor, Bf16, MappedTensor, PackedOperands, PackedPanels};
+use owlp_format::{
+    encode_tensor, encode_tensor_into, Bf16, EncodedTensor, MappedTensor, PackedOperands,
+    PackedPanels,
+};
 use serde::{Deserialize, Serialize};
 
 /// Result of an OwL-P GEMM with datapath statistics.
@@ -142,13 +145,19 @@ impl PreparedTensor {
     }
 }
 
-/// Reusable activation-side buffers for [`owlp_gemm_prepared_with`]: the
-/// per-step decode of a serving loop refills the same packed planes
-/// instead of allocating fresh ones every call
-/// ([`owlp_format::EncodedTensor::decode_packed_into`]).
+/// Reusable activation-side buffers for [`owlp_gemm_prepared_with`] and
+/// [`owlp_gemm_prepared_f32_with`]: the per-step activation path of a
+/// serving loop rounds (f32 inputs only), re-encodes
+/// ([`owlp_format::encode_tensor_into`]) and re-decodes
+/// ([`owlp_format::EncodedTensor::decode_packed_into`]) into the same
+/// buffers every call, so in steady state the whole activation side —
+/// BF16 rounding buffer, code/exponent streams, and packed planes —
+/// allocates nothing.
 #[derive(Debug, Default)]
 pub struct GemmScratch {
     packed_a: PackedOperands,
+    enc_a: EncodedTensor,
+    bf_a: Vec<Bf16>,
 }
 
 /// [`owlp_gemm`] with a pre-prepared weight tensor: only the activation
@@ -186,10 +195,53 @@ pub fn owlp_gemm_prepared_with(
     scratch: &mut GemmScratch,
 ) -> Result<OwlpGemmOutput, ArithError> {
     check_shape(a, m * k, "A")?;
-    let enc_a = encode_tensor(a, None)?;
-    enc_a.decode_packed_into(&mut scratch.packed_a);
+    encode_tensor_into(a, None, &mut scratch.enc_a)?;
+    scratch.enc_a.decode_packed_into(&mut scratch.packed_a);
     owlp_gemm_packed(
         &scratch.packed_a,
+        &b.packed,
+        b.panels.as_ref(),
+        m,
+        k,
+        n,
+        PeConfig::PAPER,
+        AlignUnit::Exact,
+    )
+}
+
+/// [`owlp_gemm_prepared_with`] taking raw `f32` activations: the f32 →
+/// BF16 rounding an accelerator's vector unit performs on the way into
+/// the GEMM happens here, into the scratch's reusable rounding buffer —
+/// so a fused forward pass (e.g. the `owlp-core` transformer) hands its
+/// f32 activations straight in and never materialises a per-call BF16
+/// tensor. Bit-identical to rounding with [`Bf16::from_f32`] and calling
+/// [`owlp_gemm_prepared_with`].
+///
+/// # Errors
+///
+/// As [`owlp_gemm`].
+pub fn owlp_gemm_prepared_f32_with(
+    a: &[f32],
+    b: &PreparedTensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) -> Result<OwlpGemmOutput, ArithError> {
+    check_len(a.len(), m * k, "A")?;
+    scratch.bf_a.clear();
+    scratch.bf_a.extend(a.iter().map(|&x| Bf16::from_f32(x)));
+    // Split-borrow the scratch so the rounded buffer can feed the encode
+    // while the packed planes receive the decode.
+    let GemmScratch {
+        packed_a,
+        enc_a,
+        bf_a,
+    } = scratch;
+    encode_tensor_into(bf_a, None, enc_a)?;
+    enc_a.decode_packed_into(packed_a);
+    owlp_gemm_packed(
+        packed_a,
         &b.packed,
         b.panels.as_ref(),
         m,
@@ -491,17 +543,39 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
     // All-zero activation row standing in for the `m % MR` edge rows: zero
     // svals contribute nothing, so the full-size kernel handles edges.
     let zero_row = vec![0i16; k];
+    // Cache-blocking geometry (BLIS-style Mc/Kc/Nc), resolved once before
+    // the fan-out so the thread-local `with_block` override and the
+    // `OWLP_BLOCK` environment knob apply at every thread count, exactly
+    // like the kernel tier below. Kc is additionally capped at the lane
+    // spill period so one Kc stripe always fits a single i64 lane segment.
+    let geom = owlp_format::block_geometry(2, MR, NR).for_shape(m, k, n, MR, NR);
+    let (mc, nc) = (geom.mc, geom.nc);
+    let kc = geom.kc.min(microkernel::K_SPILL);
     // Tile-parallel over output columns: each chunk runs the register-tiled
     // microkernel (or the PE column) over its panel range. The grain is
-    // NR-aligned so no MR×NR tile straddles a chunk boundary. Results
-    // assemble in column order and the wavefront statistics reduce over the
-    // ordered tile list (max and sum — order-free anyway), so the output is
-    // bit-identical to the serial sweep at every thread count.
-    let grain = crate::exact::row_grain(k, m).next_multiple_of(NR);
+    // NR-aligned so no MR×NR tile straddles a chunk boundary, and a grain
+    // wider than one Nc block rounds to whole blocks so chunk boundaries
+    // never split a block at any thread count. Results assemble in column
+    // order and the wavefront statistics reduce over the ordered tile list
+    // (max and sum — order-free anyway), so the output is bit-identical to
+    // the serial sweep at every thread count.
+    let grain = {
+        let g = crate::exact::row_grain(k, m).next_multiple_of(NR);
+        if g > nc {
+            g.next_multiple_of(nc)
+        } else {
+            g
+        }
+    };
     let col_ops = 2 * (k as u64).saturating_mul(m as u64).max(1);
     // Resolved before the fan-out so a `with_tier` override on this thread
     // (tests, per-tier benches) applies inside every pool worker.
     let tier = microkernel::selected_tier();
+    // The widened 8×NR tile only pays on AVX2, where it amortizes one
+    // panel load + interleave over eight rows; on every other tier it
+    // would compute the same two MR-tile calls the 4-row loop already
+    // makes, so those tiers keep the narrow shape.
+    let use_x8 = tier == microkernel::KernelTier::Avx2;
     let tiles = owlp_par::map_chunks_weighted(n, grain, col_ops, |cols| {
         let j0 = cols.start;
         let mut values;
@@ -518,24 +592,16 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
             // Doubly-tagged products whose frame escapes the sized window
             // (rare) — reused across elements.
             let mut extras: Vec<(i64, i32)> = Vec::new();
-            for jb in cols.clone().step_by(NR) {
-                let nr = NR.min(cols.end - jb);
-                let panel = panels.panel(jb / NR);
-                for ib in (0..m).step_by(MR) {
+            // Finalizes one MR×NR window tile into `values`: the sanctioned
+            // strike, the ABFT checksum partials, and the per-element
+            // outlier-correction walk. Shared by the single-stripe path
+            // (windows straight out of `tile_dot`) and the multi-stripe
+            // path (windows rebuilt from the persistent lane plane), so the
+            // correction logic exists in exactly one copy.
+            let mut finalize_tile =
+                |wins: &[[WindowAcc; NR]; MR], ib: usize, jb: usize, panel: &[i16]| {
                     let mr = MR.min(m - ib);
-                    let a_rows: [&[i16]; MR] = std::array::from_fn(|r| {
-                        if r < mr {
-                            &a_sval[(ib + r) * k..(ib + r + 1) * k]
-                        } else {
-                            zero_row.as_slice()
-                        }
-                    });
-                    // The microkernel covers the outlier-free bulk: every
-                    // product is an integer < 2^30 on the shared frame
-                    // (outlier svals included as their as-if-normal value,
-                    // corrected below), so regrouping into register tiles
-                    // cannot change the exact per-element sum.
-                    let wins = microkernel::tile_dot_i16_with(tier, a_rows, panel, win0);
+                    let nr = NR.min(cols.end - jb);
                     // Tile-local checksum partials: the per-element i128
                     // read-modify-writes on the chunk-wide sum vectors are
                     // batched into registers here and flushed once per tile
@@ -547,7 +613,7 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
                         let i = ib + r;
                         let rtags = &row_tags[i];
                         let rmask = &row_masks[i * mask_words..(i + 1) * mask_words];
-                        let row_sval = a_rows[r];
+                        let row_sval = &a_sval[i * k..(i + 1) * k];
                         for (c, &tile_win) in wins_row.iter().enumerate().take(nr) {
                             let j = jb + c;
                             let ctags = &col_tags[j];
@@ -729,7 +795,157 @@ fn owlp_gemm_packed_impl<const ABFT: bool>(
                             }
                         }
                     }
+                };
+            // BLIS-style blocked traversal of this chunk's column range.
+            // Blocking is pure re-association of the same exact integer
+            // sums, so every (Mc, Kc, Nc) choice — including the unblocked
+            // geometry — produces bit-identical output at every tier.
+            let single_stripe = k <= kc;
+            // Persistent per-Nc-block accumulator planes for the
+            // multi-stripe path, allocated lazily and reused across blocks.
+            let row_tiles = m.div_ceil(MR);
+            let mut lane_tiles: Vec<[[i64; NR]; MR]> = Vec::new();
+            let mut spill_tiles: Vec<[[WindowAcc; NR]; MR]> = Vec::new();
+            let mut jc = cols.start;
+            while jc < cols.end {
+                let hi_col = (jc + nc).min(cols.end);
+                if single_stripe {
+                    // One Kc stripe covers the whole depth: windows go
+                    // straight from registers into the finalize pass — the
+                    // pre-blocking structure with Mc/Nc loop shaping on top.
+                    for ic in (0..m).step_by(mc) {
+                        let ic_end = (ic + mc).min(m);
+                        for jb in (jc..hi_col).step_by(NR) {
+                            let panel = panels.panel(jb / NR);
+                            let mut ib = ic;
+                            while ib < ic_end {
+                                if use_x8 && ib + MR8 <= ic_end {
+                                    let a8: [&[i16]; MR8] = std::array::from_fn(|r| {
+                                        &a_sval[(ib + r) * k..(ib + r + 1) * k]
+                                    });
+                                    let [w0, w1] =
+                                        microkernel::tile_dot_i16_x8_with(tier, a8, panel, win0);
+                                    finalize_tile(&w0, ib, jb, panel);
+                                    finalize_tile(&w1, ib + MR, jb, panel);
+                                    ib += MR8;
+                                } else {
+                                    let mr = MR.min(ic_end - ib);
+                                    let a_rows: [&[i16]; MR] = std::array::from_fn(|r| {
+                                        if r < mr {
+                                            &a_sval[(ib + r) * k..(ib + r + 1) * k]
+                                        } else {
+                                            zero_row.as_slice()
+                                        }
+                                    });
+                                    // The microkernel covers the outlier-free
+                                    // bulk: every product is an integer
+                                    // < 2^30 on the shared frame (outlier
+                                    // svals included as their as-if-normal
+                                    // value, corrected in the finalize), so
+                                    // regrouping into register tiles cannot
+                                    // change the exact per-element sum.
+                                    let wins =
+                                        microkernel::tile_dot_i16_with(tier, a_rows, panel, win0);
+                                    finalize_tile(&wins, ib, jb, panel);
+                                    ib += MR;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Multi-stripe: Kc stripes accumulate into a persistent
+                    // tile-major i64 lane plane covering this Nc block;
+                    // depths beyond the spill period flush into a lazy
+                    // WindowAcc spill plane first. Each flush boundary is
+                    // just another association order of the same exact sum.
+                    let groups = (hi_col - jc).div_ceil(NR);
+                    lane_tiles.clear();
+                    lane_tiles.resize(groups * row_tiles, [[0i64; NR]; MR]);
+                    let spill = k > microkernel::K_SPILL;
+                    if spill {
+                        spill_tiles.clear();
+                        spill_tiles.resize(groups * row_tiles, [[win0; NR]; MR]);
+                    }
+                    let mut depth = 0usize;
+                    let mut pc = 0usize;
+                    while pc < k {
+                        let kcl = kc.min(k - pc);
+                        if depth + kcl > microkernel::K_SPILL {
+                            debug_assert!(spill, "flush only occurs when k > K_SPILL");
+                            for (lt, st) in lane_tiles.iter_mut().zip(spill_tiles.iter_mut()) {
+                                for (lr, sr) in lt.iter_mut().zip(st.iter_mut()) {
+                                    for (lane, w) in lr.iter_mut().zip(sr.iter_mut()) {
+                                        w.add_aligned(std::mem::take(lane));
+                                    }
+                                }
+                            }
+                            depth = 0;
+                        }
+                        for ic in (0..m).step_by(mc) {
+                            let ic_end = (ic + mc).min(m);
+                            for (g, jb) in (jc..hi_col).step_by(NR).enumerate() {
+                                let panel = panels.panel(jb / NR);
+                                let stripe = &panel[pc * NR..(pc + kcl) * NR];
+                                let mut ib = ic;
+                                while ib < ic_end {
+                                    let t = g * row_tiles + ib / MR;
+                                    if use_x8 && ib + MR8 <= ic_end {
+                                        let a8: [&[i16]; MR8] = std::array::from_fn(|r| {
+                                            let row = (ib + r) * k;
+                                            &a_sval[row + pc..row + pc + kcl]
+                                        });
+                                        let (lo_t, hi_t) = lane_tiles.split_at_mut(t + 1);
+                                        microkernel::tile_mul_i16_x8_with(
+                                            tier,
+                                            a8,
+                                            stripe,
+                                            &mut lo_t[t],
+                                            &mut hi_t[0],
+                                        );
+                                        ib += MR8;
+                                    } else {
+                                        let mr = MR.min(ic_end - ib);
+                                        let a_rows: [&[i16]; MR] = std::array::from_fn(|r| {
+                                            if r < mr {
+                                                let row = (ib + r) * k;
+                                                &a_sval[row + pc..row + pc + kcl]
+                                            } else {
+                                                &zero_row[..kcl]
+                                            }
+                                        });
+                                        microkernel::tile_mul_i16_with(
+                                            tier,
+                                            a_rows,
+                                            stripe,
+                                            &mut lane_tiles[t],
+                                        );
+                                        ib += MR;
+                                    }
+                                }
+                            }
+                        }
+                        depth += kcl;
+                        pc += kcl;
+                    }
+                    // Finalize pass: rebuild each tile's windows from the
+                    // lane plane (plus the spill plane when one exists) and
+                    // run the shared strike/checksum/correction logic.
+                    for (g, jb) in (jc..hi_col).step_by(NR).enumerate() {
+                        let panel = panels.panel(jb / NR);
+                        for ib in (0..m).step_by(MR) {
+                            let t = g * row_tiles + ib / MR;
+                            let wins: [[WindowAcc; NR]; MR] = std::array::from_fn(|r| {
+                                std::array::from_fn(|c| {
+                                    let mut w = if spill { spill_tiles[t][r][c] } else { win0 };
+                                    w.add_aligned(lane_tiles[t][r][c]);
+                                    w
+                                })
+                            });
+                            finalize_tile(&wins, ib, jb, panel);
+                        }
+                    }
                 }
+                jc = hi_col;
             }
         } else {
             values = Vec::with_capacity(cols.len() * m);
@@ -861,6 +1077,42 @@ mod tests {
     }
 
     #[test]
+    fn forced_blocks_stay_bit_identical_with_outliers_and_abft() {
+        use owlp_format::{with_block, BlockGeometry};
+        let (m, k, n) = (13, 40, 11);
+        let a = synth(m * k, 5, 9);
+        let b = synth(k * n, 6, 13);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (ea.decode_packed(), eb.decode_packed());
+        let strike = Some(LaneStrike { i: 3, j: 7, bit: 9 });
+        let baseline = with_block(BlockGeometry::UNBLOCKED, || {
+            owlp_gemm_packed_abft(&pa, &pb, None, m, k, n, strike).unwrap()
+        });
+        // Ragged tails, block == extent, block > extent, and the
+        // multi-stripe lane-plane path (kc < k) all regroup the same exact
+        // integer sums — outputs and ABFT checksums must match bit for bit.
+        for geom in ["4,8,4", "8,40,12", "16,64,16", "4,16,8", "12,24,4"] {
+            let g = BlockGeometry::parse(geom).unwrap();
+            let (out, sums) = with_block(g, || {
+                owlp_gemm_packed_abft(&pa, &pb, None, m, k, n, strike).unwrap()
+            });
+            for (x, y) in out.output.iter().zip(&baseline.0.output) {
+                assert_eq!(x.to_bits(), y.to_bits(), "geometry {geom}");
+            }
+            assert_eq!(sums, baseline.1, "geometry {geom}");
+            assert_eq!(
+                out.total_outlier_products,
+                baseline.0.total_outlier_products
+            );
+            assert_eq!(
+                out.max_wavefront_outliers,
+                baseline.0.max_wavefront_outliers
+            );
+        }
+    }
+
+    #[test]
     fn owlp_is_at_least_as_accurate_as_fp_baseline() {
         // Against the exact result, OwL-P's error is zero by construction;
         // the sequential FP32 baseline's is ≥ 0. Construct a case where the
@@ -963,6 +1215,41 @@ mod tests {
         assert!(matches!(
             PreparedTensor::with_shape(&b, k, n + 1),
             Err(ArithError::DimensionMismatch { what: "B", .. })
+        ));
+    }
+
+    #[test]
+    fn prepared_f32_path_matches_rounded_bf16_path() {
+        let (m, k, n) = (7, 41, 10);
+        let b = synth(k * n, 51, 8);
+        let shaped = PreparedTensor::with_shape(&b, k, n).unwrap();
+        let mut scratch = GemmScratch::default();
+        // Several shapes through ONE scratch, including f32 values that
+        // round (inexact in BF16) and an outlier-scale activation.
+        for seed in [1u64, 2, 3] {
+            let a32: Vec<f32> = (0..m * k)
+                .map(|i| {
+                    let base = ((i as f32) * 0.137 + seed as f32).sin() * 3.0;
+                    if i % 17 == 0 {
+                        base * 1e20
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            let rounded: Vec<Bf16> = a32.iter().map(|&x| Bf16::from_f32(x)).collect();
+            let via_bf16 = owlp_gemm_prepared(&rounded, &shaped, m, k, n).unwrap();
+            let via_f32 =
+                owlp_gemm_prepared_f32_with(&a32, &shaped, m, k, n, &mut scratch).unwrap();
+            assert_eq!(via_f32, via_bf16, "f32 entry must only move the rounding");
+        }
+        assert!(matches!(
+            owlp_gemm_prepared_f32_with(&[0.0f32; 3], &shaped, m, k, n, &mut scratch),
+            Err(ArithError::DimensionMismatch { what: "A", .. })
+        ));
+        assert!(matches!(
+            owlp_gemm_prepared_f32_with(&vec![f32::NAN; m * k], &shaped, m, k, n, &mut scratch),
+            Err(ArithError::Format(_))
         ));
     }
 

@@ -125,6 +125,55 @@ pub fn tile_mul_i16_with(
     }
 }
 
+/// Output-tile rows of the widened `8×NR` register tier: two vertically
+/// stacked `MR×NR` tiles sharing one panel load stream. The AVX2 kernel
+/// amortizes the panel load + in-register interleave over eight A rows;
+/// every other tier computes the identical exact lanes as two `MR` tile
+/// calls, so the drive loops only *prefer* the widened shape on AVX2.
+pub const MR8: usize = 2 * MR;
+
+/// Multiplies one K-segment of an 8×NR tile into two stacked `i64` lane
+/// tiles (`lo` = rows `0..MR`, `hi` = rows `MR..MR8`), on the
+/// process-selected tier. Contract as [`tile_mul_i16`].
+#[inline]
+pub fn tile_mul_i16_x8(
+    a_rows: [&[i16]; MR8],
+    panel: &[i16],
+    lo: &mut [[i64; NR]; MR],
+    hi: &mut [[i64; NR]; MR],
+) {
+    tile_mul_i16_x8_with(selected_tier(), a_rows, panel, lo, hi);
+}
+
+/// [`tile_mul_i16_x8`] on an explicit (clamped) tier.
+#[inline]
+pub fn tile_mul_i16_x8_with(
+    tier: KernelTier,
+    a_rows: [&[i16]; MR8],
+    panel: &[i16],
+    lo: &mut [[i64; NR]; MR],
+    hi: &mut [[i64; NR]; MR],
+) {
+    let seg = a_rows[0].len();
+    debug_assert!(seg <= K_SPILL, "segment longer than the spill period");
+    debug_assert!(a_rows.iter().all(|r| r.len() == seg));
+    debug_assert!(panel.len() >= seg * NR, "panel shorter than the K segment");
+    match dispatch::clamp(tier) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp` only yields Avx2 when runtime detection saw it.
+        KernelTier::Avx2 => unsafe { x86::tile_mul_i16_x8_avx2(a_rows, panel, lo, hi) },
+        t => {
+            // No widened kernel below AVX2: two MR-tile calls on the same
+            // tier accumulate the identical exact integer lanes (the split
+            // is pure re-association of disjoint row sums).
+            let first: [&[i16]; MR] = std::array::from_fn(|r| a_rows[r]);
+            let second: [&[i16]; MR] = std::array::from_fn(|r| a_rows[MR + r]);
+            tile_mul_i16_with(t, first, panel, lo);
+            tile_mul_i16_with(t, second, panel, hi);
+        }
+    }
+}
+
 /// Full-depth MR×NR tile: segments of [`K_SPILL`] terms accumulate in
 /// `i64` lanes and spill into per-element [`WindowAcc`]s cloned from
 /// `win0` (the shared-frame window of the GEMM call).
@@ -154,6 +203,45 @@ pub fn tile_dot_i16_with(
         for (wr, lr) in wins.iter_mut().zip(&mut lanes) {
             for (w, lane) in wr.iter_mut().zip(lr.iter_mut()) {
                 w.add_aligned(std::mem::take(lane));
+            }
+        }
+        s += seg;
+    }
+    wins
+}
+
+/// Full-depth 8×NR tile (see [`MR8`]): [`tile_dot_i16_with`] for two
+/// stacked MR tiles, returned as `[lower rows, upper rows]` so the
+/// finalize passes keep consuming `MR×NR` window tiles unchanged.
+#[inline]
+pub fn tile_dot_i16_x8_with(
+    tier: KernelTier,
+    a_rows: [&[i16]; MR8],
+    panel: &[i16],
+    win0: WindowAcc,
+) -> [[[WindowAcc; NR]; MR]; 2] {
+    let tier = dispatch::clamp(tier);
+    let k = a_rows[0].len();
+    debug_assert!(panel.len() >= k * NR);
+    let mut wins = [[[win0; NR]; MR]; 2];
+    let mut lanes = [[[0i64; NR]; MR]; 2];
+    let mut s = 0usize;
+    while s < k {
+        let seg = K_SPILL.min(k - s);
+        let sub: [&[i16]; MR8] = std::array::from_fn(|r| &a_rows[r][s..s + seg]);
+        let (l0, l1) = lanes.split_at_mut(1);
+        tile_mul_i16_x8_with(
+            tier,
+            sub,
+            &panel[s * NR..(s + seg) * NR],
+            &mut l0[0],
+            &mut l1[0],
+        );
+        for (wt, lt) in wins.iter_mut().zip(&mut lanes) {
+            for (wr, lr) in wt.iter_mut().zip(lt.iter_mut()) {
+                for (w, lane) in wr.iter_mut().zip(lr.iter_mut()) {
+                    w.add_aligned(std::mem::take(lane));
+                }
             }
         }
         s += seg;
@@ -247,7 +335,7 @@ pub fn tile_dot_i32_with(tier: KernelTier, a_rows: [&[i32]; MR], panel: &[i32]) 
 /// current selection — they differ only where an ISA level lacks the
 /// needed instruction (Sse2's `tile_dot_i32`). For `repro features` and
 /// the bench report.
-pub fn entry_point_tiers() -> [(&'static str, KernelTier); 3] {
+pub fn entry_point_tiers() -> [(&'static str, KernelTier); 4] {
     let t = selected_tier();
     let i32_tier = if t == KernelTier::Sse2 {
         KernelTier::Scalar
@@ -256,6 +344,7 @@ pub fn entry_point_tiers() -> [(&'static str, KernelTier); 3] {
     };
     [
         ("tile_dot_i16", t),
+        ("tile_dot_i16_x8", t),
         ("tile_dot_i32", i32_tier),
         ("dot_sval", t),
     ]
@@ -328,6 +417,40 @@ mod tests {
                         wtile.round_to_f32().to_bits(),
                         win.round_to_f32().to_bits(),
                         "tier {tier} tile ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x8_tile_matches_two_mr_tiles_on_every_tier() {
+        let k = K_SPILL + 21; // spill crossing + odd remainder for the tails
+        let a: Vec<Bf16> = normals(MR8 * k, 77);
+        let b: Vec<Bf16> = normals(k * NR, 88);
+        let ea = encode_tensor(&a, None).unwrap();
+        let eb = encode_tensor(&b, None).unwrap();
+        let (pa, pb) = (ea.decode_packed(), eb.decode_packed());
+        let panels = pb.pack_panels(k, NR);
+        let win0 = WindowAcc::for_owlp_normal(ea.shared_exp(), eb.shared_exp(), k);
+        let a8: [&[i16]; MR8] = std::array::from_fn(|r| &pa.svals()[r * k..(r + 1) * k]);
+        let lo_rows: [&[i16]; MR] = std::array::from_fn(|r| a8[r]);
+        let hi_rows: [&[i16]; MR] = std::array::from_fn(|r| a8[MR + r]);
+        let oracle_lo = tile_dot_i16_with(KernelTier::Scalar, lo_rows, panels.panel(0), win0);
+        let oracle_hi = tile_dot_i16_with(KernelTier::Scalar, hi_rows, panels.panel(0), win0);
+        for &tier in available_tiers() {
+            let [w0, w1] = tile_dot_i16_x8_with(tier, a8, panels.panel(0), win0);
+            for r in 0..MR {
+                for c in 0..NR {
+                    assert_eq!(
+                        w0[r][c].raw(),
+                        oracle_lo[r][c].raw(),
+                        "tier {tier} lo ({r},{c})"
+                    );
+                    assert_eq!(
+                        w1[r][c].raw(),
+                        oracle_hi[r][c].raw(),
+                        "tier {tier} hi ({r},{c})"
                     );
                 }
             }
@@ -462,7 +585,7 @@ mod tests {
     #[test]
     fn entry_point_tiers_are_consistent() {
         let tiers = entry_point_tiers();
-        assert_eq!(tiers.len(), 3);
+        assert_eq!(tiers.len(), 4);
         for (name, tier) in tiers {
             assert!(
                 available_tiers().contains(&tier),

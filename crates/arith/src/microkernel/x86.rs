@@ -25,7 +25,7 @@
 
 #![allow(unsafe_code)]
 
-use super::{scalar, MR, NR};
+use super::{scalar, MR, MR8, NR};
 use std::arch::x86_64::*;
 
 /// Finishes the `seg % width` remainder depths through the scalar oracle
@@ -121,6 +121,59 @@ pub unsafe fn tile_mul_i16_avx2(a_rows: [&[i16]; MR], panel: &[i16], lanes: &mut
         }
     }
     scalar_tail(a_rows, panel, lanes, quads);
+}
+
+/// AVX2 widened tier of [`super::tile_mul_i16_x8`]: the same four
+/// K-depths × `NR` columns per step as [`tile_mul_i16_avx2`], but the
+/// 256-bit panel load and its in-register interleave are amortized over
+/// *eight* A rows instead of four. The eight 4×i64 accumulators, the
+/// interleaved panel vector, and the per-row temporaries fit the sixteen
+/// ymm registers, so the inner loop stays spill-free while halving the
+/// panel-stream traffic per output row.
+///
+/// # Safety
+/// The caller must have verified AVX2 support (`dispatch::clamp` /
+/// `available_tiers`).
+#[target_feature(enable = "avx2")]
+pub unsafe fn tile_mul_i16_x8_avx2(
+    a_rows: [&[i16]; MR8],
+    panel: &[i16],
+    lo: &mut [[i64; NR]; MR],
+    hi: &mut [[i64; NR]; MR],
+) {
+    let seg = a_rows[0].len();
+    let quads = seg & !3;
+    let p = panel.as_ptr();
+    let mut acc = [_mm256_setzero_si256(); MR8];
+    let mut kk = 0usize;
+    while kk < quads {
+        let b = _mm256_loadu_si256(p.add(kk * NR) as *const __m256i);
+        // Per 128-bit half: [c0..c3 | d0..d3] → [c0,d0,...,c3,d3].
+        let bi = _mm256_unpacklo_epi16(b, _mm256_shuffle_epi32::<0xEE>(b));
+        for (row, accr) in a_rows.iter().zip(&mut acc) {
+            let ar = row.as_ptr().add(kk);
+            let p0 = (ar as *const i32).read_unaligned();
+            let p1 = (ar.add(2) as *const i32).read_unaligned();
+            let av = _mm256_set_m128i(_mm_set1_epi32(p1), _mm_set1_epi32(p0));
+            let prod = _mm256_madd_epi16(av, bi);
+            let plo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
+            let phi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(prod));
+            *accr = _mm256_add_epi64(*accr, _mm256_add_epi64(plo, phi));
+        }
+        kk += 4;
+    }
+    for (r, ar) in acc.iter().enumerate() {
+        let mut t = [0i64; NR];
+        _mm256_storeu_si256(t.as_mut_ptr() as *mut __m256i, *ar);
+        let lanes = if r < MR { &mut lo[r] } else { &mut hi[r - MR] };
+        for (lane, v) in lanes.iter_mut().zip(t) {
+            *lane += v;
+        }
+    }
+    let first: [&[i16]; MR] = std::array::from_fn(|r| a_rows[r]);
+    let second: [&[i16]; MR] = std::array::from_fn(|r| a_rows[MR + r]);
+    scalar_tail(first, panel, lo, quads);
+    scalar_tail(second, panel, hi, quads);
 }
 
 /// SSE2 tier of one [`super::dot_sval`] K-segment: 8 products per step

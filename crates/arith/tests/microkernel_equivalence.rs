@@ -1,0 +1,134 @@
+//! Cross-product equivalence of the GEMM drive loops: blocking geometry
+//! × kernel tier × thread count must never change a single output bit.
+//!
+//! Both drive loops accumulate in exact integer arithmetic, so any
+//! `(mc, kc, nc)` split — including degenerate ones like `1,1,1`, a
+//! block exactly matching the shape, or a block larger than the shape —
+//! is pure re-association. The oracle is the forced-scalar tier with
+//! blocking disabled on one thread; every other combination must
+//! reproduce it exactly, ABFT sums included.
+
+use owlp_arith::gemm::owlp_gemm;
+use owlp_arith::microkernel;
+use owlp_arith::{exact_gemm, exact_gemm_abft};
+use owlp_format::simd::KernelTier;
+use owlp_format::{with_block, Bf16, BlockGeometry};
+use proptest::prelude::*;
+
+/// Seeded BF16 tensor mixing small values with sparse large outliers,
+/// mirroring the bench generator so both paths exercise the outlier
+/// lanes.
+fn tensor(len: usize, mut state: u64) -> Vec<Bf16> {
+    state |= 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let small = ((state >> 32) as i32 % 1000) as f32 * 1e-3;
+            let v = if state.is_multiple_of(61) {
+                small * 1e20
+            } else {
+                small
+            };
+            Bf16::from_f32(v)
+        })
+        .collect()
+}
+
+/// Output bits of both GEMM paths plus the exact path's ABFT row/column
+/// sums under the given tier, geometry, and thread count.
+fn run_all(
+    a: &[Bf16],
+    b: &[Bf16],
+    (m, k, n): (usize, usize, usize),
+    tier: KernelTier,
+    geom: BlockGeometry,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<i128>) {
+    microkernel::with_tier(tier, || {
+        with_block(geom, || {
+            owlp_par::with_threads(threads, || {
+                let exact: Vec<u32> = exact_gemm(a, b, m, k, n)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let owlp: Vec<u32> = owlp_gemm(a, b, m, k, n)
+                    .expect("finite inputs")
+                    .output
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let (_, check) = exact_gemm_abft(a, b, m, k, n, None);
+                let abft: Vec<i128> = check
+                    .map(|c| {
+                        c.observed
+                            .rows
+                            .iter()
+                            .chain(c.observed.cols.iter())
+                            .copied()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (exact, owlp, abft)
+            })
+        })
+    })
+}
+
+proptest! {
+    // Each case fans out over geometries × tiers × thread counts, so a
+    // modest case count still covers thousands of combinations.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn blocking_tier_thread_sweep_is_bit_identical(
+        m in 1usize..22,
+        k in 1usize..48,
+        n in 1usize..22,
+        mc in 1usize..32,
+        kc in 1usize..64,
+        nc in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let a = tensor(m * k, seed);
+        let b = tensor(k * n, seed ^ 0x9e37_79b9_7f4a_7c15);
+        let oracle = run_all(
+            &a,
+            &b,
+            (m, k, n),
+            KernelTier::Scalar,
+            BlockGeometry::UNBLOCKED,
+            1,
+        );
+
+        // Remainder-edge geometries: the random split, blocking off, a
+        // block exactly matching the shape, a block strictly larger
+        // than the shape, and the smallest legal block.
+        let geometries = [
+            BlockGeometry { mc, kc, nc },
+            BlockGeometry::UNBLOCKED,
+            BlockGeometry { mc: m, kc: k, nc: n },
+            BlockGeometry { mc: m + 8, kc: k + 8, nc: n + 8 },
+            BlockGeometry { mc: 1, kc: 1, nc: 1 },
+        ];
+        for geom in geometries {
+            for &tier in microkernel::available_tiers() {
+                for threads in [1usize, 4, 8] {
+                    let got = run_all(&a, &b, (m, k, n), tier, geom, threads);
+                    prop_assert_eq!(
+                        &got,
+                        &oracle,
+                        "diverged at {}x{}x{} geom {:?} tier {:?} threads {}",
+                        m,
+                        k,
+                        n,
+                        geom,
+                        tier,
+                        threads
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,9 +1,12 @@
 //! Criterion: encoder/decoder and memory-map pack/unpack throughput — the
-//! software cost of the OwL-P number format.
+//! software cost of the OwL-P number format — plus per-tier groups that
+//! pin the encode classify loop and the packed-plane decode to each
+//! available SIMD tier (the forced-scalar row is the oracle the vector
+//! rows are measured against).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use owlp_format::chunk::{ChunkMeta, PackedTensor};
-use owlp_format::encode_tensor;
+use owlp_format::{encode_tensor, encode_tensor_into, simd, EncodedTensor, PackedOperands};
 use owlp_model::profiles::{profile_for, Dataset, TensorRole};
 use owlp_model::{ModelId, OpKind, TensorGen};
 
@@ -37,5 +40,46 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
+/// Encode and packed-decode throughput with the codec pinned to each
+/// available kernel tier. Serial (`with_threads(1)`) so the ratio between
+/// rows is the vector width, not the thread fan-out, and with reused
+/// output buffers so neither side pays allocation in steady state.
+fn bench_codec_tiers(c: &mut Criterion) {
+    let p = profile_for(
+        ModelId::Gpt2Base,
+        OpKind::FfnUp,
+        TensorRole::Weight,
+        Dataset::WikiText2,
+    );
+    let data = TensorGen::new(p, 256, 1024).values(7);
+    let enc = encode_tensor(&data, None).unwrap();
+
+    let mut group = c.benchmark_group("codec_tiers");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for &tier in simd::available_tiers() {
+        group.bench_function(format!("encode_tensor/{}", tier.name()), |b| {
+            let mut buf = EncodedTensor::default();
+            b.iter(|| {
+                simd::with_tier(tier, || {
+                    owlp_par::with_threads(1, || encode_tensor_into(&data, None, &mut buf))
+                })
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("decode_packed_into/{}", tier.name()), |b| {
+            let mut out = PackedOperands::default();
+            b.iter(|| {
+                simd::with_tier(tier, || {
+                    owlp_par::with_threads(1, || enc.decode_packed_into(&mut out))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_codec_tiers);
 criterion_main!(benches);

@@ -34,8 +34,27 @@ const REPS: usize = 7;
 /// throughput and cross-tier bit-identity) and per-case `serial_gain`
 /// regression gating; v6 adds the `weights` archive-v2 section
 /// (mmap-vs-eager cold load, streaming-encode budget conformance, and the
-/// mapped-vs-owned GEMM bit-identity gate).
-pub const SCHEMA: u32 = 6;
+/// mapped-vs-owned GEMM bit-identity gate); v7 adds the `host` section
+/// (CPU model, SIMD features, cache sizes), the `blocking` section
+/// (blocked-vs-unblocked drive-loop gains and vector-vs-scalar codec
+/// gains, both gated on full runs), and the two large cache-spilling
+/// GEMM cases.
+pub const SCHEMA: u32 = 7;
+
+/// Minimum serial blocked-vs-unblocked gain the exact-GEMM drive loop
+/// must show on the large shape of a full run (schema v7 `blocking`
+/// section) — the whole point of the three-level loop nest.
+pub const BLOCKED_GAIN_FLOOR_EXACT: f64 = 1.4;
+
+/// Same floor for the packed OwL-P drive loop. Lower than the exact
+/// floor: the i16 operand planes are half as wide, so the unblocked
+/// order spills caches later and the blocked order has less to recover.
+pub const BLOCKED_GAIN_FLOOR_OWLP: f64 = 1.3;
+
+/// Minimum serial vector-vs-scalar encode gain a full run must show when
+/// the codec dispatch selected a vector tier (skipped on scalar-only
+/// hosts, where the ratio is 1.0 by construction).
+pub const ENCODE_VECTOR_GAIN_FLOOR: f64 = 1.5;
 
 /// Maximum acceptable checksum overhead on the serial GEMM paths
 /// (fraction of plain throughput). CI fails a full run that exceeds it.
@@ -210,6 +229,91 @@ pub struct SimdSection {
     pub tiers_bit_identical: bool,
 }
 
+/// The `host` section (schema v7): where the numbers came from, so
+/// reports from different machines are comparable at a glance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HostSection {
+    /// CPU marketing name (`/proc/cpuinfo`), when the host exposes one.
+    pub cpu_model: Option<String>,
+    /// Dispatch-relevant SIMD features the runtime detected.
+    pub detected_features: Vec<String>,
+    /// Detected (or defaulted) per-core cache capacities — the inputs
+    /// the drive loops derive their blocking geometry from.
+    pub cache: owlp_format::CacheInfo,
+}
+
+/// Serial blocked-vs-unblocked timing of one GEMM drive loop on the
+/// large shape (schema v7).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BlockedGain {
+    /// GEMM path measured (`gemm-owlp` / `gemm-exact`).
+    pub case: String,
+    /// Workload shape.
+    pub shape: String,
+    /// Blocking geometry the blocked run resolved, as `mc,kc,nc` after
+    /// clamping to the shape.
+    pub geometry: String,
+    /// Serial throughput with the resolved blocking geometry, ops/s.
+    pub blocked_ops_per_s: f64,
+    /// Serial throughput with blocking forced off
+    /// (`BlockGeometry::UNBLOCKED` — the pre-blocking loop order), ops/s.
+    pub unblocked_ops_per_s: f64,
+    /// `blocked / unblocked` — what the cache blocking bought.
+    pub gain: f64,
+    /// Whether the gain floor gates this entry on a full run: true only
+    /// when the clamped geometry actually splits a loop dimension *and*
+    /// the operand planes exceed the last-level cache, so the unblocked
+    /// order must stream from memory. When the whole problem fits the
+    /// LLC (e.g. the 260 MB Xeon L3 of the reference container),
+    /// blocking is expected to be performance-neutral — the gain is
+    /// still recorded, but only the bit-identity gate applies.
+    pub floor_applies: bool,
+    /// Both loop orders produced the same output bits. They must:
+    /// blocking is pure re-association over exact integer accumulation.
+    pub bit_identical: bool,
+}
+
+/// Serial vector-vs-scalar timing of the encode classify loop and the
+/// packed-plane decode (schema v7).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CodecVectorGain {
+    /// Elements per run.
+    pub elements: u64,
+    /// Tier the codec dispatch selected (`scalar` on hosts without a
+    /// vector unit — the gains then sit at 1.0 and CI skips the floor).
+    pub tier: String,
+    /// `encode_tensor_into` elements/s at the selected tier.
+    pub encode_vector_ops_per_s: f64,
+    /// Same, forced to the scalar oracle.
+    pub encode_scalar_ops_per_s: f64,
+    /// `vector / scalar` for encode.
+    pub encode_gain: f64,
+    /// `decode_packed_into` elements/s at the selected tier.
+    pub decode_vector_ops_per_s: f64,
+    /// Same, forced to the scalar oracle.
+    pub decode_scalar_ops_per_s: f64,
+    /// `vector / scalar` for decode.
+    pub decode_gain: f64,
+    /// The vector tier reproduced the scalar codes, outlier streams, and
+    /// decoded planes bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// The `blocking` section (schema v7): what the cache-blocked drive
+/// loops and the vectorized codec buy over their straight-line
+/// baselines, measured in-run on this host. All timings are serial —
+/// cache residency and vector width are serial effects, and the thread
+/// fan-out would mask them.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BlockingSection {
+    /// `OWLP_BLOCK` as this process saw it (`auto` when unset/empty).
+    pub env: String,
+    /// Blocked-vs-unblocked gains, one entry per GEMM drive loop.
+    pub gemm: Vec<BlockedGain>,
+    /// Vector-vs-scalar codec gains.
+    pub codec: CodecVectorGain,
+}
+
 /// Cold-load floor CI enforces: mapping a packed archive must beat the
 /// eager encode-and-pack cold start by at least this factor on a full run.
 pub const COLD_LOAD_SPEEDUP_FLOOR: f64 = 10.0;
@@ -276,6 +380,10 @@ pub struct BenchReport {
     pub simd: SimdSection,
     /// Archive-v2 weight-path verdicts (schema v6).
     pub weights: WeightsSection,
+    /// Host identification for cross-machine comparison (schema v7).
+    pub host: HostSection,
+    /// Cache-blocking and vector-codec gains (schema v7).
+    pub blocking: BlockingSection,
 }
 
 /// Interleaved min-times of a plain/checked pair: the two closures run
@@ -474,6 +582,33 @@ pub fn run(smoke: bool) -> BenchReport {
         |r| r.clone(),
     ));
 
+    // 7/8. Large GEMM shapes — big enough that the operand working sets
+    // spill every cache level under the unblocked loop order. The
+    // `blocking` section measures what the blocked order buys on the
+    // same shape; these cases record the absolute throughput CI tracks
+    // across PRs.
+    let (m, k, n) = if smoke { (64, 64, 64) } else { (512, 512, 512) };
+    let (a, b) = (tensor(m * k, 14), tensor(k * n, 15));
+    cases.push(case(
+        "gemm-exact-large",
+        format!("{m}x{k}x{n}"),
+        2 * (m * k * n) as u64,
+        reps,
+        threads,
+        || owlp_arith::exact_gemm(&a, &b, m, k, n),
+        |r| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    ));
+    let (a, b) = (tensor(m * k, 16), tensor(k * n, 17));
+    cases.push(case(
+        "gemm-owlp-large",
+        format!("{m}x{k}x{n}"),
+        2 * (m * k * n) as u64,
+        reps,
+        threads,
+        || owlp_arith::owlp_gemm(&a, &b, m, k, n).expect("finite inputs"),
+        |r| r.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    ));
+
     BenchReport {
         schema: SCHEMA,
         hardware_threads: owlp_par::hardware_threads(),
@@ -485,6 +620,136 @@ pub fn run(smoke: bool) -> BenchReport {
         integrity: integrity_section(smoke),
         simd: simd_section(smoke),
         weights: weights_section(smoke),
+        host: host_section(),
+        blocking: blocking_section(smoke),
+    }
+}
+
+/// Collects the host identification block: CPU model, detected SIMD
+/// features, and the cache topology the blocking geometry derives from.
+fn host_section() -> HostSection {
+    HostSection {
+        cpu_model: owlp_format::blocking::cpu_model(),
+        detected_features: owlp_arith::microkernel::detected_features()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        cache: owlp_format::cache_info(),
+    }
+}
+
+/// Times both GEMM drive loops on the large shape with the resolved
+/// blocking geometry and with blocking forced off, plus the encode
+/// classify loop and packed-plane decode at the selected vector tier
+/// versus the forced-scalar oracle. Operands for the OwL-P pair are
+/// encoded and panel-packed outside the timers so the ratio isolates
+/// the drive loop the geometry actually changes.
+fn blocking_section(smoke: bool) -> BlockingSection {
+    use owlp_arith::microkernel::{MR, NR};
+    use owlp_format::simd::KernelTier;
+    use owlp_format::{block_geometry, with_block, BlockGeometry, EncodedTensor, PackedOperands};
+
+    let reps = if smoke { 1 } else { 3 };
+    let (m, k, n) = if smoke { (64, 64, 64) } else { (512, 512, 512) };
+    let shape = format!("{m}x{k}x{n}");
+    let ops = 2 * (m * k * n) as u64;
+    let cache = owlp_format::cache_info();
+    let mut gemm = Vec::new();
+    let mut pair = |case: &str, elem: usize, run: &mut dyn FnMut() -> Vec<u32>| {
+        let geom = block_geometry(elem, MR, NR).for_shape(m, k, n, MR, NR);
+        // The floor only binds when a loop dimension is actually split
+        // and the operand planes overflow the LLC — otherwise the
+        // unblocked order never leaves cache and there is nothing for
+        // blocking to win back.
+        let binds = geom.mc < m || geom.kc < k || geom.nc < n;
+        let floor_applies = binds && (m * k + k * n) * elem > cache.l3;
+        let (blocked_s, blocked) = owlp_par::with_threads(1, || min_time(reps, &mut *run));
+        let (unblocked_s, unblocked) = with_block(BlockGeometry::UNBLOCKED, || {
+            owlp_par::with_threads(1, || min_time(reps, &mut *run))
+        });
+        gemm.push(BlockedGain {
+            case: case.to_string(),
+            shape: shape.clone(),
+            geometry: geom.to_string(),
+            blocked_ops_per_s: ops as f64 / blocked_s,
+            unblocked_ops_per_s: ops as f64 / unblocked_s,
+            gain: unblocked_s / blocked_s,
+            floor_applies,
+            bit_identical: blocked == unblocked,
+        });
+    };
+
+    let (a, b) = (tensor(m * k, 20), tensor(k * n, 21));
+    pair("gemm-exact", 4, &mut || {
+        owlp_arith::exact_gemm(&a, &b, m, k, n)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    });
+
+    let (ao, bo) = (tensor(m * k, 22), tensor(k * n, 23));
+    let enc_a = owlp_format::encode_tensor(&ao, None).expect("finite inputs");
+    let enc_b = owlp_format::encode_tensor(&bo, None).expect("finite inputs");
+    let (packed_a, packed_b) = (enc_a.decode_packed(), enc_b.decode_packed());
+    let panels = packed_b.pack_panels(k, n);
+    pair("gemm-owlp", 2, &mut || {
+        owlp_arith::gemm::owlp_gemm_packed(
+            &packed_a,
+            &packed_b,
+            Some(&panels),
+            m,
+            k,
+            n,
+            owlp_arith::PeConfig::PAPER,
+            owlp_arith::AlignUnit::Exact,
+        )
+        .expect("finite inputs")
+        .output
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+    });
+
+    // Vector-vs-scalar codec: same reusable buffers on both sides, so
+    // neither timing pays allocation after the first round.
+    let len = if smoke { 1 << 14 } else { 1 << 20 };
+    let t = tensor(len, 24);
+    let tier = owlp_format::simd::selected_tier();
+    let creps = if smoke { 1 } else { REPS };
+    let mut enc = EncodedTensor::default();
+    let mut packed = PackedOperands::default();
+    let mut time_codec = |forced: KernelTier| {
+        owlp_format::simd::with_tier(forced, || {
+            owlp_par::with_threads(1, || {
+                let (enc_s, ()) = min_time(creps, || {
+                    owlp_format::encode_tensor_into(&t, None, &mut enc).expect("finite inputs")
+                });
+                let (dec_s, ()) = min_time(creps, || enc.decode_packed_into(&mut packed));
+                (enc_s, dec_s, enc.codes().to_vec(), packed.clone())
+            })
+        })
+    };
+    let (enc_vec_s, dec_vec_s, codes_vec, packed_vec) = time_codec(tier);
+    let (enc_sca_s, dec_sca_s, codes_sca, packed_sca) = time_codec(KernelTier::Scalar);
+    let codec = CodecVectorGain {
+        elements: len as u64,
+        tier: tier.name().to_string(),
+        encode_vector_ops_per_s: len as f64 / enc_vec_s,
+        encode_scalar_ops_per_s: len as f64 / enc_sca_s,
+        encode_gain: enc_sca_s / enc_vec_s,
+        decode_vector_ops_per_s: len as f64 / dec_vec_s,
+        decode_scalar_ops_per_s: len as f64 / dec_sca_s,
+        decode_gain: dec_sca_s / dec_vec_s,
+        bit_identical: codes_vec == codes_sca && packed_vec == packed_sca,
+    };
+
+    BlockingSection {
+        env: std::env::var(owlp_format::ENV_BLOCK)
+            .ok()
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| "auto".to_string()),
+        gemm,
+        codec,
     }
 }
 
@@ -968,15 +1233,50 @@ pub fn render(r: &BenchReport) -> String {
             format!("{:.3e}", tt.serial_ops_per_s),
         ]);
     }
+    let mut bt = TextTable::new([
+        "case",
+        "geometry",
+        "blocked ops/s",
+        "unblocked ops/s",
+        "gain",
+        "floor",
+        "bit-identical",
+    ]);
+    for g in &r.blocking.gemm {
+        bt.row([
+            g.case.clone(),
+            g.geometry.clone(),
+            format!("{:.3e}", g.blocked_ops_per_s),
+            format!("{:.3e}", g.unblocked_ops_per_s),
+            format!("{:.2}x", g.gain),
+            if g.floor_applies { "gated" } else { "fits-LLC" }.to_string(),
+            g.bit_identical.to_string(),
+        ]);
+    }
     let w = &r.weights;
+    let cv = &r.blocking.codec;
     format!(
-        "Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}\n\
+        "Host: {} (features [{}], L1d {} KiB, L2 {} KiB, L3 {} KiB, {})\n\
+         Parallel-speedup baselines (schema v{}, {} hardware thread{}, requested {}, budget {}{})\n{}\n\
          Memory co-simulation (roof {:.0} GB/s, byte conservation {})\n{}\n\
          Integrity sweep (seed {}, {} faults, {} escaped, {} false positive{}, corrected bit-identical {})\n{}\n\
          Checksum overhead (serial, limit {:.0}%)\n{}\n\
          Kernel tiers (OWLP_SIMD={}, selected {}, features [{}], cross-tier bit-identical {})\n{}\n\
+         Cache blocking (OWLP_BLOCK={}, serial, large shape {})\n{}\n\
+         Vector codec ({} elements, tier {}, bit-identical {})\n  \
+         encode {:.3e} vs scalar {:.3e} el/s = {:.2}x, decode {:.3e} vs scalar {:.3e} el/s = {:.2}x\n\
          Weight archive ({} tensors, {} B, stream peak {}/{} B within-budget {}, mapped {})\n  \
          cold load: eager {:.4}s vs mmap {:.4}s = {:.1}x, digests verified {}, mapped GEMM bit-identical {}",
+        r.host.cpu_model.as_deref().unwrap_or("unknown CPU"),
+        r.host.detected_features.join(","),
+        r.host.cache.l1d >> 10,
+        r.host.cache.l2 >> 10,
+        r.host.cache.l3 >> 10,
+        if r.host.cache.detected {
+            "detected"
+        } else {
+            "defaulted"
+        },
         r.schema,
         r.hardware_threads,
         if r.hardware_threads == 1 { "" } else { "s" },
@@ -1001,6 +1301,21 @@ pub fn render(r: &BenchReport) -> String {
         r.simd.detected_features.join(","),
         r.simd.tiers_bit_identical,
         st.render(),
+        r.blocking.env,
+        r.blocking
+            .gemm
+            .first()
+            .map_or("-", |g| g.shape.as_str()),
+        bt.render(),
+        cv.elements,
+        cv.tier,
+        cv.bit_identical,
+        cv.encode_vector_ops_per_s,
+        cv.encode_scalar_ops_per_s,
+        cv.encode_gain,
+        cv.decode_vector_ops_per_s,
+        cv.decode_scalar_ops_per_s,
+        cv.decode_gain,
         w.tensors,
         w.archive_bytes,
         w.stream_peak_alloc,
@@ -1024,8 +1339,14 @@ mod tests {
         let r = owlp_par::with_threads(2, || run(true));
         assert_eq!(r.schema, SCHEMA);
         assert!(r.smoke);
-        assert_eq!(r.cases.len(), 6);
+        assert_eq!(r.cases.len(), 8);
         assert_eq!(r.requested_threads, 2);
+        for name in ["gemm-exact-large", "gemm-owlp-large"] {
+            assert!(
+                r.cases.iter().any(|c| c.name == name),
+                "large case {name} missing"
+            );
+        }
         for c in &r.cases {
             assert!(c.bit_identical, "{} diverged across thread counts", c.name);
             assert!(c.serial_s > 0.0 && c.parallel_s > 0.0, "{} timings", c.name);
@@ -1066,12 +1387,40 @@ mod tests {
             Some("scalar")
         );
         assert_eq!(r.simd.tiers.len(), 2 * r.simd.available_tiers.len());
-        assert_eq!(r.simd.entry_points.len(), 3);
+        assert_eq!(r.simd.entry_points.len(), 4);
         assert!(
             r.simd.tiers_bit_identical,
             "a kernel tier diverged from the scalar oracle"
         );
         assert!(r.simd.available_tiers.contains(&r.simd.selected_tier));
+        // The host section: caches positive, features well-formed (the
+        // model string is host-dependent and may be absent).
+        assert!(r.host.cache.l1d > 0 && r.host.cache.l2 >= r.host.cache.l1d);
+        assert!(json.contains("\"cpu_model\""));
+        // The blocking gates CI enforces on every run: both loop orders
+        // and both codec tiers bit-identical. The gain floors only bind
+        // full runs — smoke shapes fit in cache, so the ratios sit near
+        // 1.0 by design — but every ratio must be well-formed.
+        assert_eq!(r.blocking.gemm.len(), 2);
+        for g in &r.blocking.gemm {
+            assert!(
+                g.bit_identical,
+                "{} blocked-vs-unblocked outputs diverged",
+                g.case
+            );
+            assert!(g.gain.is_finite() && g.gain > 0.0, "{} gain", g.case);
+            assert!(g.blocked_ops_per_s > 0.0 && g.unblocked_ops_per_s > 0.0);
+            // The 64^3 smoke planes fit any plausible LLC, so the gain
+            // floor must never arm on a smoke report.
+            assert!(!g.floor_applies, "{} floor armed on a smoke shape", g.case);
+        }
+        let cv = &r.blocking.codec;
+        assert!(cv.bit_identical, "vector codec diverged from scalar");
+        assert!(cv.encode_gain.is_finite() && cv.encode_gain > 0.0);
+        assert!(cv.decode_gain.is_finite() && cv.decode_gain > 0.0);
+        assert!(json.contains("\"encode_gain\""));
+        assert!(json.contains("\"blocked_ops_per_s\""));
+        assert!(json.contains("\"floor_applies\""));
         // The integrity gates CI enforces: no escapes, no false positives,
         // every correction bit-identical, every wire class exercised.
         assert_eq!(r.integrity.faults_injected, SWEEP_FAULTS_SMOKE);

@@ -26,22 +26,28 @@
 //! ```
 //!
 //! `bench-json` times the `owlp-par` hot paths serial vs parallel and
-//! writes a machine-readable baseline report (default `BENCH_PR8.json`),
+//! writes a machine-readable baseline report (default `BENCH_PR9.json`),
 //! comparing serial throughput against the previous baseline (default
-//! `BENCH_PR7.json`) when present. The report carries a `memory` section —
+//! `BENCH_PR8.json`) when present. The report carries a `memory` section —
 //! event-driven HBM co-simulation verdicts — an `integrity` section —
 //! seeded fault-sweep coverage plus checksum overhead — a `simd`
 //! section — runtime kernel-dispatch accounting with per-tier throughput
 //! and cross-tier bit-identity — and a `weights` section — archive-v2
 //! streaming-encode budget conformance, mmap-vs-eager cold load, and
-//! mapped-vs-owned GEMM bit-identity. The run fails when byte
-//! conservation is violated, when any swept fault escapes or raises a
-//! false positive, when any kernel tier diverges from the scalar oracle,
-//! when the streaming encoder exceeds its budget or a mapped GEMM
-//! diverges, or (full runs only) when the checksum overhead exceeds its
-//! budget, the mapped cold load misses its ≥10x floor, or a case's serial
-//! throughput regresses more than 10% against the baseline without
-//! `--allow-regress`.
+//! mapped-vs-owned GEMM bit-identity — plus, since schema v7, a `host`
+//! section (CPU model, SIMD features, cache sizes) and a `blocking`
+//! section (blocked-vs-unblocked drive-loop gains and vector-vs-scalar
+//! codec gains measured in-run). The run fails when byte conservation is
+//! violated, when any swept fault escapes or raises a false positive,
+//! when any kernel tier diverges from the scalar oracle, when the
+//! streaming encoder exceeds its budget or a mapped GEMM diverges, when
+//! either loop order or codec tier breaks bit-identity, or (full runs
+//! only) when the checksum overhead exceeds its budget, the mapped cold
+//! load misses its ≥10x floor, the blocked GEMM gains miss their
+//! 1.4x/1.3x floors on hosts where cache pressure makes blocking bind
+//! (`floor_applies`), the vector encode gain misses its 1.5x floor, or a
+//! case's serial throughput regresses more than 10% against the baseline
+//! without `--allow-regress`.
 //!
 //! `pack` streaming-encodes the deterministic smoke model's weights into
 //! an archive-v2 file under the `OWLP_STREAM_BUDGET` byte budget (or
@@ -160,7 +166,7 @@ fn run_one(name: &str, smoke: bool) -> Result<String, String> {
 
 /// `repro bench-json [--smoke] [--out PATH] [--baseline PATH]
 /// [--allow-regress]` — run the parallel-speedup baseline suite and write
-/// the JSON report. When the baseline file (default `BENCH_PR7.json`)
+/// the JSON report. When the baseline file (default `BENCH_PR8.json`)
 /// exists, each case also records its old-vs-new serial throughput gain;
 /// a case regressing past [`bench_json::REGRESS_LIMIT_GAIN`] always warns
 /// and fails non-smoke runs unless `--allow-regress` is given.
@@ -171,12 +177,12 @@ fn run_bench_json(args: &[String]) {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR8.json", String::as_str);
+        .map_or("BENCH_PR9.json", String::as_str);
     let baseline = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_PR7.json", String::as_str);
+        .map_or("BENCH_PR8.json", String::as_str);
     let mut report = bench_json::run(smoke);
     if let Ok(old) = std::fs::read_to_string(baseline) {
         if !bench_json::attach_baseline(&mut report, &old) {
@@ -198,6 +204,53 @@ fn run_bench_json(args: &[String]) {
     if !report.simd.tiers_bit_identical {
         eprintln!("error: a forced kernel tier diverged from the scalar oracle");
         std::process::exit(1);
+    }
+    // Blocking identity gates bind every run; the gain floors, like all
+    // timing gates, only bind full runs (smoke shapes fit in cache, so
+    // blocking has nothing to buy there).
+    for g in &report.blocking.gemm {
+        if !g.bit_identical {
+            eprintln!(
+                "error: {} blocked-vs-unblocked outputs diverged (geometry {})",
+                g.case, g.geometry
+            );
+            std::process::exit(1);
+        }
+    }
+    if !report.blocking.codec.bit_identical {
+        eprintln!("error: the vector codec diverged from the scalar oracle");
+        std::process::exit(1);
+    }
+    if !report.smoke {
+        // The gain floor only binds when the derived geometry actually
+        // splits a loop dimension AND the operand planes exceed the
+        // last-level cache (`floor_applies`): on hosts whose LLC swallows
+        // both planes — e.g. a 260 MB server L3 — blocking is a measured
+        // no-op and demanding a speedup from it would be dishonest.
+        for g in &report.blocking.gemm {
+            let floor = if g.case == "gemm-exact" {
+                bench_json::BLOCKED_GAIN_FLOOR_EXACT
+            } else {
+                bench_json::BLOCKED_GAIN_FLOOR_OWLP
+            };
+            if g.floor_applies && g.gain < floor {
+                eprintln!(
+                    "error: {} blocked gain {:.2}x is below the {:.1}x floor",
+                    g.case, g.gain, floor
+                );
+                std::process::exit(1);
+            }
+        }
+        let cv = &report.blocking.codec;
+        if cv.tier != "scalar" && cv.encode_gain < bench_json::ENCODE_VECTOR_GAIN_FLOOR {
+            eprintln!(
+                "error: encode vector gain {:.2}x (tier {}) is below the {:.1}x floor",
+                cv.encode_gain,
+                cv.tier,
+                bench_json::ENCODE_VECTOR_GAIN_FLOOR
+            );
+            std::process::exit(1);
+        }
     }
     if !report.memory.byte_conservation_ok {
         eprintln!("error: the memory co-simulation violated byte conservation");

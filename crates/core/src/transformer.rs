@@ -22,7 +22,7 @@
 
 use owlp_arith::exact::exact_gemm;
 use owlp_arith::fpmac::fp_mac_gemm;
-use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared_with, GemmScratch, PreparedTensor};
+use owlp_arith::gemm::{owlp_gemm, owlp_gemm_prepared_f32_with, GemmScratch, PreparedTensor};
 use owlp_arith::ArithError;
 use owlp_format::{ArchiveError, ArchiveSummary, ArchiveWriter, Bf16, FormatError, MappedArchive};
 use owlp_model::profiles::{profile_for, Dataset, TensorRole};
@@ -290,18 +290,19 @@ impl TinyTransformer {
             gemm_outputs: Vec::new(),
         };
         // One activation-side scratch for the whole pass: every weight GEMM
-        // decodes its activations into the same reused packed planes.
+        // rounds, re-encodes, and decodes its f32 activations through the
+        // same reused buffers — the packed-form fused path, no per-call
+        // BF16 tensor materialisation on the OwL-P engine.
         let mut scratch = GemmScratch::default();
         let mut x: Vec<f32> = input.iter().map(|b| b.to_f32()).collect();
         for lw in &self.layers {
             // --- Attention block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
-            let normed_bf = to_bf16(&normed);
             let qkv = self.run_weight(
                 engine,
                 &mut trace,
                 &mut scratch,
-                &normed_bf,
+                &normed,
                 &lw.wqkv,
                 &lw.prepared[0],
                 c.seq,
@@ -338,12 +339,11 @@ impl TinyTransformer {
                     }
                 }
             }
-            let ctx_bf = to_bf16(&ctx);
             let proj = self.run_weight(
                 engine,
                 &mut trace,
                 &mut scratch,
-                &ctx_bf,
+                &ctx,
                 &lw.wo,
                 &lw.prepared[1],
                 c.seq,
@@ -355,12 +355,11 @@ impl TinyTransformer {
             }
             // --- FFN block (pre-norm).
             let normed = layernorm(&x, c.seq, c.hidden);
-            let normed_bf = to_bf16(&normed);
             let up = self.run_weight(
                 engine,
                 &mut trace,
                 &mut scratch,
-                &normed_bf,
+                &normed,
                 &lw.w1,
                 &lw.prepared[2],
                 c.seq,
@@ -368,12 +367,11 @@ impl TinyTransformer {
                 c.ffn,
             )?;
             let act: Vec<f32> = up.iter().map(|&u| gelu(u)).collect();
-            let act_bf = to_bf16(&act);
             let down = self.run_weight(
                 engine,
                 &mut trace,
                 &mut scratch,
-                &act_bf,
+                &act,
                 &lw.w2,
                 &lw.prepared[3],
                 c.seq,
@@ -404,18 +402,21 @@ impl TinyTransformer {
         Ok(out)
     }
 
-    /// A weight GEMM: on the OwL-P engine the weight side skips straight to
-    /// its prepared (encoded + packed + panel-tiled) form, and the
-    /// activation side decodes into the caller's reused scratch planes.
-    /// Bit-identical to [`Self::run`] — preparation caches exactly what
-    /// `owlp_gemm` would recompute.
+    /// A weight GEMM, fed raw f32 activations: on the OwL-P engine the
+    /// weight side skips straight to its prepared (encoded + packed +
+    /// panel-tiled) form and the activation side rounds/encodes/decodes
+    /// through the caller's reused scratch buffers — no per-call BF16
+    /// tensor is ever materialised. The reference engines round with the
+    /// identical `Bf16::from_f32` conversion, so every engine's GEMM sees
+    /// the same BF16 inputs and the bit-identity contract of [`Self::run`]
+    /// is unchanged.
     #[allow(clippy::too_many_arguments)]
     fn run_weight(
         &self,
         engine: GemmEngine,
         trace: &mut ForwardTrace,
         scratch: &mut GemmScratch,
-        a: &[Bf16],
+        a: &[f32],
         b: &[Bf16],
         prepared: &PreparedTensor,
         m: usize,
@@ -423,8 +424,8 @@ impl TinyTransformer {
         n: usize,
     ) -> Result<Vec<f32>, ArithError> {
         let out = match engine {
-            GemmEngine::Owlp => owlp_gemm_prepared_with(a, prepared, m, k, n, scratch)?.output,
-            _ => engine.gemm(a, b, m, k, n)?,
+            GemmEngine::Owlp => owlp_gemm_prepared_f32_with(a, prepared, m, k, n, scratch)?.output,
+            _ => engine.gemm(&to_bf16(a), b, m, k, n)?,
         };
         trace.gemm_outputs.push(out.clone());
         Ok(out)

@@ -31,6 +31,7 @@ use std::fmt;
 /// assert_eq!(x.exponent_bits(), 128);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Bf16(u16);
 
 impl Bf16 {

@@ -1,0 +1,421 @@
+//! Cache-blocking geometry for the GEMM drive loops.
+//!
+//! The microkernels compute one register tile per call; *how often their
+//! operands fall out of cache between calls* is decided by the drive
+//! loops in `owlp-arith`. This module centralizes the BLIS-style
+//! three-level blocking parameters those loops use:
+//!
+//! * **Kc** — depth of one panel stripe. Sized so an NR-wide weight
+//!   stripe (`kc × NR` elements) stays resident in L1d while every row
+//!   block of A sweeps it.
+//! * **Mc** — rows of A per block. Sized so the `mc × kc` A stripe stays
+//!   resident in L2 while all `nc` columns sweep it.
+//! * **Nc** — columns per outer block. Sized so the `kc × nc` stripe of
+//!   packed panels stays resident in L3 across the Mc sweep.
+//!
+//! Because every accumulation in the workspace is *exact integer*
+//! arithmetic (i64 lanes under the spill bound, i128 windows), blocking
+//! is pure re-association: any `(mc, kc, nc)` produces bit-identical
+//! output. The geometry is therefore a pure performance knob, chosen
+//! from detected cache sizes ([`cache_info`]), overridable via
+//! [`ENV_BLOCK`] (`OWLP_BLOCK=mc,kc,nc`, `0` = unlimited) for
+//! experiments, and forceable per-scope with [`with_block`] for the
+//! blocked-vs-unblocked equivalence tests.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Environment variable overriding the blocking geometry:
+/// `OWLP_BLOCK=mc,kc,nc` (each a positive integer; `0` means unlimited,
+/// i.e. the full matrix extent in that dimension).
+pub const ENV_BLOCK: &str = "OWLP_BLOCK";
+
+/// Detected (or defaulted) per-core data-cache capacities in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheInfo {
+    /// L1 data cache, bytes.
+    pub l1d: usize,
+    /// L2 (unified) cache, bytes.
+    pub l2: usize,
+    /// Last-level cache, bytes (the L2 again on hosts without an L3).
+    pub l3: usize,
+    /// Whether the sizes came from the host (sysfs) rather than the
+    /// built-in defaults.
+    pub detected: bool,
+}
+
+/// Conservative defaults when the host exposes no cache topology
+/// (non-Linux targets, stripped containers): a generic x86-64 shape.
+const DEFAULT_CACHE: CacheInfo = CacheInfo {
+    l1d: 32 << 10,
+    l2: 256 << 10,
+    l3: 8 << 20,
+    detected: false,
+};
+
+/// Parses a sysfs cache size string (`"32K"`, `"1024K"`, `"8M"`, plain
+/// bytes).
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1usize << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1usize << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    digits.trim().parse::<usize>().ok().map(|v| v * mult)
+}
+
+/// Reads the cpu0 cache topology from sysfs. Returns `None` when the
+/// tree is absent (non-Linux) or yields no usable levels.
+fn sysfs_cache_info() -> Option<CacheInfo> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let read = |idx: usize, leaf: &str| -> Option<String> {
+        std::fs::read_to_string(base.join(format!("index{idx}/{leaf}")))
+            .ok()
+            .map(|s| s.trim().to_string())
+    };
+    let (mut l1d, mut l2, mut l3) = (None, None, None);
+    for idx in 0..16 {
+        let Some(level) = read(idx, "level").and_then(|s| s.parse::<u32>().ok()) else {
+            break;
+        };
+        let ty = read(idx, "type").unwrap_or_default();
+        if ty == "Instruction" {
+            continue;
+        }
+        let Some(size) = read(idx, "size").and_then(|s| parse_size(&s)) else {
+            continue;
+        };
+        match level {
+            1 => l1d = Some(size),
+            2 => l2 = Some(size),
+            3 => l3 = Some(size),
+            _ => {}
+        }
+    }
+    let l1d = l1d?;
+    let l2 = l2.unwrap_or(l1d * 8);
+    let l3 = l3.unwrap_or(l2); // no L3: the L2 is the last level
+    Some(CacheInfo {
+        l1d,
+        l2,
+        l3,
+        detected: true,
+    })
+}
+
+/// The host's cache capacities, detected once per process (sysfs on
+/// Linux; built-in defaults elsewhere).
+pub fn cache_info() -> CacheInfo {
+    static INFO: OnceLock<CacheInfo> = OnceLock::new();
+    *INFO.get_or_init(|| sysfs_cache_info().unwrap_or(DEFAULT_CACHE))
+}
+
+/// The host CPU's marketing name (`model name` in `/proc/cpuinfo`), for
+/// cross-machine comparison of bench reports.
+pub fn cpu_model() -> Option<String> {
+    static MODEL: OnceLock<Option<String>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+        })
+        .clone()
+}
+
+/// One three-level blocking geometry: `mc` rows × `kc` depth × `nc`
+/// columns per cache block. `usize::MAX` in a field means "unlimited"
+/// (the full matrix extent — i.e. that loop level is effectively off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockGeometry {
+    /// Rows of A per L2-resident block.
+    pub mc: usize,
+    /// Depth of one L1-resident panel stripe.
+    pub kc: usize,
+    /// Columns per L3-resident block.
+    pub nc: usize,
+}
+
+impl BlockGeometry {
+    /// The geometry that disables blocking entirely (every loop level
+    /// covers the full extent) — the pre-blocking drive-loop order, kept
+    /// as the comparison baseline.
+    pub const UNBLOCKED: BlockGeometry = BlockGeometry {
+        mc: usize::MAX,
+        kc: usize::MAX,
+        nc: usize::MAX,
+    };
+
+    /// Parses an `OWLP_BLOCK` value: `mc,kc,nc`, each a non-negative
+    /// integer, `0` meaning unlimited. Returns `None` on malformed
+    /// input.
+    pub fn parse(s: &str) -> Option<BlockGeometry> {
+        let mut it = s.split(',').map(|p| p.trim().parse::<usize>().ok());
+        let mut next = || {
+            it.next()
+                .flatten()
+                .map(|v| if v == 0 { usize::MAX } else { v })
+        };
+        let (mc, kc, nc) = (next()?, next()?, next()?);
+        if it.next().is_some() {
+            return None;
+        }
+        Some(BlockGeometry { mc, kc, nc })
+    }
+
+    /// Clamps the geometry to a concrete GEMM shape and register tile:
+    /// every field capped at its matrix extent, `mc` rounded up to a
+    /// multiple of `mr` and `nc` to a multiple of `nr` (register tiles
+    /// must never straddle a block boundary — panels are `nr` columns
+    /// wide and A tiles `mr` rows tall), and floors so degenerate
+    /// requests (`OWLP_BLOCK=1,1,1`) stay legal rather than panicking.
+    pub fn for_shape(self, m: usize, k: usize, n: usize, mr: usize, nr: usize) -> BlockGeometry {
+        let cap = |v: usize, extent: usize| v.min(extent.max(1));
+        BlockGeometry {
+            mc: cap(self.mc, m).next_multiple_of(mr),
+            kc: cap(self.kc, k),
+            nc: cap(self.nc, n).next_multiple_of(nr),
+        }
+    }
+
+    /// Derives a geometry from cache capacities for a GEMM whose packed
+    /// elements are `elem_bytes` wide and whose register tile is
+    /// `mr × nr` (see the module docs for the residency targets). Each
+    /// level uses roughly half its cache, leaving room for the other
+    /// operand's stream and the accumulator plane.
+    pub fn from_caches(cache: CacheInfo, elem_bytes: usize, mr: usize, nr: usize) -> BlockGeometry {
+        let kc = (cache.l1d / (2 * nr * elem_bytes)).clamp(64, 4096);
+        // Round Kc down to the panel padding quantum so stripe slices
+        // stay aligned with packed-panel depth groups.
+        let kc = (kc / 8).max(1) * 8;
+        let mc = (cache.l2 / (2 * kc * elem_bytes))
+            .clamp(mr, 512)
+            .next_multiple_of(mr);
+        let nc = (cache.l3 / (4 * kc * elem_bytes))
+            .clamp(nr * 4, 8192)
+            .next_multiple_of(nr);
+        BlockGeometry { mc, kc, nc }
+    }
+}
+
+impl std::fmt::Display for BlockGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let field = |v: usize| -> String {
+            if v == usize::MAX {
+                "0".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        write!(
+            f,
+            "{},{},{}",
+            field(self.mc),
+            field(self.kc),
+            field(self.nc)
+        )
+    }
+}
+
+/// The geometry requested via [`ENV_BLOCK`] — `None` when unset, empty,
+/// or malformed (malformed warns once on stderr and falls back to
+/// derived, rather than silently changing loop structure).
+pub fn env_block() -> Option<BlockGeometry> {
+    static REQUEST: OnceLock<Option<BlockGeometry>> = OnceLock::new();
+    *REQUEST.get_or_init(|| match std::env::var(ENV_BLOCK) {
+        Ok(v) if !v.is_empty() => {
+            let parsed = BlockGeometry::parse(&v);
+            if parsed.is_none() {
+                eprintln!("warning: {ENV_BLOCK}={v} is not mc,kc,nc; using derived geometry");
+            }
+            parsed
+        }
+        _ => None,
+    })
+}
+
+thread_local! {
+    /// Scoped per-thread geometry override (see [`with_block`]).
+    static BLOCK_OVERRIDE: Cell<Option<BlockGeometry>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the blocking geometry forced to `geometry` on the
+/// **current thread** — the equivalence-test hook, mirroring
+/// [`crate::simd::with_tier`]. Restores the previous override on exit,
+/// including on unwind. Like the tier override, the drive loops resolve
+/// the geometry *before* fanning out to the thread pool, so a forced
+/// geometry applies at every thread count.
+pub fn with_block<R>(geometry: BlockGeometry, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<BlockGeometry>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BLOCK_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(BLOCK_OVERRIDE.with(|c| c.replace(Some(geometry))));
+    f()
+}
+
+/// The blocking geometry a drive loop should use right now, *before*
+/// clamping to a concrete shape: the thread-local [`with_block`]
+/// override if one is active, else the [`ENV_BLOCK`] request, else the
+/// cache-derived default for the given element width and register tile.
+pub fn block_geometry(elem_bytes: usize, mr: usize, nr: usize) -> BlockGeometry {
+    if let Some(g) = BLOCK_OVERRIDE.with(Cell::get) {
+        return g;
+    }
+    if let Some(g) = env_block() {
+        return g;
+    }
+    BlockGeometry::from_caches(cache_info(), elem_bytes, mr, nr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_strings_parse() {
+        assert_eq!(parse_size("32K"), Some(32 << 10));
+        assert_eq!(parse_size(" 1024K "), Some(1 << 20));
+        assert_eq!(parse_size("8M"), Some(8 << 20));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("12345"), Some(12345));
+        assert_eq!(parse_size("zebra"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn geometry_strings_round_trip() {
+        let g = BlockGeometry::parse("64,256,1024").unwrap();
+        assert_eq!(
+            g,
+            BlockGeometry {
+                mc: 64,
+                kc: 256,
+                nc: 1024
+            }
+        );
+        assert_eq!(g.to_string(), "64,256,1024");
+        // 0 means unlimited and renders back as 0.
+        let g = BlockGeometry::parse("0,128,0").unwrap();
+        assert_eq!(g.mc, usize::MAX);
+        assert_eq!(g.kc, 128);
+        assert_eq!(g.nc, usize::MAX);
+        assert_eq!(g.to_string(), "0,128,0");
+        assert_eq!(BlockGeometry::parse(""), None);
+        assert_eq!(BlockGeometry::parse("1,2"), None);
+        assert_eq!(BlockGeometry::parse("1,2,3,4"), None);
+        assert_eq!(BlockGeometry::parse("a,b,c"), None);
+    }
+
+    #[test]
+    fn for_shape_caps_rounds_and_never_panics() {
+        let g = BlockGeometry::UNBLOCKED.for_shape(100, 37, 50, 4, 4);
+        assert_eq!(
+            g,
+            BlockGeometry {
+                mc: 100,
+                kc: 37,
+                nc: 52
+            }
+        );
+        // Degenerate requests stay legal.
+        let g = BlockGeometry {
+            mc: 1,
+            kc: 1,
+            nc: 1,
+        }
+        .for_shape(9, 9, 9, 8, 4);
+        assert_eq!(
+            g,
+            BlockGeometry {
+                mc: 8,
+                kc: 1,
+                nc: 4
+            }
+        );
+        // Block larger than the shape clamps to the (rounded) extent.
+        let g = BlockGeometry {
+            mc: 999,
+            kc: 999,
+            nc: 999,
+        }
+        .for_shape(6, 5, 7, 4, 4);
+        assert_eq!(
+            g,
+            BlockGeometry {
+                mc: 8,
+                kc: 5,
+                nc: 8
+            }
+        );
+        // Zero-sized shapes round up to one tile rather than zero.
+        let g = BlockGeometry::UNBLOCKED.for_shape(0, 0, 0, 4, 4);
+        assert!(g.mc >= 4 && g.kc >= 1 && g.nc >= 4);
+    }
+
+    #[test]
+    fn derived_geometry_is_sane_for_both_element_widths() {
+        let cache = DEFAULT_CACHE;
+        for (elem, mr) in [(2usize, 8usize), (4, 4)] {
+            let g = BlockGeometry::from_caches(cache, elem, mr, 4);
+            assert!(g.kc >= 64 && g.kc <= 4096, "{g:?}");
+            assert!(g.kc.is_multiple_of(8), "{g:?}");
+            assert!(g.mc >= mr && g.mc.is_multiple_of(mr), "{g:?}");
+            assert!(g.nc >= 16 && g.nc.is_multiple_of(4), "{g:?}");
+            // The residency targets: stripe in L1, A block in L2.
+            assert!(g.kc * 4 * elem <= cache.l1d, "{g:?}");
+            assert!(g.mc * g.kc * elem <= cache.l2, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn cache_info_is_positive_and_cached() {
+        let c = cache_info();
+        assert!(c.l1d > 0 && c.l2 >= c.l1d && c.l3 >= c.l2);
+        assert_eq!(cache_info(), c);
+    }
+
+    #[test]
+    fn with_block_scopes_nest_and_restore() {
+        let forced = BlockGeometry {
+            mc: 8,
+            kc: 16,
+            nc: 12,
+        };
+        with_block(forced, || {
+            assert_eq!(block_geometry(2, 4, 4), forced);
+            with_block(BlockGeometry::UNBLOCKED, || {
+                assert_eq!(block_geometry(2, 4, 4), BlockGeometry::UNBLOCKED);
+            });
+            assert_eq!(block_geometry(2, 4, 4), forced);
+        });
+        // Outside the scope the resolution falls back to env/derived.
+        let outer = block_geometry(2, 8, 4);
+        assert!(outer.kc >= 1);
+    }
+
+    #[test]
+    fn with_block_restores_on_unwind() {
+        let before = block_geometry(2, 4, 4);
+        let caught = std::panic::catch_unwind(|| {
+            with_block(
+                BlockGeometry {
+                    mc: 4,
+                    kc: 4,
+                    nc: 4,
+                },
+                || panic!("boom"),
+            );
+        });
+        assert!(caught.is_err());
+        assert_eq!(block_geometry(2, 4, 4), before);
+    }
+}

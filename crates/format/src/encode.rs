@@ -51,6 +51,18 @@ pub struct EncodedTensor {
     outlier_exps: Vec<u8>,
 }
 
+impl Default for EncodedTensor {
+    /// An empty tensor under the base-1 window — the state a reusable
+    /// encode buffer starts in before [`encode_tensor_into`] fills it.
+    fn default() -> Self {
+        EncodedTensor {
+            window: ExponentWindow::owlp(1),
+            codes: Vec::new(),
+            outlier_exps: Vec::new(),
+        }
+    }
+}
+
 impl EncodedTensor {
     /// The shared-exponent window used for encoding.
     pub fn window(&self) -> ExponentWindow {
@@ -266,21 +278,43 @@ pub fn encode_tensor(
     data: &[Bf16],
     window: Option<ExponentWindow>,
 ) -> Result<EncodedTensor, FormatError> {
+    let mut out = EncodedTensor::default();
+    encode_tensor_into(data, window, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_tensor`] into a caller-owned tensor, clearing it first while
+/// keeping its code and exponent allocations — the per-step encode of a
+/// serving loop re-encodes every activation tensor into the same buffer,
+/// so steady-state encoding allocates nothing.
+///
+/// # Errors
+///
+/// As [`encode_tensor`] (on error `out` holds an empty tensor).
+pub fn encode_tensor_into(
+    data: &[Bf16],
+    window: Option<ExponentWindow>,
+    out: &mut EncodedTensor,
+) -> Result<(), FormatError> {
     let window = window.unwrap_or_else(|| select_window(data));
+    // Resolve the SIMD tier once, before any fan-out: worker threads must
+    // not consult their own (unset) thread-local tier override.
+    let tier = crate::simd::selected_tier();
+    out.window = window;
+    out.codes.clear();
+    out.outlier_exps.clear();
     if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(data.len(), ENCODE_GRAIN) <= 1 {
-        let mut codes = Vec::with_capacity(data.len());
-        let mut outlier_exps = Vec::new();
-        for (index, &x) in data.iter().enumerate() {
-            let v = EncodedValue::classify(x, window).ok_or(FormatError::NonFinite { index })?;
-            codes.push(v.code());
-            if let EncodedValue::Outlier { exp, .. } = v {
-                outlier_exps.push(exp);
-            }
-        }
-        return Ok(EncodedTensor {
+        let result = crate::codec_simd::classify_slice(
+            tier,
+            data,
             window,
-            codes,
-            outlier_exps,
+            &mut out.codes,
+            &mut out.outlier_exps,
+        );
+        return result.map_err(|index| {
+            out.codes.clear();
+            out.outlier_exps.clear();
+            FormatError::NonFinite { index }
         });
     }
     // Chunk-parallel classification: elements are independent given the
@@ -289,29 +323,26 @@ pub fn encode_tensor(
     // order-preserving too — the first `Err` in chunk order carries the
     // lowest non-finite index, matching the serial scan.
     let parts = owlp_par::map_chunks(data.len(), ENCODE_GRAIN, |r| {
-        let mut codes = Vec::with_capacity(r.len());
+        let mut codes = Vec::new();
         let mut exps = Vec::new();
-        for index in r {
-            let v = EncodedValue::classify(data[index], window).ok_or(index)?;
-            codes.push(v.code());
-            if let EncodedValue::Outlier { exp, .. } = v {
-                exps.push(exp);
-            }
-        }
+        crate::codec_simd::classify_slice(tier, &data[r.clone()], window, &mut codes, &mut exps)
+            .map_err(|index| r.start + index)?;
         Ok::<_, usize>((codes, exps))
     });
-    let mut codes = Vec::with_capacity(data.len());
-    let mut outlier_exps = Vec::new();
+    out.codes.reserve(data.len());
     for part in parts {
-        let (c, e) = part.map_err(|index| FormatError::NonFinite { index })?;
-        codes.extend(c);
-        outlier_exps.extend(e);
+        let (c, e) = match part {
+            Ok(part) => part,
+            Err(index) => {
+                out.codes.clear();
+                out.outlier_exps.clear();
+                return Err(FormatError::NonFinite { index });
+            }
+        };
+        out.codes.extend(c);
+        out.outlier_exps.extend(e);
     }
-    Ok(EncodedTensor {
-        window,
-        codes,
-        outlier_exps,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -330,6 +361,29 @@ mod tests {
             .collect();
         let enc = encode_tensor(&data, None).unwrap();
         assert_eq!(enc.to_bf16_vec(), data);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_fresh_encode() {
+        let mut buf = EncodedTensor::default();
+        for seed in [1usize, 2, 3] {
+            let data: Vec<Bf16> = (0..300)
+                .map(|i| match (i + seed) % 13 {
+                    0 => bf(1e30),
+                    1 => Bf16::ZERO,
+                    _ => bf(((i * 37 + seed) % 97) as f32 * 0.017 - 0.8),
+                })
+                .collect();
+            encode_tensor_into(&data, None, &mut buf).unwrap();
+            assert_eq!(buf, encode_tensor(&data, None).unwrap(), "seed {seed}");
+        }
+        // An error leaves the buffer empty, not half-written.
+        let bad = vec![bf(1.0), Bf16::NAN];
+        assert_eq!(
+            encode_tensor_into(&bad, None, &mut buf),
+            Err(FormatError::NonFinite { index: 1 })
+        );
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod archive;
 pub mod archive2;
 pub mod bf16;
 pub mod bitstream;
+pub mod blocking;
 pub mod chunk;
+mod codec_simd;
 pub mod crc;
 pub mod decode;
 pub mod encode;
@@ -54,6 +56,7 @@ pub mod mmap;
 pub mod packed;
 pub mod plane;
 pub mod shared_exp;
+pub mod simd;
 pub mod stats;
 pub mod stream;
 pub mod value;
@@ -64,9 +67,10 @@ pub use archive2::{
     MappedTensor, VerifyReport,
 };
 pub use bf16::Bf16;
+pub use blocking::{block_geometry, cache_info, with_block, BlockGeometry, CacheInfo, ENV_BLOCK};
 pub use chunk::{PackedTensor, PackingLayout};
 pub use decode::{BiasDecoder, DecodedOperand};
-pub use encode::{encode_tensor, EncodedTensor};
+pub use encode::{encode_tensor, encode_tensor_into, EncodedTensor};
 pub use error::FormatError;
 pub use mmap::MappedFile;
 pub use packed::{PackedOperands, PackedPanels, PackedPlane};

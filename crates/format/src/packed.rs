@@ -605,7 +605,7 @@ fn parity_bit(sh: bool, tag: bool, exp: u8) -> bool {
 }
 
 #[inline]
-fn pack_meta(sign: bool, sh: bool, tag: bool, exp: u8) -> u8 {
+pub(crate) fn pack_meta(sign: bool, sh: bool, tag: bool, exp: u8) -> u8 {
     ((sign as u8) * META_SIGN)
         | ((sh as u8) * META_SH)
         | ((tag as u8) * META_TAG)
@@ -616,7 +616,7 @@ fn pack_meta(sign: bool, sh: bool, tag: bool, exp: u8) -> u8 {
 /// ([`DecodedOperand::MAG_BITS`]) so the shifted magnitude is
 /// ≤ `(2^11 − 1) << 4 = 32752 < 2^15` — always exact in `i16`.
 #[inline]
-fn sval_of(mag: u16, sh: bool, sign: bool) -> i16 {
+pub(crate) fn sval_of(mag: u16, sh: bool, sign: bool) -> i16 {
     debug_assert!(mag < 1 << 11, "magnitude exceeds the decoded 11-bit bound");
     let v = (mag as i16) << (if sh { 4 } else { 0 });
     if sign {
@@ -654,39 +654,43 @@ impl EncodedTensor {
         let n = codes.len();
         assert!(n <= u32::MAX as usize, "tensor too large to pack");
         let dec = BiasDecoder::new(self.shared_exp());
+        // Resolve the SIMD tier once, before any fan-out: worker threads
+        // must not consult their own (unset) thread-local tier override.
+        let tier = crate::simd::selected_tier();
         out.reset(self.shared_exp());
         // Every outlier code — tagged or a stored zero — consumed one
         // exponent slot in the encoded stream.
         out.stored_outliers = exps.len();
         let mag = out.mag.owned_vec();
-        mag.reserve(n);
         let meta = out.meta.owned_vec();
-        meta.reserve(n);
         let sval = out.sval.owned_vec();
-        sval.reserve(n);
         let pos = out.outlier_pos.owned_vec();
         let pexp = out.outlier_exp.owned_vec();
         if owlp_par::thread_budget() <= 1 || owlp_par::chunk_count(n, PACK_GRAIN) <= 1 {
-            let mut next_outlier = 0usize;
-            for (i, c) in codes.iter().enumerate() {
-                let exp = if c.is_outlier() {
-                    let e = exps[next_outlier];
-                    next_outlier += 1;
-                    e
-                } else {
-                    0
-                };
-                let op = dec.decode(*c, exp);
-                mag.push(op.mag);
-                meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
-                sval.push(sval_of(op.mag, op.sh, op.sign));
-                if op.tag {
-                    pos.push(i as u32);
-                    pexp.push(op.exp);
-                }
-            }
+            mag.resize(n, 0);
+            meta.resize(n, 0);
+            sval.resize_zeroed(n);
+            let consumed = crate::codec_simd::decode_packed_slice(
+                tier,
+                &dec,
+                codes,
+                exps,
+                0,
+                0,
+                &mut crate::codec_simd::PlaneOut {
+                    mag: &mut mag[..],
+                    meta: &mut meta[..],
+                    sval: &mut sval[..],
+                    pos,
+                    pexp,
+                },
+            );
+            debug_assert_eq!(consumed, exps.len(), "outlier stream length mismatch");
             return;
         }
+        mag.reserve(n);
+        meta.reserve(n);
+        sval.reserve(n);
         let counts = owlp_par::map_chunks(n, PACK_GRAIN, |r| {
             codes[r].iter().filter(|c| c.is_outlier()).count()
         });
@@ -697,30 +701,26 @@ impl EncodedTensor {
             base += c;
         }
         let parts = owlp_par::map_chunks(n, PACK_GRAIN, |r| {
-            let mut next_outlier = offsets[r.start / PACK_GRAIN];
-            let mut mag = Vec::with_capacity(r.len());
-            let mut meta = Vec::with_capacity(r.len());
-            let mut sval = Vec::with_capacity(r.len());
+            let mut mag = vec![0u16; r.len()];
+            let mut meta = vec![0u8; r.len()];
+            let mut sval = vec![0i16; r.len()];
             let mut pos = Vec::new();
             let mut pexp = Vec::new();
-            for i in r {
-                let c = codes[i];
-                let exp = if c.is_outlier() {
-                    let e = exps[next_outlier];
-                    next_outlier += 1;
-                    e
-                } else {
-                    0
-                };
-                let op = dec.decode(c, exp);
-                mag.push(op.mag);
-                meta.push(pack_meta(op.sign, op.sh, op.tag, op.exp));
-                sval.push(sval_of(op.mag, op.sh, op.sign));
-                if op.tag {
-                    pos.push(i as u32);
-                    pexp.push(op.exp);
-                }
-            }
+            crate::codec_simd::decode_packed_slice(
+                tier,
+                &dec,
+                &codes[r.clone()],
+                exps,
+                offsets[r.start / PACK_GRAIN],
+                r.start,
+                &mut crate::codec_simd::PlaneOut {
+                    mag: &mut mag,
+                    meta: &mut meta,
+                    sval: &mut sval,
+                    pos: &mut pos,
+                    pexp: &mut pexp,
+                },
+            );
             (mag, meta, sval, pos, pexp)
         });
         for (pmag, pmeta, psval, ppos, ppexp) in parts {

@@ -38,6 +38,7 @@ use std::fmt;
 /// assert!(!c.is_outlier());
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct OwlpCode(u16);
 
 impl OwlpCode {
